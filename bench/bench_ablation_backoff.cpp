@@ -1,0 +1,103 @@
+// Ablation A1 -- inquiry-response backoff window vs discovery performance.
+//
+// The spec's uniform[0, 1023]-slot backoff (0..0.64 s) is the design knob
+// that trades discovery latency against response collisions. A small window
+// answers faster but lets simultaneous slaves collide repeatedly; a large
+// window wastes time when the piconet is sparse. This sweep quantifies the
+// trade-off the paper's collision extension to BlueHoc was built to study.
+#include "bench/harness.hpp"
+
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+
+namespace bips::bench {
+namespace {
+
+constexpr int kRuns = 30;
+constexpr double kHorizon = 12.0;
+
+struct Outcome {
+  double mean_discovery = 0.0;  // seconds, discovered slaves only
+  double within_1s = 0.0;       // fraction discovered in the first second
+  double discovered = 0.0;      // fraction discovered at all
+  double collisions = 0.0;      // channel collisions per run
+};
+
+Outcome sweep_point(int backoff_slots, int n_slaves) {
+  SampleSet times;
+  RunningStats collisions;
+  std::size_t found_total = 0, within = 0;
+  for (int r = 0; r < kRuns; ++r) {
+    World w(0xAB'0000 + static_cast<std::uint64_t>(backoff_slots) * 131 +
+            static_cast<std::uint64_t>(n_slaves) * 17 +
+            static_cast<std::uint64_t>(r));
+    auto master = w.device(0xA1);
+    std::unordered_map<std::uint64_t, double> first;
+    baseband::Inquirer inq(*master, baseband::InquiryConfig{},
+                           [&](const baseband::InquiryResponse& resp) {
+                             first.try_emplace(resp.addr.raw(),
+                                               resp.received_at.to_seconds());
+                           });
+    std::vector<std::unique_ptr<baseband::Device>> devices;
+    std::vector<std::unique_ptr<baseband::InquiryScanner>> scanners;
+    for (int i = 0; i < n_slaves; ++i) {
+      devices.push_back(w.device(0xB00 + static_cast<std::uint64_t>(i)));
+      baseband::ScanConfig scan;
+      scan.window = scan.interval = kDefaultScanInterval;
+      scan.channel_mode = baseband::ScanChannelMode::kFixed;
+      baseband::BackoffConfig bo;
+      bo.max_slots = backoff_slots;
+      auto sc = std::make_unique<baseband::InquiryScanner>(*devices.back(),
+                                                           scan, bo);
+      sc->set_initial_channel(
+          static_cast<std::uint32_t>(w.rng.uniform(baseband::kTrainSize)));
+      sc->start_with_phase(Duration(0));
+      scanners.push_back(std::move(sc));
+    }
+    inq.start();
+    w.run_for(Duration::from_seconds(kHorizon));
+    for (const auto& [addr, t] : first) {
+      times.add(t);
+      ++found_total;
+      if (t <= 1.0) ++within;
+    }
+    collisions.add(static_cast<double>(w.radio.stats().collisions));
+  }
+  Outcome o;
+  o.mean_discovery = times.mean();
+  o.within_1s = static_cast<double>(within) /
+                static_cast<double>(kRuns * n_slaves);
+  o.discovered = static_cast<double>(found_total) /
+                 static_cast<double>(kRuns * n_slaves);
+  o.collisions = collisions.mean();
+  return o;
+}
+
+int run() {
+  print_header("A1", "Ablation: response-backoff window (spec: 1023 slots)");
+  for (int n_slaves : {5, 10, 20}) {
+    std::printf("--- %d slaves, dedicated master, train A channels ---\n",
+                n_slaves);
+    TableWriter table({"backoff max (slots)", "mean discovery (s)",
+                       "discovered <= 1 s", "discovered (total)",
+                       "collisions/run"});
+    for (int slots : {63, 127, 255, 511, 1023, 2047}) {
+      const Outcome o = sweep_point(slots, n_slaves);
+      table.add_row({std::to_string(slots), fmt(o.mean_discovery, 3),
+                     fmt_pct(o.within_1s, 1), fmt_pct(o.discovered, 1),
+                     fmt(o.collisions, 1)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf(
+      "reading: small windows answer fast but collide when the room is\n"
+      "crowded; the spec's 1023 keeps collisions negligible at 20 slaves\n"
+      "while still fitting discovery into a ~1 s inquiry slot most of the\n"
+      "time -- the balance Figure 2 relies on.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bips::bench
+
+int main() { return bips::bench::run(); }

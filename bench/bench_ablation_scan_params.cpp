@@ -1,0 +1,140 @@
+// Ablation A2 -- slave scan schedule (T_w, T_inquiry_scan) vs discovery time.
+//
+// The paper's client alternates inquiry scan and page scan (effective
+// inquiry-scan cycle 2.56 s), giving the ~1.6 s same-train average: mean
+// first-window wait (cycle/2 = 1.28 s) + mean response backoff (0.32 s).
+// This sweep shows the decomposition holds across schedules -- the knob a
+// deployment would turn if handheld battery budgets allowed more
+// aggressive scanning.
+#include "bench/harness.hpp"
+
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+
+namespace bips::bench {
+namespace {
+
+constexpr int kTrials = 120;
+
+struct Point {
+  double mean_discovery = 0.0;
+  double mean_radio_duty = 0.0;  // slave radio-on fraction (energy cost)
+};
+
+Point measure(Duration window, Duration interval) {
+  SampleSet times;
+  RunningStats duty;
+  for (int r = 0; r < kTrials; ++r) {
+    World w(0xA2'0000 + static_cast<std::uint64_t>(interval.ns() / 1000) +
+            static_cast<std::uint64_t>(window.ns() / 100) * 7 +
+            static_cast<std::uint64_t>(r) * 1009);
+    auto master = w.device(0xA1);
+    std::optional<double> found;
+    baseband::Inquirer inq(*master, baseband::InquiryConfig{},
+                           [&](const baseband::InquiryResponse& resp) {
+                             if (!found) found = resp.received_at.to_seconds();
+                           });
+    auto slave = w.device(0xB1);
+    baseband::ScanConfig scan;
+    scan.window = window;
+    scan.interval = interval;
+    scan.channel_mode = baseband::ScanChannelMode::kStickyTrain;
+    baseband::InquiryScanner sc(*slave, scan, baseband::BackoffConfig{});
+    sc.set_initial_channel(
+        static_cast<std::uint32_t>(w.rng.uniform(baseband::kTrainSize)));
+    sc.start();
+    inq.start();
+    while (!found && w.sim.now() < SimTime(Duration::seconds(25).ns())) {
+      w.run_for(Duration::millis(100));
+    }
+    times.add(found.value_or(25.0));
+    sc.stop();  // credit open listens before reading the meter
+    duty.add(slave->energy().duty(w.sim.now() - SimTime::zero()));
+  }
+  return Point{times.mean(), duty.mean()};
+}
+
+int run() {
+  print_header("A2", "Ablation: slave scan schedule (same-train slave)");
+  TableWriter table({"T_w (ms)", "T_interval (s)", "schedule duty",
+                     "measured mean (s)", "interval/2 + 0.32 model (s)",
+                     "measured radio duty"});
+  const struct {
+    Duration window;
+    Duration interval;
+  } points[] = {
+      {Duration::micros(11'250), Duration::millis(2560)},
+      {Duration::micros(11'250), Duration::millis(1280)},  // spec default
+      {Duration::micros(11'250), Duration::millis(640)},
+      {Duration::micros(11'250), Duration::millis(320)},
+      {Duration::micros(22'500), Duration::millis(1280)},
+      {Duration::micros(45'000), Duration::millis(1280)},
+      {Duration::millis(1280), Duration::millis(1280)},  // continuous scan
+  };
+  for (const auto& p : points) {
+    const Point m = measure(p.window, p.interval);
+    // First-window wait (the schedule starts at a random phase, so
+    // interval/2 on average -- also for continuous scanning) + mean
+    // backoff; the slave listens continuously after its backoff, so there
+    // is no third wait. Intervals beyond ~1.9 s pick up an extra tail from
+    // backoffs straddling the master's 2.56 s train switch.
+    const double iv = p.interval.to_seconds();
+    const double model = iv / 2 + 0.32;
+    table.add_row({fmt(p.window.to_millis(), 2), fmt(iv, 2),
+                   fmt_pct(p.window.to_seconds() / iv, 1),
+                   fmt(m.mean_discovery, 3), fmt(model, 3),
+                   fmt_pct(m.mean_radio_duty, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "reading: the spec default (0.9%% duty) lands at the paper's ~1.6 s;\n"
+      "halving the interval halves discovery time at double the radio-on\n"
+      "cost. The window length barely matters once it covers one 10 ms\n"
+      "train sweep.\n\n");
+
+  // A2b: interlaced scan (the Bluetooth 1.2 fix) vs the classic scan, by
+  // train alignment. Interlacing adds a back-to-back window on the other
+  // train, so even a misaligned slave answers before the 2.56 s switch.
+  TableWriter il({"scan", "slave train", "mean discovery (s)"});
+  for (const bool interlaced : {false, true}) {
+    for (const bool same_train : {true, false}) {
+      SampleSet times;
+      for (int r = 0; r < 60; ++r) {
+        World w(0xA2B'000 + r * 31 + (interlaced ? 1 : 0) * 7 +
+                (same_train ? 1 : 0) * 3);
+        auto master = w.device(0xA1);
+        std::optional<double> found;
+        baseband::Inquirer inq(*master, baseband::InquiryConfig{},
+                               [&](const baseband::InquiryResponse& resp) {
+                                 if (!found) {
+                                   found = resp.received_at.to_seconds();
+                                 }
+                               });
+        auto slave = w.device(0xB1);
+        baseband::ScanConfig scan;
+        scan.channel_mode = baseband::ScanChannelMode::kStickyTrain;
+        scan.interlaced = interlaced;
+        baseband::InquiryScanner sc(*slave, scan, baseband::BackoffConfig{});
+        sc.set_initial_channel(same_train ? 4 : 20);
+        sc.start();
+        inq.start();
+        while (!found &&
+               w.sim.now() < SimTime(Duration::seconds(20).ns())) {
+          w.run_for(Duration::millis(100));
+        }
+        times.add(found.value_or(20.0));
+      }
+      il.add_row({interlaced ? "interlaced (BT 1.2)" : "classic (BT 1.1)",
+                  same_train ? "same" : "different", fmt(times.mean(), 3)});
+    }
+  }
+  std::printf("A2b -- interlaced scan ablation (paper future-work: the\n"
+              "successor spec's answer to Table 1's 4.1 s worst case):\n%s\n",
+              il.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bips::bench
+
+int main() { return bips::bench::run(); }

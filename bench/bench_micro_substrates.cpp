@@ -1,0 +1,272 @@
+// M1 -- google-benchmark microbenchmarks of the substrates: the
+// discrete-event engine, the radio channel, Dijkstra/all-pairs, the LAN and
+// the wire codec. These bound how much simulated time the experiment
+// benches can chew through per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/graph/all_pairs.hpp"
+#include "src/mobility/building.hpp"
+#include "src/net/lan.hpp"
+#include "src/proto/messages.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      s.schedule(Duration::nanos(static_cast<std::int64_t>(
+                     rng.uniform(1'000'000'000))),
+                 [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_EventCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::vector<sim::EventHandle> hs;
+    hs.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      hs.push_back(s.schedule(Duration::millis(i + 1), [] {}));
+    }
+    for (auto& h : hs) h.cancel();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventCancel);
+
+void BM_PeriodicTimerTick(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int ticks = 0;
+    sim::PeriodicTimer t(s, Duration::millis(1), [&] { ++ticks; });
+    t.start();
+    s.run_until(SimTime(Duration::seconds(10).ns()));
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PeriodicTimerTick);
+
+void BM_InquirySimulatedSecond(benchmark::State& state) {
+  // Cost of one simulated second of a dedicated master + N scanning slaves.
+  const auto n_slaves = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    Rng rng(7);
+    baseband::RadioChannel radio(s, rng, baseband::ChannelConfig{});
+    baseband::Device master(s, radio, baseband::BdAddr(0xA1), rng.fork());
+    baseband::Inquirer inq(master, baseband::InquiryConfig{}, nullptr);
+    std::vector<std::unique_ptr<baseband::Device>> devs;
+    std::vector<std::unique_ptr<baseband::InquiryScanner>> scans;
+    for (int i = 0; i < n_slaves; ++i) {
+      devs.push_back(std::make_unique<baseband::Device>(
+          s, radio, baseband::BdAddr(0xB00 + i), rng.fork()));
+      baseband::ScanConfig scan;
+      scan.window = scan.interval = kDefaultScanInterval;
+      scans.push_back(std::make_unique<baseband::InquiryScanner>(
+          *devs.back(), scan, baseband::BackoffConfig{}));
+      scans.back()->start();
+    }
+    inq.start();
+    s.run_until(SimTime(Duration::seconds(1).ns()));
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+}
+BENCHMARK(BM_InquirySimulatedSecond)->Arg(1)->Arg(10)->Arg(20);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto b = mobility::Building::grid(side, side, 10.0);
+  const graph::Graph g = b.to_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0));
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " rooms");
+}
+BENCHMARK(BM_Dijkstra)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_AllPairsPrecompute(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto b = mobility::Building::grid(side, side, 10.0);
+  const graph::Graph g = b.to_graph();
+  for (auto _ : state) {
+    graph::AllPairsPaths ap(g);
+    benchmark::DoNotOptimize(ap.distance(0, static_cast<graph::NodeId>(
+                                                g.node_count() - 1)));
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " rooms, offline step");
+}
+BENCHMARK(BM_AllPairsPrecompute)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_NextHopQuery(benchmark::State& state) {
+  const auto b = mobility::Building::grid(16, 16, 10.0);
+  const graph::Graph g = b.to_graph();
+  const graph::AllPairsPaths ap(g);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto a = static_cast<graph::NodeId>(rng.uniform(g.node_count()));
+    const auto c = static_cast<graph::NodeId>(rng.uniform(g.node_count()));
+    benchmark::DoNotOptimize(ap.next_hop(a, c));
+  }
+}
+BENCHMARK(BM_NextHopQuery);
+
+void BM_LanMessages(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    Rng rng(5);
+    net::Lan lan(s, rng, net::Lan::Config{});
+    net::Endpoint& a = lan.create_endpoint();
+    net::Endpoint& b = lan.create_endpoint();
+    int got = 0;
+    b.set_handler([&](net::Address, const net::Payload&) { ++got; });
+    for (int i = 0; i < 1'000; ++i) a.send(b.address(), {1, 2, 3, 4});
+    s.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_LanMessages);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  proto::PathReply m;
+  m.query_id = 7;
+  m.status = proto::QueryStatus::kOk;
+  m.rooms = {"lobby", "office-a", "office-b", "seminar-room"};
+  m.distance = 38.0;
+  for (auto _ : state) {
+    const proto::Bytes b = proto::encode(proto::Message(m));
+    benchmark::DoNotOptimize(proto::decode(b));
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+void BM_RadioBroadcast(benchmark::State& state) {
+  // One transmission fanned out to N listeners on the same channel.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator s;
+    Rng rng(9);
+    baseband::RadioChannel radio(s, rng, baseband::ChannelConfig{});
+    std::vector<std::unique_ptr<baseband::Device>> devs;
+    for (int i = 0; i <= n; ++i) {
+      devs.push_back(std::make_unique<baseband::Device>(
+          s, radio, baseband::BdAddr(1 + i), rng.fork()));
+    }
+    for (int i = 1; i <= n; ++i) {
+      radio.start_listen(devs[i].get(), baseband::RfChannel{0, 3});
+    }
+    state.ResumeTiming();
+    for (int k = 0; k < 100; ++k) {
+      baseband::Packet p;
+      p.type = baseband::PacketType::kId;
+      radio.transmit(devs[0].get(), baseband::RfChannel{0, 3}, p);
+      s.run();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * n);
+}
+BENCHMARK(BM_RadioBroadcast)->Arg(1)->Arg(7)->Arg(20);
+
+}  // namespace
+}  // namespace bips
+
+// ---- additional micro benches: piconet data plane and scenario parsing ----
+
+#include "src/baseband/piconet.hpp"
+#include "src/core/scenario.hpp"
+
+namespace bips {
+namespace {
+
+void BM_PiconetParkUnpark(benchmark::State& state) {
+  sim::Simulator s;
+  Rng rng(11);
+  baseband::RadioChannel radio(s, rng, baseband::ChannelConfig{});
+  baseband::Device master_dev(s, radio, baseband::BdAddr(0xA1), rng.fork());
+  baseband::PiconetMaster master(master_dev,
+                                 baseband::PiconetMaster::Config{});
+  std::vector<std::unique_ptr<baseband::Device>> devs;
+  std::vector<std::unique_ptr<baseband::SlaveLink>> links;
+  for (int i = 0; i < 7; ++i) {
+    devs.push_back(std::make_unique<baseband::Device>(
+        s, radio, baseband::BdAddr(0xB0 + i), rng.fork()));
+    links.push_back(std::make_unique<baseband::SlaveLink>(*devs.back()));
+    master.attach(*links.back());
+  }
+  for (auto _ : state) {
+    master.park(baseband::BdAddr(0xB0));
+    master.unpark(baseband::BdAddr(0xB0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PiconetParkUnpark);
+
+void BM_AclFragmentationRoundTrip(benchmark::State& state) {
+  // Cost of moving a payload of `range` bytes through fragment + polls +
+  // reassembly.
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator s;
+    Rng rng(13);
+    baseband::RadioChannel radio(s, rng, baseband::ChannelConfig{});
+    baseband::Device master_dev(s, radio, baseband::BdAddr(0xA1), rng.fork());
+    baseband::PiconetMaster master(master_dev,
+                                   baseband::PiconetMaster::Config{});
+    baseband::Device slave_dev(s, radio, baseband::BdAddr(0xB1), rng.fork());
+    baseband::SlaveLink link(slave_dev);
+    int got = 0;
+    link.set_on_message([&](const baseband::AclPayload&) { ++got; });
+    master.attach(link);
+    state.ResumeTiming();
+    master.send(baseband::BdAddr(0xB1), baseband::AclPayload(bytes, 7));
+    while (got == 0) s.step();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_AclFragmentationRoundTrip)->Arg(100)->Arg(2'000)->Arg(50'000);
+
+void BM_ScenarioParse(benchmark::State& state) {
+  const std::string text = R"(
+seed 7
+stagger on
+inquiry 3.84
+cycle 15.4
+room lobby 0 0
+room lab 14 0
+room office 28 0
+edge lobby lab
+edge lab office
+user Alice alice pw-a lobby
+user Bob bob pw-b lab
+run 300
+)";
+  for (auto _ : state) {
+    core::ScenarioError err;
+    benchmark::DoNotOptimize(core::parse_scenario(text, &err));
+  }
+}
+BENCHMARK(BM_ScenarioParse);
+
+}  // namespace
+}  // namespace bips

@@ -1,0 +1,110 @@
+// Experiment T1 -- reproduces the table in section 4.1 of the paper.
+//
+// Setup (as in the paper's hardware experiment):
+//  * the master is completely dedicated to the inquiry procedure;
+//  * one slave alternates inquiry-scan and page-scan windows, each with the
+//    default T_w = 11.25 ms inside the default T = 1.28 s interval;
+//  * 500 trials; each measures the interval from the instant the master
+//    enters the inquiry state until it receives the slave's FHS response;
+//  * trials are classified by whether the slave's starting scan channel
+//    belongs to the master's starting train (train A).
+//
+// Paper's measured values:   Same 236 trials 1.6028 s
+//                            Different 264 trials 4.1320 s
+//                            Mixed 500 trials 2.865 s
+#include "bench/harness.hpp"
+
+#include "src/baseband/slave.hpp"
+
+namespace bips::bench {
+namespace {
+
+struct Trial {
+  bool same_train = false;
+  double seconds = 0.0;
+};
+
+Trial run_trial(std::uint64_t seed) {
+  World w(seed);
+  auto master = w.device(0xA1);
+
+  baseband::SlaveConfig scfg;
+  // The Table 1 classification needs the train alignment to persist for the
+  // few seconds a trial lasts.
+  scfg.inquiry_scan.channel_mode = baseband::ScanChannelMode::kStickyTrain;
+  // "The slave alternates the periods of inquiry scan and page scan": each
+  // scan type gets every other 1.28 s period, so a given type recurs every
+  // 2.56 s (SlaveController offsets the page-scan phase by half).
+  scfg.inquiry_scan.interval = Duration::millis(2560);
+  scfg.page_scan.interval = Duration::millis(2560);
+  baseband::SlaveController slave(w.sim, w.radio, baseband::BdAddr(0xB1),
+                                  w.rng.fork(), scfg);
+
+  std::optional<SimTime> discovered;
+  baseband::InquiryConfig icfg;  // defaults: start train A, switch at 2.56 s
+  baseband::Inquirer inq(*master, icfg, [&](const baseband::InquiryResponse& r) {
+    if (!discovered) discovered = r.received_at;
+  });
+
+  slave.start();
+  const bool same =
+      slave.inquiry_scanner().current_train() == baseband::Train::kA;
+
+  inq.start();  // t = 0: the measured interval starts here
+  const Duration cap = Duration::seconds(30);
+  while (!discovered && w.sim.now() < SimTime(cap.ns())) {
+    w.run_for(Duration::millis(100));
+  }
+  Trial t;
+  t.same_train = same;
+  t.seconds = discovered ? discovered->to_seconds() : cap.to_seconds();
+  return t;
+}
+
+int run() {
+  print_header("T1", "Average device-discovery time (section 4.1 table)");
+  constexpr int kTrials = 500;
+
+  SampleSet same, diff, mixed;
+  Histogram hist(0.0, 8.0, 16);
+  for (int i = 0; i < kTrials; ++i) {
+    const Trial t = run_trial(0x7A11'0000 + static_cast<std::uint64_t>(i));
+    (t.same_train ? same : diff).add(t.seconds);
+    mixed.add(t.seconds);
+    hist.add(t.seconds);
+  }
+
+  TableWriter table({"Starting Train", "Case No.", "Taverage (measured)",
+                     "Paper Case No.", "Paper Taverage"});
+  table.add_row({"Same", std::to_string(same.count()),
+                 fmt(same.mean(), 4) + " +- " + fmt(same.ci95_halfwidth(), 3) +
+                     " s",
+                 "236", "1.6028 s"});
+  table.add_row({"Different", std::to_string(diff.count()),
+                 fmt(diff.mean(), 4) + " +- " + fmt(diff.ci95_halfwidth(), 3) +
+                     " s",
+                 "264", "4.1320 s"});
+  table.add_row({"Mixed", std::to_string(mixed.count()),
+                 fmt(mixed.mean(), 4) + " +- " +
+                     fmt(mixed.ci95_halfwidth(), 3) + " s",
+                 "500", "2.865 s"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("detail (measured):\n");
+  std::printf("  same:      stddev %.3f s, median %.3f s, p95 %.3f s\n",
+              same.stddev(), same.median(), same.percentile(95));
+  std::printf("  different: stddev %.3f s, median %.3f s, p95 %.3f s\n",
+              diff.stddev(), diff.median(), diff.percentile(95));
+  std::printf("  train split: %.1f%% same / %.1f%% different "
+              "(paper: ~50/50)\n\n",
+              100.0 * static_cast<double>(same.count()) / kTrials,
+              100.0 * static_cast<double>(diff.count()) / kTrials);
+  std::printf("discovery-time distribution, all %d trials:\n%s\n", kTrials,
+              hist.ascii(48).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bips::bench
+
+int main() { return bips::bench::run(); }

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::bench {
+
+/// One self-contained radio world per trial: simulator + RNG + channel.
+struct World {
+  sim::Simulator sim;
+  Rng rng;
+  baseband::RadioChannel radio;
+
+  explicit World(std::uint64_t seed,
+                 baseband::ChannelConfig ccfg = baseband::ChannelConfig{})
+      : rng(seed), radio(sim, rng, ccfg) {}
+
+  std::unique_ptr<baseband::Device> device(std::uint64_t addr) {
+    return std::make_unique<baseband::Device>(sim, radio,
+                                              baseband::BdAddr(addr),
+                                              rng.fork());
+  }
+
+  void run_for(Duration d) { sim.run_until(sim.now() + d); }
+};
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bips::bench

@@ -1,0 +1,84 @@
+// Operator tool: tune a workstation's discovery duty cycle.
+//
+// Given a room population and an operational cycle length (the mean piconet
+// crossing time of your walkers), sweeps the continuous inquiry-slot length
+// and reports what fraction of enrolling devices each slot catches -- the
+// trade-off behind the paper's 3.84 s / 15.4 s recommendation.
+//
+//   $ ./discovery_tuning [n_devices] [cycle_seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/table.hpp"
+
+using namespace bips;
+
+namespace {
+
+/// Average fraction of `n` enrolling slaves a single inquiry slot finds.
+double coverage(double slot_seconds, int n, int runs) {
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    sim::Simulator sim;
+    Rng rng(0xD15C + static_cast<std::uint64_t>(slot_seconds * 1000) * 131 +
+            static_cast<std::uint64_t>(r));
+    baseband::RadioChannel radio(sim, rng, baseband::ChannelConfig{});
+    baseband::Device master(sim, radio, baseband::BdAddr(0xA1), rng.fork());
+    std::size_t found = 0;
+    baseband::Inquirer inq(master, baseband::InquiryConfig{},
+                           [&](const baseband::InquiryResponse&) { ++found; });
+    std::vector<std::unique_ptr<baseband::Device>> devs;
+    std::vector<std::unique_ptr<baseband::InquiryScanner>> scans;
+    for (int i = 0; i < n; ++i) {
+      devs.push_back(std::make_unique<baseband::Device>(
+          sim, radio, baseband::BdAddr(0xB00 + i), rng.fork()));
+      baseband::ScanConfig scan;
+      scan.window = scan.interval = kDefaultScanInterval;  // enrolling mode
+      scan.channel_mode = baseband::ScanChannelMode::kStickyTrain;
+      scans.push_back(std::make_unique<baseband::InquiryScanner>(
+          *devs.back(), scan, baseband::BackoffConfig{}));
+      scans.back()->start();
+    }
+    inq.start();
+    sim.run_until(SimTime(Duration::from_seconds(slot_seconds).ns()));
+    total += static_cast<double>(found) / n;
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 20;
+  const double cycle = argc > 2 ? std::atof(argv[2]) : 15.4;
+  if (n < 1 || cycle <= 0) {
+    std::fprintf(stderr, "usage: %s [n_devices >= 1] [cycle_seconds > 0]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::printf("discovery tuning: %d enrolling devices, %.1f s operational "
+              "cycle\n\n", n, cycle);
+  TableWriter table({"inquiry slot (s)", "duty cycle", "devices found",
+                     "verdict"});
+  for (double slot : {0.64, 1.28, 2.56, 3.84, 5.12, 7.68}) {
+    if (slot >= cycle) break;
+    const double c = coverage(slot, n, 20);
+    const char* verdict = c >= 0.99  ? "full coverage"
+                          : c >= 0.90 ? "good (catches the rest next cycle)"
+                          : c >= 0.60 ? "marginal"
+                                      : "misses walkers crossing the room";
+    table.add_row({fmt(slot, 2), fmt_pct(slot / cycle, 1), fmt_pct(c, 1),
+                   verdict});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("the paper picks 3.84 s (one full train + one half dwell):\n"
+              "~95%% of 20 devices at ~25%% duty -- the knee of this curve.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Bluetooth native clock (CLKN).
+//
+// Every device has a free-running 28-bit counter ticking once per 312.5 us
+// (3.2 kHz). Devices power on at arbitrary instants, so each clock has a
+// random phase relative to simulation time. Slot boundaries, train phases
+// and scan phases are all functions of this clock, exactly as in the spec.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::baseband {
+
+class NativeClock {
+ public:
+  NativeClock() = default;
+  /// `phase_ticks` is the CLKN value at simulation time zero (0..2^28-1).
+  explicit NativeClock(std::uint32_t phase_ticks)
+      : phase_(phase_ticks & kMask) {}
+
+  /// CLKN value at simulated time t.
+  std::uint32_t clkn(SimTime t) const {
+    BIPS_ASSERT(t.ns() >= 0);
+    const auto ticks = static_cast<std::uint64_t>(t.ns()) / kTickNs;
+    return static_cast<std::uint32_t>((ticks + phase_) & kMask);
+  }
+
+  /// True when t falls in a master-to-slave (even) slot of this clock.
+  /// A slot spans two ticks; CLKN bit 1 selects the slot parity.
+  bool in_even_slot(SimTime t) const { return (clkn(t) & 0b10) == 0; }
+
+  /// Start time of the next even-slot boundary at or after t (the instant
+  /// where CLKN bits 1..0 wrap to 00).
+  SimTime next_even_slot(SimTime t) const {
+    const auto ticks = static_cast<std::uint64_t>(t.ns()) / kTickNs;
+    std::uint64_t k = ticks + phase_;
+    const std::uint64_t rem = k & 0b11;
+    std::uint64_t target_ticks = ticks + ((4 - rem) & 0b11);
+    // If t is not exactly on a tick boundary, the current tick is partially
+    // consumed; land on the next aligned boundary strictly >= t.
+    if (rem == 0 &&
+        static_cast<std::uint64_t>(t.ns()) != ticks * kTickNs) {
+      target_ticks = ticks + 4;
+    }
+    return SimTime(static_cast<std::int64_t>(target_ticks * kTickNs));
+  }
+
+  /// Phase used by scan-channel selection: CLKN16-12 advances once per
+  /// 1.28 s (2^12 ticks).
+  std::uint32_t scan_phase(SimTime t) const { return (clkn(t) >> 12) & 0x1F; }
+
+  std::uint32_t phase_ticks() const { return phase_; }
+
+ private:
+  static constexpr std::uint64_t kTickNs = 312'500;  // one CLKN tick
+  static constexpr std::uint32_t kMask = (1u << 28) - 1;
+  std::uint32_t phase_ = 0;
+};
+
+}  // namespace bips::baseband

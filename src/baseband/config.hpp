@@ -1,0 +1,111 @@
+// Tunable parameters of the baseband model.
+//
+// Defaults are the Bluetooth 1.1 values the paper quotes; the ablation
+// benches (A1, A2 in DESIGN.md) sweep them.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.hpp"
+
+namespace bips::baseband {
+
+/// Which 16-hop train a procedure starts with.
+enum class Train : std::uint8_t { kA = 0, kB = 1 };
+
+/// How a scanning device picks its listening channel across scan windows.
+enum class ScanChannelMode : std::uint8_t {
+  /// One fixed channel for the whole run.
+  kFixed,
+  /// Rotates within the train of the initial channel: the relative train
+  /// alignment with a master persists indefinitely. Use for short trials
+  /// that classify by starting train (the Table 1 experiment).
+  kStickyTrain,
+  /// Steps through the full 32-channel sequence, one channel per window
+  /// (CLKN16-12 behaviour): crosses the train boundary every 16 windows,
+  /// so even a master that only ever sweeps train A eventually meets every
+  /// scanner. This is the spec default and the library default.
+  kSequence,
+};
+
+struct ScanConfig {
+  /// T_w_inquiry_scan / T_w_page_scan: how long one listening window lasts.
+  Duration window = kDefaultScanWindow;  // 11.25 ms
+  /// T_inquiry_scan / T_page_scan: period between window starts. Setting
+  /// interval == window yields continuous scanning (the Figure 2 scenario).
+  Duration interval = kDefaultScanInterval;  // 1.28 s
+  ScanChannelMode channel_mode = ScanChannelMode::kSequence;
+  /// Interlaced scan (the Bluetooth 1.2 fix for the very discovery times
+  /// the paper measures): each scan opens a *second* back-to-back window on
+  /// the complementary train's channel, so the scanner is reachable no
+  /// matter which train the master is sweeping -- at twice the window
+  /// energy. Requires interval >= 2 * window.
+  bool interlaced = false;
+};
+
+struct InquiryConfig {
+  /// Repetitions of one train before switching (N_inquiry).
+  int train_repetitions = kNInquiry;  // 256 -> 2.56 s per train
+  /// If false the master stays on the starting train forever (the Figure 2
+  /// simulation transmits "using only train A").
+  bool switch_trains = true;
+  Train starting_train = Train::kA;
+};
+
+struct PageConfig {
+  /// Repetitions of one page train before switching (N_page).
+  int train_repetitions = 128;  // 1.28 s per train
+  bool switch_trains = true;
+  /// Give up after this long in the page state (0 = never).
+  Duration timeout = Duration::from_seconds(5.12);  // pageTO default
+};
+
+struct BackoffConfig {
+  /// Max inquiry-response backoff, in slots; the slave sleeps
+  /// uniform[0, max_slots] slots after hearing the first ID (spec: 1023).
+  int max_slots = 1023;
+  /// If true, a slave that already sent an FHS re-arms a new backoff and
+  /// keeps responding to subsequent IDs (spec behaviour; lets the master
+  /// recover responses lost to collisions).
+  bool respond_repeatedly = true;
+};
+
+struct ChannelConfig {
+  /// Independent per-packet loss probability (0 = error-free, the paper's
+  /// assumption).
+  double packet_error_rate = 0.0;
+  /// Distance-dependent loss on top of packet_error_rate: a packet from a
+  /// sender at distance d (within range R) is additionally lost with
+  /// probability per_at_edge * (d/R)^per_exponent -- a soft coverage edge
+  /// instead of the paper's hard 10 m disc. 0 disables it.
+  double per_at_edge = 0.0;
+  double per_exponent = 4.0;
+  /// If true, when two transmissions on one channel overlap at a receiver,
+  /// the one whose sender is at least `capture_ratio` times closer is
+  /// received anyway (near-far capture). Off by default: BlueHoc's collision
+  /// handling destroys both, which is what we reproduce.
+  bool capture = false;
+  double capture_ratio = 2.0;
+  /// Default radio range (paper: piconet radius about 10 m).
+  double default_range_m = 10.0;
+  /// Shadowing noise on reported RSSI values (standard deviation, dB).
+  double rssi_sigma_db = 2.0;
+  /// The RfChannel namespaces (inquiry set, per-address page sets) are
+  /// modelled as disjoint, but physically they are 32-channel subsets of
+  /// the same 79-channel ISM band. This is the probability that two
+  /// time-overlapping transmissions from *different* sets land on the same
+  /// physical frequency and interfere (~1/79 per hop pair for independent
+  /// sequences; 0 keeps the idealised disjoint model).
+  double cross_set_interference = 0.0;
+};
+
+struct BasebandConfig {
+  InquiryConfig inquiry;
+  PageConfig page;
+  ScanConfig inquiry_scan;
+  ScanConfig page_scan;
+  BackoffConfig backoff;
+  ChannelConfig channel;
+};
+
+}  // namespace bips::baseband

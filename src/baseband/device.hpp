@@ -1,0 +1,89 @@
+// Base class for simulated Bluetooth devices.
+//
+// Owns the pieces every controller shares: the native clock (random phase),
+// a forked RNG stream, a position (static or provided by a mobility model),
+// and the attachment to the radio channel. Protocol state machines
+// (Inquirer, InquiryScanner, Pager, ...) hold a reference to a Device and
+// register their own per-listen handlers, so the default on_packet drops
+// stray traffic.
+#pragma once
+
+#include <functional>
+
+#include "src/baseband/clock.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/baseband/types.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/geom.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::baseband {
+
+/// Accumulated radio-on time of a device -- the battery currency that
+/// motivates the spec's 0.9% default scan duty cycle (11.25 ms / 1.28 s).
+struct EnergyMeter {
+  Duration listen_time;
+  Duration tx_time;
+
+  Duration radio_on() const { return listen_time + tx_time; }
+  /// Fraction of `horizon` the radio was on.
+  double duty(Duration horizon) const {
+    return horizon > Duration(0)
+               ? static_cast<double>(radio_on().ns()) /
+                     static_cast<double>(horizon.ns())
+               : 0.0;
+  }
+};
+
+class Device : public RadioDevice {
+ public:
+  /// `range_m` <= 0 means "use the channel's default range".
+  Device(sim::Simulator& sim, RadioChannel& radio, BdAddr addr, Rng rng,
+         Vec2 pos = {}, double range_m = 0.0)
+      : sim_(sim),
+        radio_(radio),
+        addr_(addr),
+        rng_(std::move(rng)),
+        clock_(static_cast<std::uint32_t>(rng_.next_u64())),
+        pos_(pos),
+        range_m_(range_m) {}
+
+  ~Device() override { radio_.stop_all_listens(this); }
+
+  // RadioDevice:
+  BdAddr addr() const override { return addr_; }
+  Vec2 position() const override {
+    return position_provider_ ? position_provider_() : pos_;
+  }
+  double range_m() const override { return range_m_; }
+  void on_packet(const Packet&, RfChannel, SimTime) override {}
+  void account_tx(Duration d) override { energy_.tx_time += d; }
+  void account_listen(Duration d) override { energy_.listen_time += d; }
+
+  /// Radio-on time accumulated so far (open listens not yet credited).
+  const EnergyMeter& energy() const { return energy_; }
+
+  const NativeClock& clock() const { return clock_; }
+  sim::Simulator& sim() { return sim_; }
+  RadioChannel& radio() { return radio_; }
+  Rng& rng() { return rng_; }
+
+  void set_position(Vec2 p) { pos_ = p; }
+  /// Lets a mobility model drive the position (queried on every delivery).
+  void set_position_provider(std::function<Vec2()> f) {
+    position_provider_ = std::move(f);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  RadioChannel& radio_;
+  BdAddr addr_;
+  Rng rng_;
+  NativeClock clock_;
+  Vec2 pos_;
+  double range_m_;
+  EnergyMeter energy_;
+  std::function<Vec2()> position_provider_;
+};
+
+}  // namespace bips::baseband

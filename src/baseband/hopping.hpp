@@ -1,0 +1,88 @@
+// Hop selection for inquiry and page procedures.
+//
+// The real hop-selection kernel maps (address, clock) to one of 79 RF
+// channels; for inquiry it uses the GIAC, so every device derives the same
+// 32-channel subsequence, split into two 16-hop trains A and B. The timing
+// behaviour the paper measures depends only on (a) which train covers the
+// scanner's channel and (b) the 10 ms train sweep -- not on absolute RF
+// channel numbers. We therefore model the inquiry set as indices 0..31 with
+// train A = {0..15} and train B = {16..31}, and give each paged address its
+// own 32-channel namespace (see RfChannel).
+#pragma once
+
+#include <cstdint>
+
+#include "src/baseband/config.hpp"
+#include "src/baseband/types.hpp"
+#include "src/util/assert.hpp"
+
+namespace bips::baseband {
+
+inline constexpr std::uint32_t kChannelsPerSet = 32;
+inline constexpr std::uint32_t kTrainSize = 16;
+/// TX (even) slots needed to sweep one train: two channels per TX slot.
+inline constexpr std::uint32_t kTrainTxSlots = kTrainSize / 2;
+
+/// Index 0..31 -> owning train.
+constexpr Train train_of(std::uint32_t index) {
+  return index < kTrainSize ? Train::kA : Train::kB;
+}
+
+/// First index of a train.
+constexpr std::uint32_t train_base(Train t) {
+  return t == Train::kA ? 0 : kTrainSize;
+}
+
+constexpr Train other_train(Train t) {
+  return t == Train::kA ? Train::kB : Train::kA;
+}
+
+/// Channel transmitted at TX-slot `tx_slot` (0..7 within a train sweep),
+/// half-slot `half` (0 or 1), while on train `t`.
+constexpr std::uint32_t inquiry_tx_channel(Train t, std::uint32_t tx_slot,
+                                           std::uint32_t half) {
+  return train_base(t) + (tx_slot * 2 + half) % kTrainSize;
+}
+
+/// The inquiry-response channel paired with an inquiry TX channel. In the
+/// spec the response sequence is a distinct 32-channel set in one-to-one
+/// correspondence with the inquiry set; the identity mapping preserves the
+/// collision structure (two slaves answering the same ID collide; slaves
+/// answering different IDs do not).
+constexpr RfChannel inquiry_response_channel(std::uint32_t tx_index) {
+  return RfChannel{0, tx_index};
+}
+
+/// The GIAC inquiry channel as an RfChannel.
+constexpr RfChannel inquiry_channel(std::uint32_t index) {
+  return RfChannel{0, index};
+}
+
+/// Namespace of the page hopping set for a target address (never 0, which
+/// is reserved for inquiry).
+inline std::uint32_t page_namespace(BdAddr target) {
+  // Low 28 address bits feed the real kernel; any stable non-zero mix works
+  // here because page sets of distinct addresses never interact in-model.
+  return static_cast<std::uint32_t>(
+             (target.raw() ^ (target.raw() >> 24)) & 0x0FFF'FFFF) | 0x1000'0000;
+}
+
+inline RfChannel page_channel(BdAddr target, std::uint32_t index) {
+  BIPS_ASSERT(index < kChannelsPerSet);
+  return RfChannel{page_namespace(target), index};
+}
+
+/// The page-scan channel a device listens on: driven by CLKN16-12 exactly
+/// like inquiry scan, but within the device's own page set.
+inline RfChannel page_scan_channel(BdAddr self, std::uint32_t scan_phase) {
+  return page_channel(self, scan_phase % kChannelsPerSet);
+}
+
+/// Predicts the index a paged device is listening on from the clock value
+/// its FHS carried. An accurate estimate puts the pager on the right train
+/// immediately (the spec's "page with clock estimate" fast path).
+inline std::uint32_t predicted_page_index(std::uint32_t clock_estimate) {
+  return (clock_estimate >> 12) & 0x1F;
+}
+
+}  // namespace bips::baseband

@@ -1,0 +1,111 @@
+#include "src/baseband/inquiry.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+namespace {
+/// A slave transmits its FHS 625 us after the start of the ID it heard; the
+/// FHS lasts 366 us, so the response to the second ID of a TX slot ends
+/// 1303.5 us after the slot began. Closing the response listens a hair later
+/// keeps that reception alive without bleeding into the following RX slot.
+constexpr Duration kResponseListenSpan = Duration::micros(1310);
+}  // namespace
+
+Inquirer::Inquirer(Device& dev, InquiryConfig cfg, ResponseCallback on_response)
+    : dev_(dev), cfg_(cfg), on_response_(std::move(on_response)) {
+  BIPS_ASSERT(cfg_.train_repetitions > 0);
+}
+
+void Inquirer::start() {
+  if (active_) return;
+  active_ = true;
+  train_ = cfg_.starting_train;
+  reps_ = 0;
+  tx_slot_ = 0;
+  seen_.clear();
+  const SimTime first = dev_.clock().next_even_slot(dev_.sim().now());
+  slot_event_ = dev_.sim().schedule_at(first, [this] { tx_slot(); });
+}
+
+void Inquirer::stop() {
+  if (!active_) return;
+  active_ = false;
+  slot_event_.cancel();
+  id2_event_.cancel();
+  close_events_[0].cancel();
+  close_events_[1].cancel();
+  for (ListenId id : open_listens_) dev_.radio().stop_listen(id);
+  open_listens_.clear();
+}
+
+void Inquirer::tx_slot() {
+  if (!active_) return;
+  const SimTime t0 = dev_.sim().now();
+
+  const std::uint32_t ch1 = inquiry_tx_channel(train_, tx_slot_, 0);
+  const std::uint32_t ch2 = inquiry_tx_channel(train_, tx_slot_, 1);
+
+  Packet id;
+  id.type = PacketType::kId;
+  id.sender = dev_.addr();
+  id.access_code = BdAddr();  // GIAC: anonymous general inquiry
+
+  // First ID now, second one half-slot later.
+  dev_.radio().transmit(&dev_, inquiry_channel(ch1), id);
+  ++stats_.ids_sent;
+  id2_event_ = dev_.sim().schedule(kHalfSlot, [this, ch2, id] {
+    if (!active_) return;
+    dev_.radio().transmit(&dev_, inquiry_channel(ch2), id);
+    ++stats_.ids_sent;
+  });
+
+  // Listen for FHS responses on both paired response channels. The listens
+  // open now (before any response can start) and close after the span of
+  // the second possible response.
+  auto handler = [this](const Packet& p, RfChannel, SimTime end) {
+    on_fhs(p, end);
+  };
+  const ListenId la = dev_.radio().start_listen(
+      &dev_, inquiry_response_channel(ch1), handler);
+  const ListenId lb = dev_.radio().start_listen(
+      &dev_, inquiry_response_channel(ch2), handler);
+  open_listens_.insert(la);
+  open_listens_.insert(lb);
+  close_events_[close_rotor_] =
+      dev_.sim().schedule_at(t0 + kResponseListenSpan, [this, la, lb] {
+        dev_.radio().stop_listen(la);
+        dev_.radio().stop_listen(lb);
+        open_listens_.erase(la);
+        open_listens_.erase(lb);
+      });
+  close_rotor_ ^= 1;
+
+  advance_phase();
+  slot_event_ = dev_.sim().schedule_at(t0 + 2 * kSlot, [this] { tx_slot(); });
+}
+
+void Inquirer::advance_phase() {
+  if (++tx_slot_ < kTrainTxSlots) return;
+  tx_slot_ = 0;
+  if (++reps_ < cfg_.train_repetitions) return;
+  reps_ = 0;
+  if (cfg_.switch_trains) {
+    train_ = other_train(train_);
+    ++stats_.train_switches;
+  }
+}
+
+void Inquirer::on_fhs(const Packet& p, SimTime end) {
+  if (p.type != PacketType::kFhs) return;
+  ++stats_.fhs_received;
+  if (!seen_.insert(p.sender).second) return;  // duplicate this session
+  ++stats_.unique_responses;
+  BIPS_TRACE(end, "inquirer %s: FHS from %s", dev_.addr().to_string().c_str(),
+             p.sender.to_string().c_str());
+  if (on_response_) {
+    on_response_(InquiryResponse{p.sender, p.clock, end, p.rssi_dbm});
+  }
+}
+
+}  // namespace bips::baseband

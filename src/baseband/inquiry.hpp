@@ -1,0 +1,74 @@
+// Master-side inquiry (device discovery) state machine.
+//
+// While active, the master sweeps a 16-hop train: on every even slot it
+// transmits two 68 us ID packets on consecutive train channels (one per
+// 312.5 us half-slot) and listens for FHS responses on the two paired
+// response channels. After N_inquiry repetitions of a train (2.56 s) it
+// switches trains, if configured to.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "src/baseband/config.hpp"
+#include "src/baseband/device.hpp"
+#include "src/baseband/hopping.hpp"
+
+namespace bips::baseband {
+
+class Inquirer {
+ public:
+  /// Called on every *first* FHS received from a given address within one
+  /// start()..stop() inquiry session.
+  using ResponseCallback = std::function<void(const InquiryResponse&)>;
+
+  Inquirer(Device& dev, InquiryConfig cfg, ResponseCallback on_response);
+  ~Inquirer() { stop(); }
+  Inquirer(const Inquirer&) = delete;
+  Inquirer& operator=(const Inquirer&) = delete;
+
+  /// Enters the inquiry state at the device's next even slot boundary.
+  /// Restarting while active is a no-op.
+  void start();
+  /// Leaves the inquiry state immediately (listens closed, events cancelled).
+  void stop();
+
+  bool active() const { return active_; }
+  Train current_train() const { return train_; }
+  /// Completed repetitions of the current train.
+  int train_repetition() const { return reps_; }
+
+  struct Stats {
+    std::uint64_t ids_sent = 0;
+    std::uint64_t fhs_received = 0;     // all, including duplicates
+    std::uint64_t unique_responses = 0; // distinct addresses this session
+    std::uint64_t train_switches = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void tx_slot();
+  void on_fhs(const Packet& p, SimTime end);
+  void advance_phase();
+
+  Device& dev_;
+  InquiryConfig cfg_;
+  ResponseCallback on_response_;
+
+  bool active_ = false;
+  Train train_ = Train::kA;
+  int reps_ = 0;            // completed repetitions of current train
+  std::uint32_t tx_slot_ = 0;  // 0..kTrainTxSlots-1 within a repetition
+  sim::EventHandle slot_event_;
+  sim::EventHandle id2_event_;
+  // Response listens of consecutive TX slots overlap by ~60 us, so up to two
+  // close events are pending at once; they rotate through this pair.
+  sim::EventHandle close_events_[2];
+  int close_rotor_ = 0;
+  std::unordered_set<ListenId> open_listens_;
+  std::unordered_set<BdAddr> seen_;
+  Stats stats_;
+};
+
+}  // namespace bips::baseband

@@ -1,0 +1,185 @@
+#include "src/baseband/inquiry_scan.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+InquiryScanner::InquiryScanner(Device& dev, ScanConfig scan,
+                               BackoffConfig backoff)
+    : dev_(dev), scan_(scan), backoff_(backoff) {
+  BIPS_ASSERT(scan_.window > Duration(0));
+  BIPS_ASSERT(scan_.interval >=
+              (scan_.interlaced ? 2 * scan_.window : scan_.window));
+  BIPS_ASSERT(backoff_.max_slots >= 0);
+}
+
+void InquiryScanner::set_initial_channel(std::uint32_t index) {
+  BIPS_ASSERT(index < kChannelsPerSet);
+  BIPS_ASSERT_MSG(!running_, "set_initial_channel before start()");
+  initial_channel_ = index;
+  initial_channel_set_ = true;
+}
+
+std::uint32_t InquiryScanner::channel_for_window(
+    std::uint64_t window_index) const {
+  switch (scan_.channel_mode) {
+    case ScanChannelMode::kFixed:
+      return initial_channel_;
+    case ScanChannelMode::kStickyTrain: {
+      const std::uint32_t base = train_base(train_of(initial_channel_));
+      const std::uint64_t offset = (initial_channel_ - base) + window_index;
+      return base + static_cast<std::uint32_t>(offset % kTrainSize);
+    }
+    case ScanChannelMode::kSequence:
+      return static_cast<std::uint32_t>((initial_channel_ + window_index) %
+                                        kChannelsPerSet);
+  }
+  return initial_channel_;
+}
+
+void InquiryScanner::start() {
+  const Duration phase = Duration::nanos(static_cast<std::int64_t>(
+      dev_.rng().uniform(static_cast<std::uint64_t>(scan_.interval.ns()))));
+  start_with_phase(phase);
+}
+
+void InquiryScanner::start_with_phase(Duration phase) {
+  BIPS_ASSERT(!running_);
+  BIPS_ASSERT(phase >= Duration(0));
+  if (!initial_channel_set_) {
+    initial_channel_ =
+        static_cast<std::uint32_t>(dev_.rng().uniform(kChannelsPerSet));
+    initial_channel_set_ = true;
+  }
+  running_ = true;
+  window_index_ = 0;
+  armed_ = false;
+  backoff_pending_ = false;
+  window_open_event_ = dev_.sim().schedule(phase, [this] { open_window(); });
+}
+
+void InquiryScanner::stop() {
+  if (!running_) return;
+  running_ = false;
+  window_open_event_.cancel();
+  window_close_event_.cancel();
+  interlace_event_.cancel();
+  backoff_event_.cancel();
+  armed_close_event_.cancel();
+  response_event_.cancel();
+  end_listen();
+  window_open_ = false;
+  backoff_pending_ = false;
+  armed_ = false;
+}
+
+void InquiryScanner::open_window() {
+  if (!running_) return;
+  ++stats_.windows_opened;
+  window_open_ = true;
+  window_channel_ = channel_for_window(window_index_);
+  ++window_index_;
+  const Duration open_span =
+      scan_.interlaced ? 2 * scan_.window : scan_.window;
+  // Close first, then next open: with interval == window (continuous scan)
+  // both land on the same instant and FIFO ordering retunes seamlessly.
+  window_close_event_ =
+      dev_.sim().schedule(open_span, [this] { close_window(); });
+  window_open_event_ =
+      dev_.sim().schedule(scan_.interval, [this] { open_window(); });
+  if (scan_.interlaced) {
+    // Second back-to-back sub-window on the complementary train.
+    interlace_event_ = dev_.sim().schedule(scan_.window, [this] {
+      if (backoff_pending_ || armed_) return;  // states that manage listens
+      if (!window_open_) return;
+      window_channel_ =
+          (window_channel_ + kTrainSize) % kChannelsPerSet;
+      end_listen();
+      begin_listen(window_channel_);
+    });
+  }
+  if (backoff_pending_) return;  // asleep: skip this window
+  if (armed_ && listen_ != kNoListen) {
+    // Post-backoff continuous listening: retune to the new scan channel.
+    end_listen();
+  }
+  begin_listen(window_channel_);
+}
+
+void InquiryScanner::close_window() {
+  window_open_ = false;
+  end_listen();
+}
+
+void InquiryScanner::begin_listen(std::uint32_t channel_index) {
+  if (listen_ != kNoListen) return;  // already tuned (idempotent)
+  listen_ = dev_.radio().start_listen(
+      &dev_, inquiry_channel(channel_index),
+      [this](const Packet& p, RfChannel ch, SimTime end) {
+        on_id(p, ch, end);
+      });
+}
+
+void InquiryScanner::end_listen() {
+  dev_.radio().stop_listen(listen_);
+  listen_ = kNoListen;
+}
+
+void InquiryScanner::on_id(const Packet& p, RfChannel ch, SimTime end) {
+  if (p.type != PacketType::kId || !p.access_code.is_null()) return;
+  ++stats_.ids_heard;
+  end_listen();
+
+  if (armed_) {
+    // Respond with FHS exactly 625 us after the start of the heard ID.
+    const SimTime id_start = end - p.duration();
+    const SimTime respond_at = id_start + kSlot;
+    armed_ = false;
+    response_event_ = dev_.sim().schedule_at(respond_at, [this, ch] {
+      Packet fhs;
+      fhs.type = PacketType::kFhs;
+      fhs.sender = dev_.addr();
+      fhs.clock = dev_.clock().clkn(dev_.sim().now());
+      dev_.radio().transmit(&dev_, inquiry_response_channel(ch.index), fhs);
+      ++stats_.fhs_sent;
+      BIPS_TRACE(dev_.sim().now(), "scanner %s: FHS sent on ch %u",
+                 dev_.addr().to_string().c_str(), ch.index);
+      if (on_response_sent_) on_response_sent_(dev_.sim().now());
+      if (backoff_.respond_repeatedly) {
+        arm_backoff();
+      } else {
+        stop();
+      }
+    });
+    return;
+  }
+
+  // First ID of a discovery exchange: back off before answering.
+  arm_backoff();
+}
+
+void InquiryScanner::arm_backoff() {
+  ++stats_.backoffs;
+  backoff_pending_ = true;
+  const auto slots = static_cast<std::int64_t>(
+      dev_.rng().uniform(static_cast<std::uint64_t>(backoff_.max_slots) + 1));
+  backoff_event_ = dev_.sim().schedule(slots * kSlot, [this] {
+    backoff_expired();
+  });
+}
+
+void InquiryScanner::backoff_expired() {
+  backoff_pending_ = false;
+  armed_ = true;
+  // Immediately back to the inquiry-scan substate for one bonus window on
+  // the current scan channel (the spec's post-backoff re-entry). Against a
+  // master that is actively inquiring this catches the awaited second ID
+  // within one train sweep; if the master has gone quiet, the armed state
+  // rides the regular window schedule instead of burning the radio.
+  begin_listen(window_channel_);
+  armed_close_event_ = dev_.sim().schedule(scan_.window, [this] {
+    if (!window_open_) end_listen();
+  });
+}
+
+}  // namespace bips::baseband

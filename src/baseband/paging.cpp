@@ -1,0 +1,308 @@
+#include "src/baseband/paging.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+namespace {
+constexpr Duration kResponseListenSpan = Duration::micros(1310);
+/// How long either side waits for the counterpart's next packet mid-exchange
+/// before declaring the attempt dead and resuming its sweep/scan.
+constexpr Duration kExchangeTimeout = 4 * kSlot;
+}  // namespace
+
+// ---------------------------------------------------------------- Pager ---
+
+Pager::Pager(Device& dev, PageConfig cfg) : dev_(dev), cfg_(cfg) {
+  BIPS_ASSERT(cfg_.train_repetitions > 0);
+}
+
+std::uint32_t Pager::estimated_clkn(SimTime t) const {
+  const auto elapsed_ticks =
+      static_cast<std::uint64_t>((t - sample_time_).ns()) / 312'500;
+  return static_cast<std::uint32_t>((clock_sample_ + elapsed_ticks) &
+                                    ((1u << 28) - 1));
+}
+
+void Pager::page(BdAddr target, std::uint32_t clock_sample,
+                 SimTime sample_time) {
+  BIPS_ASSERT_MSG(!active_, "Pager supports one page at a time");
+  BIPS_ASSERT(!target.is_null());
+  active_ = true;
+  awaiting_ack_ = false;
+  target_ = target;
+  clock_sample_ = clock_sample;
+  sample_time_ = sample_time;
+  reps_ = 0;
+  tx_slot_ = 0;
+  on_second_train_ = false;
+  ++stats_.pages_started;
+
+  // Centre the first train on the channel the estimate predicts the slave
+  // will scan, so a good estimate connects at the slave's first window.
+  const std::uint32_t predicted =
+      predicted_page_index(estimated_clkn(dev_.sim().now()));
+  train_base_index_ = (predicted + kChannelsPerSet - kTrainSize / 2) %
+                      kChannelsPerSet;
+
+  const SimTime first = dev_.clock().next_even_slot(dev_.sim().now());
+  slot_event_ = dev_.sim().schedule_at(first, [this] { tx_slot(); });
+  if (cfg_.timeout > Duration(0)) {
+    page_timeout_event_ = dev_.sim().schedule(cfg_.timeout, [this] { fail(); });
+  }
+}
+
+void Pager::cancel() {
+  if (!active_) return;
+  cleanup();
+}
+
+void Pager::cleanup() {
+  active_ = false;
+  awaiting_ack_ = false;
+  slot_event_.cancel();
+  id2_event_.cancel();
+  close_events_[0].cancel();
+  close_events_[1].cancel();
+  fhs_event_.cancel();
+  ack_timeout_event_.cancel();
+  page_timeout_event_.cancel();
+  for (ListenId id : open_listens_) dev_.radio().stop_listen(id);
+  open_listens_.clear();
+  dev_.radio().stop_listen(ack_listen_);
+  ack_listen_ = kNoListen;
+}
+
+void Pager::fail() {
+  if (!active_) return;
+  const BdAddr t = target_;
+  ++stats_.pages_failed;
+  cleanup();
+  if (on_failure_) on_failure_(t);
+}
+
+void Pager::tx_slot() {
+  if (!active_ || awaiting_ack_) return;
+  const SimTime t0 = dev_.sim().now();
+
+  const std::uint32_t idx1 =
+      (train_base_index_ + tx_slot_ * 2) % kChannelsPerSet;
+  const std::uint32_t idx2 =
+      (train_base_index_ + tx_slot_ * 2 + 1) % kChannelsPerSet;
+
+  Packet id;
+  id.type = PacketType::kId;
+  id.sender = dev_.addr();
+  id.access_code = target_;  // page IDs are addressed
+
+  dev_.radio().transmit(&dev_, page_channel(target_, idx1), id);
+  ++stats_.ids_sent;
+  id2_event_ = dev_.sim().schedule(kHalfSlot, [this, idx2, id] {
+    if (!active_ || awaiting_ack_) return;
+    dev_.radio().transmit(&dev_, page_channel(target_, idx2), id);
+    ++stats_.ids_sent;
+  });
+
+  auto handler = [this](const Packet& p, RfChannel ch, SimTime end) {
+    on_response(p, ch, end);
+  };
+  const ListenId la =
+      dev_.radio().start_listen(&dev_, page_channel(target_, idx1), handler);
+  const ListenId lb =
+      dev_.radio().start_listen(&dev_, page_channel(target_, idx2), handler);
+  open_listens_.insert(la);
+  open_listens_.insert(lb);
+  close_events_[close_rotor_] =
+      dev_.sim().schedule_at(t0 + kResponseListenSpan, [this, la, lb] {
+        dev_.radio().stop_listen(la);
+        dev_.radio().stop_listen(lb);
+        open_listens_.erase(la);
+        open_listens_.erase(lb);
+      });
+  close_rotor_ ^= 1;
+
+  advance_phase();
+  slot_event_ = dev_.sim().schedule_at(t0 + 2 * kSlot, [this] { tx_slot(); });
+}
+
+void Pager::advance_phase() {
+  if (++tx_slot_ < kTrainTxSlots) return;
+  tx_slot_ = 0;
+  if (++reps_ < cfg_.train_repetitions) return;
+  reps_ = 0;
+  if (cfg_.switch_trains) {
+    train_base_index_ =
+        (train_base_index_ + kTrainSize) % kChannelsPerSet;
+    on_second_train_ = !on_second_train_;
+  }
+}
+
+void Pager::on_response(const Packet& p, RfChannel ch, SimTime end) {
+  if (!active_ || awaiting_ack_) return;
+  if (p.type != PacketType::kId || p.access_code != target_) return;
+  // Target answered: freeze the sweep and send the FHS 625 us after the
+  // response began.
+  awaiting_ack_ = true;
+  slot_event_.cancel();
+  id2_event_.cancel();
+
+  const SimTime resp_start = end - p.duration();
+  fhs_event_ = dev_.sim().schedule_at(resp_start + kSlot, [this, ch] {
+    if (!active_) return;
+    Packet fhs;
+    fhs.type = PacketType::kFhs;
+    fhs.sender = dev_.addr();
+    fhs.access_code = target_;
+    fhs.clock = dev_.clock().clkn(dev_.sim().now());
+    dev_.radio().transmit(&dev_, ch, fhs);
+
+    // Await the final ID ack on the same channel.
+    ack_listen_ = dev_.radio().start_listen(
+        &dev_, ch, [this](const Packet& q, RfChannel, SimTime e) {
+          on_ack(q, e);
+        });
+    ack_timeout_event_ = dev_.sim().schedule(kExchangeTimeout, [this] {
+      // Ack lost: resume the sweep where it left off.
+      if (!active_) return;
+      dev_.radio().stop_listen(ack_listen_);
+      ack_listen_ = kNoListen;
+      awaiting_ack_ = false;
+      const SimTime next = dev_.clock().next_even_slot(dev_.sim().now());
+      slot_event_ = dev_.sim().schedule_at(next, [this] { tx_slot(); });
+    });
+  });
+}
+
+void Pager::on_ack(const Packet& p, SimTime end) {
+  if (!active_) return;
+  if (p.type != PacketType::kId || p.access_code != target_) return;
+  const BdAddr t = target_;
+  ++stats_.pages_succeeded;
+  cleanup();
+  BIPS_TRACE(end, "pager %s: connected to %s",
+             dev_.addr().to_string().c_str(), t.to_string().c_str());
+  if (on_success_) on_success_(t, end);
+}
+
+// ---------------------------------------------------------- PageScanner ---
+
+PageScanner::PageScanner(Device& dev, ScanConfig cfg) : dev_(dev), cfg_(cfg) {
+  BIPS_ASSERT(cfg_.window > Duration(0));
+  BIPS_ASSERT(cfg_.interval >= cfg_.window);
+}
+
+void PageScanner::start() {
+  const Duration phase = Duration::nanos(static_cast<std::int64_t>(
+      dev_.rng().uniform(static_cast<std::uint64_t>(cfg_.interval.ns()))));
+  start_with_phase(phase);
+}
+
+void PageScanner::start_with_phase(Duration phase) {
+  BIPS_ASSERT(!running_);
+  running_ = true;
+  window_index_ = 0;
+  responding_ = false;
+  window_open_event_ = dev_.sim().schedule(phase, [this] { open_window(); });
+}
+
+void PageScanner::stop() {
+  if (!running_) return;
+  running_ = false;
+  window_open_event_.cancel();
+  window_close_event_.cancel();
+  respond_event_.cancel();
+  fhs_timeout_event_.cancel();
+  ack_event_.cancel();
+  end_listen();
+  window_open_ = false;
+  responding_ = false;
+}
+
+void PageScanner::open_window() {
+  if (!running_) return;
+  ++stats_.windows_opened;
+  ++window_index_;
+  window_open_ = true;
+  window_close_event_ =
+      dev_.sim().schedule(cfg_.window, [this] { close_window(); });
+  window_open_event_ =
+      dev_.sim().schedule(cfg_.interval, [this] { open_window(); });
+  if (responding_) return;  // mid-exchange; skip this window
+
+  // The page-scan channel is a function of the device's own clock (CLKN
+  // 16-12), which is exactly what the pager predicts from the FHS sample.
+  const std::uint32_t idx = dev_.clock().scan_phase(dev_.sim().now());
+  listen_ = dev_.radio().start_listen(
+      &dev_, page_scan_channel(dev_.addr(), idx),
+      [this](const Packet& p, RfChannel ch, SimTime end) {
+        on_page_id(p, ch, end);
+      });
+}
+
+void PageScanner::close_window() {
+  window_open_ = false;
+  if (!responding_) end_listen();
+}
+
+void PageScanner::end_listen() {
+  dev_.radio().stop_listen(listen_);
+  listen_ = kNoListen;
+}
+
+void PageScanner::on_page_id(const Packet& p, RfChannel ch, SimTime end) {
+  if (p.type != PacketType::kId || p.access_code != dev_.addr()) return;
+  ++stats_.pages_heard;
+  end_listen();
+  responding_ = true;
+
+  const SimTime id_start = end - p.duration();
+  respond_event_ = dev_.sim().schedule_at(id_start + kSlot, [this, ch] {
+    if (!running_) return;
+    Packet resp;
+    resp.type = PacketType::kId;
+    resp.sender = dev_.addr();
+    resp.access_code = dev_.addr();
+    dev_.radio().transmit(&dev_, ch, resp);
+
+    // Await the master's FHS on the same channel.
+    listen_ = dev_.radio().start_listen(
+        &dev_, ch, [this](const Packet& q, RfChannel c, SimTime e) {
+          on_fhs(q, c, e);
+        });
+    fhs_timeout_event_ = dev_.sim().schedule(kExchangeTimeout, [this] {
+      // Master vanished (or its FHS collided): back to normal scanning.
+      end_listen();
+      responding_ = false;
+    });
+  });
+}
+
+void PageScanner::on_fhs(const Packet& p, RfChannel ch, SimTime end) {
+  if (p.type != PacketType::kFhs || p.access_code != dev_.addr()) return;
+  fhs_timeout_event_.cancel();
+  end_listen();
+
+  const SimTime fhs_start = end - p.duration();
+  const BdAddr master = p.sender;
+  const std::uint32_t master_clock = p.clock;
+  ack_event_ = dev_.sim().schedule_at(fhs_start + kSlot, [this, ch, master,
+                                                          master_clock] {
+    if (!running_) return;
+    Packet ack;
+    ack.type = PacketType::kId;
+    ack.sender = dev_.addr();
+    ack.access_code = dev_.addr();
+    dev_.radio().transmit(&dev_, ch, ack);
+    ++stats_.connections;
+    const SimTime when = dev_.sim().now();
+    BIPS_TRACE(when, "scanner %s: connected to master %s",
+               dev_.addr().to_string().c_str(), master.to_string().c_str());
+    // Entering the connection state ends page scanning; the link layer
+    // restarts it after a detach.
+    auto cb = on_connected_;
+    stop();
+    if (cb) cb(master, master_clock, when);
+  });
+}
+
+}  // namespace bips::baseband

@@ -1,0 +1,298 @@
+#include "src/baseband/piconet.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+namespace {
+
+/// Fragment framing: [u16 msg_id][u16 index][u16 total][payload bytes],
+/// little-endian. Total message size is capped at 65535 fragments.
+constexpr std::size_t kFragHeader = 6;
+
+void put_u16(AclPayload& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const AclPayload& in, std::size_t pos) {
+  return static_cast<std::uint16_t>(in[pos] |
+                                    (static_cast<std::uint16_t>(in[pos + 1])
+                                     << 8));
+}
+
+std::deque<AclPayload> fragment(std::uint16_t msg_id, const AclPayload& p,
+                                std::size_t max_payload) {
+  BIPS_ASSERT(max_payload > 0);
+  const std::size_t total =
+      p.empty() ? 1 : (p.size() + max_payload - 1) / max_payload;
+  BIPS_ASSERT_MSG(total <= 0xFFFF, "ACL message too large to fragment");
+  std::deque<AclPayload> frags;
+  for (std::size_t i = 0; i < total; ++i) {
+    AclPayload f;
+    const std::size_t lo = i * max_payload;
+    const std::size_t hi = std::min(p.size(), lo + max_payload);
+    f.reserve(kFragHeader + (hi - lo));
+    put_u16(f, msg_id);
+    put_u16(f, static_cast<std::uint16_t>(i));
+    put_u16(f, static_cast<std::uint16_t>(total));
+    f.insert(f.end(), p.begin() + static_cast<std::ptrdiff_t>(lo),
+             p.begin() + static_cast<std::ptrdiff_t>(hi));
+    frags.push_back(std::move(f));
+  }
+  return frags;
+}
+
+}  // namespace
+
+std::optional<AclPayload> PiconetMaster::Reassembler::push(
+    const AclPayload& fragment) {
+  BIPS_ASSERT_MSG(fragment.size() >= kFragHeader, "malformed ACL fragment");
+  const std::uint16_t id = get_u16(fragment, 0);
+  const std::uint16_t index = get_u16(fragment, 2);
+  const std::uint16_t total = get_u16(fragment, 4);
+  if (index == 0) {
+    msg_id_ = id;
+    next_index_ = 0;
+    total_ = total;
+    buf_.clear();
+  }
+  // The link is reliable and in-order; anything else is a logic error.
+  BIPS_ASSERT_MSG(id == msg_id_ && index == next_index_ && total == total_,
+                  "ACL fragment sequencing violated");
+  buf_.insert(buf_.end(), fragment.begin() + kFragHeader, fragment.end());
+  ++next_index_;
+  if (next_index_ < total_) return std::nullopt;
+  next_index_ = 0;
+  total_ = 0;
+  return std::move(buf_);
+}
+
+BdAddr SlaveLink::master_addr() const {
+  return master_ != nullptr ? master_->device().addr() : BdAddr();
+}
+
+bool SlaveLink::parked() const {
+  return master_ != nullptr && master_->is_parked(dev_.addr());
+}
+
+bool SlaveLink::send_to_master(AclPayload payload) {
+  if (master_ == nullptr) return false;
+  auto frags = fragment(next_msg_id_++, payload,
+                        master_->config().max_fragment_payload);
+  for (auto& f : frags) tx_queue_.push_back(std::move(f));
+  return true;
+}
+
+PiconetMaster::PiconetMaster(Device& dev, Config cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      poll_timer_(dev.sim(), cfg.poll_interval, [this] { poll_round(); }) {
+  BIPS_ASSERT(cfg_.max_active_slaves >= 1 && cfg_.max_active_slaves <= 7);
+  BIPS_ASSERT(cfg_.poll_interval > Duration(0));
+}
+
+PiconetMaster::~PiconetMaster() {
+  // Sever back-pointers so SlaveLinks outliving this master do not dangle.
+  for (auto& [addr, s] : slaves_) s.link->master_ = nullptr;
+}
+
+bool PiconetMaster::attach(SlaveLink& slave) {
+  const BdAddr a = slave.dev_.addr();
+  if (slaves_.count(a) != 0) return false;
+  if (static_cast<int>(active_count()) >= cfg_.max_active_slaves) {
+    ++stats_.attach_rejected_full;
+    return false;
+  }
+  BIPS_ASSERT_MSG(slave.master_ == nullptr,
+                  "slave already attached to another piconet");
+  slave.master_ = this;
+  const SimTime now = dev_.sim().now();
+  SlaveState st;
+  st.link = &slave;
+  st.last_reachable = now;
+  st.last_activity = now;
+  slaves_.emplace(a, std::move(st));
+  if (!poll_timer_.running() && !paused_) poll_timer_.start();
+  return true;
+}
+
+std::size_t PiconetMaster::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [a, s] : slaves_) {
+    if (!s.parked) ++n;
+  }
+  return n;
+}
+
+bool PiconetMaster::is_parked(BdAddr a) const {
+  const auto it = slaves_.find(a);
+  return it != slaves_.end() && it->second.parked;
+}
+
+bool PiconetMaster::park(BdAddr a) {
+  const auto it = slaves_.find(a);
+  if (it == slaves_.end() || it->second.parked) return false;
+  if (static_cast<int>(parked_count()) >= cfg_.max_parked_slaves) {
+    return false;
+  }
+  it->second.parked = true;
+  ++stats_.parks;
+  return true;
+}
+
+bool PiconetMaster::unpark(BdAddr a) {
+  const auto it = slaves_.find(a);
+  if (it == slaves_.end() || !it->second.parked) return false;
+  if (static_cast<int>(active_count()) >= cfg_.max_active_slaves) {
+    return false;
+  }
+  it->second.parked = false;
+  it->second.last_activity = dev_.sim().now();
+  ++stats_.unparks;
+  return true;
+}
+
+BdAddr PiconetMaster::park_idlest(BdAddr except) {
+  BdAddr victim;
+  SimTime oldest = SimTime::max();
+  for (const auto& [a, s] : slaves_) {
+    if (s.parked || a == except) continue;
+    // Never park a slave with traffic in flight.
+    if (!s.tx_queue.empty() || !s.link->tx_queue_.empty()) continue;
+    if (s.last_activity < oldest) {
+      oldest = s.last_activity;
+      victim = a;
+    }
+  }
+  if (!victim.is_null()) park(victim);
+  return victim;
+}
+
+void PiconetMaster::detach(BdAddr addr) {
+  const auto it = slaves_.find(addr);
+  if (it == slaves_.end()) return;
+  SlaveLink* link = it->second.link;
+  slaves_.erase(it);
+  link->master_ = nullptr;
+  link->tx_queue_.clear();
+  if (link->on_disconnected_) link->on_disconnected_();
+  if (slaves_.empty()) poll_timer_.stop();
+}
+
+std::vector<BdAddr> PiconetMaster::slave_addrs() const {
+  std::vector<BdAddr> out;
+  out.reserve(slaves_.size());
+  for (const auto& [a, s] : slaves_) out.push_back(a);
+  return out;
+}
+
+bool PiconetMaster::send(BdAddr to, AclPayload payload) {
+  const auto it = slaves_.find(to);
+  if (it == slaves_.end()) return false;
+  auto frags = fragment(it->second.next_msg_id++, payload,
+                        cfg_.max_fragment_payload);
+  for (auto& f : frags) it->second.tx_queue.push_back(std::move(f));
+  return true;
+}
+
+void PiconetMaster::pause() {
+  paused_ = true;
+  poll_timer_.stop();
+}
+
+void PiconetMaster::resume() {
+  paused_ = false;
+  if (!slaves_.empty()) poll_timer_.start();
+}
+
+bool PiconetMaster::slave_in_range(const SlaveState& s) const {
+  const double range = dev_.range_m() > 0
+                           ? dev_.range_m()
+                           : dev_.radio().config().default_range_m;
+  return distance_sq(dev_.position(), s.link->dev_.position()) <=
+         range * range;
+}
+
+void PiconetMaster::poll_round() {
+  ++stats_.polls;
+  const SimTime now = dev_.sim().now();
+
+  // Message callbacks may attach/detach slaves, so walk a snapshot of the
+  // membership and re-look-up each slave.
+  std::vector<BdAddr> lost;
+  for (const BdAddr addr : slave_addrs()) {
+    const auto it = slaves_.find(addr);
+    if (it == slaves_.end()) continue;  // detached by an earlier callback
+    SlaveState& s = it->second;
+    if (slave_in_range(s)) {
+      s.last_reachable = now;
+    } else {
+      if (now - s.last_reachable >= cfg_.supervision_timeout) {
+        lost.push_back(addr);
+      }
+      continue;  // unreachable: traffic waits
+    }
+
+    if (s.parked) {
+      // Parked slaves exchange no data; pending traffic in either
+      // direction requests an unpark at the beacon (this poll round).
+      const bool wants_traffic =
+          !s.tx_queue.empty() || !s.link->tx_queue_.empty();
+      if (!wants_traffic) continue;
+      if (!unpark(addr)) {
+        // No AM_ADDR free: rotate out a drained active slave so waiters
+        // cycle through the active set across beacon rounds.
+        if (park_idlest(addr).is_null()) continue;
+        if (!unpark(addr)) continue;
+      }
+    }
+    s.last_activity =
+        (!s.tx_queue.empty() || !s.link->tx_queue_.empty()) ? now
+                                                            : s.last_activity;
+
+    // Exchange queued traffic: up to fragments_per_poll DM5 pieces per
+    // direction per round (the slot budget of the poll), reassembled into
+    // messages at the far end.
+    for (int k = 0; k < cfg_.fragments_per_poll &&
+                    slaves_.count(addr) != 0 && !s.tx_queue.empty();
+         ++k) {
+      AclPayload f = std::move(s.tx_queue.front());
+      s.tx_queue.pop_front();
+      ++stats_.fragments_delivered;
+      if (auto msg = s.to_slave.push(f)) {
+        ++stats_.messages_delivered;
+        if (s.link->on_message_) s.link->on_message_(*msg);
+      }
+    }
+    for (int k = 0; k < cfg_.fragments_per_poll &&
+                    slaves_.count(addr) != 0 && !s.link->tx_queue_.empty();
+         ++k) {
+      AclPayload f = std::move(s.link->tx_queue_.front());
+      s.link->tx_queue_.pop_front();
+      ++stats_.fragments_delivered;
+      if (auto msg = s.from_slave.push(f)) {
+        ++stats_.messages_delivered;
+        if (on_message_) on_message_(addr, *msg);
+      }
+    }
+  }
+
+  for (BdAddr addr : lost) {
+    ++stats_.link_losses;
+    BIPS_DEBUG(now, "piconet %s: supervision timeout for %s",
+               dev_.addr().to_string().c_str(), addr.to_string().c_str());
+    SlaveLink* link = slaves_.at(addr).link;
+    slaves_.erase(addr);
+    link->master_ = nullptr;
+    link->tx_queue_.clear();
+    if (link->on_disconnected_) link->on_disconnected_();
+    if (on_link_loss_) on_link_loss_(addr);
+  }
+  if (slaves_.empty()) poll_timer_.stop();
+}
+
+}  // namespace bips::baseband

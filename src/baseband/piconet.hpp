@@ -1,0 +1,202 @@
+// Piconet data plane: master-side link manager and slave-side link.
+//
+// Includes PARK mode: a piconet has at most 7 *active* slaves (the AM_ADDR
+// limit) but may hold many more parked ones. A parked slave keeps its clock
+// synchronisation by listening to the master's beacon (modelled as the poll
+// round) and stays tracked, but exchanges no data until unparked. Traffic
+// to or from a parked slave unparks it automatically when an active slot is
+// free; park_idlest() frees a slot by parking the active slave that has
+// been quiet the longest. This is how a BIPS room serves more than seven
+// enrolled users.
+//
+// Modelling boundary (documented in DESIGN.md): once a connection is
+// established, master and slave hop a channel sequence derived from the
+// master's clock, which makes intra-piconet traffic collision-free and
+// cross-piconet interference rare. The paper's measurements concern the
+// *inquiry/page* phases only, so the connection-state data plane is modelled
+// at message granularity instead of slot granularity: the master polls its
+// active slaves every poll interval and queued messages ride the next poll.
+// Radio range still applies -- a slave that walks out of range trips the
+// supervision timeout and both sides observe a link loss, which is how a
+// BIPS workstation detects departures between inquiry rounds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseband/config.hpp"
+#include "src/baseband/device.hpp"
+
+namespace bips::baseband {
+
+/// Opaque application payload carried over an ACL link.
+using AclPayload = std::vector<std::uint8_t>;
+
+class PiconetMaster;
+
+/// Slave side of an ACL connection.
+class SlaveLink {
+ public:
+  using MessageCallback = std::function<void(const AclPayload&)>;
+  using DisconnectCallback = std::function<void()>;
+
+  explicit SlaveLink(Device& dev) : dev_(dev) {}
+  SlaveLink(const SlaveLink&) = delete;
+  SlaveLink& operator=(const SlaveLink&) = delete;
+
+  Device& device() { return dev_; }
+  bool connected() const { return master_ != nullptr; }
+  /// True while the link is in the park state (connected but inactive).
+  bool parked() const;
+  BdAddr master_addr() const;
+
+  void set_on_message(MessageCallback cb) { on_message_ = std::move(cb); }
+  void set_on_disconnected(DisconnectCallback cb) {
+    on_disconnected_ = std::move(cb);
+  }
+
+  /// Queues a payload for the master; fragmented into DM5-sized pieces that
+  /// ride the following polls. Returns false when not connected.
+  bool send_to_master(AclPayload payload);
+
+ private:
+  friend class PiconetMaster;
+
+  Device& dev_;
+  PiconetMaster* master_ = nullptr;
+  MessageCallback on_message_;
+  DisconnectCallback on_disconnected_;
+  std::uint16_t next_msg_id_ = 1;
+  std::deque<AclPayload> tx_queue_;  // fragments, drained by the poll loop
+};
+
+/// Master side: owns up to 7 active slaves (AM_ADDR limit) and the poll loop.
+class PiconetMaster {
+ public:
+  struct Config {
+    int max_active_slaves = 7;
+    /// Parked membership cap (spec: up to 255 PM_ADDRs).
+    int max_parked_slaves = 255;
+    /// One full poll round trip per slave per interval.
+    Duration poll_interval = Duration::millis(25);
+    /// A slave unreachable (out of range) this long is declared lost
+    /// (applies to parked slaves too, via the beacon).
+    Duration supervision_timeout = Duration::from_seconds(2.0);
+    /// ACL payloads ride DM5-sized fragments (spec payload: 224 bytes)...
+    std::size_t max_fragment_payload = 224;
+    /// ...and each poll round moves at most this many fragments per slave
+    /// per direction, so a large transfer takes several polls -- the slot
+    /// budget a real master would spend on it.
+    int fragments_per_poll = 4;
+  };
+
+  using MessageCallback =
+      std::function<void(BdAddr from, const AclPayload& payload)>;
+  using LinkLossCallback = std::function<void(BdAddr slave)>;
+
+  // No default argument for cfg: a nested class's default member
+  // initializers are only complete at the end of the enclosing class, so
+  // `Config cfg = {}` would be ill-formed here. Pass Config{} explicitly.
+  PiconetMaster(Device& dev, Config cfg);
+  ~PiconetMaster();
+  PiconetMaster(const PiconetMaster&) = delete;
+  PiconetMaster& operator=(const PiconetMaster&) = delete;
+
+  void set_on_message(MessageCallback cb) { on_message_ = std::move(cb); }
+  void set_on_link_loss(LinkLossCallback cb) { on_link_loss_ = std::move(cb); }
+
+  /// Admits a freshly paged slave. Returns false if the piconet is full or
+  /// the slave is already attached.
+  bool attach(SlaveLink& slave);
+  /// Graceful detach (both sides notified; no link-loss event).
+  void detach(BdAddr slave);
+
+  /// Moves an active slave to the park state, freeing its AM_ADDR. False
+  /// if unknown, already parked, or the parked set is full.
+  bool park(BdAddr slave);
+  /// Reactivates a parked slave. False if unknown, not parked, or no
+  /// active slot is free.
+  bool unpark(BdAddr slave);
+  /// Parks the active slave that has exchanged no traffic for the longest
+  /// time (never the one in `except`). Returns the parked address, or a
+  /// null address if nobody was parkable.
+  BdAddr park_idlest(BdAddr except = BdAddr());
+
+  Device& device() { return dev_; }
+  const Device& device() const { return dev_; }
+  const Config& config() const { return cfg_; }
+
+  bool has_slave(BdAddr a) const { return slaves_.count(a) != 0; }
+  bool is_parked(BdAddr a) const;
+  std::size_t slave_count() const { return slaves_.size(); }
+  std::size_t active_count() const;
+  std::size_t parked_count() const { return slave_count() - active_count(); }
+  std::vector<BdAddr> slave_addrs() const;
+
+  /// Queues a payload toward a slave; false if not attached.
+  bool send(BdAddr to, AclPayload payload);
+
+  /// Suspends the poll loop (the master is dedicating its radio to inquiry;
+  /// queued traffic accumulates). resume() restarts it.
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t messages_delivered = 0;   // complete reassembled messages
+    std::uint64_t fragments_delivered = 0;  // DM5-sized pieces moved
+    std::uint64_t link_losses = 0;
+    std::uint64_t attach_rejected_full = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t unparks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Reassembles a fragment stream back into messages. Fragments arrive
+  /// reliably and in order (the link layer guarantees it), so this only
+  /// validates sequencing.
+  class Reassembler {
+   public:
+    /// Feeds one fragment; returns the completed message when the last
+    /// fragment of a sequence arrives.
+    std::optional<AclPayload> push(const AclPayload& fragment);
+
+   private:
+    std::uint16_t msg_id_ = 0;
+    std::uint16_t next_index_ = 0;
+    std::uint16_t total_ = 0;
+    AclPayload buf_;
+  };
+
+  struct SlaveState {
+    SlaveLink* link = nullptr;
+    SimTime last_reachable;
+    std::deque<AclPayload> tx_queue;  // master -> slave, fragments
+    bool parked = false;
+    SimTime last_activity;  // last data exchange (park-victim selection)
+    std::uint16_t next_msg_id = 1;
+    Reassembler from_slave;  // slave -> master reassembly
+    Reassembler to_slave;    // master -> slave reassembly (lives here so a
+                             // detach drops both directions atomically)
+  };
+
+  void poll_round();
+  bool slave_in_range(const SlaveState& s) const;
+
+  Device& dev_;
+  Config cfg_;
+  MessageCallback on_message_;
+  LinkLossCallback on_link_loss_;
+  std::unordered_map<BdAddr, SlaveState> slaves_;
+  sim::PeriodicTimer poll_timer_;
+  bool paused_ = false;
+  Stats stats_;
+};
+
+}  // namespace bips::baseband

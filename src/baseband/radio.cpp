@@ -1,0 +1,150 @@
+#include "src/baseband/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+void RadioChannel::transmit(RadioDevice* sender, RfChannel ch, Packet p) {
+  BIPS_ASSERT(sender != nullptr);
+  const SimTime start = sim_.now();
+  const SimTime end = start + p.duration();
+  recent_.push_back(Transmission{sender, ch, start, end, p});
+  ++stats_.transmissions;
+  sender->account_tx(p.duration());
+  // Copy the transmission into the closure: recent_ may reallocate.
+  const Transmission tx = recent_.back();
+  sim_.schedule_at(end, [this, tx] { deliver(tx); });
+}
+
+ListenId RadioChannel::start_listen(RadioDevice* d, RfChannel ch,
+                                    PacketHandler handler) {
+  BIPS_ASSERT(d != nullptr);
+  const ListenId id = next_listen_++;
+  listens_.emplace(id, Listen{d, ch, sim_.now(), std::move(handler)});
+  return id;
+}
+
+void RadioChannel::stop_listen(ListenId id) {
+  if (id == kNoListen) return;
+  const auto it = listens_.find(id);
+  if (it == listens_.end()) return;
+  it->second.device->account_listen(sim_.now() - it->second.since);
+  listens_.erase(it);
+}
+
+void RadioChannel::stop_all_listens(RadioDevice* d) {
+  for (auto it = listens_.begin(); it != listens_.end();) {
+    if (it->second.device == d) {
+      d->account_listen(sim_.now() - it->second.since);
+      it = listens_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t RadioChannel::listen_count(const RadioDevice* d) const {
+  std::size_t n = 0;
+  for (const auto& [id, l] : listens_) {
+    if (l.device == d) ++n;
+  }
+  return n;
+}
+
+double RadioChannel::rssi_dbm(double distance_m) {
+  const double d = std::max(distance_m, 0.1);
+  return -40.0 - 25.0 * std::log10(d) + rng_.normal(0.0, cfg_.rssi_sigma_db);
+}
+
+bool RadioChannel::in_range(const RadioDevice* rx, const RadioDevice* tx) const {
+  const double range =
+      tx->range_m() > 0 ? tx->range_m() : cfg_.default_range_m;
+  return distance_sq(rx->position(), tx->position()) <= range * range;
+}
+
+void RadioChannel::prune(SimTime now) {
+  // Keep transmissions whose interference window could still matter; the
+  // longest packet is well under two slots.
+  const SimTime horizon = now - 4 * kSlot;
+  std::erase_if(recent_, [&](const Transmission& t) { return t.end < horizon; });
+}
+
+void RadioChannel::deliver(const Transmission& tx) {
+  prune(sim_.now());
+
+  // Snapshot matching listeners first: on_packet may mutate listens_.
+  struct Candidate {
+    RadioDevice* device;
+    PacketHandler handler;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [id, l] : listens_) {
+    if (!(l.ch == tx.ch)) continue;
+    if (l.device == tx.sender) continue;
+    if (l.since > tx.start) continue;  // tuned in mid-packet: missed it
+    candidates.push_back(Candidate{l.device, l.handler});
+  }
+
+  for (const Candidate& c : candidates) {
+    if (!in_range(c.device, tx.sender)) {
+      ++stats_.out_of_range;
+      continue;
+    }
+    // Interference check: any other overlapping in-range transmission on
+    // the same channel destroys the packet (BlueHoc collision rule).
+    bool destroyed = false;
+    const double d_signal = distance(c.device->position(),
+                                     tx.sender->position());
+    for (const Transmission& other : recent_) {
+      if (other.sender == tx.sender && other.start == tx.start &&
+          other.ch == tx.ch) {
+        continue;  // the packet itself
+      }
+      const bool same_channel = other.ch == tx.ch;
+      if (!same_channel && cfg_.cross_set_interference <= 0) continue;
+      if (other.end <= tx.start || other.start >= tx.end) continue;
+      if (!in_range(c.device, other.sender)) continue;
+      if (!same_channel) {
+        // Different hop sets: they only clash if both hops landed on the
+        // same physical ISM frequency this time.
+        if (!rng_.chance(cfg_.cross_set_interference)) continue;
+      }
+      if (cfg_.capture) {
+        const double d_interf =
+            distance(c.device->position(), other.sender->position());
+        if (d_signal * cfg_.capture_ratio <= d_interf) continue;  // captured
+      }
+      destroyed = true;
+      break;
+    }
+    if (destroyed) {
+      ++stats_.collisions;
+      continue;
+    }
+    double per = cfg_.packet_error_rate;
+    if (cfg_.per_at_edge > 0) {
+      const double range = tx.sender->range_m() > 0 ? tx.sender->range_m()
+                                                    : cfg_.default_range_m;
+      const double frac = range > 0 ? d_signal / range : 1.0;
+      per += cfg_.per_at_edge * std::pow(frac, cfg_.per_exponent);
+    }
+    if (per > 0 && rng_.chance(per)) {
+      ++stats_.dropped_per;
+      continue;
+    }
+    ++stats_.deliveries;
+    Packet delivered = tx.packet;
+    delivered.rssi_dbm = rssi_dbm(d_signal);
+    if (c.handler) {
+      c.handler(delivered, tx.ch, tx.end);
+    } else {
+      c.device->on_packet(delivered, tx.ch, tx.end);
+    }
+  }
+}
+
+}  // namespace bips::baseband

@@ -1,0 +1,129 @@
+// Shared radio channel with propagation range and collision handling.
+//
+// This is the reproduction of the paper's BlueHoc *extension*: "a mechanism
+// for handling collisions that might arise during the establishment of a
+// link". Delivery rule: a listener receives a packet iff
+//
+//   * it started listening on the packet's channel at or before the packet
+//     began, and is still listening when the packet ends,
+//   * the sender is within radio range, and
+//   * no other in-range transmission overlapped the packet on the same
+//     channel (unless near-far capture is enabled).
+//
+// Two slaves answering the same inquiry ID therefore destroy each other's
+// FHS at the master -- the effect that caps first-cycle discovery in
+// Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseband/config.hpp"
+#include "src/baseband/types.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/geom.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::baseband {
+
+/// A device attached to the radio channel. Implementations are the
+/// controller state machines; the channel calls back on clean receptions.
+class RadioDevice {
+ public:
+  virtual ~RadioDevice() = default;
+  virtual BdAddr addr() const = 0;
+  /// Physical position (metres); read at delivery time.
+  virtual Vec2 position() const = 0;
+  /// Radio range in metres (paper: ~10 m piconet radius).
+  virtual double range_m() const = 0;
+  /// Called on every clean packet reception while listening.
+  virtual void on_packet(const Packet& p, RfChannel ch, SimTime end) = 0;
+
+  /// Radio-on accounting hooks (energy model). The channel credits every
+  /// transmission's air time and every listen's open duration. Concurrent
+  /// listens accumulate independently (receiver-channel time, not wall
+  /// time); the only device holding two listens at once is an inquiring
+  /// master, which is mains-powered anyway. Default: not accounted.
+  virtual void account_tx(Duration) {}
+  virtual void account_listen(Duration) {}
+};
+
+using ListenId = std::uint64_t;
+inline constexpr ListenId kNoListen = 0;
+
+/// Per-listen reception callback; when provided it overrides the device's
+/// on_packet, letting each protocol state machine own its listens.
+using PacketHandler =
+    std::function<void(const Packet& p, RfChannel ch, SimTime end)>;
+
+class RadioChannel {
+ public:
+  RadioChannel(sim::Simulator& sim, Rng& rng, ChannelConfig cfg = {})
+      : sim_(sim), rng_(rng), cfg_(cfg) {}
+  RadioChannel(const RadioChannel&) = delete;
+  RadioChannel& operator=(const RadioChannel&) = delete;
+
+  const ChannelConfig& config() const { return cfg_; }
+
+  /// Starts a transmission on `ch` at the current simulated time; the packet
+  /// occupies the air for p.duration(). A device may transmit while holding
+  /// listens, but state machines never do (half-duplex radio).
+  void transmit(RadioDevice* sender, RfChannel ch, Packet p);
+
+  /// Begins listening on one channel; a device may hold several concurrent
+  /// listens (an inquiring master watches both response channels of a TX
+  /// slot). If `handler` is given it receives the packets; otherwise the
+  /// device's on_packet does.
+  ListenId start_listen(RadioDevice* d, RfChannel ch,
+                        PacketHandler handler = nullptr);
+  void stop_listen(ListenId id);
+  void stop_all_listens(RadioDevice* d);
+
+  /// Number of listens currently registered for a device (test hook).
+  std::size_t listen_count(const RadioDevice* d) const;
+
+  /// Received signal strength at distance d: a log-distance path-loss model
+  /// (class-2 TX power 0 dBm, exponent 2.5) plus Gaussian shadowing. The
+  /// absolute calibration is immaterial; only the monotone distance
+  /// relation matters (presence arbitration compares values).
+  double rssi_dbm(double distance_m);
+
+  struct Stats {
+    std::uint64_t transmissions = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t collisions = 0;     // (listener, packet) pairs destroyed
+    std::uint64_t out_of_range = 0;   // skipped: sender too far
+    std::uint64_t dropped_per = 0;    // random packet-error losses
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Transmission {
+    RadioDevice* sender;
+    RfChannel ch;
+    SimTime start, end;
+    Packet packet;
+  };
+  struct Listen {
+    RadioDevice* device;
+    RfChannel ch;
+    SimTime since;
+    PacketHandler handler;  // may be empty -> device->on_packet
+  };
+
+  void deliver(const Transmission& tx);
+  void prune(SimTime now);
+  bool in_range(const RadioDevice* rx, const RadioDevice* tx) const;
+
+  sim::Simulator& sim_;
+  Rng& rng_;
+  ChannelConfig cfg_;
+  Stats stats_;
+  ListenId next_listen_ = 1;
+  std::unordered_map<ListenId, Listen> listens_;
+  std::vector<Transmission> recent_;  // pruned lazily
+};
+
+}  // namespace bips::baseband

@@ -1,0 +1,102 @@
+#include "src/baseband/scheduler.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::baseband {
+
+MasterScheduler::MasterScheduler(Device& dev, SchedulerConfig cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      inquirer_(dev, cfg.inquiry,
+                [this](const InquiryResponse& r) { handle_discovery(r); }),
+      pager_(dev, cfg.page),
+      piconet_(dev, cfg.piconet) {
+  BIPS_ASSERT(cfg_.inquiry_length > Duration(0));
+  BIPS_ASSERT(cfg_.cycle_length > cfg_.inquiry_length);
+
+  pager_.set_on_success([this](BdAddr slave, SimTime when) {
+    if (on_connected_) on_connected_(slave, when);
+    maybe_page_next();
+  });
+  pager_.set_on_failure([this](BdAddr slave) {
+    queued_.erase(slave);  // allow a retry after the next discovery
+    if (on_page_failed_) on_page_failed_(slave);
+    maybe_page_next();
+  });
+}
+
+void MasterScheduler::start() {
+  if (running_) return;
+  running_ = true;
+  begin_cycle();
+}
+
+void MasterScheduler::start_after(Duration offset) {
+  if (running_) return;
+  BIPS_ASSERT(offset >= Duration(0));
+  if (offset == Duration(0)) {
+    start();
+    return;
+  }
+  running_ = true;
+  cycle_event_ = dev_.sim().schedule(offset, [this] { begin_cycle(); });
+}
+
+void MasterScheduler::stop() {
+  if (!running_) return;
+  running_ = false;
+  cycle_event_.cancel();
+  inquiry_end_event_.cancel();
+  inquirer_.stop();
+  pager_.cancel();
+  piconet_.resume();
+  in_inquiry_ = false;
+}
+
+void MasterScheduler::begin_cycle() {
+  if (!running_) return;
+  in_inquiry_ = true;
+  // The radio is single: dedicate it to discovery, suspend serving.
+  pager_.cancel();
+  piconet_.pause();
+  inquirer_.start();
+  inquiry_end_event_ = dev_.sim().schedule(cfg_.inquiry_length,
+                                           [this] { end_inquiry_phase(); });
+  cycle_event_ = dev_.sim().schedule(cfg_.cycle_length, [this] {
+    ++cycles_;
+    begin_cycle();
+  });
+}
+
+void MasterScheduler::end_inquiry_phase() {
+  if (!running_) return;
+  in_inquiry_ = false;
+  inquirer_.stop();
+  piconet_.resume();
+  if (on_inquiry_done_) on_inquiry_done_(dev_.sim().now());
+  maybe_page_next();
+}
+
+void MasterScheduler::handle_discovery(const InquiryResponse& r) {
+  BIPS_TRACE(dev_.sim().now(), "master %s discovered %s",
+             dev_.addr().to_string().c_str(), r.addr.to_string().c_str());
+  if (on_discovered_) on_discovered_(r);
+  if (!cfg_.page_discovered) return;
+  if (piconet_.has_slave(r.addr)) return;  // already being served
+  if (pager_.active() && pager_.target() == r.addr) return;  // being paged
+  if (queued_.insert(r.addr).second) page_queue_.push_back(r);
+}
+
+void MasterScheduler::maybe_page_next() {
+  if (!running_ || in_inquiry_ || pager_.active()) return;
+  while (!page_queue_.empty()) {
+    const InquiryResponse r = page_queue_.front();
+    page_queue_.pop_front();
+    queued_.erase(r.addr);
+    if (piconet_.has_slave(r.addr)) continue;
+    pager_.page(r.addr, r.clock, r.received_at);
+    return;
+  }
+}
+
+}  // namespace bips::baseband

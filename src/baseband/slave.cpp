@@ -1,0 +1,56 @@
+#include "src/baseband/slave.hpp"
+
+namespace bips::baseband {
+
+SlaveController::SlaveController(sim::Simulator& sim, RadioChannel& radio,
+                                 BdAddr addr, Rng rng, SlaveConfig cfg,
+                                 Vec2 pos, double range_m)
+    : dev_(sim, radio, addr, std::move(rng), pos, range_m),
+      cfg_(cfg),
+      inquiry_scan_(dev_, cfg.inquiry_scan, cfg.backoff),
+      page_scan_(dev_, cfg.page_scan),
+      link_(dev_) {
+  page_scan_.set_on_connected(
+      [this](BdAddr master, std::uint32_t clock, SimTime when) {
+        handle_connected(master, clock, when);
+      });
+  link_.set_on_disconnected([this] { handle_disconnected(); });
+}
+
+void SlaveController::start() {
+  if (started_) return;
+  started_ = true;
+  const Duration interval = cfg_.inquiry_scan.interval;
+  const Duration phase = Duration::nanos(static_cast<std::int64_t>(
+      dev_.rng().uniform(static_cast<std::uint64_t>(interval.ns()))));
+  inquiry_scan_.start_with_phase(phase);
+  // Alternate: the page-scan window sits half an interval away from the
+  // inquiry-scan window.
+  page_scan_.start_with_phase(
+      Duration::nanos((phase.ns() + cfg_.page_scan.interval.ns() / 2) %
+                      cfg_.page_scan.interval.ns()));
+}
+
+void SlaveController::stop() {
+  started_ = false;
+  inquiry_scan_.stop();
+  page_scan_.stop();
+}
+
+void SlaveController::handle_connected(BdAddr master, std::uint32_t clock,
+                                       SimTime when) {
+  // PageScanner stopped itself on connection; optionally silence inquiry
+  // scan too while the link is up.
+  if (!cfg_.scan_while_connected) inquiry_scan_.stop();
+  if (on_connected_) on_connected_(master, clock, when);
+}
+
+void SlaveController::handle_disconnected() {
+  if (on_disconnected_) on_disconnected_();
+  if (!started_) return;
+  // Become discoverable again.
+  if (!inquiry_scan_.running()) inquiry_scan_.start();
+  if (!page_scan_.running()) page_scan_.start();
+}
+
+}  // namespace bips::baseband

@@ -1,0 +1,75 @@
+// Slave controller: the handheld's Bluetooth stack.
+//
+// Composes the inquiry scanner, the page scanner and the ACL link the way
+// the paper's client is programmed (section 4.1): "the slave alternates the
+// periods of inquiry scan and page scan" -- the two scan schedules share the
+// interval and run half an interval out of phase, each with the default
+// 11.25 ms window. While connected the device stops scanning (it is being
+// tracked through the link); scanning resumes automatically on disconnect.
+#pragma once
+
+#include <functional>
+
+#include "src/baseband/config.hpp"
+#include "src/baseband/device.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/paging.hpp"
+#include "src/baseband/piconet.hpp"
+
+namespace bips::baseband {
+
+struct SlaveConfig {
+  ScanConfig inquiry_scan;
+  ScanConfig page_scan;
+  BackoffConfig backoff;
+  /// Keep scanning while connected (off per the 1.1-era single-role parts
+  /// the paper used).
+  bool scan_while_connected = false;
+};
+
+class SlaveController {
+ public:
+  /// The slave was paged and is now synchronised with `master`; the owner
+  /// must attach link() to that master's piconet.
+  using ConnectedCallback =
+      std::function<void(BdAddr master, std::uint32_t master_clock,
+                         SimTime when)>;
+  using DisconnectedCallback = std::function<void()>;
+
+  SlaveController(sim::Simulator& sim, RadioChannel& radio, BdAddr addr,
+                  Rng rng, SlaveConfig cfg = {}, Vec2 pos = {},
+                  double range_m = 0.0);
+
+  Device& device() { return dev_; }
+  const Device& device() const { return dev_; }
+  InquiryScanner& inquiry_scanner() { return inquiry_scan_; }
+  PageScanner& page_scanner() { return page_scan_; }
+  SlaveLink& link() { return link_; }
+  const SlaveConfig& config() const { return cfg_; }
+
+  void set_on_connected(ConnectedCallback cb) { on_connected_ = std::move(cb); }
+  void set_on_disconnected(DisconnectedCallback cb) {
+    on_disconnected_ = std::move(cb);
+  }
+
+  /// Starts both scan schedules, alternating: inquiry scan at a random
+  /// phase p, page scan at p + interval/2.
+  void start();
+  void stop();
+  bool connected() const { return link_.connected(); }
+
+ private:
+  void handle_connected(BdAddr master, std::uint32_t clock, SimTime when);
+  void handle_disconnected();
+
+  Device dev_;
+  SlaveConfig cfg_;
+  InquiryScanner inquiry_scan_;
+  PageScanner page_scan_;
+  SlaveLink link_;
+  ConnectedCallback on_connected_;
+  DisconnectedCallback on_disconnected_;
+  bool started_ = false;
+};
+
+}  // namespace bips::baseband

@@ -1,0 +1,19 @@
+#include "src/baseband/types.hpp"
+
+#include <cstdio>
+
+namespace bips::baseband {
+
+std::string BdAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((raw_ >> 40) & 0xFF),
+                static_cast<unsigned>((raw_ >> 32) & 0xFF),
+                static_cast<unsigned>((raw_ >> 24) & 0xFF),
+                static_cast<unsigned>((raw_ >> 16) & 0xFF),
+                static_cast<unsigned>((raw_ >> 8) & 0xFF),
+                static_cast<unsigned>(raw_ & 0xFF));
+  return buf;
+}
+
+}  // namespace bips::baseband

@@ -1,0 +1,93 @@
+// Fundamental Bluetooth baseband types: device addresses, logical RF
+// channels, and packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/time.hpp"
+
+namespace bips::baseband {
+
+/// 48-bit Bluetooth device address (BD_ADDR). The lower 48 bits are
+/// significant; the top 16 are always zero.
+class BdAddr {
+ public:
+  constexpr BdAddr() = default;
+  constexpr explicit BdAddr(std::uint64_t raw) : raw_(raw & 0xFFFF'FFFF'FFFFull) {}
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr bool is_null() const { return raw_ == 0; }
+  constexpr auto operator<=>(const BdAddr&) const = default;
+
+  /// Formats as the conventional "aa:bb:cc:dd:ee:ff".
+  std::string to_string() const;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+/// Logical RF channel. Inquiry uses the GIAC-derived 32-channel set
+/// (namespace 0, index 0..31); each paged address gets its own 32-channel
+/// page set (namespace = hash of the address). Physically these sets overlap
+/// in the 79-channel ISM band, but cross-procedure collisions are rare enough
+/// that BIPS treats the namespaces as disjoint (documented in DESIGN.md).
+struct RfChannel {
+  std::uint32_t ns = 0;     // 0 = inquiry (GIAC); otherwise page namespace
+  std::uint32_t index = 0;  // 0..31 within the set
+
+  constexpr bool operator==(const RfChannel&) const = default;
+};
+
+enum class PacketType : std::uint8_t {
+  kId,        // 68 us identity packet carrying an access code
+  kFhs,       // 366 us frequency-hop-synchronisation packet
+  kPoll,      // master keep-alive
+  kNull,      // slave keep-alive
+  kAclData,   // payload-bearing packet (connection state)
+};
+
+/// Over-the-air packet. Small value type; payload bytes for ACL data live in
+/// the link layer, not here (the channel only needs timing + identity).
+struct Packet {
+  PacketType type = PacketType::kId;
+  BdAddr sender;         // who transmitted (null in a real ID packet; kept
+                         // here for bookkeeping only -- receivers of kId must
+                         // not read it, mirroring the real anonymity of IDs)
+  BdAddr access_code;    // GIAC (null) for inquiry IDs; target for page IDs
+  std::uint32_t clock = 0;  // CLKN sample carried by FHS packets
+  /// Receive-side metadata, stamped by the channel into the delivered copy
+  /// (meaningless on the transmit side): received signal strength from the
+  /// log-distance path-loss model plus shadowing noise.
+  double rssi_dbm = 0.0;
+
+  /// On-air duration by packet type.
+  Duration duration() const {
+    switch (type) {
+      case PacketType::kId: return Duration::micros(68);
+      case PacketType::kFhs: return Duration::micros(366);
+      case PacketType::kPoll:
+      case PacketType::kNull: return Duration::micros(126);
+      case PacketType::kAclData: return Duration::micros(366);
+    }
+    return Duration::micros(68);
+  }
+};
+
+/// What a master learns from one inquiry response.
+struct InquiryResponse {
+  BdAddr addr;              // responder's BD_ADDR (from the FHS)
+  std::uint32_t clock = 0;  // responder's native clock (for fast paging)
+  SimTime received_at;      // when the FHS reached the master
+  double rssi_dbm = 0.0;    // signal strength of the FHS (proximity hint)
+};
+
+}  // namespace bips::baseband
+
+template <>
+struct std::hash<bips::baseband::BdAddr> {
+  std::size_t operator()(const bips::baseband::BdAddr& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.raw());
+  }
+};

@@ -1,0 +1,33 @@
+#include "src/core/auth.hpp"
+
+namespace bips::core {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr int kIterations = 64;  // cheap stretching
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+PasswordHash hash_password(std::string_view password, std::uint64_t salt) {
+  std::uint64_t h = kFnvOffset ^ salt;
+  for (int i = 0; i < kIterations; ++i) {
+    h = fnv1a(password, h);
+    h ^= h >> 33;
+    h *= kFnvPrime;
+  }
+  return PasswordHash{salt, h};
+}
+
+bool verify_password(std::string_view password, const PasswordHash& stored) {
+  return hash_password(password, stored.salt).digest == stored.digest;
+}
+
+}  // namespace bips::core

@@ -1,0 +1,29 @@
+// Password storage for the off-line registration procedure.
+//
+// The paper only states that "a password and a set of access rights are
+// defined for enforcing security and privacy issues". We store salted,
+// iterated FNV-1a digests: enough to exercise the authentication paths
+// without a crypto dependency. NOT cryptographically secure -- a real
+// deployment would swap in argon2/bcrypt behind the same two functions
+// (documented substitution, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bips::core {
+
+struct PasswordHash {
+  std::uint64_t salt = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const PasswordHash&) const = default;
+};
+
+/// Hashes `password` under `salt` (pick the salt at random per user).
+PasswordHash hash_password(std::string_view password, std::uint64_t salt);
+
+/// Constant-shape verification (always runs the full hash).
+bool verify_password(std::string_view password, const PasswordHash& stored);
+
+}  // namespace bips::core

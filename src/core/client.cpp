@@ -1,0 +1,188 @@
+#include "src/core/client.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::core {
+
+BipsClient::BipsClient(sim::Simulator& sim, baseband::RadioChannel& radio,
+                       baseband::BdAddr addr, Rng rng, ClientConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      ctrl_(sim, radio, addr, std::move(rng), cfg_.slave) {
+  ctrl_.set_on_connected(
+      [this](baseband::BdAddr master, std::uint32_t clock, SimTime when) {
+        on_connected(master, clock, when);
+      });
+  ctrl_.link().set_on_message(
+      [this](const baseband::AclPayload& p) { on_message(p); });
+}
+
+void BipsClient::on_connected(baseband::BdAddr, std::uint32_t, SimTime) {
+  ++stats_.connections;
+  // The workstation attaches our link shortly *after* this callback (its
+  // pager hears the final ack one packet later), so the first login attempt
+  // is deferred, and retried until a reply lands -- the request or reply
+  // can be lost with the link if the user walks off mid-exchange.
+  if (cfg_.auto_login && !logged_in_) {
+    login_retry_.cancel();
+    login_retry_ = sim_.schedule(Duration::millis(50), [this] { try_login(); });
+  }
+}
+
+void BipsClient::try_login() {
+  if (logged_in_ || !ctrl_.connected()) return;  // reconnect re-arms us
+  proto::LoginRequest req;
+  req.bd_addr = addr().raw();
+  req.userid = cfg_.userid;
+  req.password = cfg_.password;
+  if (ctrl_.link().send_to_master(proto::encode(req))) {
+    login_pending_ = true;
+    ++stats_.logins_sent;
+  }
+  login_retry_ = sim_.schedule(Duration::seconds(2), [this] { try_login(); });
+}
+
+bool BipsClient::where_is(const std::string& target_name, WhereIsCallback cb) {
+  if (!ctrl_.connected()) return false;
+  proto::WhereIsRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.target_user = target_name;
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  whereis_pending_.emplace(req.query_id, std::move(cb));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::find_path_to(const std::string& target_name,
+                              PathCallback cb) {
+  if (!ctrl_.connected()) return false;
+  proto::PathRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.target_user = target_name;
+  req.from_room = 0;  // filled in by the serving workstation
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  path_pending_.emplace(req.query_id, std::move(cb));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::who_is_in(const std::string& room_name, WhoIsInCallback cb) {
+  if (!ctrl_.connected()) return false;
+  proto::WhoIsInRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.room = room_name;
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  whoisin_pending_.emplace(req.query_id, std::move(cb));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::where_was(const std::string& target_name, SimTime at,
+                           HistoryCallback cb) {
+  if (!ctrl_.connected()) return false;
+  proto::HistoryRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.target_user = target_name;
+  req.at_time_ns = at.ns();
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  history_pending_.emplace(req.query_id, std::move(cb));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::subscribe(const std::string& target_name,
+                           MovementCallback on_event,
+                           SubscribeCallback on_result) {
+  if (!ctrl_.connected()) return false;
+  proto::SubscribeRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.target_user = target_name;
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  watches_[target_name] = std::move(on_event);
+  if (on_result) subscribe_pending_.emplace(req.query_id, std::move(on_result));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::unsubscribe(const std::string& target_name,
+                             SubscribeCallback on_result) {
+  if (!ctrl_.connected()) return false;
+  proto::SubscribeRequest req;
+  req.query_id = next_query_++;
+  req.requester_bd_addr = addr().raw();
+  req.target_user = target_name;
+  req.unsubscribe = true;
+  if (!ctrl_.link().send_to_master(proto::encode(req))) return false;
+  watches_.erase(target_name);
+  if (on_result) subscribe_pending_.emplace(req.query_id, std::move(on_result));
+  ++stats_.queries_sent;
+  return true;
+}
+
+bool BipsClient::logout() {
+  if (!ctrl_.connected() || !logged_in_) return false;
+  proto::LogoutRequest req;
+  req.bd_addr = addr().raw();
+  req.userid = cfg_.userid;
+  return ctrl_.link().send_to_master(proto::encode(req));
+}
+
+void BipsClient::on_message(const baseband::AclPayload& p) {
+  auto msg = proto::decode(p);
+  if (!msg) return;
+  ++stats_.replies_received;
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::LoginReply>) {
+          login_pending_ = false;
+          logged_in_ = m.ok;
+          BIPS_DEBUG(sim_.now(), "client %s: login %s",
+                     cfg_.userid.c_str(), m.ok ? "ok" : m.reason.c_str());
+          if (on_login_) on_login_(m);
+        } else if constexpr (std::is_same_v<T, proto::LogoutReply>) {
+          if (m.ok) logged_in_ = false;
+        } else if constexpr (std::is_same_v<T, proto::WhereIsReply>) {
+          const auto it = whereis_pending_.find(m.query_id);
+          if (it == whereis_pending_.end()) return;
+          WhereIsCallback cb = std::move(it->second);
+          whereis_pending_.erase(it);
+          if (cb) cb(m);
+        } else if constexpr (std::is_same_v<T, proto::PathReply>) {
+          const auto it = path_pending_.find(m.query_id);
+          if (it == path_pending_.end()) return;
+          PathCallback cb = std::move(it->second);
+          path_pending_.erase(it);
+          if (cb) cb(m);
+        } else if constexpr (std::is_same_v<T, proto::WhoIsInReply>) {
+          const auto it = whoisin_pending_.find(m.query_id);
+          if (it == whoisin_pending_.end()) return;
+          WhoIsInCallback cb = std::move(it->second);
+          whoisin_pending_.erase(it);
+          if (cb) cb(m);
+        } else if constexpr (std::is_same_v<T, proto::HistoryReply>) {
+          const auto it = history_pending_.find(m.query_id);
+          if (it == history_pending_.end()) return;
+          HistoryCallback cb = std::move(it->second);
+          history_pending_.erase(it);
+          if (cb) cb(m);
+        } else if constexpr (std::is_same_v<T, proto::SubscribeReply>) {
+          const auto it = subscribe_pending_.find(m.query_id);
+          if (it == subscribe_pending_.end()) return;
+          SubscribeCallback cb = std::move(it->second);
+          subscribe_pending_.erase(it);
+          if (cb) cb(m);
+        } else if constexpr (std::is_same_v<T, proto::MovementEvent>) {
+          const auto it = watches_.find(m.target_user);
+          if (it != watches_.end() && it->second) it->second(m);
+        }
+      },
+      *msg);
+}
+
+}  // namespace bips::core

@@ -1,0 +1,114 @@
+// A BIPS handheld client.
+//
+// Wraps a baseband SlaveController with the BIPS session logic: on its
+// first connection to any workstation it logs in (binding its userid to its
+// BD_ADDR at the server), after which it may issue "where is" and
+// "path to" queries through whichever workstation currently serves it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/baseband/slave.hpp"
+#include "src/proto/messages.hpp"
+
+namespace bips::core {
+
+struct ClientConfig {
+  std::string userid;
+  std::string password;
+  baseband::SlaveConfig slave;
+  /// Send LoginRequest automatically on the first connection.
+  bool auto_login = true;
+};
+
+class BipsClient {
+ public:
+  using LoginCallback = std::function<void(const proto::LoginReply&)>;
+  using WhereIsCallback = std::function<void(const proto::WhereIsReply&)>;
+  using PathCallback = std::function<void(const proto::PathReply&)>;
+  using WhoIsInCallback = std::function<void(const proto::WhoIsInReply&)>;
+  using HistoryCallback = std::function<void(const proto::HistoryReply&)>;
+  using SubscribeCallback = std::function<void(const proto::SubscribeReply&)>;
+  using MovementCallback = std::function<void(const proto::MovementEvent&)>;
+
+  BipsClient(sim::Simulator& sim, baseband::RadioChannel& radio,
+             baseband::BdAddr addr, Rng rng, ClientConfig cfg);
+
+  baseband::BdAddr addr() const { return ctrl_.device().addr(); }
+  const std::string& userid() const { return cfg_.userid; }
+  baseband::SlaveController& controller() { return ctrl_; }
+  baseband::SlaveLink& link() { return ctrl_.link(); }
+  baseband::Device& device() { return ctrl_.device(); }
+
+  /// Starts scanning (the device becomes discoverable).
+  void start() { ctrl_.start(); }
+  void stop() { ctrl_.stop(); }
+
+  bool connected() const { return ctrl_.connected(); }
+  bool logged_in() const { return logged_in_; }
+
+  void set_on_login(LoginCallback cb) { on_login_ = std::move(cb); }
+
+  /// Issues the paper's spatio-temporal query for `target_name`. Requires a
+  /// live connection to a workstation; returns false otherwise. The reply
+  /// arrives asynchronously on `cb`.
+  bool where_is(const std::string& target_name, WhereIsCallback cb);
+
+  /// Asks for the shortest path from the current room to `target_name`'s
+  /// room ("visualize the shortest path he has to follow").
+  bool find_path_to(const std::string& target_name, PathCallback cb);
+
+  /// Inverse spatial query: who is currently in `room_name`?
+  bool who_is_in(const std::string& room_name, WhoIsInCallback cb);
+
+  /// Temporal query: where was `target_name` at instant `at`?
+  bool where_was(const std::string& target_name, SimTime at,
+                 HistoryCallback cb);
+
+  /// Subscribes to `target_name`'s room transitions. `on_event` fires for
+  /// every movement pushed by the server while this device is reachable;
+  /// `on_result` reports whether the subscription was accepted.
+  bool subscribe(const std::string& target_name, MovementCallback on_event,
+                 SubscribeCallback on_result = nullptr);
+  bool unsubscribe(const std::string& target_name,
+                   SubscribeCallback on_result = nullptr);
+
+  /// Explicit logout (also sent on stop() when logged in and connected).
+  bool logout();
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t logins_sent = 0;
+    std::uint64_t queries_sent = 0;
+    std::uint64_t replies_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_connected(baseband::BdAddr master, std::uint32_t clock,
+                    SimTime when);
+  void try_login();
+  void on_message(const baseband::AclPayload& p);
+
+  sim::Simulator& sim_;
+  ClientConfig cfg_;
+  baseband::SlaveController ctrl_;
+  bool logged_in_ = false;
+  bool login_pending_ = false;
+  sim::EventHandle login_retry_;
+  LoginCallback on_login_;
+  std::uint32_t next_query_ = 1;
+  std::unordered_map<std::uint32_t, WhereIsCallback> whereis_pending_;
+  std::unordered_map<std::uint32_t, PathCallback> path_pending_;
+  std::unordered_map<std::uint32_t, WhoIsInCallback> whoisin_pending_;
+  std::unordered_map<std::uint32_t, HistoryCallback> history_pending_;
+  std::unordered_map<std::uint32_t, SubscribeCallback> subscribe_pending_;
+  /// Live movement subscriptions, keyed by the watched user's name.
+  std::unordered_map<std::string, MovementCallback> watches_;
+  Stats stats_;
+};
+
+}  // namespace bips::core

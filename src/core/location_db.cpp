@@ -1,0 +1,165 @@
+#include "src/core/location_db.hpp"
+
+#include <algorithm>
+
+namespace bips::core {
+
+bool LocationDatabase::login(std::string userid, std::uint64_t bd_addr,
+                             SimTime at) {
+  if (userid.empty() || bd_addr == 0) return false;
+  if (by_userid_.count(userid) != 0) return false;
+  if (by_addr_.count(bd_addr) != 0) return false;
+  by_addr_.emplace(bd_addr, userid);
+  by_userid_.emplace(userid, Session{userid, bd_addr, at});
+  ++stats_.logins;
+  return true;
+}
+
+bool LocationDatabase::logout(std::uint64_t bd_addr) {
+  const auto it = by_addr_.find(bd_addr);
+  if (it == by_addr_.end()) return false;
+  by_userid_.erase(it->second);
+  by_addr_.erase(it);
+  presence_.erase(bd_addr);
+  ++stats_.logouts;
+  return true;
+}
+
+bool LocationDatabase::logged_in(std::string_view userid) const {
+  return by_userid_.count(std::string(userid)) != 0;
+}
+
+std::optional<std::uint64_t> LocationDatabase::addr_of(
+    std::string_view userid) const {
+  const auto it = by_userid_.find(std::string(userid));
+  if (it == by_userid_.end()) return std::nullopt;
+  return it->second.bd_addr;
+}
+
+std::optional<std::string> LocationDatabase::userid_of(
+    std::uint64_t bd_addr) const {
+  const auto it = by_addr_.find(bd_addr);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LocationDatabase::record(std::uint64_t bd_addr, StationId station,
+                              bool present, SimTime at) {
+  history_.push_back(Transition{bd_addr, station, present, at});
+  while (history_.size() > history_limit_) history_.pop_front();
+}
+
+bool LocationDatabase::set_present(std::uint64_t bd_addr, StationId station,
+                                   SimTime at, double rssi_dbm) {
+  auto [it, inserted] = presence_.try_emplace(bd_addr);
+  PresenceRecord& rec = it->second;
+  if (!inserted && rec.station == station) {
+    ++stats_.redundant_updates;
+    rec.rssi_dbm = rssi_dbm;  // refresh the proximity hint
+    return false;
+  }
+  if (!inserted && at - rec.since < conflict_window_ &&
+      rssi_dbm < rec.rssi_dbm) {
+    // A near-simultaneous claim from an overlapping piconet, but the
+    // current workstation hears the device louder: keep the attribution.
+    // The losing claim is remembered as the runner-up: its workstation
+    // sent a *delta* and will stay silent, so if the winner later reports
+    // absence the runner-up is promoted instead of the record vanishing.
+    ++stats_.conflicts_suppressed;
+    if (!rec.runner_up || rssi_dbm >= rec.runner_up->rssi_dbm) {
+      rec.runner_up = Claim{station, at, rssi_dbm};
+    }
+    return false;
+  }
+  if (!inserted) {
+    // The previous attribution loses but its workstation also went quiet
+    // believing the server knows; keep it as the runner-up.
+    rec.runner_up = Claim{rec.station, rec.since, rec.rssi_dbm};
+  }
+  rec.station = station;
+  rec.since = at;
+  rec.rssi_dbm = rssi_dbm;
+  ++stats_.presence_updates;
+  record(bd_addr, station, true, at);
+  return true;
+}
+
+bool LocationDatabase::set_absent(std::uint64_t bd_addr, StationId station,
+                                  SimTime at) {
+  const auto it = presence_.find(bd_addr);
+  if (it == presence_.end()) {
+    ++stats_.redundant_updates;
+    return false;
+  }
+  PresenceRecord& rec = it->second;
+  if (rec.station != station) {
+    // An absence for the runner-up retires that fallback claim.
+    if (rec.runner_up && rec.runner_up->station == station) {
+      rec.runner_up.reset();
+    } else {
+      ++stats_.redundant_updates;  // stale or duplicate absence
+    }
+    return false;
+  }
+  if (rec.runner_up) {
+    // The winner left; the overlapping workstation that lost the earlier
+    // arbitration still sees the device. Promote its claim.
+    const Claim promoted = *rec.runner_up;
+    rec.station = promoted.station;
+    rec.since = std::max(promoted.since, at);
+    rec.rssi_dbm = promoted.rssi_dbm;
+    rec.runner_up.reset();
+    ++stats_.presence_updates;
+    record(bd_addr, promoted.station, true, rec.since);
+    return true;
+  }
+  presence_.erase(it);
+  ++stats_.presence_updates;
+  record(bd_addr, station, false, at);
+  return true;
+}
+
+std::optional<StationId> LocationDatabase::piconet_of(
+    std::uint64_t bd_addr) const {
+  const auto it = presence_.find(bd_addr);
+  if (it == presence_.end()) return std::nullopt;
+  return it->second.station;
+}
+
+std::optional<SimTime> LocationDatabase::present_since(
+    std::uint64_t bd_addr) const {
+  const auto it = presence_.find(bd_addr);
+  if (it == presence_.end()) return std::nullopt;
+  return it->second.since;
+}
+
+std::size_t LocationDatabase::population_of(StationId station) const {
+  std::size_t n = 0;
+  for (const auto& [addr, rec] : presence_) {
+    if (rec.station == station) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> LocationDatabase::devices_at(
+    StationId station) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [addr, rec] : presence_) {
+    if (rec.station == station) out.push_back(addr);
+  }
+  return out;
+}
+
+std::optional<LocationDatabase::HistoricalFix> LocationDatabase::where_was(
+    std::uint64_t bd_addr, SimTime at) const {
+  // Walk backwards: the first transition of this device at or before `at`
+  // determines its state then.
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->bd_addr != bd_addr || it->at > at) continue;
+    if (!it->present) return std::nullopt;
+    return HistoricalFix{it->station, it->at};
+  }
+  return std::nullopt;  // before first record, or evicted
+}
+
+}  // namespace bips::core

@@ -1,0 +1,142 @@
+// The central location database.
+//
+// Two tables, exactly as the paper describes:
+//  * sessions  -- the one-to-one userid <-> BD_ADDR binding created at login
+//  * presence  -- BD_ADDR -> current piconet (workstation/room id), driven
+//                 by the delta updates workstations send
+//
+// Plus a bounded transition history for diagnostics and the evaluation
+// harness (it is how tracking latency is measured).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/time.hpp"
+
+namespace bips::core {
+
+/// Workstation / room identifier (== graph node id of the topology graph).
+using StationId = std::uint32_t;
+inline constexpr StationId kNoStation = UINT32_MAX;
+
+class LocationDatabase {
+ public:
+  struct Session {
+    std::string userid;
+    std::uint64_t bd_addr = 0;
+    SimTime login_at;
+  };
+
+  struct Transition {
+    std::uint64_t bd_addr = 0;
+    StationId station = kNoStation;
+    bool present = false;
+    SimTime at;
+  };
+
+  struct Stats {
+    std::uint64_t presence_updates = 0;  // state-changing updates applied
+    std::uint64_t redundant_updates = 0; // duplicates / stale, ignored
+    std::uint64_t conflicts_suppressed = 0;  // weaker overlapping claims
+    std::uint64_t logins = 0;
+    std::uint64_t logouts = 0;
+  };
+
+  explicit LocationDatabase(std::size_t history_limit = 1024)
+      : history_limit_(history_limit) {}
+
+  // ---- sessions --------------------------------------------------------
+
+  /// Binds userid <-> bd_addr. Fails if either side is already bound (the
+  /// correspondence is one-to-one).
+  bool login(std::string userid, std::uint64_t bd_addr, SimTime at);
+  /// Unbinds by device address; false if not logged in.
+  bool logout(std::uint64_t bd_addr);
+
+  bool logged_in(std::string_view userid) const;
+  std::optional<std::uint64_t> addr_of(std::string_view userid) const;
+  std::optional<std::string> userid_of(std::uint64_t bd_addr) const;
+  std::size_t session_count() const { return by_addr_.size(); }
+
+  // ---- presence --------------------------------------------------------
+
+  /// Applies a presence delta from `station`. Returns true if the database
+  /// state changed (new presence, or a move between stations).
+  ///
+  /// `rssi_dbm` arbitrates overlapping piconets: when a *different* station
+  /// claims a device within `conflict_window` of the current attribution,
+  /// the claim only wins if its signal is at least as strong -- the closer
+  /// workstation keeps the device. Older attributions always yield (the
+  /// user genuinely moved).
+  bool set_present(std::uint64_t bd_addr, StationId station, SimTime at,
+                   double rssi_dbm = 0.0);
+
+  /// Window within which conflicting presence claims are arbitrated by
+  /// signal strength (default 5 s).
+  void set_conflict_window(Duration w) { conflict_window_ = w; }
+
+  /// Applies an absence delta. Only clears the record if the device is
+  /// currently attributed to `station`: a stale absence from the previous
+  /// room must not wipe a fresher presence from the next room.
+  bool set_absent(std::uint64_t bd_addr, StationId station, SimTime at);
+
+  /// The paper's spatio-temporal lookup: current piconet of a device.
+  std::optional<StationId> piconet_of(std::uint64_t bd_addr) const;
+  /// When the device became attributed to its current piconet.
+  std::optional<SimTime> present_since(std::uint64_t bd_addr) const;
+
+  /// Devices currently attributed to a station.
+  std::size_t population_of(StationId station) const;
+  /// The device addresses currently attributed to a station.
+  std::vector<std::uint64_t> devices_at(StationId station) const;
+
+  /// Temporal lookup from the transition history: where was the device at
+  /// instant `at`? nullopt if it was absent, or if the answer has been
+  /// evicted from the bounded history.
+  struct HistoricalFix {
+    StationId station = kNoStation;
+    SimTime since;
+  };
+  std::optional<HistoricalFix> where_was(std::uint64_t bd_addr,
+                                         SimTime at) const;
+
+  // ---- history & stats --------------------------------------------------
+
+  const std::deque<Transition>& history() const { return history_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// A presence claim from one workstation.
+  struct Claim {
+    StationId station = kNoStation;
+    SimTime since;
+    double rssi_dbm = 0.0;
+  };
+
+  struct PresenceRecord {
+    StationId station = kNoStation;
+    SimTime since;
+    double rssi_dbm = 0.0;
+    /// The losing claim of an overlap arbitration (its workstation went
+    /// silent after its delta); promoted if the winner reports absence.
+    std::optional<Claim> runner_up;
+  };
+
+  void record(std::uint64_t bd_addr, StationId station, bool present,
+              SimTime at);
+
+  std::size_t history_limit_;
+  Duration conflict_window_ = Duration::seconds(5);
+  std::unordered_map<std::string, Session> by_userid_;
+  std::unordered_map<std::uint64_t, std::string> by_addr_;
+  std::unordered_map<std::uint64_t, PresenceRecord> presence_;
+  std::deque<Transition> history_;
+  Stats stats_;
+};
+
+}  // namespace bips::core

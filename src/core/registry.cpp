@@ -1,0 +1,101 @@
+#include "src/core/registry.hpp"
+
+#include <algorithm>
+
+namespace bips::core {
+
+bool UserRegistry::register_user(std::string userid, std::string name,
+                                 std::string_view password,
+                                 std::uint64_t salt) {
+  return register_user_prehashed(std::move(userid), std::move(name),
+                                 hash_password(password, salt));
+}
+
+bool UserRegistry::register_user_prehashed(std::string userid,
+                                           std::string name,
+                                           PasswordHash password) {
+  if (userid.empty() || name.empty()) return false;
+  if (users_.count(userid) != 0) return false;
+  if (name_to_userid_.count(name) != 0) return false;
+  UserRecord rec;
+  rec.userid = userid;
+  rec.name = name;
+  rec.password = password;
+  name_to_userid_.emplace(name, userid);
+  users_.emplace(std::move(userid), std::move(rec));
+  return true;
+}
+
+std::vector<const UserRecord*> UserRegistry::all_users() const {
+  std::vector<const UserRecord*> out;
+  out.reserve(users_.size());
+  for (const auto& [id, rec] : users_) out.push_back(&rec);
+  std::sort(out.begin(), out.end(),
+            [](const UserRecord* a, const UserRecord* b) {
+              return a->userid < b->userid;
+            });
+  return out;
+}
+
+bool UserRegistry::remove_user(std::string_view userid) {
+  const auto it = users_.find(std::string(userid));
+  if (it == users_.end()) return false;
+  name_to_userid_.erase(it->second.name);
+  users_.erase(it);
+  return true;
+}
+
+const UserRecord* UserRegistry::by_userid(std::string_view userid) const {
+  const auto it = users_.find(std::string(userid));
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+const UserRecord* UserRegistry::by_name(std::string_view name) const {
+  const auto it = name_to_userid_.find(std::string(name));
+  if (it == name_to_userid_.end()) return nullptr;
+  return by_userid(it->second);
+}
+
+UserRecord* UserRegistry::mutable_by_userid(std::string_view userid) {
+  const auto it = users_.find(std::string(userid));
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+bool UserRegistry::authenticate(std::string_view userid,
+                                std::string_view password) const {
+  const UserRecord* rec = by_userid(userid);
+  if (rec == nullptr) return false;
+  return verify_password(password, rec->password);
+}
+
+bool UserRegistry::can_locate(const UserRecord& requester,
+                              const UserRecord& target) const {
+  if (!requester.may_query) return false;
+  if (requester.userid == target.userid) return true;
+  if (target.locatable_by_anyone) return true;
+  return target.allowed_requesters.count(requester.userid) != 0;
+}
+
+bool UserRegistry::set_locatable_by_anyone(std::string_view userid, bool v) {
+  UserRecord* rec = mutable_by_userid(userid);
+  if (rec == nullptr) return false;
+  rec->locatable_by_anyone = v;
+  return true;
+}
+
+bool UserRegistry::allow_requester(std::string_view target_userid,
+                                   std::string_view requester_userid) {
+  UserRecord* rec = mutable_by_userid(target_userid);
+  if (rec == nullptr) return false;
+  rec->allowed_requesters.insert(std::string(requester_userid));
+  return true;
+}
+
+bool UserRegistry::set_may_query(std::string_view userid, bool v) {
+  UserRecord* rec = mutable_by_userid(userid);
+  if (rec == nullptr) return false;
+  rec->may_query = v;
+  return true;
+}
+
+}  // namespace bips::core

@@ -1,0 +1,76 @@
+// User registry: the paper's off-line registration procedure.
+//
+// "An off-line procedure has been implemented for registering new BIPS
+// users. The procedure associates the name of a user with a user identifier
+// (userid). In this phase, a password and a set of access rights are
+// defined for enforcing security and privacy issues."
+//
+// Access model: a user may be located by anyone (default), or only by an
+// explicit allow-list of requester userids. A user may also be barred from
+// formulating queries at all.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/auth.hpp"
+
+namespace bips::core {
+
+struct UserRecord {
+  std::string userid;  // unique login identifier
+  std::string name;    // display name, the key of spatio-temporal queries
+  PasswordHash password;
+  /// When false, only `allowed_requesters` may locate this user.
+  bool locatable_by_anyone = true;
+  std::unordered_set<std::string> allowed_requesters;
+  /// Right to formulate queries (the paper checks "that the querying user
+  /// has the right to formulate this question").
+  bool may_query = true;
+};
+
+class UserRegistry {
+ public:
+  /// Registers a user; fails (returns false) on duplicate userid or name.
+  bool register_user(std::string userid, std::string name,
+                     std::string_view password, std::uint64_t salt);
+
+  /// Registers a user whose password hash already exists (loading a saved
+  /// registry); same duplicate rules as register_user.
+  bool register_user_prehashed(std::string userid, std::string name,
+                               PasswordHash password);
+
+  /// All records, sorted by userid (deterministic iteration for
+  /// persistence and reporting).
+  std::vector<const UserRecord*> all_users() const;
+
+  /// Removes a user; false if unknown.
+  bool remove_user(std::string_view userid);
+
+  const UserRecord* by_userid(std::string_view userid) const;
+  const UserRecord* by_name(std::string_view name) const;
+  std::size_t size() const { return users_.size(); }
+
+  bool authenticate(std::string_view userid, std::string_view password) const;
+
+  /// May `requester` locate `target`? Self-lookup is always allowed.
+  bool can_locate(const UserRecord& requester, const UserRecord& target) const;
+
+  // --- access-rights administration (off-line) -------------------------
+  bool set_locatable_by_anyone(std::string_view userid, bool v);
+  bool allow_requester(std::string_view target_userid,
+                       std::string_view requester_userid);
+  bool set_may_query(std::string_view userid, bool v);
+
+ private:
+  UserRecord* mutable_by_userid(std::string_view userid);
+
+  std::unordered_map<std::string, UserRecord> users_;  // by userid
+  std::unordered_map<std::string, std::string> name_to_userid_;
+};
+
+}  // namespace bips::core

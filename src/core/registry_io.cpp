@@ -1,0 +1,125 @@
+#include "src/core/registry_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace bips::core {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+bool parse_hex64(const std::string& s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool fail(std::string* error, int line, const std::string& msg) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + msg;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_registry(const UserRegistry& reg, std::ostream& out) {
+  out << "bips-registry v1\n";
+  for (const UserRecord* u : reg.all_users()) {
+    out << "user\t" << u->userid << '\t' << u->name << '\t'
+        << hex64(u->password.salt) << '\t' << hex64(u->password.digest)
+        << '\t' << (u->locatable_by_anyone ? 1 : 0) << '\t'
+        << (u->may_query ? 1 : 0) << '\t';
+    // Deterministic order for the allow-list too.
+    std::vector<std::string> allowed(u->allowed_requesters.begin(),
+                                     u->allowed_requesters.end());
+    std::sort(allowed.begin(), allowed.end());
+    for (std::size_t i = 0; i < allowed.size(); ++i) {
+      if (i) out << ',';
+      out << allowed[i];
+    }
+    out << '\n';
+  }
+}
+
+std::optional<UserRegistry> load_registry(std::istream& in,
+                                          std::string* error) {
+  std::string line;
+  if (!std::getline(in, line) || line != "bips-registry v1") {
+    fail(error, 1, "missing 'bips-registry v1' header");
+    return std::nullopt;
+  }
+  UserRegistry reg;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto f = split(line, '\t');
+    if (f.size() != 8 || f[0] != "user") {
+      fail(error, lineno, "expected 8 tab-separated fields starting 'user'");
+      return std::nullopt;
+    }
+    PasswordHash hash;
+    if (!parse_hex64(f[3], &hash.salt) || !parse_hex64(f[4], &hash.digest)) {
+      fail(error, lineno, "bad salt/digest hex");
+      return std::nullopt;
+    }
+    if ((f[5] != "0" && f[5] != "1") || (f[6] != "0" && f[6] != "1")) {
+      fail(error, lineno, "flags must be 0 or 1");
+      return std::nullopt;
+    }
+    if (!reg.register_user_prehashed(f[1], f[2], hash)) {
+      fail(error, lineno, "duplicate or invalid user record");
+      return std::nullopt;
+    }
+    reg.set_locatable_by_anyone(f[1], f[5] == "1");
+    reg.set_may_query(f[1], f[6] == "1");
+    if (!f[7].empty()) {
+      for (const auto& requester : split(f[7], ',')) {
+        if (requester.empty()) {
+          fail(error, lineno, "empty requester in allow-list");
+          return std::nullopt;
+        }
+        reg.allow_requester(f[1], requester);
+      }
+    }
+  }
+  return reg;
+}
+
+}  // namespace bips::core

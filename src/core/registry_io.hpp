@@ -1,0 +1,30 @@
+// Persistence for the user registry -- the durable artifact of the paper's
+// "off-line procedure for registering new BIPS users".
+//
+// Text format, tab-separated (user names may contain spaces), one record
+// per line after a version header:
+//
+//   bips-registry v1
+//   user<TAB>userid<TAB>display name<TAB>salt-hex<TAB>digest-hex<TAB>
+//       anyone(0|1)<TAB>may_query(0|1)<TAB>allowed,requesters,csv
+//
+// Only salted password digests are stored, never plaintext.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/core/registry.hpp"
+
+namespace bips::core {
+
+/// Writes every record, sorted by userid (byte-stable output).
+void save_registry(const UserRegistry& reg, std::ostream& out);
+
+/// Parses a saved registry. On failure returns nullopt and, if provided,
+/// fills `error` with a line-tagged message.
+std::optional<UserRegistry> load_registry(std::istream& in,
+                                          std::string* error = nullptr);
+
+}  // namespace bips::core

@@ -1,0 +1,274 @@
+#include "src/core/scenario.hpp"
+
+#include <istream>
+#include <sstream>
+#include <unordered_set>
+
+namespace bips::core {
+
+namespace {
+
+bool fail(ScenarioError* err, int line, std::string message) {
+  if (err != nullptr) *err = ScenarioError{line, std::move(message)};
+  return false;
+}
+
+bool parse_double(const std::string& tok, double* out) {
+  std::size_t pos = 0;
+  try {
+    *out = std::stod(tok, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == tok.size();
+}
+
+bool parse_positive(const std::string& tok, double* out) {
+  return parse_double(tok, out) && *out > 0;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;  // comment until end of line
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> parse_scenario(const std::string& text,
+                                           ScenarioError* err) {
+  std::istringstream is(text);
+  return parse_scenario(is, err);
+}
+
+std::optional<ScenarioSpec> parse_scenario(std::istream& in,
+                                           ScenarioError* err) {
+  ScenarioSpec spec;
+  std::unordered_set<std::string> userids, usernames;
+  std::string line;
+  int lineno = 0;
+  bool ok = true;
+
+  while (ok && std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& cmd = toks[0];
+    const std::size_t argc = toks.size() - 1;
+
+    auto want = [&](std::size_t lo, std::size_t hi) {
+      if (argc >= lo && argc <= hi) return true;
+      std::ostringstream msg;
+      msg << cmd << ": expected ";
+      if (lo == hi) {
+        msg << lo;
+      } else {
+        msg << lo << ".." << hi;
+      }
+      msg << " arguments, got " << argc;
+      return fail(err, lineno, msg.str());
+    };
+
+    double v = 0, v2 = 0;
+    if (cmd == "seed") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_double(toks[1], &v) && v >= 0)) {
+        fail(err, lineno, "seed: not a non-negative number");
+        break;
+      }
+      spec.config.seed = static_cast<std::uint64_t>(v);
+    } else if (cmd == "radius") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v))) {
+        fail(err, lineno, "radius: not a positive number");
+        break;
+      }
+      spec.config.coverage_radius_m = v;
+    } else if (cmd == "stagger") {
+      if (!(ok = want(1, 1))) break;
+      if (toks[1] == "on") {
+        spec.config.stagger_inquiry = true;
+      } else if (toks[1] == "off") {
+        spec.config.stagger_inquiry = false;
+      } else {
+        ok = fail(err, lineno, "stagger: expected 'on' or 'off'");
+      }
+    } else if (cmd == "inquiry") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v))) {
+        fail(err, lineno, "inquiry: not a positive number of seconds");
+        break;
+      }
+      spec.config.workstation.scheduler.inquiry_length =
+          Duration::from_seconds(v);
+    } else if (cmd == "cycle") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v))) {
+        fail(err, lineno, "cycle: not a positive number of seconds");
+        break;
+      }
+      spec.config.workstation.scheduler.cycle_length =
+          Duration::from_seconds(v);
+    } else if (cmd == "interlaced") {
+      if (!(ok = want(1, 1))) break;
+      if (toks[1] == "on") {
+        spec.config.slave.inquiry_scan.interlaced = true;
+      } else if (toks[1] == "off") {
+        spec.config.slave.inquiry_scan.interlaced = false;
+      } else {
+        ok = fail(err, lineno, "interlaced: expected 'on' or 'off'");
+      }
+    } else if (cmd == "lan-loss") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_double(toks[1], &v) && v >= 0 && v <= 1)) {
+        fail(err, lineno, "lan-loss: expected a probability in [0, 1]");
+        break;
+      }
+      spec.config.lan.loss = v;
+    } else if (cmd == "speed") {
+      if (!(ok = want(2, 2))) break;
+      if (!(ok = parse_positive(toks[1], &v) && parse_positive(toks[2], &v2) &&
+                 v <= v2)) {
+        fail(err, lineno, "speed: expected 0 < min <= max (m/s)");
+        break;
+      }
+      spec.config.mobility.speed_min_mps = v;
+      spec.config.mobility.speed_max_mps = v2;
+    } else if (cmd == "pause") {
+      if (!(ok = want(2, 2))) break;
+      if (!(ok = parse_double(toks[1], &v) && parse_double(toks[2], &v2) &&
+                 v >= 0 && v <= v2)) {
+        fail(err, lineno, "pause: expected 0 <= min <= max (seconds)");
+        break;
+      }
+      spec.config.mobility.pause_min = Duration::from_seconds(v);
+      spec.config.mobility.pause_max = Duration::from_seconds(v2);
+    } else if (cmd == "room") {
+      if (!(ok = want(3, 3))) break;
+      if (spec.building.find(toks[1]).has_value()) {
+        ok = fail(err, lineno, "room: duplicate room name '" + toks[1] + "'");
+        break;
+      }
+      if (!(ok = parse_double(toks[2], &v) && parse_double(toks[3], &v2))) {
+        fail(err, lineno, "room: coordinates must be numbers");
+        break;
+      }
+      spec.building.add_room(toks[1], Vec2{v, v2});
+    } else if (cmd == "edge") {
+      if (!(ok = want(2, 3))) break;
+      const auto a = spec.building.find(toks[1]);
+      const auto b = spec.building.find(toks[2]);
+      if (!a || !b) {
+        ok = fail(err, lineno, "edge: unknown room");
+        break;
+      }
+      if (*a == *b) {
+        ok = fail(err, lineno, "edge: cannot connect a room to itself");
+        break;
+      }
+      if (argc == 3) {
+        if (!(ok = parse_positive(toks[3], &v))) {
+          fail(err, lineno, "edge: distance must be positive");
+          break;
+        }
+        spec.building.connect(*a, *b, v);
+      } else {
+        spec.building.connect(*a, *b);
+      }
+    } else if (cmd == "user") {
+      if (!(ok = want(4, 4))) break;
+      const auto room = spec.building.find(toks[4]);
+      if (!room) {
+        ok = fail(err, lineno, "user: unknown start room '" + toks[4] + "'");
+        break;
+      }
+      if (!usernames.insert(toks[1]).second) {
+        ok = fail(err, lineno, "user: duplicate name '" + toks[1] + "'");
+        break;
+      }
+      if (!userids.insert(toks[2]).second) {
+        ok = fail(err, lineno, "user: duplicate userid '" + toks[2] + "'");
+        break;
+      }
+      spec.users.push_back(ScenarioUser{toks[1], toks[2], toks[3], *room});
+    } else if (cmd == "station-timeout") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_double(toks[1], &v) && v >= 0)) {
+        fail(err, lineno, "station-timeout: not a non-negative number");
+        break;
+      }
+      spec.config.server.station_timeout = Duration::from_seconds(v);
+    } else if (cmd == "crash" || cmd == "restart") {
+      if (!(ok = want(2, 2))) break;
+      const auto room = spec.building.find(toks[1]);
+      if (!room) {
+        ok = fail(err, lineno, cmd + ": unknown room '" + toks[1] + "'");
+        break;
+      }
+      if (!(ok = parse_positive(toks[2], &v))) {
+        fail(err, lineno, cmd + ": time must be a positive number of seconds");
+        break;
+      }
+      spec.faults.push_back(ScenarioFault{
+          *room, SimTime(Duration::from_seconds(v).ns()), cmd == "restart"});
+    } else if (cmd == "run") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v))) {
+        fail(err, lineno, "run: not a positive number of seconds");
+        break;
+      }
+      spec.run_time = Duration::from_seconds(v);
+    } else if (cmd == "sample") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v))) {
+        fail(err, lineno, "sample: not a positive number of seconds");
+        break;
+      }
+      spec.sample_period = Duration::from_seconds(v);
+    } else {
+      ok = fail(err, lineno, "unknown directive '" + cmd + "'");
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  // File-level validation.
+  if (spec.building.room_count() == 0) {
+    fail(err, 0, "scenario declares no rooms");
+    return std::nullopt;
+  }
+  if (!spec.building.to_graph().connected()) {
+    fail(err, 0, "building graph is not connected (missing edges)");
+    return std::nullopt;
+  }
+  if (spec.config.workstation.scheduler.inquiry_length >=
+      spec.config.workstation.scheduler.cycle_length) {
+    fail(err, 0, "inquiry slot must be shorter than the cycle");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::unique_ptr<BipsSimulation> run_scenario(const ScenarioSpec& spec) {
+  auto sim = std::make_unique<BipsSimulation>(spec.building, spec.config);
+  for (const auto& u : spec.users) {
+    sim->add_user(u.name, u.userid, u.password, u.room);
+  }
+  sim->enable_tracking_metrics(spec.sample_period);
+  // Scripted faults fire at their scenario times.
+  BipsSimulation* raw = sim.get();
+  for (const auto& f : spec.faults) {
+    sim->simulator().schedule_at(f.at, [raw, f] {
+      auto& ws = raw->workstation(f.room);
+      f.restart ? ws.restart() : ws.crash();
+    });
+  }
+  sim->run_for(spec.run_time);
+  return sim;
+}
+
+}  // namespace bips::core

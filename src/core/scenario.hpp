@@ -1,0 +1,83 @@
+// Text scenario descriptions.
+//
+// A deployment -- floor plan, policies, user population, run length -- can
+// be written as a small line-based text file and executed without writing
+// C++ (examples/scenario_runner is the CLI). Grammar, one directive per
+// line, '#' starts a comment:
+//
+//   seed 42                 # RNG seed
+//   radius 10               # piconet coverage radius (m)
+//   stagger on              # stagger neighbouring inquiry slots
+//   interlaced on           # handhelds use BT 1.2 interlaced inquiry scan
+//   inquiry 3.84            # master inquiry slot (s)
+//   cycle 15.4              # master operational cycle (s)
+//   lan-loss 0.0            # LAN datagram loss probability
+//   speed 0.5 1.5           # walking speed range (m/s)
+//   pause 20 120            # dwell range between walks (s)
+//   room lobby 0 0          # room name + workstation position (m)
+//   room lab 14 0
+//   edge lobby lab          # physical path; distance defaults to Euclidean
+//   edge lobby lab 18       # ... or given explicitly (walking metres)
+//   user Alice alice pw lobby
+//   station-timeout 10      # server failure detector (0 = off)
+//   crash lab 120           # fault injection: lab's workstation dies...
+//   restart lab 180         # ...and comes back
+//   run 300                 # simulated seconds
+//   sample 1                # tracking-metric sample period (s)
+//
+// parse_scenario validates everything it can statically (unknown rooms,
+// duplicate users, disconnected buildings) and reports the offending line.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+
+namespace bips::core {
+
+struct ScenarioUser {
+  std::string name;
+  std::string userid;
+  std::string password;
+  mobility::RoomId room = 0;
+};
+
+/// A scripted workstation fault.
+struct ScenarioFault {
+  mobility::RoomId room = 0;
+  SimTime at;
+  bool restart = false;  // false = crash
+};
+
+struct ScenarioSpec {
+  SimulationConfig config;
+  mobility::Building building;
+  std::vector<ScenarioUser> users;
+  std::vector<ScenarioFault> faults;
+  Duration run_time = Duration::seconds(300);
+  Duration sample_period = Duration::seconds(1);
+};
+
+struct ScenarioError {
+  int line = 0;          // 1-based; 0 = file-level problem
+  std::string message;
+};
+
+/// Parses a scenario; on failure returns nullopt and fills `err`.
+std::optional<ScenarioSpec> parse_scenario(std::istream& in,
+                                           ScenarioError* err);
+
+/// Convenience: parse from a string.
+std::optional<ScenarioSpec> parse_scenario(const std::string& text,
+                                           ScenarioError* err);
+
+/// Builds the simulation, registers the users, enables tracking metrics and
+/// runs for the configured time. The returned simulation can be inspected
+/// (tracking(), server().db(), write_history_csv, ...).
+std::unique_ptr<BipsSimulation> run_scenario(const ScenarioSpec& spec);
+
+}  // namespace bips::core

@@ -1,0 +1,400 @@
+#include "src/core/server.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace bips::core {
+
+using proto::QueryStatus;
+
+BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
+                       const mobility::Building& building, Config cfg)
+    : sim_(sim),
+      building_(building),
+      topology_(building.to_graph()),
+      paths_(topology_),  // the offline all-pairs precomputation
+      db_(cfg.history_limit),
+      endpoint_(lan.create_endpoint()) {
+  BIPS_ASSERT_MSG(topology_.connected(),
+                  "BIPS requires a connected building graph");
+  endpoint_.set_handler([this](net::Address from, const net::Payload& data) {
+    on_datagram(from, data);
+  });
+  if (cfg.station_timeout > Duration(0)) {
+    BIPS_ASSERT(cfg.sweep_period > Duration(0));
+    cfg_ = cfg;
+    sweep_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, cfg.sweep_period, [this] { sweep_dead_stations(); });
+    sweep_timer_->start();
+  } else {
+    cfg_ = cfg;
+  }
+}
+
+void BipsServer::reply(net::Address to, const proto::Message& m) {
+  endpoint_.send(to, proto::encode(m));
+}
+
+void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
+  auto msg = proto::decode(data);
+  if (!msg) {
+    ++stats_.malformed;
+    BIPS_WARN(sim_.now(), "server: malformed datagram from %u", from);
+    return;
+  }
+  std::visit(
+      [this, from](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::LoginRequest> ||
+                      std::is_same_v<T, proto::LogoutRequest> ||
+                      std::is_same_v<T, proto::PresenceUpdate> ||
+                      std::is_same_v<T, proto::WhereIsRequest> ||
+                      std::is_same_v<T, proto::PathRequest> ||
+                      std::is_same_v<T, proto::WhoIsInRequest> ||
+                      std::is_same_v<T, proto::HistoryRequest> ||
+                      std::is_same_v<T, proto::SubscribeRequest> ||
+                      std::is_same_v<T, proto::Heartbeat>) {
+          handle(from, m);
+        } else {
+          ++stats_.malformed;  // a reply type sent *to* the server
+        }
+      },
+      *msg);
+}
+
+void BipsServer::handle(net::Address from, const proto::LoginRequest& m) {
+  proto::LoginReply rep;
+  rep.bd_addr = m.bd_addr;
+  // Idempotent re-login of the same binding succeeds (the handheld may
+  // retry if the reply was slow to come back through the piconet).
+  const auto existing = db_.addr_of(m.userid);
+  if (existing && *existing == m.bd_addr) {
+    rep.ok = true;
+  } else if (!registry_.authenticate(m.userid, m.password)) {
+    rep.ok = false;
+    rep.reason = "bad credentials";
+  } else if (!db_.login(m.userid, m.bd_addr, sim_.now())) {
+    rep.ok = false;
+    rep.reason = "userid or device already bound";
+  } else {
+    rep.ok = true;
+  }
+  rep.ok ? ++stats_.logins_ok : ++stats_.logins_failed;
+  BIPS_DEBUG(sim_.now(), "server: login %s for %s -> %s",
+             m.userid.c_str(), std::to_string(m.bd_addr).c_str(),
+             rep.ok ? "ok" : rep.reason.c_str());
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::LogoutRequest& m) {
+  proto::LogoutReply rep;
+  rep.bd_addr = m.bd_addr;
+  const auto bound = db_.userid_of(m.bd_addr);
+  rep.ok = bound.has_value() && *bound == m.userid;
+  if (rep.ok) {
+    // Tell subscribers the user vanished before the record disappears.
+    const auto station = db_.piconet_of(m.bd_addr);
+    if (station) {
+      notify_subscribers(m.bd_addr, /*entered=*/false, *station, sim_.now());
+    }
+    rep.ok = db_.logout(m.bd_addr);
+    // A departing user's own subscriptions die with the session.
+    for (auto& [target, sub_set] : subs_) sub_set.erase(m.bd_addr);
+    ++stats_.logouts;
+  }
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::Heartbeat& m) {
+  ++stats_.heartbeats;
+  station_lan_[m.workstation] = from;
+  last_heard_[m.workstation] = sim_.now();
+}
+
+void BipsServer::sweep_dead_stations() {
+  const SimTime now = sim_.now();
+  std::vector<StationId> dead;
+  for (const auto& [station, heard] : last_heard_) {
+    if (now - heard >= cfg_.station_timeout) dead.push_back(station);
+  }
+  for (const StationId station : dead) {
+    last_heard_.erase(station);
+    last_presence_seq_.erase(station);  // a restarted station starts fresh
+    ++stats_.stations_expired;
+    for (const std::uint64_t addr : db_.devices_at(station)) {
+      // set_absent promotes a runner-up claim if an overlapping station
+      // still sees the device; otherwise the record is cleared.
+      if (db_.set_absent(addr, station, now)) {
+        ++stats_.presences_expired;
+        const auto new_station = db_.piconet_of(addr);
+        notify_subscribers(addr, new_station.has_value(),
+                           new_station.value_or(station), now);
+      }
+    }
+    BIPS_WARN(now, "server: station %u presumed crashed, records expired",
+              station);
+  }
+}
+
+void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
+  ++stats_.presence_received;
+  // Learn which LAN address serves this station (used for pushes), and any
+  // traffic proves liveness.
+  station_lan_[m.workstation] = from;
+  last_heard_[m.workstation] = sim_.now();
+
+  // Reliability: deduplicate retransmissions, acknowledge cumulatively.
+  if (m.seq != 0) {
+    auto& last = last_presence_seq_[m.workstation];
+    if (m.seq <= last) {
+      ++stats_.presence_duplicates;
+      reply(from, proto::PresenceAck{m.workstation, last});
+      return;
+    }
+    last = m.seq;
+  }
+
+  const SimTime at(m.timestamp_ns);
+  bool changed;
+  if (m.present) {
+    changed = db_.set_present(m.bd_addr, m.workstation, at, m.rssi_dbm);
+  } else {
+    changed = db_.set_absent(m.bd_addr, m.workstation, at);
+  }
+  if (changed) {
+    notify_subscribers(m.bd_addr, m.present, m.workstation, at);
+  }
+  if (m.seq != 0) {
+    reply(from, proto::PresenceAck{m.workstation, m.seq});
+  }
+}
+
+bool BipsServer::push_to_device(std::uint64_t bd_addr,
+                                const proto::Message& m) {
+  const auto station = db_.piconet_of(bd_addr);
+  if (!station) return false;
+  const auto it = station_lan_.find(*station);
+  if (it == station_lan_.end()) return false;
+  reply(it->second, m);
+  return true;
+}
+
+void BipsServer::notify_subscribers(std::uint64_t bd_addr, bool entered,
+                                    StationId station, SimTime at) {
+  const auto userid = db_.userid_of(bd_addr);
+  if (!userid) return;  // pre-login devices have no watchable identity
+  const UserRecord* rec = registry_.by_userid(*userid);
+  if (rec == nullptr) return;
+  const auto it = subs_.find(*userid);
+  if (it == subs_.end()) return;
+  for (const std::uint64_t subscriber : it->second) {
+    proto::MovementEvent ev;
+    ev.subscriber_bd_addr = subscriber;
+    ev.target_user = rec->name;
+    ev.entered = entered;
+    ev.room = building_.room(station).name;
+    ev.timestamp_ns = at.ns();
+    if (push_to_device(subscriber, ev)) ++stats_.events_pushed;
+  }
+}
+
+QueryStatus BipsServer::resolve_target(std::string_view requester_userid,
+                                       std::string_view target_name,
+                                       StationId* target_station) const {
+  const UserRecord* target = registry_.by_name(target_name);
+  if (target == nullptr) return QueryStatus::kUnknownUser;
+
+  if (!requester_userid.empty()) {
+    const UserRecord* requester = registry_.by_userid(requester_userid);
+    if (requester == nullptr) return QueryStatus::kAccessDenied;
+    if (!registry_.can_locate(*requester, *target)) {
+      return QueryStatus::kAccessDenied;
+    }
+  }
+
+  // "BIPS verifies that the target mobile user is logged in."
+  const auto addr = db_.addr_of(target->userid);
+  if (!addr) return QueryStatus::kNotLoggedIn;
+
+  const auto station = db_.piconet_of(*addr);
+  if (!station) return QueryStatus::kLocationUnknown;
+  *target_station = *station;
+  return QueryStatus::kOk;
+}
+
+proto::WhereIsReply BipsServer::where_is(std::string_view requester_userid,
+                                         std::string_view target_name) const {
+  proto::WhereIsReply rep;
+  StationId station = kNoStation;
+  rep.status = resolve_target(requester_userid, target_name, &station);
+  if (rep.status == QueryStatus::kOk) {
+    rep.room = building_.room(station).name;
+  }
+  return rep;
+}
+
+proto::PathReply BipsServer::path_to(std::string_view requester_userid,
+                                     std::string_view target_name,
+                                     StationId from_station) const {
+  proto::PathReply rep;
+  if (from_station >= topology_.node_count()) {
+    rep.status = QueryStatus::kUnreachable;
+    return rep;
+  }
+  StationId target_station = kNoStation;
+  rep.status = resolve_target(requester_userid, target_name, &target_station);
+  if (rep.status != QueryStatus::kOk) return rep;
+
+  const auto path = paths_.path(from_station, target_station);
+  if (path.empty() && from_station != target_station) {
+    rep.status = QueryStatus::kUnreachable;
+    return rep;
+  }
+  rep.rooms.reserve(path.size());
+  for (const auto node : path) {
+    rep.rooms.push_back(building_.room(static_cast<mobility::RoomId>(node)).name);
+  }
+  rep.distance = paths_.distance(from_station, target_station);
+  return rep;
+}
+
+proto::WhoIsInReply BipsServer::who_is_in(std::string_view requester_userid,
+                                          std::string_view room_name) const {
+  proto::WhoIsInReply rep;
+  const auto room = building_.find(room_name);
+  if (!room) {
+    rep.status = QueryStatus::kUnknownUser;  // unknown *room*, same family
+    return rep;
+  }
+  const UserRecord* requester = nullptr;
+  if (!requester_userid.empty()) {
+    requester = registry_.by_userid(requester_userid);
+    if (requester == nullptr || !requester->may_query) {
+      rep.status = QueryStatus::kAccessDenied;
+      return rep;
+    }
+  }
+  for (const std::uint64_t addr : db_.devices_at(*room)) {
+    const auto userid = db_.userid_of(addr);
+    if (!userid) continue;
+    const UserRecord* target = registry_.by_userid(*userid);
+    if (target == nullptr) continue;
+    // Privacy: the reply only names users this requester may locate.
+    if (requester != nullptr && !registry_.can_locate(*requester, *target)) {
+      continue;
+    }
+    rep.users.push_back(target->name);
+  }
+  std::sort(rep.users.begin(), rep.users.end());
+  return rep;
+}
+
+proto::HistoryReply BipsServer::where_was(std::string_view requester_userid,
+                                          std::string_view target_name,
+                                          SimTime at) const {
+  proto::HistoryReply rep;
+  const UserRecord* target = registry_.by_name(target_name);
+  if (target == nullptr) {
+    rep.status = QueryStatus::kUnknownUser;
+    return rep;
+  }
+  if (!requester_userid.empty()) {
+    const UserRecord* requester = registry_.by_userid(requester_userid);
+    if (requester == nullptr || !registry_.can_locate(*requester, *target)) {
+      rep.status = QueryStatus::kAccessDenied;
+      return rep;
+    }
+  }
+  const auto addr = db_.addr_of(target->userid);
+  if (!addr) {
+    rep.status = QueryStatus::kNotLoggedIn;
+    return rep;
+  }
+  const auto fix = db_.where_was(*addr, at);
+  rep.was_present = fix.has_value();
+  if (fix) {
+    rep.room = building_.room(fix->station).name;
+    rep.since_ns = fix->since.ns();
+  }
+  return rep;
+}
+
+std::size_t BipsServer::subscription_count() const {
+  std::size_t n = 0;
+  for (const auto& [target, sub_set] : subs_) n += sub_set.size();
+  return n;
+}
+
+void BipsServer::handle(net::Address from, const proto::WhoIsInRequest& m) {
+  ++stats_.whoisin_served;
+  const auto requester = db_.userid_of(m.requester_bd_addr);
+  proto::WhoIsInReply rep;
+  if (requester) {
+    rep = who_is_in(*requester, m.room);
+  } else {
+    rep.status = QueryStatus::kAccessDenied;
+  }
+  rep.query_id = m.query_id;
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::HistoryRequest& m) {
+  ++stats_.history_served;
+  const auto requester = db_.userid_of(m.requester_bd_addr);
+  proto::HistoryReply rep;
+  if (requester) {
+    rep = where_was(*requester, m.target_user, SimTime(m.at_time_ns));
+  } else {
+    rep.status = QueryStatus::kAccessDenied;
+  }
+  rep.query_id = m.query_id;
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::SubscribeRequest& m) {
+  ++stats_.subscriptions_served;
+  proto::SubscribeReply rep;
+  rep.query_id = m.query_id;
+
+  const auto requester_id = db_.userid_of(m.requester_bd_addr);
+  const UserRecord* requester =
+      requester_id ? registry_.by_userid(*requester_id) : nullptr;
+  const UserRecord* target = registry_.by_name(m.target_user);
+  if (target == nullptr) {
+    rep.status = QueryStatus::kUnknownUser;
+  } else if (requester == nullptr ||
+             !registry_.can_locate(*requester, *target)) {
+    rep.status = QueryStatus::kAccessDenied;
+  } else if (m.unsubscribe) {
+    subs_[target->userid].erase(m.requester_bd_addr);
+  } else {
+    subs_[target->userid].insert(m.requester_bd_addr);
+  }
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::WhereIsRequest& m) {
+  ++stats_.whereis_served;
+  const auto requester = db_.userid_of(m.requester_bd_addr);
+  proto::WhereIsReply rep =
+      requester ? where_is(*requester, m.target_user)
+                : proto::WhereIsReply{0, QueryStatus::kAccessDenied, ""};
+  rep.query_id = m.query_id;
+  reply(from, rep);
+}
+
+void BipsServer::handle(net::Address from, const proto::PathRequest& m) {
+  ++stats_.paths_served;
+  const auto requester = db_.userid_of(m.requester_bd_addr);
+  proto::PathReply rep;
+  if (requester) {
+    rep = path_to(*requester, m.target_user, m.from_room);
+  } else {
+    rep.status = QueryStatus::kAccessDenied;
+  }
+  rep.query_id = m.query_id;
+  reply(from, rep);
+}
+
+}  // namespace bips::core

@@ -1,0 +1,147 @@
+// The BIPS central server.
+//
+// Owns the location database, the user registry, and the building topology
+// with its offline all-pairs shortest paths ("the computation of the
+// shortest path has no impact on BIPS online activities"). Serves the LAN:
+// login/logout relays, presence deltas, and the spatio-temporal queries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/location_db.hpp"
+#include "src/core/registry.hpp"
+#include "src/graph/all_pairs.hpp"
+#include "src/mobility/building.hpp"
+#include "src/net/lan.hpp"
+#include "src/proto/messages.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::core {
+
+class BipsServer {
+ public:
+  struct Config {
+    std::size_t history_limit = 4096;
+    /// Failure detector: a workstation silent (no heartbeat, no presence
+    /// traffic) for this long is presumed crashed and every presence record
+    /// attributed to it is expired -- a dead station can never send its own
+    /// absences. 0 disables the detector.
+    Duration station_timeout = Duration(0);
+    /// How often the detector sweeps (when enabled).
+    Duration sweep_period = Duration::seconds(2);
+  };
+
+  /// `building` must outlive the server.
+  BipsServer(sim::Simulator& sim, net::Lan& lan,
+             const mobility::Building& building, Config cfg);
+
+  net::Address address() const { return endpoint_.address(); }
+
+  UserRegistry& registry() { return registry_; }
+  const UserRegistry& registry() const { return registry_; }
+  LocationDatabase& db() { return db_; }
+  const LocationDatabase& db() const { return db_; }
+  const graph::Graph& topology() const { return topology_; }
+  const graph::AllPairsPaths& paths() const { return paths_; }
+  const mobility::Building& building() const { return building_; }
+
+  // ---- local query API (bypasses the wire; used by tools/tests) --------
+
+  /// Answers "where is <target_name>?" on behalf of `requester_userid`.
+  /// An empty requester is the system operator (all rights).
+  proto::WhereIsReply where_is(std::string_view requester_userid,
+                               std::string_view target_name) const;
+
+  /// Shortest path from `from_station` to the target's current room.
+  proto::PathReply path_to(std::string_view requester_userid,
+                           std::string_view target_name,
+                           StationId from_station) const;
+
+  /// Everyone currently in `room_name` whom the requester may locate.
+  proto::WhoIsInReply who_is_in(std::string_view requester_userid,
+                                std::string_view room_name) const;
+
+  /// Where was the target at `at` (temporal query over the history)?
+  proto::HistoryReply where_was(std::string_view requester_userid,
+                                std::string_view target_name,
+                                SimTime at) const;
+
+  /// Number of live movement subscriptions (test/metrics hook).
+  std::size_t subscription_count() const;
+
+  struct Stats {
+    std::uint64_t logins_ok = 0;
+    std::uint64_t logins_failed = 0;
+    std::uint64_t logouts = 0;
+    std::uint64_t presence_received = 0;
+    std::uint64_t presence_duplicates = 0;  // retransmissions deduplicated
+    std::uint64_t whereis_served = 0;
+    std::uint64_t paths_served = 0;
+    std::uint64_t whoisin_served = 0;
+    std::uint64_t history_served = 0;
+    std::uint64_t subscriptions_served = 0;
+    std::uint64_t events_pushed = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t stations_expired = 0;
+    std::uint64_t presences_expired = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_datagram(net::Address from, const net::Payload& data);
+  void handle(net::Address from, const proto::LoginRequest& m);
+  void handle(net::Address from, const proto::LogoutRequest& m);
+  void handle(net::Address from, const proto::PresenceUpdate& m);
+  void handle(net::Address from, const proto::WhereIsRequest& m);
+  void handle(net::Address from, const proto::PathRequest& m);
+  void handle(net::Address from, const proto::WhoIsInRequest& m);
+  void handle(net::Address from, const proto::HistoryRequest& m);
+  void handle(net::Address from, const proto::SubscribeRequest& m);
+  void handle(net::Address from, const proto::Heartbeat& m);
+  void reply(net::Address to, const proto::Message& m);
+
+  /// Failure-detector sweep: expires every record of silent stations.
+  void sweep_dead_stations();
+
+  /// Fans a presence transition of `bd_addr` out to its subscribers.
+  void notify_subscribers(std::uint64_t bd_addr, bool entered,
+                          StationId station, SimTime at);
+  /// Routes a server-originated message to the workstation currently
+  /// serving `bd_addr`; false when the device's piconet is unknown.
+  bool push_to_device(std::uint64_t bd_addr, const proto::Message& m);
+
+  /// Resolves a query's requester/target and applies the paper's checks.
+  /// On success fills `target_station`; otherwise returns the status.
+  proto::QueryStatus resolve_target(std::string_view requester_userid,
+                                    std::string_view target_name,
+                                    StationId* target_station) const;
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  const mobility::Building& building_;
+  graph::Graph topology_;
+  graph::AllPairsPaths paths_;
+  UserRegistry registry_;
+  LocationDatabase db_;
+  net::Endpoint& endpoint_;
+
+  /// Learned routing table: which LAN address serves each station (from the
+  /// presence updates they send).
+  std::unordered_map<StationId, net::Address> station_lan_;
+  /// Reliability state of each workstation's presence stream.
+  std::unordered_map<StationId, std::uint64_t> last_presence_seq_;
+  /// Failure detector: last time each station was heard from.
+  std::unordered_map<StationId, SimTime> last_heard_;
+  std::unique_ptr<sim::PeriodicTimer> sweep_timer_;
+  /// Movement subscriptions: target userid -> subscriber device addresses.
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>> subs_;
+
+  Stats stats_;
+};
+
+}  // namespace bips::core

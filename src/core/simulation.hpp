@@ -1,0 +1,148 @@
+// Full-stack BIPS simulation harness.
+//
+// Builds the complete deployment of the paper's Figure 1 inside one
+// discrete-event simulation: a building with one workstation (piconet
+// master) per room, the central server on a simulated LAN, and a population
+// of registered users whose handhelds scan, get discovered, log in, are
+// tracked, and can query each other's positions -- while their owners walk
+// around the building.
+//
+// The harness also grades the service: a periodic sampler compares the
+// location database against the mobility ground truth (which coverage
+// circle each user actually stands in).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/core/server.hpp"
+#include "src/core/workstation.hpp"
+#include "src/mobility/agents.hpp"
+#include "src/mobility/building.hpp"
+
+namespace bips::core {
+
+struct SimulationConfig {
+  std::uint64_t seed = 42;
+  /// Piconet coverage radius (paper: ~10 m).
+  double coverage_radius_m = 10.0;
+  /// Stagger the workstations' operational cycles across the cycle length
+  /// so adjacent piconets do not run their inquiry slots simultaneously
+  /// (their ID/FHS traffic would collide in coverage-overlap regions).
+  bool stagger_inquiry = false;
+  baseband::ChannelConfig channel;
+  net::Lan::Config lan;
+  WorkstationConfig workstation;
+  baseband::SlaveConfig slave;
+  mobility::RandomWaypointAgent::Config mobility;
+  BipsServer::Config server;
+};
+
+/// How well the location database matches physical reality, sampled
+/// periodically per logged-in user.
+struct TrackingMetrics {
+  std::uint64_t samples = 0;
+  std::uint64_t correct_room = 0;  // DB room == covering room
+  std::uint64_t agree_absent = 0;  // DB absent & outside every piconet
+  std::uint64_t wrong_room = 0;    // DB names a different room
+  std::uint64_t false_absent = 0;  // in a piconet but DB has nothing yet
+  std::uint64_t false_present = 0; // outside coverage but DB still has a room
+
+  /// Fraction of samples where the DB tells the truth.
+  double accuracy() const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(correct_room + agree_absent) /
+                     static_cast<double>(samples);
+  }
+};
+
+class BipsSimulation {
+ public:
+  BipsSimulation(mobility::Building building, SimulationConfig cfg);
+  BipsSimulation(const BipsSimulation&) = delete;
+  BipsSimulation& operator=(const BipsSimulation&) = delete;
+
+  /// Registers a user, creates their handheld + walking agent starting in
+  /// `start_room`. Call before start().
+  void add_user(const std::string& name, const std::string& userid,
+                const std::string& password, mobility::RoomId start_room);
+
+  /// Starts every workstation, handheld and agent (idempotent).
+  void start();
+  /// Advances simulated time by `d` (starts the system first if needed).
+  void run_for(Duration d);
+
+  sim::Simulator& simulator() { return sim_; }
+  baseband::RadioChannel& radio() { return radio_; }
+  BipsServer& server() { return *server_; }
+  const mobility::Building& building() const { return building_; }
+
+  std::size_t workstation_count() const { return stations_.size(); }
+  BipsWorkstation& workstation(StationId s) { return *stations_.at(s); }
+
+  std::size_t user_count() const { return users_.size(); }
+  BipsClient* client(std::string_view userid);
+  mobility::RandomWaypointAgent* agent(std::string_view userid);
+
+  /// Replaces a user's mobility with a custom position source (e.g. an
+  /// AgendaAgent or a scripted path). The handheld, the ground truth
+  /// (true_room) and the tracking metrics all follow it; the default
+  /// random-waypoint agent is stopped. Call after add_user.
+  void set_position_provider(std::string_view userid,
+                             std::function<Vec2()> provider);
+
+  /// Ground truth: the piconet physically covering the user right now.
+  mobility::RoomId true_room(std::string_view userid) const;
+  /// What the location database believes.
+  std::optional<StationId> db_room(std::string_view userid) const;
+
+  /// Starts periodic ground-truth sampling into tracking().
+  void enable_tracking_metrics(Duration period);
+  const TrackingMetrics& tracking() const { return tracking_; }
+
+  /// Dumps the location database's transition history as CSV
+  /// (time_s,user,device,room,event) -- the audit trail a deployment would
+  /// archive, and a convenient hand-off to plotting tools.
+  void write_history_csv(std::ostream& os) const;
+
+ private:
+  struct User {
+    std::string userid;
+    std::string name;
+    std::unique_ptr<BipsClient> client;
+    std::unique_ptr<mobility::RandomWaypointAgent> agent;
+    /// When set, overrides the agent as the source of truth and motion.
+    std::function<Vec2()> provider;
+
+    Vec2 position() const { return provider ? provider() : agent->position(); }
+  };
+
+  const User* find_user(std::string_view userid) const;
+  User* find_user(std::string_view userid);
+  void sample_tracking();
+
+  SimulationConfig cfg_;
+  sim::Simulator sim_;
+  Rng rng_;
+  mobility::Building building_;
+  baseband::RadioChannel radio_;
+  net::Lan lan_;
+  std::unique_ptr<BipsServer> server_;
+  std::vector<std::unique_ptr<BipsWorkstation>> stations_;
+  // deque: user references stay valid as later users are added (position
+  // providers capture pointers into this container).
+  std::deque<User> users_;
+  std::unordered_map<std::uint64_t, BipsClient*> clients_by_addr_;
+  bool started_ = false;
+  TrackingMetrics tracking_;
+  std::unique_ptr<sim::PeriodicTimer> sampler_;
+};
+
+}  // namespace bips::core

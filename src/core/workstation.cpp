@@ -1,0 +1,274 @@
+#include "src/core/workstation.hpp"
+
+#include "src/util/log.hpp"
+
+namespace bips::core {
+
+BipsWorkstation::BipsWorkstation(sim::Simulator& sim,
+                                 baseband::RadioChannel& radio, net::Lan& lan,
+                                 net::Address server, StationId station,
+                                 baseband::BdAddr addr, Rng rng, Vec2 pos,
+                                 WorkstationConfig cfg)
+    : sim_(sim),
+      server_(server),
+      station_(station),
+      device_(sim, radio, addr, std::move(rng), pos),
+      scheduler_(device_, cfg.scheduler),
+      endpoint_(lan.create_endpoint()),
+      cfg_(cfg),
+      retransmit_timer_(sim, cfg.presence_retransmit,
+                        [this] { retransmit_unacked(); }),
+      heartbeat_timer_(sim, cfg.heartbeat_period,
+                       [this] { send_heartbeat(); }) {
+  BIPS_ASSERT(cfg_.missed_rounds_for_absence >= 1);
+  BIPS_ASSERT(cfg_.heartbeat_period > Duration(0));
+
+  scheduler_.set_on_discovered(
+      [this](const baseband::InquiryResponse& r) { on_discovered(r); });
+  scheduler_.set_on_connected(
+      [this](baseband::BdAddr a, SimTime when) { on_connected(a, when); });
+  scheduler_.set_on_inquiry_done([this](SimTime when) { on_inquiry_done(when); });
+  scheduler_.piconet().set_on_link_loss(
+      [this](baseband::BdAddr a) { on_link_loss(a); });
+  scheduler_.piconet().set_on_message(
+      [this](baseband::BdAddr from, const baseband::AclPayload& p) {
+        on_acl_message(from, p);
+      });
+  endpoint_.set_handler([this](net::Address from, const net::Payload& data) {
+    on_lan_message(from, data);
+  });
+}
+
+void BipsWorkstation::start() { start_after(Duration(0)); }
+
+void BipsWorkstation::start_after(Duration offset) {
+  crashed_ = false;
+  scheduler_.start_after(offset);
+  send_heartbeat();  // announce liveness immediately
+  heartbeat_timer_.start();
+  if (!unacked_.empty()) retransmit_timer_.start();
+}
+
+void BipsWorkstation::stop() {
+  scheduler_.stop();
+  heartbeat_timer_.stop();
+  retransmit_timer_.stop();
+}
+
+void BipsWorkstation::crash() {
+  stop();
+  crashed_ = true;
+  // Links die with the radio: detach every slave (they observe the loss and
+  // resume scanning), and everything volatile is gone.
+  for (const baseband::BdAddr a : scheduler_.piconet().slave_addrs()) {
+    scheduler_.piconet().detach(a);
+  }
+  tracked_.clear();
+  unacked_.clear();
+  pending_queries_.clear();
+  next_presence_seq_ = 1;  // the server forgets a dead station's stream
+  round_ = 0;
+}
+
+void BipsWorkstation::restart() { start(); }
+
+void BipsWorkstation::send_heartbeat() {
+  proto::Heartbeat hb;
+  hb.workstation = station_;
+  hb.timestamp_ns = sim_.now().ns();
+  endpoint_.send(server_, proto::encode(hb));
+}
+
+void BipsWorkstation::report(std::uint64_t bd_addr, bool present,
+                             double rssi_dbm) {
+  proto::PresenceUpdate u;
+  u.workstation = station_;
+  u.bd_addr = bd_addr;
+  u.present = present;
+  u.timestamp_ns = sim_.now().ns();
+  u.seq = next_presence_seq_++;
+  u.rssi_dbm = rssi_dbm;
+  unacked_.push_back(u);
+  endpoint_.send(server_, proto::encode(u));
+  if (!retransmit_timer_.running()) retransmit_timer_.start();
+  present ? ++stats_.presences_reported : ++stats_.absences_reported;
+  BIPS_DEBUG(sim_.now(), "ws %u: %s device %012llx", station_,
+             present ? "presence" : "absence",
+             static_cast<unsigned long long>(bd_addr));
+}
+
+void BipsWorkstation::handle_ack(std::uint64_t acked_seq) {
+  while (!unacked_.empty() && unacked_.front().seq <= acked_seq) {
+    unacked_.pop_front();
+  }
+  if (unacked_.empty()) retransmit_timer_.stop();
+}
+
+void BipsWorkstation::retransmit_unacked() {
+  for (const auto& u : unacked_) {
+    endpoint_.send(server_, proto::encode(u));
+    ++stats_.retransmissions;
+  }
+}
+
+void BipsWorkstation::on_discovered(const baseband::InquiryResponse& r) {
+  ++stats_.discoveries;
+  auto [it, inserted] = tracked_.try_emplace(r.addr);
+  it->second.last_seen_round = round_;
+  it->second.last_rssi_dbm = r.rssi_dbm;
+  if (inserted) report(r.addr.raw(), /*present=*/true, r.rssi_dbm);
+}
+
+void BipsWorkstation::on_connected(baseband::BdAddr addr, SimTime when) {
+  (void)when;
+  ++stats_.connections;
+  if (resolver_) {
+    baseband::SlaveLink* link = resolver_(addr);
+    if (link != nullptr && !link->connected()) {
+      auto& pico = scheduler_.piconet();
+      if (!pico.attach(*link) && cfg_.park_idle_links) {
+        // All AM_ADDRs taken: park the idlest active slave to make room.
+        if (!pico.park_idlest(addr).is_null()) pico.attach(*link);
+      }
+    }
+  }
+  auto [it, inserted] = tracked_.try_emplace(addr);
+  it->second.last_seen_round = round_;
+  const bool was_connected = it->second.connected;
+  it->second.connected = true;
+  // A completed page exchange is the strongest proximity evidence a
+  // workstation has; report it louder than any inquiry sighting -- and
+  // re-report even if the device was already tracked: the earlier
+  // inquiry-strength delta may have lost an overlap arbitration at the
+  // server, and this upgrade wins it.
+  constexpr double kConnectedRssiDbm = -20.0;
+  it->second.last_rssi_dbm = kConnectedRssiDbm;
+  if (inserted || !was_connected) {
+    report(addr.raw(), /*present=*/true, kConnectedRssiDbm);
+  }
+}
+
+void BipsWorkstation::on_link_loss(baseband::BdAddr addr) {
+  // Keep the presence for now: the device may still be in the room with a
+  // flaky link; the missed-rounds hysteresis decides.
+  const auto it = tracked_.find(addr);
+  if (it != tracked_.end()) it->second.connected = false;
+}
+
+void BipsWorkstation::on_inquiry_done(SimTime) {
+  ++round_;
+  // Connected devices count as seen even though they no longer answer
+  // inquiries; their link is the proof of presence.
+  for (auto it = tracked_.begin(); it != tracked_.end();) {
+    auto& [addr, dev] = *it;
+    if (dev.connected || scheduler_.piconet().has_slave(addr)) {
+      dev.last_seen_round = round_;
+    }
+    if (round_ - dev.last_seen_round >=
+        static_cast<std::uint64_t>(cfg_.missed_rounds_for_absence)) {
+      report(addr.raw(), /*present=*/false);
+      it = tracked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ------------------------------------------------------------- relaying ---
+
+void BipsWorkstation::on_acl_message(baseband::BdAddr from,
+                                     const baseband::AclPayload& p) {
+  if (crashed_) return;
+  auto msg = proto::decode(p);
+  if (!msg) return;
+
+  // Rewrite identity fields from the authenticated link (a handheld cannot
+  // spoof another device's BD_ADDR past its own baseband), assign a relay
+  // id for reply routing, and forward to the server.
+  const bool relayed = std::visit(
+      [&](auto& m) -> bool {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::LoginRequest> ||
+                      std::is_same_v<T, proto::LogoutRequest>) {
+          m.bd_addr = from.raw();
+          endpoint_.send(server_, proto::encode(m));
+          return true;
+        } else if constexpr (std::is_same_v<T, proto::WhereIsRequest> ||
+                             std::is_same_v<T, proto::WhoIsInRequest> ||
+                             std::is_same_v<T, proto::HistoryRequest> ||
+                             std::is_same_v<T, proto::SubscribeRequest>) {
+          m.requester_bd_addr = from.raw();
+          const std::uint32_t relay_id = next_relay_id_++;
+          pending_queries_.emplace(relay_id,
+                                   PendingQuery{from, m.query_id});
+          m.query_id = relay_id;
+          endpoint_.send(server_, proto::encode(m));
+          return true;
+        } else if constexpr (std::is_same_v<T, proto::PathRequest>) {
+          m.requester_bd_addr = from.raw();
+          m.from_room = station_;  // the requester is in *this* piconet
+          const std::uint32_t relay_id = next_relay_id_++;
+          pending_queries_.emplace(relay_id,
+                                   PendingQuery{from, m.query_id});
+          m.query_id = relay_id;
+          endpoint_.send(server_, proto::encode(m));
+          return true;
+        } else {
+          return false;  // unexpected type from a handheld
+        }
+      },
+      *msg);
+  if (relayed) ++stats_.relays_up;
+}
+
+void BipsWorkstation::on_lan_message(net::Address, const net::Payload& data) {
+  if (crashed_) return;
+  auto msg = proto::decode(data);
+  if (!msg) return;
+
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::PresenceAck>) {
+          handle_ack(m.seq);
+        } else if constexpr (std::is_same_v<T, proto::LoginReply>) {
+          const baseband::BdAddr to(m.bd_addr);
+          if (scheduler_.piconet().send(to, proto::encode(m))) {
+            ++stats_.relays_down;
+          }
+          if (m.ok && cfg_.park_idle_links) {
+            // Enrolled and idle: hand back the AM_ADDR, keep the membership.
+            sim_.schedule(cfg_.park_after_login_delay,
+                          [this, to] { scheduler_.piconet().park(to); });
+          }
+        } else if constexpr (std::is_same_v<T, proto::LogoutReply>) {
+          const baseband::BdAddr to(m.bd_addr);
+          if (scheduler_.piconet().send(to, proto::encode(m))) {
+            ++stats_.relays_down;
+          }
+        } else if constexpr (std::is_same_v<T, proto::MovementEvent>) {
+          // Server push: forward to the subscriber if it is in our piconet
+          // (it was when the server routed here; it may have just left).
+          const baseband::BdAddr to(m.subscriber_bd_addr);
+          if (scheduler_.piconet().send(to, proto::encode(m))) {
+            ++stats_.relays_down;
+          }
+        } else if constexpr (std::is_same_v<T, proto::WhereIsReply> ||
+                             std::is_same_v<T, proto::PathReply> ||
+                             std::is_same_v<T, proto::WhoIsInReply> ||
+                             std::is_same_v<T, proto::HistoryReply> ||
+                             std::is_same_v<T, proto::SubscribeReply>) {
+          const auto it = pending_queries_.find(m.query_id);
+          if (it == pending_queries_.end()) return;
+          const PendingQuery pq = it->second;
+          pending_queries_.erase(it);
+          m.query_id = pq.original_id;
+          if (scheduler_.piconet().send(pq.device, proto::encode(m))) {
+            ++stats_.relays_down;
+          }
+        }
+      },
+      *msg);
+}
+
+}  // namespace bips::core

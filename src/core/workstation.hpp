@@ -1,0 +1,150 @@
+// A BIPS workstation: piconet master + presence tracker + protocol relay.
+//
+// "The main task of every BIPS workstation is discovering and enrolling
+// those mobile users who enter its coverage area. Once a handheld device
+// has been enrolled, its position is communicated to the central server."
+//
+// Tracking policy (paper section 2 + 5):
+//  * the MasterScheduler alternates a continuous inquiry slot with a
+//    service phase, per operational cycle;
+//  * a device is *seen* in a round if it answered the inquiry or is
+//    attached to the piconet;
+//  * presence is reported to the server the first time a device is seen;
+//    absence is reported after `missed_rounds_for_absence` consecutive
+//    rounds without a sighting (hysteresis against unlucky inquiry rounds);
+//  * only deltas travel on the LAN.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/baseband/scheduler.hpp"
+#include "src/core/location_db.hpp"
+#include "src/net/lan.hpp"
+#include "src/proto/messages.hpp"
+
+namespace bips::core {
+
+struct WorkstationConfig {
+  baseband::SchedulerConfig scheduler;
+  /// Consecutive inquiry rounds a device may go unseen before the
+  /// workstation announces its absence.
+  int missed_rounds_for_absence = 2;
+  /// Unacknowledged presence updates are retransmitted at this period
+  /// (sequence numbers + cumulative server acks make the stream survive
+  /// LAN loss).
+  Duration presence_retransmit = Duration::millis(500);
+  /// Park slaves once they are logged in, and park the idlest active slave
+  /// to admit a newcomer when all 7 AM_ADDRs are taken -- lets one room
+  /// track far more than seven users (Bluetooth park mode).
+  bool park_idle_links = true;
+  /// Liveness beacon period (feeds the server's failure detector).
+  Duration heartbeat_period = Duration::seconds(2);
+  /// Grace between relaying a successful login reply and parking the link
+  /// (lets the reply ride a poll down to the handheld first).
+  Duration park_after_login_delay = Duration::millis(200);
+};
+
+class BipsWorkstation {
+ public:
+  /// Resolves a discovered BD_ADDR to its SlaveLink so the piconet can
+  /// attach it (wired by the owning simulation; returns nullptr for devices
+  /// that are not simulated clients).
+  using LinkResolver = std::function<baseband::SlaveLink*(baseband::BdAddr)>;
+
+  BipsWorkstation(sim::Simulator& sim, baseband::RadioChannel& radio,
+                  net::Lan& lan, net::Address server, StationId station,
+                  baseband::BdAddr addr, Rng rng, Vec2 pos,
+                  WorkstationConfig cfg);
+
+  void set_link_resolver(LinkResolver r) { resolver_ = std::move(r); }
+
+  void start();
+  /// Starts with the operational cycle delayed by `offset` (inquiry
+  /// staggering across neighbours); heartbeats and the LAN side are live
+  /// immediately.
+  void start_after(Duration offset);
+  void stop();
+
+  /// Fault injection: the workstation dies -- radio silent, links dropped,
+  /// timers stopped, LAN traffic ignored -- until restart(). The server's
+  /// failure detector is what cleans up after it.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
+  StationId station() const { return station_; }
+  net::Address lan_address() const { return endpoint_.address(); }
+  baseband::Device& device() { return device_; }
+  baseband::MasterScheduler& scheduler() { return scheduler_; }
+
+  /// Devices currently considered present in this piconet.
+  std::size_t tracked_count() const { return tracked_.size(); }
+  bool tracks(baseband::BdAddr a) const { return tracked_.count(a) != 0; }
+
+  struct Stats {
+    std::uint64_t presences_reported = 0;
+    std::uint64_t absences_reported = 0;
+    std::uint64_t discoveries = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t relays_up = 0;    // handheld -> server messages relayed
+    std::uint64_t relays_down = 0;  // server -> handheld replies relayed
+    std::uint64_t retransmissions = 0;  // presence updates resent
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Presence updates sent but not yet acknowledged by the server.
+  std::size_t unacked_updates() const { return unacked_.size(); }
+
+ private:
+  struct TrackedDevice {
+    std::uint64_t last_seen_round = 0;
+    bool connected = false;
+    double last_rssi_dbm = 0.0;  // strength of the latest sighting
+  };
+
+  void on_discovered(const baseband::InquiryResponse& r);
+  void on_connected(baseband::BdAddr addr, SimTime when);
+  void on_link_loss(baseband::BdAddr addr);
+  void on_inquiry_done(SimTime when);
+  void report(std::uint64_t bd_addr, bool present, double rssi_dbm = 0.0);
+  void handle_ack(std::uint64_t acked_seq);
+  void retransmit_unacked();
+  void send_heartbeat();
+
+  // Relay plumbing.
+  void on_acl_message(baseband::BdAddr from, const baseband::AclPayload& p);
+  void on_lan_message(net::Address from, const net::Payload& data);
+
+  sim::Simulator& sim_;
+  net::Address server_;
+  StationId station_;
+  baseband::Device device_;
+  baseband::MasterScheduler scheduler_;
+  net::Endpoint& endpoint_;
+  WorkstationConfig cfg_;
+  LinkResolver resolver_;
+
+  std::uint64_t round_ = 0;
+  std::unordered_map<baseband::BdAddr, TrackedDevice> tracked_;
+
+  /// Reliable presence stream: in-flight updates await a cumulative ack.
+  std::uint64_t next_presence_seq_ = 1;
+  std::deque<proto::PresenceUpdate> unacked_;
+  sim::PeriodicTimer retransmit_timer_;
+  sim::PeriodicTimer heartbeat_timer_;
+  bool crashed_ = false;
+
+  /// Query relays in flight: relay id -> (device, its original query id).
+  struct PendingQuery {
+    baseband::BdAddr device;
+    std::uint32_t original_id = 0;
+  };
+  std::uint32_t next_relay_id_ = 1;
+  std::unordered_map<std::uint32_t, PendingQuery> pending_queries_;
+  Stats stats_;
+};
+
+}  // namespace bips::core

@@ -1,0 +1,30 @@
+#include "src/graph/all_pairs.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace bips::graph {
+
+AllPairsPaths::AllPairsPaths(const Graph& g) {
+  trees_.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) trees_.push_back(dijkstra(g, n));
+}
+
+Weight AllPairsPaths::distance(NodeId a, NodeId b) const {
+  BIPS_ASSERT(a < trees_.size() && b < trees_.size());
+  return trees_[a].distance[b];
+}
+
+std::vector<NodeId> AllPairsPaths::path(NodeId a, NodeId b) const {
+  BIPS_ASSERT(a < trees_.size() && b < trees_.size());
+  return trees_[a].path_to(b);
+}
+
+NodeId AllPairsPaths::next_hop(NodeId a, NodeId b) const {
+  BIPS_ASSERT(a < trees_.size() && b < trees_.size());
+  if (a == b) return kInvalidNode;
+  // The tree rooted at b stores parents pointing toward b, so the next hop
+  // from a is simply a's parent in that tree.
+  return trees_[b].parent[a];
+}
+
+}  // namespace bips::graph

@@ -1,0 +1,41 @@
+// Offline all-pairs shortest paths.
+//
+// The paper: "the static nature of BIPS wired network allows us to compute
+// off-line all the shortest paths that connect all the possible pairs of two
+// nodes. Hence the computation of the shortest path has no impact on BIPS
+// online activities." This class is that offline step: V Dijkstra runs at
+// construction, O(1) distance lookup and O(path) reconstruction online.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/dijkstra.hpp"
+#include "src/graph/graph.hpp"
+
+namespace bips::graph {
+
+class AllPairsPaths {
+ public:
+  /// Precomputes a shortest-path tree per node. The graph must outlive any
+  /// name-based queries made through helper functions, but the precomputed
+  /// data itself is self-contained.
+  explicit AllPairsPaths(const Graph& g);
+
+  std::size_t node_count() const { return trees_.size(); }
+
+  /// Shortest distance a -> b (+inf if disconnected).
+  Weight distance(NodeId a, NodeId b) const;
+
+  /// Full node sequence a -> b, inclusive; empty if unreachable.
+  std::vector<NodeId> path(NodeId a, NodeId b) const;
+
+  /// Next hop from a toward b (kInvalidNode if unreachable or a == b).
+  /// Handhelds only display "head to room X next", so this is the query the
+  /// online system actually serves.
+  NodeId next_hop(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<ShortestPathTree> trees_;
+};
+
+}  // namespace bips::graph

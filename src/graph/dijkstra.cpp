@@ -1,0 +1,50 @@
+#include "src/graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace bips::graph {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  BIPS_ASSERT(target < distance.size());
+  if (!reachable(target)) return {};
+  std::vector<NodeId> path;
+  for (NodeId n = target; n != kInvalidNode; n = parent[n]) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  BIPS_ASSERT(path.front() == source);
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  BIPS_ASSERT(source < g.node_count());
+  constexpr Weight kInf = std::numeric_limits<Weight>::infinity();
+
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(g.node_count(), kInf);
+  tree.parent.assign(g.node_count(), kInvalidNode);
+  tree.distance[source] = 0;
+
+  using Entry = std::pair<Weight, NodeId>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, n] = heap.top();
+    heap.pop();
+    if (d > tree.distance[n]) continue;  // stale heap entry
+    for (const Edge& e : g.neighbors(n)) {
+      const Weight nd = d + e.weight;
+      if (nd < tree.distance[e.to]) {
+        tree.distance[e.to] = nd;
+        tree.parent[e.to] = n;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace bips::graph

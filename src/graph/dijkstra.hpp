@@ -1,0 +1,29 @@
+// Dijkstra single-source shortest paths (paper ref [4]).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace bips::graph {
+
+/// Result of a single-source run: distance and predecessor per node.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Weight> distance;  // +inf where unreachable
+  std::vector<NodeId> parent;    // kInvalidNode at source / unreachable
+
+  bool reachable(NodeId n) const {
+    return distance[n] != std::numeric_limits<Weight>::infinity();
+  }
+
+  /// Reconstructs source -> target as a node sequence (inclusive); empty if
+  /// the target is unreachable.
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Runs Dijkstra from `source` with a binary heap: O((V+E) log V).
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+}  // namespace bips::graph

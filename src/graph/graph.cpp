@@ -1,0 +1,72 @@
+#include "src/graph/graph.hpp"
+
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace bips::graph {
+
+NodeId Graph::add_node(std::string name) {
+  BIPS_ASSERT_MSG(!name.empty(), "node name must be non-empty");
+  BIPS_ASSERT_MSG(by_name_.find(name) == by_name_.end(),
+                  "duplicate node name");
+  const auto id = static_cast<NodeId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  adj_.emplace_back();
+  return id;
+}
+
+void Graph::add_edge(NodeId a, NodeId b, Weight w) {
+  BIPS_ASSERT(a < names_.size() && b < names_.size());
+  BIPS_ASSERT_MSG(a != b, "self-loops are not allowed");
+  BIPS_ASSERT_MSG(w > 0, "edge weight must be positive");
+  adj_[a].push_back(Edge{b, w});
+  adj_[b].push_back(Edge{a, w});
+  ++edge_count_;
+}
+
+void Graph::add_edge(std::string_view a, std::string_view b, Weight w) {
+  const auto na = find(a), nb = find(b);
+  BIPS_ASSERT_MSG(na && nb, "add_edge by name: unknown node");
+  add_edge(*na, *nb, w);
+}
+
+const std::string& Graph::name(NodeId n) const {
+  BIPS_ASSERT(n < names_.size());
+  return names_[n];
+}
+
+std::optional<NodeId> Graph::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<Edge>& Graph::neighbors(NodeId n) const {
+  BIPS_ASSERT(n < adj_.size());
+  return adj_[n];
+}
+
+bool Graph::connected() const {
+  if (names_.empty()) return true;
+  std::vector<bool> seen(names_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adj_[n]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return visited == names_.size();
+}
+
+}  // namespace bips::graph

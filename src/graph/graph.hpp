@@ -1,0 +1,62 @@
+// Weighted undirected graph of the building topology.
+//
+// BIPS models the building as a graph with one node per workstation (i.e.
+// per significant room) and an edge wherever a physical path connects two
+// rooms; the weight is the walking distance (a positive integer in the
+// paper; we allow any positive double, e.g. metres).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bips::graph {
+
+/// Dense node index; assigned in insertion order.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Edge weight: a positive walking distance.
+using Weight = double;
+
+struct Edge {
+  NodeId to = kInvalidNode;
+  Weight weight = 0.0;
+};
+
+/// Undirected weighted graph with named nodes.
+class Graph {
+ public:
+  /// Adds a node; returns its id. Names must be unique and non-empty.
+  NodeId add_node(std::string name);
+
+  /// Adds an undirected edge with positive weight. Parallel edges are
+  /// permitted (Dijkstra simply takes the cheaper one); self-loops are not.
+  void add_edge(NodeId a, NodeId b, Weight w);
+  void add_edge(std::string_view a, std::string_view b, Weight w);
+
+  std::size_t node_count() const { return names_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  const std::string& name(NodeId n) const;
+  /// Looks a node up by name; nullopt if absent.
+  std::optional<NodeId> find(std::string_view name) const;
+
+  /// Adjacency list of a node.
+  const std::vector<Edge>& neighbors(NodeId n) const;
+
+  /// True if every node can reach every other node. BIPS requires a
+  /// connected graph (the paper: "weighted undirected *connected* graph").
+  bool connected() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace bips::graph

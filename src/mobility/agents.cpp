@@ -1,0 +1,149 @@
+#include "src/mobility/agents.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace bips::mobility {
+
+RandomWaypointAgent::RandomWaypointAgent(sim::Simulator& sim,
+                                         const Building& building,
+                                         const graph::AllPairsPaths& paths,
+                                         Rng rng, RoomId start, Config cfg)
+    : sim_(sim),
+      building_(building),
+      paths_(paths),
+      rng_(std::move(rng)),
+      cfg_(cfg),
+      walker_(sim, building.room(start).center),
+      destination_(start) {
+  BIPS_ASSERT(building.room_count() >= 1);
+  BIPS_ASSERT(paths.node_count() == building.room_count());
+  BIPS_ASSERT(cfg_.speed_min_mps > 0);
+  BIPS_ASSERT(cfg_.speed_max_mps >= cfg_.speed_min_mps);
+  BIPS_ASSERT(cfg_.pause_max >= cfg_.pause_min);
+}
+
+void RandomWaypointAgent::start() {
+  if (running_) return;
+  running_ = true;
+  pick_next_trip();
+}
+
+void RandomWaypointAgent::stop() {
+  running_ = false;
+  pause_event_.cancel();
+  walker_.stop();
+}
+
+void RandomWaypointAgent::pick_next_trip() {
+  if (!running_) return;
+  const Duration pause =
+      cfg_.pause_min +
+      Duration::nanos(static_cast<std::int64_t>(rng_.uniform(
+          static_cast<std::uint64_t>((cfg_.pause_max - cfg_.pause_min).ns()) +
+          1)));
+  pause_event_ = sim_.schedule(pause, [this] {
+    if (building_.room_count() == 1) {
+      pick_next_trip();  // nowhere to go; keep dwelling
+      return;
+    }
+    RoomId target = destination_;
+    while (target == destination_) {
+      target = static_cast<RoomId>(rng_.uniform(building_.room_count()));
+    }
+    depart(target);
+  });
+}
+
+void RandomWaypointAgent::depart(RoomId target) {
+  const auto node_path = paths_.path(destination_, target);
+  BIPS_ASSERT_MSG(!node_path.empty(), "building graph must be connected");
+  std::vector<Vec2> waypoints;
+  waypoints.reserve(node_path.size());
+  for (const auto node : node_path) {
+    waypoints.push_back(building_.room(static_cast<RoomId>(node)).center);
+  }
+  const double speed =
+      rng_.uniform_double(cfg_.speed_min_mps, cfg_.speed_max_mps);
+  destination_ = target;
+  walker_.walk(std::move(waypoints), speed, [this] { pick_next_trip(); });
+}
+
+AgendaAgent::AgendaAgent(sim::Simulator& sim, const Building& building,
+                         const graph::AllPairsPaths& paths, Rng rng,
+                         RoomId start, std::vector<Appointment> appointments,
+                         double speed_mps)
+    : sim_(sim),
+      building_(building),
+      paths_(paths),
+      rng_(std::move(rng)),
+      walker_(sim, building.room(start).center),
+      agenda_(std::move(appointments)),
+      destination_(start),
+      speed_(speed_mps) {
+  BIPS_ASSERT(speed_mps > 0);
+  for (std::size_t i = 1; i < agenda_.size(); ++i) {
+    BIPS_ASSERT_MSG(agenda_[i - 1].at <= agenda_[i].at,
+                    "agenda must be sorted by time");
+  }
+  for (const auto& a : agenda_) {
+    BIPS_ASSERT(a.room < building.room_count());
+  }
+}
+
+void AgendaAgent::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = next_; i < agenda_.size(); ++i) {
+    const Appointment& a = agenda_[i];
+    BIPS_ASSERT_MSG(a.at >= sim_.now(), "appointment already in the past");
+    timers_.push_back(sim_.schedule_at(a.at, [this, room = a.room] {
+      ++next_;
+      depart_for(room);
+    }));
+  }
+}
+
+void AgendaAgent::stop() {
+  running_ = false;
+  for (auto& t : timers_) t.cancel();
+  timers_.clear();
+  walker_.stop();
+}
+
+void AgendaAgent::depart_for(RoomId room) {
+  if (!running_) return;
+  // Route from wherever the agent is: nearest room node anchors the path.
+  const RoomId from = building_.nearest_room(walker_.position());
+  destination_ = room;
+  if (from == room) {
+    walker_.walk({building_.room(room).center}, speed_);
+    return;
+  }
+  const auto node_path = paths_.path(from, room);
+  BIPS_ASSERT_MSG(!node_path.empty(), "building graph must be connected");
+  std::vector<Vec2> waypoints;
+  waypoints.reserve(node_path.size());
+  for (const auto node : node_path) {
+    waypoints.push_back(building_.room(static_cast<RoomId>(node)).center);
+  }
+  walker_.walk(std::move(waypoints), speed_);
+}
+
+CorridorCrosser::CorridorCrosser(sim::Simulator& sim, Vec2 center,
+                                 double radius_m, double speed_mps,
+                                 std::function<void()> on_exit)
+    : center_(center),
+      radius_(radius_m),
+      speed_(speed_mps),
+      walker_(sim, Vec2{center.x - radius_m, center.y}),
+      on_exit_(std::move(on_exit)) {
+  BIPS_ASSERT(radius_m > 0 && speed_mps > 0);
+}
+
+void CorridorCrosser::start() {
+  walker_.walk({Vec2{center_.x + radius_, center_.y}}, speed_, [this] {
+    if (on_exit_) on_exit_();
+  });
+}
+
+}  // namespace bips::mobility

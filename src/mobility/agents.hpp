@@ -1,0 +1,140 @@
+// Pedestrian mobility models.
+//
+// RandomWaypointAgent reproduces the paper's user population: people who
+// stand around or walk between rooms at [0, 1.5] m/s (section 5: "a mobile
+// user normally walks with a speed in the range [0, 1.5] meters per
+// second"). Routes follow the building's corridor graph (shortest path
+// between room centres), not straight lines through walls.
+//
+// CorridorCrosser walks straight through a single piconet at constant
+// speed -- the section 5 crossing scenario used to size the master's
+// operational cycle (20 m diameter / 1.3 m/s mean = 15.4 s).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/graph/all_pairs.hpp"
+#include "src/mobility/building.hpp"
+#include "src/mobility/walker.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::mobility {
+
+class RandomWaypointAgent {
+ public:
+  struct Config {
+    double speed_min_mps = 0.5;
+    double speed_max_mps = 1.5;
+    /// Dwell at the destination before picking the next one.
+    Duration pause_min = Duration::seconds(5);
+    Duration pause_max = Duration::seconds(60);
+  };
+
+  /// `paths` must be the all-pairs structure of `building.to_graph()` and
+  /// both must outlive the agent.
+  RandomWaypointAgent(sim::Simulator& sim, const Building& building,
+                      const graph::AllPairsPaths& paths, Rng rng,
+                      RoomId start, Config cfg);
+  RandomWaypointAgent(const RandomWaypointAgent&) = delete;
+  RandomWaypointAgent& operator=(const RandomWaypointAgent&) = delete;
+
+  void start();
+  void stop();
+
+  Vec2 position() const { return walker_.position(); }
+  /// Ground truth: the room whose coverage circle contains the agent.
+  RoomId covering_room(double radius_m) const {
+    return building_.nearest_room_within(position(), radius_m);
+  }
+  RoomId destination() const { return destination_; }
+  bool walking() const { return walker_.moving(); }
+  double odometer() const { return walker_.odometer(); }
+
+ private:
+  void pick_next_trip();
+  void depart(RoomId target);
+
+  sim::Simulator& sim_;
+  const Building& building_;
+  const graph::AllPairsPaths& paths_;
+  Rng rng_;
+  Config cfg_;
+  Walker walker_;
+  RoomId destination_;
+  bool running_ = false;
+  sim::EventHandle pause_event_;
+};
+
+/// Agenda-driven pedestrian: keeps appointments ("seminar room at 10:00 for
+/// an hour"), walking the corridor graph to each one when it is due and
+/// dwelling in place otherwise. This is the convergence workload the
+/// paper's introduction motivates (students and staff gathering for
+/// meetings) and the natural stress test for park mode: everyone ends up
+/// in one piconet at once.
+class AgendaAgent {
+ public:
+  struct Appointment {
+    SimTime at;
+    RoomId room = kNoRoom;
+  };
+
+  /// `appointments` must be sorted by time; all in the future at start().
+  AgendaAgent(sim::Simulator& sim, const Building& building,
+              const graph::AllPairsPaths& paths, Rng rng, RoomId start,
+              std::vector<Appointment> appointments,
+              double speed_mps = 1.3);
+  AgendaAgent(const AgendaAgent&) = delete;
+  AgendaAgent& operator=(const AgendaAgent&) = delete;
+
+  void start();
+  void stop();
+
+  Vec2 position() const { return walker_.position(); }
+  RoomId covering_room(double radius_m) const {
+    return building_.nearest_room_within(position(), radius_m);
+  }
+  /// The room of the last appointment begun (or the start room).
+  RoomId current_destination() const { return destination_; }
+  std::size_t appointments_kept() const { return next_; }
+
+ private:
+  void depart_for(RoomId room);
+
+  sim::Simulator& sim_;
+  const Building& building_;
+  const graph::AllPairsPaths& paths_;
+  Rng rng_;
+  Walker walker_;
+  std::vector<Appointment> agenda_;
+  std::size_t next_ = 0;
+  RoomId destination_;
+  double speed_;
+  bool running_ = false;
+  std::vector<sim::EventHandle> timers_;
+};
+
+/// Walks a straight line through a piconet centred at `center`: enters at
+/// one edge of the coverage circle, exits at the opposite edge.
+class CorridorCrosser {
+ public:
+  CorridorCrosser(sim::Simulator& sim, Vec2 center, double radius_m,
+                  double speed_mps, std::function<void()> on_exit = nullptr);
+
+  void start();
+  Vec2 position() const { return walker_.position(); }
+  double speed_mps() const { return speed_; }
+  /// Time to cross the full diameter at this speed.
+  Duration crossing_time() const {
+    return Duration::from_seconds(2.0 * radius_ / speed_);
+  }
+
+ private:
+  Vec2 center_;
+  double radius_;
+  double speed_;
+  Walker walker_;
+  std::function<void()> on_exit_;
+};
+
+}  // namespace bips::mobility

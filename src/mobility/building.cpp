@@ -1,0 +1,131 @@
+#include "src/mobility/building.hpp"
+
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace bips::mobility {
+
+RoomId Building::add_room(std::string name, Vec2 center) {
+  BIPS_ASSERT_MSG(!name.empty(), "room name must be non-empty");
+  BIPS_ASSERT_MSG(!find(name).has_value(), "duplicate room name");
+  const auto id = static_cast<RoomId>(rooms_.size());
+  rooms_.push_back(Room{id, std::move(name), center});
+  return id;
+}
+
+void Building::connect(RoomId a, RoomId b) {
+  BIPS_ASSERT(a < rooms_.size() && b < rooms_.size());
+  connect(a, b, distance(rooms_[a].center, rooms_[b].center));
+}
+
+void Building::connect(RoomId a, RoomId b, double walking_distance) {
+  BIPS_ASSERT(a < rooms_.size() && b < rooms_.size());
+  BIPS_ASSERT(a != b);
+  BIPS_ASSERT(walking_distance > 0);
+  corridors_.push_back(Corridor{a, b, walking_distance});
+}
+
+const Room& Building::room(RoomId id) const {
+  BIPS_ASSERT(id < rooms_.size());
+  return rooms_[id];
+}
+
+std::optional<RoomId> Building::find(std::string_view name) const {
+  for (const Room& r : rooms_) {
+    if (r.name == name) return r.id;
+  }
+  return std::nullopt;
+}
+
+graph::Graph Building::to_graph() const {
+  graph::Graph g;
+  for (const Room& r : rooms_) g.add_node(r.name);
+  for (const Corridor& c : corridors_) g.add_edge(c.a, c.b, c.distance);
+  return g;
+}
+
+RoomId Building::nearest_room(Vec2 p) const {
+  RoomId best = kNoRoom;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Room& r : rooms_) {
+    const double d = distance_sq(p, r.center);
+    if (d < best_d) {
+      best_d = d;
+      best = r.id;
+    }
+  }
+  return best;
+}
+
+RoomId Building::nearest_room_within(Vec2 p, double radius) const {
+  const RoomId r = nearest_room(p);
+  if (r == kNoRoom) return kNoRoom;
+  return distance_sq(p, rooms_[r].center) <= radius * radius ? r : kNoRoom;
+}
+
+Building Building::corridor(int n, double spacing) {
+  BIPS_ASSERT(n >= 1);
+  Building b;
+  for (int i = 0; i < n; ++i) {
+    b.add_room("room-" + std::to_string(i),
+               Vec2{spacing * static_cast<double>(i), 0.0});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.connect(static_cast<RoomId>(i), static_cast<RoomId>(i + 1));
+  }
+  return b;
+}
+
+Building Building::grid(int rows, int cols, double spacing) {
+  BIPS_ASSERT(rows >= 1 && cols >= 1);
+  Building b;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      b.add_room("room-" + std::to_string(r) + "-" + std::to_string(c),
+                 Vec2{spacing * c, spacing * r});
+    }
+  }
+  auto id = [cols](int r, int c) {
+    return static_cast<RoomId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.connect(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.connect(id(r, c), id(r + 1, c));
+    }
+  }
+  return b;
+}
+
+Building Building::department() {
+  // One floor of an academic department. Rooms sit on a double-loaded
+  // corridor; distances are door-to-door walking metres (integer weights,
+  // like the paper's graph).
+  Building b;
+  const RoomId lobby = b.add_room("lobby", {0, 0});
+  const RoomId office_a = b.add_room("office-a", {12, 6});
+  const RoomId office_b = b.add_room("office-b", {24, 6});
+  const RoomId office_c = b.add_room("office-c", {36, 6});
+  const RoomId lab_net = b.add_room("lab-networks", {12, -6});
+  const RoomId lab_sys = b.add_room("lab-systems", {24, -6});
+  const RoomId library = b.add_room("library", {36, -6});
+  const RoomId seminar = b.add_room("seminar-room", {48, 0});
+  const RoomId coffee = b.add_room("coffee-corner", {48, 12});
+  const RoomId admin = b.add_room("admin-office", {0, 12});
+
+  b.connect(lobby, office_a, 14);
+  b.connect(lobby, lab_net, 14);
+  b.connect(lobby, admin, 12);
+  b.connect(office_a, office_b, 12);
+  b.connect(office_b, office_c, 12);
+  b.connect(lab_net, lab_sys, 12);
+  b.connect(lab_sys, library, 12);
+  b.connect(office_c, seminar, 14);
+  b.connect(library, seminar, 14);
+  b.connect(seminar, coffee, 12);
+  b.connect(office_b, lab_sys, 12);  // internal staircase shortcut
+  return b;
+}
+
+}  // namespace bips::mobility

@@ -1,0 +1,77 @@
+// Building model: rooms, physical connections, and the mapping to the
+// BIPS topology graph.
+//
+// The paper: "BIPS considers each room of the building as a granule of
+// location information ... There is a node in the graph for every BIPS
+// workstation. An edge between two adjacent nodes is defined when there is
+// a physical path in the building that connects the rooms containing the
+// two corresponding workstations."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/geom.hpp"
+
+namespace bips::mobility {
+
+using RoomId = std::uint32_t;
+inline constexpr RoomId kNoRoom = UINT32_MAX;
+
+struct Room {
+  RoomId id = kNoRoom;
+  std::string name;
+  Vec2 center;  // where the workstation (piconet master) sits
+};
+
+struct Corridor {
+  RoomId a = kNoRoom;
+  RoomId b = kNoRoom;
+  double distance = 0.0;  // walking distance (edge weight)
+};
+
+class Building {
+ public:
+  /// Adds a room with its workstation at `center`. Names must be unique.
+  RoomId add_room(std::string name, Vec2 center);
+
+  /// Declares a physical path between two rooms; weight defaults to the
+  /// Euclidean distance between the room centers.
+  void connect(RoomId a, RoomId b);
+  void connect(RoomId a, RoomId b, double walking_distance);
+
+  std::size_t room_count() const { return rooms_.size(); }
+  const Room& room(RoomId id) const;
+  const std::vector<Room>& rooms() const { return rooms_; }
+  const std::vector<Corridor>& corridors() const { return corridors_; }
+  std::optional<RoomId> find(std::string_view name) const;
+
+  /// Builds the weighted undirected topology graph (node ids == room ids).
+  graph::Graph to_graph() const;
+
+  /// Room whose workstation is nearest to p; kNoRoom for an empty building.
+  RoomId nearest_room(Vec2 p) const;
+  /// Nearest room within `radius` metres of p (the piconet that would cover
+  /// a device standing at p), or kNoRoom when outside all coverage circles.
+  RoomId nearest_room_within(Vec2 p, double radius) const;
+
+  // ---- canned floor plans --------------------------------------------
+
+  /// `n` rooms in a row along a corridor, `spacing` metres apart.
+  static Building corridor(int n, double spacing = 12.0);
+  /// rows x cols office grid; neighbours connected orthogonally.
+  static Building grid(int rows, int cols, double spacing = 12.0);
+  /// A small academic department like the paper's testbed: offices, labs,
+  /// a library, a seminar room and a lobby on one floor (10 rooms).
+  static Building department();
+
+ private:
+  std::vector<Room> rooms_;
+  std::vector<Corridor> corridors_;
+};
+
+}  // namespace bips::mobility

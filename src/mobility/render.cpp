@@ -1,0 +1,88 @@
+#include "src/mobility/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace bips::mobility {
+
+std::string render_map(const Building& building,
+                       const std::vector<Marker>& markers,
+                       const RenderOptions& opts) {
+  BIPS_ASSERT(opts.meters_per_cell > 0);
+  if (building.room_count() == 0 && markers.empty()) return "(empty map)\n";
+
+  // Bounding box over rooms (plus coverage) and markers.
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  auto grow = [&](Vec2 p, double pad) {
+    min_x = std::min(min_x, p.x - pad);
+    min_y = std::min(min_y, p.y - pad);
+    max_x = std::max(max_x, p.x + pad);
+    max_y = std::max(max_y, p.y + pad);
+  };
+  const double pad = opts.show_coverage ? opts.coverage_radius_m : 2.0;
+  for (const Room& r : building.rooms()) grow(r.center, pad);
+  for (const auto& [c, p] : markers) grow(p, 2.0);
+
+  const double cell_w = opts.meters_per_cell;
+  const double cell_h = opts.meters_per_cell * 2.0;  // glyphs are tall
+  const int cols = std::max(1, static_cast<int>((max_x - min_x) / cell_w) + 1);
+  const int rows = std::max(1, static_cast<int>((max_y - min_y) / cell_h) + 1);
+  // Refuse absurd canvases rather than allocating gigabytes.
+  BIPS_ASSERT_MSG(cols <= 500 && rows <= 500, "map too large to render");
+
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  auto cell = [&](Vec2 p) {
+    const int cx = std::clamp(
+        static_cast<int>((p.x - min_x) / cell_w), 0, cols - 1);
+    const int cy = std::clamp(
+        static_cast<int>((p.y - min_y) / cell_h), 0, rows - 1);
+    return std::pair{cy, cx};
+  };
+
+  if (opts.show_coverage) {
+    for (int y = 0; y < rows; ++y) {
+      for (int x = 0; x < cols; ++x) {
+        const Vec2 p{min_x + (x + 0.5) * cell_w, min_y + (y + 0.5) * cell_h};
+        if (building.nearest_room_within(p, opts.coverage_radius_m) !=
+            kNoRoom) {
+          grid[y][x] = '.';
+        }
+      }
+    }
+  }
+
+  for (const Room& r : building.rooms()) {
+    const auto [y, x] = cell(r.center);
+    grid[y][x] = '#';
+    if (opts.label_rooms) {
+      // Write the name to the right of the workstation, clipped.
+      for (std::size_t i = 0; i < r.name.size(); ++i) {
+        const int tx = x + 1 + static_cast<int>(i);
+        if (tx >= cols) break;
+        grid[y][tx] = r.name[i];
+      }
+    }
+  }
+
+  // Markers last: people beat labels.
+  for (const auto& [c, p] : markers) {
+    const auto [y, x] = cell(p);
+    grid[y][x] = c;
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) * (cols + 1));
+  // y grows upward in world space; render top row first.
+  for (int y = rows - 1; y >= 0; --y) {
+    // Trim trailing spaces per row.
+    std::string row = grid[y];
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bips::mobility

@@ -1,0 +1,42 @@
+// Top-down ASCII rendering of a building and the people in it.
+//
+// Purely cosmetic (examples and debugging), but it makes a simulation
+// legible at a glance:
+//
+//     . . . . . . .
+//   . . # office-a. .
+//     . .   a   . .
+//       . # lobby .
+//
+// '#' marks a workstation, lowercase letters are markers (users), dots are
+// coverage (cells within the piconet radius of some workstation).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/mobility/building.hpp"
+
+namespace bips::mobility {
+
+struct RenderOptions {
+  /// Metres per character cell (x). Vertical cells cover twice as much to
+  /// roughly correct for terminal glyph aspect ratio.
+  double meters_per_cell = 2.0;
+  /// Draw '.' on cells covered by at least one piconet.
+  bool show_coverage = true;
+  double coverage_radius_m = 10.0;
+  /// Print room names next to their workstations.
+  bool label_rooms = true;
+};
+
+/// A labelled position (e.g. {'a', alice_position}).
+using Marker = std::pair<char, Vec2>;
+
+/// Renders the building with the given markers overlaid.
+std::string render_map(const Building& building,
+                       const std::vector<Marker>& markers,
+                       const RenderOptions& opts = RenderOptions{});
+
+}  // namespace bips::mobility

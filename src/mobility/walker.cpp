@@ -1,0 +1,73 @@
+#include "src/mobility/walker.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace bips::mobility {
+
+Vec2 Walker::position() const {
+  if (!moving_) return pos_;
+  const double seg_len = distance(segment_from_, segment_to_);
+  if (seg_len <= 0) return segment_to_;
+  const double walked =
+      (sim_.now() - segment_start_).to_seconds() * speed_;
+  const double t = walked >= seg_len ? 1.0 : walked / seg_len;
+  return lerp(segment_from_, segment_to_, t);
+}
+
+double Walker::odometer() const {
+  if (!moving_) return odometer_;
+  return odometer_ + distance(segment_from_, position());
+}
+
+void Walker::walk(std::vector<Vec2> waypoints, double speed_mps,
+                  ArrivalCallback on_arrival) {
+  BIPS_ASSERT(speed_mps > 0);
+  stop();
+  if (waypoints.empty()) {
+    if (on_arrival) on_arrival();
+    return;
+  }
+  route_ = std::move(waypoints);
+  next_waypoint_ = 0;
+  speed_ = speed_mps;
+  on_arrival_ = std::move(on_arrival);
+  moving_ = true;
+  begin_segment();
+}
+
+void Walker::stop() {
+  if (!moving_) return;
+  odometer_ += distance(segment_from_, position());
+  pos_ = position();
+  moving_ = false;
+  arrival_event_.cancel();
+  route_.clear();
+  on_arrival_ = nullptr;
+}
+
+void Walker::begin_segment() {
+  segment_from_ = pos_;
+  segment_to_ = route_[next_waypoint_];
+  segment_start_ = sim_.now();
+  const double seg_len = distance(segment_from_, segment_to_);
+  const Duration travel = Duration::from_seconds(seg_len / speed_);
+  arrival_event_ = sim_.schedule(travel, [this] { segment_done(); });
+}
+
+void Walker::segment_done() {
+  odometer_ += distance(segment_from_, segment_to_);
+  pos_ = segment_to_;
+  ++next_waypoint_;
+  if (next_waypoint_ < route_.size()) {
+    begin_segment();
+    return;
+  }
+  moving_ = false;
+  route_.clear();
+  // Move the callback out first: it may start a new walk immediately.
+  ArrivalCallback cb = std::move(on_arrival_);
+  on_arrival_ = nullptr;
+  if (cb) cb();
+}
+
+}  // namespace bips::mobility

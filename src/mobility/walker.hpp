@@ -1,0 +1,59 @@
+// Continuous-position waypoint walker.
+//
+// Movement is event-light: only segment endpoints create simulator events;
+// position() interpolates along the active segment at the current simulated
+// time, which is what the radio channel samples at packet-delivery instants.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/util/geom.hpp"
+
+namespace bips::mobility {
+
+class Walker {
+ public:
+  using ArrivalCallback = std::function<void()>;
+
+  Walker(sim::Simulator& sim, Vec2 start) : sim_(sim), pos_(start) {}
+  ~Walker() { stop(); }
+  Walker(const Walker&) = delete;
+  Walker& operator=(const Walker&) = delete;
+
+  /// Current position at the simulator's current time.
+  Vec2 position() const;
+  bool moving() const { return moving_; }
+  double speed_mps() const { return speed_; }
+
+  /// Walks through `waypoints` in order at constant `speed` (m/s); invokes
+  /// `on_arrival` at the final waypoint. Replaces any walk in progress
+  /// (starting from the current interpolated position).
+  void walk(std::vector<Vec2> waypoints, double speed_mps,
+            ArrivalCallback on_arrival = nullptr);
+
+  /// Halts at the current interpolated position.
+  void stop();
+
+  /// Total distance walked so far (metres, including partial segments).
+  double odometer() const;
+
+ private:
+  void begin_segment();
+  void segment_done();
+
+  sim::Simulator& sim_;
+  Vec2 pos_;  // position at segment start (or rest position)
+  bool moving_ = false;
+  double speed_ = 0.0;
+  std::vector<Vec2> route_;
+  std::size_t next_waypoint_ = 0;
+  SimTime segment_start_;
+  Vec2 segment_from_, segment_to_;
+  ArrivalCallback on_arrival_;
+  sim::EventHandle arrival_event_;
+  double odometer_ = 0.0;
+};
+
+}  // namespace bips::mobility

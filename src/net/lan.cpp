@@ -1,0 +1,53 @@
+#include "src/net/lan.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bips::net {
+
+bool Endpoint::send(Address to, Payload data) {
+  return lan_->send(addr_, to, std::move(data));
+}
+
+Lan::Lan(sim::Simulator& sim, Rng& rng, Config cfg)
+    : sim_(sim), rng_(rng), cfg_(cfg) {
+  BIPS_ASSERT(cfg_.base_latency >= Duration(0));
+  BIPS_ASSERT(cfg_.jitter >= Duration(0));
+  BIPS_ASSERT(cfg_.loss >= 0.0 && cfg_.loss <= 1.0);
+}
+
+Endpoint& Lan::create_endpoint() {
+  const auto addr = static_cast<Address>(endpoints_.size());
+  endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, addr)));
+  return *endpoints_.back();
+}
+
+bool Lan::send(Address from, Address to, Payload data) {
+  if (to >= endpoints_.size()) return false;
+  ++stats_.sent;
+  if (cfg_.loss > 0 && rng_.chance(cfg_.loss)) {
+    ++stats_.dropped;
+    return true;  // accepted by the NIC, lost on the wire
+  }
+  Duration delay = cfg_.base_latency;
+  if (cfg_.jitter > Duration(0)) {
+    delay += Duration::nanos(static_cast<std::int64_t>(
+        rng_.uniform(static_cast<std::uint64_t>(cfg_.jitter.ns()))));
+  }
+  SimTime when = sim_.now() + delay;
+  // FIFO per (from, to): never deliver before an earlier send's delivery.
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end()) when = std::max(when, it->second);
+  last_delivery_[key] = when;
+
+  sim_.schedule_at(when, [this, from, to, d = std::move(data)] {
+    ++stats_.delivered;
+    Endpoint& dst = *endpoints_[to];
+    if (dst.handler_) dst.handler_(from, d);
+  });
+  return true;
+}
+
+}  // namespace bips::net

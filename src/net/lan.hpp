@@ -1,0 +1,93 @@
+// Simulated Ethernet LAN connecting BIPS workstations to the central server.
+//
+// The paper's static part is "a centralized server machine and a set of
+// workstations interconnected via an Ethernet LAN". BIPS traffic is light
+// (presence deltas and queries), so the LAN is modelled as a reliable
+// message bus with configurable latency and jitter. FIFO order is preserved
+// per (source, destination) pair even under jitter -- TCP-like behaviour,
+// which is what the real deployment used. Optional loss exists for failure
+// injection tests; BIPS itself assumes a reliable LAN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::net {
+
+/// LAN node address (assigned sequentially by Lan::create_endpoint).
+using Address = std::uint32_t;
+inline constexpr Address kInvalidAddress = UINT32_MAX;
+
+using Payload = std::vector<std::uint8_t>;
+
+class Lan;
+
+/// One attachment point on the LAN. Create through Lan::create_endpoint;
+/// destroy before (or never after) the Lan.
+class Endpoint {
+ public:
+  using Handler = std::function<void(Address from, const Payload& data)>;
+
+  Address address() const { return addr_; }
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Sends a datagram; delivery is asynchronous via the receiving
+  /// endpoint's handler. Returns false if `to` does not exist.
+  bool send(Address to, Payload data);
+
+ private:
+  friend class Lan;
+  Endpoint(Lan* lan, Address addr) : lan_(lan), addr_(addr) {}
+
+  Lan* lan_;
+  Address addr_;
+  Handler handler_;
+};
+
+class Lan {
+ public:
+  struct Config {
+    Duration base_latency = Duration::micros(200);
+    /// Uniform extra delay in [0, jitter).
+    Duration jitter = Duration::micros(100);
+    /// Independent drop probability (failure injection only; default 0).
+    double loss = 0.0;
+  };
+
+  // Nested-class default member initializers are only complete at the end
+  // of the enclosing class, so no `cfg = Config{}` default argument here.
+  Lan(sim::Simulator& sim, Rng& rng, Config cfg);
+  Lan(const Lan&) = delete;
+  Lan& operator=(const Lan&) = delete;
+
+  /// Creates a new endpoint; the Lan owns it.
+  Endpoint& create_endpoint();
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Endpoint;
+  bool send(Address from, Address to, Payload data);
+
+  sim::Simulator& sim_;
+  Rng& rng_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Last scheduled delivery per (from, to), to keep FIFO under jitter.
+  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  Stats stats_;
+};
+
+}  // namespace bips::net

@@ -1,0 +1,341 @@
+#include "src/proto/messages.hpp"
+
+namespace bips::proto {
+
+const char* to_string(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kUnknownUser: return "unknown-user";
+    case QueryStatus::kNotLoggedIn: return "not-logged-in";
+    case QueryStatus::kAccessDenied: return "access-denied";
+    case QueryStatus::kUnreachable: return "unreachable";
+    case QueryStatus::kLocationUnknown: return "location-unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kLoginRequest = 1,
+  kLoginReply = 2,
+  kLogoutRequest = 3,
+  kLogoutReply = 4,
+  kPresenceUpdate = 5,
+  kWhereIsRequest = 6,
+  kWhereIsReply = 7,
+  kPathRequest = 8,
+  kPathReply = 9,
+  kPresenceAck = 10,
+  kWhoIsInRequest = 11,
+  kWhoIsInReply = 12,
+  kHistoryRequest = 13,
+  kHistoryReply = 14,
+  kSubscribeRequest = 15,
+  kSubscribeReply = 16,
+  kMovementEvent = 17,
+  kHeartbeat = 18,
+};
+constexpr std::uint8_t kMaxTag = 18;
+
+void body(Writer& w, const LoginRequest& m) {
+  w.u64(m.bd_addr);
+  w.str(m.userid);
+  w.str(m.password);
+}
+void body(Writer& w, const LoginReply& m) {
+  w.u64(m.bd_addr);
+  w.boolean(m.ok);
+  w.str(m.reason);
+}
+void body(Writer& w, const LogoutRequest& m) {
+  w.u64(m.bd_addr);
+  w.str(m.userid);
+}
+void body(Writer& w, const LogoutReply& m) {
+  w.u64(m.bd_addr);
+  w.boolean(m.ok);
+}
+void body(Writer& w, const PresenceUpdate& m) {
+  w.u32(m.workstation);
+  w.u64(m.bd_addr);
+  w.boolean(m.present);
+  w.i64(m.timestamp_ns);
+  w.u64(m.seq);
+  w.f64(m.rssi_dbm);
+}
+void body(Writer& w, const PresenceAck& m) {
+  w.u32(m.workstation);
+  w.u64(m.seq);
+}
+void body(Writer& w, const WhoIsInRequest& m) {
+  w.u32(m.query_id);
+  w.u64(m.requester_bd_addr);
+  w.str(m.room);
+}
+void body(Writer& w, const WhoIsInReply& m) {
+  w.u32(m.query_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u16(static_cast<std::uint16_t>(m.users.size()));
+  for (const auto& u : m.users) w.str(u);
+}
+void body(Writer& w, const HistoryRequest& m) {
+  w.u32(m.query_id);
+  w.u64(m.requester_bd_addr);
+  w.str(m.target_user);
+  w.i64(m.at_time_ns);
+}
+void body(Writer& w, const HistoryReply& m) {
+  w.u32(m.query_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.boolean(m.was_present);
+  w.str(m.room);
+  w.i64(m.since_ns);
+}
+void body(Writer& w, const SubscribeRequest& m) {
+  w.u32(m.query_id);
+  w.u64(m.requester_bd_addr);
+  w.str(m.target_user);
+  w.boolean(m.unsubscribe);
+}
+void body(Writer& w, const SubscribeReply& m) {
+  w.u32(m.query_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+}
+void body(Writer& w, const Heartbeat& m) {
+  w.u32(m.workstation);
+  w.i64(m.timestamp_ns);
+}
+void body(Writer& w, const MovementEvent& m) {
+  w.u64(m.subscriber_bd_addr);
+  w.str(m.target_user);
+  w.boolean(m.entered);
+  w.str(m.room);
+  w.i64(m.timestamp_ns);
+}
+void body(Writer& w, const WhereIsRequest& m) {
+  w.u32(m.query_id);
+  w.u64(m.requester_bd_addr);
+  w.str(m.target_user);
+}
+void body(Writer& w, const WhereIsReply& m) {
+  w.u32(m.query_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.str(m.room);
+}
+void body(Writer& w, const PathRequest& m) {
+  w.u32(m.query_id);
+  w.u64(m.requester_bd_addr);
+  w.str(m.target_user);
+  w.u32(m.from_room);
+}
+void body(Writer& w, const PathReply& m) {
+  w.u32(m.query_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u16(static_cast<std::uint16_t>(m.rooms.size()));
+  for (const auto& r : m.rooms) w.str(r);
+  w.f64(m.distance);
+}
+
+Tag tag_of(const Message& m) {
+  return std::visit(
+      [](const auto& v) -> Tag {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, LoginRequest>) return Tag::kLoginRequest;
+        if constexpr (std::is_same_v<T, LoginReply>) return Tag::kLoginReply;
+        if constexpr (std::is_same_v<T, LogoutRequest>) return Tag::kLogoutRequest;
+        if constexpr (std::is_same_v<T, LogoutReply>) return Tag::kLogoutReply;
+        if constexpr (std::is_same_v<T, PresenceUpdate>) return Tag::kPresenceUpdate;
+        if constexpr (std::is_same_v<T, WhereIsRequest>) return Tag::kWhereIsRequest;
+        if constexpr (std::is_same_v<T, WhereIsReply>) return Tag::kWhereIsReply;
+        if constexpr (std::is_same_v<T, PathRequest>) return Tag::kPathRequest;
+        if constexpr (std::is_same_v<T, PathReply>) return Tag::kPathReply;
+        if constexpr (std::is_same_v<T, PresenceAck>) return Tag::kPresenceAck;
+        if constexpr (std::is_same_v<T, WhoIsInRequest>) return Tag::kWhoIsInRequest;
+        if constexpr (std::is_same_v<T, WhoIsInReply>) return Tag::kWhoIsInReply;
+        if constexpr (std::is_same_v<T, HistoryRequest>) return Tag::kHistoryRequest;
+        if constexpr (std::is_same_v<T, HistoryReply>) return Tag::kHistoryReply;
+        if constexpr (std::is_same_v<T, SubscribeRequest>) return Tag::kSubscribeRequest;
+        if constexpr (std::is_same_v<T, SubscribeReply>) return Tag::kSubscribeReply;
+        if constexpr (std::is_same_v<T, MovementEvent>) return Tag::kMovementEvent;
+        if constexpr (std::is_same_v<T, Heartbeat>) return Tag::kHeartbeat;
+      },
+      m);
+}
+
+bool valid_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(QueryStatus::kLocationUnknown);
+}
+
+std::optional<Message> decode_body(Tag tag, Reader& r) {
+  switch (tag) {
+    case Tag::kLoginRequest: {
+      LoginRequest m;
+      m.bd_addr = r.u64();
+      m.userid = r.str();
+      m.password = r.str();
+      return m;
+    }
+    case Tag::kLoginReply: {
+      LoginReply m;
+      m.bd_addr = r.u64();
+      m.ok = r.boolean();
+      m.reason = r.str();
+      return m;
+    }
+    case Tag::kLogoutRequest: {
+      LogoutRequest m;
+      m.bd_addr = r.u64();
+      m.userid = r.str();
+      return m;
+    }
+    case Tag::kLogoutReply: {
+      LogoutReply m;
+      m.bd_addr = r.u64();
+      m.ok = r.boolean();
+      return m;
+    }
+    case Tag::kPresenceUpdate: {
+      PresenceUpdate m;
+      m.workstation = r.u32();
+      m.bd_addr = r.u64();
+      m.present = r.boolean();
+      m.timestamp_ns = r.i64();
+      m.seq = r.u64();
+      m.rssi_dbm = r.f64();
+      return m;
+    }
+    case Tag::kPresenceAck: {
+      PresenceAck m;
+      m.workstation = r.u32();
+      m.seq = r.u64();
+      return m;
+    }
+    case Tag::kWhoIsInRequest: {
+      WhoIsInRequest m;
+      m.query_id = r.u32();
+      m.requester_bd_addr = r.u64();
+      m.room = r.str();
+      return m;
+    }
+    case Tag::kWhoIsInReply: {
+      WhoIsInReply m;
+      m.query_id = r.u32();
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      const std::uint16_t n = r.u16();
+      m.users.reserve(n);
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) m.users.push_back(r.str());
+      return m;
+    }
+    case Tag::kHistoryRequest: {
+      HistoryRequest m;
+      m.query_id = r.u32();
+      m.requester_bd_addr = r.u64();
+      m.target_user = r.str();
+      m.at_time_ns = r.i64();
+      return m;
+    }
+    case Tag::kHistoryReply: {
+      HistoryReply m;
+      m.query_id = r.u32();
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      m.was_present = r.boolean();
+      m.room = r.str();
+      m.since_ns = r.i64();
+      return m;
+    }
+    case Tag::kSubscribeRequest: {
+      SubscribeRequest m;
+      m.query_id = r.u32();
+      m.requester_bd_addr = r.u64();
+      m.target_user = r.str();
+      m.unsubscribe = r.boolean();
+      return m;
+    }
+    case Tag::kSubscribeReply: {
+      SubscribeReply m;
+      m.query_id = r.u32();
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      return m;
+    }
+    case Tag::kHeartbeat: {
+      Heartbeat m;
+      m.workstation = r.u32();
+      m.timestamp_ns = r.i64();
+      return m;
+    }
+    case Tag::kMovementEvent: {
+      MovementEvent m;
+      m.subscriber_bd_addr = r.u64();
+      m.target_user = r.str();
+      m.entered = r.boolean();
+      m.room = r.str();
+      m.timestamp_ns = r.i64();
+      return m;
+    }
+    case Tag::kWhereIsRequest: {
+      WhereIsRequest m;
+      m.query_id = r.u32();
+      m.requester_bd_addr = r.u64();
+      m.target_user = r.str();
+      return m;
+    }
+    case Tag::kWhereIsReply: {
+      WhereIsReply m;
+      m.query_id = r.u32();
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      m.room = r.str();
+      return m;
+    }
+    case Tag::kPathRequest: {
+      PathRequest m;
+      m.query_id = r.u32();
+      m.requester_bd_addr = r.u64();
+      m.target_user = r.str();
+      m.from_room = r.u32();
+      return m;
+    }
+    case Tag::kPathReply: {
+      PathReply m;
+      m.query_id = r.u32();
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      const std::uint16_t n = r.u16();
+      m.rooms.reserve(n);
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) m.rooms.push_back(r.str());
+      m.distance = r.f64();
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Bytes encode(const Message& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(tag_of(m)));
+  std::visit([&w](const auto& v) { body(w, v); }, m);
+  return w.take();
+}
+
+std::optional<Message> decode(const Bytes& data) {
+  Reader r(data);
+  const std::uint8_t raw_tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (raw_tag < 1 || raw_tag > kMaxTag) return std::nullopt;
+  auto m = decode_body(static_cast<Tag>(raw_tag), r);
+  if (!m || !r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+}  // namespace bips::proto

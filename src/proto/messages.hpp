@@ -1,0 +1,188 @@
+// BIPS protocol messages.
+//
+// Two hops use this vocabulary:
+//   handheld <-> workstation (over the ACL link): Login/Logout/queries
+//   workstation <-> server   (over the LAN):      the same, relayed, plus
+//                                                 presence deltas
+//
+// The spatio-temporal query of the paper ("select the actual piconet of the
+// device associated with this user name") is WhereIsRequest; PathRequest
+// additionally asks for the shortest path to the target's room.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/proto/wire.hpp"
+
+namespace bips::proto {
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownUser = 1,    // target name not registered
+  kNotLoggedIn = 2,    // target registered but offline
+  kAccessDenied = 3,   // requester lacks the right to locate the target
+  kUnreachable = 4,    // no path between the rooms (should not happen:
+                       // the building graph is connected)
+  kLocationUnknown = 5,  // logged in, but not currently attributed to any
+                         // piconet (between rooms, or not yet discovered)
+};
+
+const char* to_string(QueryStatus s);
+
+struct LoginRequest {
+  std::uint64_t bd_addr = 0;
+  std::string userid;
+  std::string password;
+};
+
+struct LoginReply {
+  std::uint64_t bd_addr = 0;
+  bool ok = false;
+  std::string reason;
+};
+
+struct LogoutRequest {
+  std::uint64_t bd_addr = 0;
+  std::string userid;
+};
+
+struct LogoutReply {
+  std::uint64_t bd_addr = 0;
+  bool ok = false;
+};
+
+/// Delta update from a workstation: `present` announces a new presence in
+/// its piconet, otherwise a new absence. Workstations only send these on
+/// changes (paper section 2: "updates the central location database only
+/// when it reveals a new presence or a new absence").
+///
+/// `seq` is a per-workstation sequence number; the server acknowledges
+/// cumulatively with PresenceAck and deduplicates retransmissions, so the
+/// delta stream survives LAN loss without double-applying.
+struct PresenceUpdate {
+  std::uint32_t workstation = 0;  // room/node id of the reporting station
+  std::uint64_t bd_addr = 0;
+  bool present = false;
+  std::int64_t timestamp_ns = 0;
+  std::uint64_t seq = 0;
+  /// Signal strength of the sighting (inquiry response). Lets the server
+  /// arbitrate near-simultaneous claims from overlapping piconets: the
+  /// louder workstation is the closer one.
+  double rssi_dbm = 0.0;
+};
+
+/// Cumulative acknowledgement of a workstation's presence stream: every
+/// update with seq <= `seq` has been applied (or deduplicated) at the
+/// server.
+struct PresenceAck {
+  std::uint32_t workstation = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Liveness beacon from a workstation. The server's failure detector
+/// expires the presence records of stations that go silent (a crashed
+/// workstation can never send the absences for the devices it tracked).
+struct Heartbeat {
+  std::uint32_t workstation = 0;
+  std::int64_t timestamp_ns = 0;
+};
+
+struct WhereIsRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t requester_bd_addr = 0;
+  std::string target_user;  // registered *name*, per the paper's query
+};
+
+struct WhereIsReply {
+  std::uint32_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::string room;  // target's current room name when status == kOk
+};
+
+struct PathRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t requester_bd_addr = 0;
+  std::string target_user;
+  std::uint32_t from_room = 0;  // room of the requester's workstation
+};
+
+struct PathReply {
+  std::uint32_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::vector<std::string> rooms;  // inclusive room sequence
+  double distance = 0.0;           // sum of edge weights
+};
+
+/// Inverse spatial query: everyone currently in a room. The reply lists
+/// only users the requester has the right to locate.
+struct WhoIsInRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t requester_bd_addr = 0;
+  std::string room;
+};
+
+struct WhoIsInReply {
+  std::uint32_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::vector<std::string> users;  // registered names
+};
+
+/// Temporal half of the spatio-temporal query: where was a user at a past
+/// instant (served from the location database's transition history).
+struct HistoryRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t requester_bd_addr = 0;
+  std::string target_user;
+  std::int64_t at_time_ns = 0;
+};
+
+struct HistoryReply {
+  std::uint32_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  bool was_present = false;
+  std::string room;         // valid when was_present
+  std::int64_t since_ns = 0;  // start of that attribution
+};
+
+/// Movement subscription: "notify me whenever <target_user> enters or
+/// leaves a room". Events are pushed through whichever workstation serves
+/// the subscriber at delivery time. Subscriptions die with the session.
+struct SubscribeRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t requester_bd_addr = 0;
+  std::string target_user;
+  bool unsubscribe = false;
+};
+
+struct SubscribeReply {
+  std::uint32_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Server -> subscriber push (relayed by the subscriber's workstation).
+struct MovementEvent {
+  std::uint64_t subscriber_bd_addr = 0;
+  std::string target_user;
+  bool entered = false;  // false = left
+  std::string room;
+  std::int64_t timestamp_ns = 0;
+};
+
+using Message =
+    std::variant<LoginRequest, LoginReply, LogoutRequest, LogoutReply,
+                 PresenceUpdate, WhereIsRequest, WhereIsReply, PathRequest,
+                 PathReply, PresenceAck, WhoIsInRequest, WhoIsInReply,
+                 HistoryRequest, HistoryReply, SubscribeRequest,
+                 SubscribeReply, MovementEvent, Heartbeat>;
+
+/// Serialises a message (1-byte tag + body).
+Bytes encode(const Message& m);
+
+/// Parses a datagram; nullopt on unknown tag, truncation, or trailing bytes.
+std::optional<Message> decode(const Bytes& data);
+
+}  // namespace bips::proto

@@ -1,0 +1,64 @@
+// Byte-level wire encoding: little-endian integers, length-prefixed strings.
+//
+// Used for both LAN datagrams (workstation <-> server) and ACL payloads
+// (handheld <-> workstation). The Reader carries a sticky error flag instead
+// of throwing: malformed input from the network must never crash a server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bips::proto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed (u16) string; truncates beyond 65535 bytes.
+  void str(std::string_view s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  /// True while no underflow/overread has occurred. Once false, every
+  /// subsequent read returns a zero value.
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+ private:
+  bool need(std::size_t n);
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bips::proto

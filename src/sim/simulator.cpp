@@ -1,0 +1,98 @@
+#include "src/sim/simulator.hpp"
+
+namespace bips::sim {
+
+void EventHandle::cancel() {
+  if (sim_ != nullptr && id_ != kNoEvent) sim_->cancel(id_);
+  id_ = kNoEvent;
+  sim_ = nullptr;
+}
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  BIPS_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  BIPS_ASSERT(fn != nullptr);
+  const EventId id = next_seq_;
+  queue_.push(Event{at, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  ++pending_live_;
+  return EventHandle(this, id);
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Lazy deletion: remember the id; pop_next() discards it later. Inserting
+  // an id that already fired is harmless -- fired ids are never re-enqueued
+  // because seq numbers are unique.
+  if (cancelled_.insert(id).second && pending_live_ > 0) --pending_live_;
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; moving the std::function out before
+    // pop() avoids a copy. pop() only compares (when, seq), which a move
+    // leaves intact, so the heap sift-down stays well-defined.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  BIPS_ASSERT(ev.when >= now_);
+  now_ = ev.when;
+  --pending_live_;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime until) {
+  BIPS_ASSERT(until >= now_);
+  while (!queue_.empty()) {
+    // Peek without executing: stop before events beyond the horizon.
+    Event ev;
+    if (!pop_next(ev)) break;
+    if (ev.when > until) {
+      // Push back the not-yet-due event (it keeps its original seq so
+      // ordering is preserved) and stop. pending_live_ is unchanged: the
+      // event was never executed or cancelled.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.when;
+    --pending_live_;
+    ++executed_;
+    ev.fn();
+  }
+  now_ = until;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(Duration initial_delay) {
+  stop();
+  running_ = true;
+  handle_ = sim_.schedule(initial_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  // Re-arm before invoking so the callback can observe running() and call
+  // stop()/set_period() to retune.
+  handle_ = sim_.schedule(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace bips::sim

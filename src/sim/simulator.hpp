@@ -1,0 +1,146 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the ns-2 replacement the reproduction runs on. Properties:
+//
+//  * Events fire in (time, insertion-sequence) order, so two events scheduled
+//    for the same instant run in the order they were scheduled -- reruns with
+//    the same seed are bit-identical.
+//  * Events are cancellable through the EventHandle returned by schedule();
+//    cancellation is O(1) (lazy deletion from the heap).
+//  * The engine is single-threaded by design: Bluetooth slot timing needs a
+//    strict global order far more than it needs parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::sim {
+
+/// Opaque identifier for a scheduled event; 0 is "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Simulator;
+
+/// RAII-free lightweight handle: cancel() is idempotent and safe after the
+/// event has fired (it becomes a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  EventHandle(Simulator* sim, EventId id) : sim_(sim), id_(id) {}
+
+  bool valid() const { return id_ != kNoEvent; }
+  EventId id() const { return id_; }
+
+  /// Cancels the event if it has not fired yet; clears the handle.
+  void cancel();
+
+ private:
+  Simulator* sim_ = nullptr;
+  EventId id_ = kNoEvent;
+};
+
+/// The event-driven simulator core.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must not be in the past).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  EventHandle schedule(Duration delay, std::function<void()> fn) {
+    BIPS_ASSERT(delay >= Duration(0));
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the queue is empty or `until` is reached, whichever first.
+  /// Time advances to `until` even if the queue drains earlier, so periodic
+  /// processes restarted by the caller observe a consistent clock.
+  void run_until(SimTime until);
+
+  /// Runs until the event queue is completely empty.
+  void run();
+
+  /// Executes exactly one event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events executed so far (for engine micro-benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events currently pending (cancelled events excluded).
+  std::size_t events_pending() const { return pending_live_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_live_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeating timer built on the simulator: fires every `period` until
+/// stopped. Restart-safe; the callback may stop or retune the timer.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {
+    BIPS_ASSERT(period > Duration(0));
+  }
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts (or restarts) the timer; first firing after one period, or after
+  /// `initial_delay` if given.
+  void start();
+  void start_after(Duration initial_delay);
+  void stop() { handle_.cancel(); running_ = false; }
+
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+  void set_period(Duration p) {
+    BIPS_ASSERT(p > Duration(0));
+    period_ = p;
+  }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace bips::sim

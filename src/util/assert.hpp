@@ -1,0 +1,31 @@
+// Lightweight always-on assertion macro for invariant checking.
+//
+// Unlike <cassert>, BIPS_ASSERT stays active in release builds: the
+// simulator's correctness depends on state-machine invariants that are cheap
+// to check and catastrophic to violate silently (a mis-scheduled baseband
+// event corrupts every measurement downstream).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bips {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BIPS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace bips
+
+#define BIPS_ASSERT(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::bips::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define BIPS_ASSERT_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::bips::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

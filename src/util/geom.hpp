@@ -1,0 +1,38 @@
+// Small 2-D geometry types shared by the radio channel (coverage circles)
+// and the mobility models (building floor plans).
+#pragma once
+
+#include <cmath>
+
+namespace bips {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; zero vector stays zero.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+/// Linear interpolation a -> b at t in [0, 1].
+inline constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace bips

@@ -1,0 +1,45 @@
+#include "src/util/log.hpp"
+
+#include <cstdio>
+
+namespace bips {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::string* g_capture = nullptr;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_capture(std::string* sink) { g_capture = sink; }
+
+void log_at(LogLevel level, SimTime t, const char* fmt, ...) {
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  va_end(args);
+
+  char line[1200];
+  std::snprintf(line, sizeof line, "[%s %10.6f] %s\n", level_name(level),
+                t.to_seconds(), msg);
+  if (g_capture != nullptr) {
+    *g_capture += line;
+  } else {
+    std::fputs(line, stderr);
+  }
+}
+
+}  // namespace bips

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Simulation components log through this instead of writing to stderr so
+// tests can silence or capture output. The logger is global but the level
+// check is a single atomic load, so logging disabled costs ~nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <string>
+
+#include "src/util/time.hpp"
+
+namespace bips {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the global minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging. `t` tags the message with simulated time.
+void log_at(LogLevel level, SimTime t, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// Captures log output into a string instead of stderr (single-threaded test
+/// helper). Pass nullptr to restore stderr.
+void set_log_capture(std::string* sink);
+
+#define BIPS_LOG(level, t, ...)                                    \
+  do {                                                             \
+    if (static_cast<int>(level) >= static_cast<int>(::bips::log_level())) \
+      ::bips::log_at(level, t, __VA_ARGS__);                       \
+  } while (0)
+
+#define BIPS_TRACE(t, ...) BIPS_LOG(::bips::LogLevel::kTrace, t, __VA_ARGS__)
+#define BIPS_DEBUG(t, ...) BIPS_LOG(::bips::LogLevel::kDebug, t, __VA_ARGS__)
+#define BIPS_INFO(t, ...) BIPS_LOG(::bips::LogLevel::kInfo, t, __VA_ARGS__)
+#define BIPS_WARN(t, ...) BIPS_LOG(::bips::LogLevel::kWarn, t, __VA_ARGS__)
+#define BIPS_ERROR(t, ...) BIPS_LOG(::bips::LogLevel::kError, t, __VA_ARGS__)
+
+}  // namespace bips

@@ -1,0 +1,23 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+
+namespace bips {
+
+double Rng::exponential(double mean) {
+  BIPS_ASSERT(mean > 0);
+  // Guard against log(0): uniform_double() can return exactly 0.
+  double u = uniform_double();
+  while (u <= 0.0) u = uniform_double();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform_double();
+  while (u1 <= 0.0) u1 = uniform_double();
+  const double u2 = uniform_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace bips

@@ -1,0 +1,103 @@
+// Deterministic random number generation.
+//
+// Every simulation owns exactly one Rng (or a tree of Rngs forked from one
+// seed), so reruns with the same seed are bit-identical -- a property the
+// test suite and the benchmark harness rely on. The engine is xoshiro256**,
+// which is small, fast, and has no observable bias for the moderate draw
+// counts we make.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace bips {
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 so that nearby seeds give
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into 256 bits of state.
+    auto next = [&seed] {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = next();
+  }
+
+  /// Forks an independent stream; used to give each simulated device its own
+  /// generator while keeping the whole run a function of one master seed.
+  Rng fork() { return Rng(next_u64()); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  std::uint64_t uniform(std::uint64_t bound) {
+    BIPS_ASSERT(bound > 0);
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    BIPS_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform_double();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform_double() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached second value: simpler and
+  /// deterministic under forking).
+  double normal(double mean, double stddev);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bips

@@ -1,0 +1,139 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace bips {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) { *this = o; return; }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  BIPS_ASSERT(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::ci95_halfwidth() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double SampleSet::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BIPS_ASSERT(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    std::snprintf(buf, sizeof buf, "[%8.3f, %8.3f) %6zu |", bin_low(i),
+                  bin_high(i), counts_[i]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bips

@@ -1,0 +1,98 @@
+// Statistics accumulators used by the measurement harness.
+//
+// RunningStats gives streaming mean/variance (Welford) without storing the
+// samples; SampleSet stores samples for percentile queries; Histogram bins
+// durations for the discovery-time distributions of Table 1 / Figure 2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.hpp"
+
+namespace bips {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 if fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the 95% confidence interval of the mean (normal
+  /// approximation, 1.96 * s / sqrt(n)); 0 with fewer than two samples.
+  double ci95_halfwidth() const;
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples; supports exact percentiles. Used where the full
+/// distribution matters (e.g. the discovery-time CDF of Figure 2).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(d.to_seconds()); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Half-width of the 95% confidence interval of the mean.
+  double ci95_halfwidth() const;
+
+  /// Fraction of samples <= x; this *is* the empirical CDF plotted in
+  /// Figure 2 when x sweeps over time.
+  double cdf(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+  /// Renders a terminal bar chart, one row per bin.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bips

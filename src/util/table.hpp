@@ -1,0 +1,45 @@
+// Console table and CSV rendering for the benchmark harness.
+//
+// Every bench binary reproduces one paper table/figure; TableWriter prints
+// the rows in the same layout the paper uses, and can also dump CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bips {
+
+/// Column-aligned console table with an optional title.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header rule.
+  std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 4);
+/// Formats a percentage ("94.8%").
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace bips

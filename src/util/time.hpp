@@ -1,0 +1,130 @@
+// Simulation time types.
+//
+// The Bluetooth baseband is driven by a 3.2 kHz native clock whose cycle is
+// 312.5 us -- not an integer number of microseconds. We therefore use a
+// nanosecond time base (int64_t), in which every quantity the paper quotes is
+// exact:
+//
+//   half slot (1 clock cycle)  312.5 us  = 312'500 ns
+//   slot                       625   us  = 625'000 ns
+//   train length (16 slots)    10    ms
+//   N_inquiry * train          2.56  s
+//   T_w_inquiry_scan           11.25 ms
+//   T_inquiry_scan             1.28  s
+//
+// Duration is a strong type (not a raw int64_t) so that slot counts, channel
+// indices and times cannot be accidentally mixed. SimTime is an absolute
+// instant measured from simulation start.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace bips {
+
+/// A signed span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration millis(std::int64_t m) { return Duration(m * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  /// Construct from a floating-point second count (rounded to nearest ns).
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+  constexpr Duration operator%(Duration o) const { return Duration(ns_ % o.ns_); }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An absolute simulated instant (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr Duration operator-(SimTime o) const { return Duration(ns_ - o.ns_); }
+  SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// --- Bluetooth baseband timing constants (spec v1.1, quoted in the paper) ---
+
+/// One native clock cycle: 312.5 us. The Bluetooth clock runs at 3.2 kHz.
+inline constexpr Duration kHalfSlot = Duration::nanos(312'500);
+/// One baseband slot: 625 us (two clock cycles).
+inline constexpr Duration kSlot = Duration::nanos(625'000);
+/// One inquiry/page train: 16 slots = 10 ms (8 TX slots covering 16 hops
+/// interleaved with 8 RX slots).
+inline constexpr Duration kTrain = 16 * kSlot;
+/// Number of times a train is repeated before switching (N_inquiry = 256).
+inline constexpr int kNInquiry = 256;
+/// Dwell on one train: 256 * 10 ms = 2.56 s.
+inline constexpr Duration kTrainDwell = kNInquiry * kTrain;
+/// Default inquiry-scan window (T_w_inquiry_scan = 11.25 ms = 18 slots).
+inline constexpr Duration kDefaultScanWindow = Duration::nanos(11'250'000);
+/// Default inquiry-scan interval (T_inquiry_scan = 1.28 s).
+inline constexpr Duration kDefaultScanInterval = Duration::millis(1280);
+/// Worst-case error-free inquiry length quoted by the paper (3 switches).
+inline constexpr Duration kMaxInquiryLength = Duration::from_seconds(10.24);
+
+/// Renders a duration as a human-friendly string ("1.603 s", "11.25 ms").
+std::string to_string(Duration d);
+/// Renders an absolute time as seconds with millisecond precision.
+std::string to_string(SimTime t);
+
+inline std::string to_string(Duration d) {
+  char buf[64];
+  const double a = d.to_seconds() < 0 ? -d.to_seconds() : d.to_seconds();
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.4g s", d.to_seconds());
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4g ms", d.to_seconds() * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g us", d.to_seconds() * 1e6);
+  }
+  return buf;
+}
+
+inline std::string to_string(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f s", t.to_seconds());
+  return buf;
+}
+
+}  // namespace bips

@@ -1,0 +1,250 @@
+// Unit tests for the pedestrian mobility models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/graph/all_pairs.hpp"
+#include "src/mobility/agents.hpp"
+
+namespace bips::mobility {
+namespace {
+
+RandomWaypointAgent::Config fast_mobility() {
+  RandomWaypointAgent::Config cfg;
+  cfg.speed_min_mps = 1.0;
+  cfg.speed_max_mps = 1.5;
+  cfg.pause_min = Duration::seconds(1);
+  cfg.pause_max = Duration::seconds(5);
+  return cfg;
+}
+
+struct AgentRig : ::testing::Test {
+  sim::Simulator sim;
+  Building building = Building::department();
+  graph::Graph g = building.to_graph();
+  graph::AllPairsPaths paths{g};
+
+  void run_s(double s) {
+    sim.run_until(sim.now() + Duration::from_seconds(s));
+  }
+};
+
+TEST_F(AgentRig, StartsAtStartRoomCenter) {
+  RandomWaypointAgent a(sim, building, paths, Rng(1), 0, fast_mobility());
+  EXPECT_EQ(a.position(), building.room(0).center);
+  EXPECT_EQ(a.destination(), 0u);
+}
+
+TEST_F(AgentRig, EventuallyLeavesTheStartRoom) {
+  RandomWaypointAgent a(sim, building, paths, Rng(2), 0, fast_mobility());
+  a.start();
+  run_s(60);
+  EXPECT_GT(a.odometer(), 0.0);
+}
+
+TEST_F(AgentRig, StaysOnCorridorPaths) {
+  // At every instant the agent lies on a segment between the centres of two
+  // rooms connected in the graph (or at a centre).
+  RandomWaypointAgent a(sim, building, paths, Rng(3), 0, fast_mobility());
+  a.start();
+  for (int i = 0; i < 600; ++i) {
+    run_s(1.0);
+    const Vec2 p = a.position();
+    bool on_some_segment = false;
+    for (const Room& r1 : building.rooms()) {
+      if (distance(p, r1.center) < 1e-6) on_some_segment = true;
+    }
+    for (const Corridor& c : building.corridors()) {
+      const Vec2 u = building.room(c.a).center;
+      const Vec2 v = building.room(c.b).center;
+      const double len = distance(u, v);
+      // Distance from p to segment uv.
+      const Vec2 d = (v - u) * (1.0 / len);
+      const double t = std::clamp((p - u).x * d.x + (p - u).y * d.y, 0.0, len);
+      const Vec2 proj = u + d * t;
+      if (distance(p, proj) < 1e-6) on_some_segment = true;
+    }
+    ASSERT_TRUE(on_some_segment)
+        << "agent off-graph at t=" << sim.now().to_seconds() << " p=(" << p.x
+        << "," << p.y << ")";
+  }
+}
+
+TEST_F(AgentRig, VisitsManyRoomsOverTime) {
+  RandomWaypointAgent a(sim, building, paths, Rng(4), 0, fast_mobility());
+  a.start();
+  std::set<RoomId> visited;
+  for (int i = 0; i < 1200; ++i) {
+    run_s(1.0);
+    const RoomId r = a.covering_room(10.0);
+    if (r != kNoRoom) visited.insert(r);
+  }
+  EXPECT_GE(visited.size(), 5u);
+}
+
+TEST_F(AgentRig, SpeedStaysWithinConfiguredBand) {
+  RandomWaypointAgent a(sim, building, paths, Rng(5), 0, fast_mobility());
+  a.start();
+  // Sample displacement over small dt while walking.
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 before = a.position();
+    run_s(0.1);
+    const Vec2 after = a.position();
+    if (a.walking()) {
+      const double v = distance(before, after) / 0.1;
+      // A sample that straddles a pause/turn boundary reads low; never high.
+      EXPECT_LT(v, 1.5 + 1e-6);
+    }
+  }
+}
+
+TEST_F(AgentRig, StopFreezesTheAgent) {
+  RandomWaypointAgent a(sim, building, paths, Rng(6), 0, fast_mobility());
+  a.start();
+  run_s(30);
+  a.stop();
+  const Vec2 p = a.position();
+  run_s(60);
+  EXPECT_EQ(a.position(), p);
+}
+
+TEST_F(AgentRig, DeterministicForSameSeed) {
+  RandomWaypointAgent a1(sim, building, paths, Rng(7), 0, fast_mobility());
+  // A second simulator world replays identically.
+  sim::Simulator sim2;
+  RandomWaypointAgent a2(sim2, building, paths, Rng(7), 0, fast_mobility());
+  a1.start();
+  a2.start();
+  for (int i = 0; i < 120; ++i) {
+    sim.run_until(sim.now() + Duration::seconds(1));
+    sim2.run_until(sim2.now() + Duration::seconds(1));
+    EXPECT_EQ(a1.position(), a2.position()) << "diverged at step " << i;
+  }
+}
+
+TEST_F(AgentRig, SingleRoomBuildingAgentDwellsForever) {
+  Building one;
+  one.add_room("only", {0, 0});
+  graph::Graph g1 = one.to_graph();
+  graph::AllPairsPaths p1(g1);
+  RandomWaypointAgent a(sim, one, p1, Rng(8), 0, fast_mobility());
+  a.start();
+  run_s(120);
+  EXPECT_EQ(a.position(), (Vec2{0, 0}));
+  EXPECT_DOUBLE_EQ(a.odometer(), 0.0);
+}
+
+TEST(CorridorCrosser, CrossesTheFullDiameter) {
+  sim::Simulator sim;
+  bool exited = false;
+  CorridorCrosser c(sim, {0, 0}, 10.0, 1.3, [&] { exited = true; });
+  EXPECT_EQ(c.position(), (Vec2{-10, 0}));
+  EXPECT_NEAR(c.crossing_time().to_seconds(), 15.3846, 1e-3);
+  c.start();
+  sim.run_until(SimTime(Duration::seconds(20).ns()));
+  EXPECT_TRUE(exited);
+  EXPECT_EQ(c.position(), (Vec2{10, 0}));
+}
+
+TEST(CorridorCrosser, PaperNumbersTwentyMetresAt1p3) {
+  // Section 5: 20 m diameter / 1.3 m/s average -> 15.4 s crossing.
+  sim::Simulator sim;
+  CorridorCrosser c(sim, {0, 0}, 10.0, 1.3);
+  EXPECT_NEAR(c.crossing_time().to_seconds(), 15.4, 0.1);
+}
+
+}  // namespace
+}  // namespace bips::mobility
+
+// ---- agenda-driven pedestrians ----------------------------------------------
+
+namespace bips::mobility {
+namespace {
+
+SimTime ts(double s) { return SimTime(Duration::from_seconds(s).ns()); }
+
+TEST_F(AgentRig, AgendaAgentKeepsItsAppointments) {
+  const RoomId lobby = *building.find("lobby");
+  const RoomId seminar = *building.find("seminar-room");
+  const RoomId coffee = *building.find("coffee-corner");
+  AgendaAgent a(sim, building, paths, Rng(9), lobby,
+                {{ts(30), seminar}, {ts(120), coffee}});
+  a.start();
+  EXPECT_EQ(a.position(), building.room(lobby).center);
+
+  run_s(29);
+  EXPECT_EQ(a.position(), building.room(lobby).center);  // dwelling
+
+  run_s(60);  // t = 89: walked the ~52 m at 1.3 m/s
+  EXPECT_EQ(a.position(), building.room(seminar).center);
+  EXPECT_EQ(a.appointments_kept(), 1u);
+
+  run_s(120);  // t = 209: second appointment done
+  EXPECT_EQ(a.position(), building.room(coffee).center);
+  EXPECT_EQ(a.appointments_kept(), 2u);
+}
+
+TEST_F(AgentRig, AgendaAgentStaysOnTheCorridorGraph) {
+  const RoomId lobby = *building.find("lobby");
+  const RoomId seminar = *building.find("seminar-room");
+  AgendaAgent a(sim, building, paths, Rng(10), lobby, {{ts(5), seminar}});
+  a.start();
+  // While walking, the agent passes through intermediate room centres of
+  // the shortest path (never cuts across the void).
+  bool seen_intermediate = false;
+  for (int i = 0; i < 60; ++i) {
+    run_s(1);
+    const RoomId r = building.nearest_room(a.position());
+    if (r != lobby && r != seminar) seen_intermediate = true;
+  }
+  EXPECT_TRUE(seen_intermediate);
+  EXPECT_EQ(a.position(), building.room(seminar).center);
+}
+
+TEST_F(AgentRig, AgendaAgentAppointmentInCurrentRoomIsImmediate) {
+  const RoomId lobby = *building.find("lobby");
+  AgendaAgent a(sim, building, paths, Rng(11), lobby, {{ts(10), lobby}});
+  a.start();
+  run_s(15);
+  EXPECT_EQ(a.position(), building.room(lobby).center);
+  EXPECT_EQ(a.appointments_kept(), 1u);
+}
+
+TEST_F(AgentRig, AgendaAgentStopCancelsFutureAppointments) {
+  const RoomId lobby = *building.find("lobby");
+  const RoomId seminar = *building.find("seminar-room");
+  AgendaAgent a(sim, building, paths, Rng(12), lobby, {{ts(50), seminar}});
+  a.start();
+  run_s(10);
+  a.stop();
+  run_s(200);
+  EXPECT_EQ(a.position(), building.room(lobby).center);
+  EXPECT_EQ(a.appointments_kept(), 0u);
+}
+
+TEST_F(AgentRig, UnsortedAgendaDies) {
+  const RoomId lobby = *building.find("lobby");
+  EXPECT_DEATH(AgendaAgent(sim, building, paths, Rng(13), lobby,
+                           {{ts(100), lobby}, {ts(50), lobby}}),
+               "sorted");
+}
+
+TEST_F(AgentRig, ConvergenceScenarioEveryoneReachesTheMeeting) {
+  const RoomId seminar = *building.find("seminar-room");
+  std::vector<std::unique_ptr<AgendaAgent>> crowd;
+  for (std::size_t i = 0; i < building.room_count(); ++i) {
+    crowd.push_back(std::make_unique<AgendaAgent>(
+        sim, building, paths, Rng(100 + i), static_cast<RoomId>(i),
+        std::vector<AgendaAgent::Appointment>{{ts(60), seminar}}));
+    crowd.back()->start();
+  }
+  run_s(200);
+  for (auto& a : crowd) {
+    EXPECT_EQ(a->position(), building.room(seminar).center);
+  }
+}
+
+}  // namespace
+}  // namespace bips::mobility

@@ -1,0 +1,55 @@
+// Unit tests for password hashing.
+#include <gtest/gtest.h>
+
+#include "src/core/auth.hpp"
+
+namespace bips::core {
+namespace {
+
+TEST(Auth, VerifyAcceptsCorrectPassword) {
+  const PasswordHash h = hash_password("s3cret", 0x1234);
+  EXPECT_TRUE(verify_password("s3cret", h));
+}
+
+TEST(Auth, VerifyRejectsWrongPassword) {
+  const PasswordHash h = hash_password("s3cret", 0x1234);
+  EXPECT_FALSE(verify_password("S3cret", h));
+  EXPECT_FALSE(verify_password("s3cret ", h));
+  EXPECT_FALSE(verify_password("", h));
+}
+
+TEST(Auth, SaltChangesDigest) {
+  const PasswordHash a = hash_password("pw", 1);
+  const PasswordHash b = hash_password("pw", 2);
+  EXPECT_NE(a.digest, b.digest);
+  // Each verifies only under its own salt record.
+  EXPECT_TRUE(verify_password("pw", a));
+  EXPECT_TRUE(verify_password("pw", b));
+}
+
+TEST(Auth, DeterministicForSameInputs) {
+  EXPECT_EQ(hash_password("pw", 7), hash_password("pw", 7));
+}
+
+TEST(Auth, EmptyPasswordIsHashable) {
+  const PasswordHash h = hash_password("", 9);
+  EXPECT_TRUE(verify_password("", h));
+  EXPECT_FALSE(verify_password("x", h));
+}
+
+TEST(Auth, SimilarPasswordsDiverge) {
+  const PasswordHash h = hash_password("password1", 5);
+  EXPECT_FALSE(verify_password("password2", h));
+  const PasswordHash h2 = hash_password("password2", 5);
+  EXPECT_NE(h.digest, h2.digest);
+}
+
+TEST(Auth, LongPasswords) {
+  const std::string longpw(10'000, 'a');
+  const PasswordHash h = hash_password(longpw, 3);
+  EXPECT_TRUE(verify_password(longpw, h));
+  EXPECT_FALSE(verify_password(longpw + "b", h));
+}
+
+}  // namespace
+}  // namespace bips::core

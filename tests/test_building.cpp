@@ -1,0 +1,122 @@
+// Unit tests for the building model.
+#include <gtest/gtest.h>
+
+#include "src/graph/all_pairs.hpp"
+#include "src/mobility/building.hpp"
+
+namespace bips::mobility {
+namespace {
+
+TEST(Building, AddRoomAndLookup) {
+  Building b;
+  const RoomId r = b.add_room("lab", {3, 4});
+  EXPECT_EQ(b.room_count(), 1u);
+  EXPECT_EQ(b.room(r).name, "lab");
+  EXPECT_EQ(b.room(r).center, (Vec2{3, 4}));
+  EXPECT_EQ(b.find("lab"), r);
+  EXPECT_FALSE(b.find("nope").has_value());
+}
+
+TEST(Building, DuplicateRoomNameDies) {
+  Building b;
+  b.add_room("x", {0, 0});
+  EXPECT_DEATH(b.add_room("x", {1, 1}), "duplicate");
+}
+
+TEST(Building, ConnectDefaultsToEuclideanDistance) {
+  Building b;
+  const RoomId a = b.add_room("a", {0, 0});
+  const RoomId c = b.add_room("c", {3, 4});
+  b.connect(a, c);
+  ASSERT_EQ(b.corridors().size(), 1u);
+  EXPECT_DOUBLE_EQ(b.corridors()[0].distance, 5.0);
+}
+
+TEST(Building, ConnectWithExplicitWalkingDistance) {
+  Building b;
+  const RoomId a = b.add_room("a", {0, 0});
+  const RoomId c = b.add_room("c", {3, 4});
+  b.connect(a, c, 12.0);  // around a corner, longer than the crow flies
+  EXPECT_DOUBLE_EQ(b.corridors()[0].distance, 12.0);
+}
+
+TEST(Building, ToGraphPreservesIdsNamesAndWeights) {
+  Building b;
+  const RoomId a = b.add_room("a", {0, 0});
+  const RoomId c = b.add_room("c", {10, 0});
+  b.connect(a, c, 11.0);
+  const graph::Graph g = b.to_graph();
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.name(a), "a");
+  EXPECT_EQ(g.name(c), "c");
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].weight, 11.0);
+}
+
+TEST(Building, NearestRoom) {
+  Building b;
+  b.add_room("a", {0, 0});
+  const RoomId c = b.add_room("c", {20, 0});
+  EXPECT_EQ(b.nearest_room({14, 0}), c);
+  EXPECT_EQ(b.nearest_room({2, 1}), 0u);
+}
+
+TEST(Building, NearestRoomWithinRadius) {
+  Building b;
+  b.add_room("a", {0, 0});
+  EXPECT_EQ(b.nearest_room_within({5, 0}, 10.0), 0u);
+  EXPECT_EQ(b.nearest_room_within({10, 0}, 10.0), 0u);  // boundary inclusive
+  EXPECT_EQ(b.nearest_room_within({15, 0}, 10.0), kNoRoom);
+}
+
+TEST(Building, EmptyBuildingNearestIsNoRoom) {
+  Building b;
+  EXPECT_EQ(b.nearest_room({0, 0}), kNoRoom);
+  EXPECT_EQ(b.nearest_room_within({0, 0}, 10.0), kNoRoom);
+}
+
+TEST(Building, CorridorFactoryIsAChain) {
+  const Building b = Building::corridor(5, 12.0);
+  EXPECT_EQ(b.room_count(), 5u);
+  EXPECT_EQ(b.corridors().size(), 4u);
+  const graph::Graph g = b.to_graph();
+  EXPECT_TRUE(g.connected());
+  // End-to-end distance is 4 hops * 12 m.
+  const graph::AllPairsPaths ap(g);
+  EXPECT_DOUBLE_EQ(ap.distance(0, 4), 48.0);
+}
+
+TEST(Building, GridFactoryConnectivityAndManhattanPaths) {
+  const Building b = Building::grid(3, 4, 10.0);
+  EXPECT_EQ(b.room_count(), 12u);
+  const graph::Graph g = b.to_graph();
+  EXPECT_TRUE(g.connected());
+  const graph::AllPairsPaths ap(g);
+  // Corner to corner: (3-1)+(4-1) = 5 hops of 10 m.
+  EXPECT_DOUBLE_EQ(ap.distance(0, 11), 50.0);
+}
+
+TEST(Building, DepartmentFloorPlanIsConnectedAndNonTrivial) {
+  const Building b = Building::department();
+  EXPECT_EQ(b.room_count(), 10u);
+  const graph::Graph g = b.to_graph();
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(b.find("lobby").has_value());
+  EXPECT_TRUE(b.find("seminar-room").has_value());
+  // The shortcut makes some indirect path cheaper than the corridor loop.
+  const graph::AllPairsPaths ap(g);
+  const auto lobby = *b.find("lobby");
+  const auto seminar = *b.find("seminar-room");
+  EXPECT_GT(ap.distance(lobby, seminar), 0.0);
+  EXPECT_LT(ap.distance(lobby, seminar), 60.0);
+}
+
+TEST(Building, RoomSpacingExceedsCoverageOverlapInFactories) {
+  // Piconets are 10 m; factory plans space workstations 12 m so rooms do
+  // not fully overlap (a device can be in at most a small overlap region).
+  const Building b = Building::corridor(3, 12.0);
+  EXPECT_GT(distance(b.room(0).center, b.room(1).center), 10.0);
+}
+
+}  // namespace
+}  // namespace bips::mobility

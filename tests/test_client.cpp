@@ -1,0 +1,197 @@
+// Unit tests for the BIPS handheld client: query bookkeeping, reply
+// dispatch, subscriptions -- driven against a fake workstation piconet.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/baseband/piconet.hpp"
+#include "src/core/client.hpp"
+
+namespace bips::core {
+namespace {
+
+struct ClientRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{51};
+  baseband::RadioChannel radio{sim, rng, baseband::ChannelConfig{}};
+
+  // Fake workstation side.
+  std::unique_ptr<baseband::Device> master_dev =
+      std::make_unique<baseband::Device>(sim, radio, baseband::BdAddr(0xA1),
+                                         rng.fork());
+  baseband::PiconetMaster master{*master_dev, baseband::PiconetMaster::Config{}};
+  std::vector<proto::Message> at_master;
+
+  std::unique_ptr<BipsClient> client;
+
+  void SetUp() override {
+    ClientConfig cfg;
+    cfg.userid = "alice";
+    cfg.password = "pw";
+    cfg.auto_login = false;  // drive everything explicitly
+    client = std::make_unique<BipsClient>(sim, radio,
+                                          baseband::BdAddr(0xB1), rng.fork(),
+                                          cfg);
+    master.set_on_message([this](baseband::BdAddr, const baseband::AclPayload& p) {
+      auto m = proto::decode(p);
+      ASSERT_TRUE(m.has_value());
+      at_master.push_back(*m);
+    });
+    ASSERT_TRUE(master.attach(client->link()));
+  }
+
+  void run_ms(std::int64_t ms) {
+    sim.run_until(sim.now() + Duration::millis(ms));
+  }
+  void master_sends(const proto::Message& m) {
+    master.send(baseband::BdAddr(0xB1), proto::encode(m));
+  }
+  template <typename T>
+  std::vector<T> master_got() {
+    std::vector<T> out;
+    for (const auto& m : at_master) {
+      if (const T* v = std::get_if<T>(&m)) out.push_back(*v);
+    }
+    return out;
+  }
+};
+
+TEST_F(ClientRig, QueriesRefusedWhenDisconnected) {
+  master.detach(baseband::BdAddr(0xB1));
+  EXPECT_FALSE(client->where_is("Bob", nullptr));
+  EXPECT_FALSE(client->find_path_to("Bob", nullptr));
+  EXPECT_FALSE(client->who_is_in("lab", nullptr));
+  EXPECT_FALSE(client->subscribe("Bob", nullptr));
+  EXPECT_FALSE(client->logout());
+}
+
+TEST_F(ClientRig, QueryIdsAreUniqueAndRepliesDispatchById) {
+  std::optional<std::string> room1, room2;
+  ASSERT_TRUE(client->where_is(
+      "Bob", [&](const proto::WhereIsReply& r) { room1 = r.room; }));
+  ASSERT_TRUE(client->where_is(
+      "Carol", [&](const proto::WhereIsReply& r) { room2 = r.room; }));
+  run_ms(60);
+  auto reqs = master_got<proto::WhereIsRequest>();
+  ASSERT_EQ(reqs.size(), 2u);
+  ASSERT_NE(reqs[0].query_id, reqs[1].query_id);
+
+  // Answer in reverse order; each lands on its own callback.
+  master_sends(proto::WhereIsReply{reqs[1].query_id,
+                                   proto::QueryStatus::kOk, "carol-room"});
+  master_sends(proto::WhereIsReply{reqs[0].query_id,
+                                   proto::QueryStatus::kOk, "bob-room"});
+  run_ms(60);
+  EXPECT_EQ(room1, "bob-room");
+  EXPECT_EQ(room2, "carol-room");
+}
+
+TEST_F(ClientRig, ReplyCallbacksFireExactlyOnce) {
+  int calls = 0;
+  ASSERT_TRUE(client->where_is(
+      "Bob", [&](const proto::WhereIsReply&) { ++calls; }));
+  run_ms(60);
+  const auto id = master_got<proto::WhereIsRequest>()[0].query_id;
+  master_sends(proto::WhereIsReply{id, proto::QueryStatus::kOk, "x"});
+  master_sends(proto::WhereIsReply{id, proto::QueryStatus::kOk, "x"});
+  run_ms(60);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ClientRig, UnknownQueryIdIgnored) {
+  int calls = 0;
+  ASSERT_TRUE(client->where_is(
+      "Bob", [&](const proto::WhereIsReply&) { ++calls; }));
+  run_ms(60);
+  master_sends(proto::WhereIsReply{0xDEAD, proto::QueryStatus::kOk, "x"});
+  run_ms(60);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ClientRig, MalformedPayloadIgnored) {
+  master.send(baseband::BdAddr(0xB1), {0xFF, 0x00, 0x13});
+  run_ms(60);  // must not crash; nothing dispatched
+  EXPECT_EQ(client->stats().replies_received, 0u);
+}
+
+TEST_F(ClientRig, SubscriptionEventsDispatchToTheRightWatch) {
+  std::vector<std::string> bob_rooms, carol_rooms;
+  ASSERT_TRUE(client->subscribe("Bob", [&](const proto::MovementEvent& ev) {
+    bob_rooms.push_back(ev.room);
+  }));
+  ASSERT_TRUE(client->subscribe("Carol", [&](const proto::MovementEvent& ev) {
+    carol_rooms.push_back(ev.room);
+  }));
+  run_ms(60);
+  master_sends(proto::MovementEvent{0xB1, "Bob", true, "lab", 1});
+  master_sends(proto::MovementEvent{0xB1, "Carol", true, "lobby", 2});
+  master_sends(proto::MovementEvent{0xB1, "Dave", true, "office", 3});
+  run_ms(60);
+  EXPECT_EQ(bob_rooms, std::vector<std::string>{"lab"});
+  EXPECT_EQ(carol_rooms, std::vector<std::string>{"lobby"});
+}
+
+TEST_F(ClientRig, UnsubscribeStopsDispatchLocally) {
+  int events = 0;
+  ASSERT_TRUE(client->subscribe(
+      "Bob", [&](const proto::MovementEvent&) { ++events; }));
+  run_ms(60);
+  ASSERT_TRUE(client->unsubscribe("Bob"));
+  run_ms(60);
+  master_sends(proto::MovementEvent{0xB1, "Bob", true, "lab", 1});
+  run_ms(60);
+  EXPECT_EQ(events, 0);
+  // Both the subscribe and the unsubscribe went up the link.
+  EXPECT_EQ(master_got<proto::SubscribeRequest>().size(), 2u);
+  EXPECT_TRUE(master_got<proto::SubscribeRequest>()[1].unsubscribe);
+}
+
+TEST_F(ClientRig, HistoryAndWhoIsInRoundTripThroughCallbacks) {
+  std::optional<proto::HistoryReply> hist;
+  std::optional<proto::WhoIsInReply> who;
+  ASSERT_TRUE(client->where_was(
+      "Bob", SimTime(42), [&](const proto::HistoryReply& r) { hist = r; }));
+  ASSERT_TRUE(client->who_is_in(
+      "lab", [&](const proto::WhoIsInReply& r) { who = r; }));
+  run_ms(60);
+  const auto hreq = master_got<proto::HistoryRequest>();
+  const auto wreq = master_got<proto::WhoIsInRequest>();
+  ASSERT_EQ(hreq.size(), 1u);
+  ASSERT_EQ(wreq.size(), 1u);
+  EXPECT_EQ(hreq[0].at_time_ns, 42);
+  EXPECT_EQ(wreq[0].room, "lab");
+
+  proto::HistoryReply hr;
+  hr.query_id = hreq[0].query_id;
+  hr.was_present = true;
+  hr.room = "lab";
+  master_sends(hr);
+  proto::WhoIsInReply wr;
+  wr.query_id = wreq[0].query_id;
+  wr.users = {"Bob"};
+  master_sends(wr);
+  run_ms(60);
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->room, "lab");
+  ASSERT_TRUE(who.has_value());
+  EXPECT_EQ(who->users, std::vector<std::string>{"Bob"});
+}
+
+TEST_F(ClientRig, LoginReplyUpdatesSessionState) {
+  EXPECT_FALSE(client->logged_in());
+  master_sends(proto::LoginReply{0xB1, true, ""});
+  run_ms(60);
+  EXPECT_TRUE(client->logged_in());
+  // Logout round trip.
+  EXPECT_TRUE(client->logout());
+  run_ms(60);
+  ASSERT_EQ(master_got<proto::LogoutRequest>().size(), 1u);
+  master_sends(proto::LogoutReply{0xB1, true});
+  run_ms(60);
+  EXPECT_FALSE(client->logged_in());
+}
+
+}  // namespace
+}  // namespace bips::core

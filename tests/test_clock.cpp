@@ -1,0 +1,99 @@
+// Unit tests for the Bluetooth native clock.
+#include <gtest/gtest.h>
+
+#include "src/baseband/clock.hpp"
+
+namespace bips::baseband {
+namespace {
+
+TEST(NativeClock, TicksEvery312point5us) {
+  NativeClock c(0);
+  EXPECT_EQ(c.clkn(SimTime::zero()), 0u);
+  EXPECT_EQ(c.clkn(SimTime(312'499)), 0u);
+  EXPECT_EQ(c.clkn(SimTime(312'500)), 1u);
+  EXPECT_EQ(c.clkn(SimTime(625'000)), 2u);
+  EXPECT_EQ(c.clkn(SimTime(Duration::seconds(1).ns())), 3200u);  // 3.2 kHz
+}
+
+TEST(NativeClock, PhaseOffsetApplies) {
+  NativeClock c(5);
+  EXPECT_EQ(c.clkn(SimTime::zero()), 5u);
+  EXPECT_EQ(c.clkn(SimTime(312'500)), 6u);
+  EXPECT_EQ(c.phase_ticks(), 5u);
+}
+
+TEST(NativeClock, WrapsAt28Bits) {
+  NativeClock c((1u << 28) - 1);
+  EXPECT_EQ(c.clkn(SimTime::zero()), (1u << 28) - 1);
+  EXPECT_EQ(c.clkn(SimTime(312'500)), 0u);
+}
+
+TEST(NativeClock, PhaseMaskedTo28Bits) {
+  NativeClock c(0xFFFFFFFFu);
+  EXPECT_EQ(c.phase_ticks(), (1u << 28) - 1);
+}
+
+TEST(NativeClock, EvenSlotParity) {
+  NativeClock c(0);
+  // CLKN bit 1 == 0 -> even (master TX) slot: ticks 0,1 even; 2,3 odd.
+  EXPECT_TRUE(c.in_even_slot(SimTime::zero()));
+  EXPECT_TRUE(c.in_even_slot(SimTime(312'500)));
+  EXPECT_FALSE(c.in_even_slot(SimTime(625'000)));
+  EXPECT_FALSE(c.in_even_slot(SimTime(937'500)));
+  EXPECT_TRUE(c.in_even_slot(SimTime(1'250'000)));
+}
+
+TEST(NativeClock, NextEvenSlotFromAlignedBoundary) {
+  NativeClock c(0);
+  // Exactly at an even-slot boundary: that instant qualifies.
+  EXPECT_EQ(c.next_even_slot(SimTime::zero()).ns(), 0);
+  EXPECT_EQ(c.next_even_slot(SimTime(1'250'000)).ns(), 1'250'000);
+}
+
+TEST(NativeClock, NextEvenSlotMidSlot) {
+  NativeClock c(0);
+  // 100 us into the even slot -> next boundary is 1.25 ms.
+  EXPECT_EQ(c.next_even_slot(SimTime(100'000)).ns(), 1'250'000);
+  // Inside the odd slot -> same boundary.
+  EXPECT_EQ(c.next_even_slot(SimTime(700'000)).ns(), 1'250'000);
+  EXPECT_EQ(c.next_even_slot(SimTime(1'249'999)).ns(), 1'250'000);
+}
+
+TEST(NativeClock, NextEvenSlotHonoursPhase) {
+  // Phase 1: device boundary (clkn % 4 == 0) occurs when wall ticks = 3 mod 4.
+  NativeClock c(1);
+  const SimTime t = c.next_even_slot(SimTime::zero());
+  EXPECT_EQ(c.clkn(t) & 0b11u, 0u);
+  EXPECT_EQ(t.ns(), 3 * 312'500);
+}
+
+TEST(NativeClock, NextEvenSlotIsAlwaysAlignedAndFuture) {
+  for (std::uint32_t phase : {0u, 1u, 2u, 3u, 12345u}) {
+    NativeClock c(phase);
+    for (std::int64_t ns : {0ll, 1ll, 312'500ll, 312'501ll, 999'999ll,
+                            1'250'000ll, 5'777'123ll}) {
+      const SimTime t(ns);
+      const SimTime b = c.next_even_slot(t);
+      EXPECT_GE(b, t);
+      EXPECT_EQ(c.clkn(b) & 0b11u, 0u) << "phase " << phase << " ns " << ns;
+      EXPECT_LE((b - t).ns(), 4 * 312'500);
+    }
+  }
+}
+
+TEST(NativeClock, ScanPhaseAdvancesEvery128s) {
+  NativeClock c(0);
+  EXPECT_EQ(c.scan_phase(SimTime::zero()), 0u);
+  EXPECT_EQ(c.scan_phase(SimTime(Duration::millis(1279).ns())), 0u);
+  EXPECT_EQ(c.scan_phase(SimTime(Duration::millis(1280).ns())), 1u);
+  EXPECT_EQ(c.scan_phase(SimTime(Duration::millis(2 * 1280).ns())), 2u);
+}
+
+TEST(NativeClock, ScanPhaseWrapsAt32) {
+  NativeClock c(0);
+  const SimTime t(32 * Duration::millis(1280).ns());
+  EXPECT_EQ(c.scan_phase(t), 0u);
+}
+
+}  // namespace
+}  // namespace bips::baseband

@@ -1,0 +1,107 @@
+// Tests for the radio-on (energy) accounting: the battery currency behind
+// the spec's default scan schedule.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct EnergyRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{21};
+  RadioChannel radio{sim, rng, ChannelConfig{}};
+
+  std::unique_ptr<Device> dev(std::uint64_t a) {
+    return std::make_unique<Device>(sim, radio, BdAddr(a), rng.fork());
+  }
+  void run_s(double s) {
+    sim.run_until(sim.now() + Duration::from_seconds(s));
+  }
+};
+
+TEST_F(EnergyRig, FreshDeviceHasZeroEnergy) {
+  auto d = dev(0xB1);
+  EXPECT_EQ(d->energy().radio_on().ns(), 0);
+  EXPECT_DOUBLE_EQ(d->energy().duty(Duration::seconds(10)), 0.0);
+}
+
+TEST_F(EnergyRig, IdleScannerDutyMatchesSchedule) {
+  // No master around: the scanner only pays its periodic windows.
+  auto d = dev(0xB1);
+  InquiryScanner scan(*d, ScanConfig{}, BackoffConfig{});
+  scan.start_with_phase(Duration(0));
+  const Duration horizon = Duration::from_seconds(25.6);  // 20 windows
+  run_s(25.6);
+  scan.stop();  // credit any open listen
+  const double duty = d->energy().duty(horizon);
+  // Spec duty: 11.25 ms / 1.28 s = 0.879%.
+  EXPECT_NEAR(duty, 0.0088, 0.0012);
+  EXPECT_EQ(d->energy().tx_time.ns(), 0);
+}
+
+TEST_F(EnergyRig, ContinuousScannerIsAlwaysOn) {
+  auto d = dev(0xB1);
+  ScanConfig cfg;
+  cfg.window = cfg.interval = kDefaultScanInterval;
+  InquiryScanner scan(*d, cfg, BackoffConfig{});
+  scan.start_with_phase(Duration(0));
+  run_s(12.8);
+  scan.stop();
+  EXPECT_NEAR(d->energy().duty(Duration::from_seconds(12.8)), 1.0, 0.01);
+}
+
+TEST_F(EnergyRig, InquirerPaysTxAndRxTime) {
+  auto d = dev(0xA1);
+  Inquirer inq(*d, InquiryConfig{}, nullptr);
+  inq.start();
+  run_s(1.0);
+  inq.stop();
+  // TX: ~1600 IDs of 68 us each ~ 0.109 s.
+  EXPECT_NEAR(d->energy().tx_time.to_seconds(),
+              static_cast<double>(inq.stats().ids_sent) * 68e-6, 1e-3);
+  // RX: two response listens of 1310 us per 1250 us TX slot: > wall time.
+  EXPECT_GT(d->energy().listen_time.to_seconds(), 1.0);
+  EXPECT_LT(d->energy().listen_time.to_seconds(), 2.5);
+}
+
+TEST_F(EnergyRig, DiscoveredSlavePaysForBackoffListening) {
+  auto master = dev(0xA1);
+  auto slave = dev(0xB1);
+  Inquirer inq(*master, InquiryConfig{}, nullptr);
+  ScanConfig cfg;  // default schedule
+  InquiryScanner scan(*slave, cfg, BackoffConfig{});
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  run_s(12.8);
+  scan.stop();
+  // Responding costs more than idle scanning (post-backoff continuous
+  // listening until the second ID), but stays well under continuous.
+  const double duty = slave->energy().duty(Duration::from_seconds(12.8));
+  EXPECT_GT(duty, 0.0088);
+  EXPECT_LT(duty, 0.5);
+  EXPECT_GT(slave->energy().tx_time.ns(), 0);  // the FHS responses
+}
+
+TEST_F(EnergyRig, TxAccountingPerPacketType) {
+  auto d = dev(0xB1);
+  Packet id;
+  id.type = PacketType::kId;
+  radio.transmit(d.get(), RfChannel{0, 1}, id);
+  Packet fhs;
+  fhs.type = PacketType::kFhs;
+  radio.transmit(d.get(), RfChannel{0, 2}, fhs);
+  sim.run();
+  EXPECT_EQ(d->energy().tx_time.ns(),
+            Duration::micros(68).ns() + Duration::micros(366).ns());
+}
+
+}  // namespace
+}  // namespace bips::baseband

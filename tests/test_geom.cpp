@@ -1,0 +1,47 @@
+// Unit tests for the 2-D geometry primitives.
+#include <gtest/gtest.h>
+
+#include "src/util/geom.hpp"
+
+namespace bips {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  constexpr Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ((Vec2{}).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 n = Vec2{3, 4}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  // The zero vector stays zero instead of dividing by zero.
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{}));
+}
+
+TEST(Vec2, Lerp) {
+  constexpr Vec2 a{0, 0}, b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5, 10}));
+  EXPECT_EQ(lerp(a, b, 0.25), (Vec2{2.5, 5}));
+}
+
+TEST(Vec2, EqualityIsExact) {
+  EXPECT_EQ((Vec2{1, 2}), (Vec2{1, 2}));
+  EXPECT_FALSE((Vec2{1, 2}) == (Vec2{1, 2.000001}));
+}
+
+}  // namespace
+}  // namespace bips

@@ -1,0 +1,200 @@
+// Unit tests for the topology graph, Dijkstra, and all-pairs paths.
+#include <gtest/gtest.h>
+
+#include "src/graph/all_pairs.hpp"
+#include "src/graph/dijkstra.hpp"
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::graph {
+namespace {
+
+Graph diamond() {
+  // a --1-- b --1-- d
+  //  \--3-- c --1--/
+  Graph g;
+  const auto a = g.add_node("a"), b = g.add_node("b"), c = g.add_node("c"),
+             d = g.add_node("d");
+  g.add_edge(a, b, 1);
+  g.add_edge(b, d, 1);
+  g.add_edge(a, c, 3);
+  g.add_edge(c, d, 1);
+  return g;
+}
+
+TEST(Graph, NodeLookupByName) {
+  Graph g;
+  const auto a = g.add_node("lobby");
+  EXPECT_EQ(g.find("lobby"), a);
+  EXPECT_FALSE(g.find("missing").has_value());
+  EXPECT_EQ(g.name(a), "lobby");
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(Graph, DuplicateNameDies) {
+  Graph g;
+  g.add_node("x");
+  EXPECT_DEATH(g.add_node("x"), "duplicate");
+}
+
+TEST(Graph, EdgesAreUndirected) {
+  Graph g;
+  const auto a = g.add_node("a"), b = g.add_node("b");
+  g.add_edge(a, b, 2.5);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  ASSERT_EQ(g.neighbors(b).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].to, b);
+  EXPECT_EQ(g.neighbors(b)[0].to, a);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].weight, 2.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, AddEdgeByName) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge("a", "b", 4.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, SelfLoopDies) {
+  Graph g;
+  const auto a = g.add_node("a");
+  EXPECT_DEATH(g.add_edge(a, a, 1), "self-loop");
+}
+
+TEST(Graph, NonPositiveWeightDies) {
+  Graph g;
+  const auto a = g.add_node("a"), b = g.add_node("b");
+  EXPECT_DEATH(g.add_edge(a, b, 0), "positive");
+}
+
+TEST(Graph, Connectivity) {
+  Graph g;
+  const auto a = g.add_node("a"), b = g.add_node("b");
+  g.add_node("c");  // isolated
+  g.add_edge(a, b, 1);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, EmptyAndSingletonAreConnected) {
+  Graph g;
+  EXPECT_TRUE(g.connected());
+  g.add_node("only");
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  const Graph g = diamond();
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);  // a-b-d, not a-c-d
+  const auto path = tree.path_to(3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 3u);
+}
+
+TEST(Dijkstra, SourceDistanceZero) {
+  const Graph g = diamond();
+  const auto tree = dijkstra(g, 2);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 0.0);
+  EXPECT_EQ(tree.path_to(2), std::vector<NodeId>{2});
+}
+
+TEST(Dijkstra, UnreachableNodes) {
+  Graph g;
+  const auto a = g.add_node("a");
+  g.add_node("island");
+  const auto tree = dijkstra(g, a);
+  EXPECT_FALSE(tree.reachable(1));
+  EXPECT_TRUE(tree.path_to(1).empty());
+}
+
+TEST(Dijkstra, ParallelEdgesUseCheapest) {
+  Graph g;
+  const auto a = g.add_node("a"), b = g.add_node("b");
+  g.add_edge(a, b, 5);
+  g.add_edge(a, b, 2);
+  EXPECT_DOUBLE_EQ(dijkstra(g, a).distance[b], 2.0);
+}
+
+TEST(Dijkstra, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g;
+    const int n = 2 + static_cast<int>(rng.uniform(15));
+    for (int i = 0; i < n; ++i) g.add_node("n" + std::to_string(i));
+    // Random connected graph: spanning chain + extra edges.
+    for (int i = 1; i < n; ++i) {
+      g.add_edge(static_cast<NodeId>(i - 1), static_cast<NodeId>(i),
+                 1.0 + rng.uniform_double() * 9.0);
+    }
+    for (int e = 0; e < n; ++e) {
+      const auto u = static_cast<NodeId>(rng.uniform(n));
+      const auto v = static_cast<NodeId>(rng.uniform(n));
+      if (u != v) g.add_edge(u, v, 1.0 + rng.uniform_double() * 9.0);
+    }
+    // Bellman-Ford as the oracle.
+    const auto src = static_cast<NodeId>(rng.uniform(n));
+    std::vector<double> dist(n, 1e18);
+    dist[src] = 0;
+    for (int round = 0; round < n; ++round) {
+      for (NodeId u = 0; u < g.node_count(); ++u) {
+        for (const Edge& e : g.neighbors(u)) {
+          dist[e.to] = std::min(dist[e.to], dist[u] + e.weight);
+        }
+      }
+    }
+    const auto tree = dijkstra(g, src);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(tree.distance[i], dist[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(AllPairs, DistancesSymmetricAndConsistent) {
+  const Graph g = diamond();
+  const AllPairsPaths ap(g);
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b = 0; b < g.node_count(); ++b) {
+      EXPECT_DOUBLE_EQ(ap.distance(a, b), ap.distance(b, a));
+      EXPECT_DOUBLE_EQ(ap.distance(a, b), dijkstra(g, a).distance[b]);
+    }
+  }
+}
+
+TEST(AllPairs, PathEndpointsAndWeightSum) {
+  const Graph g = diamond();
+  const AllPairsPaths ap(g);
+  const auto p = ap.path(2, 1);  // c -> d -> b (cost 2) beats c -> a -> b (4)
+  ASSERT_GE(p.size(), 2u);
+  EXPECT_EQ(p.front(), 2u);
+  EXPECT_EQ(p.back(), 1u);
+  EXPECT_DOUBLE_EQ(ap.distance(2, 1), 2.0);
+}
+
+TEST(AllPairs, NextHopWalksTowardTarget) {
+  const Graph g = diamond();
+  const AllPairsPaths ap(g);
+  // From a toward d the next hop is b.
+  EXPECT_EQ(ap.next_hop(0, 3), 1u);
+  // Following next hops terminates at the target.
+  NodeId cur = 0;
+  int hops = 0;
+  while (cur != 3 && hops < 10) {
+    cur = ap.next_hop(cur, 3);
+    ++hops;
+  }
+  EXPECT_EQ(cur, 3u);
+  EXPECT_EQ(hops, 2);
+}
+
+TEST(AllPairs, NextHopSelfIsInvalid) {
+  const Graph g = diamond();
+  const AllPairsPaths ap(g);
+  EXPECT_EQ(ap.next_hop(1, 1), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace bips::graph

@@ -1,0 +1,118 @@
+// Unit tests for inquiry/page hop selection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baseband/hopping.hpp"
+
+namespace bips::baseband {
+namespace {
+
+TEST(Hopping, TrainPartition) {
+  for (std::uint32_t i = 0; i < kTrainSize; ++i) {
+    EXPECT_EQ(train_of(i), Train::kA);
+  }
+  for (std::uint32_t i = kTrainSize; i < kChannelsPerSet; ++i) {
+    EXPECT_EQ(train_of(i), Train::kB);
+  }
+  EXPECT_EQ(train_base(Train::kA), 0u);
+  EXPECT_EQ(train_base(Train::kB), 16u);
+  EXPECT_EQ(other_train(Train::kA), Train::kB);
+  EXPECT_EQ(other_train(Train::kB), Train::kA);
+}
+
+TEST(Hopping, TrainSweepCoversExactlyItsSixteenChannels) {
+  for (Train t : {Train::kA, Train::kB}) {
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t slot = 0; slot < kTrainTxSlots; ++slot) {
+      seen.insert(inquiry_tx_channel(t, slot, 0));
+      seen.insert(inquiry_tx_channel(t, slot, 1));
+    }
+    EXPECT_EQ(seen.size(), kTrainSize);
+    for (const auto ch : seen) EXPECT_EQ(train_of(ch), t);
+  }
+}
+
+TEST(Hopping, TwoChannelsPerTxSlotAreDistinct) {
+  for (std::uint32_t slot = 0; slot < kTrainTxSlots; ++slot) {
+    EXPECT_NE(inquiry_tx_channel(Train::kA, slot, 0),
+              inquiry_tx_channel(Train::kA, slot, 1));
+  }
+}
+
+TEST(Hopping, ResponseChannelPairsOneToOne) {
+  std::set<std::uint32_t> resp;
+  for (std::uint32_t i = 0; i < kChannelsPerSet; ++i) {
+    const RfChannel r = inquiry_response_channel(i);
+    EXPECT_EQ(r.ns, 0u);
+    resp.insert(r.index);
+  }
+  EXPECT_EQ(resp.size(), kChannelsPerSet);
+}
+
+TEST(Hopping, InquiryChannelsShareTheGiacNamespace) {
+  EXPECT_EQ(inquiry_channel(7).ns, 0u);
+  EXPECT_EQ(inquiry_channel(7).index, 7u);
+}
+
+TEST(Hopping, PageNamespaceIsPerAddressAndNonZero) {
+  const BdAddr a(0x111111111111), b(0x222222222222);
+  EXPECT_NE(page_namespace(a), 0u);
+  EXPECT_NE(page_namespace(a), page_namespace(b));
+  // Stable for the same address.
+  EXPECT_EQ(page_namespace(a), page_namespace(BdAddr(0x111111111111)));
+}
+
+TEST(Hopping, PageChannelsNeverCollideWithInquiry) {
+  const BdAddr a(0xABCDEF012345);
+  for (std::uint32_t i = 0; i < kChannelsPerSet; ++i) {
+    EXPECT_NE(page_channel(a, i).ns, 0u);
+  }
+}
+
+TEST(Hopping, PageScanChannelFollowsClockPhase) {
+  const BdAddr a(0x010203040506);
+  const RfChannel c0 = page_scan_channel(a, 0);
+  const RfChannel c1 = page_scan_channel(a, 1);
+  EXPECT_EQ(c0.ns, page_namespace(a));
+  EXPECT_NE(c0.index, c1.index);
+  // Wraps mod 32.
+  EXPECT_EQ(page_scan_channel(a, 32).index, c0.index);
+}
+
+TEST(Hopping, PredictedPageIndexMatchesScanPhaseBits) {
+  // The pager predicts from FHS clock bits 16-12, which is exactly what the
+  // scanner's clock uses.
+  EXPECT_EQ(predicted_page_index(0), 0u);
+  EXPECT_EQ(predicted_page_index(1u << 12), 1u);
+  EXPECT_EQ(predicted_page_index(31u << 12), 31u);
+  EXPECT_EQ(predicted_page_index(32u << 12), 0u);  // wraps
+}
+
+TEST(BdAddr, Formatting) {
+  EXPECT_EQ(BdAddr(0x0A1B2C3D4E5F).to_string(), "0a:1b:2c:3d:4e:5f");
+  EXPECT_EQ(BdAddr().to_string(), "00:00:00:00:00:00");
+  EXPECT_TRUE(BdAddr().is_null());
+  EXPECT_FALSE(BdAddr(1).is_null());
+}
+
+TEST(BdAddr, MasksTo48Bits) {
+  EXPECT_EQ(BdAddr(0xFFFF'ABCD'0123'4567ull).raw(), 0xABCD'0123'4567ull);
+}
+
+TEST(Packet, Durations) {
+  Packet p;
+  p.type = PacketType::kId;
+  EXPECT_EQ(p.duration().ns(), 68'000);
+  p.type = PacketType::kFhs;
+  EXPECT_EQ(p.duration().ns(), 366'000);
+  // Every packet fits within its slot-pair budget.
+  for (auto t : {PacketType::kId, PacketType::kFhs, PacketType::kPoll,
+                 PacketType::kNull, PacketType::kAclData}) {
+    p.type = t;
+    EXPECT_LE(p.duration(), kSlot);
+  }
+}
+
+}  // namespace
+}  // namespace bips::baseband

@@ -1,0 +1,395 @@
+// Integration tests of the inquiry procedure: master Inquirer vs slave
+// InquiryScanner over the collision channel. These tests pin down the
+// timing structure behind the paper's Table 1 and Figure 2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/inquiry.hpp"
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct InquiryRig {
+  sim::Simulator sim;
+  Rng rng;
+  RadioChannel radio;
+
+  explicit InquiryRig(std::uint64_t seed = 1)
+      : rng(seed), radio(sim, rng, ChannelConfig{}) {}
+
+  std::unique_ptr<Device> make_device(std::uint64_t addr) {
+    return std::make_unique<Device>(sim, radio, BdAddr(addr), rng.fork());
+  }
+};
+
+ScanConfig continuous_scan() {
+  ScanConfig s;
+  s.window = kDefaultScanInterval;  // window == interval: always listening
+  s.interval = kDefaultScanInterval;
+  s.channel_mode = ScanChannelMode::kFixed;
+  return s;
+}
+
+TEST(Inquiry, SameTrainContinuousScanDiscoversWithinBackoffBound) {
+  InquiryRig rig(11);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  std::optional<SimTime> discovered;
+  InquiryConfig icfg;  // starts on train A
+  Inquirer inq(*master, icfg,
+               [&](const InquiryResponse& r) {
+                 EXPECT_EQ(r.addr.raw(), 0xB1u);
+                 if (!discovered) discovered = r.received_at;
+               });
+
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(3);  // train A
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(3).ns()));
+
+  ASSERT_TRUE(discovered.has_value());
+  // First ID within one train sweep (10 ms) + backoff <= 0.64 s + second
+  // sweep + exchange: comfortably under 0.7 s.
+  EXPECT_LT(discovered->to_seconds(), 0.7);
+  EXPECT_EQ(inq.stats().unique_responses, 1u);
+}
+
+TEST(Inquiry, DifferentTrainNeedsTrainSwitch) {
+  InquiryRig rig(12);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  std::optional<SimTime> discovered;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse& r) { discovered = r.received_at; });
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(20);  // train B
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(6).ns()));
+
+  ASSERT_TRUE(discovered.has_value());
+  // Nothing can happen before the 2.56 s train dwell elapses...
+  EXPECT_GT(discovered->to_seconds(), 2.56);
+  // ...and with continuous scanning it completes soon after the switch.
+  EXPECT_LT(discovered->to_seconds(), 3.3);
+  EXPECT_GE(inq.stats().train_switches, 1u);
+}
+
+TEST(Inquiry, TrainAOnlyMasterNeverFindsTrainBSlave) {
+  InquiryRig rig(13);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  bool discovered = false;
+  InquiryConfig icfg;
+  icfg.switch_trains = false;  // the Figure 2 master
+  Inquirer inq(*master, icfg,
+               [&](const InquiryResponse&) { discovered = true; });
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(25);  // train B, and kFixed keeps it there
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(12).ns()));
+
+  EXPECT_FALSE(discovered);
+  EXPECT_EQ(inq.stats().train_switches, 0u);
+}
+
+TEST(Inquiry, OutOfRangeSlaveIsNotDiscovered) {
+  InquiryRig rig(14);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  slave->set_position({50, 0});  // range is 10 m
+
+  bool discovered = false;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse&) { discovered = true; });
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(4).ns()));
+  EXPECT_FALSE(discovered);
+  EXPECT_EQ(scan.stats().ids_heard, 0u);
+}
+
+TEST(Inquiry, PeriodicScanTakesLongerThanContinuous) {
+  // With the default 11.25 ms / 1.28 s schedule the mean decomposes into
+  // the first-window wait (~0.64 s) plus the response backoff (~0.32 s):
+  // just under one second. Individual trials vary, so average a few seeds.
+  double sum = 0;
+  int n = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    InquiryRig rig(100 + seed);
+    auto master = rig.make_device(0xA1);
+    auto slave = rig.make_device(0xB1);
+
+    std::optional<SimTime> discovered;
+    Inquirer inq(*master, InquiryConfig{},
+                 [&](const InquiryResponse& r) { discovered = r.received_at; });
+    ScanConfig scfg;  // defaults: 11.25 ms window, 1.28 s interval
+    scfg.channel_mode = ScanChannelMode::kStickyTrain;
+    InquiryScanner scan(*slave, scfg, BackoffConfig{});
+    scan.set_initial_channel(
+        static_cast<std::uint32_t>(rig.rng.uniform(kTrainSize)));  // train A
+    scan.start();
+    inq.start();
+    rig.sim.run_until(SimTime(Duration::seconds(8).ns()));
+    ASSERT_TRUE(discovered.has_value()) << "seed " << seed;
+    sum += discovered->to_seconds();
+    ++n;
+  }
+  const double mean = sum / n;
+  // Expected ~0.96 s (0.64 first window + 0.32 backoff).
+  EXPECT_GT(mean, 0.6);
+  EXPECT_LT(mean, 1.5);
+}
+
+TEST(Inquiry, DuplicateResponsesAreDeduplicatedPerSession) {
+  InquiryRig rig(15);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  int callbacks = 0;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse&) { ++callbacks; });
+  BackoffConfig bo;
+  bo.respond_repeatedly = true;
+  InquiryScanner scan(*slave, continuous_scan(), bo);
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(8).ns()));
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_GT(scan.stats().fhs_sent, 1u);  // kept answering
+  EXPECT_EQ(inq.stats().unique_responses, 1u);
+  EXPECT_GT(inq.stats().fhs_received, 1u);
+}
+
+TEST(Inquiry, RespondOnceStopsAfterFirstFhs) {
+  InquiryRig rig(16);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  Inquirer inq(*master, InquiryConfig{}, nullptr);
+  BackoffConfig bo;
+  bo.respond_repeatedly = false;
+  InquiryScanner scan(*slave, continuous_scan(), bo);
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(6).ns()));
+
+  EXPECT_EQ(scan.stats().fhs_sent, 1u);
+  EXPECT_FALSE(scan.running());  // stopped itself after responding
+}
+
+TEST(Inquiry, TwoSlavesOnSameChannelBothEventuallyDiscovered) {
+  InquiryRig rig(17);
+  auto master = rig.make_device(0xA1);
+  auto s1 = rig.make_device(0xB1);
+  auto s2 = rig.make_device(0xB2);
+
+  std::set<std::uint64_t> found;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse& r) { found.insert(r.addr.raw()); });
+  InquiryScanner scan1(*s1, continuous_scan(), BackoffConfig{});
+  InquiryScanner scan2(*s2, continuous_scan(), BackoffConfig{});
+  scan1.set_initial_channel(7);
+  scan2.set_initial_channel(7);  // same channel: responses may collide
+  scan1.start_with_phase(Duration(0));
+  scan2.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(10).ns()));
+
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(Inquiry, TwentySlavesAllDiscoveredWithDedicatedMaster) {
+  InquiryRig rig(18);
+  auto master = rig.make_device(0xA1);
+  std::vector<std::unique_ptr<Device>> slaves;
+  std::vector<std::unique_ptr<InquiryScanner>> scans;
+
+  std::set<std::uint64_t> found;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse& r) { found.insert(r.addr.raw()); });
+  for (int i = 0; i < 20; ++i) {
+    slaves.push_back(rig.make_device(0xB0 + i));
+    auto scan = std::make_unique<InquiryScanner>(*slaves.back(),
+                                                 continuous_scan(),
+                                                 BackoffConfig{});
+    scan->start();
+    scans.push_back(std::move(scan));
+  }
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(12).ns()));
+  EXPECT_EQ(found.size(), 20u);
+}
+
+TEST(Inquiry, StopSilencesTheMaster) {
+  InquiryRig rig(19);
+  auto master = rig.make_device(0xA1);
+  Inquirer inq(*master, InquiryConfig{}, nullptr);
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::millis(100).ns()));
+  inq.stop();
+  const auto sent = inq.stats().ids_sent;
+  EXPECT_FALSE(inq.active());
+  rig.sim.run_until(SimTime(Duration::millis(300).ns()));
+  EXPECT_EQ(inq.stats().ids_sent, sent);
+  EXPECT_EQ(rig.radio.listen_count(master.get()), 0u);
+}
+
+TEST(Inquiry, IdRateMatchesSlotStructure) {
+  // Two IDs per even slot -> 1600 IDs per second.
+  InquiryRig rig(20);
+  auto master = rig.make_device(0xA1);
+  Inquirer inq(*master, InquiryConfig{}, nullptr);
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(2).ns()));
+  inq.stop();
+  EXPECT_NEAR(static_cast<double>(inq.stats().ids_sent), 3200.0, 10.0);
+}
+
+TEST(Inquiry, ScannerStopClearsBackoffState) {
+  InquiryRig rig(21);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  Inquirer inq(*master, InquiryConfig{}, nullptr);
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  // Run until the slave has heard the first ID and entered backoff.
+  rig.sim.run_until(SimTime(Duration::millis(50).ns()));
+  scan.stop();
+  EXPECT_FALSE(scan.running());
+  EXPECT_FALSE(scan.in_backoff());
+  EXPECT_EQ(rig.radio.listen_count(slave.get()), 0u);
+}
+
+TEST(Inquiry, RestartedInquirySessionRediscoveres) {
+  InquiryRig rig(22);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  int callbacks = 0;
+  Inquirer inq(*master, InquiryConfig{},
+               [&](const InquiryResponse&) { ++callbacks; });
+  InquiryScanner scan(*slave, continuous_scan(), BackoffConfig{});
+  scan.set_initial_channel(3);
+  scan.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(2).ns()));
+  inq.stop();
+  EXPECT_EQ(callbacks, 1);
+  inq.start();  // new session: dedup set reset
+  rig.sim.run_until(SimTime(Duration::seconds(4).ns()));
+  EXPECT_EQ(callbacks, 2);
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- interlaced scan (Bluetooth 1.2 extension) ------------------------------
+
+namespace bips::baseband {
+namespace {
+
+TEST(InterlacedScan, ReachableOnBothTrainsWithoutTrainSwitch) {
+  // Master locked to train A, slave's channel in train B: a classic scanner
+  // is invisible (see TrainAOnlyMasterNeverFindsTrainBSlave); an interlaced
+  // one answers via its second sub-window.
+  InquiryRig rig(61);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  std::optional<SimTime> found;
+  InquiryConfig icfg;
+  icfg.switch_trains = false;
+  Inquirer inq(*master, icfg,
+               [&](const InquiryResponse& r) { found = r.received_at; });
+  ScanConfig scan;
+  scan.channel_mode = ScanChannelMode::kFixed;
+  scan.interlaced = true;
+  InquiryScanner sc(*slave, scan, BackoffConfig{});
+  sc.set_initial_channel(25);  // train B
+  sc.start_with_phase(Duration(0));
+  inq.start();
+  rig.sim.run_until(SimTime(Duration::seconds(8).ns()));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_LT(found->to_seconds(), 3.0);
+}
+
+TEST(InterlacedScan, CutsTheDifferentTrainPenalty) {
+  // With a train-switching master, a misaligned interlaced slave no longer
+  // waits out the 2.56 s dwell.
+  double sum = 0;
+  int n = 0;
+  for (std::uint64_t seed = 70; seed < 80; ++seed) {
+    InquiryRig rig(seed);
+    auto master = rig.make_device(0xA1);
+    auto slave = rig.make_device(0xB1);
+    std::optional<SimTime> found;
+    Inquirer inq(*master, InquiryConfig{},
+                 [&](const InquiryResponse& r) { found = r.received_at; });
+    ScanConfig scan;
+    scan.channel_mode = ScanChannelMode::kStickyTrain;
+    scan.interlaced = true;
+    InquiryScanner sc(*slave, scan, BackoffConfig{});
+    sc.set_initial_channel(20);  // "different" train
+    sc.start();
+    inq.start();
+    rig.sim.run_until(SimTime(Duration::seconds(10).ns()));
+    ASSERT_TRUE(found.has_value()) << "seed " << seed;
+    sum += found->to_seconds();
+    ++n;
+  }
+  // Classic different-train mean is ~4.2-4.5 s; interlacing brings it to
+  // the same-train regime (~1 s).
+  EXPECT_LT(sum / n, 2.0);
+}
+
+TEST(InterlacedScan, DoublesTheIdleEnergyCost) {
+  InquiryRig rig(62);
+  auto classic_dev = rig.make_device(0xB1);
+  auto inter_dev = rig.make_device(0xB2);
+  ScanConfig classic_cfg;  // defaults
+  ScanConfig inter_cfg;
+  inter_cfg.interlaced = true;
+  InquiryScanner classic(*classic_dev, classic_cfg, BackoffConfig{});
+  InquiryScanner inter(*inter_dev, inter_cfg, BackoffConfig{});
+  classic.start_with_phase(Duration(0));
+  inter.start_with_phase(Duration(0));
+  rig.sim.run_until(SimTime(Duration::from_seconds(25.6).ns()));
+  classic.stop();
+  inter.stop();
+  const double ratio =
+      static_cast<double>(inter_dev->energy().listen_time.ns()) /
+      static_cast<double>(classic_dev->energy().listen_time.ns());
+  EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST(InterlacedScan, RequiresRoomForTwoWindows) {
+  InquiryRig rig(63);
+  auto slave = rig.make_device(0xB1);
+  ScanConfig scan;
+  scan.interlaced = true;
+  scan.window = Duration::millis(700);
+  scan.interval = Duration::millis(1280);  // < 2 * window
+  EXPECT_DEATH(InquiryScanner(*slave, scan, BackoffConfig{}), "interval");
+}
+
+}  // namespace
+}  // namespace bips::baseband

@@ -1,0 +1,160 @@
+// Unit tests for the simulated Ethernet LAN.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/lan.hpp"
+
+namespace bips::net {
+namespace {
+
+struct LanRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{3};
+};
+
+TEST_F(LanRig, DeliversWithBaseLatency) {
+  Lan::Config cfg;
+  cfg.base_latency = Duration::micros(200);
+  cfg.jitter = Duration(0);
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+
+  std::optional<std::int64_t> arrival;
+  b.set_handler([&](Address from, const Payload& p) {
+    EXPECT_EQ(from, a.address());
+    EXPECT_EQ(p, (Payload{1, 2}));
+    arrival = sim.now().ns();
+  });
+  EXPECT_TRUE(a.send(b.address(), {1, 2}));
+  sim.run();
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 200'000);
+}
+
+TEST_F(LanRig, AddressesAreSequential) {
+  Lan lan(sim, rng, Lan::Config{});
+  EXPECT_EQ(lan.create_endpoint().address(), 0u);
+  EXPECT_EQ(lan.create_endpoint().address(), 1u);
+  EXPECT_EQ(lan.create_endpoint().address(), 2u);
+}
+
+TEST_F(LanRig, SendToUnknownAddressFails) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& a = lan.create_endpoint();
+  EXPECT_FALSE(a.send(42, {1}));
+}
+
+TEST_F(LanRig, JitterStaysWithinBounds) {
+  Lan::Config cfg;
+  cfg.base_latency = Duration::micros(100);
+  cfg.jitter = Duration::micros(50);
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  std::vector<std::int64_t> arrivals;
+  b.set_handler([&](Address, const Payload&) {
+    arrivals.push_back(sim.now().ns());
+  });
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(Duration::millis(i), [&] { a.send(b.address(), {0}); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t latency = arrivals[i] - Duration::millis(i).ns();
+    EXPECT_GE(latency, 100'000);
+    EXPECT_LT(latency, 150'000);
+  }
+}
+
+TEST_F(LanRig, FifoPerPairUnderJitter) {
+  Lan::Config cfg;
+  cfg.base_latency = Duration::micros(10);
+  cfg.jitter = Duration::micros(500);  // heavy jitter forces reordering risk
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  std::vector<std::uint8_t> order;
+  b.set_handler([&](Address, const Payload& p) { order.push_back(p[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) a.send(b.address(), {i});
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(LanRig, LossDropsDeterministicallyAtOne) {
+  Lan::Config cfg;
+  cfg.loss = 1.0;
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  int got = 0;
+  b.set_handler([&](Address, const Payload&) { ++got; });
+  for (int i = 0; i < 20; ++i) a.send(b.address(), {1});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(lan.stats().dropped, 20u);
+  EXPECT_EQ(lan.stats().sent, 20u);
+  EXPECT_EQ(lan.stats().delivered, 0u);
+}
+
+TEST_F(LanRig, PartialLossRateApproximatelyRespected) {
+  Lan::Config cfg;
+  cfg.loss = 0.25;
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  int got = 0;
+  b.set_handler([&](Address, const Payload&) { ++got; });
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(Duration::micros(i), [&] { a.send(b.address(), {1}); });
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(got) / kN, 0.75, 0.03);
+}
+
+TEST_F(LanRig, SelfSendWorks) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& a = lan.create_endpoint();
+  int got = 0;
+  a.set_handler([&](Address from, const Payload&) {
+    EXPECT_EQ(from, a.address());
+    ++got;
+  });
+  a.send(a.address(), {1});
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(LanRig, ManyEndpointsIndependentStreams) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& hub = lan.create_endpoint();
+  std::vector<Endpoint*> spokes;
+  for (int i = 0; i < 10; ++i) spokes.push_back(&lan.create_endpoint());
+  int got = 0;
+  hub.set_handler([&](Address, const Payload&) { ++got; });
+  for (auto* s : spokes) s->send(hub.address(), {1});
+  sim.run();
+  EXPECT_EQ(got, 10);
+}
+
+TEST_F(LanRig, HandlerMaySendReply) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  bool replied = false;
+  b.set_handler([&](Address from, const Payload&) { b.send(from, {2}); });
+  a.set_handler([&](Address, const Payload& p) {
+    EXPECT_EQ(p[0], 2);
+    replied = true;
+  });
+  a.send(b.address(), {1});
+  sim.run();
+  EXPECT_TRUE(replied);
+}
+
+}  // namespace
+}  // namespace bips::net

@@ -1,0 +1,331 @@
+// Unit tests for the central location database.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/location_db.hpp"
+
+namespace bips::core {
+namespace {
+
+constexpr std::uint64_t kDev1 = 0xB1, kDev2 = 0xB2;
+SimTime at(double s) { return SimTime(Duration::from_seconds(s).ns()); }
+
+TEST(LocationDb, LoginBindsOneToOne) {
+  LocationDatabase db;
+  EXPECT_TRUE(db.login("alice", kDev1, at(1)));
+  EXPECT_EQ(db.addr_of("alice"), kDev1);
+  EXPECT_EQ(db.userid_of(kDev1), "alice");
+  EXPECT_TRUE(db.logged_in("alice"));
+  EXPECT_EQ(db.session_count(), 1u);
+}
+
+TEST(LocationDb, RebindingEitherSideFails) {
+  LocationDatabase db;
+  ASSERT_TRUE(db.login("alice", kDev1, at(1)));
+  EXPECT_FALSE(db.login("alice", kDev2, at(2)));  // userid taken
+  EXPECT_FALSE(db.login("bob", kDev1, at(2)));    // device taken
+  EXPECT_TRUE(db.login("bob", kDev2, at(2)));
+}
+
+TEST(LocationDb, InvalidLoginArgumentsRejected) {
+  LocationDatabase db;
+  EXPECT_FALSE(db.login("", kDev1, at(1)));
+  EXPECT_FALSE(db.login("alice", 0, at(1)));
+}
+
+TEST(LocationDb, LogoutClearsSessionAndPresence) {
+  LocationDatabase db;
+  ASSERT_TRUE(db.login("alice", kDev1, at(1)));
+  db.set_present(kDev1, 3, at(2));
+  EXPECT_TRUE(db.logout(kDev1));
+  EXPECT_FALSE(db.logged_in("alice"));
+  EXPECT_FALSE(db.piconet_of(kDev1).has_value());
+  EXPECT_FALSE(db.logout(kDev1));  // already gone
+  // userid free again.
+  EXPECT_TRUE(db.login("alice", kDev2, at(3)));
+}
+
+TEST(LocationDb, PresenceLifecycle) {
+  LocationDatabase db;
+  EXPECT_FALSE(db.piconet_of(kDev1).has_value());
+  EXPECT_TRUE(db.set_present(kDev1, 5, at(1)));
+  EXPECT_EQ(db.piconet_of(kDev1), 5u);
+  EXPECT_EQ(db.present_since(kDev1), at(1));
+  EXPECT_TRUE(db.set_absent(kDev1, 5, at(2)));
+  EXPECT_FALSE(db.piconet_of(kDev1).has_value());
+}
+
+TEST(LocationDb, DuplicatePresenceIsRedundant) {
+  LocationDatabase db;
+  EXPECT_TRUE(db.set_present(kDev1, 5, at(1)));
+  EXPECT_FALSE(db.set_present(kDev1, 5, at(2)));
+  EXPECT_EQ(db.stats().redundant_updates, 1u);
+  // The original timestamp survives.
+  EXPECT_EQ(db.present_since(kDev1), at(1));
+}
+
+TEST(LocationDb, MoveBetweenStationsIsOneUpdate) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(1));
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(2)));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);
+  EXPECT_EQ(db.present_since(kDev1), at(2));
+}
+
+TEST(LocationDb, StaleAbsenceFromOldStationIgnored) {
+  // Device moved 5 -> 6; station 5's late absence must not erase the newer
+  // presence at 6.
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(1));
+  db.set_present(kDev1, 6, at(2));
+  EXPECT_FALSE(db.set_absent(kDev1, 5, at(3)));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);
+}
+
+TEST(LocationDb, AbsenceForUnknownDeviceIsRedundant) {
+  LocationDatabase db;
+  EXPECT_FALSE(db.set_absent(kDev1, 5, at(1)));
+  EXPECT_EQ(db.stats().redundant_updates, 1u);
+}
+
+TEST(LocationDb, PopulationCounts) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(1));
+  db.set_present(kDev2, 5, at(1));
+  EXPECT_EQ(db.population_of(5), 2u);
+  db.set_present(kDev2, 6, at(2));
+  EXPECT_EQ(db.population_of(5), 1u);
+  EXPECT_EQ(db.population_of(6), 1u);
+  EXPECT_EQ(db.population_of(7), 0u);
+}
+
+TEST(LocationDb, HistoryRecordsTransitionsInOrder) {
+  // The full protocol flow of a move: station 5 reports presence, station 6
+  // takes over, station 5 notices the departure (retiring its fallback
+  // claim), station 6 finally reports the absence.
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(1));
+  db.set_present(kDev1, 6, at(2));
+  db.set_absent(kDev1, 5, at(3));  // station 5's own delayed absence
+  db.set_absent(kDev1, 6, at(4));
+  ASSERT_EQ(db.history().size(), 3u);
+  EXPECT_TRUE(db.history()[0].present);
+  EXPECT_EQ(db.history()[0].station, 5u);
+  EXPECT_TRUE(db.history()[1].present);
+  EXPECT_EQ(db.history()[1].station, 6u);
+  EXPECT_FALSE(db.history()[2].present);
+  EXPECT_EQ(db.history()[2].at, at(4));
+}
+
+TEST(LocationDb, HistoryBounded) {
+  LocationDatabase db(4);
+  for (int i = 0; i < 10; ++i) {
+    db.set_present(kDev1, static_cast<StationId>(i), at(i));
+  }
+  EXPECT_EQ(db.history().size(), 4u);
+  EXPECT_EQ(db.history().back().station, 9u);
+  EXPECT_EQ(db.history().front().station, 6u);
+}
+
+TEST(LocationDb, StatsCountStateChanges) {
+  LocationDatabase db;
+  db.login("alice", kDev1, at(0));
+  db.set_present(kDev1, 1, at(1));
+  db.set_present(kDev1, 1, at(2));  // redundant
+  db.set_present(kDev1, 2, at(3));
+  db.set_absent(kDev1, 2, at(4));
+  db.logout(kDev1);
+  EXPECT_EQ(db.stats().presence_updates, 3u);
+  EXPECT_EQ(db.stats().redundant_updates, 1u);
+  EXPECT_EQ(db.stats().logins, 1u);
+  EXPECT_EQ(db.stats().logouts, 1u);
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- temporal and inverse queries -----------------------------------------
+
+namespace bips::core {
+namespace {
+
+TEST(LocationDbHistory, WhereWasTracksMovements) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10));
+  db.set_present(kDev1, 6, at(20));
+  db.set_absent(kDev1, 5, at(22));  // station 5 retires its claim
+  db.set_absent(kDev1, 6, at(30));
+
+  EXPECT_FALSE(db.where_was(kDev1, at(5)).has_value());  // before any record
+  auto fix = db.where_was(kDev1, at(15));
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->station, 5u);
+  EXPECT_EQ(fix->since, at(10));
+  fix = db.where_was(kDev1, at(25));
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->station, 6u);
+  EXPECT_FALSE(db.where_was(kDev1, at(35)).has_value());  // after leaving
+}
+
+TEST(LocationDbHistory, WhereWasAtExactTransitionInstant) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10));
+  const auto fix = db.where_was(kDev1, at(10));
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->station, 5u);
+}
+
+TEST(LocationDbHistory, WhereWasIgnoresOtherDevices) {
+  LocationDatabase db;
+  db.set_present(kDev2, 7, at(10));
+  EXPECT_FALSE(db.where_was(kDev1, at(20)).has_value());
+}
+
+TEST(LocationDbHistory, EvictionLosesOldAnswers) {
+  LocationDatabase db(2);  // tiny history
+  db.set_present(kDev1, 1, at(1));
+  db.set_present(kDev1, 2, at(2));
+  db.set_present(kDev1, 3, at(3));  // evicts the t=1 record
+  EXPECT_FALSE(db.where_was(kDev1, at(1.5)).has_value());
+  EXPECT_TRUE(db.where_was(kDev1, at(2.5)).has_value());
+}
+
+TEST(LocationDbInverse, DevicesAtStation) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(1));
+  db.set_present(kDev2, 5, at(2));
+  auto devs = db.devices_at(5);
+  std::sort(devs.begin(), devs.end());
+  EXPECT_EQ(devs, (std::vector<std::uint64_t>{kDev1, kDev2}));
+  EXPECT_TRUE(db.devices_at(9).empty());
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- RSSI presence arbitration (overlapping piconets) ----------------------
+
+namespace bips::core {
+namespace {
+
+TEST(LocationDbRssi, WeakerSimultaneousClaimSuppressed) {
+  LocationDatabase db;
+  EXPECT_TRUE(db.set_present(kDev1, 5, at(10), -50.0));
+  // 2 s later, a farther workstation also heard the device.
+  EXPECT_FALSE(db.set_present(kDev1, 6, at(12), -70.0));
+  EXPECT_EQ(db.piconet_of(kDev1), 5u);
+  EXPECT_EQ(db.stats().conflicts_suppressed, 1u);
+}
+
+TEST(LocationDbRssi, StrongerSimultaneousClaimWins) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -70.0);
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(12), -50.0));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);
+}
+
+TEST(LocationDbRssi, OldAttributionAlwaysYields) {
+  // Outside the conflict window the user has genuinely moved: even a much
+  // weaker sighting overrides.
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -30.0);
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(30), -80.0));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);
+}
+
+TEST(LocationDbRssi, EqualStrengthFavoursTheNewerClaim) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -60.0);
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(11), -60.0));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);
+}
+
+TEST(LocationDbRssi, RedundantUpdateRefreshesStrength) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -80.0);
+  EXPECT_FALSE(db.set_present(kDev1, 5, at(11), -40.0));  // same station
+  // The refreshed strength now defends against a mid-loud neighbour.
+  EXPECT_FALSE(db.set_present(kDev1, 6, at(12), -60.0));
+  EXPECT_EQ(db.piconet_of(kDev1), 5u);
+}
+
+TEST(LocationDbRssi, ConfigurableWindow) {
+  LocationDatabase db;
+  db.set_conflict_window(Duration::seconds(1));
+  db.set_present(kDev1, 5, at(10), -30.0);
+  // 2 s later is outside the 1 s window: newest wins despite weak signal.
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(12), -80.0));
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- runner-up promotion (the stranded-delta fix) --------------------------
+
+namespace bips::core {
+namespace {
+
+TEST(LocationDbRunnerUp, SuppressedClaimPromotedWhenWinnerLeaves) {
+  // The scenario that stranded devices before the fix: station 6's weaker
+  // claim was suppressed (its workstation sent a delta and went silent);
+  // when station 5 reports absence, 6's claim must take over instead of the
+  // record vanishing.
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -40.0);
+  EXPECT_FALSE(db.set_present(kDev1, 6, at(12), -70.0));  // suppressed
+  EXPECT_TRUE(db.set_absent(kDev1, 5, at(20)));
+  EXPECT_EQ(db.piconet_of(kDev1), 6u);  // promoted, not absent
+}
+
+TEST(LocationDbRunnerUp, DemotedPrimaryPromotedWhenWinnerLeaves) {
+  // Override path: 6 wins over 5; 5's workstation still believes the server
+  // knows about it. If 6 leaves first, 5 comes back.
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -70.0);
+  EXPECT_TRUE(db.set_present(kDev1, 6, at(12), -40.0));
+  EXPECT_TRUE(db.set_absent(kDev1, 6, at(20)));
+  EXPECT_EQ(db.piconet_of(kDev1), 5u);
+}
+
+TEST(LocationDbRunnerUp, RunnerUpRetiredByItsOwnAbsence) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -70.0);
+  db.set_present(kDev1, 6, at(12), -40.0);  // 5 demoted to runner-up
+  EXPECT_FALSE(db.set_absent(kDev1, 5, at(14)));  // retires the fallback
+  EXPECT_TRUE(db.set_absent(kDev1, 6, at(20)));
+  EXPECT_FALSE(db.piconet_of(kDev1).has_value());  // fully gone
+}
+
+TEST(LocationDbRunnerUp, StrongerSuppressedClaimReplacesWeakerRunnerUp) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -30.0);
+  EXPECT_FALSE(db.set_present(kDev1, 6, at(11), -60.0));  // runner-up: 6
+  EXPECT_FALSE(db.set_present(kDev1, 7, at(12), -45.0));  // stronger: replaces
+  EXPECT_TRUE(db.set_absent(kDev1, 5, at(13)));
+  EXPECT_EQ(db.piconet_of(kDev1), 7u);
+}
+
+TEST(LocationDbRunnerUp, PromotionRecordsAnEnterTransition) {
+  LocationDatabase db;
+  db.set_present(kDev1, 5, at(10), -40.0);
+  db.set_present(kDev1, 6, at(12), -70.0);  // suppressed -> runner-up
+  db.set_absent(kDev1, 5, at(20));
+  ASSERT_GE(db.history().size(), 2u);
+  const auto& last = db.history().back();
+  EXPECT_TRUE(last.present);
+  EXPECT_EQ(last.station, 6u);
+}
+
+TEST(LocationDbRunnerUp, LogoutDropsEverything) {
+  LocationDatabase db;
+  db.login("alice", kDev1, at(0));
+  db.set_present(kDev1, 5, at(10), -40.0);
+  db.set_present(kDev1, 6, at(12), -70.0);  // runner-up
+  db.logout(kDev1);
+  EXPECT_FALSE(db.piconet_of(kDev1).has_value());
+}
+
+}  // namespace
+}  // namespace bips::core

@@ -1,0 +1,200 @@
+// Integration tests of the page procedure: Pager vs PageScanner.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/paging.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct PageRig {
+  sim::Simulator sim;
+  Rng rng;
+  RadioChannel radio;
+
+  explicit PageRig(std::uint64_t seed = 1)
+      : rng(seed), radio(sim, rng, ChannelConfig{}) {}
+
+  std::unique_ptr<Device> make_device(std::uint64_t addr) {
+    return std::make_unique<Device>(sim, radio, BdAddr(addr), rng.fork());
+  }
+};
+
+TEST(Paging, CompletesWithAccurateClockEstimate) {
+  PageRig rig(31);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+
+  std::optional<SimTime> master_done, slave_done;
+  std::optional<BdAddr> slave_master;
+
+  Pager pager(*master, PageConfig{});
+  pager.set_on_success([&](BdAddr s, SimTime when) {
+    EXPECT_EQ(s.raw(), 0xB1u);
+    master_done = when;
+  });
+  PageScanner scanner(*slave, ScanConfig{});
+  scanner.set_on_connected([&](BdAddr m, std::uint32_t, SimTime when) {
+    slave_master = m;
+    slave_done = when;
+  });
+  scanner.start();
+
+  // Perfect clock estimate: sample the slave's clock right now.
+  pager.page(slave->addr(), slave->clock().clkn(rig.sim.now()),
+             rig.sim.now());
+  rig.sim.run_until(SimTime(Duration::seconds(4).ns()));
+
+  ASSERT_TRUE(master_done.has_value());
+  ASSERT_TRUE(slave_done.has_value());
+  EXPECT_EQ(slave_master->raw(), 0xA1u);
+  // Contact at the slave's first page-scan window: at most one scan
+  // interval plus the short exchange.
+  EXPECT_LT(master_done->to_seconds(), 1.4);
+  EXPECT_EQ(pager.stats().pages_succeeded, 1u);
+  EXPECT_FALSE(pager.active());
+  EXPECT_FALSE(scanner.running());  // entered connection state
+}
+
+TEST(Paging, LatencyBoundedByScanInterval) {
+  // Across seeds, page latency with a good estimate is roughly uniform in
+  // [0, 1.28 s]: always below interval + exchange slack.
+  for (std::uint64_t seed = 40; seed < 52; ++seed) {
+    PageRig rig(seed);
+    auto master = rig.make_device(0xA1);
+    auto slave = rig.make_device(0xB1);
+    std::optional<SimTime> done;
+    Pager pager(*master, PageConfig{});
+    pager.set_on_success([&](BdAddr, SimTime when) { done = when; });
+    PageScanner scanner(*slave, ScanConfig{});
+    scanner.start();
+    pager.page(slave->addr(), slave->clock().clkn(rig.sim.now()),
+               rig.sim.now());
+    rig.sim.run_until(SimTime(Duration::seconds(4).ns()));
+    ASSERT_TRUE(done.has_value()) << "seed " << seed;
+    EXPECT_LT(done->to_seconds(), 1.4) << "seed " << seed;
+  }
+}
+
+TEST(Paging, FailsAfterTimeoutWhenTargetSilent) {
+  PageRig rig(32);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);  // no scanner running
+
+  bool failed = false;
+  PageConfig cfg;
+  cfg.timeout = Duration::from_seconds(2.0);
+  Pager pager(*master, cfg);
+  pager.set_on_failure([&](BdAddr s) {
+    EXPECT_EQ(s.raw(), 0xB1u);
+    failed = true;
+  });
+  pager.page(slave->addr(), 0, rig.sim.now());
+  rig.sim.run_until(SimTime(Duration::seconds(3).ns()));
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(pager.active());
+  EXPECT_EQ(pager.stats().pages_failed, 1u);
+}
+
+TEST(Paging, OutOfRangeTargetTimesOut) {
+  PageRig rig(33);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  slave->set_position({100, 0});
+  bool failed = false;
+  PageConfig cfg;
+  cfg.timeout = Duration::from_seconds(2.0);
+  Pager pager(*master, cfg);
+  pager.set_on_failure([&](BdAddr) { failed = true; });
+  PageScanner scanner(*slave, ScanConfig{});
+  scanner.start();
+  pager.page(slave->addr(), slave->clock().clkn(rig.sim.now()),
+             rig.sim.now());
+  rig.sim.run_until(SimTime(Duration::seconds(3).ns()));
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(scanner.stats().pages_heard, 0u);
+}
+
+TEST(Paging, WrongAddressIsIgnoredByScanner) {
+  PageRig rig(34);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  bool connected = false;
+  PageConfig cfg;
+  cfg.timeout = Duration::from_seconds(1.5);
+  Pager pager(*master, cfg);
+  PageScanner scanner(*slave, ScanConfig{});
+  scanner.set_on_connected(
+      [&](BdAddr, std::uint32_t, SimTime) { connected = true; });
+  scanner.start();
+  pager.page(BdAddr(0xCC), 0, rig.sim.now());  // pages somebody else
+  rig.sim.run_until(SimTime(Duration::seconds(2).ns()));
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(scanner.stats().pages_heard, 0u);  // different page namespace
+}
+
+TEST(Paging, CancelStopsTheSweep) {
+  PageRig rig(35);
+  auto master = rig.make_device(0xA1);
+  Pager pager(*master, PageConfig{});
+  pager.page(BdAddr(0xB1), 0, rig.sim.now());
+  rig.sim.run_until(SimTime(Duration::millis(100).ns()));
+  EXPECT_TRUE(pager.active());
+  const auto sent = pager.stats().ids_sent;
+  EXPECT_GT(sent, 0u);
+  pager.cancel();
+  EXPECT_FALSE(pager.active());
+  rig.sim.run_until(SimTime(Duration::millis(400).ns()));
+  EXPECT_EQ(pager.stats().ids_sent, sent);
+  EXPECT_EQ(rig.radio.listen_count(master.get()), 0u);
+}
+
+TEST(Paging, ColdPageStillSucceedsViaTrainSweep) {
+  // A bogus clock estimate starts the sweep on the wrong train half;
+  // switching trains (N_page repetitions) recovers it.
+  PageRig rig(36);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  std::optional<SimTime> done;
+  Pager pager(*master, PageConfig{});
+  pager.set_on_success([&](BdAddr, SimTime when) { done = when; });
+  PageScanner scanner(*slave, ScanConfig{});
+  scanner.start();
+  // Adversarial estimate: point at the opposite side of the channel wheel.
+  const std::uint32_t real = slave->clock().clkn(rig.sim.now());
+  pager.page(slave->addr(), real + (16u << 12), rig.sim.now());
+  rig.sim.run_until(SimTime(Duration::seconds(5).ns()));
+  ASSERT_TRUE(done.has_value());
+}
+
+TEST(Paging, PageOnePerPagerEnforced) {
+  PageRig rig(37);
+  auto master = rig.make_device(0xA1);
+  Pager pager(*master, PageConfig{});
+  pager.page(BdAddr(0xB1), 0, rig.sim.now());
+  EXPECT_DEATH(pager.page(BdAddr(0xB2), 0, rig.sim.now()), "one page");
+}
+
+TEST(Paging, ScannerStopDuringExchangeIsClean) {
+  PageRig rig(38);
+  auto master = rig.make_device(0xA1);
+  auto slave = rig.make_device(0xB1);
+  Pager pager(*master, PageConfig{});
+  PageScanner scanner(*slave, ScanConfig{});
+  scanner.start_with_phase(Duration(0));
+  pager.page(slave->addr(), slave->clock().clkn(rig.sim.now()),
+             rig.sim.now());
+  // Stop the scanner a few ms in, likely mid-exchange on some seeds.
+  rig.sim.schedule(Duration::millis(5), [&] { scanner.stop(); });
+  rig.sim.run_until(SimTime(Duration::seconds(1).ns()));
+  EXPECT_FALSE(scanner.running());
+  EXPECT_EQ(rig.radio.listen_count(slave.get()), 0u);
+}
+
+}  // namespace
+}  // namespace bips::baseband

@@ -1,0 +1,456 @@
+// Unit tests for the piconet data plane (master link manager + slave link).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baseband/device.hpp"
+#include "src/baseband/piconet.hpp"
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct PiconetRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{7};
+  RadioChannel radio{sim, rng, ChannelConfig{}};
+  std::unique_ptr<Device> master_dev =
+      std::make_unique<Device>(sim, radio, BdAddr(0xA1), rng.fork());
+  PiconetMaster master{*master_dev, PiconetMaster::Config{}};
+
+  std::unique_ptr<Device> slave_dev(std::uint64_t a, Vec2 pos = {}) {
+    return std::make_unique<Device>(sim, radio, BdAddr(a), rng.fork(), pos);
+  }
+  void run_ms(std::int64_t ms) {
+    sim.run_until(sim.now() + Duration::millis(ms));
+  }
+};
+
+TEST_F(PiconetRig, AttachDetachLifecycle) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  EXPECT_FALSE(link.connected());
+  EXPECT_TRUE(master.attach(link));
+  EXPECT_TRUE(link.connected());
+  EXPECT_EQ(link.master_addr().raw(), 0xA1u);
+  EXPECT_TRUE(master.has_slave(BdAddr(0xB1)));
+  EXPECT_EQ(master.slave_count(), 1u);
+  master.detach(BdAddr(0xB1));
+  EXPECT_FALSE(link.connected());
+  EXPECT_EQ(master.slave_count(), 0u);
+}
+
+TEST_F(PiconetRig, DoubleAttachRejected) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  EXPECT_TRUE(master.attach(link));
+  EXPECT_FALSE(master.attach(link));
+}
+
+TEST_F(PiconetRig, SevenSlaveLimit) {
+  std::vector<std::unique_ptr<Device>> devs;
+  std::vector<std::unique_ptr<SlaveLink>> links;
+  for (int i = 0; i < 8; ++i) {
+    devs.push_back(slave_dev(0xB0 + i));
+    links.push_back(std::make_unique<SlaveLink>(*devs.back()));
+  }
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(master.attach(*links[i]));
+  EXPECT_FALSE(master.attach(*links[7]));  // AM_ADDR exhausted
+  EXPECT_EQ(master.stats().attach_rejected_full, 1u);
+  master.detach(BdAddr(0xB0));
+  EXPECT_TRUE(master.attach(*links[7]));  // slot freed
+}
+
+TEST_F(PiconetRig, MasterToSlaveMessageRidesNextPoll) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  link.set_on_message([&](const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  EXPECT_TRUE(master.send(BdAddr(0xB1), AclPayload{1, 2, 3}));
+  EXPECT_TRUE(got.empty());  // not yet polled
+  run_ms(30);                // poll interval is 25 ms
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (AclPayload{1, 2, 3}));
+}
+
+TEST_F(PiconetRig, SlaveToMasterMessageRidesNextPoll) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<std::pair<std::uint64_t, AclPayload>> got;
+  master.set_on_message([&](BdAddr from, const AclPayload& p) {
+    got.emplace_back(from.raw(), p);
+  });
+  master.attach(link);
+  EXPECT_TRUE(link.send_to_master(AclPayload{9}));
+  run_ms(30);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 0xB1u);
+  EXPECT_EQ(got[0].second, AclPayload{9});
+}
+
+TEST_F(PiconetRig, SendToUnattachedFails) {
+  EXPECT_FALSE(master.send(BdAddr(0xB1), AclPayload{1}));
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  EXPECT_FALSE(link.send_to_master(AclPayload{1}));
+}
+
+TEST_F(PiconetRig, PauseHoldsTrafficResumeDelivers) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  int got = 0;
+  link.set_on_message([&](const AclPayload&) { ++got; });
+  master.attach(link);
+  master.pause();
+  master.send(BdAddr(0xB1), AclPayload{1});
+  run_ms(200);
+  EXPECT_EQ(got, 0);  // queued, radio devoted to inquiry
+  master.resume();
+  run_ms(30);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(PiconetRig, SupervisionTimeoutDropsOutOfRangeSlave) {
+  auto d = slave_dev(0xB1, {0, 0});
+  SlaveLink link(*d);
+  bool slave_notified = false;
+  std::uint64_t lost_addr = 0;
+  link.set_on_disconnected([&] { slave_notified = true; });
+  master.set_on_link_loss([&](BdAddr a) { lost_addr = a.raw(); });
+  master.attach(link);
+  run_ms(100);
+  EXPECT_TRUE(link.connected());
+  d->set_position({100, 0});  // walks away (supervision timeout 2 s)
+  run_ms(1000);
+  EXPECT_TRUE(link.connected());  // not yet
+  run_ms(1500);
+  EXPECT_FALSE(link.connected());
+  EXPECT_TRUE(slave_notified);
+  EXPECT_EQ(lost_addr, 0xB1u);
+  EXPECT_EQ(master.stats().link_losses, 1u);
+}
+
+TEST_F(PiconetRig, ReturningSlaveSurvivesBriefFade) {
+  auto d = slave_dev(0xB1, {0, 0});
+  SlaveLink link(*d);
+  master.attach(link);
+  run_ms(100);
+  d->set_position({100, 0});
+  run_ms(1000);  // shorter than the 2 s supervision timeout
+  d->set_position({1, 0});
+  run_ms(3000);
+  EXPECT_TRUE(link.connected());
+  EXPECT_EQ(master.stats().link_losses, 0u);
+}
+
+TEST_F(PiconetRig, TrafficWaitsWhileUnreachable) {
+  auto d = slave_dev(0xB1, {0, 0});
+  SlaveLink link(*d);
+  int got = 0;
+  link.set_on_message([&](const AclPayload&) { ++got; });
+  master.attach(link);
+  d->set_position({100, 0});
+  master.send(BdAddr(0xB1), AclPayload{1});
+  run_ms(1000);
+  EXPECT_EQ(got, 0);
+  d->set_position({1, 0});  // back in range before supervision timeout
+  run_ms(100);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(PiconetRig, DetachClearsQueuedTraffic) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  int got = 0;
+  link.set_on_message([&](const AclPayload&) { ++got; });
+  master.attach(link);
+  master.pause();
+  master.send(BdAddr(0xB1), AclPayload{1});
+  master.detach(BdAddr(0xB1));
+  master.resume();
+  run_ms(100);
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(PiconetRig, SlaveAddrsListsMembership) {
+  auto d1 = slave_dev(0xB1);
+  auto d2 = slave_dev(0xB2);
+  SlaveLink l1(*d1), l2(*d2);
+  master.attach(l1);
+  master.attach(l2);
+  auto addrs = master.slave_addrs();
+  std::sort(addrs.begin(), addrs.end());
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0].raw(), 0xB1u);
+  EXPECT_EQ(addrs[1].raw(), 0xB2u);
+}
+
+TEST_F(PiconetRig, MessageCallbackMayDetach) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  master.set_on_message([&](BdAddr from, const AclPayload&) {
+    master.detach(from);  // e.g. a logout message
+  });
+  master.attach(link);
+  link.send_to_master(AclPayload{1});
+  link.send_to_master(AclPayload{2});  // dropped with the link
+  run_ms(60);
+  EXPECT_FALSE(link.connected());
+  EXPECT_EQ(master.slave_count(), 0u);
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- park mode --------------------------------------------------------------
+
+namespace bips::baseband {
+namespace {
+
+TEST_F(PiconetRig, ParkFreesAnActiveSlot) {
+  std::vector<std::unique_ptr<Device>> devs;
+  std::vector<std::unique_ptr<SlaveLink>> links;
+  for (int i = 0; i < 8; ++i) {
+    devs.push_back(slave_dev(0xB0 + i));
+    links.push_back(std::make_unique<SlaveLink>(*devs.back()));
+  }
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(master.attach(*links[i]));
+  EXPECT_FALSE(master.attach(*links[7]));
+
+  EXPECT_TRUE(master.park(BdAddr(0xB0)));
+  EXPECT_TRUE(master.is_parked(BdAddr(0xB0)));
+  EXPECT_TRUE(links[0]->parked());
+  EXPECT_TRUE(links[0]->connected());  // still a member
+  EXPECT_EQ(master.active_count(), 6u);
+  EXPECT_EQ(master.parked_count(), 1u);
+  EXPECT_EQ(master.slave_count(), 7u);
+
+  EXPECT_TRUE(master.attach(*links[7]));  // freed AM_ADDR reused
+  EXPECT_EQ(master.slave_count(), 8u);
+}
+
+TEST_F(PiconetRig, ParkUnparkStateChecks) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  EXPECT_FALSE(master.park(BdAddr(0xB1)));  // unknown
+  master.attach(link);
+  EXPECT_TRUE(master.park(BdAddr(0xB1)));
+  EXPECT_FALSE(master.park(BdAddr(0xB1)));  // already parked
+  EXPECT_TRUE(master.unpark(BdAddr(0xB1)));
+  EXPECT_FALSE(master.unpark(BdAddr(0xB1)));  // already active
+  EXPECT_FALSE(link.parked());
+}
+
+TEST_F(PiconetRig, UnparkRefusedWhenActiveSetFull) {
+  std::vector<std::unique_ptr<Device>> devs;
+  std::vector<std::unique_ptr<SlaveLink>> links;
+  for (int i = 0; i < 8; ++i) {
+    devs.push_back(slave_dev(0xB0 + i));
+    links.push_back(std::make_unique<SlaveLink>(*devs.back()));
+  }
+  for (int i = 0; i < 7; ++i) master.attach(*links[i]);
+  master.park(BdAddr(0xB0));
+  master.attach(*links[7]);  // 7 active again
+  EXPECT_FALSE(master.unpark(BdAddr(0xB0)));
+  master.park(BdAddr(0xB1));
+  EXPECT_TRUE(master.unpark(BdAddr(0xB0)));
+}
+
+TEST_F(PiconetRig, TrafficToParkedSlaveAutoUnparks) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  int got = 0;
+  link.set_on_message([&](const AclPayload&) { ++got; });
+  master.attach(link);
+  master.park(BdAddr(0xB1));
+  EXPECT_TRUE(master.send(BdAddr(0xB1), AclPayload{1}));
+  run_ms(60);
+  EXPECT_EQ(got, 1);
+  EXPECT_FALSE(master.is_parked(BdAddr(0xB1)));  // beacon unparked it
+  EXPECT_EQ(master.stats().unparks, 1u);
+}
+
+TEST_F(PiconetRig, ParkedSlaveCanInitiateTraffic) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  master.set_on_message(
+      [&](BdAddr, const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  master.park(BdAddr(0xB1));
+  EXPECT_TRUE(link.send_to_master(AclPayload{7}));
+  run_ms(60);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], AclPayload{7});
+}
+
+TEST_F(PiconetRig, ParkedSlaveStillSupervised) {
+  auto d = slave_dev(0xB1, {0, 0});
+  SlaveLink link(*d);
+  bool lost = false;
+  master.set_on_link_loss([&](BdAddr) { lost = true; });
+  master.attach(link);
+  master.park(BdAddr(0xB1));
+  d->set_position({100, 0});
+  run_ms(2600);
+  EXPECT_TRUE(lost);
+  EXPECT_FALSE(link.connected());
+}
+
+TEST_F(PiconetRig, ParkIdlestPicksTheQuietestSlave) {
+  auto d1 = slave_dev(0xB1);
+  auto d2 = slave_dev(0xB2);
+  SlaveLink l1(*d1), l2(*d2);
+  master.attach(l1);
+  run_ms(100);
+  master.attach(l2);  // l2 attached later -> more recent activity
+  const BdAddr victim = master.park_idlest();
+  EXPECT_EQ(victim.raw(), 0xB1u);
+  EXPECT_TRUE(master.is_parked(BdAddr(0xB1)));
+  EXPECT_FALSE(master.is_parked(BdAddr(0xB2)));
+}
+
+TEST_F(PiconetRig, ParkIdlestRespectsExceptAndTraffic) {
+  auto d1 = slave_dev(0xB1);
+  auto d2 = slave_dev(0xB2);
+  SlaveLink l1(*d1), l2(*d2);
+  master.attach(l1);
+  run_ms(100);
+  master.attach(l2);
+  // l1 is oldest but exempted; l2 has traffic in flight: nobody parkable.
+  l2.send_to_master(AclPayload{1});
+  EXPECT_TRUE(master.park_idlest(BdAddr(0xB1)).is_null());
+  // Drain l2's queue; now it is parkable.
+  run_ms(60);
+  EXPECT_EQ(master.park_idlest(BdAddr(0xB1)).raw(), 0xB2u);
+}
+
+TEST_F(PiconetRig, ManyParkedMembers) {
+  // 7 active + 13 parked = 20 tracked devices on one master.
+  std::vector<std::unique_ptr<Device>> devs;
+  std::vector<std::unique_ptr<SlaveLink>> links;
+  for (int i = 0; i < 20; ++i) {
+    devs.push_back(slave_dev(0xB00 + i));
+    links.push_back(std::make_unique<SlaveLink>(*devs.back()));
+    if (!master.attach(*links.back())) {
+      ASSERT_FALSE(master.park_idlest().is_null());
+      ASSERT_TRUE(master.attach(*links.back()));
+    }
+  }
+  EXPECT_EQ(master.slave_count(), 20u);
+  EXPECT_EQ(master.active_count(), 7u);
+  EXPECT_EQ(master.parked_count(), 13u);
+  // Every member, parked or not, still reachable for traffic.
+  int got = 0;
+  for (auto& l : links) l->set_on_message([&](const AclPayload&) { ++got; });
+  for (auto& d : devs) master.send(d->addr(), AclPayload{1});
+  run_ms(500);
+  EXPECT_EQ(got, 20);
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- ACL fragmentation ------------------------------------------------------
+
+namespace bips::baseband {
+namespace {
+
+TEST_F(PiconetRig, SmallMessageRidesOnePoll) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  link.set_on_message([&](const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  master.send(BdAddr(0xB1), AclPayload(200, 0x42));  // < 224: one fragment
+  run_ms(30);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], AclPayload(200, 0x42));
+  EXPECT_EQ(master.stats().fragments_delivered, 1u);
+}
+
+TEST_F(PiconetRig, LargeMessageTakesMultiplePolls) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  link.set_on_message([&](const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  // 2000 bytes = 9 DM5 fragments; at 4 per poll that is 3 poll rounds.
+  AclPayload big(2000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  master.send(BdAddr(0xB1), big);
+  run_ms(30);  // first poll: 4 fragments, incomplete
+  EXPECT_TRUE(got.empty());
+  run_ms(25);  // second poll: 8 fragments
+  EXPECT_TRUE(got.empty());
+  run_ms(25);  // third poll: all 9 delivered
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], big);  // byte-exact reassembly
+  EXPECT_EQ(master.stats().fragments_delivered, 9u);
+  EXPECT_EQ(master.stats().messages_delivered, 1u);
+}
+
+TEST_F(PiconetRig, LargeUplinkAlsoFragments) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  master.set_on_message(
+      [&](BdAddr, const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  AclPayload big(500, 0x5A);  // 3 fragments
+  link.send_to_master(big);
+  run_ms(30);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], big);
+}
+
+TEST_F(PiconetRig, InterleavedMessagesStayIntact) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  link.set_on_message([&](const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  master.send(BdAddr(0xB1), AclPayload(300, 0x01));  // 2 fragments
+  master.send(BdAddr(0xB1), AclPayload(10, 0x02));   // 1 fragment
+  run_ms(30);  // 3 fragments < 4/poll: both complete in one round
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], AclPayload(300, 0x01));
+  EXPECT_EQ(got[1], AclPayload(10, 0x02));
+}
+
+TEST_F(PiconetRig, EmptyMessageSurvivesFraming) {
+  auto d = slave_dev(0xB1);
+  SlaveLink link(*d);
+  std::vector<AclPayload> got;
+  link.set_on_message([&](const AclPayload& p) { got.push_back(p); });
+  master.attach(link);
+  master.send(BdAddr(0xB1), AclPayload{});
+  run_ms(30);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].empty());
+}
+
+TEST_F(PiconetRig, FragmentBudgetSharedFairlyAcrossSlaves) {
+  auto d1 = slave_dev(0xB1);
+  auto d2 = slave_dev(0xB2);
+  SlaveLink l1(*d1), l2(*d2);
+  int got1 = 0, got2 = 0;
+  l1.set_on_message([&](const AclPayload&) { ++got1; });
+  l2.set_on_message([&](const AclPayload&) { ++got2; });
+  master.attach(l1);
+  master.attach(l2);
+  // Each slave gets its own per-poll budget: both big messages complete in
+  // the same number of rounds.
+  master.send(BdAddr(0xB1), AclPayload(1500, 1));  // 7 fragments
+  master.send(BdAddr(0xB2), AclPayload(1500, 2));  // 7 fragments
+  run_ms(55);  // two polls: 8 fragments each
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+}
+
+}  // namespace
+}  // namespace bips::baseband

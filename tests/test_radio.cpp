@@ -1,0 +1,391 @@
+// Unit tests for the radio channel: delivery, range, and the BlueHoc-style
+// collision rule.
+#include <gtest/gtest.h>
+
+#include "src/baseband/radio.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct TestDevice : RadioDevice {
+  BdAddr a;
+  Vec2 pos;
+  double range = 10.0;
+  std::vector<Packet> received;
+
+  explicit TestDevice(std::uint64_t raw, Vec2 p = {}) : a(raw), pos(p) {}
+  BdAddr addr() const override { return a; }
+  Vec2 position() const override { return pos; }
+  double range_m() const override { return range; }
+  void on_packet(const Packet& p, RfChannel, SimTime) override {
+    received.push_back(p);
+  }
+};
+
+Packet id_packet(std::uint64_t sender) {
+  Packet p;
+  p.type = PacketType::kId;
+  p.sender = BdAddr(sender);
+  return p;
+}
+
+constexpr RfChannel kCh{0, 5};
+constexpr RfChannel kOtherCh{0, 6};
+
+struct RadioTest : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{1};
+  ChannelConfig cfg;
+};
+
+TEST_F(RadioTest, DeliversToListenerOnSameChannel) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.received[0].sender.raw(), 1u);
+  EXPECT_EQ(ch.stats().deliveries, 1u);
+}
+
+TEST_F(RadioTest, NoDeliveryOnDifferentChannel) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.start_listen(&rx, kOtherCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(RadioTest, NamespaceDistinguishesChannels) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.start_listen(&rx, RfChannel{7, 5});
+  ch.transmit(&tx, RfChannel{8, 5}, id_packet(1));  // same index, other ns
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(RadioTest, ListenerTunedMidPacketMissesIt) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.transmit(&tx, kCh, id_packet(1));  // starts at t=0, 68 us long
+  sim.schedule(Duration::micros(10), [&] { ch.start_listen(&rx, kCh); });
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(RadioTest, ListenerRegisteredAtExactPacketStartReceives) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));  // same instant: listen first
+  sim.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(RadioTest, StoppedListenerMissesPacket) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  const ListenId l = ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.schedule(Duration::micros(10), [&] { ch.stop_listen(l); });
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(RadioTest, SenderDoesNotHearItself) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1);
+  ch.start_listen(&tx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_TRUE(tx.received.empty());
+}
+
+TEST_F(RadioTest, OutOfRangeIsNotDelivered) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), rx(2, {30, 0});  // 30 m apart, range 10 m
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(ch.stats().out_of_range, 1u);
+}
+
+TEST_F(RadioTest, RangeBoundaryIsInclusive) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), rx(2, {10, 0});  // exactly at range
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(RadioTest, ZeroDeviceRangeFallsBackToChannelDefault) {
+  cfg.default_range_m = 50.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), rx(2, {30, 0});
+  tx.range = 0.0;  // "use default"
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(RadioTest, OverlappingSameChannelTransmissionsCollide) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx1, kCh, id_packet(1));
+  ch.transmit(&tx2, kCh, id_packet(2));  // same instant, same channel
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(ch.stats().collisions, 2u);  // both (listener, packet) pairs died
+}
+
+TEST_F(RadioTest, PartialOverlapAlsoCollides) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx1, kCh, id_packet(1));  // [0, 68us)
+  sim.schedule(Duration::micros(30), [&] {
+    ch.transmit(&tx2, kCh, id_packet(2));  // [30, 98us): overlaps
+  });
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+TEST_F(RadioTest, BackToBackTransmissionsDoNotCollide) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx1, kCh, id_packet(1));  // [0, 68)
+  sim.schedule(Duration::micros(68), [&] {
+    ch.transmit(&tx2, kCh, id_packet(2));  // [68, 136): touching, no overlap
+  });
+  sim.run();
+  EXPECT_EQ(rx.received.size(), 2u);
+}
+
+TEST_F(RadioTest, SimultaneousDifferentChannelsBothDeliver) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx1(3), rx2(4);
+  ch.start_listen(&rx1, kCh);
+  ch.start_listen(&rx2, kOtherCh);
+  ch.transmit(&tx1, kCh, id_packet(1));
+  ch.transmit(&tx2, kOtherCh, id_packet(2));
+  sim.run();
+  EXPECT_EQ(rx1.received.size(), 1u);
+  EXPECT_EQ(rx2.received.size(), 1u);
+}
+
+TEST_F(RadioTest, InterfererOutOfListenerRangeDoesNotCollide) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), far(2, {100, 0}), rx(3, {5, 0});
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  ch.transmit(&far, kCh, id_packet(2));  // 95 m from rx: no interference
+  sim.run();
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.received[0].sender.raw(), 1u);
+}
+
+TEST_F(RadioTest, CaptureLetsTheMuchCloserSenderWin) {
+  cfg.capture = true;
+  cfg.capture_ratio = 2.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice near(1, {1, 0}), far(2, {9, 0}), rx(3, {0, 0});
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&near, kCh, id_packet(1));
+  ch.transmit(&far, kCh, id_packet(2));
+  sim.run();
+  ASSERT_EQ(rx.received.size(), 1u);  // near one captured
+  EXPECT_EQ(rx.received[0].sender.raw(), 1u);
+}
+
+TEST_F(RadioTest, PacketErrorRateDropsEverythingAtOne) {
+  cfg.packet_error_rate = 1.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  ch.start_listen(&rx, kCh);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx, kCh, id_packet(1));
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(ch.stats().dropped_per, 10u);
+}
+
+TEST_F(RadioTest, PerListenHandlerOverridesDeviceCallback) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx(2);
+  int handler_hits = 0;
+  ch.start_listen(&rx, kCh,
+                  [&](const Packet&, RfChannel, SimTime) { ++handler_hits; });
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(handler_hits, 1);
+  EXPECT_TRUE(rx.received.empty());  // device callback bypassed
+}
+
+TEST_F(RadioTest, StopAllListensAndCounting) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice rx(2);
+  ch.start_listen(&rx, kCh);
+  ch.start_listen(&rx, kOtherCh);
+  EXPECT_EQ(ch.listen_count(&rx), 2u);
+  ch.stop_all_listens(&rx);
+  EXPECT_EQ(ch.listen_count(&rx), 0u);
+}
+
+TEST_F(RadioTest, MultipleListenersAllReceive) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx1(2), rx2(3), rx3(4);
+  ch.start_listen(&rx1, kCh);
+  ch.start_listen(&rx2, kCh);
+  ch.start_listen(&rx3, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(rx1.received.size(), 1u);
+  EXPECT_EQ(rx2.received.size(), 1u);
+  EXPECT_EQ(rx3.received.size(), 1u);
+  EXPECT_EQ(ch.stats().deliveries, 3u);
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- soft coverage edge (distance-dependent packet error) -----------------
+
+namespace bips::baseband {
+namespace {
+
+TEST_F(RadioTest, SoftEdgeLosesMoreAtTheRim) {
+  cfg.per_at_edge = 0.9;
+  cfg.per_exponent = 4.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0});
+  TestDevice near(2, {1, 0});   // (1/10)^4 ~ 0: nearly lossless
+  TestDevice rim(3, {9.5, 0});  // (9.5/10)^4 ~ 0.81 -> ~73% loss
+  ch.start_listen(&near, kCh);
+  ch.start_listen(&rim, kCh);
+  constexpr int kN = 400;
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx, kCh, id_packet(1));
+    });
+  }
+  sim.run();
+  EXPECT_GT(near.received.size(), 0.97 * kN);
+  const double rim_rate = static_cast<double>(rim.received.size()) / kN;
+  EXPECT_GT(rim_rate, 0.10);
+  EXPECT_LT(rim_rate, 0.45);  // expected ~1 - 0.9*0.81 = 0.27
+}
+
+TEST_F(RadioTest, SoftEdgeDisabledByDefault) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), rim(2, {9.9, 0});
+  ch.start_listen(&rim, kCh);
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx, kCh, id_packet(1));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(rim.received.size(), 50u);  // hard disc: in range = delivered
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- RSSI model -------------------------------------------------------------
+
+namespace bips::baseband {
+namespace {
+
+TEST_F(RadioTest, RssiDecreasesWithDistance) {
+  cfg.rssi_sigma_db = 0.0;  // no shadowing: strict monotonicity
+  RadioChannel ch(sim, rng, cfg);
+  EXPECT_GT(ch.rssi_dbm(1.0), ch.rssi_dbm(5.0));
+  EXPECT_GT(ch.rssi_dbm(5.0), ch.rssi_dbm(10.0));
+  // 10x the distance costs 25 dB under the exponent-2.5 model.
+  EXPECT_NEAR(ch.rssi_dbm(1.0) - ch.rssi_dbm(10.0), 25.0, 1e-9);
+}
+
+TEST_F(RadioTest, DeliveredPacketsCarryPlausibleRssi) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), near(2, {1, 0}), far(3, {9, 0});
+  ch.start_listen(&near, kCh);
+  ch.start_listen(&far, kCh);
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx, kCh, id_packet(1));
+    });
+  }
+  sim.run();
+  ASSERT_EQ(near.received.size(), 20u);
+  ASSERT_EQ(far.received.size(), 20u);
+  double near_sum = 0, far_sum = 0;
+  for (const auto& p : near.received) near_sum += p.rssi_dbm;
+  for (const auto& p : far.received) far_sum += p.rssi_dbm;
+  EXPECT_GT(near_sum / 20, far_sum / 20);  // nearer is louder on average
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- cross-set interference -------------------------------------------------
+
+namespace bips::baseband {
+namespace {
+
+TEST_F(RadioTest, DisjointSetsNeverClashByDefault) {
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx1, kCh, id_packet(1));
+      ch.transmit(&tx2, RfChannel{9, 5}, id_packet(2));  // other set
+    });
+  }
+  sim.run();
+  EXPECT_EQ(rx.received.size(), 200u);  // no cross-set losses
+}
+
+TEST_F(RadioTest, CrossSetInterferenceClashesProbabilistically) {
+  cfg.cross_set_interference = 1.0 / 79.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(Duration::millis(i), [&] {
+      ch.transmit(&tx1, kCh, id_packet(1));
+      ch.transmit(&tx2, RfChannel{9, 5}, id_packet(2));
+    });
+  }
+  sim.run();
+  const double loss =
+      1.0 - static_cast<double>(rx.received.size()) / kN;
+  EXPECT_NEAR(loss, 1.0 / 79.0, 0.007);
+}
+
+TEST_F(RadioTest, CrossSetAtFullRateKillsEverything) {
+  cfg.cross_set_interference = 1.0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx1(1), tx2(2), rx(3);
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx1, kCh, id_packet(1));
+  ch.transmit(&tx2, RfChannel{9, 5}, id_packet(2));
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+}
+
+}  // namespace
+}  // namespace bips::baseband

@@ -1,0 +1,95 @@
+// Unit tests for the user registry and access rights.
+#include <gtest/gtest.h>
+
+#include "src/core/registry.hpp"
+
+namespace bips::core {
+namespace {
+
+struct RegistryRig : ::testing::Test {
+  UserRegistry reg;
+  void SetUp() override {
+    ASSERT_TRUE(reg.register_user("alice", "Alice A.", "pw-a", 1));
+    ASSERT_TRUE(reg.register_user("bob", "Bob B.", "pw-b", 2));
+  }
+};
+
+TEST_F(RegistryRig, LookupByIdAndName) {
+  const UserRecord* a = reg.by_userid("alice");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "Alice A.");
+  const UserRecord* b = reg.by_name("Bob B.");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->userid, "bob");
+  EXPECT_EQ(reg.by_userid("nobody"), nullptr);
+  EXPECT_EQ(reg.by_name("Nobody"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST_F(RegistryRig, DuplicateUseridRejected) {
+  EXPECT_FALSE(reg.register_user("alice", "Another Alice", "x", 3));
+}
+
+TEST_F(RegistryRig, DuplicateNameRejected) {
+  EXPECT_FALSE(reg.register_user("alice2", "Alice A.", "x", 3));
+}
+
+TEST_F(RegistryRig, EmptyFieldsRejected) {
+  EXPECT_FALSE(reg.register_user("", "Name", "x", 1));
+  EXPECT_FALSE(reg.register_user("id", "", "x", 1));
+}
+
+TEST_F(RegistryRig, Authentication) {
+  EXPECT_TRUE(reg.authenticate("alice", "pw-a"));
+  EXPECT_FALSE(reg.authenticate("alice", "pw-b"));
+  EXPECT_FALSE(reg.authenticate("ghost", "pw-a"));
+}
+
+TEST_F(RegistryRig, DefaultEveryoneMayLocateEveryone) {
+  const auto* a = reg.by_userid("alice");
+  const auto* b = reg.by_userid("bob");
+  EXPECT_TRUE(reg.can_locate(*a, *b));
+  EXPECT_TRUE(reg.can_locate(*b, *a));
+}
+
+TEST_F(RegistryRig, AllowListRestrictsLocation) {
+  ASSERT_TRUE(reg.set_locatable_by_anyone("bob", false));
+  const auto* a = reg.by_userid("alice");
+  const auto* b = reg.by_userid("bob");
+  EXPECT_FALSE(reg.can_locate(*a, *b));
+  ASSERT_TRUE(reg.allow_requester("bob", "alice"));
+  EXPECT_TRUE(reg.can_locate(*a, *b));
+}
+
+TEST_F(RegistryRig, SelfLookupAlwaysAllowed) {
+  ASSERT_TRUE(reg.set_locatable_by_anyone("bob", false));
+  const auto* b = reg.by_userid("bob");
+  EXPECT_TRUE(reg.can_locate(*b, *b));
+}
+
+TEST_F(RegistryRig, MayQueryGate) {
+  ASSERT_TRUE(reg.set_may_query("alice", false));
+  const auto* a = reg.by_userid("alice");
+  const auto* b = reg.by_userid("bob");
+  EXPECT_FALSE(reg.can_locate(*a, *b));
+  EXPECT_FALSE(reg.can_locate(*a, *a));  // the query right gates everything
+  EXPECT_TRUE(reg.can_locate(*b, *a));
+}
+
+TEST_F(RegistryRig, RemoveUserFreesBothKeys) {
+  EXPECT_TRUE(reg.remove_user("alice"));
+  EXPECT_EQ(reg.by_userid("alice"), nullptr);
+  EXPECT_EQ(reg.by_name("Alice A."), nullptr);
+  EXPECT_FALSE(reg.remove_user("alice"));
+  // Both userid and name become reusable.
+  EXPECT_TRUE(reg.register_user("alice", "Alice A.", "new", 9));
+}
+
+TEST_F(RegistryRig, RightsAdministrationOnUnknownUserFails) {
+  EXPECT_FALSE(reg.set_locatable_by_anyone("ghost", true));
+  EXPECT_FALSE(reg.allow_requester("ghost", "alice"));
+  EXPECT_FALSE(reg.set_may_query("ghost", false));
+}
+
+}  // namespace
+}  // namespace bips::core

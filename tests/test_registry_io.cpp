@@ -1,0 +1,124 @@
+// Tests for registry persistence (the off-line registration artifact).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/registry_io.hpp"
+
+namespace bips::core {
+namespace {
+
+UserRegistry sample() {
+  UserRegistry reg;
+  EXPECT_TRUE(reg.register_user("alice", "Alice A.", "pw-a", 0xAAA));
+  EXPECT_TRUE(reg.register_user("bob", "Prof. Bob Rossi", "pw-b", 0xBBB));
+  EXPECT_TRUE(reg.register_user("carol", "Carol", "pw-c", 0xCCC));
+  reg.set_locatable_by_anyone("bob", false);
+  reg.allow_requester("bob", "alice");
+  reg.allow_requester("bob", "carol");
+  reg.set_may_query("carol", false);
+  return reg;
+}
+
+std::string saved(const UserRegistry& reg) {
+  std::ostringstream os;
+  save_registry(reg, os);
+  return os.str();
+}
+
+TEST(RegistryIo, RoundTripPreservesEverything) {
+  const UserRegistry original = sample();
+  std::istringstream in(saved(original));
+  std::string error;
+  const auto loaded = load_registry(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->size(), 3u);
+  // Credentials still verify (hashes survived, not plaintext).
+  EXPECT_TRUE(loaded->authenticate("alice", "pw-a"));
+  EXPECT_TRUE(loaded->authenticate("bob", "pw-b"));
+  EXPECT_FALSE(loaded->authenticate("bob", "pw-a"));
+  // Names with spaces survive the tab-separated format.
+  ASSERT_NE(loaded->by_name("Prof. Bob Rossi"), nullptr);
+  // Access rights survive.
+  const auto* alice = loaded->by_userid("alice");
+  const auto* bob = loaded->by_userid("bob");
+  const auto* carol = loaded->by_userid("carol");
+  EXPECT_TRUE(loaded->can_locate(*alice, *bob));    // allow-listed
+  EXPECT_FALSE(loaded->can_locate(*carol, *bob));   // may_query off
+  EXPECT_FALSE(bob->locatable_by_anyone);
+  EXPECT_FALSE(carol->may_query);
+}
+
+TEST(RegistryIo, OutputIsByteStable) {
+  // Deterministic serialization: same registry -> identical bytes, and a
+  // reloaded registry re-saves to the same bytes.
+  const std::string a = saved(sample());
+  const std::string b = saved(sample());
+  EXPECT_EQ(a, b);
+  std::istringstream in(a);
+  const auto loaded = load_registry(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(saved(*loaded), a);
+}
+
+TEST(RegistryIo, PlaintextNeverStored) {
+  const std::string text = saved(sample());
+  EXPECT_EQ(text.find("pw-a"), std::string::npos);
+  EXPECT_EQ(text.find("pw-b"), std::string::npos);
+}
+
+TEST(RegistryIo, EmptyRegistryRoundTrips) {
+  UserRegistry reg;
+  std::istringstream in(saved(reg));
+  const auto loaded = load_registry(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(RegistryIo, RejectsMissingHeader) {
+  std::istringstream in("user\talice\tAlice\t0\t0\t1\t1\t\n");
+  std::string error;
+  EXPECT_FALSE(load_registry(in, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(RegistryIo, RejectsMalformedRecords) {
+  const char* bad[] = {
+      "bips-registry v1\nuser\talice\n",                // too few fields
+      "bips-registry v1\nuser\ta\tA\tzz\t00\t1\t1\t\n", // bad hex
+      "bips-registry v1\nnope\ta\tA\t"
+      "0000000000000000\t0000000000000000\t1\t1\t\n",   // wrong tag
+      "bips-registry v1\nuser\ta\tA\t"
+      "0000000000000000\t0000000000000000\t2\t1\t\n",   // bad flag
+      "bips-registry v1\nuser\ta\tA\t"
+      "0000000000000000\t0000000000000000\t1\t1\t,\n",  // empty requester
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_FALSE(load_registry(in, &error).has_value()) << text;
+    EXPECT_NE(error.find("line"), std::string::npos);
+  }
+}
+
+TEST(RegistryIo, RejectsDuplicateUsers) {
+  UserRegistry reg;
+  reg.register_user("alice", "Alice", "pw", 1);
+  std::string text = saved(reg);
+  text += text.substr(text.find("user\t"));  // duplicate the record
+  std::istringstream in(text);
+  std::string error;
+  EXPECT_FALSE(load_registry(in, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(RegistryIo, BlankLinesTolerated) {
+  std::string text = saved(sample());
+  text += "\n\n";
+  std::istringstream in(text);
+  EXPECT_TRUE(load_registry(in).has_value());
+}
+
+}  // namespace
+}  // namespace bips::core

@@ -1,0 +1,71 @@
+// Tests for the ASCII map renderer.
+#include <gtest/gtest.h>
+
+#include "src/mobility/render.hpp"
+
+namespace bips::mobility {
+namespace {
+
+TEST(Render, EmptyBuilding) {
+  Building b;
+  EXPECT_EQ(render_map(b, {}), "(empty map)\n");
+}
+
+TEST(Render, WorkstationsAndLabelsAppear) {
+  Building b;
+  b.add_room("lobby", {0, 0});
+  b.add_room("lab", {20, 0});
+  const std::string map = render_map(b, {});
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_NE(map.find("lobby"), std::string::npos);
+  EXPECT_NE(map.find("lab"), std::string::npos);
+}
+
+TEST(Render, MarkersOverrideTerrain) {
+  Building b;
+  b.add_room("lobby", {0, 0});
+  const std::string map = render_map(b, {{'a', Vec2{0, 0}}});
+  EXPECT_NE(map.find('a'), std::string::npos);
+  // The marker stands on the workstation cell: no '#' survives there.
+  EXPECT_EQ(map.find('#'), std::string::npos);
+}
+
+TEST(Render, CoverageDotsToggle) {
+  Building b;
+  b.add_room("lobby", {0, 0});
+  RenderOptions with;
+  RenderOptions without;
+  without.show_coverage = false;
+  without.label_rooms = false;
+  EXPECT_NE(render_map(b, {}, with).find('.'), std::string::npos);
+  EXPECT_EQ(render_map(b, {}, without).find('.'), std::string::npos);
+}
+
+TEST(Render, TopRowIsNorth) {
+  Building b;
+  RenderOptions opts;
+  opts.show_coverage = false;
+  opts.label_rooms = false;
+  b.add_room("south", {0, 0});
+  b.add_room("north", {0, 40});
+  const std::string map = render_map(b, {{'n', Vec2{0, 40}},
+                                         {'s', Vec2{0, 0}}}, opts);
+  EXPECT_LT(map.find('n'), map.find('s'));  // 'n' rendered first (top)
+}
+
+TEST(Render, MarkerOutsideBuildingGrowsCanvas) {
+  Building b;
+  b.add_room("lobby", {0, 0});
+  const std::string map = render_map(b, {{'x', Vec2{60, 0}}});
+  EXPECT_NE(map.find('x'), std::string::npos);
+}
+
+TEST(Render, DepartmentRendersAllRooms) {
+  const Building b = Building::department();
+  const std::string map = render_map(b, {});
+  // All ten workstations (some labels may overlap, glyphs never vanish).
+  EXPECT_GE(std::count(map.begin(), map.end(), '#'), 8);
+}
+
+}  // namespace
+}  // namespace bips::mobility

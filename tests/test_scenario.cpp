@@ -1,0 +1,233 @@
+// Tests for the text scenario parser and runner.
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.hpp"
+
+namespace bips::core {
+namespace {
+
+constexpr const char* kValid = R"(
+# a comment line
+seed 9
+radius 12.5
+stagger on
+inquiry 2.56
+cycle 5.12
+lan-loss 0.1
+speed 0.8 1.2
+pause 5 10
+room a 0 0      # trailing comment
+room b 14 0
+edge a b
+user Alice alice pw a
+user Bob bob pw2 b
+run 120
+sample 2
+)";
+
+TEST(ScenarioParser, ParsesAValidScenario) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string(kValid), &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  EXPECT_EQ(spec->config.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec->config.coverage_radius_m, 12.5);
+  EXPECT_TRUE(spec->config.stagger_inquiry);
+  EXPECT_EQ(spec->config.workstation.scheduler.inquiry_length,
+            Duration::from_seconds(2.56));
+  EXPECT_EQ(spec->config.workstation.scheduler.cycle_length,
+            Duration::from_seconds(5.12));
+  EXPECT_DOUBLE_EQ(spec->config.lan.loss, 0.1);
+  EXPECT_DOUBLE_EQ(spec->config.mobility.speed_min_mps, 0.8);
+  EXPECT_DOUBLE_EQ(spec->config.mobility.speed_max_mps, 1.2);
+  EXPECT_EQ(spec->building.room_count(), 2u);
+  ASSERT_EQ(spec->users.size(), 2u);
+  EXPECT_EQ(spec->users[0].name, "Alice");
+  EXPECT_EQ(spec->users[1].room, *spec->building.find("b"));
+  EXPECT_EQ(spec->run_time, Duration::seconds(120));
+  EXPECT_EQ(spec->sample_period, Duration::seconds(2));
+}
+
+TEST(ScenarioParser, DefaultsApplyWhenOmitted) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string("room only 0 0\n"), &err);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->config.seed, SimulationConfig{}.seed);
+  EXPECT_TRUE(spec->users.empty());
+  EXPECT_EQ(spec->run_time, Duration::seconds(300));
+}
+
+struct BadCase {
+  const char* text;
+  int line;
+  const char* fragment;
+};
+
+class ScenarioErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioErrors, ReportsLineAndMessage) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string(GetParam().text), &err);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_EQ(err.line, GetParam().line);
+  EXPECT_NE(err.message.find(GetParam().fragment), std::string::npos)
+      << "got: " << err.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioErrors,
+    ::testing::Values(
+        BadCase{"frobnicate 1\n", 1, "unknown directive"},
+        BadCase{"seed\n", 1, "arguments"},
+        BadCase{"seed banana\n", 1, "seed"},
+        BadCase{"radius -3\nroom a 0 0\n", 1, "radius"},
+        BadCase{"stagger maybe\nroom a 0 0\n", 1, "on"},
+        BadCase{"room a 0 0\nroom a 1 1\n", 2, "duplicate room"},
+        BadCase{"room a 0 0\nedge a b\n", 2, "unknown room"},
+        BadCase{"room a 0 0\nedge a a\n", 2, "itself"},
+        BadCase{"room a 0 0\nroom b 9 0\nedge a b -2\n", 3, "positive"},
+        BadCase{"room a 0 0\nuser X x pw nowhere\n", 2, "unknown start room"},
+        BadCase{"room a 0 0\nuser X x pw a\nuser X y pw a\n", 3,
+                "duplicate name"},
+        BadCase{"room a 0 0\nuser X x pw a\nuser Y x pw a\n", 3,
+                "duplicate userid"},
+        BadCase{"lan-loss 1.5\nroom a 0 0\n", 1, "probability"},
+        BadCase{"speed 2 1\nroom a 0 0\n", 1, "min <= max"},
+        BadCase{"pause 10 5\nroom a 0 0\n", 1, "min <= max"},
+        BadCase{"run 0\nroom a 0 0\n", 1, "positive"},
+        BadCase{"", 0, "no rooms"},
+        BadCase{"room a 0 0\nroom b 50 0\n", 0, "not connected"},
+        BadCase{"inquiry 20\ncycle 15\nroom a 0 0\n", 0, "shorter"}));
+
+TEST(ScenarioRunner, RunsEndToEnd) {
+  ScenarioError err;
+  auto spec = parse_scenario(std::string(R"(
+seed 4
+inquiry 2.56
+cycle 5.12
+pause 1000 2000
+room a 0 0
+room b 14 0
+edge a b
+user Alice alice pw a
+run 60
+sample 1
+)"),
+                             &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  auto sim = run_scenario(*spec);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->simulator().now(), SimTime(Duration::seconds(60).ns()));
+  EXPECT_TRUE(sim->client("alice")->logged_in());
+  EXPECT_EQ(sim->db_room("alice"), *spec->building.find("a"));
+  EXPECT_GT(sim->tracking().samples, 0u);
+}
+
+TEST(ScenarioRunner, DeterministicAcrossRuns) {
+  ScenarioError err;
+  const std::string text = R"(
+seed 31
+inquiry 1.28
+cycle 5.12
+pause 5 20
+room a 0 0
+room b 14 0
+edge a b
+user Alice alice pw a
+user Bob bob pw b
+run 90
+sample 1
+)";
+  auto s1 = run_scenario(*parse_scenario(text, &err));
+  auto s2 = run_scenario(*parse_scenario(text, &err));
+  EXPECT_EQ(s1->simulator().events_executed(),
+            s2->simulator().events_executed());
+  EXPECT_EQ(s1->tracking().correct_room, s2->tracking().correct_room);
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- newer directives -------------------------------------------------------
+
+namespace bips::core {
+namespace {
+
+TEST(ScenarioParser, InterlacedDirective) {
+  ScenarioError err;
+  auto spec = parse_scenario(
+      std::string("interlaced on\nroom a 0 0\n"), &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  EXPECT_TRUE(spec->config.slave.inquiry_scan.interlaced);
+  spec = parse_scenario(std::string("interlaced off\nroom a 0 0\n"), &err);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->config.slave.inquiry_scan.interlaced);
+  EXPECT_FALSE(
+      parse_scenario(std::string("interlaced sideways\nroom a 0 0\n"), &err)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- fault-injection directives ---------------------------------------------
+
+namespace bips::core {
+namespace {
+
+TEST(ScenarioParser, CrashAndRestartDirectives) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string(R"(
+room a 0 0
+station-timeout 8
+crash a 60
+restart a 120
+)"),
+                                   &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  EXPECT_EQ(spec->config.server.station_timeout, Duration::seconds(8));
+  ASSERT_EQ(spec->faults.size(), 2u);
+  EXPECT_FALSE(spec->faults[0].restart);
+  EXPECT_EQ(spec->faults[0].at, SimTime(Duration::seconds(60).ns()));
+  EXPECT_TRUE(spec->faults[1].restart);
+}
+
+TEST(ScenarioParser, CrashDirectiveErrors) {
+  ScenarioError err;
+  EXPECT_FALSE(parse_scenario(std::string("room a 0 0\ncrash b 60\n"), &err)
+                   .has_value());
+  EXPECT_NE(err.message.find("unknown room"), std::string::npos);
+  EXPECT_FALSE(parse_scenario(std::string("room a 0 0\ncrash a -5\n"), &err)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_scenario(std::string("room a 0 0\nstation-timeout x\n"), &err)
+          .has_value());
+}
+
+TEST(ScenarioRunner, ScriptedCrashAndRecovery) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string(R"(
+seed 3
+inquiry 2.56
+cycle 5.12
+pause 100000 200000
+station-timeout 10
+room a 0 0
+user Alice alice pw a
+crash a 80
+restart a 110
+run 200
+sample 1
+)"),
+                                   &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  auto sim = run_scenario(*spec);
+  // The crash happened (station expired) and recovery completed (Alice is
+  // tracked again by the end).
+  EXPECT_GE(sim->server().stats().stations_expired, 1u);
+  EXPECT_EQ(sim->db_room("alice"), 0u);
+  EXPECT_TRUE(sim->client("alice")->logged_in());
+  EXPECT_FALSE(sim->workstation(0).crashed());
+}
+
+}  // namespace
+}  // namespace bips::core

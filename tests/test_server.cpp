@@ -1,0 +1,496 @@
+// Wire-level tests of the BIPS central server over the simulated LAN.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/core/server.hpp"
+
+namespace bips::core {
+namespace {
+
+using proto::QueryStatus;
+
+struct ServerRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{17};
+  net::Lan lan{sim, rng, net::Lan::Config{}};
+  mobility::Building building = mobility::Building::department();
+  BipsServer server{sim, lan, building, BipsServer::Config{}};
+  net::Endpoint& ws = lan.create_endpoint();  // plays a workstation
+  std::vector<proto::Message> replies;
+
+  void SetUp() override {
+    ws.set_handler([this](net::Address, const net::Payload& data) {
+      auto m = proto::decode(data);
+      ASSERT_TRUE(m.has_value());
+      replies.push_back(*m);
+    });
+    ASSERT_TRUE(server.registry().register_user("alice", "Alice", "pw-a", 1));
+    ASSERT_TRUE(server.registry().register_user("bob", "Bob", "pw-b", 2));
+  }
+
+  void send(const proto::Message& m) {
+    ws.send(server.address(), proto::encode(m));
+    sim.run();
+  }
+
+  template <typename T>
+  T last_reply() {
+    EXPECT_FALSE(replies.empty());
+    T out = std::get<T>(replies.back());
+    return out;
+  }
+
+  void login(const std::string& userid, std::uint64_t addr,
+             const std::string& pw) {
+    send(proto::LoginRequest{addr, userid, pw});
+    ASSERT_TRUE(last_reply<proto::LoginReply>().ok);
+  }
+};
+
+TEST_F(ServerRig, LoginHappyPath) {
+  send(proto::LoginRequest{0xB1, "alice", "pw-a"});
+  const auto rep = last_reply<proto::LoginReply>();
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.bd_addr, 0xB1u);
+  EXPECT_TRUE(server.db().logged_in("alice"));
+  EXPECT_EQ(server.stats().logins_ok, 1u);
+}
+
+TEST_F(ServerRig, LoginBadPassword) {
+  send(proto::LoginRequest{0xB1, "alice", "wrong"});
+  const auto rep = last_reply<proto::LoginReply>();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.reason, "bad credentials");
+  EXPECT_FALSE(server.db().logged_in("alice"));
+}
+
+TEST_F(ServerRig, LoginUnknownUser) {
+  send(proto::LoginRequest{0xB1, "ghost", "pw"});
+  EXPECT_FALSE(last_reply<proto::LoginReply>().ok);
+}
+
+TEST_F(ServerRig, LoginIsIdempotentForSameBinding) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::LoginRequest{0xB1, "alice", "pw-a"});
+  EXPECT_TRUE(last_reply<proto::LoginReply>().ok);
+  EXPECT_EQ(server.db().session_count(), 1u);
+}
+
+TEST_F(ServerRig, SecondDeviceForSameUserRejected) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::LoginRequest{0xB2, "alice", "pw-a"});
+  const auto rep = last_reply<proto::LoginReply>();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.reason, "userid or device already bound");
+}
+
+TEST_F(ServerRig, LogoutRequiresMatchingBinding) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::LogoutRequest{0xB1, "bob"});
+  EXPECT_FALSE(last_reply<proto::LogoutReply>().ok);
+  send(proto::LogoutRequest{0xB1, "alice"});
+  EXPECT_TRUE(last_reply<proto::LogoutReply>().ok);
+  EXPECT_FALSE(server.db().logged_in("alice"));
+}
+
+TEST_F(ServerRig, PresenceUpdatesFeedTheDb) {
+  send(proto::PresenceUpdate{3, 0xB1, true, 1000});
+  EXPECT_EQ(server.db().piconet_of(0xB1), 3u);
+  send(proto::PresenceUpdate{3, 0xB1, false, 2000});
+  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
+  EXPECT_EQ(server.stats().presence_received, 2u);
+}
+
+TEST_F(ServerRig, WhereIsFullHappyPath) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lab = *building.find("lab-networks");
+  send(proto::PresenceUpdate{lab, 0xB2, true, 1000});
+  send(proto::WhereIsRequest{77, 0xB1, "Bob"});
+  const auto rep = last_reply<proto::WhereIsReply>();
+  EXPECT_EQ(rep.query_id, 77u);
+  EXPECT_EQ(rep.status, QueryStatus::kOk);
+  EXPECT_EQ(rep.room, "lab-networks");
+  EXPECT_EQ(server.stats().whereis_served, 1u);
+}
+
+TEST_F(ServerRig, WhereIsUnknownTarget) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::WhereIsRequest{1, 0xB1, "Charlie"});
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status,
+            QueryStatus::kUnknownUser);
+}
+
+TEST_F(ServerRig, WhereIsTargetNotLoggedIn) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::WhereIsRequest{1, 0xB1, "Bob"});
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status,
+            QueryStatus::kNotLoggedIn);
+}
+
+TEST_F(ServerRig, WhereIsTargetLocationUnknown) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  send(proto::WhereIsRequest{1, 0xB1, "Bob"});
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status,
+            QueryStatus::kLocationUnknown);
+}
+
+TEST_F(ServerRig, WhereIsRequesterNotLoggedInDenied) {
+  login("bob", 0xB2, "pw-b");
+  send(proto::WhereIsRequest{1, 0xB1, "Bob"});  // 0xB1 has no session
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status,
+            QueryStatus::kAccessDenied);
+}
+
+TEST_F(ServerRig, WhereIsAccessRightsEnforced) {
+  ASSERT_TRUE(server.registry().set_locatable_by_anyone("bob", false));
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lib = *building.find("library");
+  send(proto::PresenceUpdate{lib, 0xB2, true, 1000});
+  send(proto::WhereIsRequest{1, 0xB1, "Bob"});
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status,
+            QueryStatus::kAccessDenied);
+  ASSERT_TRUE(server.registry().allow_requester("bob", "alice"));
+  send(proto::WhereIsRequest{2, 0xB1, "Bob"});
+  EXPECT_EQ(last_reply<proto::WhereIsReply>().status, QueryStatus::kOk);
+}
+
+TEST_F(ServerRig, PathQueryReturnsShortestRoomSequence) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId seminar = *building.find("seminar-room");
+  const StationId lobby = *building.find("lobby");
+  send(proto::PresenceUpdate{seminar, 0xB2, true, 1000});
+  send(proto::PathRequest{9, 0xB1, "Bob", lobby});
+  const auto rep = last_reply<proto::PathReply>();
+  EXPECT_EQ(rep.status, QueryStatus::kOk);
+  ASSERT_GE(rep.rooms.size(), 2u);
+  EXPECT_EQ(rep.rooms.front(), "lobby");
+  EXPECT_EQ(rep.rooms.back(), "seminar-room");
+  EXPECT_DOUBLE_EQ(rep.distance,
+                   server.paths().distance(lobby, seminar));
+  // The reported room sequence is a real path: consecutive rooms adjacent.
+  for (std::size_t i = 0; i + 1 < rep.rooms.size(); ++i) {
+    const auto a = *building.find(rep.rooms[i]);
+    const auto b = *building.find(rep.rooms[i + 1]);
+    bool adjacent = false;
+    for (const auto& c : building.corridors()) {
+      adjacent |= (c.a == a && c.b == b) || (c.a == b && c.b == a);
+    }
+    EXPECT_TRUE(adjacent) << rep.rooms[i] << " -> " << rep.rooms[i + 1];
+  }
+}
+
+TEST_F(ServerRig, PathToSelfRoomIsSingleton) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lobby = *building.find("lobby");
+  send(proto::PresenceUpdate{lobby, 0xB2, true, 1000});
+  send(proto::PathRequest{9, 0xB1, "Bob", lobby});
+  const auto rep = last_reply<proto::PathReply>();
+  EXPECT_EQ(rep.status, QueryStatus::kOk);
+  ASSERT_EQ(rep.rooms.size(), 1u);
+  EXPECT_EQ(rep.rooms[0], "lobby");
+  EXPECT_DOUBLE_EQ(rep.distance, 0.0);
+}
+
+TEST_F(ServerRig, PathFromInvalidRoomUnreachable) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::PathRequest{9, 0xB1, "Bob", 999});
+  EXPECT_EQ(last_reply<proto::PathReply>().status, QueryStatus::kUnreachable);
+}
+
+TEST_F(ServerRig, MalformedDatagramCounted) {
+  ws.send(server.address(), {0xFF, 0x00, 0x01});
+  sim.run();
+  EXPECT_EQ(server.stats().malformed, 1u);
+  EXPECT_TRUE(replies.empty());
+}
+
+TEST_F(ServerRig, ReplyTypeSentToServerIsMalformed) {
+  send(proto::LoginReply{1, true, ""});
+  EXPECT_EQ(server.stats().malformed, 1u);
+}
+
+TEST_F(ServerRig, LocalQueryApiOperatorBypassesRights) {
+  ASSERT_TRUE(server.registry().set_locatable_by_anyone("bob", false));
+  login("bob", 0xB2, "pw-b");
+  const StationId lib = *building.find("library");
+  send(proto::PresenceUpdate{lib, 0xB2, true, 1000});
+  // Empty requester = operator console.
+  const auto rep = server.where_is("", "Bob");
+  EXPECT_EQ(rep.status, QueryStatus::kOk);
+  EXPECT_EQ(rep.room, "library");
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- extended queries, subscriptions and the reliable presence stream -----
+
+namespace bips::core {
+namespace {
+
+TEST_F(ServerRig, PresenceAckAndDedup) {
+  proto::PresenceUpdate u;
+  u.workstation = 2;
+  u.bd_addr = 0xB1;
+  u.present = true;
+  u.timestamp_ns = 1000;
+  u.seq = 1;
+  send(u);
+  // The server acked seq 1.
+  const auto ack = last_reply<proto::PresenceAck>();
+  EXPECT_EQ(ack.workstation, 2u);
+  EXPECT_EQ(ack.seq, 1u);
+  EXPECT_EQ(server.db().piconet_of(0xB1), 2u);
+
+  // A retransmission is deduplicated but still acked.
+  send(u);
+  EXPECT_EQ(last_reply<proto::PresenceAck>().seq, 1u);
+  EXPECT_EQ(server.stats().presence_duplicates, 1u);
+  EXPECT_EQ(server.db().stats().redundant_updates, 0u);  // never re-applied
+}
+
+TEST_F(ServerRig, PresenceSeqIsPerWorkstation) {
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 5});
+  send(proto::PresenceUpdate{2, 0xB2, true, 1000, 5});  // same seq, other ws
+  EXPECT_EQ(server.stats().presence_duplicates, 0u);
+  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
+  EXPECT_EQ(server.db().piconet_of(0xB2), 2u);
+}
+
+TEST_F(ServerRig, WhoIsInListsOnlyLocatableUsers) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lib = *building.find("library");
+  send(proto::PresenceUpdate{lib, 0xB1, true, 1000, 0});
+  send(proto::PresenceUpdate{lib, 0xB2, true, 1001, 0});
+
+  send(proto::WhoIsInRequest{11, 0xB1, "library"});
+  auto rep = last_reply<proto::WhoIsInReply>();
+  EXPECT_EQ(rep.status, proto::QueryStatus::kOk);
+  EXPECT_EQ(rep.users, (std::vector<std::string>{"Alice", "Bob"}));
+
+  // Hide bob: he disappears from alice's view of the room.
+  ASSERT_TRUE(server.registry().set_locatable_by_anyone("bob", false));
+  send(proto::WhoIsInRequest{12, 0xB1, "library"});
+  rep = last_reply<proto::WhoIsInReply>();
+  EXPECT_EQ(rep.users, (std::vector<std::string>{"Alice"}));
+}
+
+TEST_F(ServerRig, WhoIsInUnknownRoom) {
+  login("alice", 0xB1, "pw-a");
+  send(proto::WhoIsInRequest{13, 0xB1, "narnia"});
+  EXPECT_EQ(last_reply<proto::WhoIsInReply>().status,
+            proto::QueryStatus::kUnknownUser);
+}
+
+TEST_F(ServerRig, HistoryQueryOverTheWire) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lib = *building.find("library");
+  const StationId sem = *building.find("seminar-room");
+  send(proto::PresenceUpdate{lib, 0xB2, true, Duration::seconds(10).ns(), 0});
+  send(proto::PresenceUpdate{sem, 0xB2, true, Duration::seconds(20).ns(), 0});
+
+  send(proto::HistoryRequest{21, 0xB1, "Bob", Duration::seconds(15).ns()});
+  auto rep = last_reply<proto::HistoryReply>();
+  EXPECT_EQ(rep.status, proto::QueryStatus::kOk);
+  EXPECT_TRUE(rep.was_present);
+  EXPECT_EQ(rep.room, "library");
+  EXPECT_EQ(rep.since_ns, Duration::seconds(10).ns());
+
+  send(proto::HistoryRequest{22, 0xB1, "Bob", Duration::seconds(5).ns()});
+  rep = last_reply<proto::HistoryReply>();
+  EXPECT_EQ(rep.status, proto::QueryStatus::kOk);
+  EXPECT_FALSE(rep.was_present);
+}
+
+TEST_F(ServerRig, SubscriptionPushesMovementEvents) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  // Alice must herself be somewhere so the server can route pushes to her.
+  const StationId lobby = *building.find("lobby");
+  send(proto::PresenceUpdate{lobby, 0xB1, true, 500, 0});
+
+  send(proto::SubscribeRequest{31, 0xB1, "Bob", false});
+  EXPECT_EQ(last_reply<proto::SubscribeReply>().status,
+            proto::QueryStatus::kOk);
+  EXPECT_EQ(server.subscription_count(), 1u);
+
+  // Bob appears in the library: alice's workstation receives the push.
+  const StationId lib = *building.find("library");
+  replies.clear();
+  send(proto::PresenceUpdate{lib, 0xB2, true, 1000, 0});
+  ASSERT_FALSE(replies.empty());
+  const auto ev = last_reply<proto::MovementEvent>();
+  EXPECT_EQ(ev.subscriber_bd_addr, 0xB1u);
+  EXPECT_EQ(ev.target_user, "Bob");
+  EXPECT_TRUE(ev.entered);
+  EXPECT_EQ(ev.room, "library");
+
+  // Bob leaves.
+  replies.clear();
+  send(proto::PresenceUpdate{lib, 0xB2, false, 2000, 0});
+  const auto ev2 = last_reply<proto::MovementEvent>();
+  EXPECT_FALSE(ev2.entered);
+
+  // Unsubscribe stops the stream.
+  send(proto::SubscribeRequest{32, 0xB1, "Bob", true});
+  EXPECT_EQ(server.subscription_count(), 0u);
+  replies.clear();
+  send(proto::PresenceUpdate{lib, 0xB2, true, 3000, 0});
+  for (const auto& r : replies) {
+    EXPECT_FALSE(std::holds_alternative<proto::MovementEvent>(r));
+  }
+}
+
+TEST_F(ServerRig, SubscribeRequiresLocationRights) {
+  ASSERT_TRUE(server.registry().set_locatable_by_anyone("bob", false));
+  login("alice", 0xB1, "pw-a");
+  send(proto::SubscribeRequest{41, 0xB1, "Bob", false});
+  EXPECT_EQ(last_reply<proto::SubscribeReply>().status,
+            proto::QueryStatus::kAccessDenied);
+  EXPECT_EQ(server.subscription_count(), 0u);
+}
+
+TEST_F(ServerRig, LogoutNotifiesSubscribersAndDropsOwnSubscriptions) {
+  login("alice", 0xB1, "pw-a");
+  login("bob", 0xB2, "pw-b");
+  const StationId lobby = *building.find("lobby");
+  const StationId lib = *building.find("library");
+  send(proto::PresenceUpdate{lobby, 0xB1, true, 500, 0});
+  send(proto::PresenceUpdate{lib, 0xB2, true, 600, 0});
+  send(proto::SubscribeRequest{51, 0xB1, "Bob", false});
+  send(proto::SubscribeRequest{52, 0xB2, "Alice", false});
+  EXPECT_EQ(server.subscription_count(), 2u);
+
+  // Bob logs out: alice sees him "leave"; his own subscription dies too.
+  replies.clear();
+  send(proto::LogoutRequest{0xB2, "bob"});
+  bool saw_leave = false;
+  for (const auto& r : replies) {
+    if (const auto* ev = std::get_if<proto::MovementEvent>(&r)) {
+      EXPECT_FALSE(ev->entered);
+      EXPECT_EQ(ev->target_user, "Bob");
+      saw_leave = true;
+    }
+  }
+  EXPECT_TRUE(saw_leave);
+  EXPECT_EQ(server.subscription_count(), 1u);  // alice's watch remains
+}
+
+TEST_F(ServerRig, LocalWhoIsInOperatorView) {
+  ASSERT_TRUE(server.registry().set_locatable_by_anyone("bob", false));
+  login("bob", 0xB2, "pw-b");
+  const StationId lib = *building.find("library");
+  send(proto::PresenceUpdate{lib, 0xB2, true, 1000, 0});
+  // The operator (empty requester) sees through privacy settings.
+  const auto rep = server.who_is_in("", "library");
+  EXPECT_EQ(rep.users, (std::vector<std::string>{"Bob"}));
+}
+
+}  // namespace
+}  // namespace bips::core
+
+// ---- failure detector (heartbeats + station expiry) -------------------------
+
+namespace bips::core {
+namespace {
+
+struct FailureDetectorRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{19};
+  net::Lan lan{sim, rng, net::Lan::Config{}};
+  mobility::Building building = mobility::Building::corridor(3);
+  BipsServer server{sim, lan, building, [] {
+                      BipsServer::Config c;
+                      c.station_timeout = Duration::seconds(6);
+                      c.sweep_period = Duration::seconds(1);
+                      return c;
+                    }()};
+  net::Endpoint& ws = lan.create_endpoint();
+
+  void run_s(double s) {
+    sim.run_until(sim.now() + Duration::from_seconds(s));
+  }
+  void send(const proto::Message& m) {
+    ws.send(server.address(), proto::encode(m));
+  }
+  void heartbeat(StationId s) {
+    send(proto::Heartbeat{s, sim.now().ns()});
+  }
+};
+
+TEST_F(FailureDetectorRig, SilentStationsRecordsExpire) {
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 0});
+  send(proto::PresenceUpdate{1, 0xB2, true, 1000, 0});
+  run_s(1);
+  ASSERT_EQ(server.db().piconet_of(0xB1), 1u);
+
+  run_s(8);  // no heartbeats: past the 6 s timeout
+  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
+  EXPECT_FALSE(server.db().piconet_of(0xB2).has_value());
+  EXPECT_EQ(server.stats().stations_expired, 1u);
+  EXPECT_EQ(server.stats().presences_expired, 2u);
+}
+
+TEST_F(FailureDetectorRig, HeartbeatsKeepRecordsAlive) {
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 0});
+  for (int i = 0; i < 10; ++i) {
+    run_s(2);
+    heartbeat(1);
+  }
+  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
+  EXPECT_EQ(server.stats().stations_expired, 0u);
+  EXPECT_GE(server.stats().heartbeats, 9u);
+}
+
+TEST_F(FailureDetectorRig, OnlyTheSilentStationExpires) {
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 0});
+  send(proto::PresenceUpdate{2, 0xB2, true, 1000, 0});
+  for (int i = 0; i < 6; ++i) {
+    run_s(2);
+    heartbeat(2);  // station 1 goes silent
+  }
+  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
+  EXPECT_EQ(server.db().piconet_of(0xB2), 2u);
+  EXPECT_EQ(server.stats().stations_expired, 1u);
+}
+
+TEST_F(FailureDetectorRig, ExpiryPromotesOverlapRunnerUp) {
+  // Station 2's weaker claim was suppressed; station 1's crash must hand
+  // the device to station 2 instead of dropping it.
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 0});
+  run_s(0.1);
+  proto::PresenceUpdate weaker{2, 0xB1, true, Duration::millis(200).ns(), 0};
+  weaker.rssi_dbm = -70.0;
+  send(weaker);  // suppressed (0 dBm beats -70)
+  run_s(1);
+  ASSERT_EQ(server.db().piconet_of(0xB1), 1u);
+
+  for (int i = 0; i < 6; ++i) {
+    run_s(2);
+    heartbeat(2);  // only station 2 stays alive
+  }
+  EXPECT_EQ(server.db().piconet_of(0xB1), 2u);  // promoted
+}
+
+TEST_F(FailureDetectorRig, RestartedStationStartsAFreshSeqStream) {
+  send(proto::PresenceUpdate{1, 0xB1, true, 1000, 7});
+  run_s(8);  // station 1 expires (seq state dropped)
+  ASSERT_EQ(server.stats().stations_expired, 1u);
+  // After a restart the station's sequence numbers begin at 1 again and
+  // must not be treated as duplicates.
+  send(proto::PresenceUpdate{1, 0xB1, true, sim.now().ns(), 1});
+  run_s(1);
+  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
+  EXPECT_EQ(server.stats().presence_duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace bips::core

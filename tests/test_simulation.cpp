@@ -1,0 +1,111 @@
+// Unit tests for the BipsSimulation harness API itself (the deployment
+// builder): wiring, accessors, custom mobility, and guard rails.
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.hpp"
+
+namespace bips::core {
+namespace {
+
+SimulationConfig still_config() {
+  SimulationConfig cfg;
+  cfg.workstation.scheduler.inquiry_length = Duration::from_seconds(2.56);
+  cfg.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
+  cfg.mobility.pause_min = Duration::seconds(100'000);
+  cfg.mobility.pause_max = Duration::seconds(200'000);
+  return cfg;
+}
+
+TEST(Simulation, BuildsOneWorkstationPerRoom) {
+  BipsSimulation sim(mobility::Building::department(), still_config());
+  EXPECT_EQ(sim.workstation_count(), 10u);
+  EXPECT_EQ(sim.user_count(), 0u);
+  for (StationId s = 0; s < 10; ++s) {
+    EXPECT_EQ(sim.workstation(s).station(), s);
+  }
+}
+
+TEST(Simulation, AccessorsForUnknownUsersAreNull) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  EXPECT_EQ(sim.client("ghost"), nullptr);
+  EXPECT_EQ(sim.agent("ghost"), nullptr);
+}
+
+TEST(Simulation, DuplicateUserDies) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  sim.add_user("Alice", "alice", "pw", 0);
+  EXPECT_DEATH(sim.add_user("Alice", "alice2", "pw", 0), "duplicate");
+  EXPECT_DEATH(sim.add_user("Alice2", "alice", "pw", 0), "duplicate");
+}
+
+TEST(Simulation, AddUserAfterStartDies) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_DEATH(sim.add_user("Late", "late", "pw", 0), "before starting");
+}
+
+TEST(Simulation, DisconnectedBuildingDies) {
+  mobility::Building b;
+  b.add_room("a", {0, 0});
+  b.add_room("island", {100, 0});
+  EXPECT_DEATH(BipsSimulation(std::move(b), still_config()), "connected");
+}
+
+TEST(Simulation, UsersKeepStableAddressesAsMoreAreAdded) {
+  // Regression guard: position-provider closures hold pointers into the
+  // user container; adding users must not invalidate them.
+  BipsSimulation sim(mobility::Building::corridor(2), still_config());
+  sim.add_user("U0", "u0", "pw", 0);
+  Vec2 fixed{3, 0};
+  sim.set_position_provider("u0", [&fixed] { return fixed; });
+  const Vec2 before = sim.client("u0")->device().position();
+  for (int i = 1; i < 40; ++i) {
+    sim.add_user("U" + std::to_string(i), "u" + std::to_string(i), "pw", 1);
+  }
+  EXPECT_EQ(sim.client("u0")->device().position(), before);
+  fixed = Vec2{7, 0};
+  EXPECT_EQ(sim.client("u0")->device().position(), (Vec2{7, 0}));
+}
+
+TEST(Simulation, CustomProviderDrivesTruthAndMetrics) {
+  BipsSimulation sim(mobility::Building::corridor(2), still_config());
+  sim.add_user("Alice", "alice", "pw", 0);
+  Vec2 pos = sim.building().room(1).center;  // contradicts the start room
+  sim.set_position_provider("alice", [&pos] { return pos; });
+  EXPECT_EQ(sim.true_room("alice"), 1u);
+  sim.run_for(Duration::seconds(40));
+  // The handheld is physically in room 1, so that is where it enrolls.
+  EXPECT_EQ(sim.db_room("alice"), 1u);
+}
+
+TEST(Simulation, RunForAdvancesExactly) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  sim.add_user("Alice", "alice", "pw", 0);
+  sim.run_for(Duration::from_seconds(12.5));
+  EXPECT_EQ(sim.simulator().now().ns(), Duration::from_seconds(12.5).ns());
+  sim.run_for(Duration::from_seconds(0.5));
+  EXPECT_EQ(sim.simulator().now().ns(), Duration::seconds(13).ns());
+}
+
+TEST(Simulation, TrackingSamplerCountsOnlyLoggedInUsers) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  sim.add_user("Alice", "alice", "pw", 0);
+  sim.enable_tracking_metrics(Duration::seconds(1));
+  sim.run_for(Duration::seconds(5));
+  // Too early for the login to have completed; no samples yet.
+  const auto early = sim.tracking().samples;
+  sim.run_for(Duration::seconds(60));
+  EXPECT_GT(sim.tracking().samples, early);
+  EXPECT_LT(early, 5u);
+}
+
+TEST(Simulation, RadioAndServerAccessorsShareState) {
+  BipsSimulation sim(mobility::Building::corridor(1), still_config());
+  sim.add_user("Alice", "alice", "pw", 0);
+  sim.run_for(Duration::seconds(30));
+  EXPECT_GT(sim.radio().stats().transmissions, 0u);
+  EXPECT_GT(sim.server().stats().presence_received, 0u);
+}
+
+}  // namespace
+}  // namespace bips::core

@@ -1,0 +1,199 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace bips::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  s.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  s.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime(Duration::millis(30).ns()));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesDuringCallback) {
+  Simulator s;
+  s.schedule(Duration::seconds(2), [&] {
+    EXPECT_EQ(s.now(), SimTime(Duration::seconds(2).ns()));
+  });
+  s.run();
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Duration::millis(1), [&] {
+    s.schedule(Duration::millis(1), [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().ns(), Duration::millis(2).ns());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  auto h = s.schedule(Duration::millis(5), [&] { fired = true; });
+  h.cancel();
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  bool fired = false;
+  auto h = s.schedule(Duration::millis(5), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  h.cancel();  // must not crash or underflow counters
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulator, DoubleCancelIsIdempotent) {
+  Simulator s;
+  auto h = s.schedule(Duration::millis(5), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(s.events_pending(), 0u);
+  s.run();
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator s;
+  std::vector<int> fired;
+  s.schedule(Duration::millis(10), [&] { fired.push_back(1); });
+  s.schedule(Duration::millis(30), [&] { fired.push_back(2); });
+  s.run_until(SimTime(Duration::millis(20).ns()));
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_EQ(s.now().ns(), Duration::millis(20).ns());
+  // The future event survives and fires on the next run.
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesTime) {
+  Simulator s;
+  s.run_until(SimTime(Duration::seconds(5).ns()));
+  EXPECT_EQ(s.now().ns(), Duration::seconds(5).ns());
+}
+
+TEST(Simulator, EventAtHorizonFires) {
+  Simulator s;
+  bool fired = false;
+  s.schedule(Duration::millis(20), [&] { fired = true; });
+  s.run_until(SimTime(Duration::millis(20).ns()));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Duration::millis(1), [&] { ++fired; });
+  s.schedule(Duration::millis(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, CountersTrackExecutionAndPending) {
+  Simulator s;
+  s.schedule(Duration::millis(1), [] {});
+  auto h = s.schedule(Duration::millis(2), [] {});
+  EXPECT_EQ(s.events_pending(), 2u);
+  h.cancel();
+  EXPECT_EQ(s.events_pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.events_executed(), 1u);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulator, SchedulingIntoThePastDies) {
+  Simulator s;
+  s.schedule(Duration::millis(10), [&] {
+    EXPECT_DEATH(s.schedule_at(SimTime::zero(), [] {}), "past");
+  });
+  s.run();
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator s;
+  int fired = 0;
+  PeriodicTimer t(s, Duration::millis(10), [&] { ++fired; });
+  t.start();
+  s.run_until(SimTime(Duration::millis(55).ns()));
+  EXPECT_EQ(fired, 5);  // t=10,20,30,40,50
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator s;
+  int fired = 0;
+  PeriodicTimer t(s, Duration::millis(10), [&] { ++fired; });
+  t.start();
+  s.schedule(Duration::millis(25), [&] { t.stop(); });
+  s.run_until(SimTime(Duration::millis(100).ns()));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackCanStopItself) {
+  Simulator s;
+  int fired = 0;
+  PeriodicTimer t(s, Duration::millis(10), [&] {
+    if (++fired == 3) t.stop();
+  });
+  t.start();
+  s.run_until(SimTime(Duration::seconds(1).ns()));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, StartAfterInitialDelay) {
+  Simulator s;
+  std::vector<std::int64_t> at;
+  PeriodicTimer t(s, Duration::millis(10), [&] { at.push_back(s.now().ns()); });
+  t.start_after(Duration::millis(3));
+  s.run_until(SimTime(Duration::millis(30).ns()));
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], Duration::millis(3).ns());
+  EXPECT_EQ(at[1], Duration::millis(13).ns());
+  EXPECT_EQ(at[2], Duration::millis(23).ns());
+}
+
+TEST(PeriodicTimer, RestartReplacesSchedule) {
+  Simulator s;
+  int fired = 0;
+  PeriodicTimer t(s, Duration::millis(10), [&] { ++fired; });
+  t.start();
+  t.start();  // restart: must not double-fire
+  s.run_until(SimTime(Duration::millis(35).ns()));
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace bips::sim

@@ -1,0 +1,129 @@
+// Unit tests for the SlaveController facade (the handheld's Bluetooth
+// stack): alternating scan schedules, connection state transitions, and
+// re-enrollment behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baseband/scheduler.hpp"
+#include "src/baseband/slave.hpp"
+
+namespace bips::baseband {
+namespace {
+
+struct SlaveRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{61};
+  RadioChannel radio{sim, rng, ChannelConfig{}};
+
+  void run_s(double s) {
+    sim.run_until(sim.now() + Duration::from_seconds(s));
+  }
+};
+
+TEST_F(SlaveRig, StartIsIdempotent) {
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), SlaveConfig{});
+  slave.start();
+  slave.start();  // second start must not double-schedule
+  run_s(10);
+  EXPECT_TRUE(slave.inquiry_scanner().running());
+  EXPECT_TRUE(slave.page_scanner().running());
+  // Window cadence matches a single schedule: ~7-8 windows in 10 s.
+  EXPECT_LE(slave.inquiry_scanner().stats().windows_opened, 9u);
+}
+
+TEST_F(SlaveRig, BothScannersAlternate) {
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), SlaveConfig{});
+  slave.start();
+  run_s(13);
+  // Roughly one window each per 1.28 s interval.
+  EXPECT_GE(slave.inquiry_scanner().stats().windows_opened, 9u);
+  EXPECT_GE(slave.page_scanner().stats().windows_opened, 9u);
+}
+
+TEST_F(SlaveRig, StopSilencesEverything) {
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), SlaveConfig{});
+  slave.start();
+  run_s(5);
+  slave.stop();
+  const auto inquiry_windows = slave.inquiry_scanner().stats().windows_opened;
+  run_s(10);
+  EXPECT_EQ(slave.inquiry_scanner().stats().windows_opened, inquiry_windows);
+  EXPECT_FALSE(slave.inquiry_scanner().running());
+}
+
+TEST_F(SlaveRig, ScanWhileConnectedKeepsInquiryScanAlive) {
+  // With the option on, a connected device stays discoverable (some 1.2-era
+  // parts supported this).
+  auto master_dev = std::make_unique<Device>(sim, radio, BdAddr(0xA1),
+                                             rng.fork());
+  SchedulerConfig mcfg;
+  mcfg.inquiry_length = Duration::from_seconds(2.56);
+  mcfg.cycle_length = Duration::from_seconds(5.12);
+  MasterScheduler sched(*master_dev, mcfg);
+
+  SlaveConfig scfg;
+  scfg.scan_while_connected = true;
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), scfg);
+  slave.inquiry_scanner().set_initial_channel(2);
+  sched.set_on_connected([&](BdAddr, SimTime) {
+    sched.piconet().attach(slave.link());
+  });
+  slave.start();
+  sched.start();
+  run_s(40);
+  ASSERT_TRUE(slave.connected());
+  EXPECT_TRUE(slave.inquiry_scanner().running());  // still discoverable
+}
+
+TEST_F(SlaveRig, DefaultStopsScanningWhenConnected) {
+  auto master_dev = std::make_unique<Device>(sim, radio, BdAddr(0xA1),
+                                             rng.fork());
+  SchedulerConfig mcfg;
+  mcfg.inquiry_length = Duration::from_seconds(2.56);
+  mcfg.cycle_length = Duration::from_seconds(5.12);
+  MasterScheduler sched(*master_dev, mcfg);
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), SlaveConfig{});
+  slave.inquiry_scanner().set_initial_channel(2);
+  sched.set_on_connected([&](BdAddr, SimTime) {
+    sched.piconet().attach(slave.link());
+  });
+  slave.start();
+  sched.start();
+  run_s(40);
+  ASSERT_TRUE(slave.connected());
+  EXPECT_FALSE(slave.inquiry_scanner().running());
+  EXPECT_FALSE(slave.page_scanner().running());
+}
+
+TEST_F(SlaveRig, CallbacksFireOnConnectAndDisconnect) {
+  auto master_dev = std::make_unique<Device>(sim, radio, BdAddr(0xA1),
+                                             rng.fork());
+  SchedulerConfig mcfg;
+  mcfg.inquiry_length = Duration::from_seconds(2.56);
+  mcfg.cycle_length = Duration::from_seconds(5.12);
+  MasterScheduler sched(*master_dev, mcfg);
+  SlaveController slave(sim, radio, BdAddr(0xB1), rng.fork(), SlaveConfig{});
+  slave.inquiry_scanner().set_initial_channel(2);
+
+  int connected = 0, disconnected = 0;
+  slave.set_on_connected(
+      [&](BdAddr, std::uint32_t, SimTime) { ++connected; });
+  slave.set_on_disconnected([&] { ++disconnected; });
+  sched.set_on_connected([&](BdAddr, SimTime) {
+    if (!slave.connected()) sched.piconet().attach(slave.link());
+  });
+  slave.start();
+  sched.start();
+  run_s(40);
+  ASSERT_GE(connected, 1);
+  EXPECT_EQ(disconnected, 0);
+
+  slave.device().set_position({100, 0});  // walk away -> supervision loss
+  run_s(10);
+  EXPECT_GE(disconnected, 1);
+  EXPECT_TRUE(slave.inquiry_scanner().running());  // discoverable again
+}
+
+}  // namespace
+}  // namespace bips::baseband

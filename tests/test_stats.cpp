@@ -1,0 +1,210 @@
+// Unit tests for statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace bips {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats whole, part1, part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // interpolated
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(SampleSet, CdfIsEmpiricalFraction) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(5.0), 0.5);   // <= 5: five samples
+  EXPECT_DOUBLE_EQ(s.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf(100.0), 1.0);
+}
+
+TEST(SampleSet, AddDurationConvertsToSeconds) {
+  SampleSet s;
+  s.add(Duration::millis(1500));
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, MeanAndStddev) {
+  SampleSet s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(20.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 3.0);
+}
+
+TEST(Histogram, AsciiRendersOneRowPerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bips
+
+// ---- confidence intervals ---------------------------------------------------
+
+namespace bips {
+namespace {
+
+TEST(ConfidenceInterval, ZeroBelowTwoSamples) {
+  RunningStats r;
+  EXPECT_DOUBLE_EQ(r.ci95_halfwidth(), 0.0);
+  r.add(5.0);
+  EXPECT_DOUBLE_EQ(r.ci95_halfwidth(), 0.0);
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(ConfidenceInterval, ShrinksWithSampleCount) {
+  Rng rng(71);
+  RunningStats small, large;
+  for (int i = 0; i < 30; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 3000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  // ~1.96/sqrt(n): 0.36 for n=30, 0.036 for n=3000.
+  EXPECT_NEAR(small.ci95_halfwidth(), 1.96 / std::sqrt(30.0), 0.12);
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 / std::sqrt(3000.0), 0.01);
+}
+
+TEST(ConfidenceInterval, CoversTheTrueMeanMostOfTheTime) {
+  // Property: across many replications, the 95% CI contains the true mean
+  // in roughly 95% of cases.
+  Rng rng(73);
+  int covered = 0;
+  constexpr int kReps = 400;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.normal(10.0, 2.0));
+    const double hw = s.ci95_halfwidth();
+    if (std::abs(s.mean() - 10.0) <= hw) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kReps;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(ConfidenceInterval, SampleSetMatchesRunningStats) {
+  Rng rng(79);
+  RunningStats r;
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform_double() * 7;
+    r.add(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(r.ci95_halfwidth(), s.ci95_halfwidth(), 1e-9);
+}
+
+}  // namespace
+}  // namespace bips

@@ -1,0 +1,71 @@
+// Unit tests for the table/CSV renderer used by the bench harness.
+#include <gtest/gtest.h>
+
+#include "src/util/table.hpp"
+
+namespace bips {
+namespace {
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"Starting Train", "Case No.", "Taverage"});
+  t.add_row({"Same", "236", "1.6028s"});
+  t.add_row({"Different", "264", "4.1320s"});
+  t.add_row({"Mixed", "500", "2.865s"});
+  const std::string out = t.to_string();
+  // Header present, one line per row + header + rule.
+  EXPECT_NE(out.find("Starting Train"), std::string::npos);
+  EXPECT_NE(out.find("Different"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  // Columns align: "236" and "264" start at the same offset.
+  const auto line_at = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = out.find('\n', pos) + 1;
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(line_at(2).find("236"), line_at(3).find("264"));
+}
+
+TEST(TableWriter, RowWidthMismatchDies) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(TableWriter, AddRowValuesFormatsDoubles) {
+  TableWriter t({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_NE(t.to_string().find("2.00"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t({"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quoted", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("name,note"), std::string::npos);
+}
+
+TEST(TableWriter, RowsCounted) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtPct, RendersPercentage) {
+  EXPECT_EQ(fmt_pct(0.948, 1), "94.8%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(0.0, 1), "0.0%");
+}
+
+}  // namespace
+}  // namespace bips

@@ -1,0 +1,90 @@
+// Unit tests for the simulation time types and baseband constants.
+#include <gtest/gtest.h>
+
+#include "src/util/time.hpp"
+
+namespace bips {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::nanos(7).ns(), 7);
+  EXPECT_EQ(Duration::micros(3).ns(), 3'000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(Duration, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.0000000004).ns(), 0);
+  EXPECT_EQ(Duration::from_seconds(0.0000000006).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10), b = Duration::millis(4);
+  EXPECT_EQ((a + b).ns(), 14'000'000);
+  EXPECT_EQ((a - b).ns(), 6'000'000);
+  EXPECT_EQ((a * 3).ns(), 30'000'000);
+  EXPECT_EQ((3 * a).ns(), 30'000'000);
+  EXPECT_EQ(a / b, 2);
+  EXPECT_EQ((a % b).ns(), 2'000'000);
+  EXPECT_EQ((-a).ns(), -10'000'000);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::micros(1), Duration::micros(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_GE(Duration::seconds(1), Duration::millis(1000));
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t(1'000);
+  EXPECT_EQ((t + Duration::nanos(500)).ns(), 1'500);
+  EXPECT_EQ((t - Duration::nanos(500)).ns(), 500);
+  EXPECT_EQ((SimTime(3'000) - t).ns(), 2'000);
+  SimTime u = t;
+  u += Duration::nanos(1);
+  EXPECT_EQ(u.ns(), 1'001);
+}
+
+TEST(SimTime, Extremes) {
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+  EXPECT_EQ(SimTime::max().ns(), INT64_MAX);
+  EXPECT_LT(SimTime::zero(), SimTime::max());
+}
+
+// The constants the paper's measurements hinge on must be exact in the
+// nanosecond time base.
+TEST(BasebandConstants, ExactSpecValues) {
+  EXPECT_EQ(kHalfSlot.ns(), 312'500);             // 312.5 us clock cycle
+  EXPECT_EQ(kSlot.ns(), 625'000);                 // 625 us slot
+  EXPECT_EQ(kTrain.ns(), 10'000'000);             // 10 ms train
+  EXPECT_EQ(kNInquiry, 256);
+  EXPECT_EQ(kTrainDwell.ns(), 2'560'000'000);     // 2.56 s per train
+  EXPECT_EQ(kDefaultScanWindow.ns(), 11'250'000); // 11.25 ms
+  EXPECT_EQ(kDefaultScanInterval.ns(), 1'280'000'000);  // 1.28 s
+  EXPECT_EQ(kMaxInquiryLength.ns(), 10'240'000'000);    // 10.24 s
+}
+
+TEST(BasebandConstants, SlotStructure) {
+  EXPECT_EQ(kSlot.ns(), 2 * kHalfSlot.ns());
+  EXPECT_EQ(kTrain.ns(), 16 * kSlot.ns());
+  EXPECT_EQ(kTrainDwell.ns(), kNInquiry * kTrain.ns());
+  // The scan window must cover at least one full train sweep.
+  EXPECT_GT(kDefaultScanWindow, kTrain);
+}
+
+TEST(TimeFormatting, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::from_seconds(1.6028)), "1.603 s");
+  EXPECT_EQ(to_string(Duration::millis(11)), "11 ms");
+  EXPECT_EQ(to_string(Duration::micros(68)), "68 us");
+  EXPECT_EQ(to_string(SimTime(1'500'000'000)), "1.500 s");
+}
+
+}  // namespace
+}  // namespace bips

@@ -1,0 +1,133 @@
+// Unit tests for the waypoint walker.
+#include <gtest/gtest.h>
+
+#include "src/mobility/walker.hpp"
+
+namespace bips::mobility {
+namespace {
+
+struct WalkerRig : ::testing::Test {
+  sim::Simulator sim;
+  void run_to(double s) { sim.run_until(SimTime(Duration::from_seconds(s).ns())); }
+};
+
+TEST_F(WalkerRig, StationaryUntilWalked) {
+  Walker w(sim, {5, 5});
+  EXPECT_EQ(w.position(), (Vec2{5, 5}));
+  EXPECT_FALSE(w.moving());
+  run_to(10);
+  EXPECT_EQ(w.position(), (Vec2{5, 5}));
+}
+
+TEST_F(WalkerRig, InterpolatesAlongSegment) {
+  Walker w(sim, {0, 0});
+  w.walk({{10, 0}}, 1.0);  // 10 m at 1 m/s
+  EXPECT_TRUE(w.moving());
+  run_to(4);
+  EXPECT_NEAR(w.position().x, 4.0, 1e-9);
+  EXPECT_NEAR(w.position().y, 0.0, 1e-9);
+  run_to(10);
+  EXPECT_NEAR(w.position().x, 10.0, 1e-9);
+  EXPECT_FALSE(w.moving());
+}
+
+TEST_F(WalkerRig, MultiSegmentRoute) {
+  Walker w(sim, {0, 0});
+  w.walk({{3, 0}, {3, 4}}, 1.0);  // 3 m + 4 m
+  run_to(3.0);
+  EXPECT_NEAR(w.position().x, 3.0, 1e-9);
+  run_to(5.0);
+  EXPECT_NEAR(w.position().x, 3.0, 1e-9);
+  EXPECT_NEAR(w.position().y, 2.0, 1e-9);
+  run_to(7.0);
+  EXPECT_NEAR(w.position().y, 4.0, 1e-9);
+  EXPECT_FALSE(w.moving());
+}
+
+TEST_F(WalkerRig, ArrivalCallbackFiresOnceAtDestination) {
+  Walker w(sim, {0, 0});
+  int arrivals = 0;
+  std::int64_t at_ns = 0;
+  w.walk({{5, 0}}, 2.0, [&] {
+    ++arrivals;
+    at_ns = sim.now().ns();
+  });
+  run_to(10);
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(at_ns, Duration::from_seconds(2.5).ns());
+}
+
+TEST_F(WalkerRig, ArrivalCallbackMayStartNextWalk) {
+  Walker w(sim, {0, 0});
+  bool second_done = false;
+  w.walk({{1, 0}}, 1.0, [&] {
+    w.walk({{1, 1}}, 1.0, [&] { second_done = true; });
+  });
+  run_to(5);
+  EXPECT_TRUE(second_done);
+  EXPECT_NEAR(w.position().y, 1.0, 1e-9);
+}
+
+TEST_F(WalkerRig, StopFreezesMidSegment) {
+  Walker w(sim, {0, 0});
+  w.walk({{10, 0}}, 1.0);
+  run_to(4);
+  w.stop();
+  EXPECT_FALSE(w.moving());
+  const Vec2 frozen = w.position();
+  EXPECT_NEAR(frozen.x, 4.0, 1e-9);
+  run_to(20);
+  EXPECT_EQ(w.position(), frozen);
+}
+
+TEST_F(WalkerRig, WalkReplacesWalkFromCurrentPosition) {
+  Walker w(sim, {0, 0});
+  w.walk({{10, 0}}, 1.0);
+  run_to(4);
+  w.walk({{4, 3}}, 1.0);  // retarget from (4, 0): 3 m away
+  int arrivals = 0;
+  run_to(6.9);
+  EXPECT_TRUE(w.moving());
+  run_to(7.1);
+  EXPECT_FALSE(w.moving());
+  EXPECT_NEAR(w.position().y, 3.0, 1e-9);
+  (void)arrivals;
+}
+
+TEST_F(WalkerRig, EmptyRouteArrivesImmediately) {
+  Walker w(sim, {1, 1});
+  bool arrived = false;
+  w.walk({}, 1.0, [&] { arrived = true; });
+  EXPECT_TRUE(arrived);
+  EXPECT_FALSE(w.moving());
+}
+
+TEST_F(WalkerRig, ZeroLengthSegmentHandled) {
+  Walker w(sim, {2, 2});
+  bool arrived = false;
+  w.walk({{2, 2}}, 1.0, [&] { arrived = true; });
+  run_to(1);
+  EXPECT_TRUE(arrived);
+}
+
+TEST_F(WalkerRig, OdometerAccumulatesAcrossWalks) {
+  Walker w(sim, {0, 0});
+  w.walk({{3, 0}}, 1.0);
+  run_to(3);
+  EXPECT_NEAR(w.odometer(), 3.0, 1e-9);
+  w.walk({{3, 4}}, 2.0);
+  run_to(5);  // the 4 m leg takes 2 s at 2 m/s
+  EXPECT_NEAR(w.odometer(), 7.0, 1e-9);
+  // Mid-segment odometer also counts partial distance.
+  w.walk({{13, 4}}, 1.0);
+  run_to(7);
+  EXPECT_NEAR(w.odometer(), 9.0, 1e-9);
+}
+
+TEST_F(WalkerRig, NonPositiveSpeedDies) {
+  Walker w(sim, {0, 0});
+  EXPECT_DEATH(w.walk({{1, 0}}, 0.0), "speed");
+}
+
+}  // namespace
+}  // namespace bips::mobility

@@ -1,0 +1,130 @@
+// Unit tests for the byte-level wire codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/proto/wire.hpp"
+
+namespace bips::proto {
+namespace {
+
+TEST(Wire, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x02);
+  EXPECT_EQ(w.bytes()[1], 0x01);
+}
+
+TEST(Wire, DoubleRoundTrip) {
+  Writer w;
+  w.f64(3.14159265358979);
+  w.f64(-0.0);
+  w.f64(1e300);
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e300);
+}
+
+TEST(Wire, BoolRoundTrip) {
+  Writer w;
+  w.boolean(true);
+  w.boolean(false);
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string("bin\0ary", 7));
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("bin\0ary", 7));
+}
+
+TEST(Wire, OversizedStringTruncatesAt65535) {
+  Writer w;
+  w.str(std::string(100'000, 'x'));
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.str().size(), 65'535u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, UnderflowSticksAndReturnsZeros) {
+  const Bytes b{0x01};
+  Reader r(b);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4, has 1
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // sticky even though one byte existed
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, TruncatedStringFailsCleanly) {
+  Writer w;
+  w.u16(100);  // promises 100 bytes
+  Bytes b = w.take();
+  b.push_back('x');  // delivers 1
+  Reader r(b);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, RemainingTracksPosition) {
+  Writer w;
+  w.u32(7);
+  w.u32(8);
+  const Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, EmptyBufferReads) {
+  const Bytes b;
+  Reader r(b);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, WriterSizeAndTakeReset) {
+  Writer w;
+  w.u32(1);
+  EXPECT_EQ(w.size(), 4u);
+  const Bytes b = w.take();
+  EXPECT_EQ(b.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bips::proto

@@ -1,0 +1,211 @@
+// Unit tests for the BIPS workstation: relay rewriting/routing, absence
+// hysteresis, and the reliable presence stream -- driven against a scripted
+// fake server on the LAN.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/slave.hpp"
+#include "src/core/workstation.hpp"
+
+namespace bips::core {
+namespace {
+
+struct WorkstationRig : ::testing::Test {
+  sim::Simulator sim;
+  Rng rng{41};
+  baseband::RadioChannel radio{sim, rng, baseband::ChannelConfig{}};
+  net::Lan lan{sim, rng, net::Lan::Config{}};
+  net::Endpoint& server = lan.create_endpoint();  // scripted fake server
+  std::vector<proto::Message> at_server;
+
+  std::unique_ptr<BipsWorkstation> ws;
+
+  void SetUp() override {
+    WorkstationConfig cfg;
+    cfg.scheduler.inquiry_length = Duration::from_seconds(1.0);
+    cfg.scheduler.cycle_length = Duration::from_seconds(5.0);
+    cfg.park_idle_links = false;  // keep link states simple here
+    ws = std::make_unique<BipsWorkstation>(sim, radio, lan, server.address(),
+                                           /*station=*/3, baseband::BdAddr(0xA1),
+                                           rng.fork(), Vec2{}, cfg);
+    server.set_handler([this](net::Address, const net::Payload& data) {
+      auto m = proto::decode(data);
+      ASSERT_TRUE(m.has_value());
+      at_server.push_back(*m);
+    });
+  }
+
+  void run_ms(std::int64_t ms) {
+    sim.run_until(sim.now() + Duration::millis(ms));
+  }
+  void server_sends(const proto::Message& m) {
+    server.send(ws->lan_address(), proto::encode(m));
+  }
+  template <typename T>
+  std::vector<T> server_got() {
+    std::vector<T> out;
+    for (const auto& m : at_server) {
+      if (const T* v = std::get_if<T>(&m)) out.push_back(*v);
+    }
+    return out;
+  }
+};
+
+struct FakeHandheld {
+  std::unique_ptr<baseband::Device> dev;
+  baseband::SlaveLink link;
+  std::vector<proto::Message> received;
+  std::unique_ptr<baseband::InquiryScanner> scanner;
+
+  FakeHandheld(WorkstationRig& rig, std::uint64_t addr)
+      : dev(std::make_unique<baseband::Device>(rig.sim, rig.radio,
+                                               baseband::BdAddr(addr),
+                                               rig.rng.fork())),
+        link(*dev) {
+    link.set_on_message([this](const baseband::AclPayload& p) {
+      auto m = proto::decode(p);
+      if (m) received.push_back(*m);
+    });
+  }
+
+  /// Makes the handheld answer inquiries (so the workstation's tracker
+  /// actually *sees* it, instead of only holding its link).
+  void become_discoverable() {
+    baseband::ScanConfig scan;
+    scan.window = scan.interval = kDefaultScanInterval;  // continuous
+    scan.channel_mode = baseband::ScanChannelMode::kFixed;
+    scanner = std::make_unique<baseband::InquiryScanner>(
+        *dev, scan, baseband::BackoffConfig{});
+    scanner->set_initial_channel(4);  // train A
+    scanner->start_with_phase(Duration(0));
+  }
+};
+
+TEST_F(WorkstationRig, LoginRelayRewritesSpoofedAddress) {
+  FakeHandheld h(*this, 0xB1);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h.link));
+  proto::LoginRequest req{0xDEAD /* spoofed */, "alice", "pw"};
+  h.link.send_to_master(proto::encode(req));
+  run_ms(100);
+  const auto got = server_got<proto::LoginRequest>();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].bd_addr, 0xB1u);  // the link's real identity
+  EXPECT_EQ(got[0].userid, "alice");
+  EXPECT_EQ(ws->stats().relays_up, 1u);
+}
+
+TEST_F(WorkstationRig, QueryRelayIsolatesClashingQueryIds) {
+  FakeHandheld h1(*this, 0xB1), h2(*this, 0xB2);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h1.link));
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h2.link));
+  // Both handhelds use query id 7.
+  h1.link.send_to_master(proto::encode(proto::WhereIsRequest{7, 0, "Bob"}));
+  h2.link.send_to_master(proto::encode(proto::WhereIsRequest{7, 0, "Carol"}));
+  run_ms(100);
+
+  const auto reqs = server_got<proto::WhereIsRequest>();
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_NE(reqs[0].query_id, reqs[1].query_id);  // relay ids distinct
+
+  // Route each reply back: rooms tell us which is which.
+  for (const auto& r : reqs) {
+    proto::WhereIsReply rep;
+    rep.query_id = r.query_id;
+    rep.status = proto::QueryStatus::kOk;
+    rep.room = r.target_user == "Bob" ? "bob-room" : "carol-room";
+    server_sends(rep);
+  }
+  run_ms(100);
+  ASSERT_EQ(h1.received.size(), 1u);
+  ASSERT_EQ(h2.received.size(), 1u);
+  const auto& rep1 = std::get<proto::WhereIsReply>(h1.received[0]);
+  const auto& rep2 = std::get<proto::WhereIsReply>(h2.received[0]);
+  EXPECT_EQ(rep1.query_id, 7u);  // original id restored
+  EXPECT_EQ(rep2.query_id, 7u);
+  EXPECT_EQ(rep1.room, "bob-room");
+  EXPECT_EQ(rep2.room, "carol-room");
+}
+
+TEST_F(WorkstationRig, PathRequestGetsTheStationRoom) {
+  FakeHandheld h(*this, 0xB1);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h.link));
+  h.link.send_to_master(
+      proto::encode(proto::PathRequest{1, 0, "Bob", 999 /* bogus */}));
+  run_ms(100);
+  const auto reqs = server_got<proto::PathRequest>();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].from_room, 3u);  // this workstation's station id
+  EXPECT_EQ(reqs[0].requester_bd_addr, 0xB1u);
+}
+
+TEST_F(WorkstationRig, UnexpectedAclTypesIgnored) {
+  FakeHandheld h(*this, 0xB1);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h.link));
+  // A handheld must not inject presence updates or replies.
+  h.link.send_to_master(
+      proto::encode(proto::PresenceUpdate{9, 0xB9, true, 1, 1}));
+  h.link.send_to_master(
+      proto::encode(proto::WhereIsReply{1, proto::QueryStatus::kOk, "x"}));
+  h.link.send_to_master({0xFF, 0xEE});  // garbage
+  run_ms(100);
+  EXPECT_TRUE(at_server.empty());
+  EXPECT_EQ(ws->stats().relays_up, 0u);
+}
+
+TEST_F(WorkstationRig, MovementEventForwardedToSubscriber) {
+  FakeHandheld h(*this, 0xB1);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h.link));
+  server_sends(proto::MovementEvent{0xB1, "Bob", true, "lab", 123});
+  run_ms(100);
+  ASSERT_EQ(h.received.size(), 1u);
+  const auto& ev = std::get<proto::MovementEvent>(h.received[0]);
+  EXPECT_EQ(ev.room, "lab");
+  EXPECT_EQ(ws->stats().relays_down, 1u);
+}
+
+TEST_F(WorkstationRig, MovementEventForUnknownDeviceDropped) {
+  server_sends(proto::MovementEvent{0xB9, "Bob", true, "lab", 123});
+  run_ms(100);
+  EXPECT_EQ(ws->stats().relays_down, 0u);  // nothing crashed, nothing sent
+}
+
+TEST_F(WorkstationRig, PresenceRetransmitsUntilAcked) {
+  // The fake server stays silent: the update is resent every 500 ms.
+  FakeHandheld h(*this, 0xB1);
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);  // one inquiry slot: the device is discovered and reported
+  ASSERT_GE(server_got<proto::PresenceUpdate>().size(), 1u);
+  EXPECT_EQ(ws->unacked_updates(), 1u);
+  const auto before = ws->stats().retransmissions;
+  run_ms(1600);
+  EXPECT_GT(ws->stats().retransmissions, before);
+  // All retransmissions carry the same seq.
+  const auto ups = server_got<proto::PresenceUpdate>();
+  for (const auto& u : ups) EXPECT_EQ(u.seq, ups[0].seq);
+
+  // Ack arrives: the stream quiesces.
+  server_sends(proto::PresenceAck{3, ups[0].seq});
+  run_ms(100);
+  EXPECT_EQ(ws->unacked_updates(), 0u);
+  const auto after_ack = ws->stats().retransmissions;
+  run_ms(2000);
+  EXPECT_EQ(ws->stats().retransmissions, after_ack);
+}
+
+TEST_F(WorkstationRig, StaleAckDoesNotDropNewerUpdates) {
+  FakeHandheld h(*this, 0xB1);
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);
+  ASSERT_EQ(ws->unacked_updates(), 1u);
+  server_sends(proto::PresenceAck{3, 0});  // acks nothing
+  run_ms(100);
+  EXPECT_EQ(ws->unacked_updates(), 1u);
+}
+
+}  // namespace
+}  // namespace bips::core
