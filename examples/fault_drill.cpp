@@ -1,10 +1,14 @@
-// Operations drill: what happens when a workstation dies?
+// Operations drill: what happens when the server dies? And a workstation?
 //
-// Runs the department deployment, kills the seminar-room workstation
-// mid-meeting, and narrates the recovery: link losses at the handhelds,
-// the server's failure detector expiring the dead station's records,
-// neighbours covering the overlap, and full re-enrollment after the
-// restart.
+// Runs the department deployment and power-cuts the central server
+// mid-meeting: sessions, presence and history all die with it. On restart
+// it comes back with a fresh epoch and broadcasts a SyncRequest; the
+// workstations answer with full SyncSnapshots (tracked devices plus their
+// witnessed userid<->device bindings), so the location database reconverges
+// in seconds and no handheld ever has to re-login. Then the drill kills the
+// seminar-room workstation and narrates that recovery too: link losses at
+// the handhelds, the server's failure detector expiring the dead station's
+// records, and full re-enrollment after the restart.
 //
 //   $ ./fault_drill
 #include <cstdio>
@@ -50,23 +54,50 @@ int main() {
                  "pw", seminar);
   }
 
-  std::printf("BIPS fault drill: the seminar-room workstation will fail.\n\n");
+  std::printf("BIPS fault drill: first the server fails, then a station.\n\n");
   sim.run_for(Duration::seconds(60));
   report(sim, "t=60 s (healthy):");
 
+  // Act one: the server dies. Everything in memory -- sessions, presence,
+  // history -- is lost; only the user registry survives.
+  std::printf("\n*** power cut at the central server (epoch %u dies) ***\n\n",
+              sim.server().epoch());
+  sim.server().crash();
+  sim.run_for(Duration::seconds(30));
+  report(sim, "t=90 s (server dark):");
+
+  std::printf("\n*** server restarted: epoch++, SyncRequest broadcast ***\n\n");
+  sim.server().restart();
+  sim.run_for(Duration::seconds(10));
+  report(sim, "t=100 s (resynced):");
+  std::printf(
+      "\nepoch=%u  snapshots_received=%llu  presences_restored=%llu  "
+      "sessions_restored=%llu\n",
+      sim.server().epoch(),
+      static_cast<unsigned long long>(sim.server().stats().syncs_received),
+      static_cast<unsigned long long>(
+          sim.server().stats().presences_restored),
+      static_cast<unsigned long long>(
+          sim.server().stats().sessions_restored));
+  std::printf(
+      "\nnote: the server forgot the sessions, but the workstations'\n"
+      "snapshots carried their witnessed userid<->device bindings, so the\n"
+      "service healed without a single re-login.\n");
+
+  // Act two: a workstation dies instead.
   std::printf("\n*** power cut at the seminar room ***\n\n");
   sim.workstation(seminar).crash();
   sim.run_for(Duration::seconds(5));
-  report(sim, "t=65 s (links dropping):");
+  report(sim, "t=105 s (links dropping):");
   sim.run_for(Duration::seconds(15));
-  report(sim, "t=80 s (records expired):");
+  report(sim, "t=120 s (records expired):");
 
   std::printf("\n*** workstation restarted ***\n\n");
   sim.workstation(seminar).restart();
   sim.run_for(Duration::seconds(60));
-  report(sim, "t=140 s (recovered):");
+  report(sim, "t=180 s (recovered):");
 
-  std::printf("\nnote: sessions survive the outage (login binds userid to\n"
-              "the device at the *server*); only presence needed healing.\n");
+  std::printf("\nnote: this time the sessions survived untouched (they live\n"
+              "at the server); only presence needed healing.\n");
   return 0;
 }

@@ -87,6 +87,15 @@ bool SlaveLink::send_to_master(AclPayload payload) {
   return true;
 }
 
+SlaveLink::~SlaveLink() {
+  // Destroyed while still attached: erase this link from the master's
+  // roster, or the master would later write through the dangling pointer
+  // (poll loop, or its own destructor severing back-pointers).
+  if (master_ == nullptr) return;
+  master_->slaves_.erase(dev_.addr());
+  if (master_->slaves_.empty()) master_->poll_timer_.stop();
+}
+
 PiconetMaster::PiconetMaster(Device& dev, Config cfg)
     : dev_(dev),
       cfg_(cfg),

@@ -47,6 +47,9 @@ class SlaveLink {
   explicit SlaveLink(Device& dev) : dev_(dev) {}
   SlaveLink(const SlaveLink&) = delete;
   SlaveLink& operator=(const SlaveLink&) = delete;
+  /// Leaves the master's roster quietly (no disconnect callback) so the
+  /// master never reaches through a dangling link.
+  ~SlaveLink();
 
   Device& device() { return dev_; }
   bool connected() const { return master_ != nullptr; }
@@ -185,6 +188,8 @@ class PiconetMaster {
     Reassembler to_slave;    // master -> slave reassembly (lives here so a
                              // detach drops both directions atomically)
   };
+
+  friend class SlaveLink;  // ~SlaveLink erases itself from slaves_
 
   void poll_round();
   bool slave_in_range(const SlaveState& s) const;

@@ -4,6 +4,21 @@
 
 namespace bips::core {
 
+void LocationDatabase::clear() {
+  by_userid_.clear();
+  by_addr_.clear();
+  presence_.clear();
+  history_.clear();
+}
+
+void LocationDatabase::retire_station_claims(StationId station) {
+  for (auto& [addr, rec] : presence_) {
+    if (rec.runner_up && rec.runner_up->station == station) {
+      rec.runner_up.reset();
+    }
+  }
+}
+
 bool LocationDatabase::login(std::string userid, std::uint64_t bd_addr,
                              SimTime at) {
   if (userid.empty() || bd_addr == 0) return false;

@@ -50,6 +50,16 @@ class LocationDatabase {
   explicit LocationDatabase(std::size_t history_limit = 1024)
       : history_limit_(history_limit) {}
 
+  /// Server crash: everything here lives in memory, so sessions, presence
+  /// and history are all lost. Stats survive (they are the operator's
+  /// counters, not the database's state).
+  void clear();
+
+  /// Drops every runner-up claim referencing `station` (the failure
+  /// detector declared it dead; its fallback claims must not be promoted
+  /// later and resurrect an attribution to a dead station).
+  void retire_station_claims(StationId station);
+
   // ---- sessions --------------------------------------------------------
 
   /// Binds userid <-> bd_addr. Fails if either side is already bound (the

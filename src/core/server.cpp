@@ -11,6 +11,7 @@ using proto::QueryStatus;
 BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
                        const mobility::Building& building, Config cfg)
     : sim_(sim),
+      lan_(lan),
       building_(building),
       topology_(building.to_graph()),
       paths_(topology_),  // the offline all-pairs precomputation
@@ -36,7 +37,41 @@ void BipsServer::reply(net::Address to, const proto::Message& m) {
   endpoint_.send(to, proto::encode(m));
 }
 
+void BipsServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  if (sweep_timer_) sweep_timer_->stop();
+  // Everything in memory dies with the process. The registry survives:
+  // accounts live on disk in a real deployment.
+  db_.clear();
+  station_lan_.clear();
+  last_presence_seq_.clear();
+  last_heard_.clear();
+  subs_.clear();
+  resync_pending_.clear();
+  BIPS_WARN(sim_.now(), "server: crashed (epoch %u dies)", epoch_);
+}
+
+void BipsServer::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  ++stats_.restarts;
+  if (sweep_timer_) sweep_timer_->start();
+  // Ask the whole LAN for state. Workstations answer with SyncSnapshots;
+  // anything else ignores the request. Loss of individual requests is
+  // repaired by the epoch riding on every HeartbeatAck/PresenceAck.
+  const proto::SyncRequest req{epoch_, sim_.now().ns()};
+  for (net::Address a = 0; a < lan_.endpoint_count(); ++a) {
+    if (a != endpoint_.address()) reply(a, req);
+  }
+  BIPS_WARN(sim_.now(), "server: restarted as epoch %u, resync requested",
+            epoch_);
+}
+
 void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
+  if (crashed_) return;  // a dead machine hears nothing
   auto msg = proto::decode(data);
   if (!msg) {
     ++stats_.malformed;
@@ -54,7 +89,8 @@ void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
                       std::is_same_v<T, proto::WhoIsInRequest> ||
                       std::is_same_v<T, proto::HistoryRequest> ||
                       std::is_same_v<T, proto::SubscribeRequest> ||
-                      std::is_same_v<T, proto::Heartbeat>) {
+                      std::is_same_v<T, proto::Heartbeat> ||
+                      std::is_same_v<T, proto::SyncSnapshot>) {
           handle(from, m);
         } else {
           ++stats_.malformed;  // a reply type sent *to* the server
@@ -108,8 +144,54 @@ void BipsServer::handle(net::Address from, const proto::LogoutRequest& m) {
 
 void BipsServer::handle(net::Address from, const proto::Heartbeat& m) {
   ++stats_.heartbeats;
+  note_station_alive(m.workstation, from);
+  reply(from, proto::HeartbeatAck{epoch_});
+}
+
+void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
+  ++stats_.syncs_received;
   station_lan_[m.workstation] = from;
   last_heard_[m.workstation] = sim_.now();
+  resync_pending_.erase(m.workstation);
+  const SimTime now = sim_.now();
+  // Session hints first, so the presence notifications below can already
+  // resolve userids. A hint is only accepted when it names a registered
+  // account and neither side of the binding is taken -- the workstation
+  // attests the binding existed, nothing more.
+  for (const auto& s : m.sessions) {
+    if (registry_.by_userid(s.userid) == nullptr) continue;
+    if (db_.userid_of(s.bd_addr) || db_.addr_of(s.userid)) continue;
+    if (db_.login(s.userid, s.bd_addr, now)) ++stats_.sessions_restored;
+  }
+  for (const auto& p : m.present) {
+    if (db_.set_present(p.bd_addr, m.workstation, now, p.rssi_dbm)) {
+      ++stats_.presences_restored;
+      notify_subscribers(p.bd_addr, /*entered=*/true, m.workstation, now);
+    }
+  }
+  BIPS_DEBUG(now, "server: snapshot from station %u (%zu present, %zu sessions)",
+             m.workstation, m.present.size(), m.sessions.size());
+}
+
+void BipsServer::request_resync(net::Address station_addr) {
+  ++stats_.resyncs_requested;
+  reply(station_addr, proto::SyncRequest{epoch_, sim_.now().ns()});
+}
+
+void BipsServer::note_station_alive(StationId station, net::Address from) {
+  station_lan_[station] = from;
+  last_heard_[station] = sim_.now();
+  const auto pending = resync_pending_.find(station);
+  if (pending != resync_pending_.end()) {
+    // We expired this station's records but it was merely unreachable (or
+    // restarted): its deltas all predate the expiry, so only a snapshot can
+    // repopulate the database. Keep asking (throttled) until one arrives;
+    // handle(SyncSnapshot) clears the flag.
+    if (sim_.now() - pending->second >= cfg_.sweep_period) {
+      pending->second = sim_.now();
+      request_resync(from);
+    }
+  }
 }
 
 void BipsServer::sweep_dead_stations() {
@@ -121,6 +203,8 @@ void BipsServer::sweep_dead_stations() {
   for (const StationId station : dead) {
     last_heard_.erase(station);
     last_presence_seq_.erase(station);  // a restarted station starts fresh
+    resync_pending_.try_emplace(station, SimTime::zero());
+    db_.retire_station_claims(station);
     ++stats_.stations_expired;
     for (const std::uint64_t addr : db_.devices_at(station)) {
       // set_absent promotes a runner-up claim if an overlapping station
@@ -139,17 +223,16 @@ void BipsServer::sweep_dead_stations() {
 
 void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
   ++stats_.presence_received;
-  // Learn which LAN address serves this station (used for pushes), and any
-  // traffic proves liveness.
-  station_lan_[m.workstation] = from;
-  last_heard_[m.workstation] = sim_.now();
+  // Learn which LAN address serves this station (used for pushes); any
+  // traffic proves liveness and may trigger a pending resync.
+  note_station_alive(m.workstation, from);
 
   // Reliability: deduplicate retransmissions, acknowledge cumulatively.
   if (m.seq != 0) {
     auto& last = last_presence_seq_[m.workstation];
     if (m.seq <= last) {
       ++stats_.presence_duplicates;
-      reply(from, proto::PresenceAck{m.workstation, last});
+      reply(from, proto::PresenceAck{m.workstation, last, epoch_});
       return;
     }
     last = m.seq;
@@ -166,7 +249,7 @@ void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
     notify_subscribers(m.bd_addr, m.present, m.workstation, at);
   }
   if (m.seq != 0) {
-    reply(from, proto::PresenceAck{m.workstation, m.seq});
+    reply(from, proto::PresenceAck{m.workstation, m.seq, epoch_});
   }
 }
 

@@ -41,6 +41,21 @@ class BipsServer {
 
   net::Address address() const { return endpoint_.address(); }
 
+  /// Fault injection: the server dies -- every in-memory structure
+  /// (sessions, presence, history, routing, subscriptions) is lost and all
+  /// LAN traffic is ignored until restart(). The user registry survives
+  /// (accounts live on disk in a real deployment).
+  void crash();
+  /// Comes back with the next epoch and broadcasts a SyncRequest so the
+  /// workstations resynchronise the location database in one round trip
+  /// instead of hours of organic re-sightings.
+  void restart();
+  bool crashed() const { return crashed_; }
+  /// Monotonically increasing incarnation number (starts at 1, +1 per
+  /// restart). Carried on SyncRequest/HeartbeatAck/PresenceAck so the
+  /// workstations can detect restarts even under LAN loss.
+  std::uint32_t epoch() const { return epoch_; }
+
   UserRegistry& registry() { return registry_; }
   const UserRegistry& registry() const { return registry_; }
   LocationDatabase& db() { return db_; }
@@ -89,6 +104,12 @@ class BipsServer {
     std::uint64_t stations_expired = 0;
     std::uint64_t presences_expired = 0;
     std::uint64_t malformed = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t syncs_received = 0;      // SyncSnapshots applied
+    std::uint64_t sessions_restored = 0;   // from snapshot session hints
+    std::uint64_t presences_restored = 0;  // from snapshot presence entries
+    std::uint64_t resyncs_requested = 0;   // unicast SyncRequests sent
   };
   const Stats& stats() const { return stats_; }
 
@@ -103,7 +124,16 @@ class BipsServer {
   void handle(net::Address from, const proto::HistoryRequest& m);
   void handle(net::Address from, const proto::SubscribeRequest& m);
   void handle(net::Address from, const proto::Heartbeat& m);
+  void handle(net::Address from, const proto::SyncSnapshot& m);
   void reply(net::Address to, const proto::Message& m);
+
+  /// A station the failure detector expired turned out to be alive: ask it
+  /// for a full snapshot (its tracked set never changed from its side, so
+  /// no deltas would ever repopulate the expired records).
+  void request_resync(net::Address station_addr);
+  /// Any traffic from `station` proves liveness; returns true if the
+  /// station was awaiting a resync (and issues the SyncRequest).
+  void note_station_alive(StationId station, net::Address from);
 
   /// Failure-detector sweep: expires every record of silent stations.
   void sweep_dead_stations();
@@ -122,6 +152,7 @@ class BipsServer {
                                     StationId* target_station) const;
 
   sim::Simulator& sim_;
+  net::Lan& lan_;
   Config cfg_;
   const mobility::Building& building_;
   graph::Graph topology_;
@@ -140,7 +171,14 @@ class BipsServer {
   std::unique_ptr<sim::PeriodicTimer> sweep_timer_;
   /// Movement subscriptions: target userid -> subscriber device addresses.
   std::unordered_map<std::string, std::unordered_set<std::uint64_t>> subs_;
+  /// Stations the failure detector expired, with the time of the last
+  /// unicast SyncRequest sent to them (zero = none yet). Every sign of life
+  /// re-requests (throttled to the sweep period) until a snapshot actually
+  /// arrives -- the request or the reply may itself be lost.
+  std::unordered_map<StationId, SimTime> resync_pending_;
 
+  bool crashed_ = false;
+  std::uint32_t epoch_ = 1;
   Stats stats_;
 };
 

@@ -126,6 +126,13 @@ void BipsSimulation::set_position_provider(std::string_view userid,
   u->client->device().set_position_provider([cu] { return cu->position(); });
 }
 
+std::vector<std::string> BipsSimulation::userids() const {
+  std::vector<std::string> ids;
+  ids.reserve(users_.size());
+  for (const User& u : users_) ids.push_back(u.userid);
+  return ids;
+}
+
 BipsClient* BipsSimulation::client(std::string_view userid) {
   const User* u = find_user(userid);
   return u == nullptr ? nullptr : u->client.get();

@@ -81,6 +81,7 @@ class BipsSimulation {
 
   sim::Simulator& simulator() { return sim_; }
   baseband::RadioChannel& radio() { return radio_; }
+  net::Lan& lan() { return lan_; }
   BipsServer& server() { return *server_; }
   const mobility::Building& building() const { return building_; }
 
@@ -88,6 +89,8 @@ class BipsSimulation {
   BipsWorkstation& workstation(StationId s) { return *stations_.at(s); }
 
   std::size_t user_count() const { return users_.size(); }
+  /// All registered userids, in registration order.
+  std::vector<std::string> userids() const;
   BipsClient* client(std::string_view userid);
   mobility::RandomWaypointAgent* agent(std::string_view userid);
 

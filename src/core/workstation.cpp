@@ -56,8 +56,10 @@ void BipsWorkstation::stop() {
 }
 
 void BipsWorkstation::crash() {
+  if (crashed_) return;
   stop();
   crashed_ = true;
+  ++stats_.crashes;
   // Links die with the radio: detach every slave (they observe the loss and
   // resume scanning), and everything volatile is gone.
   for (const baseband::BdAddr a : scheduler_.piconet().slave_addrs()) {
@@ -66,11 +68,17 @@ void BipsWorkstation::crash() {
   tracked_.clear();
   unacked_.clear();
   pending_queries_.clear();
+  session_hints_.clear();
+  pending_logins_.clear();
+  server_epoch_ = 0;  // a fresh boot re-learns the server's incarnation
   next_presence_seq_ = 1;  // the server forgets a dead station's stream
   round_ = 0;
 }
 
-void BipsWorkstation::restart() { start(); }
+void BipsWorkstation::restart() {
+  if (!crashed_) return;
+  start();
+}
 
 void BipsWorkstation::send_heartbeat() {
   proto::Heartbeat hb;
@@ -88,7 +96,26 @@ void BipsWorkstation::report(std::uint64_t bd_addr, bool present,
   u.timestamp_ns = sim_.now().ns();
   u.seq = next_presence_seq_++;
   u.rssi_dbm = rssi_dbm;
+  // Coalesce: an unacked delta for the same device is superseded by this
+  // one (a `present` followed by an `absent` collapses to the absence, and
+  // vice versa) -- the server only needs the latest state, and cumulative
+  // acks tolerate the gap in the sequence. Keeps the queue bounded by the
+  // number of distinct in-flux devices during a server outage.
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    if (it->bd_addr == bd_addr) {
+      it = unacked_.erase(it);
+      ++stats_.updates_coalesced;
+    } else {
+      ++it;
+    }
+  }
   unacked_.push_back(u);
+  // Backstop cap for pathological churn: evict the oldest delta. Should the
+  // server have missed it, the expiry/resync path restores the state.
+  while (unacked_.size() > cfg_.max_unacked) {
+    unacked_.pop_front();
+    ++stats_.updates_dropped;
+  }
   endpoint_.send(server_, proto::encode(u));
   if (!retransmit_timer_.running()) retransmit_timer_.start();
   present ? ++stats_.presences_reported : ++stats_.absences_reported;
@@ -109,6 +136,41 @@ void BipsWorkstation::retransmit_unacked() {
     endpoint_.send(server_, proto::encode(u));
     ++stats_.retransmissions;
   }
+}
+
+void BipsWorkstation::note_server_epoch(std::uint32_t epoch) {
+  if (epoch <= server_epoch_) return;
+  const bool server_restarted = server_epoch_ != 0;
+  server_epoch_ = epoch;
+  if (server_restarted) {
+    // The server we knew died and came back empty; its SyncRequest
+    // broadcast may have been lost, so push the snapshot unprompted.
+    send_snapshot();
+  }
+}
+
+void BipsWorkstation::send_snapshot() {
+  proto::SyncSnapshot snap;
+  snap.workstation = station_;
+  snap.server_epoch = server_epoch_;
+  snap.timestamp_ns = sim_.now().ns();
+  snap.present.reserve(tracked_.size());
+  for (const auto& [addr, dev] : tracked_) {
+    snap.present.push_back({addr.raw(), dev.last_rssi_dbm});
+    const auto hint = session_hints_.find(addr.raw());
+    if (hint != session_hints_.end()) {
+      snap.sessions.push_back({addr.raw(), hint->second});
+    }
+  }
+  // The snapshot is the full state; every pending delta predates it and is
+  // superseded (the requesting server has no records of this station, so
+  // stale absences have nothing left to clear).
+  unacked_.clear();
+  retransmit_timer_.stop();
+  endpoint_.send(server_, proto::encode(snap));
+  ++stats_.snapshots_sent;
+  BIPS_DEBUG(sim_.now(), "ws %u: snapshot to server epoch %u (%zu devices)",
+             station_, server_epoch_, snap.present.size());
 }
 
 void BipsWorkstation::on_discovered(const baseband::InquiryResponse& r) {
@@ -188,9 +250,19 @@ void BipsWorkstation::on_acl_message(baseband::BdAddr from,
   const bool relayed = std::visit(
       [&](auto& m) -> bool {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, proto::LoginRequest> ||
-                      std::is_same_v<T, proto::LogoutRequest>) {
+        if constexpr (std::is_same_v<T, proto::LoginRequest>) {
           m.bd_addr = from.raw();
+          // Remember who is logging in on this device: once the reply
+          // confirms, the binding becomes a session hint for resyncs.
+          pending_logins_[m.bd_addr] = m.userid;
+          endpoint_.send(server_, proto::encode(m));
+          return true;
+        } else if constexpr (std::is_same_v<T, proto::LogoutRequest>) {
+          m.bd_addr = from.raw();
+          // The hint dies with the logout attempt: resurrecting a session
+          // the user asked to end is worse than losing a valid hint.
+          pending_logins_.erase(m.bd_addr);
+          session_hints_.erase(m.bd_addr);
           endpoint_.send(server_, proto::encode(m));
           return true;
         } else if constexpr (std::is_same_v<T, proto::WhereIsRequest> ||
@@ -231,7 +303,20 @@ void BipsWorkstation::on_lan_message(net::Address, const net::Payload& data) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, proto::PresenceAck>) {
           handle_ack(m.seq);
+          note_server_epoch(m.server_epoch);
+        } else if constexpr (std::is_same_v<T, proto::HeartbeatAck>) {
+          note_server_epoch(m.server_epoch);
+        } else if constexpr (std::is_same_v<T, proto::SyncRequest>) {
+          // The server explicitly states it holds nothing for us (restart
+          // broadcast, or it expired our records): always answer.
+          if (m.server_epoch > server_epoch_) server_epoch_ = m.server_epoch;
+          send_snapshot();
         } else if constexpr (std::is_same_v<T, proto::LoginReply>) {
+          const auto pending = pending_logins_.find(m.bd_addr);
+          if (pending != pending_logins_.end()) {
+            if (m.ok) session_hints_[m.bd_addr] = pending->second;
+            pending_logins_.erase(pending);
+          }
           const baseband::BdAddr to(m.bd_addr);
           if (scheduler_.piconet().send(to, proto::encode(m))) {
             ++stats_.relays_down;

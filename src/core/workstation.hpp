@@ -36,6 +36,12 @@ struct WorkstationConfig {
   /// (sequence numbers + cumulative server acks make the stream survive
   /// LAN loss).
   Duration presence_retransmit = Duration::millis(500);
+  /// Hard cap on the retransmit queue: a long server outage must not grow
+  /// it without bound. Superseded deltas for the same device are coalesced
+  /// first, so the cap only ever bites with more distinct in-flux devices
+  /// than this; the oldest delta is dropped then (the server resyncs via
+  /// snapshot anyway once it reappears).
+  std::size_t max_unacked = 256;
   /// Park slaves once they are logged in, and park the idlest active slave
   /// to admit a newcomer when all 7 AM_ADDRs are taken -- lets one room
   /// track far more than seven users (Bluetooth park mode).
@@ -92,11 +98,21 @@ class BipsWorkstation {
     std::uint64_t relays_up = 0;    // handheld -> server messages relayed
     std::uint64_t relays_down = 0;  // server -> handheld replies relayed
     std::uint64_t retransmissions = 0;  // presence updates resent
+    std::uint64_t updates_coalesced = 0;  // superseded deltas collapsed
+    std::uint64_t updates_dropped = 0;    // queue-cap evictions
+    std::uint64_t snapshots_sent = 0;     // SyncSnapshots pushed
+    std::uint64_t crashes = 0;            // fault injections survived
   };
   const Stats& stats() const { return stats_; }
 
   /// Presence updates sent but not yet acknowledged by the server.
   std::size_t unacked_updates() const { return unacked_.size(); }
+
+  /// Next presence sequence number (monotonic per incarnation; resets only
+  /// on crash()). Exposed for the fault layer's regression invariant.
+  std::uint64_t presence_seq() const { return next_presence_seq_; }
+  /// Last server epoch this workstation has observed (0 = none yet).
+  std::uint32_t known_server_epoch() const { return server_epoch_; }
 
  private:
   struct TrackedDevice {
@@ -113,6 +129,14 @@ class BipsWorkstation {
   void handle_ack(std::uint64_t acked_seq);
   void retransmit_unacked();
   void send_heartbeat();
+
+  /// Records a server epoch seen on any server->workstation message; an
+  /// advance past an already-known epoch means the server restarted empty,
+  /// so a snapshot is pushed without waiting for its SyncRequest.
+  void note_server_epoch(std::uint32_t epoch);
+  /// Full-state push: everything tracked plus witnessed session bindings.
+  /// Supersedes (and clears) all pending deltas.
+  void send_snapshot();
 
   // Relay plumbing.
   void on_acl_message(baseband::BdAddr from, const baseband::AclPayload& p);
@@ -136,6 +160,15 @@ class BipsWorkstation {
   sim::PeriodicTimer retransmit_timer_;
   sim::PeriodicTimer heartbeat_timer_;
   bool crashed_ = false;
+
+  /// Server incarnation tracking (see note_server_epoch).
+  std::uint32_t server_epoch_ = 0;
+  /// Witnessed session bindings (bd_addr -> userid), from relayed logins;
+  /// carried on snapshots so a restarted server recovers sessions without
+  /// waiting for every handheld to notice and re-login.
+  std::unordered_map<std::uint64_t, std::string> session_hints_;
+  /// Login relays whose reply has not come back yet (bd_addr -> userid).
+  std::unordered_map<std::uint64_t, std::string> pending_logins_;
 
   /// Query relays in flight: relay id -> (device, its original query id).
   struct PendingQuery {

@@ -1,0 +1,119 @@
+#include "src/fault/invariants.hpp"
+
+#include <cstdio>
+
+namespace bips::fault {
+
+InvariantChecker::InvariantChecker(core::BipsSimulation& sim, Config cfg)
+    : sim_(sim), cfg_(cfg), stations_(sim.workstation_count()) {}
+
+void InvariantChecker::start() {
+  if (!timer_) {
+    timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_.simulator(), cfg_.sample_period, [this] { sample(); });
+  }
+  timer_->start();
+}
+
+void InvariantChecker::stop() {
+  if (timer_) timer_->stop();
+}
+
+void InvariantChecker::violate(std::string msg) {
+  // One chaos run can trip the same invariant every sample; keep the report
+  // readable by dropping exact repeats.
+  for (const std::string& v : violations_) {
+    if (v == msg) return;
+  }
+  violations_.push_back(std::move(msg));
+}
+
+void InvariantChecker::sample() {
+  ++samples_;
+  const SimTime now = sim_.simulator().now();
+  char msg[192];
+
+  for (core::StationId s = 0; s < sim_.workstation_count(); ++s) {
+    core::BipsWorkstation& ws = sim_.workstation(s);
+    StationState& st = stations_[s];
+
+    // Sequence numbers and the observed server epoch may only move forward
+    // within one workstation incarnation; crash() legitimately resets both.
+    const bool recycled = ws.stats().crashes != st.crashes;
+    if (!recycled) {
+      if (ws.presence_seq() < st.last_seq) {
+        std::snprintf(msg, sizeof msg,
+                      "t=%.1fs station %u presence seq regressed %llu -> %llu",
+                      now.to_seconds(), s,
+                      static_cast<unsigned long long>(st.last_seq),
+                      static_cast<unsigned long long>(ws.presence_seq()));
+        violate(msg);
+      }
+      if (ws.known_server_epoch() < st.last_epoch) {
+        std::snprintf(msg, sizeof msg,
+                      "t=%.1fs station %u server epoch regressed %u -> %u",
+                      now.to_seconds(), s, st.last_epoch,
+                      ws.known_server_epoch());
+        violate(msg);
+      }
+    }
+    st.last_seq = ws.presence_seq();
+    st.last_epoch = ws.known_server_epoch();
+    st.crashes = ws.stats().crashes;
+
+    // Track how long each station has been continuously dead.
+    if (ws.crashed()) {
+      if (!st.was_crashed) st.crashed_since = now;
+      st.was_crashed = true;
+    } else {
+      st.was_crashed = false;
+    }
+  }
+
+  // Nobody may stay located at a long-dead station. The server's failure
+  // detector is the only component that can clean these records up (the
+  // dead station cannot report absences), so give it its bound plus slack.
+  if (!sim_.server().crashed()) {
+    for (const std::string& userid : sim_.userids()) {
+      const auto room = sim_.db_room(userid);
+      if (!room) continue;
+      const StationState& st = stations_[*room];
+      if (st.was_crashed && now - st.crashed_since > cfg_.dead_station_grace) {
+        std::snprintf(msg, sizeof msg,
+                      "t=%.1fs user %s still located at station %u, dead for "
+                      "%.1fs (> %.1fs grace)",
+                      now.to_seconds(), userid.c_str(), *room,
+                      (now - st.crashed_since).to_seconds(),
+                      cfg_.dead_station_grace.to_seconds());
+        violate(msg);
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_converged() {
+  const SimTime now = sim_.simulator().now();
+  char msg[192];
+  for (const std::string& userid : sim_.userids()) {
+    const core::BipsClient* c = sim_.client(userid);
+    if (c == nullptr || !c->logged_in()) continue;
+    const auto room = sim_.db_room(userid);
+    const mobility::RoomId truth = sim_.true_room(userid);
+    if (truth != mobility::kNoRoom && !room) {
+      std::snprintf(msg, sizeof msg,
+                    "t=%.1fs converged check: logged-in user %s stands in "
+                    "room %u but the location DB has no record",
+                    now.to_seconds(), userid.c_str(), truth);
+      violate(msg);
+    }
+    if (room && sim_.workstation(*room).crashed()) {
+      std::snprintf(msg, sizeof msg,
+                    "t=%.1fs converged check: user %s located at crashed "
+                    "station %u",
+                    now.to_seconds(), userid.c_str(), *room);
+      violate(msg);
+    }
+  }
+}
+
+}  // namespace bips::fault

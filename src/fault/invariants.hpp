@@ -1,0 +1,81 @@
+// Safety and convergence invariants for fault-injected runs.
+//
+// The InvariantChecker samples a running BipsSimulation and records every
+// violation of the recovery contract as a human-readable string:
+//
+//  * presence sequence numbers never regress within a workstation
+//    incarnation (a regression without an intervening crash() means the
+//    reliable delta stream is corrupt);
+//  * a workstation's view of the server epoch never moves backwards within
+//    an incarnation (epochs are monotonic by construction);
+//  * no user stays located at a station that has been dead longer than the
+//    failure-detector bound -- a dead station can never report its own
+//    absences, so only the server's sweep can tell the truth;
+//  * after the plan heals (check_converged()), every logged-in user who is
+//    physically inside some piconet is located again, and nobody is located
+//    at a crashed station.
+//
+// Violations accumulate instead of asserting so one chaos run reports every
+// broken invariant at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+
+namespace bips::fault {
+
+class InvariantChecker {
+ public:
+  struct Config {
+    /// How often the running invariants are sampled.
+    Duration sample_period = Duration::seconds(1);
+    /// A station continuously dead for longer than this must have no
+    /// presence records left in the location database. Must exceed the
+    /// server's station_timeout + sweep_period (plus slack for a server
+    /// outage that delays the sweep).
+    Duration dead_station_grace = Duration::seconds(30);
+  };
+
+  // No `cfg = Config{}` default argument: the nested class' member
+  // initializers are only complete at the end of InvariantChecker.
+  explicit InvariantChecker(core::BipsSimulation& sim)
+      : InvariantChecker(sim, Config{}) {}
+  InvariantChecker(core::BipsSimulation& sim, Config cfg);
+
+  /// Starts periodic sampling (call before running the faulted window).
+  void start();
+  void stop();
+
+  /// End-of-run convergence check; call only after the fault plan has
+  /// healed and the recovery bound has elapsed.
+  void check_converged();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  struct StationState {
+    std::uint64_t last_seq = 0;
+    std::uint32_t last_epoch = 0;
+    std::uint64_t crashes = 0;   // stats().crashes at the last sample
+    bool was_crashed = false;
+    SimTime crashed_since = SimTime::zero();
+  };
+
+  void sample();
+  void violate(std::string msg);
+
+  core::BipsSimulation& sim_;
+  Config cfg_;
+  std::vector<StationState> stations_;
+  std::uint64_t samples_ = 0;
+  std::vector<std::string> violations_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace bips::fault

@@ -1,0 +1,245 @@
+#include "src/fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/rng.hpp"
+
+namespace bips::fault {
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_station(Duration at, core::StationId s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kStationCrash;
+  e.at = at;
+  e.station = s;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::restart_station(Duration at, core::StationId s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kStationRestart;
+  e.at = at;
+  e.station = s;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::crash_server(Duration at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kServerCrash;
+  e.at = at;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::restart_server(Duration at) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kServerRestart;
+  e.at = at;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::partition_stations(Duration at, Duration span,
+                                         std::vector<core::StationId> group) {
+  BIPS_ASSERT(span > Duration(0));
+  BIPS_ASSERT(!group.empty());
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kPartition;
+  e.at = at;
+  e.span = span;
+  e.group = std::move(group);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::loss_burst(Duration at, Duration span, double loss) {
+  BIPS_ASSERT(span > Duration(0));
+  BIPS_ASSERT(loss >= 0.0 && loss <= 1.0);
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLossBurst;
+  e.at = at;
+  e.span = span;
+  e.loss = loss;
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::flaky_link(Duration at, Duration span,
+                                 core::StationId station, double loss) {
+  BIPS_ASSERT(span > Duration(0));
+  BIPS_ASSERT(loss >= 0.0 && loss <= 1.0);
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kLinkLoss;
+  e.at = at;
+  e.span = span;
+  e.station = station;
+  e.loss = loss;
+  return add(std::move(e));
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, std::size_t station_count,
+                           const ChaosParams& p) {
+  BIPS_ASSERT(station_count > 0);
+  BIPS_ASSERT(p.window > Duration(0));
+  BIPS_ASSERT(Duration(0) < p.min_outage && p.min_outage <= p.max_outage);
+  Rng rng(seed);
+  FaultPlan plan;
+  const auto instant = [&] {
+    return p.start + Duration::nanos(static_cast<std::int64_t>(
+                         rng.uniform(static_cast<std::uint64_t>(p.window.ns()))));
+  };
+  const auto outage = [&] {
+    return Duration::nanos(rng.uniform_int(p.min_outage.ns(), p.max_outage.ns()));
+  };
+  for (int i = 0; i < p.station_faults; ++i) {
+    const auto s = static_cast<core::StationId>(rng.uniform(station_count));
+    const Duration at = instant();
+    plan.crash_station(at, s);
+    plan.restart_station(at + outage(), s);
+  }
+  for (int i = 0; i < p.server_faults; ++i) {
+    const Duration at = instant();
+    plan.crash_server(at);
+    plan.restart_server(at + outage());
+  }
+  for (int i = 0; i < p.partitions; ++i) {
+    // Isolate a random strict subset of the stations (at least one stays
+    // connected so the building is never fully dark on the LAN side).
+    const std::size_t max_group = std::max<std::size_t>(1, station_count / 2);
+    const std::size_t n = 1 + rng.uniform(max_group);
+    std::vector<core::StationId> group;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto s = static_cast<core::StationId>(rng.uniform(station_count));
+      if (std::find(group.begin(), group.end(), s) == group.end()) {
+        group.push_back(s);
+      }
+    }
+    plan.partition_stations(instant(), outage(), std::move(group));
+  }
+  for (int i = 0; i < p.loss_bursts; ++i) {
+    plan.loss_burst(instant(), outage(), p.burst_loss);
+  }
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+Duration FaultPlan::heal_time() const {
+  Duration heal(0);
+  for (const FaultEvent& e : events_) {
+    const Duration end =
+        e.span > Duration(0) ? e.at + e.span : e.at;  // restarts are instants
+    heal = std::max(heal, end);
+  }
+  return heal;
+}
+
+void FaultPlan::apply(core::BipsSimulation& sim) const {
+  sim::Simulator& simr = sim.simulator();
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kStationCrash:
+        simr.schedule(e.at, [&sim, s = e.station] { sim.workstation(s).crash(); });
+        break;
+      case FaultEvent::Kind::kStationRestart:
+        simr.schedule(e.at,
+                      [&sim, s = e.station] { sim.workstation(s).restart(); });
+        break;
+      case FaultEvent::Kind::kServerCrash:
+        simr.schedule(e.at, [&sim] { sim.server().crash(); });
+        break;
+      case FaultEvent::Kind::kServerRestart:
+        simr.schedule(e.at, [&sim] { sim.server().restart(); });
+        break;
+      case FaultEvent::Kind::kPartition:
+        // Resolve LAN addresses lazily: the plan may be built before the
+        // deployment, and the cut must reflect the topology at fire time.
+        simr.schedule(e.at, [&sim, group = e.group, span = e.span] {
+          std::vector<net::Address> isolated;
+          isolated.reserve(group.size());
+          for (const core::StationId s : group) {
+            isolated.push_back(sim.workstation(s).lan_address());
+          }
+          std::vector<net::Address> rest;
+          rest.push_back(sim.server().address());
+          for (core::StationId s = 0; s < sim.workstation_count(); ++s) {
+            if (std::find(group.begin(), group.end(), s) == group.end()) {
+              rest.push_back(sim.workstation(s).lan_address());
+            }
+          }
+          const SimTime now = sim.simulator().now();
+          sim.lan().partition(std::move(isolated), std::move(rest), now,
+                              now + span);
+        });
+        break;
+      case FaultEvent::Kind::kLossBurst:
+        simr.schedule(e.at, [&sim, loss = e.loss, span = e.span] {
+          const double before = sim.lan().loss();
+          sim.lan().set_loss(loss);
+          sim.simulator().schedule(span,
+                                   [&sim, before] { sim.lan().set_loss(before); });
+        });
+        break;
+      case FaultEvent::Kind::kLinkLoss:
+        simr.schedule(e.at, [&sim, s = e.station, loss = e.loss, span = e.span] {
+          const net::Address ws = sim.workstation(s).lan_address();
+          const net::Address srv = sim.server().address();
+          sim.lan().set_link_loss(ws, srv, loss);
+          sim.simulator().schedule(span, [&sim, ws, srv] {
+            sim.lan().set_link_loss(ws, srv, 0.0);
+          });
+        });
+        break;
+    }
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char line[160];
+  for (const FaultEvent& e : events_) {
+    const double at_s = e.at.to_seconds();
+    const double span_s = e.span.to_seconds();
+    switch (e.kind) {
+      case FaultEvent::Kind::kStationCrash:
+        std::snprintf(line, sizeof line, "t=%6.1fs  station %u crashes\n",
+                      at_s, e.station);
+        break;
+      case FaultEvent::Kind::kStationRestart:
+        std::snprintf(line, sizeof line, "t=%6.1fs  station %u restarts\n",
+                      at_s, e.station);
+        break;
+      case FaultEvent::Kind::kServerCrash:
+        std::snprintf(line, sizeof line, "t=%6.1fs  SERVER crashes\n", at_s);
+        break;
+      case FaultEvent::Kind::kServerRestart:
+        std::snprintf(line, sizeof line, "t=%6.1fs  SERVER restarts\n", at_s);
+        break;
+      case FaultEvent::Kind::kPartition: {
+        std::string members;
+        for (const core::StationId s : e.group) {
+          members += (members.empty() ? "" : ",") + std::to_string(s);
+        }
+        std::snprintf(line, sizeof line,
+                      "t=%6.1fs  partition {%s} from LAN for %.1fs\n", at_s,
+                      members.c_str(), span_s);
+        break;
+      }
+      case FaultEvent::Kind::kLossBurst:
+        std::snprintf(line, sizeof line,
+                      "t=%6.1fs  LAN loss burst %.0f%% for %.1fs\n", at_s,
+                      e.loss * 100.0, span_s);
+        break;
+      case FaultEvent::Kind::kLinkLoss:
+        std::snprintf(line, sizeof line,
+                      "t=%6.1fs  station %u uplink %.0f%% loss for %.1fs\n",
+                      at_s, e.station, e.loss * 100.0, span_s);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bips::fault

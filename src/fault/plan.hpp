@@ -1,0 +1,101 @@
+// Deterministic fault injection for a full BipsSimulation.
+//
+// A FaultPlan is a schedule of infrastructure failures -- workstation and
+// server crashes/restarts, LAN partitions, loss bursts -- either scripted
+// by hand (builder API) or generated from a seed (chaos()). Applying a plan
+// schedules every fault on the simulation's event queue, so the whole run
+// stays a deterministic function of the seed: a failing chaos seed replays
+// bit-identically under a debugger.
+//
+// Every generated plan heals: each crash has a matching restart and each
+// window ends, so heal_time() gives the instant after which the recovery
+// invariants (see invariants.hpp) must reconverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+
+namespace bips::fault {
+
+/// One scheduled fault. Times are relative to the instant the plan is
+/// applied (normally t=0, before the simulation starts).
+struct FaultEvent {
+  enum class Kind {
+    kStationCrash,    // `station` powers off at `at`
+    kStationRestart,  // `station` powers back on at `at`
+    kServerCrash,     // the central server dies at `at`
+    kServerRestart,   // ... and resyncs at `at`
+    kPartition,       // `group` stations cut from the rest + server for `span`
+    kLossBurst,       // uniform LAN loss raised to `loss` for `span`
+    kLinkLoss,        // `station` <-> server link loss set to `loss` for `span`
+  };
+
+  Kind kind;
+  Duration at = Duration(0);
+  core::StationId station = core::kNoStation;  // station faults / link loss
+  std::vector<core::StationId> group;          // kPartition
+  Duration span = Duration(0);                 // windowed faults
+  double loss = 0.0;                           // kLossBurst / kLinkLoss
+};
+
+/// Knobs for the seeded chaos generator.
+struct ChaosParams {
+  /// No fault fires before this (lets the deployment boot and enroll).
+  Duration start = Duration::seconds(60);
+  /// Faults are injected within [start, start + window).
+  Duration window = Duration::seconds(90);
+  /// Outage length of each crash / partition / burst, uniform in
+  /// [min_outage, max_outage].
+  Duration min_outage = Duration::seconds(5);
+  Duration max_outage = Duration::seconds(20);
+  int station_faults = 2;
+  int server_faults = 1;
+  int partitions = 1;
+  int loss_bursts = 1;
+  double burst_loss = 0.3;
+};
+
+class FaultPlan {
+ public:
+  // ---- builder API (times relative to apply()) --------------------------
+  FaultPlan& crash_station(Duration at, core::StationId s);
+  FaultPlan& restart_station(Duration at, core::StationId s);
+  FaultPlan& crash_server(Duration at);
+  FaultPlan& restart_server(Duration at);
+  /// Cuts `group` off from every other station and the server during
+  /// [at, at + span).
+  FaultPlan& partition_stations(Duration at, Duration span,
+                                std::vector<core::StationId> group);
+  FaultPlan& loss_burst(Duration at, Duration span, double loss);
+  /// Degrades only the `station` <-> server link during [at, at + span).
+  FaultPlan& flaky_link(Duration at, Duration span, core::StationId station,
+                        double loss);
+
+  /// Seeded random plan over `station_count` stations. Same seed + params
+  /// -> same plan; every fault heals by heal_time().
+  static FaultPlan chaos(std::uint64_t seed, std::size_t station_count,
+                         const ChaosParams& params = {});
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Instant (relative to apply()) by which every fault has healed.
+  Duration heal_time() const;
+
+  /// Schedules every event on `sim`'s event queue. The simulation must
+  /// outlive its scheduled events. May be called before start().
+  void apply(core::BipsSimulation& sim) const;
+
+  /// Human-readable schedule, one line per event (fault-drill narration).
+  std::string describe() const;
+
+ private:
+  FaultPlan& add(FaultEvent e);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace bips::fault

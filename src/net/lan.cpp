@@ -6,6 +6,11 @@
 
 namespace bips::net {
 
+namespace {
+/// Amortises the FIFO-state sweep: one pass every this many sends.
+constexpr std::uint32_t kPrunePeriod = 1024;
+}  // namespace
+
 bool Endpoint::send(Address to, Payload data) {
   return lan_->send(addr_, to, std::move(data));
 }
@@ -23,12 +28,81 @@ Endpoint& Lan::create_endpoint() {
   return *endpoints_.back();
 }
 
+void Lan::set_loss(double loss) {
+  BIPS_ASSERT(loss >= 0.0 && loss <= 1.0);
+  cfg_.loss = loss;
+}
+
+void Lan::set_link_loss(Address a, Address b, double loss) {
+  BIPS_ASSERT(loss >= 0.0 && loss <= 1.0);
+  if (loss == 0.0) {
+    link_loss_.erase(link_key(a, b));
+  } else {
+    link_loss_[link_key(a, b)] = loss;
+  }
+}
+
+double Lan::link_loss(Address a, Address b) const {
+  const auto it = link_loss_.find(link_key(a, b));
+  return it == link_loss_.end() ? 0.0 : it->second;
+}
+
+void Lan::partition(std::vector<Address> group_a, std::vector<Address> group_b,
+                    SimTime from, SimTime until) {
+  BIPS_ASSERT(from < until);
+  partitions_.push_back(
+      Partition{std::move(group_a), std::move(group_b), from, until});
+}
+
+bool Lan::partitioned(Address x, Address y) const {
+  const SimTime now = sim_.now();
+  for (const Partition& p : partitions_) {
+    if (now < p.from || now >= p.until) continue;
+    const bool x_in_a = std::find(p.a.begin(), p.a.end(), x) != p.a.end();
+    const bool y_in_a = std::find(p.a.begin(), p.a.end(), y) != p.a.end();
+    const bool x_in_b = std::find(p.b.begin(), p.b.end(), x) != p.b.end();
+    const bool y_in_b = std::find(p.b.begin(), p.b.end(), y) != p.b.end();
+    if ((x_in_a && y_in_b) || (x_in_b && y_in_a)) return true;
+  }
+  return false;
+}
+
+void Lan::prune_fifo_state() {
+  const SimTime now = sim_.now();
+  for (auto it = last_delivery_.begin(); it != last_delivery_.end();) {
+    // A past delivery time can no longer delay anything: base latency is
+    // non-negative, so every future send already lands at or after now.
+    it = it->second <= now ? last_delivery_.erase(it) : std::next(it);
+  }
+  // Healed partitions can never drop traffic again either.
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [now](const Partition& p) { return p.until <= now; }),
+      partitions_.end());
+}
+
 bool Lan::send(Address from, Address to, Payload data) {
   if (to >= endpoints_.size()) return false;
   ++stats_.sent;
+  if (++sends_since_prune_ >= kPrunePeriod) {
+    sends_since_prune_ = 0;
+    prune_fifo_state();
+  }
+  if (partitioned(from, to)) {
+    ++stats_.dropped;
+    ++stats_.partition_dropped;
+    return true;  // accepted by the NIC, cut by the dead switch
+  }
   if (cfg_.loss > 0 && rng_.chance(cfg_.loss)) {
     ++stats_.dropped;
     return true;  // accepted by the NIC, lost on the wire
+  }
+  if (!link_loss_.empty()) {
+    const auto it = link_loss_.find(link_key(from, to));
+    if (it != link_loss_.end() && rng_.chance(it->second)) {
+      ++stats_.dropped;
+      return true;
+    }
   }
   Duration delay = cfg_.base_latency;
   if (cfg_.jitter > Duration(0)) {
@@ -37,7 +111,7 @@ bool Lan::send(Address from, Address to, Payload data) {
   }
   SimTime when = sim_.now() + delay;
   // FIFO per (from, to): never deliver before an earlier send's delivery.
-  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const std::uint64_t key = pair_key(from, to);
   const auto it = last_delivery_.find(key);
   if (it != last_delivery_.end()) when = std::max(when, it->second);
   last_delivery_[key] = when;

@@ -5,8 +5,12 @@
 // (presence deltas and queries), so the LAN is modelled as a reliable
 // message bus with configurable latency and jitter. FIFO order is preserved
 // per (source, destination) pair even under jitter -- TCP-like behaviour,
-// which is what the real deployment used. Optional loss exists for failure
-// injection tests; BIPS itself assumes a reliable LAN.
+// which is what the real deployment used.
+//
+// For failure injection the bus also models what actually goes wrong in a
+// building LAN: uniform datagram loss, per-link loss (one flaky cable run),
+// and scheduled partitions (a switch dies and isolates a group of nodes for
+// a window). BIPS itself assumes a reliable LAN; the fault layer does not.
 #pragma once
 
 #include <cstdint>
@@ -69,24 +73,69 @@ class Lan {
 
   /// Creates a new endpoint; the Lan owns it.
   Endpoint& create_endpoint();
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  // ---- fault injection --------------------------------------------------
+
+  /// Changes the uniform loss probability at runtime (loss bursts).
+  void set_loss(double loss);
+  double loss() const { return cfg_.loss; }
+
+  /// Extra drop probability on the (a, b) link, symmetric; 0 clears it.
+  /// Models one flaky cable run without degrading the whole LAN.
+  void set_link_loss(Address a, Address b, double loss);
+  double link_loss(Address a, Address b) const;
+
+  /// Schedules a partition: every datagram between a member of `group_a`
+  /// and a member of `group_b` is dropped while sim time is in
+  /// [from, until). Multiple partitions may overlap. Expired partitions are
+  /// pruned lazily.
+  void partition(std::vector<Address> group_a, std::vector<Address> group_b,
+                 SimTime from, SimTime until);
+
+  /// True if an active partition currently separates `x` from `y`.
+  bool partitioned(Address x, Address y) const;
 
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = 0;            // all causes
+    std::uint64_t partition_dropped = 0;  // of which: partition cuts
   };
   const Stats& stats() const { return stats_; }
 
+  /// Live (from, to) FIFO-tracking entries (bounded by pruning; test hook).
+  std::size_t fifo_state_size() const { return last_delivery_.size(); }
+
  private:
   friend class Endpoint;
+
+  struct Partition {
+    std::vector<Address> a;
+    std::vector<Address> b;
+    SimTime from;
+    SimTime until;
+  };
+
   bool send(Address from, Address to, Payload data);
+  void prune_fifo_state();
+  static std::uint64_t pair_key(Address a, Address b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  static std::uint64_t link_key(Address a, Address b) {
+    return a < b ? pair_key(a, b) : pair_key(b, a);
+  }
 
   sim::Simulator& sim_;
   Rng& rng_;
   Config cfg_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   /// Last scheduled delivery per (from, to), to keep FIFO under jitter.
+  /// Entries whose delivery time has passed are pruned periodically.
   std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  std::uint32_t sends_since_prune_ = 0;
+  std::unordered_map<std::uint64_t, double> link_loss_;
+  std::vector<Partition> partitions_;
   Stats stats_;
 };
 

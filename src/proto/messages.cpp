@@ -35,8 +35,11 @@ enum class Tag : std::uint8_t {
   kSubscribeReply = 16,
   kMovementEvent = 17,
   kHeartbeat = 18,
+  kHeartbeatAck = 19,
+  kSyncRequest = 20,
+  kSyncSnapshot = 21,
 };
-constexpr std::uint8_t kMaxTag = 18;
+constexpr std::uint8_t kMaxTag = 21;
 
 void body(Writer& w, const LoginRequest& m) {
   w.u64(m.bd_addr);
@@ -67,6 +70,7 @@ void body(Writer& w, const PresenceUpdate& m) {
 void body(Writer& w, const PresenceAck& m) {
   w.u32(m.workstation);
   w.u64(m.seq);
+  w.u32(m.server_epoch);
 }
 void body(Writer& w, const WhoIsInRequest& m) {
   w.u32(m.query_id);
@@ -105,6 +109,26 @@ void body(Writer& w, const SubscribeReply& m) {
 void body(Writer& w, const Heartbeat& m) {
   w.u32(m.workstation);
   w.i64(m.timestamp_ns);
+}
+void body(Writer& w, const HeartbeatAck& m) { w.u32(m.server_epoch); }
+void body(Writer& w, const SyncRequest& m) {
+  w.u32(m.server_epoch);
+  w.i64(m.timestamp_ns);
+}
+void body(Writer& w, const SyncSnapshot& m) {
+  w.u32(m.workstation);
+  w.u32(m.server_epoch);
+  w.i64(m.timestamp_ns);
+  w.u16(static_cast<std::uint16_t>(m.present.size()));
+  for (const auto& p : m.present) {
+    w.u64(p.bd_addr);
+    w.f64(p.rssi_dbm);
+  }
+  w.u16(static_cast<std::uint16_t>(m.sessions.size()));
+  for (const auto& s : m.sessions) {
+    w.u64(s.bd_addr);
+    w.str(s.userid);
+  }
 }
 void body(Writer& w, const MovementEvent& m) {
   w.u64(m.subscriber_bd_addr);
@@ -159,6 +183,9 @@ Tag tag_of(const Message& m) {
         if constexpr (std::is_same_v<T, SubscribeReply>) return Tag::kSubscribeReply;
         if constexpr (std::is_same_v<T, MovementEvent>) return Tag::kMovementEvent;
         if constexpr (std::is_same_v<T, Heartbeat>) return Tag::kHeartbeat;
+        if constexpr (std::is_same_v<T, HeartbeatAck>) return Tag::kHeartbeatAck;
+        if constexpr (std::is_same_v<T, SyncRequest>) return Tag::kSyncRequest;
+        if constexpr (std::is_same_v<T, SyncSnapshot>) return Tag::kSyncSnapshot;
       },
       m);
 }
@@ -209,6 +236,7 @@ std::optional<Message> decode_body(Tag tag, Reader& r) {
       PresenceAck m;
       m.workstation = r.u32();
       m.seq = r.u64();
+      m.server_epoch = r.u32();
       return m;
     }
     case Tag::kWhoIsInRequest: {
@@ -268,6 +296,40 @@ std::optional<Message> decode_body(Tag tag, Reader& r) {
       Heartbeat m;
       m.workstation = r.u32();
       m.timestamp_ns = r.i64();
+      return m;
+    }
+    case Tag::kHeartbeatAck: {
+      HeartbeatAck m;
+      m.server_epoch = r.u32();
+      return m;
+    }
+    case Tag::kSyncRequest: {
+      SyncRequest m;
+      m.server_epoch = r.u32();
+      m.timestamp_ns = r.i64();
+      return m;
+    }
+    case Tag::kSyncSnapshot: {
+      SyncSnapshot m;
+      m.workstation = r.u32();
+      m.server_epoch = r.u32();
+      m.timestamp_ns = r.i64();
+      const std::uint16_t np = r.u16();
+      m.present.reserve(np);
+      for (std::uint16_t i = 0; i < np && r.ok(); ++i) {
+        SyncPresence p;
+        p.bd_addr = r.u64();
+        p.rssi_dbm = r.f64();
+        m.present.push_back(p);
+      }
+      const std::uint16_t ns = r.u16();
+      m.sessions.reserve(ns);
+      for (std::uint16_t i = 0; i < ns && r.ok(); ++i) {
+        SyncSession s;
+        s.bd_addr = r.u64();
+        s.userid = r.str();
+        m.sessions.push_back(s);
+      }
       return m;
     }
     case Tag::kMovementEvent: {

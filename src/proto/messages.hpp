@@ -78,9 +78,14 @@ struct PresenceUpdate {
 /// Cumulative acknowledgement of a workstation's presence stream: every
 /// update with seq <= `seq` has been applied (or deduplicated) at the
 /// server.
+///
+/// `server_epoch` piggybacks the server's incarnation number (see
+/// SyncRequest) so workstations notice a server restart even if the restart
+/// broadcast was lost on the LAN. 0 = sent by a pre-epoch server (tests).
 struct PresenceAck {
   std::uint32_t workstation = 0;
   std::uint64_t seq = 0;
+  std::uint32_t server_epoch = 0;
 };
 
 /// Liveness beacon from a workstation. The server's failure detector
@@ -89,6 +94,50 @@ struct PresenceAck {
 struct Heartbeat {
   std::uint32_t workstation = 0;
   std::int64_t timestamp_ns = 0;
+};
+
+/// Server -> workstation reply to a Heartbeat, carrying the server's
+/// incarnation number. A workstation that sees the epoch advance knows the
+/// server restarted with an empty location database and pushes a
+/// SyncSnapshot without waiting for a (possibly lost) SyncRequest.
+struct HeartbeatAck {
+  std::uint32_t server_epoch = 0;
+};
+
+/// Server -> workstation: "my location database is empty for you, send me
+/// your state". Broadcast to every LAN node after a server restart (with a
+/// freshly incremented epoch), and unicast to a station whose records the
+/// failure detector expired but which turned out to be alive.
+struct SyncRequest {
+  std::uint32_t server_epoch = 0;
+  std::int64_t timestamp_ns = 0;
+};
+
+/// One device a workstation currently tracks (SyncSnapshot entry).
+struct SyncPresence {
+  std::uint64_t bd_addr = 0;
+  double rssi_dbm = 0.0;
+};
+
+/// One session hint (SyncSnapshot entry): a userid <-> BD_ADDR binding the
+/// workstation witnessed while relaying a successful login. Best-effort --
+/// the server only accepts it for registered users and unbound addresses.
+struct SyncSession {
+  std::uint64_t bd_addr = 0;
+  std::string userid;
+};
+
+/// Workstation -> server full-state answer to a SyncRequest (or sent
+/// spontaneously on noticing an epoch advance): everything the workstation
+/// currently tracks, plus the session bindings it can attest to. Replaces
+/// the hours of organic re-sightings a restarted server would otherwise
+/// need to reconverge.
+struct SyncSnapshot {
+  std::uint32_t workstation = 0;
+  std::uint32_t server_epoch = 0;
+  std::int64_t timestamp_ns = 0;
+  std::vector<SyncPresence> present;
+  std::vector<SyncSession> sessions;
 };
 
 struct WhereIsRequest {
@@ -177,7 +226,8 @@ using Message =
                  PresenceUpdate, WhereIsRequest, WhereIsReply, PathRequest,
                  PathReply, PresenceAck, WhoIsInRequest, WhoIsInReply,
                  HistoryRequest, HistoryReply, SubscribeRequest,
-                 SubscribeReply, MovementEvent, Heartbeat>;
+                 SubscribeReply, MovementEvent, Heartbeat, HeartbeatAck,
+                 SyncRequest, SyncSnapshot>;
 
 /// Serialises a message (1-byte tag + body).
 Bytes encode(const Message& m);

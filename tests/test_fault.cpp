@@ -1,0 +1,165 @@
+// Fault-injection tests: server crash-recovery with epoch resync, seeded
+// chaos runs graded by the InvariantChecker, and partition healing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/invariants.hpp"
+#include "src/fault/plan.hpp"
+
+namespace bips::fault {
+namespace {
+
+using core::BipsSimulation;
+using core::SimulationConfig;
+using core::StationId;
+
+/// Deployment tuned for fault drills: fast inquiry cycles, users standing
+/// still, and the server's failure detector armed.
+SimulationConfig drill_config() {
+  SimulationConfig cfg;
+  cfg.workstation.scheduler.inquiry_length = Duration::from_seconds(2.56);
+  cfg.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
+  cfg.mobility.pause_min = Duration::seconds(100'000);
+  cfg.mobility.pause_max = Duration::seconds(200'000);
+  cfg.server.station_timeout = Duration::seconds(8);
+  cfg.server.sweep_period = Duration::seconds(2);
+  return cfg;
+}
+
+std::size_t located_count(BipsSimulation& sim) {
+  std::size_t n = 0;
+  for (const std::string& u : sim.userids()) {
+    if (sim.db_room(u)) ++n;
+  }
+  return n;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) out += "  " + s + "\n";
+  return out;
+}
+
+TEST(FaultPlan, ChaosIsDeterministicAndHeals) {
+  const FaultPlan a = FaultPlan::chaos(7, 4);
+  const FaultPlan b = FaultPlan::chaos(7, 4);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_NE(a.describe(), FaultPlan::chaos(8, 4).describe());
+
+  // Every crash has a matching restart and every window ends by heal_time.
+  int crashes = 0, restarts = 0;
+  for (const FaultEvent& e : a.events()) {
+    EXPECT_LE(e.at, a.heal_time());
+    if (e.kind == FaultEvent::Kind::kStationCrash ||
+        e.kind == FaultEvent::Kind::kServerCrash) {
+      ++crashes;
+    }
+    if (e.kind == FaultEvent::Kind::kStationRestart ||
+        e.kind == FaultEvent::Kind::kServerRestart) {
+      ++restarts;
+    }
+  }
+  EXPECT_EQ(crashes, restarts);
+}
+
+// The ISSUE acceptance drill: crash the server mid-run under 5% LAN loss,
+// leave it down for 30 s, restart -- the located-user count must reconverge
+// within 10 simulated seconds via the SyncSnapshot round, not via hours of
+// organic re-sightings, and the sessions must survive through the
+// workstations' attested hints (the handhelds never notice the outage).
+TEST(FaultRecovery, ServerCrashResyncUnderLoss) {
+  SimulationConfig cfg = drill_config();
+  cfg.lan.loss = 0.05;
+  BipsSimulation sim(mobility::Building::corridor(3), cfg);
+  sim.add_user("Alice", "alice", "pw", 0);
+  sim.add_user("Bob", "bob", "pw", 1);
+  sim.add_user("Carol", "carol", "pw", 2);
+
+  sim.run_for(Duration::seconds(80));
+  ASSERT_EQ(located_count(sim), 3u) << "deployment failed to enroll everyone";
+  ASSERT_TRUE(sim.client("alice")->logged_in());
+  ASSERT_EQ(sim.server().epoch(), 1u);
+
+  sim.server().crash();
+  sim.run_for(Duration::seconds(30));
+  EXPECT_EQ(located_count(sim), 0u);  // the DB died with the server
+
+  sim.server().restart();
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(sim.server().epoch(), 2u);
+  EXPECT_EQ(located_count(sim), 3u) << "resync did not reconverge in 10 s";
+  EXPECT_GE(sim.server().stats().syncs_received, 3u);
+  EXPECT_GE(sim.server().stats().presences_restored, 3u);
+
+  // Sessions came back from the snapshots' hints: a name query works again
+  // even though no handheld re-logged-in.
+  EXPECT_GE(sim.server().stats().sessions_restored, 3u);
+  EXPECT_EQ(sim.server().where_is("", "Alice").status,
+            proto::QueryStatus::kOk);
+}
+
+// Partition one workstation from everything else: the failure detector must
+// expire its users (a dead-to-us station cannot send absences), and the
+// heal must relocate them via the unicast resync round.
+TEST(FaultRecovery, PartitionAndHealRelocatesUsers) {
+  BipsSimulation sim(mobility::Building::corridor(2), drill_config());
+  sim.add_user("Alice", "alice", "pw", 1);  // served by station 1
+
+  FaultPlan plan;
+  plan.partition_stations(Duration::seconds(60), Duration::seconds(30), {1});
+  plan.apply(sim);
+
+  sim.run_for(Duration::seconds(60));
+  ASSERT_EQ(sim.db_room("alice"), 1u);
+
+  // Inside the partition, past the detector bound: alice is expired.
+  sim.run_for(Duration::seconds(20));
+  EXPECT_EQ(sim.db_room("alice"), std::nullopt);
+  EXPECT_GE(sim.server().stats().stations_expired, 1u);
+
+  // Heal at t=90; the station's next heartbeat triggers a unicast
+  // SyncRequest because nothing else would ever repopulate the records
+  // (alice never moved, so station 1 has no new delta to send).
+  sim.run_for(Duration::seconds(20));
+  EXPECT_EQ(sim.db_room("alice"), 1u);
+  EXPECT_GE(sim.server().stats().resyncs_requested, 1u);
+  EXPECT_GE(sim.server().stats().syncs_received, 1u);
+}
+
+// Seeded chaos: random station/server crashes, a partition and a loss burst
+// per run. After the plan heals, every invariant must hold -- across five
+// different seeds.
+TEST(FaultRecovery, ChaosSeedsKeepInvariants) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimulationConfig cfg = drill_config();
+    cfg.seed = seed;
+    cfg.lan.loss = 0.01;  // a little background loss on top of the faults
+    BipsSimulation sim(mobility::Building::corridor(3), cfg);
+    sim.add_user("Alice", "alice", "pw", 0);
+    sim.add_user("Bob", "bob", "pw", 1);
+    sim.add_user("Carol", "carol", "pw", 2);
+
+    const FaultPlan plan = FaultPlan::chaos(seed, sim.workstation_count());
+    plan.apply(sim);
+
+    InvariantChecker checker(sim);
+    checker.start();
+
+    // Boot + faulted window + recovery bound past the last heal.
+    sim.run_for(plan.heal_time() + Duration::seconds(40));
+    checker.check_converged();
+
+    EXPECT_TRUE(checker.ok())
+        << "seed " << seed << " violated:\n"
+        << join(checker.violations()) << "plan:\n"
+        << plan.describe();
+    EXPECT_GT(checker.samples(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bips::fault

@@ -156,5 +156,115 @@ TEST_F(LanRig, HandlerMaySendReply) {
   EXPECT_TRUE(replied);
 }
 
+TEST_F(LanRig, PartitionDropsOnlyDuringWindow) {
+  Lan::Config cfg;
+  cfg.jitter = Duration(0);
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  int got = 0;
+  b.set_handler([&](Address, const Payload&) { ++got; });
+
+  lan.partition({a.address()}, {b.address()}, SimTime(Duration::seconds(1).ns()),
+                SimTime(Duration::seconds(2).ns()));
+  // One datagram before, one inside, one after the window.
+  sim.schedule(Duration::millis(500), [&] { a.send(b.address(), {0}); });
+  sim.schedule(Duration::millis(1500), [&] { a.send(b.address(), {1}); });
+  sim.schedule(Duration::millis(2500), [&] { a.send(b.address(), {2}); });
+  sim.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(lan.stats().partition_dropped, 1u);
+}
+
+TEST_F(LanRig, PartitionIsSymmetricAndSparesOutsiders) {
+  Lan::Config cfg;
+  cfg.jitter = Duration(0);
+  Lan lan(sim, rng, cfg);
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  Endpoint& c = lan.create_endpoint();  // not in either group
+  int b_got = 0, c_got = 0, a_got = 0;
+  a.set_handler([&](Address, const Payload&) { ++a_got; });
+  b.set_handler([&](Address, const Payload&) { ++b_got; });
+  c.set_handler([&](Address, const Payload&) { ++c_got; });
+
+  lan.partition({a.address()}, {b.address()}, SimTime::zero(),
+                SimTime(Duration::seconds(10).ns()));
+  EXPECT_TRUE(lan.partitioned(a.address(), b.address()));
+  EXPECT_TRUE(lan.partitioned(b.address(), a.address()));
+  EXPECT_FALSE(lan.partitioned(a.address(), c.address()));
+  a.send(b.address(), {1});
+  b.send(a.address(), {1});
+  a.send(c.address(), {1});
+  sim.run();
+  EXPECT_EQ(a_got, 0);
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST_F(LanRig, LinkLossAffectsOnlyThatPair) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  Endpoint& c = lan.create_endpoint();
+  int b_got = 0, c_got = 0;
+  b.set_handler([&](Address, const Payload&) { ++b_got; });
+  c.set_handler([&](Address, const Payload&) { ++c_got; });
+
+  lan.set_link_loss(a.address(), b.address(), 1.0);
+  EXPECT_EQ(lan.link_loss(b.address(), a.address()), 1.0);  // symmetric
+  for (int i = 0; i < 10; ++i) {
+    a.send(b.address(), {1});
+    a.send(c.address(), {1});
+  }
+  sim.run();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 10);
+
+  lan.set_link_loss(a.address(), b.address(), 0.0);  // heal
+  a.send(b.address(), {1});
+  sim.run();
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST_F(LanRig, RuntimeLossChangeTakesEffect) {
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& a = lan.create_endpoint();
+  Endpoint& b = lan.create_endpoint();
+  int got = 0;
+  b.set_handler([&](Address, const Payload&) { ++got; });
+  lan.set_loss(1.0);
+  a.send(b.address(), {1});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  lan.set_loss(0.0);
+  a.send(b.address(), {1});
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(LanRig, FifoStateStaysBoundedUnderLongTraffic) {
+  // Regression guard: last_delivery_ used to grow one entry per (from, to)
+  // pair forever; with amortized pruning, entries whose delivery time has
+  // passed are reclaimed.
+  Lan lan(sim, rng, Lan::Config{});
+  Endpoint& hub = lan.create_endpoint();
+  std::vector<Endpoint*> spokes;
+  for (int i = 0; i < 64; ++i) spokes.push_back(&lan.create_endpoint());
+  hub.set_handler([](Address, const Payload&) {});
+  // Well past the prune period of sends, spread over simulated hours so
+  // every past delivery is reclaimable at prune time.
+  for (int round = 0; round < 40; ++round) {
+    sim.schedule(Duration::seconds(round), [&] {
+      for (auto* s : spokes) s->send(hub.address(), {1});
+    });
+  }
+  sim.run();
+  EXPECT_EQ(lan.stats().delivered, 64u * 40u);
+  // All deliveries are in the past by the end of the run; the next prune
+  // leaves at most the entries touched since it.
+  EXPECT_LE(lan.fifo_state_size(), 2u * 64u + 1u);
+}
+
 }  // namespace
 }  // namespace bips::net

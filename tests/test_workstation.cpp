@@ -207,5 +207,104 @@ TEST_F(WorkstationRig, StaleAckDoesNotDropNewerUpdates) {
   EXPECT_EQ(ws->unacked_updates(), 1u);
 }
 
+TEST_F(WorkstationRig, SupersededDeltasCoalesceInQueue) {
+  // Server silent: a present + absent flap for the same device must collapse
+  // to the newest delta instead of queueing both.
+  FakeHandheld h(*this, 0xB1);
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);  // discovered, present delta queued
+  ASSERT_EQ(ws->unacked_updates(), 1u);
+  h.scanner->stop();  // vanish: absence after the hysteresis rounds
+  run_ms(16'000);     // three more inquiry rounds
+  EXPECT_GE(ws->stats().absences_reported, 1u);
+  EXPECT_EQ(ws->unacked_updates(), 1u);  // absent superseded present
+  EXPECT_GE(ws->stats().updates_coalesced, 1u);
+  const auto ups = server_got<proto::PresenceUpdate>();
+  ASSERT_FALSE(ups.empty());
+  EXPECT_FALSE(ups.back().present);  // what is still being retransmitted
+}
+
+TEST_F(WorkstationRig, UnackedQueueIsBounded) {
+  WorkstationConfig cfg;
+  cfg.scheduler.inquiry_length = Duration::from_seconds(1.0);
+  cfg.scheduler.cycle_length = Duration::from_seconds(5.0);
+  cfg.park_idle_links = false;
+  cfg.max_unacked = 2;  // tiny cap; three distinct devices overflow it
+  BipsWorkstation small(sim, radio, lan, server.address(), /*station=*/4,
+                        baseband::BdAddr(0xA2), rng.fork(), Vec2{}, cfg);
+  FakeHandheld h1(*this, 0xC1), h2(*this, 0xC2), h3(*this, 0xC3);
+  h1.become_discoverable();
+  h2.become_discoverable();
+  h3.become_discoverable();
+  small.start();
+  run_ms(30'000);  // several inquiry rounds; the server never acks
+  EXPECT_GE(small.stats().presences_reported, 3u);
+  EXPECT_LE(small.unacked_updates(), 2u);
+  EXPECT_GE(small.stats().updates_dropped, 1u);
+}
+
+TEST_F(WorkstationRig, SyncRequestYieldsSnapshotAndSupersedesDeltas) {
+  FakeHandheld h(*this, 0xB1);
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);  // tracked, present delta in flight
+  ASSERT_EQ(ws->unacked_updates(), 1u);
+  server_sends(proto::SyncRequest{2, 0});
+  run_ms(100);
+  const auto snaps = server_got<proto::SyncSnapshot>();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].workstation, 3u);
+  EXPECT_EQ(snaps[0].server_epoch, 2u);
+  ASSERT_EQ(snaps[0].present.size(), 1u);
+  EXPECT_EQ(snaps[0].present[0].bd_addr, 0xB1u);
+  EXPECT_EQ(ws->unacked_updates(), 0u);  // snapshot replaced the deltas
+  EXPECT_EQ(ws->known_server_epoch(), 2u);
+}
+
+TEST_F(WorkstationRig, EpochBumpOnAckPushesUnpromptedSnapshot) {
+  FakeHandheld h(*this, 0xB1);
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);
+  const auto ups = server_got<proto::PresenceUpdate>();
+  ASSERT_GE(ups.size(), 1u);
+
+  // First contact with epoch 1: nothing special.
+  server_sends(proto::PresenceAck{3, ups[0].seq, 1});
+  run_ms(100);
+  EXPECT_EQ(ws->known_server_epoch(), 1u);
+  EXPECT_EQ(ws->stats().snapshots_sent, 0u);
+
+  // Epoch advanced: the server restarted empty and our SyncRequest may have
+  // been lost, so the workstation pushes a snapshot on its own.
+  server_sends(proto::PresenceAck{3, ups[0].seq, 2});
+  run_ms(100);
+  EXPECT_EQ(ws->known_server_epoch(), 2u);
+  EXPECT_EQ(ws->stats().snapshots_sent, 1u);
+}
+
+TEST_F(WorkstationRig, SnapshotCarriesWitnessedSessionHints) {
+  FakeHandheld h(*this, 0xB1);
+  ASSERT_TRUE(ws->scheduler().piconet().attach(h.link));
+  h.link.send_to_master(proto::encode(proto::LoginRequest{0xB1, "alice", "pw"}));
+  run_ms(100);
+  server_sends(proto::LoginReply{0xB1, true, ""});
+  run_ms(100);
+  // Make the device tracked so the snapshot includes it.
+  h.become_discoverable();
+  ws->start();
+  run_ms(1100);
+  ASSERT_TRUE(ws->tracks(baseband::BdAddr(0xB1)));
+
+  server_sends(proto::SyncRequest{2, 0});
+  run_ms(100);
+  const auto snaps = server_got<proto::SyncSnapshot>();
+  ASSERT_EQ(snaps.size(), 1u);
+  ASSERT_EQ(snaps[0].sessions.size(), 1u);
+  EXPECT_EQ(snaps[0].sessions[0].bd_addr, 0xB1u);
+  EXPECT_EQ(snaps[0].sessions[0].userid, "alice");
+}
+
 }  // namespace
 }  // namespace bips::core
