@@ -1,0 +1,171 @@
+// Scale sweep -- building-sized deployments: events/sec of the whole stack.
+//
+// The paper simulates one master and up to 20 slaves; the north star is a
+// whole building of piconets under load. This bench sweeps rooms x users
+// (grid floor plans, walking populations, full server/LAN stack) and
+// measures raw simulation throughput: executed events per wall-clock
+// second. It is the regression guard for the event-kernel and radio-channel
+// architecture -- the numbers in BENCH_scale.json (repo root) record the
+// pre-refactor baseline and the current kernel side by side.
+//
+// Usage:
+//   bench_scale_building [--smoke] [-o out.json]
+//
+// --smoke runs the smallest configuration only (CI); the JSON report lands
+// in BENCH_scale.json in the working directory unless -o says otherwise.
+#include <ctime>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "src/core/simulation.hpp"
+#include "src/util/table.hpp"
+
+namespace bips::bench {
+namespace {
+
+struct SweepPoint {
+  int rows = 0, cols = 0, users = 0;
+  double sim_seconds = 0;
+};
+
+struct Result {
+  SweepPoint p;
+  std::uint64_t events = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t discoveries = 0;
+  double cpu_s = 0;   // process CPU time: robust on a shared machine
+  double wall_s = 0;
+  double events_per_sec = 0;  // events / cpu_s
+  double sim_ratio = 0;       // simulated seconds per CPU second
+};
+
+double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+Result run_point(const SweepPoint& p) {
+  core::SimulationConfig cfg;
+  cfg.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
+  cfg.stagger_inquiry = true;
+  // The Figure 2 cadence: short cycles keep every master inquiring often,
+  // which is the radio-heavy regime the bench is meant to stress.
+  cfg.workstation.scheduler.inquiry_length = Duration::from_seconds(1.28);
+  cfg.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
+
+  core::BipsSimulation sim(mobility::Building::grid(p.rows, p.cols), cfg);
+  const int rooms = p.rows * p.cols;
+  for (int i = 0; i < p.users; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i % rooms));
+  }
+  sim.start();
+
+  const double c0 = process_cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(Duration::from_seconds(p.sim_seconds));
+  const auto t1 = std::chrono::steady_clock::now();
+  const double c1 = process_cpu_seconds();
+
+  Result r;
+  r.p = p;
+  r.events = sim.simulator().events_executed();
+  r.transmissions = sim.radio().stats().transmissions;
+  r.deliveries = sim.radio().stats().deliveries;
+  for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
+    r.discoveries +=
+        sim.workstation(static_cast<core::StationId>(s)).stats().discoveries;
+  }
+  r.cpu_s = c1 - c0;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = r.cpu_s > 0 ? static_cast<double>(r.events) / r.cpu_s : 0;
+  r.sim_ratio = r.cpu_s > 0 ? p.sim_seconds / r.cpu_s : 0;
+  return r;
+}
+
+void write_json(const std::vector<Result>& results, const std::string& path,
+                bool smoke) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"scale_building\",\n  \"mode\": \""
+     << (smoke ? "smoke" : "full") << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
+        "\"events\": %llu, \"transmissions\": %llu, \"deliveries\": %llu, "
+        "\"discoveries\": %llu, \"cpu_s\": %.3f, \"wall_s\": %.3f, "
+        "\"events_per_sec\": %.0f, \"sim_ratio\": %.1f}%s\n",
+        r.p.rows * r.p.cols, r.p.users, r.p.sim_seconds,
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.transmissions),
+        static_cast<unsigned long long>(r.deliveries),
+        static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
+        r.events_per_sec, r.sim_ratio,
+        i + 1 < results.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
+int run(bool smoke, const std::string& out_path) {
+  print_header("SCALE", "Building-scale sweep: whole-stack events/sec");
+
+  std::vector<SweepPoint> sweep;
+  if (smoke) {
+    sweep = {{2, 2, 8, 10.0}};
+  } else {
+    sweep = {{2, 2, 8, 30.0},
+             {2, 4, 32, 30.0},
+             {4, 4, 64, 30.0},
+             {4, 8, 192, 20.0},
+             {8, 8, 512, 20.0}};
+  }
+
+  TableWriter table({"rooms", "users", "sim s", "events", "cpu s",
+                     "events/s", "sim x realtime"});
+  std::vector<Result> results;
+  for (const SweepPoint& p : sweep) {
+    const Result r = run_point(p);
+    results.push_back(r);
+    table.add_row({std::to_string(p.rows * p.cols), std::to_string(p.users),
+                   fmt(p.sim_seconds, 0), std::to_string(r.events),
+                   fmt(r.cpu_s, 2), fmt(r.events_per_sec, 0),
+                   fmt(r.sim_ratio, 1)});
+    std::printf("done: %d rooms / %d users -> %.0f events/s (%.2f s cpu)\n",
+                p.rows * p.cols, p.users, r.events_per_sec, r.cpu_s);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  write_json(results, out_path, smoke);
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bips::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [-o out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  return bips::bench::run(smoke, out);
+}

@@ -90,6 +90,27 @@ struct ChannelConfig {
   double default_range_m = 10.0;
   /// Shadowing noise on reported RSSI values (standard deviation, dB).
   double rssi_sigma_db = 2.0;
+  /// Spatial delivery prefilter: listeners are indexed by RF channel and,
+  /// once a channel is crowded, by a coarse position grid, so a transmission
+  /// only visits listeners whose grid cells intersect its coverage disc.
+  /// Semantically neutral (the exact range check still runs per candidate)
+  /// except for the out_of_range stat, which only counts candidates that
+  /// reach the exact check. Disable to force the linear scan over every
+  /// listen on the channel (the equivalence test does).
+  bool spatial_grid = true;
+  /// Listener count above which one channel migrates from its flat listener
+  /// list to the spatial grid (one-way). Most channels host a handful of
+  /// scanners, for which a linear scan is faster than grid-cell probes; a
+  /// hotspot channel (an auditorium of devices scanning the same hop) is
+  /// what the grid is for.
+  std::uint32_t grid_threshold = 48;
+  /// Edge length of one grid cell, metres.
+  double grid_cell_m = 16.0;
+  /// Slack added to the search radius so listeners that walk away from the
+  /// cell they were indexed under (position is snapshotted at start_listen)
+  /// are still found. Listens live for milliseconds and people move at
+  /// m/s, so centimetres of drift occur; 2 m is a wide safety margin.
+  double grid_slack_m = 2.0;
   /// The RfChannel namespaces (inquiry set, per-address page sets) are
   /// modelled as disjoint, but physically they are 32-channel subsets of
   /// the same 79-channel ISM band. This is the probability that two

@@ -13,7 +13,13 @@ constexpr Duration kResponseListenSpan = Duration::micros(1310);
 }  // namespace
 
 Inquirer::Inquirer(Device& dev, InquiryConfig cfg, ResponseCallback on_response)
-    : dev_(dev), cfg_(cfg), on_response_(std::move(on_response)) {
+    : dev_(dev),
+      cfg_(cfg),
+      on_response_(std::move(on_response)),
+      slot_proc_(dev.sim(), [this] { tx_slot(); }),
+      id2_proc_(dev.sim(), [this] { second_id(); }),
+      close_procs_{{dev.sim(), [this] { close_pair(0); }},
+                   {dev.sim(), [this] { close_pair(1); }}} {
   BIPS_ASSERT(cfg_.train_repetitions > 0);
 }
 
@@ -24,19 +30,22 @@ void Inquirer::start() {
   reps_ = 0;
   tx_slot_ = 0;
   seen_.clear();
-  const SimTime first = dev_.clock().next_even_slot(dev_.sim().now());
-  slot_event_ = dev_.sim().schedule_at(first, [this] { tx_slot(); });
+  id_packet_ = Packet{};
+  id_packet_.type = PacketType::kId;
+  id_packet_.sender = dev_.addr();
+  id_packet_.access_code = BdAddr();  // GIAC: anonymous general inquiry
+  slot_proc_.call_at(dev_.clock().next_even_slot(dev_.sim().now()));
 }
 
 void Inquirer::stop() {
   if (!active_) return;
   active_ = false;
-  slot_event_.cancel();
-  id2_event_.cancel();
-  close_events_[0].cancel();
-  close_events_[1].cancel();
-  for (ListenId id : open_listens_) dev_.radio().stop_listen(id);
-  open_listens_.clear();
+  slot_proc_.cancel();
+  id2_proc_.cancel();
+  close_procs_[0].cancel();
+  close_procs_[1].cancel();
+  close_pair(0);
+  close_pair(1);
 }
 
 void Inquirer::tx_slot() {
@@ -44,21 +53,12 @@ void Inquirer::tx_slot() {
   const SimTime t0 = dev_.sim().now();
 
   const std::uint32_t ch1 = inquiry_tx_channel(train_, tx_slot_, 0);
-  const std::uint32_t ch2 = inquiry_tx_channel(train_, tx_slot_, 1);
-
-  Packet id;
-  id.type = PacketType::kId;
-  id.sender = dev_.addr();
-  id.access_code = BdAddr();  // GIAC: anonymous general inquiry
+  second_channel_ = inquiry_tx_channel(train_, tx_slot_, 1);
 
   // First ID now, second one half-slot later.
-  dev_.radio().transmit(&dev_, inquiry_channel(ch1), id);
+  dev_.radio().transmit(&dev_, inquiry_channel(ch1), id_packet_);
   ++stats_.ids_sent;
-  id2_event_ = dev_.sim().schedule(kHalfSlot, [this, ch2, id] {
-    if (!active_) return;
-    dev_.radio().transmit(&dev_, inquiry_channel(ch2), id);
-    ++stats_.ids_sent;
-  });
+  id2_proc_.call_after(kHalfSlot);
 
   // Listen for FHS responses on both paired response channels. The listens
   // open now (before any response can start) and close after the span of
@@ -66,23 +66,29 @@ void Inquirer::tx_slot() {
   auto handler = [this](const Packet& p, RfChannel, SimTime end) {
     on_fhs(p, end);
   };
-  const ListenId la = dev_.radio().start_listen(
-      &dev_, inquiry_response_channel(ch1), handler);
-  const ListenId lb = dev_.radio().start_listen(
-      &dev_, inquiry_response_channel(ch2), handler);
-  open_listens_.insert(la);
-  open_listens_.insert(lb);
-  close_events_[close_rotor_] =
-      dev_.sim().schedule_at(t0 + kResponseListenSpan, [this, la, lb] {
-        dev_.radio().stop_listen(la);
-        dev_.radio().stop_listen(lb);
-        open_listens_.erase(la);
-        open_listens_.erase(lb);
-      });
+  ListenId* pair = open_pairs_[close_rotor_];
+  pair[0] = dev_.radio().start_listen(&dev_, inquiry_response_channel(ch1),
+                                      handler);
+  pair[1] = dev_.radio().start_listen(
+      &dev_, inquiry_response_channel(second_channel_), handler);
+  close_procs_[close_rotor_].call_at(t0 + kResponseListenSpan);
   close_rotor_ ^= 1;
 
   advance_phase();
-  slot_event_ = dev_.sim().schedule_at(t0 + 2 * kSlot, [this] { tx_slot(); });
+  slot_proc_.call_at(t0 + 2 * kSlot);
+}
+
+void Inquirer::second_id() {
+  if (!active_) return;
+  dev_.radio().transmit(&dev_, inquiry_channel(second_channel_), id_packet_);
+  ++stats_.ids_sent;
+}
+
+void Inquirer::close_pair(int k) {
+  for (ListenId& id : open_pairs_[k]) {
+    dev_.radio().stop_listen(id);
+    id = kNoListen;
+  }
 }
 
 void Inquirer::advance_phase() {

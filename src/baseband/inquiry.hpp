@@ -14,6 +14,7 @@
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
 #include "src/baseband/hopping.hpp"
+#include "src/sim/simulator.hpp"
 
 namespace bips::baseband {
 
@@ -49,6 +50,8 @@ class Inquirer {
 
  private:
   void tx_slot();
+  void second_id();
+  void close_pair(int k);
   void on_fhs(const Packet& p, SimTime end);
   void advance_phase();
 
@@ -60,13 +63,21 @@ class Inquirer {
   Train train_ = Train::kA;
   int reps_ = 0;            // completed repetitions of current train
   std::uint32_t tx_slot_ = 0;  // 0..kTrainTxSlots-1 within a repetition
-  sim::EventHandle slot_event_;
-  sim::EventHandle id2_event_;
-  // Response listens of consecutive TX slots overlap by ~60 us, so up to two
-  // close events are pending at once; they rotate through this pair.
-  sim::EventHandle close_events_[2];
+  // Fixed per-session state the processes read instead of capturing: the
+  // anonymous GIAC ID packet and the channel of the half-slot-delayed
+  // second ID. Every even slot re-arms the same three process bodies with
+  // no per-slot closure state.
+  Packet id_packet_;
+  std::uint32_t second_channel_ = 0;
+  sim::Process slot_proc_;
+  sim::Process id2_proc_;
+  // Response listens of consecutive TX slots overlap by ~60 us, so up to
+  // two close processes are pending at once; they (and the listen pairs
+  // they close) rotate through these two.
+  sim::Process close_procs_[2];
+  ListenId open_pairs_[2][2] = {{kNoListen, kNoListen},
+                                {kNoListen, kNoListen}};
   int close_rotor_ = 0;
-  std::unordered_set<ListenId> open_listens_;
   std::unordered_set<BdAddr> seen_;
   Stats stats_;
 };

@@ -6,7 +6,18 @@ namespace bips::baseband {
 
 InquiryScanner::InquiryScanner(Device& dev, ScanConfig scan,
                                BackoffConfig backoff)
-    : dev_(dev), scan_(scan), backoff_(backoff) {
+    : dev_(dev),
+      scan_(scan),
+      backoff_(backoff),
+      window_open_proc_(dev.sim(), [this] { open_window(); }),
+      window_close_proc_(dev.sim(), [this] { close_window(); }),
+      interlace_proc_(dev.sim(), [this] { interlace_retune(); }),
+      backoff_proc_(dev.sim(), [this] { backoff_expired(); }),
+      armed_close_proc_(dev.sim(),
+                        [this] {
+                          if (!window_open_) end_listen();
+                        }),
+      response_proc_(dev.sim(), [this] { send_response(); }) {
   BIPS_ASSERT(scan_.window > Duration(0));
   BIPS_ASSERT(scan_.interval >=
               (scan_.interlaced ? 2 * scan_.window : scan_.window));
@@ -55,18 +66,18 @@ void InquiryScanner::start_with_phase(Duration phase) {
   window_index_ = 0;
   armed_ = false;
   backoff_pending_ = false;
-  window_open_event_ = dev_.sim().schedule(phase, [this] { open_window(); });
+  window_open_proc_.call_after(phase);
 }
 
 void InquiryScanner::stop() {
   if (!running_) return;
   running_ = false;
-  window_open_event_.cancel();
-  window_close_event_.cancel();
-  interlace_event_.cancel();
-  backoff_event_.cancel();
-  armed_close_event_.cancel();
-  response_event_.cancel();
+  window_open_proc_.cancel();
+  window_close_proc_.cancel();
+  interlace_proc_.cancel();
+  backoff_proc_.cancel();
+  armed_close_proc_.cancel();
+  response_proc_.cancel();
   end_listen();
   window_open_ = false;
   backoff_pending_ = false;
@@ -83,20 +94,11 @@ void InquiryScanner::open_window() {
       scan_.interlaced ? 2 * scan_.window : scan_.window;
   // Close first, then next open: with interval == window (continuous scan)
   // both land on the same instant and FIFO ordering retunes seamlessly.
-  window_close_event_ =
-      dev_.sim().schedule(open_span, [this] { close_window(); });
-  window_open_event_ =
-      dev_.sim().schedule(scan_.interval, [this] { open_window(); });
+  window_close_proc_.call_after(open_span);
+  window_open_proc_.call_after(scan_.interval);
   if (scan_.interlaced) {
     // Second back-to-back sub-window on the complementary train.
-    interlace_event_ = dev_.sim().schedule(scan_.window, [this] {
-      if (backoff_pending_ || armed_) return;  // states that manage listens
-      if (!window_open_) return;
-      window_channel_ =
-          (window_channel_ + kTrainSize) % kChannelsPerSet;
-      end_listen();
-      begin_listen(window_channel_);
-    });
+    interlace_proc_.call_after(scan_.window);
   }
   if (backoff_pending_) return;  // asleep: skip this window
   if (armed_ && listen_ != kNoListen) {
@@ -109,6 +111,14 @@ void InquiryScanner::open_window() {
 void InquiryScanner::close_window() {
   window_open_ = false;
   end_listen();
+}
+
+void InquiryScanner::interlace_retune() {
+  if (backoff_pending_ || armed_) return;  // states that manage listens
+  if (!window_open_) return;
+  window_channel_ = (window_channel_ + kTrainSize) % kChannelsPerSet;
+  end_listen();
+  begin_listen(window_channel_);
 }
 
 void InquiryScanner::begin_listen(std::uint32_t channel_index) {
@@ -133,24 +143,9 @@ void InquiryScanner::on_id(const Packet& p, RfChannel ch, SimTime end) {
   if (armed_) {
     // Respond with FHS exactly 625 us after the start of the heard ID.
     const SimTime id_start = end - p.duration();
-    const SimTime respond_at = id_start + kSlot;
     armed_ = false;
-    response_event_ = dev_.sim().schedule_at(respond_at, [this, ch] {
-      Packet fhs;
-      fhs.type = PacketType::kFhs;
-      fhs.sender = dev_.addr();
-      fhs.clock = dev_.clock().clkn(dev_.sim().now());
-      dev_.radio().transmit(&dev_, inquiry_response_channel(ch.index), fhs);
-      ++stats_.fhs_sent;
-      BIPS_TRACE(dev_.sim().now(), "scanner %s: FHS sent on ch %u",
-                 dev_.addr().to_string().c_str(), ch.index);
-      if (on_response_sent_) on_response_sent_(dev_.sim().now());
-      if (backoff_.respond_repeatedly) {
-        arm_backoff();
-      } else {
-        stop();
-      }
-    });
+    response_index_ = ch.index;
+    response_proc_.call_at(id_start + kSlot);
     return;
   }
 
@@ -158,14 +153,29 @@ void InquiryScanner::on_id(const Packet& p, RfChannel ch, SimTime end) {
   arm_backoff();
 }
 
+void InquiryScanner::send_response() {
+  Packet fhs;
+  fhs.type = PacketType::kFhs;
+  fhs.sender = dev_.addr();
+  fhs.clock = dev_.clock().clkn(dev_.sim().now());
+  dev_.radio().transmit(&dev_, inquiry_response_channel(response_index_), fhs);
+  ++stats_.fhs_sent;
+  BIPS_TRACE(dev_.sim().now(), "scanner %s: FHS sent on ch %u",
+             dev_.addr().to_string().c_str(), response_index_);
+  if (on_response_sent_) on_response_sent_(dev_.sim().now());
+  if (backoff_.respond_repeatedly) {
+    arm_backoff();
+  } else {
+    stop();
+  }
+}
+
 void InquiryScanner::arm_backoff() {
   ++stats_.backoffs;
   backoff_pending_ = true;
   const auto slots = static_cast<std::int64_t>(
       dev_.rng().uniform(static_cast<std::uint64_t>(backoff_.max_slots) + 1));
-  backoff_event_ = dev_.sim().schedule(slots * kSlot, [this] {
-    backoff_expired();
-  });
+  backoff_proc_.call_after(slots * kSlot);
 }
 
 void InquiryScanner::backoff_expired() {
@@ -177,9 +187,7 @@ void InquiryScanner::backoff_expired() {
   // within one train sweep; if the master has gone quiet, the armed state
   // rides the regular window schedule instead of burning the radio.
   begin_listen(window_channel_);
-  armed_close_event_ = dev_.sim().schedule(scan_.window, [this] {
-    if (!window_open_) end_listen();
-  });
+  armed_close_proc_.call_after(scan_.window);
 }
 
 }  // namespace bips::baseband

@@ -30,6 +30,7 @@
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
 #include "src/baseband/hopping.hpp"
+#include "src/sim/simulator.hpp"
 
 namespace bips::baseband {
 
@@ -77,9 +78,11 @@ class InquiryScanner {
   std::uint32_t channel_for_window(std::uint64_t window_index) const;
   void open_window();
   void close_window();
+  void interlace_retune();
   void begin_listen(std::uint32_t channel_index);
   void end_listen();
   void on_id(const Packet& p, RfChannel ch, SimTime end);
+  void send_response();
   void arm_backoff();
   void backoff_expired();
 
@@ -99,13 +102,16 @@ class InquiryScanner {
   bool armed_ = false;            // heard first ID & finished backoff
   bool backoff_pending_ = false;  // sleeping; windows are skipped
   ListenId listen_ = kNoListen;
+  // Response channel of the armed exchange (set when the second ID is
+  // heard, read by the response process).
+  std::uint32_t response_index_ = 0;
 
-  sim::EventHandle window_open_event_;
-  sim::EventHandle window_close_event_;
-  sim::EventHandle interlace_event_;
-  sim::EventHandle backoff_event_;
-  sim::EventHandle armed_close_event_;
-  sim::EventHandle response_event_;
+  sim::Process window_open_proc_;
+  sim::Process window_close_proc_;
+  sim::Process interlace_proc_;
+  sim::Process backoff_proc_;
+  sim::Process armed_close_proc_;
+  sim::Process response_proc_;
 
   Stats stats_;
 };

@@ -13,7 +13,16 @@ constexpr Duration kExchangeTimeout = 4 * kSlot;
 
 // ---------------------------------------------------------------- Pager ---
 
-Pager::Pager(Device& dev, PageConfig cfg) : dev_(dev), cfg_(cfg) {
+Pager::Pager(Device& dev, PageConfig cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      slot_proc_(dev.sim(), [this] { tx_slot(); }),
+      id2_proc_(dev.sim(), [this] { second_id(); }),
+      close_procs_{{dev.sim(), [this] { close_pair(0); }},
+                   {dev.sim(), [this] { close_pair(1); }}},
+      fhs_proc_(dev.sim(), [this] { send_fhs(); }),
+      ack_timeout_proc_(dev.sim(), [this] { ack_timed_out(); }),
+      page_timeout_proc_(dev.sim(), [this] { fail(); }) {
   BIPS_ASSERT(cfg_.train_repetitions > 0);
 }
 
@@ -45,10 +54,14 @@ void Pager::page(BdAddr target, std::uint32_t clock_sample,
   train_base_index_ = (predicted + kChannelsPerSet - kTrainSize / 2) %
                       kChannelsPerSet;
 
-  const SimTime first = dev_.clock().next_even_slot(dev_.sim().now());
-  slot_event_ = dev_.sim().schedule_at(first, [this] { tx_slot(); });
+  id_packet_ = Packet{};
+  id_packet_.type = PacketType::kId;
+  id_packet_.sender = dev_.addr();
+  id_packet_.access_code = target_;  // page IDs are addressed
+
+  slot_proc_.call_at(dev_.clock().next_even_slot(dev_.sim().now()));
   if (cfg_.timeout > Duration(0)) {
-    page_timeout_event_ = dev_.sim().schedule(cfg_.timeout, [this] { fail(); });
+    page_timeout_proc_.call_after(cfg_.timeout);
   }
 }
 
@@ -60,15 +73,15 @@ void Pager::cancel() {
 void Pager::cleanup() {
   active_ = false;
   awaiting_ack_ = false;
-  slot_event_.cancel();
-  id2_event_.cancel();
-  close_events_[0].cancel();
-  close_events_[1].cancel();
-  fhs_event_.cancel();
-  ack_timeout_event_.cancel();
-  page_timeout_event_.cancel();
-  for (ListenId id : open_listens_) dev_.radio().stop_listen(id);
-  open_listens_.clear();
+  slot_proc_.cancel();
+  id2_proc_.cancel();
+  close_procs_[0].cancel();
+  close_procs_[1].cancel();
+  fhs_proc_.cancel();
+  ack_timeout_proc_.cancel();
+  page_timeout_proc_.cancel();
+  close_pair(0);
+  close_pair(1);
   dev_.radio().stop_listen(ack_listen_);
   ack_listen_ = kNoListen;
 }
@@ -87,42 +100,39 @@ void Pager::tx_slot() {
 
   const std::uint32_t idx1 =
       (train_base_index_ + tx_slot_ * 2) % kChannelsPerSet;
-  const std::uint32_t idx2 =
-      (train_base_index_ + tx_slot_ * 2 + 1) % kChannelsPerSet;
+  second_index_ = (train_base_index_ + tx_slot_ * 2 + 1) % kChannelsPerSet;
 
-  Packet id;
-  id.type = PacketType::kId;
-  id.sender = dev_.addr();
-  id.access_code = target_;  // page IDs are addressed
-
-  dev_.radio().transmit(&dev_, page_channel(target_, idx1), id);
+  dev_.radio().transmit(&dev_, page_channel(target_, idx1), id_packet_);
   ++stats_.ids_sent;
-  id2_event_ = dev_.sim().schedule(kHalfSlot, [this, idx2, id] {
-    if (!active_ || awaiting_ack_) return;
-    dev_.radio().transmit(&dev_, page_channel(target_, idx2), id);
-    ++stats_.ids_sent;
-  });
+  id2_proc_.call_after(kHalfSlot);
 
   auto handler = [this](const Packet& p, RfChannel ch, SimTime end) {
     on_response(p, ch, end);
   };
-  const ListenId la =
+  ListenId* pair = open_pairs_[close_rotor_];
+  pair[0] =
       dev_.radio().start_listen(&dev_, page_channel(target_, idx1), handler);
-  const ListenId lb =
-      dev_.radio().start_listen(&dev_, page_channel(target_, idx2), handler);
-  open_listens_.insert(la);
-  open_listens_.insert(lb);
-  close_events_[close_rotor_] =
-      dev_.sim().schedule_at(t0 + kResponseListenSpan, [this, la, lb] {
-        dev_.radio().stop_listen(la);
-        dev_.radio().stop_listen(lb);
-        open_listens_.erase(la);
-        open_listens_.erase(lb);
-      });
+  pair[1] = dev_.radio().start_listen(&dev_, page_channel(target_, second_index_),
+                                      handler);
+  close_procs_[close_rotor_].call_at(t0 + kResponseListenSpan);
   close_rotor_ ^= 1;
 
   advance_phase();
-  slot_event_ = dev_.sim().schedule_at(t0 + 2 * kSlot, [this] { tx_slot(); });
+  slot_proc_.call_at(t0 + 2 * kSlot);
+}
+
+void Pager::second_id() {
+  if (!active_ || awaiting_ack_) return;
+  dev_.radio().transmit(&dev_, page_channel(target_, second_index_),
+                        id_packet_);
+  ++stats_.ids_sent;
+}
+
+void Pager::close_pair(int k) {
+  for (ListenId& id : open_pairs_[k]) {
+    dev_.radio().stop_listen(id);
+    id = kNoListen;
+  }
 }
 
 void Pager::advance_phase() {
@@ -143,34 +153,38 @@ void Pager::on_response(const Packet& p, RfChannel ch, SimTime end) {
   // Target answered: freeze the sweep and send the FHS 625 us after the
   // response began.
   awaiting_ack_ = true;
-  slot_event_.cancel();
-  id2_event_.cancel();
+  slot_proc_.cancel();
+  id2_proc_.cancel();
 
+  contact_ch_ = ch;
   const SimTime resp_start = end - p.duration();
-  fhs_event_ = dev_.sim().schedule_at(resp_start + kSlot, [this, ch] {
-    if (!active_) return;
-    Packet fhs;
-    fhs.type = PacketType::kFhs;
-    fhs.sender = dev_.addr();
-    fhs.access_code = target_;
-    fhs.clock = dev_.clock().clkn(dev_.sim().now());
-    dev_.radio().transmit(&dev_, ch, fhs);
+  fhs_proc_.call_at(resp_start + kSlot);
+}
 
-    // Await the final ID ack on the same channel.
-    ack_listen_ = dev_.radio().start_listen(
-        &dev_, ch, [this](const Packet& q, RfChannel, SimTime e) {
-          on_ack(q, e);
-        });
-    ack_timeout_event_ = dev_.sim().schedule(kExchangeTimeout, [this] {
-      // Ack lost: resume the sweep where it left off.
-      if (!active_) return;
-      dev_.radio().stop_listen(ack_listen_);
-      ack_listen_ = kNoListen;
-      awaiting_ack_ = false;
-      const SimTime next = dev_.clock().next_even_slot(dev_.sim().now());
-      slot_event_ = dev_.sim().schedule_at(next, [this] { tx_slot(); });
-    });
-  });
+void Pager::send_fhs() {
+  if (!active_) return;
+  Packet fhs;
+  fhs.type = PacketType::kFhs;
+  fhs.sender = dev_.addr();
+  fhs.access_code = target_;
+  fhs.clock = dev_.clock().clkn(dev_.sim().now());
+  dev_.radio().transmit(&dev_, contact_ch_, fhs);
+
+  // Await the final ID ack on the same channel.
+  ack_listen_ = dev_.radio().start_listen(
+      &dev_, contact_ch_, [this](const Packet& q, RfChannel, SimTime e) {
+        on_ack(q, e);
+      });
+  ack_timeout_proc_.call_after(kExchangeTimeout);
+}
+
+void Pager::ack_timed_out() {
+  // Ack lost: resume the sweep where it left off.
+  if (!active_) return;
+  dev_.radio().stop_listen(ack_listen_);
+  ack_listen_ = kNoListen;
+  awaiting_ack_ = false;
+  slot_proc_.call_at(dev_.clock().next_even_slot(dev_.sim().now()));
 }
 
 void Pager::on_ack(const Packet& p, SimTime end) {
@@ -186,7 +200,20 @@ void Pager::on_ack(const Packet& p, SimTime end) {
 
 // ---------------------------------------------------------- PageScanner ---
 
-PageScanner::PageScanner(Device& dev, ScanConfig cfg) : dev_(dev), cfg_(cfg) {
+PageScanner::PageScanner(Device& dev, ScanConfig cfg)
+    : dev_(dev),
+      cfg_(cfg),
+      window_open_proc_(dev.sim(), [this] { open_window(); }),
+      window_close_proc_(dev.sim(), [this] { close_window(); }),
+      respond_proc_(dev.sim(), [this] { send_response(); }),
+      fhs_timeout_proc_(dev.sim(),
+                        [this] {
+                          // Master vanished (or its FHS collided): back to
+                          // normal scanning.
+                          end_listen();
+                          responding_ = false;
+                        }),
+      ack_proc_(dev.sim(), [this] { send_ack(); }) {
   BIPS_ASSERT(cfg_.window > Duration(0));
   BIPS_ASSERT(cfg_.interval >= cfg_.window);
 }
@@ -202,17 +229,17 @@ void PageScanner::start_with_phase(Duration phase) {
   running_ = true;
   window_index_ = 0;
   responding_ = false;
-  window_open_event_ = dev_.sim().schedule(phase, [this] { open_window(); });
+  window_open_proc_.call_after(phase);
 }
 
 void PageScanner::stop() {
   if (!running_) return;
   running_ = false;
-  window_open_event_.cancel();
-  window_close_event_.cancel();
-  respond_event_.cancel();
-  fhs_timeout_event_.cancel();
-  ack_event_.cancel();
+  window_open_proc_.cancel();
+  window_close_proc_.cancel();
+  respond_proc_.cancel();
+  fhs_timeout_proc_.cancel();
+  ack_proc_.cancel();
   end_listen();
   window_open_ = false;
   responding_ = false;
@@ -223,10 +250,8 @@ void PageScanner::open_window() {
   ++stats_.windows_opened;
   ++window_index_;
   window_open_ = true;
-  window_close_event_ =
-      dev_.sim().schedule(cfg_.window, [this] { close_window(); });
-  window_open_event_ =
-      dev_.sim().schedule(cfg_.interval, [this] { open_window(); });
+  window_close_proc_.call_after(cfg_.window);
+  window_open_proc_.call_after(cfg_.interval);
   if (responding_) return;  // mid-exchange; skip this window
 
   // The page-scan channel is a function of the device's own clock (CLKN
@@ -255,54 +280,57 @@ void PageScanner::on_page_id(const Packet& p, RfChannel ch, SimTime end) {
   end_listen();
   responding_ = true;
 
+  contact_ch_ = ch;
   const SimTime id_start = end - p.duration();
-  respond_event_ = dev_.sim().schedule_at(id_start + kSlot, [this, ch] {
-    if (!running_) return;
-    Packet resp;
-    resp.type = PacketType::kId;
-    resp.sender = dev_.addr();
-    resp.access_code = dev_.addr();
-    dev_.radio().transmit(&dev_, ch, resp);
+  respond_proc_.call_at(id_start + kSlot);
+}
 
-    // Await the master's FHS on the same channel.
-    listen_ = dev_.radio().start_listen(
-        &dev_, ch, [this](const Packet& q, RfChannel c, SimTime e) {
-          on_fhs(q, c, e);
-        });
-    fhs_timeout_event_ = dev_.sim().schedule(kExchangeTimeout, [this] {
-      // Master vanished (or its FHS collided): back to normal scanning.
-      end_listen();
-      responding_ = false;
-    });
-  });
+void PageScanner::send_response() {
+  if (!running_) return;
+  Packet resp;
+  resp.type = PacketType::kId;
+  resp.sender = dev_.addr();
+  resp.access_code = dev_.addr();
+  dev_.radio().transmit(&dev_, contact_ch_, resp);
+
+  // Await the master's FHS on the same channel.
+  listen_ = dev_.radio().start_listen(
+      &dev_, contact_ch_, [this](const Packet& q, RfChannel c, SimTime e) {
+        on_fhs(q, c, e);
+      });
+  fhs_timeout_proc_.call_after(kExchangeTimeout);
 }
 
 void PageScanner::on_fhs(const Packet& p, RfChannel ch, SimTime end) {
   if (p.type != PacketType::kFhs || p.access_code != dev_.addr()) return;
-  fhs_timeout_event_.cancel();
+  fhs_timeout_proc_.cancel();
   end_listen();
 
+  contact_ch_ = ch;
+  pending_master_ = p.sender;
+  pending_master_clock_ = p.clock;
   const SimTime fhs_start = end - p.duration();
-  const BdAddr master = p.sender;
-  const std::uint32_t master_clock = p.clock;
-  ack_event_ = dev_.sim().schedule_at(fhs_start + kSlot, [this, ch, master,
-                                                          master_clock] {
-    if (!running_) return;
-    Packet ack;
-    ack.type = PacketType::kId;
-    ack.sender = dev_.addr();
-    ack.access_code = dev_.addr();
-    dev_.radio().transmit(&dev_, ch, ack);
-    ++stats_.connections;
-    const SimTime when = dev_.sim().now();
-    BIPS_TRACE(when, "scanner %s: connected to master %s",
-               dev_.addr().to_string().c_str(), master.to_string().c_str());
-    // Entering the connection state ends page scanning; the link layer
-    // restarts it after a detach.
-    auto cb = on_connected_;
-    stop();
-    if (cb) cb(master, master_clock, when);
-  });
+  ack_proc_.call_at(fhs_start + kSlot);
+}
+
+void PageScanner::send_ack() {
+  if (!running_) return;
+  Packet ack;
+  ack.type = PacketType::kId;
+  ack.sender = dev_.addr();
+  ack.access_code = dev_.addr();
+  dev_.radio().transmit(&dev_, contact_ch_, ack);
+  ++stats_.connections;
+  const SimTime when = dev_.sim().now();
+  const BdAddr master = pending_master_;
+  const std::uint32_t master_clock = pending_master_clock_;
+  BIPS_TRACE(when, "scanner %s: connected to master %s",
+             dev_.addr().to_string().c_str(), master.to_string().c_str());
+  // Entering the connection state ends page scanning; the link layer
+  // restarts it after a detach.
+  auto cb = on_connected_;
+  stop();
+  if (cb) cb(master, master_clock, when);
 }
 
 }  // namespace bips::baseband

@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
 #include "src/baseband/hopping.hpp"
+#include "src/sim/simulator.hpp"
 
 namespace bips::baseband {
 
@@ -65,6 +65,10 @@ class Pager {
   /// Estimated CLKN of the target at time t, extrapolated from the sample.
   std::uint32_t estimated_clkn(SimTime t) const;
   void tx_slot();
+  void second_id();
+  void close_pair(int k);
+  void send_fhs();
+  void ack_timed_out();
   void advance_phase();
   void on_response(const Packet& p, RfChannel ch, SimTime end);
   void on_ack(const Packet& p, SimTime end);
@@ -86,14 +90,21 @@ class Pager {
   int reps_ = 0;
   std::uint32_t tx_slot_ = 0;
 
-  sim::EventHandle slot_event_;
-  sim::EventHandle id2_event_;
-  sim::EventHandle close_events_[2];
+  // Per-page state the processes read instead of capturing per slot: the
+  // addressed ID packet, the channel of the delayed second ID, and the
+  // contact channel the response arrived on.
+  Packet id_packet_;
+  std::uint32_t second_index_ = 0;
+  RfChannel contact_ch_;
+  sim::Process slot_proc_;
+  sim::Process id2_proc_;
+  sim::Process close_procs_[2];
+  ListenId open_pairs_[2][2] = {{kNoListen, kNoListen},
+                                {kNoListen, kNoListen}};
   int close_rotor_ = 0;
-  std::unordered_set<ListenId> open_listens_;
-  sim::EventHandle fhs_event_;
-  sim::EventHandle ack_timeout_event_;
-  sim::EventHandle page_timeout_event_;
+  sim::Process fhs_proc_;
+  sim::Process ack_timeout_proc_;
+  sim::Process page_timeout_proc_;
   ListenId ack_listen_ = kNoListen;
 
   Stats stats_;
@@ -133,6 +144,8 @@ class PageScanner {
   void open_window();
   void close_window();
   void end_listen();
+  void send_response();
+  void send_ack();
   void on_page_id(const Packet& p, RfChannel ch, SimTime end);
   void on_fhs(const Packet& p, RfChannel ch, SimTime end);
 
@@ -146,11 +159,16 @@ class PageScanner {
   std::uint64_t window_index_ = 0;
   ListenId listen_ = kNoListen;
 
-  sim::EventHandle window_open_event_;
-  sim::EventHandle window_close_event_;
-  sim::EventHandle respond_event_;
-  sim::EventHandle fhs_timeout_event_;
-  sim::EventHandle ack_event_;
+  // Mid-exchange state the processes read instead of capturing: the contact
+  // channel and the master identity from its FHS.
+  RfChannel contact_ch_;
+  BdAddr pending_master_;
+  std::uint32_t pending_master_clock_ = 0;
+  sim::Process window_open_proc_;
+  sim::Process window_close_proc_;
+  sim::Process respond_proc_;
+  sim::Process fhs_timeout_proc_;
+  sim::Process ack_proc_;
 
   Stats stats_;
 };

@@ -233,7 +233,10 @@ void PiconetMaster::poll_round() {
   // Message callbacks may attach/detach slaves, so walk a snapshot of the
   // membership and re-look-up each slave.
   std::vector<BdAddr> lost;
-  for (const BdAddr addr : slave_addrs()) {
+  poll_snapshot_.clear();
+  poll_snapshot_.reserve(slaves_.size());
+  for (const auto& [a, s] : slaves_) poll_snapshot_.push_back(a);
+  for (const BdAddr addr : poll_snapshot_) {
     const auto it = slaves_.find(addr);
     if (it == slaves_.end()) continue;  // detached by an earlier callback
     SlaveState& s = it->second;

@@ -202,6 +202,9 @@ class PiconetMaster {
   sim::PeriodicTimer poll_timer_;
   bool paused_ = false;
   Stats stats_;
+  // Scratch membership snapshot reused across poll rounds (message
+  // callbacks may attach/detach slaves mid-round).
+  std::vector<BdAddr> poll_snapshot_;
 };
 
 }  // namespace bips::baseband

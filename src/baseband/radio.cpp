@@ -7,52 +7,169 @@
 #include "src/util/log.hpp"
 
 namespace bips::baseband {
+namespace {
+
+// Longest on-air packet (FHS/ACL: 366 us) with margin; bounds how far back
+// the collision-overlap scan must look in a start-time-ordered bucket.
+constexpr Duration kMaxPacketAir = Duration::micros(400);
+
+std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32 |
+         static_cast<std::uint32_t>(cy);
+}
+
+// ListenId <-> (arena slot, generation), mirroring the event kernel's ids:
+// the +1 keeps slot 0 distinct from kNoListen.
+ListenId make_listen_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<ListenId>(slot) + 1) << 32 | generation;
+}
+std::uint32_t listen_slot_of(ListenId id) {
+  return static_cast<std::uint32_t>(id >> 32) - 1;
+}
+std::uint32_t listen_generation_of(ListenId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace
+
+RadioChannel::ChannelState& RadioChannel::channel_state(RfChannel ch) {
+  BIPS_ASSERT(ch.index < kChannelIndexSpan);
+  NsChannels* nsc;
+  if (ch.ns == 0) {
+    nsc = &inquiry_ns_;
+  } else {
+    std::unique_ptr<NsChannels>& block = page_ns_[ch.ns];
+    if (!block) block = std::make_unique<NsChannels>();
+    nsc = block.get();
+  }
+  std::unique_ptr<ChannelState>& slot = nsc->ch[ch.index];
+  if (!slot) slot = std::make_unique<ChannelState>();
+  return *slot;
+}
+
+std::uint64_t RadioChannel::grid_cell(Vec2 pos) const {
+  const double cell = cfg_.grid_cell_m;
+  return cell_key(static_cast<std::int32_t>(std::floor(pos.x / cell)),
+                  static_cast<std::int32_t>(std::floor(pos.y / cell)));
+}
 
 void RadioChannel::transmit(RadioDevice* sender, RfChannel ch, Packet p) {
   BIPS_ASSERT(sender != nullptr);
+  BIPS_ASSERT(p.duration() <= kMaxPacketAir);
   const SimTime start = sim_.now();
   const SimTime end = start + p.duration();
-  recent_.push_back(Transmission{sender, ch, start, end, p});
+  ChannelState& cs = channel_state(ch);
+  TxQueue& q = cfg_.cross_set_interference > 0 ? global_recent_ : cs.recent;
+  q.push_back(Transmission{sender, ch, start, end, p});
   ++stats_.transmissions;
   sender->account_tx(p.duration());
-  // Copy the transmission into the closure: recent_ may reallocate.
-  const Transmission tx = recent_.back();
-  sim_.schedule_at(end, [this, tx] { deliver(tx); });
+  // Deque references are stable under push_back and pop_front, so the
+  // delivery event can carry the channel state and element by pointer: no
+  // packet copy into the closure and no map probe at delivery time. The
+  // element cannot be pruned before its own delivery (the horizon trails
+  // `now` by several slots).
+  const Transmission* t = &q.back();
+  sim_.schedule_at(end, [this, csp = &cs, t] { deliver(*csp, *t); });
 }
 
 ListenId RadioChannel::start_listen(RadioDevice* d, RfChannel ch,
                                     PacketHandler handler) {
   BIPS_ASSERT(d != nullptr);
-  const ListenId id = next_listen_++;
-  listens_.emplace(id, Listen{d, ch, sim_.now(), std::move(handler)});
+  std::uint32_t slot;
+  if (!lfree_.empty()) {
+    slot = lfree_.back();
+    lfree_.pop_back();
+  } else {
+    BIPS_ASSERT_MSG(lslots_.size() < static_cast<std::size_t>(UINT32_MAX) - 1,
+                    "listen arena exhausted");
+    slot = static_cast<std::uint32_t>(lslots_.size());
+    lslots_.emplace_back();
+  }
+  ChannelState& cs = channel_state(ch);
+  ListenSlot& l = lslots_[slot];
+  const ListenId id = make_listen_id(slot, l.generation);
+  l.device = d;
+  l.chan = &cs;
+  l.since = sim_.now();
+  l.handler = std::move(handler);
+
+  const CellEntry entry{id, next_listen_seq_++, d, l.since};
+  if (cs.grid) {
+    l.cell = grid_cell(d->position());
+    cs.cells[l.cell].push_back(entry);
+  } else {
+    // Flat mode never reads the cell, so the position lookup is skipped --
+    // the dominant case for the short-lived response listens that churn at
+    // tens of thousands per simulated second.
+    cs.flat.push_back(entry);
+  }
+  ++cs.listens;
+  if (!cs.grid && cfg_.spatial_grid && cs.listens > cfg_.grid_threshold) {
+    migrate_to_grid(cs);
+  }
+  d->active_listens_.push_back(id);
   return id;
+}
+
+void RadioChannel::migrate_to_grid(ChannelState& cs) {
+  cs.grid = true;
+  for (const CellEntry& e : cs.flat) {
+    ListenSlot& l = lslots_[listen_slot_of(e.id)];
+    // Index under the *current* position: at least as accurate as the
+    // registration-time cell, and the delivery-side range check is exact
+    // either way (the grid only culls, it never admits).
+    l.cell = grid_cell(l.device->position());
+    cs.cells[l.cell].push_back(e);
+  }
+  cs.flat.clear();
+  cs.flat.shrink_to_fit();
 }
 
 void RadioChannel::stop_listen(ListenId id) {
   if (id == kNoListen) return;
-  const auto it = listens_.find(id);
-  if (it == listens_.end()) return;
-  it->second.device->account_listen(sim_.now() - it->second.since);
-  listens_.erase(it);
+  const std::uint32_t slot = listen_slot_of(id);
+  if (slot >= lslots_.size()) return;
+  ListenSlot& l = lslots_[slot];
+  // Stale id (already stopped, slot possibly reused): a true no-op.
+  if (l.device == nullptr || l.generation != listen_generation_of(id)) return;
+
+  l.device->account_listen(sim_.now() - l.since);
+
+  ChannelState& cs = *l.chan;
+  std::vector<CellEntry>* entries = cs.grid ? cs.cells.find(l.cell) : &cs.flat;
+  BIPS_ASSERT(entries != nullptr);
+  const auto pos = std::find_if(entries->begin(), entries->end(),
+                                [id](const CellEntry& e) { return e.id == id; });
+  BIPS_ASSERT(pos != entries->end());
+  *pos = entries->back();  // order is irrelevant: deliver() sorts candidates
+  entries->pop_back();
+  BIPS_ASSERT(cs.listens > 0);
+  --cs.listens;
+
+  std::vector<ListenId>& mine = l.device->active_listens_;
+  const auto dpos = std::find(mine.begin(), mine.end(), id);
+  BIPS_ASSERT(dpos != mine.end());
+  *dpos = mine.back();
+  mine.pop_back();
+
+  // Retire the arena slot under a fresh generation. During a delivery the
+  // free-list push (and the handler teardown) is deferred: the delivery's
+  // candidate snapshot references handlers by slot, so a slot stopped by an
+  // earlier candidate's handler must keep its handler until the snapshot is
+  // done -- and must not be reused by a start_listen in the meantime.
+  ++l.generation;
+  l.device = nullptr;
+  l.chan = nullptr;
+  if (in_delivery_) {
+    deferred_free_.push_back(slot);
+  } else {
+    l.handler = nullptr;
+    lfree_.push_back(slot);
+  }
 }
 
 void RadioChannel::stop_all_listens(RadioDevice* d) {
-  for (auto it = listens_.begin(); it != listens_.end();) {
-    if (it->second.device == d) {
-      d->account_listen(sim_.now() - it->second.since);
-      it = listens_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-std::size_t RadioChannel::listen_count(const RadioDevice* d) const {
-  std::size_t n = 0;
-  for (const auto& [id, l] : listens_) {
-    if (l.device == d) ++n;
-  }
-  return n;
+  while (!d->active_listens_.empty()) stop_listen(d->active_listens_.back());
 }
 
 double RadioChannel::rssi_dbm(double distance_m) {
@@ -60,36 +177,89 @@ double RadioChannel::rssi_dbm(double distance_m) {
   return -40.0 - 25.0 * std::log10(d) + rng_.normal(0.0, cfg_.rssi_sigma_db);
 }
 
+double RadioChannel::tx_range(const RadioDevice* tx) const {
+  return tx->range_m() > 0 ? tx->range_m() : cfg_.default_range_m;
+}
+
 bool RadioChannel::in_range(const RadioDevice* rx, const RadioDevice* tx) const {
-  const double range =
-      tx->range_m() > 0 ? tx->range_m() : cfg_.default_range_m;
+  const double range = tx_range(tx);
   return distance_sq(rx->position(), tx->position()) <= range * range;
 }
 
-void RadioChannel::prune(SimTime now) {
+void RadioChannel::prune(TxQueue& q, SimTime now) {
   // Keep transmissions whose interference window could still matter; the
-  // longest packet is well under two slots.
+  // longest packet is well under two slots. Entries are start-ordered, so
+  // a non-prunable front bounds every later entry to within one air time.
   const SimTime horizon = now - 4 * kSlot;
-  std::erase_if(recent_, [&](const Transmission& t) { return t.end < horizon; });
+  while (!q.empty() && q.front().end < horizon) q.pop_front();
 }
 
-void RadioChannel::deliver(const Transmission& tx) {
-  prune(sim_.now());
+void RadioChannel::gather_candidates(const ChannelState& cs,
+                                     const Transmission& tx) {
+  candidate_seqs_.clear();
+  candidates_.clear();
+  // O(1) early-out: no listen anywhere on this channel (the common case for
+  // inquiry/page IDs swept across 32 hops).
+  if (cs.listens == 0) return;
 
-  // Snapshot matching listeners first: on_packet may mutate listens_.
-  struct Candidate {
-    RadioDevice* device;
-    PacketHandler handler;
+  const auto consider = [&](const CellEntry& e) {
+    if (e.device == tx.sender) return;
+    if (e.since > tx.start) return;  // tuned in mid-packet: missed it
+    candidate_seqs_.emplace_back(e.seq, listen_slot_of(e.id));
   };
-  std::vector<Candidate> candidates;
-  for (const auto& [id, l] : listens_) {
-    if (!(l.ch == tx.ch)) continue;
-    if (l.device == tx.sender) continue;
-    if (l.since > tx.start) continue;  // tuned in mid-packet: missed it
-    candidates.push_back(Candidate{l.device, l.handler});
+
+  if (cs.grid) {
+    const Vec2 c = tx.sender->position();
+    const double reach = tx_range(tx.sender) + cfg_.grid_slack_m;
+    const double cell = cfg_.grid_cell_m;
+    const auto x0 = static_cast<std::int32_t>(std::floor((c.x - reach) / cell));
+    const auto x1 = static_cast<std::int32_t>(std::floor((c.x + reach) / cell));
+    const auto y0 = static_cast<std::int32_t>(std::floor((c.y - reach) / cell));
+    const auto y1 = static_cast<std::int32_t>(std::floor((c.y + reach) / cell));
+    for (std::int32_t cx = x0; cx <= x1; ++cx) {
+      for (std::int32_t cy = y0; cy <= y1; ++cy) {
+        const std::vector<CellEntry>* entries =
+            cs.cells.find(cell_key(cx, cy));
+        if (entries == nullptr) continue;
+        for (const CellEntry& e : *entries) consider(e);
+      }
+    }
+  } else {
+    for (const CellEntry& e : cs.flat) consider(e);
   }
 
-  for (const Candidate& c : candidates) {
+  // Registration order: deterministic, identical between the flat and grid
+  // paths, and independent of both hash iteration order and arena slot
+  // reuse.
+  std::sort(candidate_seqs_.begin(), candidate_seqs_.end());
+  candidates_.reserve(candidate_seqs_.size());
+  for (const auto& [seq, slot] : candidate_seqs_) {
+    candidates_.push_back(Candidate{lslots_[slot].device, slot});
+  }
+}
+
+void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
+  TxQueue& q = cfg_.cross_set_interference > 0 ? global_recent_ : cs.recent;
+  prune(q, sim_.now());  // cannot evict `tx` itself: tx.end == now
+
+  // Snapshot matching listeners first: on_packet may start/stop listens.
+  gather_candidates(cs, tx);
+  if (candidates_.empty()) return;
+  in_delivery_ = true;
+
+  // Overlap window in the start-ordered bucket: anything that began more
+  // than one air time before tx already ended, anything at tx.end or later
+  // began after it ended. Indices, not iterators: a candidate's handler may
+  // transmit() synchronously, and deque::push_back invalidates iterators
+  // (appends at the back never enter the window -- they start at tx.end).
+  const std::size_t first_idx = static_cast<std::size_t>(
+      std::lower_bound(q.begin(), q.end(), tx.start - kMaxPacketAir,
+                       [](const Transmission& t, SimTime s) {
+                         return t.start < s;
+                       }) -
+      q.begin());
+
+  for (const Candidate& c : candidates_) {
     if (!in_range(c.device, tx.sender)) {
       ++stats_.out_of_range;
       continue;
@@ -99,7 +269,8 @@ void RadioChannel::deliver(const Transmission& tx) {
     bool destroyed = false;
     const double d_signal = distance(c.device->position(),
                                      tx.sender->position());
-    for (const Transmission& other : recent_) {
+    for (std::size_t i = first_idx; i < q.size() && q[i].start < tx.end; ++i) {
+      const Transmission& other = q[i];
       if (other.sender == tx.sender && other.start == tx.start &&
           other.ch == tx.ch) {
         continue;  // the packet itself
@@ -127,8 +298,7 @@ void RadioChannel::deliver(const Transmission& tx) {
     }
     double per = cfg_.packet_error_rate;
     if (cfg_.per_at_edge > 0) {
-      const double range = tx.sender->range_m() > 0 ? tx.sender->range_m()
-                                                    : cfg_.default_range_m;
+      const double range = tx_range(tx.sender);
       const double frac = range > 0 ? d_signal / range : 1.0;
       per += cfg_.per_at_edge * std::pow(frac, cfg_.per_exponent);
     }
@@ -139,12 +309,24 @@ void RadioChannel::deliver(const Transmission& tx) {
     ++stats_.deliveries;
     Packet delivered = tx.packet;
     delivered.rssi_dbm = rssi_dbm(d_signal);
-    if (c.handler) {
-      c.handler(delivered, tx.ch, tx.end);
+    // Copied, not referenced: the handler body may start listens, and arena
+    // growth would move a std::function we are standing inside. Deliveries
+    // are rare (most candidates fail the range check first), so this copy
+    // is off the hot path.
+    PacketHandler handler = lslots_[c.slot].handler;
+    if (handler) {
+      handler(delivered, tx.ch, tx.end);
     } else {
       c.device->on_packet(delivered, tx.ch, tx.end);
     }
   }
+
+  in_delivery_ = false;
+  for (const std::uint32_t slot : deferred_free_) {
+    lslots_[slot].handler = nullptr;
+    lfree_.push_back(slot);
+  }
+  deferred_free_.clear();
 }
 
 }  // namespace bips::baseband

@@ -13,20 +13,48 @@
 // Two slaves answering the same inquiry ID therefore destroy each other's
 // FHS at the master -- the effect that caps first-cycle discovery in
 // Figure 2.
+//
+// Scaling architecture (building-sized runs): every RF channel ever used is
+// interned once into a ChannelState that owns that channel's listener index
+// and its recent-transmission queue, so the hot paths cost one hash probe
+// (transmit, start_listen) or none at all (stop_listen and delivery follow
+// pointers carried by the listen slot / delivery closure). Listen state
+// lives in a generation-tagged arena (ListenId = slot + generation, so a
+// stale stop_listen is a true no-op), and each device carries its own
+// listen list for O(its listens) teardown. A channel's listeners start as
+// one flat vector -- a handful of scanners, scanned linearly -- and migrate
+// one-way onto a coarse spatial grid over listener positions when the
+// channel grows past ChannelConfig::grid_threshold. In-flight transmissions
+// sit per channel in start-time order, so the collision-overlap check scans
+// a bounded window instead of every recent transmission in the building.
+// Candidate listeners are visited in registration order, which makes
+// delivery (and thus RNG consumption) deterministic and independent of both
+// hash-map iteration order and the flat/grid mode split.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "src/baseband/config.hpp"
 #include "src/baseband/types.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/util/flat_map.hpp"
 #include "src/util/geom.hpp"
 #include "src/util/rng.hpp"
 
 namespace bips::baseband {
+
+using ListenId = std::uint64_t;
+inline constexpr ListenId kNoListen = 0;
+
+/// Channels within one hop-set namespace are indexed 0..31 (see RfChannel);
+/// the channel intern table direct-indexes that range.
+inline constexpr std::uint32_t kChannelIndexSpan = 32;
+
+class RadioChannel;
 
 /// A device attached to the radio channel. Implementations are the
 /// controller state machines; the channel calls back on clean receptions.
@@ -48,10 +76,13 @@ class RadioDevice {
   /// master, which is mains-powered anyway. Default: not accounted.
   virtual void account_tx(Duration) {}
   virtual void account_listen(Duration) {}
-};
 
-using ListenId = std::uint64_t;
-inline constexpr ListenId kNoListen = 0;
+ private:
+  // Intrusive per-device listen index, maintained by RadioChannel: gives
+  // stop_all_listens / listen_count O(own listens) cost with no hash map.
+  friend class RadioChannel;
+  std::vector<ListenId> active_listens_;
+};
 
 /// Per-listen reception callback; when provided it overrides the device's
 /// on_packet, letting each protocol state machine own its listens.
@@ -75,14 +106,19 @@ class RadioChannel {
   /// Begins listening on one channel; a device may hold several concurrent
   /// listens (an inquiring master watches both response channels of a TX
   /// slot). If `handler` is given it receives the packets; otherwise the
-  /// device's on_packet does.
+  /// device's on_packet does. On a grid-mode channel the listener is
+  /// spatially indexed under its position at this instant (see
+  /// ChannelConfig::grid_slack_m).
   ListenId start_listen(RadioDevice* d, RfChannel ch,
                         PacketHandler handler = nullptr);
   void stop_listen(ListenId id);
+  /// Drops every listen a device holds; O(listens of that device).
   void stop_all_listens(RadioDevice* d);
 
   /// Number of listens currently registered for a device (test hook).
-  std::size_t listen_count(const RadioDevice* d) const;
+  std::size_t listen_count(const RadioDevice* d) const {
+    return d->active_listens_.size();
+  }
 
   /// Received signal strength at distance d: a log-distance path-loss model
   /// (class-2 TX power 0 dBm, exponent 2.5) plus Gaussian shadowing. The
@@ -94,7 +130,7 @@ class RadioChannel {
     std::uint64_t transmissions = 0;
     std::uint64_t deliveries = 0;
     std::uint64_t collisions = 0;     // (listener, packet) pairs destroyed
-    std::uint64_t out_of_range = 0;   // skipped: sender too far
+    std::uint64_t out_of_range = 0;   // reached the exact range check, failed
     std::uint64_t dropped_per = 0;    // random packet-error losses
   };
   const Stats& stats() const { return stats_; }
@@ -106,24 +142,113 @@ class RadioChannel {
     SimTime start, end;
     Packet packet;
   };
-  struct Listen {
+  // One listen as stored in a channel's flat or per-cell index: enough
+  // state to filter candidates without touching the arena. Vectors are
+  // unsorted (removal is swap-and-pop); deliver() sorts the gathered
+  // candidates by registration sequence, which arena slot reuse does not
+  // preserve in the id itself.
+  struct CellEntry {
+    ListenId id;
+    std::uint64_t seq;  // registration order, monotone across all listens
     RadioDevice* device;
-    RfChannel ch;
     SimTime since;
-    PacketHandler handler;  // may be empty -> device->on_packet
+  };
+  // Transmissions overlapping the recent past on one channel, in start-time
+  // order (simulation time is monotone, so push_back keeps it sorted).
+  // std::deque: grows at the back, prunes at the front, and -- crucially --
+  // pointers to elements survive both, so the delivery event can carry a
+  // plain Transmission* instead of copying the packet into the closure.
+  using TxQueue = std::deque<Transmission>;
+
+  // Everything the channel knows about one RF channel, interned on first
+  // use and never discarded (scanners revisit the same channels every
+  // window; erase/insert churn would cost an allocation each way). Lives
+  // behind a unique_ptr so listen slots and delivery events can hold the
+  // address across channels_ rehashes.
+  struct ChannelState {
+    // Flat listener list (pre-migration). A channel serving one building
+    // wing has a handful of listeners: a linear scan beats grid probes.
+    std::vector<CellEntry> flat;
+    // Spatial index, populated once the channel migrates: grid cell key ->
+    // listeners registered under that cell. Emptied vectors are kept, which
+    // is exactly the erase-free discipline FlatHashMap requires.
+    FlatHashMap<std::vector<CellEntry>> cells;
+    TxQueue recent;
+    std::uint32_t listens = 0;  // across flat + cells
+    // One-way flag: flips when `listens` first exceeds grid_threshold (and
+    // the config enables the grid). Crowded channels stay grid-indexed.
+    bool grid = false;
   };
 
-  void deliver(const Transmission& tx);
-  void prune(SimTime now);
+  // Arena slot for one listen. `generation` advances when the listen stops
+  // and when the slot is reused, so a stale ListenId can never act on a
+  // later occupancy (stop_listen of a dead id is a true no-op).
+  struct ListenSlot {
+    RadioDevice* device = nullptr;  // null while the slot is free
+    ChannelState* chan = nullptr;
+    SimTime since;
+    PacketHandler handler;   // may be empty -> device->on_packet
+    std::uint64_t cell = 0;  // grid cell it is indexed under (grid mode)
+    std::uint32_t generation = 0;
+  };
+
+  // A gathered listener, by arena slot: no handler copy during the gather
+  // (the handler std::function is only copied for the rare candidate that
+  // actually receives). Slots stopped while a delivery is in progress are
+  // retired lazily (deferred_free_), so the slot's handler survives until
+  // the snapshot is done even if an earlier candidate's handler stopped it.
+  struct Candidate {
+    RadioDevice* device;
+    std::uint32_t slot;
+  };
+
+  // One namespace's 32 hop channels, direct-indexed. The inquiry set (ns 0)
+  // is a member -- zero hash probes for all inquiry traffic; per-address
+  // page namespaces intern through a map of these blocks, which stays small
+  // (one entry per distinct paged address) and cache-resident.
+  struct NsChannels {
+    std::unique_ptr<ChannelState> ch[kChannelIndexSpan];
+  };
+
+  ChannelState& channel_state(RfChannel ch);
+  void migrate_to_grid(ChannelState& cs);
+  void deliver(ChannelState& cs, const Transmission& tx);
+  void gather_candidates(const ChannelState& cs, const Transmission& tx);
+  void prune(TxQueue& q, SimTime now);
   bool in_range(const RadioDevice* rx, const RadioDevice* tx) const;
+  double tx_range(const RadioDevice* tx) const;
+  std::uint64_t grid_cell(Vec2 pos) const;
 
   sim::Simulator& sim_;
   Rng& rng_;
   ChannelConfig cfg_;
   Stats stats_;
-  ListenId next_listen_ = 1;
-  std::unordered_map<ListenId, Listen> listens_;
-  std::vector<Transmission> recent_;  // pruned lazily
+  // Listen arena + free list (same slot/generation scheme as the event
+  // kernel; footprint is the high-water mark of concurrent listens).
+  std::vector<ListenSlot> lslots_;
+  std::vector<std::uint32_t> lfree_;
+  std::uint64_t next_listen_seq_ = 1;
+  // Channel intern table, two-level: the inquiry namespace is a direct
+  // member (no hashing for the bulk of the traffic), page namespaces map
+  // through ns -> channel block.
+  NsChannels inquiry_ns_;
+  FlatHashMap<std::unique_ptr<NsChannels>> page_ns_;
+  // Transmission bucket used when cross-set interference is enabled: every
+  // transmission lands in one global queue (in start-time order, exactly
+  // the old flat recent_ list), so the probabilistic cross-channel clash
+  // check sees other hop sets *and* draws its random numbers in the same
+  // order as the pre-bucketing implementation.
+  TxQueue global_recent_;
+  // Scratch buffers reused across deliveries (deliver never nests: handlers
+  // run from the event loop and can only schedule, not deliver, packets).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> candidate_seqs_;
+  std::vector<Candidate> candidates_;
+  // Listen slots stopped while a delivery is running: their free-list push
+  // (and handler teardown) waits until the delivery finishes, so snapshot
+  // candidates can still reach their handler and no slot is reused
+  // mid-delivery.
+  bool in_delivery_ = false;
+  std::vector<std::uint32_t> deferred_free_;
 };
 
 }  // namespace bips::baseband

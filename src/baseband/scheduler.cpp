@@ -10,7 +10,17 @@ MasterScheduler::MasterScheduler(Device& dev, SchedulerConfig cfg)
       inquirer_(dev, cfg.inquiry,
                 [this](const InquiryResponse& r) { handle_discovery(r); }),
       pager_(dev, cfg.page),
-      piconet_(dev, cfg.piconet) {
+      piconet_(dev, cfg.piconet),
+      cycle_proc_(dev.sim(),
+                  [this] {
+                    if (first_cycle_pending_) {
+                      first_cycle_pending_ = false;
+                    } else {
+                      ++cycles_;
+                    }
+                    begin_cycle();
+                  }),
+      inquiry_end_proc_(dev.sim(), [this] { end_inquiry_phase(); }) {
   BIPS_ASSERT(cfg_.inquiry_length > Duration(0));
   BIPS_ASSERT(cfg_.cycle_length > cfg_.inquiry_length);
 
@@ -39,14 +49,15 @@ void MasterScheduler::start_after(Duration offset) {
     return;
   }
   running_ = true;
-  cycle_event_ = dev_.sim().schedule(offset, [this] { begin_cycle(); });
+  first_cycle_pending_ = true;
+  cycle_proc_.call_after(offset);
 }
 
 void MasterScheduler::stop() {
   if (!running_) return;
   running_ = false;
-  cycle_event_.cancel();
-  inquiry_end_event_.cancel();
+  cycle_proc_.cancel();
+  inquiry_end_proc_.cancel();
   inquirer_.stop();
   pager_.cancel();
   piconet_.resume();
@@ -60,12 +71,8 @@ void MasterScheduler::begin_cycle() {
   pager_.cancel();
   piconet_.pause();
   inquirer_.start();
-  inquiry_end_event_ = dev_.sim().schedule(cfg_.inquiry_length,
-                                           [this] { end_inquiry_phase(); });
-  cycle_event_ = dev_.sim().schedule(cfg_.cycle_length, [this] {
-    ++cycles_;
-    begin_cycle();
-  });
+  inquiry_end_proc_.call_after(cfg_.inquiry_length);
+  cycle_proc_.call_after(cfg_.cycle_length);
 }
 
 void MasterScheduler::end_inquiry_phase() {

@@ -97,11 +97,13 @@ class MasterScheduler {
 
   bool running_ = false;
   bool in_inquiry_ = false;
+  bool first_cycle_pending_ = false;  // start_after arms cycle_proc_ for the
+                                      // initial cycle, which does not count
   std::uint64_t cycles_ = 0;
   std::deque<InquiryResponse> page_queue_;
   std::unordered_set<BdAddr> queued_;  // dedup across cycles
-  sim::EventHandle cycle_event_;
-  sim::EventHandle inquiry_end_event_;
+  sim::Process cycle_proc_;
+  sim::Process inquiry_end_proc_;
 };
 
 }  // namespace bips::baseband

@@ -24,8 +24,7 @@ void BipsClient::on_connected(baseband::BdAddr, std::uint32_t, SimTime) {
   // is deferred, and retried until a reply lands -- the request or reply
   // can be lost with the link if the user walks off mid-exchange.
   if (cfg_.auto_login && !logged_in_) {
-    login_retry_.cancel();
-    login_retry_ = sim_.schedule(Duration::millis(50), [this] { try_login(); });
+    login_retry_.call_after(Duration::millis(50));
   }
 }
 
@@ -39,7 +38,7 @@ void BipsClient::try_login() {
     login_pending_ = true;
     ++stats_.logins_sent;
   }
-  login_retry_ = sim_.schedule(Duration::seconds(2), [this] { try_login(); });
+  login_retry_.call_after(Duration::seconds(2));
 }
 
 bool BipsClient::where_is(const std::string& target_name, WhereIsCallback cb) {

@@ -98,7 +98,7 @@ class BipsClient {
   baseband::SlaveController ctrl_;
   bool logged_in_ = false;
   bool login_pending_ = false;
-  sim::EventHandle login_retry_;
+  sim::Process login_retry_{sim_, [this] { try_login(); }};
   LoginCallback on_login_;
   std::uint32_t next_query_ = 1;
   std::unordered_map<std::uint32_t, WhereIsCallback> whereis_pending_;

@@ -1,0 +1,134 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// std::function is the wrong tool for an event kernel: it is copyable (so
+// every capture must be copyable), and captures beyond the implementation's
+// tiny inline buffer (16 bytes on libstdc++) force a heap allocation per
+// scheduled event. Callback is move-only with a 48-byte inline buffer, which
+// fits every closure the simulator's hot paths schedule; larger functors
+// still work but fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace bips::sim {
+
+/// Move-only `void()` callable with small-buffer optimization.
+class Callback {
+ public:
+  /// Inline capture budget. Sized for the largest hot-path closure (the LAN
+  /// datagram delivery lambda: this + two addresses + a vector) with room to
+  /// spare; raising it grows every arena slot, so keep it modest.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &ops_for<Fn, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &ops_for<Fn, /*Inline=*/false>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    BIPS_ASSERT_MSG(ops_ != nullptr, "invoking an empty Callback");
+    ops_->invoke(buf_);
+  }
+
+  /// Destroys the stored callable, leaving the Callback empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn, bool Inline>
+  static Fn* stored(void* storage) {
+    if constexpr (Inline) {
+      return std::launder(reinterpret_cast<Fn*>(storage));
+    } else {
+      return *std::launder(reinterpret_cast<Fn**>(storage));
+    }
+  }
+
+  template <typename Fn, bool Inline>
+  static inline const Ops ops_for = {
+      /*invoke=*/[](void* storage) { (*stored<Fn, Inline>(storage))(); },
+      /*relocate=*/
+      [](void* dst, void* src) {
+        if constexpr (Inline) {
+          Fn* from = stored<Fn, Inline>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        } else {
+          ::new (dst) Fn*(stored<Fn, Inline>(src));
+        }
+      },
+      /*destroy=*/
+      [](void* storage) {
+        if constexpr (Inline) {
+          stored<Fn, Inline>(storage)->~Fn();
+        } else {
+          delete stored<Fn, Inline>(storage);
+        }
+      },
+  };
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace bips::sim

@@ -1,5 +1,7 @@
 #include "src/sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace bips::sim {
 
 void EventHandle::cancel() {
@@ -8,69 +10,133 @@ void EventHandle::cancel() {
   sim_ = nullptr;
 }
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
   BIPS_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  BIPS_ASSERT(fn != nullptr);
-  const EventId id = next_seq_;
-  queue_.push(Event{at, next_seq_, id, std::move(fn)});
-  ++next_seq_;
-  ++pending_live_;
-  return EventHandle(this, id);
+  BIPS_ASSERT(static_cast<bool>(fn));
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    BIPS_ASSERT_MSG(slots_.size() < kSlotMask, "event arena exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    meta_.emplace_back();
+  }
+
+  Slot& s = slots_[slot];
+  s.when = at;
+  s.fn = std::move(fn);
+
+  const std::uint64_t seq = next_seq_++;
+  BIPS_ASSERT_MSG(seq < kMaxSeq, "event sequence space exhausted");
+  heap_.push_back(HeapEntry{at, seq << kSlotBits | slot});
+  meta_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return EventHandle(this, make_id(slot, meta_[slot].generation));
 }
 
 void Simulator::cancel(EventId id) {
   if (id == kNoEvent) return;
-  // Lazy deletion: remember the id; pop_next() discards it later. Inserting
-  // an id that already fired is harmless -- fired ids are never re-enqueued
-  // because seq numbers are unique.
-  if (cancelled_.insert(id).second && pending_live_ > 0) --pending_live_;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return;
+  SlotMeta& m = meta_[slot];
+  // Generation mismatch means the event already fired or was cancelled (and
+  // the slot possibly reused): a true no-op, no bookkeeping to corrupt.
+  if (m.generation != generation_of(id)) return;
+  BIPS_ASSERT(m.heap_pos != kNullPos);
+  heap_remove(m.heap_pos);
+  retire(slot);
 }
 
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; moving the std::function out before
-    // pop() avoids a copy. pop() only compares (when, seq), which a move
-    // leaves intact, so the heap sift-down stays well-defined.
-    out = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    const auto it = cancelled_.find(out.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    return true;
+void Simulator::sift_up(std::size_t pos) {
+  HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
   }
-  return false;
+  place(pos, entry);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = kArity * pos + 1;
+    if (first_child >= n) break;
+    // The grandchildren of `pos` occupy one contiguous index range
+    // (kArity^2 entries right after kArity * first_child); start pulling
+    // those lines in while the sibling comparison below picks the branch.
+    const std::size_t first_grandchild = kArity * first_child + 1;
+    if (first_grandchild < n) {
+      __builtin_prefetch(&heap_[first_grandchild]);
+      __builtin_prefetch(&heap_[std::min(first_grandchild + 2 * kArity,
+                                         n - 1)]);
+    }
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, entry);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  BIPS_ASSERT(pos < heap_.size());
+  meta_[slot_of_entry(heap_[pos])].heap_pos = kNullPos;
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    heap_.pop_back();
+    // The moved-in entry may need to go either way relative to `pos`.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Simulator::retire(std::uint32_t slot) {
+  SlotMeta& m = meta_[slot];
+  ++m.generation;
+  m.heap_pos = kNullPos;
+  slots_[slot].fn.reset();
+  free_slots_.push_back(slot);
+}
+
+Callback Simulator::take_front() {
+  const std::uint32_t slot = slot_of_entry(heap_.front());
+  Slot& s = slots_[slot];
+  BIPS_ASSERT(s.when >= now_);
+  now_ = s.when;
+  Callback fn = std::move(s.fn);
+  heap_remove(0);
+  // Retire before invoking: the callback may schedule new events (reusing
+  // this slot under a fresh generation) or cancel its own, now stale, id.
+  retire(slot);
+  ++executed_;
+  return fn;
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  BIPS_ASSERT(ev.when >= now_);
-  now_ = ev.when;
-  --pending_live_;
-  ++executed_;
-  ev.fn();
+  if (heap_.empty()) return false;
+  Callback fn = take_front();
+  fn();
   return true;
 }
 
 void Simulator::run_until(SimTime until) {
   BIPS_ASSERT(until >= now_);
-  while (!queue_.empty()) {
-    // Peek without executing: stop before events beyond the horizon.
-    Event ev;
-    if (!pop_next(ev)) break;
-    if (ev.when > until) {
-      // Push back the not-yet-due event (it keeps its original seq so
-      // ordering is preserved) and stop. pending_live_ is unchanged: the
-      // event was never executed or cancelled.
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.when;
-    --pending_live_;
-    ++executed_;
-    ev.fn();
+  while (!heap_.empty() && heap_.front().when <= until) {
+    Callback fn = take_front();
+    fn();
   }
   now_ = until;
 }
@@ -78,21 +144,6 @@ void Simulator::run_until(SimTime until) {
 void Simulator::run() {
   while (step()) {
   }
-}
-
-void PeriodicTimer::start() { start_after(period_); }
-
-void PeriodicTimer::start_after(Duration initial_delay) {
-  stop();
-  running_ = true;
-  handle_ = sim_.schedule(initial_delay, [this] { fire(); });
-}
-
-void PeriodicTimer::fire() {
-  // Re-arm before invoking so the callback can observe running() and call
-  // stop()/set_period() to retune.
-  handle_ = sim_.schedule(period_, [this] { fire(); });
-  fn_();
 }
 
 }  // namespace bips::sim

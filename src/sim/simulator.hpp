@@ -5,24 +5,28 @@
 //  * Events fire in (time, insertion-sequence) order, so two events scheduled
 //    for the same instant run in the order they were scheduled -- reruns with
 //    the same seed are bit-identical.
-//  * Events are cancellable through the EventHandle returned by schedule();
-//    cancellation is O(1) (lazy deletion from the heap).
+//  * Events are cancellable through the EventHandle returned by schedule().
+//    Cancellation removes the event from the heap in O(log n) and is a true
+//    no-op after the event has fired (generation tags make stale ids inert).
+//  * Event state lives in an arena of reusable slots, so a long run with
+//    heavy schedule/cancel churn keeps a small, stable footprint instead of
+//    accumulating tombstones.
 //  * The engine is single-threaded by design: Bluetooth slot timing needs a
 //    strict global order far more than it needs parallelism.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/callback.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/time.hpp"
 
 namespace bips::sim {
 
-/// Opaque identifier for a scheduled event; 0 is "no event".
+/// Opaque identifier for a scheduled event; 0 is "no event". Internally the
+/// high half names an arena slot and the low half is that slot's generation
+/// at scheduling time, so ids from fired events can never alias live ones.
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
@@ -57,10 +61,10 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `at` (must not be in the past).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  EventHandle schedule_at(SimTime at, Callback fn);
 
   /// Schedules `fn` to run `delay` from now (delay >= 0).
-  EventHandle schedule(Duration delay, std::function<void()> fn) {
+  EventHandle schedule(Duration delay, Callback fn) {
     BIPS_ASSERT(delay >= Duration(0));
     return schedule_at(now_ + delay, std::move(fn));
   }
@@ -82,38 +86,139 @@ class Simulator {
   /// Number of events executed so far (for engine micro-benchmarks).
   std::uint64_t events_executed() const { return executed_; }
   /// Number of events currently pending (cancelled events excluded).
-  std::size_t events_pending() const { return pending_live_; }
+  std::size_t events_pending() const { return heap_.size(); }
+  /// Arena capacity: high-water mark of concurrently pending events (slots
+  /// are reused, so this stays flat under schedule/cancel churn).
+  std::size_t arena_slots() const { return slots_.size(); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
+  static constexpr std::uint32_t kNullPos = UINT32_MAX;
+  // Heap arity. Quaternary instead of binary: half the depth, so half the
+  // backpointer updates per sift, and the 4-child minimum scan reads one
+  // 64-byte cache line of contiguous 16-byte entries.
+  static constexpr std::size_t kArity = 4;
+  // HeapEntry packs (seq, slot) into one word: slot in the low 24 bits,
+  // insertion sequence in the high 40. Comparing the packed word compares
+  // seq first (seqs are unique, so the slot bits never decide an order).
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+
+  // Per-event arena slot: the cold payload (callback plus its fire time).
+  struct Slot {
+    SimTime when = SimTime::zero();
+    Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  // Hot per-slot bookkeeping, kept in a dense parallel array so the sift
+  // loops update backpointers without dragging 80-byte slots through the
+  // cache. `generation` advances every time the slot fires, is cancelled,
+  // or is reused, so an EventId minted for one occupancy can never act on a
+  // later one.
+  struct SlotMeta {
+    std::uint32_t generation = 0;
+    std::uint32_t heap_pos = kNullPos;
   };
 
-  bool pop_next(Event& out);
+  // Heap entries carry the full (when, seq) ordering key so sift
+  // comparisons stay within the heap array instead of chasing arena
+  // pointers; 16 bytes, so four children share a cache line.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seqslot;  // seq << kSlotBits | slot
+  };
+  static std::uint32_t slot_of_entry(const HeapEntry& e) {
+    return static_cast<std::uint32_t>(e.seqslot) & kSlotMask;
+  }
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32) - 1;
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seqslot < b.seqslot;
+  }
+
+  void place(std::size_t pos, HeapEntry entry) {
+    heap_[pos] = entry;
+    meta_[slot_of_entry(entry)].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+
+  // Pops the due front event and returns its callback; advances now_.
+  Callback take_front();
+  // Returns the slot to the free list with a bumped generation.
+  void retire(std::uint32_t slot);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t pending_live_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<SlotMeta> meta_;  // parallel to slots_
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+};
+
+/// A reusable one-shot activity whose callback is stored once at
+/// construction. Components that used to keep an EventHandle and re-schedule
+/// a fresh `[this] { ... }` closure on every arming can hold a Process
+/// instead: each call_at()/call_after() re-arms the same stored body with no
+/// per-arming allocation, and arming again simply moves the pending
+/// activation. Not movable -- the scheduled event captures `this`.
+class Process {
+ public:
+  Process(Simulator& sim, Callback body) : sim_(sim), body_(std::move(body)) {
+    BIPS_ASSERT(static_cast<bool>(body_));
+  }
+  ~Process() { cancel(); }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Arms (or re-arms) the process to run its body at absolute time `at`.
+  /// Any previously pending activation is replaced.
+  void call_at(SimTime at) {
+    handle_.cancel();
+    handle_ = sim_.schedule_at(at, [this] { fire(); });
+  }
+  /// Arms (or re-arms) the process `delay` from now.
+  void call_after(Duration delay) { call_at(sim_.now() + delay); }
+
+  /// Cancels the pending activation, if any. Idempotent.
+  void cancel() { handle_.cancel(); }
+
+  /// True while an activation is scheduled and has not fired.
+  bool pending() const { return handle_.valid(); }
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  void fire() {
+    // Clear the handle before invoking so the body observes pending() ==
+    // false and may freely re-arm itself.
+    handle_ = EventHandle();
+    body_();
+  }
+
+  Simulator& sim_;
+  Callback body_;
+  EventHandle handle_;
 };
 
 /// Repeating timer built on the simulator: fires every `period` until
 /// stopped. Restart-safe; the callback may stop or retune the timer.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn)
-      : sim_(sim), period_(period), fn_(std::move(fn)) {
+  PeriodicTimer(Simulator& sim, Duration period, Callback fn)
+      : process_(sim, [this] { fire(); }), period_(period),
+        fn_(std::move(fn)) {
     BIPS_ASSERT(period > Duration(0));
   }
   ~PeriodicTimer() { stop(); }
@@ -122,9 +227,15 @@ class PeriodicTimer {
 
   /// Starts (or restarts) the timer; first firing after one period, or after
   /// `initial_delay` if given.
-  void start();
-  void start_after(Duration initial_delay);
-  void stop() { handle_.cancel(); running_ = false; }
+  void start() { start_after(period_); }
+  void start_after(Duration initial_delay) {
+    running_ = true;
+    process_.call_after(initial_delay);
+  }
+  void stop() {
+    process_.cancel();
+    running_ = false;
+  }
 
   bool running() const { return running_; }
   Duration period() const { return period_; }
@@ -134,12 +245,16 @@ class PeriodicTimer {
   }
 
  private:
-  void fire();
+  void fire() {
+    // Re-arm before invoking so the callback can observe running() and call
+    // stop()/set_period() to retune.
+    process_.call_after(period_);
+    fn_();
+  }
 
-  Simulator& sim_;
+  Process process_;
   Duration period_;
-  std::function<void()> fn_;
-  EventHandle handle_;
+  Callback fn_;
   bool running_ = false;
 };
 

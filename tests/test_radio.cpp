@@ -2,6 +2,10 @@
 // collision rule.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "src/baseband/radio.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -106,6 +110,9 @@ TEST_F(RadioTest, SenderDoesNotHearItself) {
 }
 
 TEST_F(RadioTest, OutOfRangeIsNotDelivered) {
+  // Brute-force mode: every on-channel listener reaches the exact range
+  // check, so the miss shows up in the out_of_range stat.
+  cfg.spatial_grid = false;
   RadioChannel ch(sim, rng, cfg);
   TestDevice tx(1, {0, 0}), rx(2, {30, 0});  // 30 m apart, range 10 m
   ch.start_listen(&rx, kCh);
@@ -113,6 +120,23 @@ TEST_F(RadioTest, OutOfRangeIsNotDelivered) {
   sim.run();
   EXPECT_TRUE(rx.received.empty());
   EXPECT_EQ(ch.stats().out_of_range, 1u);
+}
+
+TEST_F(RadioTest, GridSkipsFarListenerWithoutDelivery) {
+  // With the spatial grid on, a listener far outside the coverage disc is
+  // never even visited: no delivery, and no out_of_range count either.
+  // Threshold 0 forces the channel into grid mode from the first listen
+  // (below the threshold a flat channel scans every listener and the miss
+  // would land in out_of_range, as the brute-force test above shows).
+  cfg.grid_threshold = 0;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0}), rx(2, {200, 0});
+  ch.start_listen(&rx, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(ch.stats().out_of_range, 0u);
+  EXPECT_EQ(ch.stats().deliveries, 0u);
 }
 
 TEST_F(RadioTest, RangeBoundaryIsInclusive) {
@@ -255,6 +279,129 @@ TEST_F(RadioTest, MultipleListenersAllReceive) {
   EXPECT_EQ(rx2.received.size(), 1u);
   EXPECT_EQ(rx3.received.size(), 1u);
   EXPECT_EQ(ch.stats().deliveries, 3u);
+}
+
+TEST_F(RadioTest, GridAndFlatDeliverIdentically) {
+  // The spatial grid is a pure cull: the same scenario run in brute-force
+  // mode and in grid mode must produce byte-identical delivery sequences
+  // (receivers, order, and RSSI draws, since RNG consumption tracks the
+  // delivery order).
+  auto run_mode = [](bool use_grid) {
+    sim::Simulator s;
+    Rng r{42};
+    ChannelConfig c;
+    if (use_grid) {
+      c.grid_threshold = 0;  // grid from the first listen
+    } else {
+      c.spatial_grid = false;  // brute force
+    }
+    RadioChannel ch(s, r, c);
+    std::vector<std::unique_ptr<TestDevice>> devs;
+    // Deterministic scatter over a 40x40 m area: some in range of the
+    // transmitters (range 10 m), most not.
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      const double x = static_cast<double>((i * 7) % 40);
+      const double y = static_cast<double>((i * 13) % 40);
+      devs.push_back(std::make_unique<TestDevice>(100 + i, Vec2{x, y}));
+      ch.start_listen(devs.back().get(), kCh);
+    }
+    TestDevice tx1(1, {10, 10}), tx2(2, {30, 30});
+    std::vector<std::pair<std::uint64_t, double>> log;
+    for (auto& d : devs) {
+      TestDevice* dp = d.get();
+      // Per-listen handler on a second channel records order + RSSI.
+      ch.start_listen(dp, kOtherCh,
+                      [&log, dp](const Packet& p, RfChannel, SimTime) {
+                        log.emplace_back(dp->a.raw(), p.rssi_dbm);
+                      });
+    }
+    for (int i = 0; i < 8; ++i) {
+      s.schedule(Duration::millis(i), [&] {
+        ch.transmit(&tx1, kCh, id_packet(1));
+        ch.transmit(&tx2, kOtherCh, id_packet(2));
+      });
+    }
+    s.run();
+    std::vector<std::uint64_t> order;
+    for (auto& d : devs) {
+      for (const auto& p : d->received) order.push_back(p.sender.raw());
+      order.push_back(d->a.raw());
+      order.push_back(d->received.size());
+    }
+    return std::make_pair(order, log);
+  };
+  const auto flat = run_mode(false);
+  const auto grid = run_mode(true);
+  EXPECT_EQ(flat.first, grid.first);
+  EXPECT_EQ(flat.second, grid.second);
+  EXPECT_FALSE(flat.second.empty());
+}
+
+TEST_F(RadioTest, FlatChannelMigratesToGridAndKeepsListeners) {
+  // Crossing grid_threshold mid-run migrates a flat channel to cells; the
+  // pre-migration listens must keep delivering and remain stoppable.
+  cfg.grid_threshold = 4;
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1, {0, 0});
+  std::vector<std::unique_ptr<TestDevice>> devs;
+  std::vector<ListenId> ids;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    devs.push_back(std::make_unique<TestDevice>(10 + i, Vec2{1.0 * i, 0}));
+    ids.push_back(ch.start_listen(devs.back().get(), kCh));
+  }
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  for (auto& d : devs) EXPECT_EQ(d->received.size(), 1u);
+
+  // Three more listens push the count past the threshold -> migration.
+  for (std::uint64_t i = 3; i < 6; ++i) {
+    devs.push_back(std::make_unique<TestDevice>(10 + i, Vec2{1.0 * i, 0}));
+    ids.push_back(ch.start_listen(devs.back().get(), kCh));
+  }
+  sim.schedule(Duration::millis(1), [&] { ch.transmit(&tx, kCh, id_packet(1)); });
+  sim.run();
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    EXPECT_EQ(devs[i]->received.size(), i < 3 ? 2u : 1u);
+  }
+
+  // Stopping a pre-migration listen must find it in its (migrated) cell.
+  ch.stop_listen(ids[0]);
+  EXPECT_EQ(ch.listen_count(devs[0].get()), 0u);
+  sim.schedule(Duration::millis(2), [&] { ch.transmit(&tx, kCh, id_packet(1)); });
+  sim.run();
+  EXPECT_EQ(devs[0]->received.size(), 2u);  // no third delivery
+  EXPECT_EQ(devs[5]->received.size(), 2u);
+}
+
+TEST_F(RadioTest, StopAndStartListensFromHandlerMidDelivery) {
+  // A handler may stop another candidate's listen and start new ones while
+  // a delivery is in flight. The delivery snapshot must hold: every
+  // candidate gathered at packet-end still receives this packet, the
+  // stopped listen is gone afterwards, and the freshly started listen's
+  // arena slot must not alias a slot the snapshot still references.
+  RadioChannel ch(sim, rng, cfg);
+  TestDevice tx(1), rx1(2), rx2(3), rx3(4);
+  ListenId id2 = kNoListen;
+  int rx1_hits = 0;
+  // rx1 registers first, so its handler runs before rx2's delivery.
+  ch.start_listen(&rx1, kCh, [&](const Packet&, RfChannel, SimTime) {
+    ++rx1_hits;
+    ch.stop_listen(id2);         // rx2 is a later candidate of this delivery
+    ch.start_listen(&rx3, kCh);  // may reuse rx2's slot -- not mid-delivery
+  });
+  id2 = ch.start_listen(&rx2, kCh);
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(rx1_hits, 1);
+  EXPECT_EQ(rx2.received.size(), 1u);  // snapshot: still delivered this packet
+  EXPECT_EQ(ch.listen_count(&rx2), 0u);
+  EXPECT_TRUE(rx3.received.empty());  // tuned in mid-packet at the earliest
+  // The next packet reaches rx1 and rx3 but not the stopped rx2.
+  ch.transmit(&tx, kCh, id_packet(1));
+  sim.run();
+  EXPECT_EQ(rx1_hits, 2);
+  EXPECT_EQ(rx2.received.size(), 1u);
+  EXPECT_EQ(rx3.received.size(), 1u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // builder): wiring, accessors, custom mobility, and guard rails.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <utility>
+
 #include "src/core/simulation.hpp"
 
 namespace bips::core {
@@ -97,6 +100,34 @@ TEST(Simulation, TrackingSamplerCountsOnlyLoggedInUsers) {
   sim.run_for(Duration::seconds(60));
   EXPECT_GT(sim.tracking().samples, early);
   EXPECT_LT(early, 5u);
+}
+
+TEST(Simulation, FixedSeedDiscoveryOrderIsDeterministic) {
+  // Two fresh full-stack runs under the same seed must produce the same
+  // location-history audit trail (every enter/leave, in order, with exact
+  // timestamps) and execute the same number of events. This pins the
+  // kernel's FIFO tie-break and the radio's registration-order delivery:
+  // any hidden dependence on hash iteration order, arena slot reuse, or
+  // pointer values shows up here as a diff.
+  auto run_once = [] {
+    SimulationConfig cfg;
+    cfg.seed = 7;
+    cfg.stagger_inquiry = true;
+    BipsSimulation sim(mobility::Building::corridor(3), cfg);
+    sim.add_user("Alice", "alice", "pw", 0);
+    sim.add_user("Bob", "bob", "pw", 2);
+    sim.add_user("Carol", "carol", "pw", 1);
+    sim.run_for(Duration::seconds(90));
+    std::ostringstream os;
+    sim.write_history_csv(os);
+    return std::make_pair(os.str(), sim.simulator().events_executed());
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  // And the run did something: at least one user got discovered and entered.
+  EXPECT_NE(first.first.find("enter"), std::string::npos);
 }
 
 TEST(Simulation, RadioAndServerAccessorsShareState) {

@@ -142,6 +142,122 @@ TEST(Simulator, SchedulingIntoThePastDies) {
   s.run();
 }
 
+TEST(Simulator, CancelAfterFireWithReusedSlotIsNoop) {
+  // Regression: the pre-arena kernel cancelled lazily by id, so a stale
+  // handle cancelled *after* its event fired could shoot down an unrelated
+  // event that had reused the same queue position. Generation tags make the
+  // stale cancel a true no-op even when the arena slot has a new occupant.
+  Simulator s;
+  bool first = false, second = false;
+  auto h = s.schedule(Duration::millis(1), [&] { first = true; });
+  s.run();
+  ASSERT_TRUE(first);
+  // This schedule reuses the slot the fired event vacated.
+  s.schedule(Duration::millis(1), [&] { second = true; });
+  h.cancel();  // stale: must not touch the new occupant
+  s.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(Simulator, CancelDuringDispatchOfSameInstant) {
+  // An event may cancel a later event scheduled for the *same* instant;
+  // the victim must not run even though it was already due when the
+  // canceller fired.
+  Simulator s;
+  bool victim_ran = false;
+  EventHandle victim;
+  s.schedule(Duration::millis(5), [&] { victim.cancel(); });
+  victim = s.schedule(Duration::millis(5), [&] { victim_ran = true; });
+  s.schedule(Duration::millis(5), [&] { /* keep a third in the tie */ });
+  s.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulator, SameInstantOrderSurvivesSlotChurn) {
+  // Insertion order within one instant must hold even when the arena is a
+  // patchwork of reused slots: recycle many slots first, then schedule a
+  // same-instant batch whose slot numbers are descending free-list pops.
+  Simulator s;
+  for (int i = 0; i < 64; ++i) {
+    auto h = s.schedule(Duration::micros(i), [] {});
+    if (i % 2 == 0) h.cancel();
+  }
+  s.run();
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    s.schedule(Duration::millis(1), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ArenaReusesSlotsUnderChurn) {
+  // Schedule/fire/cancel cycles must not grow the arena beyond the
+  // high-water mark of *concurrent* events: a long-running simulation with
+  // bounded concurrency keeps a bounded footprint.
+  Simulator s;
+  for (int round = 0; round < 1000; ++round) {
+    auto a = s.schedule(Duration::micros(1), [] {});
+    auto b = s.schedule(Duration::micros(2), [] {});
+    s.schedule(Duration::micros(3), [] {});
+    b.cancel();
+    s.run();
+    (void)a;
+  }
+  EXPECT_LE(s.arena_slots(), 8u);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Process, CallAfterFiresOnceAndClearsPending) {
+  Simulator s;
+  int fired = 0;
+  Process p(s, [&] { ++fired; });
+  p.call_after(Duration::millis(5));
+  EXPECT_TRUE(p.pending());
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(p.pending());
+}
+
+TEST(Process, BodyCanRearmItself) {
+  Simulator s;
+  int fired = 0;
+  Process p(s, [&]() {
+    if (++fired < 3) p.call_after(Duration::millis(1));
+  });
+  p.call_after(Duration::millis(1));
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now().ns(), Duration::millis(3).ns());
+}
+
+TEST(Process, RearmReplacesPendingActivation) {
+  // call_at on an armed process cancels the earlier activation: exactly one
+  // firing, at the later time.
+  Simulator s;
+  std::vector<std::int64_t> at;
+  Process p(s, [&] { at.push_back(s.now().ns()); });
+  p.call_after(Duration::millis(10));
+  p.call_after(Duration::millis(20));
+  s.run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], Duration::millis(20).ns());
+}
+
+TEST(Process, CancelIsIdempotentAndDisarms) {
+  Simulator s;
+  int fired = 0;
+  Process p(s, [&] { ++fired; });
+  p.call_after(Duration::millis(1));
+  p.cancel();
+  p.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(p.pending());
+}
+
 TEST(PeriodicTimer, FiresAtPeriod) {
   Simulator s;
   int fired = 0;
