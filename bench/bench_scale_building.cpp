@@ -6,24 +6,34 @@
 // measures raw simulation throughput: executed events per wall-clock
 // second. It is the regression guard for the event-kernel and radio-channel
 // architecture -- the numbers in BENCH_scale.json (repo root) record the
-// pre-refactor baseline and the current kernel side by side.
+// pre-refactor baseline and the current kernel side by side -- and, since
+// the observability layer landed, for the metrics/trace hot-path cost
+// (BENCH_obs.json holds the A/B numbers).
 //
 // Usage:
-//   bench_scale_building [--smoke] [-o out.json]
+//   bench_scale_building [--smoke] [-o out.json] [--no-metrics]
+//                        [--trace trace.jsonl] [--ab] [--max-overhead PCT]
 //
-// --smoke runs the smallest configuration only (CI); the JSON report lands
-// in BENCH_scale.json in the working directory unless -o says otherwise.
+// --smoke runs the smallest configuration only (CI). --no-metrics runs with
+// the registry gated off (the "disabled path" whose cost must stay ~zero).
+// --trace streams the structured JSONL trace of the first sweep point.
+// --ab runs every point twice -- registry disabled then enabled -- and
+// reports the enabled-path overhead; --max-overhead PCT makes the process
+// exit nonzero if any point's overhead exceeds PCT (the CI gate).
 #include <ctime>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "src/core/simulation.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/table.hpp"
 
 namespace bips::bench {
@@ -36,6 +46,7 @@ struct SweepPoint {
 
 struct Result {
   SweepPoint p;
+  bool metrics_on = true;
   std::uint64_t events = 0;
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
@@ -44,6 +55,7 @@ struct Result {
   double wall_s = 0;
   double events_per_sec = 0;  // events / cpu_s
   double sim_ratio = 0;       // simulated seconds per CPU second
+  double overhead_pct = 0;    // --ab only, on the enabled row
 };
 
 double process_cpu_seconds() {
@@ -52,7 +64,8 @@ double process_cpu_seconds() {
   return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
-Result run_point(const SweepPoint& p) {
+Result run_point(const SweepPoint& p, bool metrics_on,
+                 const std::string& trace_path) {
   core::SimulationConfig cfg;
   cfg.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
   cfg.stagger_inquiry = true;
@@ -62,6 +75,16 @@ Result run_point(const SweepPoint& p) {
   cfg.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
 
   core::BipsSimulation sim(mobility::Building::grid(p.rows, p.cols), cfg);
+  sim.simulator().obs().metrics.set_enabled(metrics_on);
+
+  std::ofstream trace_os;
+  std::unique_ptr<obs::JsonlSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_os.open(trace_path);
+    trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
+    sim.simulator().obs().tracer.set_sink(trace_sink.get());
+  }
+
   const int rooms = p.rows * p.cols;
   for (int i = 0; i < p.users; ++i) {
     sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
@@ -75,15 +98,22 @@ Result run_point(const SweepPoint& p) {
   const auto t1 = std::chrono::steady_clock::now();
   const double c1 = process_cpu_seconds();
 
+  if (trace_sink) {
+    sim.simulator().obs().tracer.set_sink(nullptr);
+    trace_sink->flush();
+  }
+
   Result r;
   r.p = p;
+  r.metrics_on = metrics_on;
   r.events = sim.simulator().events_executed();
-  r.transmissions = sim.radio().stats().transmissions;
-  r.deliveries = sim.radio().stats().deliveries;
-  for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
-    r.discoveries +=
-        sim.workstation(static_cast<core::StationId>(s)).stats().discoveries;
-  }
+  // The traffic counters now come off the registry snapshot -- with the
+  // registry gated off they read zero, which is exactly the disabled path
+  // the A/B mode measures.
+  const auto& m = sim.simulator().obs().metrics;
+  r.transmissions = m.counter_value("radio.transmissions");
+  r.deliveries = m.counter_value("radio.deliveries");
+  r.discoveries = m.counter_value("ws.discoveries");
   r.cpu_s = c1 - c0;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.events_per_sec = r.cpu_s > 0 ? static_cast<double>(r.events) / r.cpu_s : 0;
@@ -92,36 +122,47 @@ Result run_point(const SweepPoint& p) {
 }
 
 void write_json(const std::vector<Result>& results, const std::string& path,
-                bool smoke) {
+                bool smoke, bool ab) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"scale_building\",\n  \"mode\": \""
-     << (smoke ? "smoke" : "full") << "\",\n  \"rows\": [\n";
+     << (smoke ? "smoke" : "full") << (ab ? "-ab" : "") << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
         "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
-        "\"events\": %llu, \"transmissions\": %llu, \"deliveries\": %llu, "
-        "\"discoveries\": %llu, \"cpu_s\": %.3f, \"wall_s\": %.3f, "
-        "\"events_per_sec\": %.0f, \"sim_ratio\": %.1f}%s\n",
+        "\"metrics\": %s, \"events\": %llu, \"transmissions\": %llu, "
+        "\"deliveries\": %llu, \"discoveries\": %llu, \"cpu_s\": %.3f, "
+        "\"wall_s\": %.3f, \"events_per_sec\": %.0f, \"sim_ratio\": %.1f, "
+        "\"overhead_pct\": %.2f}%s\n",
         r.p.rows * r.p.cols, r.p.users, r.p.sim_seconds,
+        r.metrics_on ? "true" : "false",
         static_cast<unsigned long long>(r.events),
         static_cast<unsigned long long>(r.transmissions),
         static_cast<unsigned long long>(r.deliveries),
         static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
-        r.events_per_sec, r.sim_ratio,
+        r.events_per_sec, r.sim_ratio, r.overhead_pct,
         i + 1 < results.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
 }
 
-int run(bool smoke, const std::string& out_path) {
+struct Options {
+  bool smoke = false;
+  bool metrics = true;
+  bool ab = false;
+  double max_overhead = -1;  // <0: no gate
+  std::string out = "BENCH_scale.json";
+  std::string trace_path;
+};
+
+int run(const Options& opt) {
   print_header("SCALE", "Building-scale sweep: whole-stack events/sec");
 
   std::vector<SweepPoint> sweep;
-  if (smoke) {
+  if (opt.smoke) {
     sweep = {{2, 2, 8, 10.0}};
   } else {
     sweep = {{2, 2, 8, 30.0},
@@ -131,23 +172,78 @@ int run(bool smoke, const std::string& out_path) {
              {8, 8, 512, 20.0}};
   }
 
-  TableWriter table({"rooms", "users", "sim s", "events", "cpu s",
+  TableWriter table({"rooms", "users", "sim s", "obs", "events", "cpu s",
                      "events/s", "sim x realtime"});
-  std::vector<Result> results;
-  for (const SweepPoint& p : sweep) {
-    const Result r = run_point(p);
-    results.push_back(r);
-    table.add_row({std::to_string(p.rows * p.cols), std::to_string(p.users),
-                   fmt(p.sim_seconds, 0), std::to_string(r.events),
+  auto add_row = [&table](const Result& r) {
+    table.add_row({std::to_string(r.p.rows * r.p.cols),
+                   std::to_string(r.p.users), fmt(r.p.sim_seconds, 0),
+                   r.metrics_on ? "on" : "off", std::to_string(r.events),
                    fmt(r.cpu_s, 2), fmt(r.events_per_sec, 0),
                    fmt(r.sim_ratio, 1)});
-    std::printf("done: %d rooms / %d users -> %.0f events/s (%.2f s cpu)\n",
-                p.rows * p.cols, p.users, r.events_per_sec, r.cpu_s);
+  };
+
+  std::vector<Result> results;
+  double worst_overhead = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    // The trace (if requested) rides the first point's enabled run.
+    const std::string trace = i == 0 ? opt.trace_path : std::string();
+    if (opt.ab) {
+      // Best-of-N per mode, interleaved, where N grows until each mode has
+      // accumulated enough CPU time to measure: single passes of the small
+      // points run in milliseconds, where scheduler noise dwarfs the
+      // instrumentation cost the gate below is after. Noise only ever makes
+      // a run slower, so the per-mode max converges on the true throughput.
+      Result off = run_point(p, false, "");
+      Result on = run_point(p, true, trace);
+      double cpu_spent = off.cpu_s + on.cpu_s;
+      for (int rep = 1; rep < 25 && (rep < 3 || cpu_spent < 0.5); ++rep) {
+        const Result off2 = run_point(p, false, "");
+        if (off2.events_per_sec > off.events_per_sec) off = off2;
+        const Result on2 = run_point(p, true, "");
+        if (on2.events_per_sec > on.events_per_sec) on = on2;
+        cpu_spent += off2.cpu_s + on2.cpu_s;
+      }
+      on.overhead_pct = on.events_per_sec > 0
+                            ? (off.events_per_sec / on.events_per_sec - 1.0) *
+                                  100.0
+                            : 0.0;
+      worst_overhead = std::max(worst_overhead, on.overhead_pct);
+      results.push_back(off);
+      results.push_back(on);
+      add_row(off);
+      add_row(on);
+      std::printf("done: %d rooms / %d users -> off %.0f ev/s, on %.0f ev/s "
+                  "(overhead %+.2f%%)\n",
+                  p.rows * p.cols, p.users, off.events_per_sec,
+                  on.events_per_sec, on.overhead_pct);
+    } else {
+      const Result r = run_point(p, opt.metrics, trace);
+      results.push_back(r);
+      add_row(r);
+      std::printf("done: %d rooms / %d users -> %.0f events/s (%.2f s cpu)\n",
+                  p.rows * p.cols, p.users, r.events_per_sec, r.cpu_s);
+    }
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  write_json(results, out_path, smoke);
-  std::printf("report written to %s\n", out_path.c_str());
+  write_json(results, opt.out, opt.smoke, opt.ab);
+  std::printf("report written to %s\n", opt.out.c_str());
+  if (!opt.trace_path.empty()) {
+    std::printf("trace written to %s\n", opt.trace_path.c_str());
+  }
+
+  if (opt.ab && opt.max_overhead >= 0) {
+    if (worst_overhead > opt.max_overhead) {
+      std::printf("FAIL: enabled-metrics overhead %.2f%% exceeds the %.2f%% "
+                  "budget\n",
+                  worst_overhead, opt.max_overhead);
+      return 1;
+    }
+    std::printf("OK: worst enabled-metrics overhead %.2f%% within the "
+                "%.2f%% budget\n",
+                worst_overhead, opt.max_overhead);
+  }
   return 0;
 }
 
@@ -155,17 +251,27 @@ int run(bool smoke, const std::string& out_path) {
 }  // namespace bips::bench
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out = "BENCH_scale.json";
+  bips::bench::Options opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      opt.metrics = false;
+    } else if (std::strcmp(argv[i], "--ab") == 0) {
+      opt.ab = true;
+    } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
+      opt.max_overhead = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
-      out = argv[++i];
+      opt.out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [-o out.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [-o out.json] [--no-metrics] "
+                   "[--trace trace.jsonl] [--ab] [--max-overhead PCT]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return bips::bench::run(smoke, out);
+  return bips::bench::run(opt);
 }

@@ -38,6 +38,10 @@ struct World {
   }
 
   void run_for(Duration d) { sim.run_until(sim.now() + d); }
+
+  /// The trial's metrics/trace namespace (per-simulator, so every World is
+  /// an isolated measurement).
+  obs::Observability& obs() { return sim.obs(); }
 };
 
 inline void print_header(const char* id, const char* title) {

@@ -92,5 +92,24 @@ int main() {
     render_handheld(r);
   });
   sim.run_for(Duration::seconds(2));
+
+  // The same answers through the server's unified query API -- the operator
+  // console view, no handheld round trip. One Query type covers every
+  // lookup the handheld flows above exercised piecemeal.
+  using Query = core::BipsServer::Query;
+  std::printf("\noperator console, via BipsServer::query():\n");
+  const auto where = sim.server().query(Query::where_is("", "Bob"));
+  std::printf("  where-is Bob: %s%s\n", proto::to_string(where.status),
+              where.ok() ? (" -> " + where.room).c_str() : "");
+  const auto path = sim.server().query(Query::path_to(
+      "alice", "Bob",
+      static_cast<core::StationId>(*sim.building().find("lobby"))));
+  if (path.ok()) {
+    std::printf("  path-to Bob from the lobby: %.0f m via", path.distance);
+    for (const auto& room : path.rooms) std::printf(" %s", room.c_str());
+    std::printf("\n");
+  } else {
+    std::printf("  path-to Bob: %s\n", proto::to_string(path.status));
+  }
   return 0;
 }

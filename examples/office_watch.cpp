@@ -90,7 +90,26 @@ int main() {
   });
   sim.run_for(Duration::seconds(2));
 
-  // The audit trail.
+  // The audit trail, through the server's unified query API: every
+  // transition of Bob's handheld since just before his coffee run, as one
+  // history-since query (the same data the CSV dump below carries, but
+  // filtered, permission-checked and chronological).
+  using Query = core::BipsServer::Query;
+  const auto hist =
+      sim.server().query(Query::history_since("alice", "Bob", before_move));
+  std::printf("\nBob's movements since t=%.0f s (BipsServer::query):\n",
+              before_move.to_seconds());
+  if (!hist.ok()) {
+    std::printf("  %s\n", proto::to_string(hist.status));
+  } else if (hist.visits.empty()) {
+    std::printf("  (no transitions recorded)\n");
+  }
+  for (const auto& v : hist.visits) {
+    std::printf("  [%7.2f s] Bob %s %s\n", v.at.to_seconds(),
+                v.entered ? "entered" : "left", v.room.c_str());
+  }
+
+  // The raw audit trail.
   std::ostringstream csv;
   sim.write_history_csv(csv);
   std::printf("\nlocation-database transition log (CSV):\n%s",

@@ -2,15 +2,19 @@
 //
 //   $ ./scenario_runner examples/scenarios/department.bips [history.csv]
 //   $ ./scenario_runner --demo
+//   $ ./scenario_runner --trace trace.jsonl examples/scenarios/department.bips
 //
-// Prints a deployment report (enrollment, tracking scorecard, LAN traffic)
-// and optionally dumps the location-database transition history as CSV.
+// Prints a deployment report (enrollment, tracking scorecard, and the full
+// metrics-registry snapshot) and optionally dumps the location-database
+// transition history as CSV. --trace FILE streams the structured simulation
+// trace (JSONL, one record per line) for offline analysis.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "src/core/scenario.hpp"
+#include "src/obs/obs.hpp"
 
 using namespace bips;
 
@@ -61,39 +65,42 @@ void report(core::BipsSimulation& sim, const core::ScenarioSpec& spec) {
               static_cast<unsigned long long>(m.false_absent),
               static_cast<unsigned long long>(m.false_present));
 
-  const auto& db = sim.server().db().stats();
-  const auto& srv = sim.server().stats();
-  std::printf("\n--- server ---\n");
-  std::printf("  logins ok/failed: %llu/%llu\n",
-              static_cast<unsigned long long>(srv.logins_ok),
-              static_cast<unsigned long long>(srv.logins_failed));
-  std::printf("  presence updates applied/redundant/duplicate: "
-              "%llu/%llu/%llu\n",
-              static_cast<unsigned long long>(db.presence_updates),
-              static_cast<unsigned long long>(db.redundant_updates),
-              static_cast<unsigned long long>(srv.presence_duplicates));
+  // Everything the deployment counted, straight from the registry: server,
+  // location database, LAN, radio, workstations and kernel in one table.
+  std::printf("\n--- metrics registry ---\n%s",
+              sim.simulator().obs().metrics.to_table().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::string trace_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
     std::fprintf(stderr,
-                 "usage: %s <scenario-file> [history.csv]\n"
-                 "       %s --demo\n",
+                 "usage: %s [--trace trace.jsonl] <scenario-file> "
+                 "[history.csv]\n"
+                 "       %s [--trace trace.jsonl] --demo\n",
                  argv[0], argv[0]);
     return 1;
   }
 
   core::ScenarioError err;
   std::optional<core::ScenarioSpec> spec;
-  if (std::strcmp(argv[1], "--demo") == 0) {
+  if (std::strcmp(positional[0], "--demo") == 0) {
     std::printf("running the built-in demo scenario:\n%s\n", kDemoScenario);
     spec = core::parse_scenario(std::string(kDemoScenario), &err);
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(positional[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", positional[0]);
       return 1;
     }
     spec = core::parse_scenario(in, &err);
@@ -104,17 +111,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto sim = core::run_scenario(*spec);
+  // The trace sink must be live before the first event fires, so it rides
+  // the pre-run hook. Deterministic: same scenario + seed => same bytes.
+  std::ofstream trace_os;
+  std::unique_ptr<obs::JsonlSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_os.open(trace_path);
+    if (!trace_os) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
+  }
+  auto sim = core::run_scenario(*spec, [&](core::BipsSimulation& s) {
+    if (trace_sink) s.simulator().obs().tracer.set_sink(trace_sink.get());
+  });
   report(*sim, *spec);
+  if (trace_sink) {
+    sim->simulator().obs().tracer.set_sink(nullptr);
+    trace_sink->flush();
+    std::printf("\ntrace written to %s (%zu records)\n", trace_path.c_str(),
+                trace_sink->records_written());
+  }
 
-  if (argc >= 3 && std::strcmp(argv[1], "--demo") != 0) {
-    std::ofstream csv(argv[2]);
+  if (positional.size() >= 2 && std::strcmp(positional[0], "--demo") != 0) {
+    std::ofstream csv(positional[1]);
     if (!csv) {
-      std::fprintf(stderr, "cannot write %s\n", argv[2]);
+      std::fprintf(stderr, "cannot write %s\n", positional[1]);
       return 1;
     }
     sim->write_history_csv(csv);
-    std::printf("\nhistory written to %s\n", argv[2]);
+    std::printf("\nhistory written to %s\n", positional[1]);
   }
   return 0;
 }

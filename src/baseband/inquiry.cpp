@@ -107,6 +107,9 @@ void Inquirer::on_fhs(const Packet& p, SimTime end) {
   ++stats_.fhs_received;
   if (!seen_.insert(p.sender).second) return;  // duplicate this session
   ++stats_.unique_responses;
+  dev_.sim().obs().tracer.emit(end, obs::TraceKind::kInquiryResp,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               p.sender.raw(), 0, p.rssi_dbm);
   BIPS_TRACE(end, "inquirer %s: FHS from %s", dev_.addr().to_string().c_str(),
              p.sender.to_string().c_str());
   if (on_response_) {

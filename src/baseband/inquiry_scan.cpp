@@ -160,6 +160,9 @@ void InquiryScanner::send_response() {
   fhs.clock = dev_.clock().clkn(dev_.sim().now());
   dev_.radio().transmit(&dev_, inquiry_response_channel(response_index_), fhs);
   ++stats_.fhs_sent;
+  dev_.sim().obs().tracer.emit(dev_.sim().now(), obs::TraceKind::kScanFhs,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               response_index_);
   BIPS_TRACE(dev_.sim().now(), "scanner %s: FHS sent on ch %u",
              dev_.addr().to_string().c_str(), response_index_);
   if (on_response_sent_) on_response_sent_(dev_.sim().now());

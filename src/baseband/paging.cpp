@@ -46,6 +46,9 @@ void Pager::page(BdAddr target, std::uint32_t clock_sample,
   tx_slot_ = 0;
   on_second_train_ = false;
   ++stats_.pages_started;
+  dev_.sim().obs().tracer.emit(dev_.sim().now(), obs::TraceKind::kPageStart,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               target.raw());
 
   // Centre the first train on the channel the estimate predicts the slave
   // will scan, so a good estimate connects at the slave's first window.
@@ -90,6 +93,9 @@ void Pager::fail() {
   if (!active_) return;
   const BdAddr t = target_;
   ++stats_.pages_failed;
+  dev_.sim().obs().tracer.emit(dev_.sim().now(), obs::TraceKind::kPageFail,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               t.raw());
   cleanup();
   if (on_failure_) on_failure_(t);
 }
@@ -192,6 +198,9 @@ void Pager::on_ack(const Packet& p, SimTime end) {
   if (p.type != PacketType::kId || p.access_code != target_) return;
   const BdAddr t = target_;
   ++stats_.pages_succeeded;
+  dev_.sim().obs().tracer.emit(end, obs::TraceKind::kPageOk,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               t.raw());
   cleanup();
   BIPS_TRACE(end, "pager %s: connected to %s",
              dev_.addr().to_string().c_str(), t.to_string().c_str());

@@ -61,7 +61,7 @@ void RadioChannel::transmit(RadioDevice* sender, RfChannel ch, Packet p) {
   ChannelState& cs = channel_state(ch);
   TxQueue& q = cfg_.cross_set_interference > 0 ? global_recent_ : cs.recent;
   q.push_back(Transmission{sender, ch, start, end, p});
-  ++stats_.transmissions;
+  c_transmissions_->inc();
   sender->account_tx(p.duration());
   // Deque references are stable under push_back and pop_front, so the
   // delivery event can carry the channel state and element by pointer: no
@@ -261,7 +261,7 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
 
   for (const Candidate& c : candidates_) {
     if (!in_range(c.device, tx.sender)) {
-      ++stats_.out_of_range;
+      c_out_of_range_->inc();
       continue;
     }
     // Interference check: any other overlapping in-range transmission on
@@ -293,7 +293,7 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
       break;
     }
     if (destroyed) {
-      ++stats_.collisions;
+      c_collisions_->inc();
       continue;
     }
     double per = cfg_.packet_error_rate;
@@ -303,10 +303,10 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
       per += cfg_.per_at_edge * std::pow(frac, cfg_.per_exponent);
     }
     if (per > 0 && rng_.chance(per)) {
-      ++stats_.dropped_per;
+      c_dropped_per_->inc();
       continue;
     }
-    ++stats_.deliveries;
+    c_deliveries_->inc();
     Packet delivered = tx.packet;
     delivered.rssi_dbm = rssi_dbm(d_signal);
     // Copied, not referenced: the handler body may start listens, and arena

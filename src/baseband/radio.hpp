@@ -92,7 +92,14 @@ using PacketHandler =
 class RadioChannel {
  public:
   RadioChannel(sim::Simulator& sim, Rng& rng, ChannelConfig cfg = {})
-      : sim_(sim), rng_(rng), cfg_(cfg) {}
+      : sim_(sim),
+        rng_(rng),
+        cfg_(cfg),
+        c_transmissions_(&sim.obs().metrics.counter("radio.transmissions")),
+        c_deliveries_(&sim.obs().metrics.counter("radio.deliveries")),
+        c_collisions_(&sim.obs().metrics.counter("radio.collisions")),
+        c_out_of_range_(&sim.obs().metrics.counter("radio.out_of_range")),
+        c_dropped_per_(&sim.obs().metrics.counter("radio.dropped_per")) {}
   RadioChannel(const RadioChannel&) = delete;
   RadioChannel& operator=(const RadioChannel&) = delete;
 
@@ -126,6 +133,9 @@ class RadioChannel {
   /// relation matters (presence arbitration compares values).
   double rssi_dbm(double distance_m);
 
+  /// Deprecated accessor shape kept for existing call sites; the counters
+  /// live in the simulator's MetricsRegistry under "radio.*" and this
+  /// struct is materialised from them on demand.
   struct Stats {
     std::uint64_t transmissions = 0;
     std::uint64_t deliveries = 0;
@@ -133,7 +143,11 @@ class RadioChannel {
     std::uint64_t out_of_range = 0;   // reached the exact range check, failed
     std::uint64_t dropped_per = 0;    // random packet-error losses
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{c_transmissions_->value(), c_deliveries_->value(),
+                 c_collisions_->value(), c_out_of_range_->value(),
+                 c_dropped_per_->value()};
+  }
 
  private:
   struct Transmission {
@@ -222,7 +236,12 @@ class RadioChannel {
   sim::Simulator& sim_;
   Rng& rng_;
   ChannelConfig cfg_;
-  Stats stats_;
+  // Cached registry cells ("radio.*"); see stats().
+  obs::Counter* c_transmissions_;
+  obs::Counter* c_deliveries_;
+  obs::Counter* c_collisions_;
+  obs::Counter* c_out_of_range_;
+  obs::Counter* c_dropped_per_;
   // Listen arena + free list (same slot/generation scheme as the event
   // kernel; footprint is the high-water mark of concurrent listens).
   std::vector<ListenSlot> lslots_;

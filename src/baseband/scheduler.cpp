@@ -17,6 +17,7 @@ MasterScheduler::MasterScheduler(Device& dev, SchedulerConfig cfg)
                       first_cycle_pending_ = false;
                     } else {
                       ++cycles_;
+                      dev_.sim().obs().metrics.counter("sched.cycles").inc();
                     }
                     begin_cycle();
                   }),
@@ -67,6 +68,10 @@ void MasterScheduler::stop() {
 void MasterScheduler::begin_cycle() {
   if (!running_) return;
   in_inquiry_ = true;
+  dev_.sim().obs().tracer.emit(dev_.sim().now(),
+                               obs::TraceKind::kInquiryStart,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               cycles_);
   // The radio is single: dedicate it to discovery, suspend serving.
   pager_.cancel();
   piconet_.pause();

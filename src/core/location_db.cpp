@@ -4,6 +4,20 @@
 
 namespace bips::core {
 
+LocationDatabase::LocationDatabase(std::size_t history_limit,
+                                   obs::MetricsRegistry* registry)
+    : history_limit_(history_limit) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  c_presence_updates_ = &registry->counter("db.presence_updates");
+  c_redundant_updates_ = &registry->counter("db.redundant_updates");
+  c_conflicts_suppressed_ = &registry->counter("db.conflicts_suppressed");
+  c_logins_ = &registry->counter("db.logins");
+  c_logouts_ = &registry->counter("db.logouts");
+}
+
 void LocationDatabase::clear() {
   by_userid_.clear();
   by_addr_.clear();
@@ -26,7 +40,7 @@ bool LocationDatabase::login(std::string userid, std::uint64_t bd_addr,
   if (by_addr_.count(bd_addr) != 0) return false;
   by_addr_.emplace(bd_addr, userid);
   by_userid_.emplace(userid, Session{userid, bd_addr, at});
-  ++stats_.logins;
+  c_logins_->inc();
   return true;
 }
 
@@ -36,7 +50,7 @@ bool LocationDatabase::logout(std::uint64_t bd_addr) {
   by_userid_.erase(it->second);
   by_addr_.erase(it);
   presence_.erase(bd_addr);
-  ++stats_.logouts;
+  c_logouts_->inc();
   return true;
 }
 
@@ -69,7 +83,7 @@ bool LocationDatabase::set_present(std::uint64_t bd_addr, StationId station,
   auto [it, inserted] = presence_.try_emplace(bd_addr);
   PresenceRecord& rec = it->second;
   if (!inserted && rec.station == station) {
-    ++stats_.redundant_updates;
+    c_redundant_updates_->inc();
     rec.rssi_dbm = rssi_dbm;  // refresh the proximity hint
     return false;
   }
@@ -80,7 +94,7 @@ bool LocationDatabase::set_present(std::uint64_t bd_addr, StationId station,
     // The losing claim is remembered as the runner-up: its workstation
     // sent a *delta* and will stay silent, so if the winner later reports
     // absence the runner-up is promoted instead of the record vanishing.
-    ++stats_.conflicts_suppressed;
+    c_conflicts_suppressed_->inc();
     if (!rec.runner_up || rssi_dbm >= rec.runner_up->rssi_dbm) {
       rec.runner_up = Claim{station, at, rssi_dbm};
     }
@@ -94,7 +108,7 @@ bool LocationDatabase::set_present(std::uint64_t bd_addr, StationId station,
   rec.station = station;
   rec.since = at;
   rec.rssi_dbm = rssi_dbm;
-  ++stats_.presence_updates;
+  c_presence_updates_->inc();
   record(bd_addr, station, true, at);
   return true;
 }
@@ -103,7 +117,7 @@ bool LocationDatabase::set_absent(std::uint64_t bd_addr, StationId station,
                                   SimTime at) {
   const auto it = presence_.find(bd_addr);
   if (it == presence_.end()) {
-    ++stats_.redundant_updates;
+    c_redundant_updates_->inc();
     return false;
   }
   PresenceRecord& rec = it->second;
@@ -112,7 +126,7 @@ bool LocationDatabase::set_absent(std::uint64_t bd_addr, StationId station,
     if (rec.runner_up && rec.runner_up->station == station) {
       rec.runner_up.reset();
     } else {
-      ++stats_.redundant_updates;  // stale or duplicate absence
+      c_redundant_updates_->inc();  // stale or duplicate absence
     }
     return false;
   }
@@ -124,12 +138,12 @@ bool LocationDatabase::set_absent(std::uint64_t bd_addr, StationId station,
     rec.since = std::max(promoted.since, at);
     rec.rssi_dbm = promoted.rssi_dbm;
     rec.runner_up.reset();
-    ++stats_.presence_updates;
+    c_presence_updates_->inc();
     record(bd_addr, promoted.station, true, rec.since);
     return true;
   }
   presence_.erase(it);
-  ++stats_.presence_updates;
+  c_presence_updates_->inc();
   record(bd_addr, station, false, at);
   return true;
 }

@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/time.hpp"
 
 namespace bips::core {
@@ -39,6 +41,9 @@ class LocationDatabase {
     SimTime at;
   };
 
+  /// Deprecated accessor shape kept for existing call sites; the counters
+  /// live in a MetricsRegistry under "db.*" and stats() materialises this
+  /// struct from them on demand.
   struct Stats {
     std::uint64_t presence_updates = 0;  // state-changing updates applied
     std::uint64_t redundant_updates = 0; // duplicates / stale, ignored
@@ -47,8 +52,12 @@ class LocationDatabase {
     std::uint64_t logouts = 0;
   };
 
-  explicit LocationDatabase(std::size_t history_limit = 1024)
-      : history_limit_(history_limit) {}
+  /// `registry` is where the "db.*" cells are interned -- normally the
+  /// owning simulator's (`sim.obs().metrics`). Standalone construction
+  /// (tools, unit tests) may pass nullptr; the database then owns a private
+  /// registry so the counters still work.
+  explicit LocationDatabase(std::size_t history_limit = 1024,
+                            obs::MetricsRegistry* registry = nullptr);
 
   /// Server crash: everything here lives in memory, so sessions, presence
   /// and history are all lost. Stats survive (they are the operator's
@@ -118,7 +127,11 @@ class LocationDatabase {
   // ---- history & stats --------------------------------------------------
 
   const std::deque<Transition>& history() const { return history_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{c_presence_updates_->value(), c_redundant_updates_->value(),
+                 c_conflicts_suppressed_->value(), c_logins_->value(),
+                 c_logouts_->value()};
+  }
 
  private:
   /// A presence claim from one workstation.
@@ -146,7 +159,14 @@ class LocationDatabase {
   std::unordered_map<std::uint64_t, std::string> by_addr_;
   std::unordered_map<std::uint64_t, PresenceRecord> presence_;
   std::deque<Transition> history_;
-  Stats stats_;
+  // Fallback registry for standalone construction; cells point into either
+  // this or the caller-provided registry ("db.*" names).
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* c_presence_updates_;
+  obs::Counter* c_redundant_updates_;
+  obs::Counter* c_conflicts_suppressed_;
+  obs::Counter* c_logins_;
+  obs::Counter* c_logouts_;
 };
 
 }  // namespace bips::core

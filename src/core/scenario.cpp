@@ -254,6 +254,12 @@ std::optional<ScenarioSpec> parse_scenario(std::istream& in,
 }
 
 std::unique_ptr<BipsSimulation> run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, {});
+}
+
+std::unique_ptr<BipsSimulation> run_scenario(
+    const ScenarioSpec& spec,
+    const std::function<void(BipsSimulation&)>& pre_run) {
   auto sim = std::make_unique<BipsSimulation>(spec.building, spec.config);
   for (const auto& u : spec.users) {
     sim->add_user(u.name, u.userid, u.password, u.room);
@@ -267,6 +273,7 @@ std::unique_ptr<BipsSimulation> run_scenario(const ScenarioSpec& spec) {
       f.restart ? ws.restart() : ws.crash();
     });
   }
+  if (pre_run) pre_run(*sim);
   sim->run_for(spec.run_time);
   return sim;
 }

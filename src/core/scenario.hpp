@@ -29,6 +29,7 @@
 // duplicate users, disconnected buildings) and reports the offending line.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -79,5 +80,12 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text,
 /// runs for the configured time. The returned simulation can be inspected
 /// (tracking(), server().db(), write_history_csv, ...).
 std::unique_ptr<BipsSimulation> run_scenario(const ScenarioSpec& spec);
+
+/// Same, but invokes `pre_run` on the fully built (not yet run) simulation
+/// first -- the hook for attaching a trace sink or toggling the metrics
+/// registry before any event fires.
+std::unique_ptr<BipsSimulation> run_scenario(
+    const ScenarioSpec& spec,
+    const std::function<void(BipsSimulation&)>& pre_run);
 
 }  // namespace bips::core

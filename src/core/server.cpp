@@ -15,8 +15,38 @@ BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
       building_(building),
       topology_(building.to_graph()),
       paths_(topology_),  // the offline all-pairs precomputation
-      db_(cfg.history_limit),
-      endpoint_(lan.create_endpoint()) {
+      db_(cfg.history_limit, &sim.obs().metrics),
+      endpoint_(lan.create_endpoint()),
+      tracer_(&sim.obs().tracer) {
+  obs::MetricsRegistry& reg = sim.obs().metrics;
+  c_.logins_ok = &reg.counter("server.logins_ok");
+  c_.logins_failed = &reg.counter("server.logins_failed");
+  c_.logouts = &reg.counter("server.logouts");
+  c_.presence_received = &reg.counter("server.presence_received");
+  c_.presence_duplicates = &reg.counter("server.presence_duplicates");
+  c_.whereis_served = &reg.counter("server.whereis_served");
+  c_.paths_served = &reg.counter("server.paths_served");
+  c_.whoisin_served = &reg.counter("server.whoisin_served");
+  c_.history_served = &reg.counter("server.history_served");
+  c_.subscriptions_served = &reg.counter("server.subscriptions_served");
+  c_.events_pushed = &reg.counter("server.events_pushed");
+  c_.heartbeats = &reg.counter("server.heartbeats");
+  c_.stations_expired = &reg.counter("server.stations_expired");
+  c_.presences_expired = &reg.counter("server.presences_expired");
+  c_.malformed = &reg.counter("server.malformed");
+  c_.crashes = &reg.counter("server.crashes");
+  c_.restarts = &reg.counter("server.restarts");
+  c_.syncs_received = &reg.counter("server.syncs_received");
+  c_.sessions_restored = &reg.counter("server.sessions_restored");
+  c_.presences_restored = &reg.counter("server.presences_restored");
+  c_.resyncs_requested = &reg.counter("server.resyncs_requested");
+  c_.queries = &reg.counter("server.queries");
+  reg.gauge("server.sessions").set_callback([this] {
+    return static_cast<double>(db_.session_count());
+  });
+  reg.gauge("server.subscriptions").set_callback([this] {
+    return static_cast<double>(subscription_count());
+  });
   BIPS_ASSERT_MSG(topology_.connected(),
                   "BIPS requires a connected building graph");
   endpoint_.set_handler([this](net::Address from, const net::Payload& data) {
@@ -40,7 +70,11 @@ void BipsServer::reply(net::Address to, const proto::Message& m) {
 void BipsServer::crash() {
   if (crashed_) return;
   crashed_ = true;
-  ++stats_.crashes;
+  c_.crashes->inc();
+  // Record the death, then flush: a buffered trace sink must neither lose
+  // the records leading up to the crash nor replay them after restart.
+  tracer_->emit(sim_.now(), obs::TraceKind::kServerCrash, 0, epoch_);
+  tracer_->flush();
   if (sweep_timer_) sweep_timer_->stop();
   // Everything in memory dies with the process. The registry survives:
   // accounts live on disk in a real deployment.
@@ -57,7 +91,8 @@ void BipsServer::restart() {
   if (!crashed_) return;
   crashed_ = false;
   ++epoch_;
-  ++stats_.restarts;
+  c_.restarts->inc();
+  tracer_->emit(sim_.now(), obs::TraceKind::kServerRestart, 0, epoch_);
   if (sweep_timer_) sweep_timer_->start();
   // Ask the whole LAN for state. Workstations answer with SyncSnapshots;
   // anything else ignores the request. Loss of individual requests is
@@ -74,7 +109,7 @@ void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
   if (crashed_) return;  // a dead machine hears nothing
   auto msg = proto::decode(data);
   if (!msg) {
-    ++stats_.malformed;
+    c_.malformed->inc();
     BIPS_WARN(sim_.now(), "server: malformed datagram from %u", from);
     return;
   }
@@ -93,7 +128,7 @@ void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
                       std::is_same_v<T, proto::SyncSnapshot>) {
           handle(from, m);
         } else {
-          ++stats_.malformed;  // a reply type sent *to* the server
+          c_.malformed->inc();  // a reply type sent *to* the server
         }
       },
       *msg);
@@ -116,7 +151,7 @@ void BipsServer::handle(net::Address from, const proto::LoginRequest& m) {
   } else {
     rep.ok = true;
   }
-  rep.ok ? ++stats_.logins_ok : ++stats_.logins_failed;
+  (rep.ok ? c_.logins_ok : c_.logins_failed)->inc();
   BIPS_DEBUG(sim_.now(), "server: login %s for %s -> %s",
              m.userid.c_str(), std::to_string(m.bd_addr).c_str(),
              rep.ok ? "ok" : rep.reason.c_str());
@@ -137,19 +172,19 @@ void BipsServer::handle(net::Address from, const proto::LogoutRequest& m) {
     rep.ok = db_.logout(m.bd_addr);
     // A departing user's own subscriptions die with the session.
     for (auto& [target, sub_set] : subs_) sub_set.erase(m.bd_addr);
-    ++stats_.logouts;
+    c_.logouts->inc();
   }
   reply(from, rep);
 }
 
 void BipsServer::handle(net::Address from, const proto::Heartbeat& m) {
-  ++stats_.heartbeats;
+  c_.heartbeats->inc();
   note_station_alive(m.workstation, from);
   reply(from, proto::HeartbeatAck{epoch_});
 }
 
 void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
-  ++stats_.syncs_received;
+  c_.syncs_received->inc();
   station_lan_[m.workstation] = from;
   last_heard_[m.workstation] = sim_.now();
   resync_pending_.erase(m.workstation);
@@ -161,11 +196,11 @@ void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
   for (const auto& s : m.sessions) {
     if (registry_.by_userid(s.userid) == nullptr) continue;
     if (db_.userid_of(s.bd_addr) || db_.addr_of(s.userid)) continue;
-    if (db_.login(s.userid, s.bd_addr, now)) ++stats_.sessions_restored;
+    if (db_.login(s.userid, s.bd_addr, now)) c_.sessions_restored->inc();
   }
   for (const auto& p : m.present) {
     if (db_.set_present(p.bd_addr, m.workstation, now, p.rssi_dbm)) {
-      ++stats_.presences_restored;
+      c_.presences_restored->inc();
       notify_subscribers(p.bd_addr, /*entered=*/true, m.workstation, now);
     }
   }
@@ -174,7 +209,7 @@ void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
 }
 
 void BipsServer::request_resync(net::Address station_addr) {
-  ++stats_.resyncs_requested;
+  c_.resyncs_requested->inc();
   reply(station_addr, proto::SyncRequest{epoch_, sim_.now().ns()});
 }
 
@@ -205,12 +240,12 @@ void BipsServer::sweep_dead_stations() {
     last_presence_seq_.erase(station);  // a restarted station starts fresh
     resync_pending_.try_emplace(station, SimTime::zero());
     db_.retire_station_claims(station);
-    ++stats_.stations_expired;
+    c_.stations_expired->inc();
     for (const std::uint64_t addr : db_.devices_at(station)) {
       // set_absent promotes a runner-up claim if an overlapping station
       // still sees the device; otherwise the record is cleared.
       if (db_.set_absent(addr, station, now)) {
-        ++stats_.presences_expired;
+        c_.presences_expired->inc();
         const auto new_station = db_.piconet_of(addr);
         notify_subscribers(addr, new_station.has_value(),
                            new_station.value_or(station), now);
@@ -222,7 +257,7 @@ void BipsServer::sweep_dead_stations() {
 }
 
 void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
-  ++stats_.presence_received;
+  c_.presence_received->inc();
   // Learn which LAN address serves this station (used for pushes); any
   // traffic proves liveness and may trigger a pending resync.
   note_station_alive(m.workstation, from);
@@ -231,7 +266,7 @@ void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
   if (m.seq != 0) {
     auto& last = last_presence_seq_[m.workstation];
     if (m.seq <= last) {
-      ++stats_.presence_duplicates;
+      c_.presence_duplicates->inc();
       reply(from, proto::PresenceAck{m.workstation, last, epoch_});
       return;
     }
@@ -278,7 +313,7 @@ void BipsServer::notify_subscribers(std::uint64_t bd_addr, bool entered,
     ev.entered = entered;
     ev.room = building_.room(station).name;
     ev.timestamp_ns = at.ns();
-    if (push_to_device(subscriber, ev)) ++stats_.events_pushed;
+    if (push_to_device(subscriber, ev)) c_.events_pushed->inc();
   }
 }
 
@@ -306,101 +341,242 @@ QueryStatus BipsServer::resolve_target(std::string_view requester_userid,
   return QueryStatus::kOk;
 }
 
+// ----------------------------------------------- unified query API ---
+
+BipsServer::Query BipsServer::Query::where_is(std::string_view requester,
+                                              std::string_view target) {
+  Query q;
+  q.kind = Kind::kWhereIs;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  return q;
+}
+
+BipsServer::Query BipsServer::Query::path_to(std::string_view requester,
+                                             std::string_view target,
+                                             StationId from_station) {
+  Query q;
+  q.kind = Kind::kPathTo;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.from_station = from_station;
+  return q;
+}
+
+BipsServer::Query BipsServer::Query::who_is_in(std::string_view requester,
+                                               std::string_view room) {
+  Query q;
+  q.kind = Kind::kWhoIsIn;
+  q.requester = std::string(requester);
+  q.target = std::string(room);
+  return q;
+}
+
+BipsServer::Query BipsServer::Query::where_was(std::string_view requester,
+                                               std::string_view target,
+                                               SimTime at) {
+  Query q;
+  q.kind = Kind::kWhereWas;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.at = at;
+  return q;
+}
+
+BipsServer::Query BipsServer::Query::history_since(std::string_view requester,
+                                                   std::string_view target,
+                                                   SimTime since) {
+  Query q;
+  q.kind = Kind::kHistorySince;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.at = since;
+  return q;
+}
+
+BipsServer::QueryResult BipsServer::query(const Query& q) const {
+  QueryResult res;
+  switch (q.kind) {
+    case Query::Kind::kWhereIs: {
+      StationId station = kNoStation;
+      res.status = resolve_target(q.requester, q.target, &station);
+      if (res.status == QueryStatus::kOk) {
+        res.room = building_.room(station).name;
+      }
+      break;
+    }
+
+    case Query::Kind::kPathTo: {
+      if (q.from_station >= topology_.node_count()) {
+        res.status = QueryStatus::kUnreachable;
+        break;
+      }
+      StationId target_station = kNoStation;
+      res.status = resolve_target(q.requester, q.target, &target_station);
+      if (res.status != QueryStatus::kOk) break;
+      const auto path = paths_.path(q.from_station, target_station);
+      if (path.empty() && q.from_station != target_station) {
+        res.status = QueryStatus::kUnreachable;
+        break;
+      }
+      res.rooms.reserve(path.size());
+      for (const auto node : path) {
+        res.rooms.push_back(
+            building_.room(static_cast<mobility::RoomId>(node)).name);
+      }
+      res.distance = paths_.distance(q.from_station, target_station);
+      break;
+    }
+
+    case Query::Kind::kWhoIsIn: {
+      const auto room = building_.find(q.target);
+      if (!room) {
+        res.status = QueryStatus::kUnknownUser;  // unknown *room*, same family
+        break;
+      }
+      const UserRecord* requester = nullptr;
+      if (!q.requester.empty()) {
+        requester = registry_.by_userid(q.requester);
+        if (requester == nullptr || !requester->may_query) {
+          res.status = QueryStatus::kAccessDenied;
+          break;
+        }
+      }
+      for (const std::uint64_t addr : db_.devices_at(*room)) {
+        const auto userid = db_.userid_of(addr);
+        if (!userid) continue;
+        const UserRecord* target = registry_.by_userid(*userid);
+        if (target == nullptr) continue;
+        // Privacy: the reply only names users this requester may locate.
+        if (requester != nullptr &&
+            !registry_.can_locate(*requester, *target)) {
+          continue;
+        }
+        res.users.push_back(target->name);
+      }
+      std::sort(res.users.begin(), res.users.end());
+      break;
+    }
+
+    case Query::Kind::kWhereWas:
+    case Query::Kind::kHistorySince: {
+      const UserRecord* target = registry_.by_name(q.target);
+      if (target == nullptr) {
+        res.status = QueryStatus::kUnknownUser;
+        break;
+      }
+      if (!q.requester.empty()) {
+        const UserRecord* requester = registry_.by_userid(q.requester);
+        if (requester == nullptr ||
+            !registry_.can_locate(*requester, *target)) {
+          res.status = QueryStatus::kAccessDenied;
+          break;
+        }
+      }
+      const auto addr = db_.addr_of(target->userid);
+      if (!addr) {
+        res.status = QueryStatus::kNotLoggedIn;
+        break;
+      }
+      if (q.kind == Query::Kind::kWhereWas) {
+        const auto fix = db_.where_was(*addr, q.at);
+        res.was_present = fix.has_value();
+        if (fix) {
+          res.room = building_.room(fix->station).name;
+          res.since = fix->since;
+        }
+      } else {
+        // Every recorded transition of the device at or after `at`, oldest
+        // first (the bounded history may have evicted older entries).
+        for (const auto& t : db_.history()) {
+          if (t.bd_addr != *addr || t.at < q.at) continue;
+          res.visits.push_back(QueryResult::Visit{
+              building_.room(t.station).name, t.present, t.at});
+        }
+      }
+      break;
+    }
+  }
+
+  c_.queries->inc();
+  tracer_->emit(sim_.now(), obs::TraceKind::kServerQuery,
+                static_cast<std::uint32_t>(q.kind),
+                static_cast<std::uint64_t>(res.status));
+  return res;
+}
+
+// ------------------------------ deprecated wrappers over query() ------
+
 proto::WhereIsReply BipsServer::where_is(std::string_view requester_userid,
                                          std::string_view target_name) const {
+  const QueryResult r = query(Query::where_is(requester_userid, target_name));
   proto::WhereIsReply rep;
-  StationId station = kNoStation;
-  rep.status = resolve_target(requester_userid, target_name, &station);
-  if (rep.status == QueryStatus::kOk) {
-    rep.room = building_.room(station).name;
-  }
+  rep.status = r.status;
+  rep.room = r.room;
   return rep;
 }
 
 proto::PathReply BipsServer::path_to(std::string_view requester_userid,
                                      std::string_view target_name,
                                      StationId from_station) const {
+  const QueryResult r =
+      query(Query::path_to(requester_userid, target_name, from_station));
   proto::PathReply rep;
-  if (from_station >= topology_.node_count()) {
-    rep.status = QueryStatus::kUnreachable;
-    return rep;
-  }
-  StationId target_station = kNoStation;
-  rep.status = resolve_target(requester_userid, target_name, &target_station);
-  if (rep.status != QueryStatus::kOk) return rep;
-
-  const auto path = paths_.path(from_station, target_station);
-  if (path.empty() && from_station != target_station) {
-    rep.status = QueryStatus::kUnreachable;
-    return rep;
-  }
-  rep.rooms.reserve(path.size());
-  for (const auto node : path) {
-    rep.rooms.push_back(building_.room(static_cast<mobility::RoomId>(node)).name);
-  }
-  rep.distance = paths_.distance(from_station, target_station);
+  rep.status = r.status;
+  rep.rooms = r.rooms;
+  rep.distance = r.distance;
   return rep;
 }
 
 proto::WhoIsInReply BipsServer::who_is_in(std::string_view requester_userid,
                                           std::string_view room_name) const {
+  const QueryResult r =
+      query(Query::who_is_in(requester_userid, room_name));
   proto::WhoIsInReply rep;
-  const auto room = building_.find(room_name);
-  if (!room) {
-    rep.status = QueryStatus::kUnknownUser;  // unknown *room*, same family
-    return rep;
-  }
-  const UserRecord* requester = nullptr;
-  if (!requester_userid.empty()) {
-    requester = registry_.by_userid(requester_userid);
-    if (requester == nullptr || !requester->may_query) {
-      rep.status = QueryStatus::kAccessDenied;
-      return rep;
-    }
-  }
-  for (const std::uint64_t addr : db_.devices_at(*room)) {
-    const auto userid = db_.userid_of(addr);
-    if (!userid) continue;
-    const UserRecord* target = registry_.by_userid(*userid);
-    if (target == nullptr) continue;
-    // Privacy: the reply only names users this requester may locate.
-    if (requester != nullptr && !registry_.can_locate(*requester, *target)) {
-      continue;
-    }
-    rep.users.push_back(target->name);
-  }
-  std::sort(rep.users.begin(), rep.users.end());
+  rep.status = r.status;
+  rep.users = r.users;
   return rep;
 }
 
 proto::HistoryReply BipsServer::where_was(std::string_view requester_userid,
                                           std::string_view target_name,
                                           SimTime at) const {
+  const QueryResult r =
+      query(Query::where_was(requester_userid, target_name, at));
   proto::HistoryReply rep;
-  const UserRecord* target = registry_.by_name(target_name);
-  if (target == nullptr) {
-    rep.status = QueryStatus::kUnknownUser;
-    return rep;
-  }
-  if (!requester_userid.empty()) {
-    const UserRecord* requester = registry_.by_userid(requester_userid);
-    if (requester == nullptr || !registry_.can_locate(*requester, *target)) {
-      rep.status = QueryStatus::kAccessDenied;
-      return rep;
-    }
-  }
-  const auto addr = db_.addr_of(target->userid);
-  if (!addr) {
-    rep.status = QueryStatus::kNotLoggedIn;
-    return rep;
-  }
-  const auto fix = db_.where_was(*addr, at);
-  rep.was_present = fix.has_value();
-  if (fix) {
-    rep.room = building_.room(fix->station).name;
-    rep.since_ns = fix->since.ns();
+  rep.status = r.status;
+  rep.was_present = r.was_present;
+  if (r.was_present) {
+    rep.room = r.room;
+    rep.since_ns = r.since.ns();
   }
   return rep;
+}
+
+BipsServer::Stats BipsServer::stats() const {
+  Stats s;
+  s.logins_ok = c_.logins_ok->value();
+  s.logins_failed = c_.logins_failed->value();
+  s.logouts = c_.logouts->value();
+  s.presence_received = c_.presence_received->value();
+  s.presence_duplicates = c_.presence_duplicates->value();
+  s.whereis_served = c_.whereis_served->value();
+  s.paths_served = c_.paths_served->value();
+  s.whoisin_served = c_.whoisin_served->value();
+  s.history_served = c_.history_served->value();
+  s.subscriptions_served = c_.subscriptions_served->value();
+  s.events_pushed = c_.events_pushed->value();
+  s.heartbeats = c_.heartbeats->value();
+  s.stations_expired = c_.stations_expired->value();
+  s.presences_expired = c_.presences_expired->value();
+  s.malformed = c_.malformed->value();
+  s.crashes = c_.crashes->value();
+  s.restarts = c_.restarts->value();
+  s.syncs_received = c_.syncs_received->value();
+  s.sessions_restored = c_.sessions_restored->value();
+  s.presences_restored = c_.presences_restored->value();
+  s.resyncs_requested = c_.resyncs_requested->value();
+  return s;
 }
 
 std::size_t BipsServer::subscription_count() const {
@@ -410,7 +586,7 @@ std::size_t BipsServer::subscription_count() const {
 }
 
 void BipsServer::handle(net::Address from, const proto::WhoIsInRequest& m) {
-  ++stats_.whoisin_served;
+  c_.whoisin_served->inc();
   const auto requester = db_.userid_of(m.requester_bd_addr);
   proto::WhoIsInReply rep;
   if (requester) {
@@ -423,7 +599,7 @@ void BipsServer::handle(net::Address from, const proto::WhoIsInRequest& m) {
 }
 
 void BipsServer::handle(net::Address from, const proto::HistoryRequest& m) {
-  ++stats_.history_served;
+  c_.history_served->inc();
   const auto requester = db_.userid_of(m.requester_bd_addr);
   proto::HistoryReply rep;
   if (requester) {
@@ -436,7 +612,7 @@ void BipsServer::handle(net::Address from, const proto::HistoryRequest& m) {
 }
 
 void BipsServer::handle(net::Address from, const proto::SubscribeRequest& m) {
-  ++stats_.subscriptions_served;
+  c_.subscriptions_served->inc();
   proto::SubscribeReply rep;
   rep.query_id = m.query_id;
 
@@ -458,7 +634,7 @@ void BipsServer::handle(net::Address from, const proto::SubscribeRequest& m) {
 }
 
 void BipsServer::handle(net::Address from, const proto::WhereIsRequest& m) {
-  ++stats_.whereis_served;
+  c_.whereis_served->inc();
   const auto requester = db_.userid_of(m.requester_bd_addr);
   proto::WhereIsReply rep =
       requester ? where_is(*requester, m.target_user)
@@ -468,7 +644,7 @@ void BipsServer::handle(net::Address from, const proto::WhereIsRequest& m) {
 }
 
 void BipsServer::handle(net::Address from, const proto::PathRequest& m) {
-  ++stats_.paths_served;
+  c_.paths_served->inc();
   const auto requester = db_.userid_of(m.requester_bd_addr);
   proto::PathReply rep;
   if (requester) {

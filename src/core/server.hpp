@@ -64,7 +64,64 @@ class BipsServer {
   const graph::AllPairsPaths& paths() const { return paths_; }
   const mobility::Building& building() const { return building_; }
 
-  // ---- local query API (bypasses the wire; used by tools/tests) --------
+  // ---- unified spatio-temporal query API -------------------------------
+  //
+  // One entry point for every lookup the paper's service offers. A Query
+  // names the requester (empty = system operator, all rights), a kind and
+  // that kind's operands; the QueryResult carries the union of the reply
+  // fields, with `status` deciding which are meaningful. The wire handlers
+  // and the deprecated per-kind accessors below all route through query().
+  struct Query {
+    enum class Kind : std::uint8_t {
+      kWhereIs,       // current room of user `target`
+      kPathTo,        // shortest path from `from_station` to `target`
+      kWhoIsIn,       // users currently in room `target`
+      kWhereWas,      // room of `target` at instant `at`
+      kHistorySince,  // transitions of `target` at or after `at`
+    };
+
+    Kind kind = Kind::kWhereIs;
+    std::string requester;  // userid; empty = system operator
+    std::string target;     // user display name, or room name for kWhoIsIn
+    StationId from_station = kNoStation;  // kPathTo
+    SimTime at;                           // kWhereWas / kHistorySince
+
+    static Query where_is(std::string_view requester,
+                          std::string_view target);
+    static Query path_to(std::string_view requester, std::string_view target,
+                         StationId from_station);
+    static Query who_is_in(std::string_view requester,
+                           std::string_view room);
+    static Query where_was(std::string_view requester,
+                           std::string_view target, SimTime at);
+    static Query history_since(std::string_view requester,
+                               std::string_view target, SimTime since);
+  };
+
+  struct QueryResult {
+    proto::QueryStatus status = proto::QueryStatus::kOk;
+    bool ok() const { return status == proto::QueryStatus::kOk; }
+
+    std::string room;                // kWhereIs / kWhereWas
+    std::vector<std::string> users;  // kWhoIsIn (sorted)
+    std::vector<std::string> rooms;  // kPathTo (route, in walking order)
+    double distance = 0.0;           // kPathTo (metres)
+    bool was_present = false;        // kWhereWas: the fix existed
+    SimTime since;                   // kWhereWas: attribution start
+
+    struct Visit {
+      std::string room;
+      bool entered = false;  // false: the transition was a departure
+      SimTime at;
+    };
+    std::vector<Visit> visits;  // kHistorySince, chronological
+  };
+
+  /// Executes `q` against the live database. Counts under "server.queries"
+  /// and emits one server.query trace record carrying kind and status.
+  QueryResult query(const Query& q) const;
+
+  // ---- deprecated per-kind accessors (thin wrappers over query()) ------
 
   /// Answers "where is <target_name>?" on behalf of `requester_userid`.
   /// An empty requester is the system operator (all rights).
@@ -88,6 +145,9 @@ class BipsServer {
   /// Number of live movement subscriptions (test/metrics hook).
   std::size_t subscription_count() const;
 
+  /// Deprecated accessor shape kept for existing call sites; the counters
+  /// live in the simulator's MetricsRegistry under "server.*" and stats()
+  /// materialises this struct from them on demand.
   struct Stats {
     std::uint64_t logins_ok = 0;
     std::uint64_t logins_failed = 0;
@@ -111,7 +171,7 @@ class BipsServer {
     std::uint64_t presences_restored = 0;  // from snapshot presence entries
     std::uint64_t resyncs_requested = 0;   // unicast SyncRequests sent
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   void on_datagram(net::Address from, const net::Payload& data);
@@ -179,7 +239,34 @@ class BipsServer {
 
   bool crashed_ = false;
   std::uint32_t epoch_ = 1;
-  Stats stats_;
+
+  /// Cached "server.*" registry cells (see stats()) and the tracer.
+  struct Cells {
+    obs::Counter* logins_ok;
+    obs::Counter* logins_failed;
+    obs::Counter* logouts;
+    obs::Counter* presence_received;
+    obs::Counter* presence_duplicates;
+    obs::Counter* whereis_served;
+    obs::Counter* paths_served;
+    obs::Counter* whoisin_served;
+    obs::Counter* history_served;
+    obs::Counter* subscriptions_served;
+    obs::Counter* events_pushed;
+    obs::Counter* heartbeats;
+    obs::Counter* stations_expired;
+    obs::Counter* presences_expired;
+    obs::Counter* malformed;
+    obs::Counter* crashes;
+    obs::Counter* restarts;
+    obs::Counter* syncs_received;
+    obs::Counter* sessions_restored;
+    obs::Counter* presences_restored;
+    obs::Counter* resyncs_requested;
+    obs::Counter* queries;
+  };
+  Cells c_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace bips::core

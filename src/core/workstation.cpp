@@ -19,7 +19,15 @@ BipsWorkstation::BipsWorkstation(sim::Simulator& sim,
       retransmit_timer_(sim, cfg.presence_retransmit,
                         [this] { retransmit_unacked(); }),
       heartbeat_timer_(sim, cfg.heartbeat_period,
-                       [this] { send_heartbeat(); }) {
+                       [this] { send_heartbeat(); }),
+      c_discoveries_(&sim.obs().metrics.counter("ws.discoveries")),
+      c_connections_(&sim.obs().metrics.counter("ws.connections")),
+      c_presences_(&sim.obs().metrics.counter("ws.presences_reported")),
+      c_absences_(&sim.obs().metrics.counter("ws.absences_reported")),
+      c_retransmissions_(&sim.obs().metrics.counter("ws.retransmissions")),
+      c_snapshots_(&sim.obs().metrics.counter("ws.snapshots_sent")),
+      c_crashes_(&sim.obs().metrics.counter("ws.crashes")),
+      tracer_(&sim.obs().tracer) {
   BIPS_ASSERT(cfg_.missed_rounds_for_absence >= 1);
   BIPS_ASSERT(cfg_.heartbeat_period > Duration(0));
 
@@ -60,6 +68,8 @@ void BipsWorkstation::crash() {
   stop();
   crashed_ = true;
   ++stats_.crashes;
+  c_crashes_->inc();
+  tracer_->emit(sim_.now(), obs::TraceKind::kWsCrash, station_);
   // Links die with the radio: detach every slave (they observe the loss and
   // resume scanning), and everything volatile is gone.
   for (const baseband::BdAddr a : scheduler_.piconet().slave_addrs()) {
@@ -77,6 +87,7 @@ void BipsWorkstation::crash() {
 
 void BipsWorkstation::restart() {
   if (!crashed_) return;
+  tracer_->emit(sim_.now(), obs::TraceKind::kWsRestart, station_);
   start();
 }
 
@@ -119,6 +130,9 @@ void BipsWorkstation::report(std::uint64_t bd_addr, bool present,
   endpoint_.send(server_, proto::encode(u));
   if (!retransmit_timer_.running()) retransmit_timer_.start();
   present ? ++stats_.presences_reported : ++stats_.absences_reported;
+  (present ? c_presences_ : c_absences_)->inc();
+  tracer_->emit(sim_.now(), obs::TraceKind::kPresence, station_, bd_addr,
+                present ? 1 : 0, rssi_dbm);
   BIPS_DEBUG(sim_.now(), "ws %u: %s device %012llx", station_,
              present ? "presence" : "absence",
              static_cast<unsigned long long>(bd_addr));
@@ -135,6 +149,7 @@ void BipsWorkstation::retransmit_unacked() {
   for (const auto& u : unacked_) {
     endpoint_.send(server_, proto::encode(u));
     ++stats_.retransmissions;
+    c_retransmissions_->inc();
   }
 }
 
@@ -169,12 +184,14 @@ void BipsWorkstation::send_snapshot() {
   retransmit_timer_.stop();
   endpoint_.send(server_, proto::encode(snap));
   ++stats_.snapshots_sent;
+  c_snapshots_->inc();
   BIPS_DEBUG(sim_.now(), "ws %u: snapshot to server epoch %u (%zu devices)",
              station_, server_epoch_, snap.present.size());
 }
 
 void BipsWorkstation::on_discovered(const baseband::InquiryResponse& r) {
   ++stats_.discoveries;
+  c_discoveries_->inc();
   auto [it, inserted] = tracked_.try_emplace(r.addr);
   it->second.last_seen_round = round_;
   it->second.last_rssi_dbm = r.rssi_dbm;
@@ -184,6 +201,7 @@ void BipsWorkstation::on_discovered(const baseband::InquiryResponse& r) {
 void BipsWorkstation::on_connected(baseband::BdAddr addr, SimTime when) {
   (void)when;
   ++stats_.connections;
+  c_connections_->inc();
   if (resolver_) {
     baseband::SlaveLink* link = resolver_(addr);
     if (link != nullptr && !link->connected()) {

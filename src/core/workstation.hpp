@@ -178,6 +178,18 @@ class BipsWorkstation {
   std::uint32_t next_relay_id_ = 1;
   std::unordered_map<std::uint32_t, PendingQuery> pending_queries_;
   Stats stats_;
+
+  // Aggregate "ws.*" registry cells, summed across every workstation on
+  // the simulator (the per-instance Stats struct above stays authoritative
+  // per station), plus the tracer for presence/crash records.
+  obs::Counter* c_discoveries_;
+  obs::Counter* c_connections_;
+  obs::Counter* c_presences_;
+  obs::Counter* c_absences_;
+  obs::Counter* c_retransmissions_;
+  obs::Counter* c_snapshots_;
+  obs::Counter* c_crashes_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace bips::core

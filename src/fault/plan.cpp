@@ -7,6 +7,20 @@
 
 namespace bips::fault {
 
+namespace {
+/// Emits one `fault` trace record at fire time: id = station (UINT32_MAX
+/// for building-wide faults), a = FaultEvent::Kind, b = window span in ns,
+/// x = loss probability. See DESIGN.md section 7.
+void trace_fault(core::BipsSimulation& sim, FaultEvent::Kind kind,
+                 core::StationId station = core::kNoStation,
+                 Duration span = Duration(0), double loss = 0.0) {
+  sim.simulator().obs().tracer.emit(
+      sim.simulator().now(), obs::TraceKind::kFault, station,
+      static_cast<std::uint64_t>(kind),
+      static_cast<std::uint64_t>(span.ns()), loss);
+}
+}  // namespace
+
 FaultPlan& FaultPlan::add(FaultEvent e) {
   events_.push_back(std::move(e));
   return *this;
@@ -140,22 +154,35 @@ void FaultPlan::apply(core::BipsSimulation& sim) const {
   for (const FaultEvent& e : events_) {
     switch (e.kind) {
       case FaultEvent::Kind::kStationCrash:
-        simr.schedule(e.at, [&sim, s = e.station] { sim.workstation(s).crash(); });
+        simr.schedule(e.at, [&sim, s = e.station] {
+          trace_fault(sim, FaultEvent::Kind::kStationCrash, s);
+          sim.workstation(s).crash();
+        });
         break;
       case FaultEvent::Kind::kStationRestart:
-        simr.schedule(e.at,
-                      [&sim, s = e.station] { sim.workstation(s).restart(); });
+        simr.schedule(e.at, [&sim, s = e.station] {
+          trace_fault(sim, FaultEvent::Kind::kStationRestart, s);
+          sim.workstation(s).restart();
+        });
         break;
       case FaultEvent::Kind::kServerCrash:
-        simr.schedule(e.at, [&sim] { sim.server().crash(); });
+        simr.schedule(e.at, [&sim] {
+          trace_fault(sim, FaultEvent::Kind::kServerCrash);
+          sim.server().crash();
+        });
         break;
       case FaultEvent::Kind::kServerRestart:
-        simr.schedule(e.at, [&sim] { sim.server().restart(); });
+        simr.schedule(e.at, [&sim] {
+          trace_fault(sim, FaultEvent::Kind::kServerRestart);
+          sim.server().restart();
+        });
         break;
       case FaultEvent::Kind::kPartition:
         // Resolve LAN addresses lazily: the plan may be built before the
         // deployment, and the cut must reflect the topology at fire time.
         simr.schedule(e.at, [&sim, group = e.group, span = e.span] {
+          trace_fault(sim, FaultEvent::Kind::kPartition, core::kNoStation,
+                      span);
           std::vector<net::Address> isolated;
           isolated.reserve(group.size());
           for (const core::StationId s : group) {
@@ -175,6 +202,8 @@ void FaultPlan::apply(core::BipsSimulation& sim) const {
         break;
       case FaultEvent::Kind::kLossBurst:
         simr.schedule(e.at, [&sim, loss = e.loss, span = e.span] {
+          trace_fault(sim, FaultEvent::Kind::kLossBurst, core::kNoStation,
+                      span, loss);
           const double before = sim.lan().loss();
           sim.lan().set_loss(loss);
           sim.simulator().schedule(span,
@@ -183,6 +212,7 @@ void FaultPlan::apply(core::BipsSimulation& sim) const {
         break;
       case FaultEvent::Kind::kLinkLoss:
         simr.schedule(e.at, [&sim, s = e.station, loss = e.loss, span = e.span] {
+          trace_fault(sim, FaultEvent::Kind::kLinkLoss, s, span, loss);
           const net::Address ws = sim.workstation(s).lan_address();
           const net::Address srv = sim.server().address();
           sim.lan().set_link_loss(ws, srv, loss);

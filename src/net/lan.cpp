@@ -16,7 +16,14 @@ bool Endpoint::send(Address to, Payload data) {
 }
 
 Lan::Lan(sim::Simulator& sim, Rng& rng, Config cfg)
-    : sim_(sim), rng_(rng), cfg_(cfg) {
+    : sim_(sim),
+      rng_(rng),
+      cfg_(cfg),
+      c_sent_(&sim.obs().metrics.counter("lan.sent")),
+      c_delivered_(&sim.obs().metrics.counter("lan.delivered")),
+      c_dropped_(&sim.obs().metrics.counter("lan.dropped")),
+      c_partition_dropped_(&sim.obs().metrics.counter("lan.partition_dropped")),
+      tracer_(&sim.obs().tracer) {
   BIPS_ASSERT(cfg_.base_latency >= Duration(0));
   BIPS_ASSERT(cfg_.jitter >= Duration(0));
   BIPS_ASSERT(cfg_.loss >= 0.0 && cfg_.loss <= 1.0);
@@ -83,24 +90,30 @@ void Lan::prune_fifo_state() {
 
 bool Lan::send(Address from, Address to, Payload data) {
   if (to >= endpoints_.size()) return false;
-  ++stats_.sent;
+  c_sent_->inc();
+  tracer_->emit(sim_.now(), obs::TraceKind::kLanSend, from, to, data.size());
   if (++sends_since_prune_ >= kPrunePeriod) {
     sends_since_prune_ = 0;
     prune_fifo_state();
   }
+  // lan.drop payload `b` encodes the cause: 0 partition, 1 uniform loss,
+  // 2 per-link loss (the schema in DESIGN.md section 7).
   if (partitioned(from, to)) {
-    ++stats_.dropped;
-    ++stats_.partition_dropped;
+    c_dropped_->inc();
+    c_partition_dropped_->inc();
+    tracer_->emit(sim_.now(), obs::TraceKind::kLanDrop, from, to, 0);
     return true;  // accepted by the NIC, cut by the dead switch
   }
   if (cfg_.loss > 0 && rng_.chance(cfg_.loss)) {
-    ++stats_.dropped;
+    c_dropped_->inc();
+    tracer_->emit(sim_.now(), obs::TraceKind::kLanDrop, from, to, 1);
     return true;  // accepted by the NIC, lost on the wire
   }
   if (!link_loss_.empty()) {
     const auto it = link_loss_.find(link_key(from, to));
     if (it != link_loss_.end() && rng_.chance(it->second)) {
-      ++stats_.dropped;
+      c_dropped_->inc();
+      tracer_->emit(sim_.now(), obs::TraceKind::kLanDrop, from, to, 2);
       return true;
     }
   }
@@ -117,7 +130,7 @@ bool Lan::send(Address from, Address to, Payload data) {
   last_delivery_[key] = when;
 
   sim_.schedule_at(when, [this, from, to, d = std::move(data)] {
-    ++stats_.delivered;
+    c_delivered_->inc();
     Endpoint& dst = *endpoints_[to];
     if (dst.handler_) dst.handler_(from, d);
   });

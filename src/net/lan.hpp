@@ -96,13 +96,19 @@ class Lan {
   /// True if an active partition currently separates `x` from `y`.
   bool partitioned(Address x, Address y) const;
 
+  /// Deprecated accessor shape kept for existing call sites; the cells now
+  /// live in the simulator's MetricsRegistry under "lan.*" and this struct
+  /// is materialised from them on demand.
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;            // all causes
     std::uint64_t partition_dropped = 0;  // of which: partition cuts
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{c_sent_->value(), c_delivered_->value(), c_dropped_->value(),
+                 c_partition_dropped_->value()};
+  }
 
   /// Live (from, to) FIFO-tracking entries (bounded by pruning; test hook).
   std::size_t fifo_state_size() const { return last_delivery_.size(); }
@@ -136,7 +142,12 @@ class Lan {
   std::uint32_t sends_since_prune_ = 0;
   std::unordered_map<std::uint64_t, double> link_loss_;
   std::vector<Partition> partitions_;
-  Stats stats_;
+  // Cached registry cells ("lan.*") and the tracer; see stats().
+  obs::Counter* c_sent_;
+  obs::Counter* c_delivered_;
+  obs::Counter* c_dropped_;
+  obs::Counter* c_partition_dropped_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace bips::net

@@ -1,0 +1,133 @@
+#include "src/obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "src/util/assert.hpp"
+#include "src/util/table.hpp"
+
+namespace bips::obs {
+
+namespace {
+/// JSON number formatting: shortest round-trip is overkill, fixed %.9g is
+/// deterministic across runs and platforms for the magnitudes we emit.
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    BIPS_ASSERT_MSG(it->second.kind == 'c', "metric kind mismatch");
+    return counters_[it->second.index];
+  }
+  counters_.emplace_back(&enabled_);
+  by_name_.emplace(std::string(name),
+                   Entry{'c', static_cast<std::uint32_t>(counters_.size() - 1)});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    BIPS_ASSERT_MSG(it->second.kind == 'g', "metric kind mismatch");
+    return gauges_[it->second.index];
+  }
+  gauges_.emplace_back(&enabled_);
+  by_name_.emplace(std::string(name),
+                   Entry{'g', static_cast<std::uint32_t>(gauges_.size() - 1)});
+  return gauges_.back();
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    BIPS_ASSERT_MSG(it->second.kind == 't', "metric kind mismatch");
+    return timers_[it->second.index];
+  }
+  timers_.emplace_back(&enabled_);
+  by_name_.emplace(std::string(name),
+                   Entry{'t', static_cast<std::uint32_t>(timers_.size() - 1)});
+  return timers_.back();
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != 'c') return 0;
+  return counters_[it->second.index].value();
+}
+
+std::vector<SnapshotRow> MetricsRegistry::snapshot() const {
+  std::vector<SnapshotRow> rows;
+  rows.reserve(by_name_.size());
+  for (const auto& [name, e] : by_name_) {
+    SnapshotRow row;
+    row.name = name;
+    switch (e.kind) {
+      case 'c':
+        row.kind = "counter";
+        row.count = counters_[e.index].value();
+        row.value = static_cast<double>(row.count);
+        break;
+      case 'g':
+        row.kind = "gauge";
+        row.value = gauges_[e.index].value();
+        break;
+      default: {
+        const RunningStats& s = timers_[e.index].stats();
+        row.kind = "timer";
+        row.count = s.count();
+        row.value = s.mean();
+        row.min = s.min();
+        row.max = s.max();
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string MetricsRegistry::to_table() const {
+  TableWriter table({"metric", "kind", "count", "value", "min", "max"});
+  for (const SnapshotRow& r : snapshot()) {
+    table.add_row({r.name, r.kind, std::to_string(r.count), fmt(r.value, 4),
+                   fmt(r.min, 4), fmt(r.max, 4)});
+  }
+  return table.to_string();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const SnapshotRow& r : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + r.name + "\":";
+    if (r.kind[0] == 'c') {
+      out += std::to_string(r.count);
+    } else if (r.kind[0] == 'g') {
+      out += json_number(r.value);
+    } else {
+      out += "{\"count\":" + std::to_string(r.count) +
+             ",\"mean\":" + json_number(r.value) +
+             ",\"min\":" + json_number(r.min) +
+             ",\"max\":" + json_number(r.max) + "}";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (Counter& c : counters_) c.reset();
+  for (Timer& t : timers_) t.reset();
+}
+
+}  // namespace bips::obs

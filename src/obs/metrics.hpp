@@ -1,0 +1,142 @@
+// Metrics registry: named counters, gauges and timers for the whole repo.
+//
+// Every component that used to carry a hand-rolled `Stats` struct interns
+// its counters here instead, under a dotted name ("lan.sent",
+// "radio.collisions", "server.queries"). The registry is owned by the
+// Simulator, so each simulation -- and therefore each test -- gets an
+// isolated namespace for free.
+//
+// Cost model: a component looks its cells up once at construction and keeps
+// `Counter*` handles; the hot path is then a single branch on the cached
+// enabled flag plus an add -- no hashing, no allocation, no virtual call.
+// With the registry disabled the branch falls through and the increment is
+// skipped entirely, which is what the bench overhead gate measures.
+//
+// Cells live in deques so their addresses survive later registrations; the
+// name index is an ordered map so snapshots iterate in one deterministic
+// (sorted) order regardless of registration order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stats.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::obs {
+
+/// Monotone event count. Increment through a cached pointer; the gate is
+/// the owning registry's enabled flag.
+class Counter {
+ public:
+  explicit Counter(const bool* gate) : gate_(gate) {}
+
+  void inc(std::uint64_t n = 1) {
+    if (*gate_) value_ += n;
+  }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  const bool* gate_;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value. Either set explicitly or backed by a callback that
+/// is polled at snapshot time -- callback gauges cost nothing until then.
+class Gauge {
+ public:
+  explicit Gauge(const bool* gate) : gate_(gate) {}
+
+  void set(double v) {
+    if (*gate_) value_ = v;
+  }
+  void set_callback(std::function<double()> poll) { poll_ = std::move(poll); }
+  double value() const { return poll_ ? poll_() : value_; }
+
+ private:
+  const bool* gate_;
+  double value_ = 0.0;
+  std::function<double()> poll_;
+};
+
+/// Streaming distribution of durations/samples (Welford under the hood).
+class Timer {
+ public:
+  explicit Timer(const bool* gate) : gate_(gate) {}
+
+  void record(double x) {
+    if (*gate_) stats_.add(x);
+  }
+  void record(Duration d) { record(d.to_seconds()); }
+  const RunningStats& stats() const { return stats_; }
+  void reset() { stats_ = RunningStats(); }
+
+ private:
+  const bool* gate_;
+  RunningStats stats_;
+};
+
+/// One metric as it appears in a snapshot.
+struct SnapshotRow {
+  std::string name;
+  const char* kind;          // "counter" | "gauge" | "timer"
+  std::uint64_t count = 0;   // counters: value; timers: sample count
+  double value = 0.0;        // gauges: value; timers: mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Interns a cell under `name`; repeated calls return the same cell.
+  /// Registering one name as two different kinds is a programming error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Master switch for all write paths. Snapshots always work; cells keep
+  /// whatever they accumulated while enabled. Default: enabled.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  bool has(std::string_view name) const;
+  /// Value of a counter by name; 0 when absent (query-side convenience for
+  /// benches and tests, not a hot path).
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// All metrics in sorted-name order; gauges are polled here.
+  std::vector<SnapshotRow> snapshot() const;
+  /// Aligned console table of the snapshot.
+  std::string to_table() const;
+  /// One JSON object, keys sorted, deterministic formatting.
+  std::string to_json() const;
+
+  /// Zeroes every counter and timer (gauges re-poll). Registration stays.
+  void reset();
+
+  std::size_t size() const { return by_name_.size(); }
+
+ private:
+  struct Entry {
+    char kind;  // 'c' | 'g' | 't'
+    std::uint32_t index;
+  };
+
+  bool enabled_ = true;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Timer> timers_;
+  std::map<std::string, Entry, std::less<>> by_name_;
+};
+
+}  // namespace bips::obs

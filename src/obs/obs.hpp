@@ -1,0 +1,17 @@
+// The per-simulation observability context: one metrics registry plus one
+// tracer, owned by the Simulator and reached as `sim.obs()`. Bundling them
+// keeps component constructors down to a single dependency and gives every
+// test-local Simulator an isolated metric/trace namespace.
+#pragma once
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace bips::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace bips::obs

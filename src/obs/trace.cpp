@@ -1,0 +1,83 @@
+#include "src/obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace bips::obs {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kInquiryStart: return "inquiry.start";
+    case TraceKind::kInquiryResp: return "inquiry.resp";
+    case TraceKind::kScanFhs: return "scan.fhs";
+    case TraceKind::kPageStart: return "page.start";
+    case TraceKind::kPageOk: return "page.ok";
+    case TraceKind::kPageFail: return "page.fail";
+    case TraceKind::kPresence: return "presence";
+    case TraceKind::kLanSend: return "lan.send";
+    case TraceKind::kLanDrop: return "lan.drop";
+    case TraceKind::kServerQuery: return "server.query";
+    case TraceKind::kServerCrash: return "server.crash";
+    case TraceKind::kServerRestart: return "server.restart";
+    case TraceKind::kWsCrash: return "ws.crash";
+    case TraceKind::kWsRestart: return "ws.restart";
+    case TraceKind::kFault: return "fault";
+    case TraceKind::kKernelSample: return "kernel.sample";
+  }
+  return "?";
+}
+
+std::string to_jsonl(const TraceRecord& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"t_ns\":%lld,\"kind\":\"%s\",\"id\":%u,\"a\":%llu,"
+                "\"b\":%llu,\"x\":%.6f}\n",
+                static_cast<long long>(r.at.ns()), to_string(r.kind), r.id,
+                static_cast<unsigned long long>(r.a),
+                static_cast<unsigned long long>(r.b), r.x);
+  return buf;
+}
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {}
+
+void RingSink::write(const TraceRecord& r) {
+  ++written_;
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(r);
+}
+
+void RingSink::clear() {
+  records_.clear();
+  written_ = 0;
+  dropped_ = 0;
+}
+
+JsonlSink::JsonlSink(std::ostream& os, std::size_t buffer_records)
+    : os_(os), buffer_records_(buffer_records) {
+  buf_.reserve(buffer_records_);
+}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::write(const TraceRecord& r) {
+  buf_.push_back(r);
+  if (buf_.size() >= buffer_records_) flush();
+}
+
+void JsonlSink::flush() {
+  // Swap the buffer out *before* encoding: should encoding itself trigger a
+  // re-entrant flush (it cannot today, but crash handlers are jumpy places)
+  // every record still goes out exactly once.
+  std::vector<TraceRecord> pending;
+  pending.swap(buf_);
+  for (const TraceRecord& r : pending) {
+    os_ << to_jsonl(r);
+    ++written_;
+  }
+  os_.flush();
+}
+
+}  // namespace bips::obs

@@ -1,0 +1,143 @@
+// Structured simulation tracing.
+//
+// Components emit typed, fixed-size TraceRecords -- not strings -- through
+// the Tracer the Simulator owns. A record carries the simulated time, a
+// kind tag, one stable subject id and three free payload words whose
+// meaning is fixed per kind (see DESIGN.md section 7 for the schema). All
+// identifiers are simulation-stable (station ids, BD_ADDRs, event counts),
+// never host pointers or wall-clock times, so two same-seed runs produce
+// byte-identical traces.
+//
+// Emission is a single branch on the cached sink pointer; with no sink
+// installed tracing costs ~nothing and, crucially, perturbs nothing: sinks
+// only record, they never schedule, so the simulation's event order is
+// bit-identical with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/time.hpp"
+
+namespace bips::obs {
+
+enum class TraceKind : std::uint8_t {
+  kInquiryStart,    // master opened an inquiry phase
+  kInquiryResp,     // first FHS heard from a device this session
+  kScanFhs,         // a scanner transmitted its FHS response
+  kPageStart,       // master started paging a target
+  kPageOk,          // page exchange completed
+  kPageFail,        // page timed out
+  kPresence,        // workstation reported a presence delta to the server
+  kLanSend,         // datagram accepted by the LAN
+  kLanDrop,         // datagram dropped (partition / uniform / link loss)
+  kServerQuery,     // spatio-temporal query executed
+  kServerCrash,     // fault: server died
+  kServerRestart,   // fault: server came back (new epoch)
+  kWsCrash,         // fault: workstation died
+  kWsRestart,       // fault: workstation came back
+  kFault,           // a FaultPlan event fired
+  kKernelSample,    // periodic event-churn sample from the simulator core
+};
+
+/// Stable wire name of a kind ("lan.send", "kernel.sample", ...).
+const char* to_string(TraceKind k);
+
+/// One trace event. Fixed-size POD; field meaning per kind is documented in
+/// DESIGN.md section 7. Unused fields are zero.
+struct TraceRecord {
+  SimTime at;
+  TraceKind kind = TraceKind::kKernelSample;
+  std::uint32_t id = 0;   // subject: station id, low-32 device addr, ...
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double x = 0.0;
+};
+
+/// Renders one record as a single JSONL line (terminated with '\n').
+/// Formatting is fully deterministic: integer ns timestamps, %.6f payload.
+std::string to_jsonl(const TraceRecord& r);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceRecord& r) = 0;
+  /// Persists anything buffered. Must be exactly-once per record and safe
+  /// to call repeatedly (crash paths flush defensively).
+  virtual void flush() {}
+};
+
+/// Bounded in-memory ring: keeps the newest `capacity` records, counts what
+/// it had to drop. The default sink for tests and interactive tools.
+class RingSink : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity = 65536);
+
+  void write(const TraceRecord& r) override;
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_written() const { return written_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t written_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Buffered JSONL file sink. Records accumulate in memory and are encoded
+/// on flush; flush clears the buffer first, so a crash handler that flushes
+/// and a destructor that flushes again emit every record exactly once.
+class JsonlSink : public TraceSink {
+ public:
+  /// `os` must outlive the sink. `buffer_records` bounds the in-memory
+  /// buffer; the sink self-flushes when it fills.
+  explicit JsonlSink(std::ostream& os, std::size_t buffer_records = 8192);
+  ~JsonlSink() override;
+
+  void write(const TraceRecord& r) override;
+  void flush() override;
+
+  /// Records encoded to the stream so far (excludes the pending buffer).
+  std::uint64_t records_written() const { return written_; }
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::ostream& os_;
+  std::size_t buffer_records_;
+  std::vector<TraceRecord> buf_;
+  std::uint64_t written_ = 0;
+};
+
+/// The emission front-end components cache a pointer to. No sink installed
+/// (the default) means emit() is one compare-and-skip.
+class Tracer {
+ public:
+  /// Installs a sink (caller keeps ownership); nullptr disables tracing.
+  /// Returns the previous sink so scoped instrumentation can restore it.
+  TraceSink* set_sink(TraceSink* s) {
+    TraceSink* prev = sink_;
+    sink_ = s;
+    return prev;
+  }
+  TraceSink* sink() const { return sink_; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  void emit(SimTime at, TraceKind kind, std::uint32_t id = 0,
+            std::uint64_t a = 0, std::uint64_t b = 0, double x = 0.0) {
+    if (sink_ != nullptr) sink_->write(TraceRecord{at, kind, id, a, b, x});
+  }
+  void flush() {
+    if (sink_ != nullptr) sink_->flush();
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace bips::obs

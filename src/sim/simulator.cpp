@@ -4,6 +4,25 @@
 
 namespace bips::sim {
 
+namespace {
+/// Kernel-churn trace sampling period: one kernel.sample record per this
+/// many executed events. Power of two so the check is a mask, not a divide.
+constexpr std::uint64_t kSampleMask = (1ull << 16) - 1;
+}  // namespace
+
+Simulator::Simulator() {
+  // Callback gauges: zero cost until a snapshot polls them.
+  obs_.metrics.gauge("kernel.events_executed").set_callback([this] {
+    return static_cast<double>(executed_);
+  });
+  obs_.metrics.gauge("kernel.events_pending").set_callback([this] {
+    return static_cast<double>(heap_.size());
+  });
+  obs_.metrics.gauge("kernel.arena_slots").set_callback([this] {
+    return static_cast<double>(slots_.size());
+  });
+}
+
 void EventHandle::cancel() {
   if (sim_ != nullptr && id_ != kNoEvent) sim_->cancel(id_);
   id_ = kNoEvent;
@@ -122,6 +141,12 @@ Callback Simulator::take_front() {
   // this slot under a fresh generation) or cancel its own, now stale, id.
   retire(slot);
   ++executed_;
+  if ((executed_ & kSampleMask) == 0 && obs_.tracer.enabled()) {
+    // Sinks only record; they cannot schedule, so sampling never perturbs
+    // the event order -- traces stay bit-identical with tracing on or off.
+    obs_.tracer.emit(now_, obs::TraceKind::kKernelSample, 0, executed_,
+                     heap_.size(), static_cast<double>(slots_.size()));
+  }
   return fn;
 }
 

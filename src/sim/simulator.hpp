@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/obs.hpp"
 #include "src/sim/callback.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/time.hpp"
@@ -53,9 +54,15 @@ class EventHandle {
 /// The event-driven simulator core.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Per-simulation observability context (metrics + tracing). Everything
+  /// built on this simulator registers its cells and emits its trace here,
+  /// so each Simulator instance is an isolated measurement namespace.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   /// Current simulated time.
   SimTime now() const { return now_; }
@@ -158,6 +165,7 @@ class Simulator {
   // Returns the slot to the free list with a bumped generation.
   void retire(std::uint32_t slot);
 
+  obs::Observability obs_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

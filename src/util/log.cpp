@@ -23,7 +23,11 @@ const char* level_name(LogLevel l) {
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
-void set_log_capture(std::string* sink) { g_capture = sink; }
+std::string* set_log_capture(std::string* sink) {
+  std::string* prev = g_capture;
+  g_capture = sink;
+  return prev;
+}
 
 void log_at(LogLevel level, SimTime t, const char* fmt, ...) {
   char msg[1024];

@@ -24,8 +24,10 @@ void log_at(LogLevel level, SimTime t, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
 /// Captures log output into a string instead of stderr (single-threaded test
-/// helper). Pass nullptr to restore stderr.
-void set_log_capture(std::string* sink);
+/// helper). Pass nullptr to restore stderr. Returns the previously installed
+/// sink so nested captures (a crash handler inside an instrumented run) can
+/// restore their outer capture instead of silently dropping it.
+std::string* set_log_capture(std::string* sink);
 
 #define BIPS_LOG(level, t, ...)                                    \
   do {                                                             \
