@@ -61,7 +61,8 @@ Outcome sweep_point(int backoff_slots, int n_slaves) {
       ++found_total;
       if (t <= 1.0) ++within;
     }
-    collisions.add(static_cast<double>(w.radio.stats().collisions));
+    collisions.add(static_cast<double>(
+        w.obs().metrics.counter_value("radio.collisions")));
   }
   Outcome o;
   o.mean_discovery = times.mean();

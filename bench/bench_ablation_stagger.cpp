@@ -75,7 +75,8 @@ Outcome run_mode(bool staggered) {
         o.first_seen.add(first);
       }
     }
-    o.collisions.add(static_cast<double>(sim.radio().stats().collisions));
+    o.collisions.add(static_cast<double>(
+        sim.simulator().obs().metrics.counter_value("radio.collisions")));
   }
   return o;
 }

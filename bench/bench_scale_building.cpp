@@ -13,6 +13,8 @@
 // Usage:
 //   bench_scale_building [--smoke] [-o out.json] [--no-metrics]
 //                        [--trace trace.jsonl] [--ab] [--max-overhead PCT]
+//                        [--exact-slots] [--history FILE] [--ff-ab]
+//                        [--min-speedup X] [--reps N] [--point RxCxUxS]
 //
 // --smoke runs the smallest configuration only (CI). --no-metrics runs with
 // the registry gated off (the "disabled path" whose cost must stay ~zero).
@@ -20,14 +22,31 @@
 // --ab runs every point twice -- registry disabled then enabled -- and
 // reports the enabled-path overhead; --max-overhead PCT makes the process
 // exit nonzero if any point's overhead exceeds PCT (the CI gate).
+//
+// --exact-slots forces the per-slot drumming baseband (the default is the
+// virtual-slot fast-forward path). --history FILE dumps the first point's
+// discovery-history CSV. --ff-ab runs every point in BOTH modes, byte-diffs
+// the two discovery histories (any difference fails the process: the two
+// modes are contractually equivalent), and reports the fast-forward speedup
+// in events-retired-per-second equivalents: byte-identical histories mean
+// both modes retire the same semantic slot stream, so the equivalent
+// throughput of the fast-forward run is the exact run's event count over the
+// fast-forward run's CPU time, and the speedup reduces to the CPU-time
+// ratio. --min-speedup X fails the process if any point lands below X;
+// --reps N takes the best of N interleaved passes per mode (throughput
+// only -- histories are deterministic, so they are captured once).
+// --point RxCxUxS replaces the sweep with a single rows x cols x users x
+// sim-seconds configuration, e.g. --point 8x8x512x10.
 #include <ctime>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,15 +66,19 @@ struct SweepPoint {
 struct Result {
   SweepPoint p;
   bool metrics_on = true;
+  bool exact_slots = false;
   std::uint64_t events = 0;
+  std::uint64_t skipped = 0;  // kernel.skipped_slots (0 under --exact-slots)
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t discoveries = 0;
   double cpu_s = 0;   // process CPU time: robust on a shared machine
   double wall_s = 0;
-  double events_per_sec = 0;  // events / cpu_s
-  double sim_ratio = 0;       // simulated seconds per CPU second
-  double overhead_pct = 0;    // --ab only, on the enabled row
+  double events_per_sec = 0;   // events / cpu_s
+  double retired_per_sec = 0;  // (events + skipped) / cpu_s
+  double sim_ratio = 0;        // simulated seconds per CPU second
+  double overhead_pct = 0;     // --ab only, on the enabled row
+  double speedup = 0;          // --ff-ab only, on the fast-forward row
 };
 
 double process_cpu_seconds() {
@@ -65,10 +88,12 @@ double process_cpu_seconds() {
 }
 
 Result run_point(const SweepPoint& p, bool metrics_on,
-                 const std::string& trace_path) {
+                 const std::string& trace_path, bool exact_slots,
+                 std::string* history_out = nullptr) {
   core::SimulationConfig cfg;
   cfg.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
   cfg.stagger_inquiry = true;
+  cfg.channel.exact_slots = exact_slots;
   // The Figure 2 cadence: short cycles keep every master inquiring often,
   // which is the radio-heavy regime the bench is meant to stress.
   cfg.workstation.scheduler.inquiry_length = Duration::from_seconds(1.28);
@@ -106,18 +131,30 @@ Result run_point(const SweepPoint& p, bool metrics_on,
   Result r;
   r.p = p;
   r.metrics_on = metrics_on;
+  r.exact_slots = exact_slots;
   r.events = sim.simulator().events_executed();
   // The traffic counters now come off the registry snapshot -- with the
   // registry gated off they read zero, which is exactly the disabled path
   // the A/B mode measures.
   const auto& m = sim.simulator().obs().metrics;
+  r.skipped = m.counter_value("kernel.skipped_slots");
   r.transmissions = m.counter_value("radio.transmissions");
   r.deliveries = m.counter_value("radio.deliveries");
   r.discoveries = m.counter_value("ws.discoveries");
   r.cpu_s = c1 - c0;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.events_per_sec = r.cpu_s > 0 ? static_cast<double>(r.events) / r.cpu_s : 0;
+  // Retired-equivalent throughput: every slot the fast-forward path elides
+  // is a slot the exact drum would have paid kernel events for, so the fair
+  // cross-mode unit is executed events plus skipped slots.
+  r.retired_per_sec =
+      r.cpu_s > 0 ? static_cast<double>(r.events + r.skipped) / r.cpu_s : 0;
   r.sim_ratio = r.cpu_s > 0 ? p.sim_seconds / r.cpu_s : 0;
+  if (history_out != nullptr) {
+    std::ostringstream hist;
+    sim.write_history_csv(hist);
+    *history_out = hist.str();
+  }
   return r;
 }
 
@@ -128,22 +165,25 @@ void write_json(const std::vector<Result>& results, const std::string& path,
      << (smoke ? "smoke" : "full") << (ab ? "-ab" : "") << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    char buf[640];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
-        "\"metrics\": %s, \"events\": %llu, \"transmissions\": %llu, "
+        "\"metrics\": %s, \"exact_slots\": %s, \"events\": %llu, "
+        "\"skipped_slots\": %llu, \"transmissions\": %llu, "
         "\"deliveries\": %llu, \"discoveries\": %llu, \"cpu_s\": %.3f, "
-        "\"wall_s\": %.3f, \"events_per_sec\": %.0f, \"sim_ratio\": %.1f, "
-        "\"overhead_pct\": %.2f}%s\n",
+        "\"wall_s\": %.3f, \"events_per_sec\": %.0f, "
+        "\"retired_per_sec\": %.0f, \"sim_ratio\": %.1f, "
+        "\"overhead_pct\": %.2f, \"speedup\": %.2f}%s\n",
         r.p.rows * r.p.cols, r.p.users, r.p.sim_seconds,
-        r.metrics_on ? "true" : "false",
+        r.metrics_on ? "true" : "false", r.exact_slots ? "true" : "false",
         static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.skipped),
         static_cast<unsigned long long>(r.transmissions),
         static_cast<unsigned long long>(r.deliveries),
         static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
-        r.events_per_sec, r.sim_ratio, r.overhead_pct,
-        i + 1 < results.size() ? "," : "");
+        r.events_per_sec, r.retired_per_sec, r.sim_ratio, r.overhead_pct,
+        r.speedup, i + 1 < results.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
@@ -153,54 +193,101 @@ struct Options {
   bool smoke = false;
   bool metrics = true;
   bool ab = false;
+  bool exact_slots = false;
+  bool ffab = false;
+  int reps = 1;              // --ff-ab: best-of-N passes per mode
   double max_overhead = -1;  // <0: no gate
+  double min_speedup = -1;   // <0: no gate
   std::string out = "BENCH_scale.json";
   std::string trace_path;
+  std::string history_path;
+  bool has_point = false;
+  SweepPoint point{};
 };
 
 int run(const Options& opt) {
   print_header("SCALE", "Building-scale sweep: whole-stack events/sec");
 
   std::vector<SweepPoint> sweep;
-  if (opt.smoke) {
+  if (opt.has_point) {
+    sweep = {opt.point};
+  } else if (opt.smoke) {
     sweep = {{2, 2, 8, 10.0}};
   } else {
     sweep = {{2, 2, 8, 30.0},
              {2, 4, 32, 30.0},
              {4, 4, 64, 30.0},
              {4, 8, 192, 20.0},
-             {8, 8, 512, 20.0}};
+             {8, 8, 512, 20.0},
+             {8, 16, 1024, 20.0}};
   }
 
-  TableWriter table({"rooms", "users", "sim s", "obs", "events", "cpu s",
-                     "events/s", "sim x realtime"});
+  TableWriter table({"rooms", "users", "sim s", "mode", "obs", "events",
+                     "skipped", "cpu s", "retired/s", "sim x realtime"});
   auto add_row = [&table](const Result& r) {
     table.add_row({std::to_string(r.p.rows * r.p.cols),
                    std::to_string(r.p.users), fmt(r.p.sim_seconds, 0),
-                   r.metrics_on ? "on" : "off", std::to_string(r.events),
-                   fmt(r.cpu_s, 2), fmt(r.events_per_sec, 0),
+                   r.exact_slots ? "exact" : "ff", r.metrics_on ? "on" : "off",
+                   std::to_string(r.events), std::to_string(r.skipped),
+                   fmt(r.cpu_s, 2), fmt(r.retired_per_sec, 0),
                    fmt(r.sim_ratio, 1)});
   };
 
   std::vector<Result> results;
   double worst_overhead = 0;
+  double worst_speedup = 1e300;
+  bool history_mismatch = false;
+  std::string first_history;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
     // The trace (if requested) rides the first point's enabled run.
     const std::string trace = i == 0 ? opt.trace_path : std::string();
-    if (opt.ab) {
+    if (opt.ffab) {
+      // Exact-vs-virtual equivalence and speedup: one history-capturing
+      // pass per mode (the sim is deterministic, so one capture suffices),
+      // then best-of-reps interleaved passes for throughput. Noise only
+      // ever slows a run down, so the per-mode max converges on the true
+      // figure.
+      std::string hist_exact, hist_ff;
+      Result ex = run_point(p, true, "", true, &hist_exact);
+      Result ff = run_point(p, true, trace, false, &hist_ff);
+      for (int rep = 1; rep < opt.reps; ++rep) {
+        const Result ex2 = run_point(p, true, "", true);
+        if (ex2.retired_per_sec > ex.retired_per_sec) ex = ex2;
+        const Result ff2 = run_point(p, true, "", false);
+        if (ff2.retired_per_sec > ff.retired_per_sec) ff = ff2;
+      }
+      const bool identical = hist_exact == hist_ff;
+      if (!identical) history_mismatch = true;
+      // Byte-identical histories: both modes retired the same semantic
+      // slot stream, so equivalent throughput is exact-events over each
+      // mode's CPU time and the speedup is the CPU-time ratio.
+      ff.speedup = ff.cpu_s > 0 ? ex.cpu_s / ff.cpu_s : 0.0;
+      worst_speedup = std::min(worst_speedup, ff.speedup);
+      if (i == 0) first_history = hist_ff;
+      results.push_back(ex);
+      results.push_back(ff);
+      add_row(ex);
+      add_row(ff);
+      const double ff_equiv =
+          ff.cpu_s > 0 ? static_cast<double>(ex.events) / ff.cpu_s : 0.0;
+      std::printf("done: %d rooms / %d users -> exact %.0f ev/s, "
+                  "ff %.0f equiv-ev/s (%.2fx, histories %s)\n",
+                  p.rows * p.cols, p.users, ex.events_per_sec, ff_equiv,
+                  ff.speedup, identical ? "identical" : "DIFFER");
+    } else if (opt.ab) {
       // Best-of-N per mode, interleaved, where N grows until each mode has
       // accumulated enough CPU time to measure: single passes of the small
       // points run in milliseconds, where scheduler noise dwarfs the
       // instrumentation cost the gate below is after. Noise only ever makes
       // a run slower, so the per-mode max converges on the true throughput.
-      Result off = run_point(p, false, "");
-      Result on = run_point(p, true, trace);
+      Result off = run_point(p, false, "", opt.exact_slots);
+      Result on = run_point(p, true, trace, opt.exact_slots);
       double cpu_spent = off.cpu_s + on.cpu_s;
       for (int rep = 1; rep < 25 && (rep < 3 || cpu_spent < 0.5); ++rep) {
-        const Result off2 = run_point(p, false, "");
+        const Result off2 = run_point(p, false, "", opt.exact_slots);
         if (off2.events_per_sec > off.events_per_sec) off = off2;
-        const Result on2 = run_point(p, true, "");
+        const Result on2 = run_point(p, true, "", opt.exact_slots);
         if (on2.events_per_sec > on.events_per_sec) on = on2;
         cpu_spent += off2.cpu_s + on2.cpu_s;
       }
@@ -218,7 +305,9 @@ int run(const Options& opt) {
                   p.rows * p.cols, p.users, off.events_per_sec,
                   on.events_per_sec, on.overhead_pct);
     } else {
-      const Result r = run_point(p, opt.metrics, trace);
+      std::string* hist =
+          i == 0 && !opt.history_path.empty() ? &first_history : nullptr;
+      const Result r = run_point(p, opt.metrics, trace, opt.exact_slots, hist);
       results.push_back(r);
       add_row(r);
       std::printf("done: %d rooms / %d users -> %.0f events/s (%.2f s cpu)\n",
@@ -227,10 +316,41 @@ int run(const Options& opt) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  write_json(results, opt.out, opt.smoke, opt.ab);
+  write_json(results, opt.out, opt.smoke, opt.ab || opt.ffab);
   std::printf("report written to %s\n", opt.out.c_str());
   if (!opt.trace_path.empty()) {
     std::printf("trace written to %s\n", opt.trace_path.c_str());
+  }
+  if (!opt.history_path.empty()) {
+    std::ofstream hist_os(opt.history_path);
+    if (!hist_os) {
+      std::fprintf(stderr, "error: cannot open history sink %s\n",
+                   opt.history_path.c_str());
+      return 1;
+    }
+    hist_os << first_history;
+    std::printf("discovery history written to %s\n", opt.history_path.c_str());
+  }
+
+  if (opt.ffab) {
+    if (history_mismatch) {
+      std::printf("FAIL: exact-slot and fast-forward discovery histories "
+                  "differ -- the modes must be byte-equivalent\n");
+      return 1;
+    }
+    std::printf("OK: exact-slot and fast-forward discovery histories are "
+                "byte-identical at every point\n");
+    if (opt.min_speedup >= 0) {
+      if (worst_speedup < opt.min_speedup) {
+        std::printf("FAIL: fast-forward speedup %.2fx is below the %.2fx "
+                    "floor\n",
+                    worst_speedup, opt.min_speedup);
+        return 1;
+      }
+      std::printf("OK: worst fast-forward speedup %.2fx clears the %.2fx "
+                  "floor\n",
+                  worst_speedup, opt.min_speedup);
+    }
   }
 
   if (opt.ab && opt.max_overhead >= 0) {
@@ -259,16 +379,39 @@ int main(int argc, char** argv) {
       opt.metrics = false;
     } else if (std::strcmp(argv[i], "--ab") == 0) {
       opt.ab = true;
+    } else if (std::strcmp(argv[i], "--ff-ab") == 0) {
+      opt.ffab = true;
+    } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
+      opt.exact_slots = true;
     } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
       opt.max_overhead = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      opt.min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+      if (opt.reps < 1) opt.reps = 1;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       opt.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
+      opt.history_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--point") == 0 && i + 1 < argc) {
+      bips::bench::SweepPoint p{};
+      if (std::sscanf(argv[++i], "%dx%dx%dx%lf", &p.rows, &p.cols, &p.users,
+                      &p.sim_seconds) != 4 ||
+          p.rows < 1 || p.cols < 1 || p.users < 1 || p.sim_seconds <= 0) {
+        std::fprintf(stderr, "bad --point (want RxCxUxS, e.g. 8x8x512x10)\n");
+        return 2;
+      }
+      opt.point = p;
+      opt.has_point = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       opt.out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [-o out.json] [--no-metrics] "
-                   "[--trace trace.jsonl] [--ab] [--max-overhead PCT]\n",
+                   "[--trace trace.jsonl] [--ab] [--max-overhead PCT] "
+                   "[--exact-slots] [--history FILE] [--ff-ab] "
+                   "[--min-speedup X] [--reps N] [--point RxCxUxS]\n",
                    argv[0]);
       return 2;
     }

@@ -10,8 +10,10 @@
 // trace (JSONL, one record per line) for offline analysis.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "src/core/scenario.hpp"
 #include "src/obs/obs.hpp"
@@ -71,23 +73,49 @@ void report(core::BipsSimulation& sim, const core::ScenarioSpec& spec) {
               sim.simulator().obs().metrics.to_table().c_str());
 }
 
+/// Opens `path` for writing, creating missing parent directories first.
+/// Any failure (uncreatable directory, unwritable file) is reported on
+/// stderr and returns false -- the runner exits with an error status
+/// instead of aborting or writing a partial sink.
+bool open_sink(std::ofstream& os, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create directory %s: %s\n",
+                   p.parent_path().string().c_str(), ec.message().c_str());
+      return false;
+    }
+  }
+  os.open(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  bool exact_slots = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
+      exact_slots = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (positional.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--trace trace.jsonl] <scenario-file> "
-                 "[history.csv]\n"
-                 "       %s [--trace trace.jsonl] --demo\n",
+                 "usage: %s [--trace trace.jsonl] [--exact-slots] "
+                 "<scenario-file> [history.csv]\n"
+                 "       %s [--trace trace.jsonl] [--exact-slots] --demo\n",
                  argv[0], argv[0]);
     return 1;
   }
@@ -116,13 +144,10 @@ int main(int argc, char** argv) {
   std::ofstream trace_os;
   std::unique_ptr<obs::JsonlSink> trace_sink;
   if (!trace_path.empty()) {
-    trace_os.open(trace_path);
-    if (!trace_os) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-      return 1;
-    }
+    if (!open_sink(trace_os, trace_path)) return 1;
     trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
   }
+  if (exact_slots) spec->config.channel.exact_slots = true;
   auto sim = core::run_scenario(*spec, [&](core::BipsSimulation& s) {
     if (trace_sink) s.simulator().obs().tracer.set_sink(trace_sink.get());
   });
@@ -135,11 +160,8 @@ int main(int argc, char** argv) {
   }
 
   if (positional.size() >= 2 && std::strcmp(positional[0], "--demo") != 0) {
-    std::ofstream csv(positional[1]);
-    if (!csv) {
-      std::fprintf(stderr, "cannot write %s\n", positional[1]);
-      return 1;
-    }
+    std::ofstream csv;
+    if (!open_sink(csv, positional[1])) return 1;
     sim->write_history_csv(csv);
     std::printf("\nhistory written to %s\n", positional[1]);
   }

@@ -118,6 +118,23 @@ struct ChannelConfig {
   /// physical frequency and interfere (~1/79 per hop pair for independent
   /// sequences; 0 keeps the idealised disjoint model).
   double cross_set_interference = 0.0;
+  /// Exact-slot drumming: when true, inquiry/page masters re-arm their
+  /// tx-slot process every 1250 us even when no listener could possibly
+  /// hear them -- the original, fully-literal schedule. When false (the
+  /// default), a master whose channel set has no triggering listener within
+  /// ff_radius() parks on a VirtualClock and fast-forwards closed-form to
+  /// the instant one appears (see DESIGN.md section 5c). The two modes
+  /// produce byte-identical discovery histories and presence streams for a
+  /// fixed seed; only idle-slot bookkeeping differs.
+  bool exact_slots = false;
+  /// Safety slack, metres, added to the occupancy radius
+  ///   ff_radius() = 2 * max_range_highwater + ff_slack_m
+  /// which over-approximates every interaction chain a skipped transmission
+  /// could join: a sender within range of a victim listener that is itself
+  /// within range of the parked master (hence the factor 2); the slack
+  /// absorbs listener drift between registration and delivery (same role as
+  /// grid_slack_m).
+  double ff_slack_m = 2.0;
 };
 
 struct BasebandConfig {

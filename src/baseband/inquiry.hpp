@@ -5,16 +5,28 @@
 // 312.5 us half-slot) and listens for FHS responses on the two paired
 // response channels. After N_inquiry repetitions of a train (2.56 s) it
 // switches trains, if configured to.
+//
+// Virtual slots: unless ChannelConfig::exact_slots is set, a master whose
+// inquiry namespace shows no triggering listener within ff_radius() parks
+// the drumming on a VirtualClock and subscribes for occupancy; on wake it
+// advances train/repetition phase closed-form, credits the skipped IDs and
+// listen windows to the energy/statistics ledgers, reconstructs the (at
+// most two) response-listen pairs still open as backdated listens, and
+// replays the last skipped slot's second ID if its half-slot is still in
+// the future. DESIGN.md section 5c derives why this is byte-equivalent to
+// drumming every slot.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
 #include "src/baseband/hopping.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/virtual_clock.hpp"
 
 namespace bips::baseband {
 
@@ -46,7 +58,13 @@ class Inquirer {
     std::uint64_t unique_responses = 0; // distinct addresses this session
     std::uint64_t train_switches = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Mode-invariant: while parked, the IDs the exact path would have sent
+  /// by now are credited lazily, so a mid-park reader sees the same counts
+  /// in both modes.
+  const Stats& stats() const {
+    sync_park_stats();
+    return stats_;
+  }
 
  private:
   void tx_slot();
@@ -54,12 +72,25 @@ class Inquirer {
   void close_pair(int k);
   void on_fhs(const Packet& p, SimTime end);
   void advance_phase();
+  void park(SimTime t0);
+  void wake();
+  void retire_park(SimTime now);
+  /// (train, tx_slot) the drumming would show at the k-th slot after the
+  /// park point, without mutating the live phase.
+  std::pair<Train, std::uint32_t> phase_at(std::uint64_t k) const;
+  /// Advances train_/reps_/tx_slot_ (and the train-switch statistic) by n
+  /// slots in O(1) -- the closed form of n advance_phase() calls.
+  void advance_phase_by(std::uint64_t n);
+  /// Folds the IDs elided by the current park (so far) into stats_ without
+  /// ending it; wake()/retire_park() subtract what was already credited.
+  void sync_park_stats() const;
 
   Device& dev_;
   InquiryConfig cfg_;
   ResponseCallback on_response_;
 
   bool active_ = false;
+  bool exact_ = true;  // snapshot of ChannelConfig::exact_slots at start()
   Train train_ = Train::kA;
   int reps_ = 0;            // completed repetitions of current train
   std::uint32_t tx_slot_ = 0;  // 0..kTrainTxSlots-1 within a repetition
@@ -79,7 +110,17 @@ class Inquirer {
                                 {kNoListen, kNoListen}};
   int close_rotor_ = 0;
   std::unordered_set<BdAddr> seen_;
-  Stats stats_;
+  // Fast-forward state: the parked cadence (one activation per two slots),
+  // the wake process the occupancy callback arms (callbacks may only
+  // schedule), and the pending subscription, if any.
+  sim::VirtualClock vclock_;
+  sim::Process wake_proc_;
+  OccupancySubId occ_sub_ = kNoOccupancySub;
+  // Mutable for sync_park_stats(): a const stats() read mid-park credits
+  // the elided IDs lazily. park_ids_credited_ is what the current park has
+  // already folded in (reset to 0 when the park ends).
+  mutable Stats stats_;
+  mutable std::uint64_t park_ids_credited_ = 0;
 };
 
 }  // namespace bips::baseband

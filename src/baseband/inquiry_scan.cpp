@@ -146,6 +146,12 @@ void InquiryScanner::on_id(const Packet& p, RfChannel ch, SimTime end) {
     armed_ = false;
     response_index_ = ch.index;
     response_proc_.call_at(id_start + kSlot);
+    // The listen just closed, but the committed response is still in
+    // flight: hold the occupancy so nearby masters keep drumming exactly
+    // until it lands (their skipped slots could otherwise silently collide
+    // with -- or be overheard as -- this FHS). Ends with the FHS's air time.
+    dev_.radio().occupancy_hold(ch, dev_.position(),
+                                id_start + kSlot + Duration::micros(366));
     return;
   }
 

@@ -22,7 +22,9 @@ Pager::Pager(Device& dev, PageConfig cfg)
                    {dev.sim(), [this] { close_pair(1); }}},
       fhs_proc_(dev.sim(), [this] { send_fhs(); }),
       ack_timeout_proc_(dev.sim(), [this] { ack_timed_out(); }),
-      page_timeout_proc_(dev.sim(), [this] { fail(); }) {
+      page_timeout_proc_(dev.sim(), [this] { fail(); }),
+      vclock_(dev.sim(), 2 * kSlot),
+      wake_proc_(dev.sim(), [this] { wake(); }) {
   BIPS_ASSERT(cfg_.train_repetitions > 0);
 }
 
@@ -39,7 +41,9 @@ void Pager::page(BdAddr target, std::uint32_t clock_sample,
   BIPS_ASSERT(!target.is_null());
   active_ = true;
   awaiting_ack_ = false;
+  exact_ = dev_.radio().config().exact_slots;
   target_ = target;
+  page_ns_ = page_namespace(target);
   clock_sample_ = clock_sample;
   sample_time_ = sample_time;
   reps_ = 0;
@@ -76,6 +80,8 @@ void Pager::cancel() {
 void Pager::cleanup() {
   active_ = false;
   awaiting_ack_ = false;
+  if (vclock_.parked()) absorb_park(dev_.sim().now());
+  wake_proc_.cancel();
   slot_proc_.cancel();
   id2_proc_.cancel();
   close_procs_[0].cancel();
@@ -104,6 +110,14 @@ void Pager::tx_slot() {
   if (!active_ || awaiting_ack_) return;
   const SimTime t0 = dev_.sim().now();
 
+  // Virtual-slot park: only the target (whose page namespace this is) can
+  // answer an addressed ID, so with no triggering listener in reach the
+  // sweep is unobservable -- skip ahead. See Inquirer::tx_slot.
+  if (!exact_ && !dev_.radio().occupied(page_ns_, dev_.position())) {
+    park(t0);
+    return;
+  }
+
   const std::uint32_t idx1 =
       (train_base_index_ + tx_slot_ * 2) % kChannelsPerSet;
   second_index_ = (train_base_index_ + tx_slot_ * 2 + 1) % kChannelsPerSet;
@@ -116,15 +130,168 @@ void Pager::tx_slot() {
     on_response(p, ch, end);
   };
   ListenId* pair = open_pairs_[close_rotor_];
-  pair[0] =
-      dev_.radio().start_listen(&dev_, page_channel(target_, idx1), handler);
+  pair[0] = dev_.radio().start_listen(&dev_, page_channel(target_, idx1),
+                                      handler, ListenKind::kPassive);
   pair[1] = dev_.radio().start_listen(&dev_, page_channel(target_, second_index_),
-                                      handler);
+                                      handler, ListenKind::kPassive);
   close_procs_[close_rotor_].call_at(t0 + kResponseListenSpan);
   close_rotor_ ^= 1;
 
   advance_phase();
   slot_proc_.call_at(t0 + 2 * kSlot);
+}
+
+void Pager::park(SimTime t0) {
+  vclock_.park(t0);
+  occ_sub_ = dev_.radio().subscribe_occupancy(
+      page_ns_, dev_.position(), [this](SimTime) {
+        // Fired from inside a triggering registration: only schedule here.
+        occ_sub_ = kNoOccupancySub;
+        wake_proc_.call_at(dev_.sim().now());
+      });
+}
+
+void Pager::wake() {
+  if (!active_ || awaiting_ack_ || !vclock_.parked()) return;
+  const SimTime now = dev_.sim().now();
+  const SimTime parked_at = vclock_.parked_at();
+  const auto wk = vclock_.wake(now);
+  const SimTime resume = wk.resume;
+  const std::uint64_t n = wk.skipped;
+
+  if (n > 0) {
+    // Credit the elided sweep exactly as the exact path would have accrued
+    // it (two 68 us IDs per skipped slot; the last second ID is replayed
+    // for real instead of credited if it is still in the future).
+    const SimTime p1 = resume - 2 * kSlot;  // last skipped slot (k = n-1)
+    const bool replay_second = p1 + kHalfSlot >= now;
+    const std::uint64_t ids = 2 * n - (replay_second ? 1 : 0);
+    stats_.ids_sent += ids - park_ids_credited_;  // minus lazy mid-park reads
+    park_ids_credited_ = 0;
+    dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids));
+
+    // Reconstruct the (at most two) response-listen pairs still open as
+    // backdated listens; fully-elapsed windows are credited closed-form.
+    std::uint64_t reconstructed = 0;
+    auto handler = [this](const Packet& p, RfChannel ch, SimTime end) {
+      on_response(p, ch, end);
+    };
+    const auto reconstruct = [&](std::uint64_t k, SimTime slot_t) {
+      const auto [i1, i2] = indices_at(k);
+      ListenId* pair = open_pairs_[close_rotor_];
+      BIPS_ASSERT(pair[0] == kNoListen && pair[1] == kNoListen);
+      pair[0] = dev_.radio().start_listen_backdated(
+          &dev_, page_channel(target_, i1), slot_t, handler,
+          ListenKind::kPassive);
+      pair[1] = dev_.radio().start_listen_backdated(
+          &dev_, page_channel(target_, i2), slot_t, handler,
+          ListenKind::kPassive);
+      close_procs_[close_rotor_].call_at(slot_t + kResponseListenSpan);
+      close_rotor_ ^= 1;
+      ++reconstructed;
+    };
+    if (n >= 2) {
+      const SimTime p2 = resume - 4 * kSlot;
+      if (p2 + kResponseListenSpan > now) reconstruct(n - 2, p2);
+    }
+    reconstruct(n - 1, p1);  // now <= resume = p1 + 1250 < p1 + span: open
+    dev_.account_listen(2 * kResponseListenSpan *
+                        static_cast<std::int64_t>(n - reconstructed));
+
+    if (replay_second) {
+      second_index_ = indices_at(n - 1).second;
+      id2_proc_.call_at(p1 + kHalfSlot);
+    }
+
+    advance_phase_by(n);
+    dev_.sim().obs().tracer.emit(now, obs::TraceKind::kRadioFf,
+                                 static_cast<std::uint32_t>(dev_.addr().raw()),
+                                 n, static_cast<std::uint64_t>(
+                                        (now - parked_at).ns()));
+  }
+  slot_proc_.call_at(resume);
+}
+
+void Pager::absorb_park(SimTime now) {
+  const SimTime parked_at = vclock_.parked_at();
+  const std::uint64_t n = vclock_.retire(now);
+  if (occ_sub_ != kNoOccupancySub) {
+    dev_.radio().unsubscribe_occupancy(page_ns_, occ_sub_);
+    occ_sub_ = kNoOccupancySub;
+  }
+  if (n == 0) return;
+  // Mirror of Inquirer::retire_park: credit the n slots the exact path
+  // would have drummed before this stop.
+  const SimTime last = parked_at + (n - 1) * (2 * kSlot);
+  const bool last_second = last + kHalfSlot < now;
+  const std::uint64_t ids = 2 * n - (last_second ? 0 : 1);
+  stats_.ids_sent += ids - park_ids_credited_;  // minus lazy mid-park reads
+  park_ids_credited_ = 0;
+  dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids));
+  Duration listen_credit{0};
+  const std::uint64_t full = n > 2 ? n - 2 : 0;
+  listen_credit += 2 * kResponseListenSpan * static_cast<std::int64_t>(full);
+  for (std::uint64_t k = full; k < n; ++k) {
+    const SimTime t = parked_at + k * (2 * kSlot);
+    const Duration open = now - t;
+    listen_credit += 2 * (open < kResponseListenSpan ? open
+                                                     : kResponseListenSpan);
+  }
+  dev_.account_listen(listen_credit);
+  advance_phase_by(n);
+  dev_.sim().obs().tracer.emit(now, obs::TraceKind::kRadioFf,
+                               static_cast<std::uint32_t>(dev_.addr().raw()),
+                               n, static_cast<std::uint64_t>(
+                                      (now - parked_at).ns()));
+}
+
+void Pager::sync_park_stats() const {
+  if (!vclock_.parked()) return;
+  const SimTime now = dev_.sim().now();
+  const std::uint64_t n = vclock_.elided_before(now);
+  if (n == 0) return;
+  // Same crediting formula wake()/absorb_park() apply when the park ends
+  // (see Inquirer::sync_park_stats for the derivation).
+  const SimTime last = vclock_.parked_at() + (n - 1) * (2 * kSlot);
+  const std::uint64_t ids = 2 * n - (last + kHalfSlot < now ? 0 : 1);
+  stats_.ids_sent += ids - park_ids_credited_;
+  park_ids_credited_ = ids;
+}
+
+std::pair<std::uint32_t, std::uint32_t> Pager::indices_at(
+    std::uint64_t k) const {
+  const std::uint64_t per_train =
+      static_cast<std::uint64_t>(kTrainTxSlots) *
+      static_cast<std::uint64_t>(cfg_.train_repetitions);
+  const std::uint64_t total = tx_slot_ +
+                              static_cast<std::uint64_t>(kTrainTxSlots) *
+                                  static_cast<std::uint64_t>(reps_) +
+                              k;
+  std::uint32_t base = train_base_index_;
+  if (cfg_.switch_trains && ((total / per_train) & 1) != 0) {
+    base = (base + kTrainSize) % kChannelsPerSet;
+  }
+  const std::uint32_t ts = static_cast<std::uint32_t>(total % kTrainTxSlots);
+  return {(base + ts * 2) % kChannelsPerSet,
+          (base + ts * 2 + 1) % kChannelsPerSet};
+}
+
+void Pager::advance_phase_by(std::uint64_t n) {
+  const std::uint64_t per_train =
+      static_cast<std::uint64_t>(kTrainTxSlots) *
+      static_cast<std::uint64_t>(cfg_.train_repetitions);
+  std::uint64_t total = tx_slot_ +
+                        static_cast<std::uint64_t>(kTrainTxSlots) *
+                            static_cast<std::uint64_t>(reps_) +
+                        n;
+  const std::uint64_t crossings = total / per_train;
+  if (cfg_.switch_trains && (crossings & 1) != 0) {
+    train_base_index_ = (train_base_index_ + kTrainSize) % kChannelsPerSet;
+    on_second_train_ = !on_second_train_;
+  }
+  total %= per_train;
+  reps_ = static_cast<int>(total / kTrainTxSlots);
+  tx_slot_ = static_cast<std::uint32_t>(total % kTrainTxSlots);
 }
 
 void Pager::second_id() {
@@ -156,6 +323,10 @@ void Pager::advance_phase() {
 void Pager::on_response(const Packet& p, RfChannel ch, SimTime end) {
   if (!active_ || awaiting_ack_) return;
   if (p.type != PacketType::kId || p.access_code != target_) return;
+  // Defensive: a response while parked is unreachable (the scanner's
+  // occupancy hold wakes the sweep before its response lands), but if one
+  // ever slipped through, absorb the park so the frozen sweep stays sane.
+  if (vclock_.parked()) absorb_park(dev_.sim().now());
   // Target answered: freeze the sweep and send the FHS 625 us after the
   // response began.
   awaiting_ack_ = true;
@@ -176,11 +347,12 @@ void Pager::send_fhs() {
   fhs.clock = dev_.clock().clkn(dev_.sim().now());
   dev_.radio().transmit(&dev_, contact_ch_, fhs);
 
-  // Await the final ID ack on the same channel.
+  // Await the final ID ack on the same channel. Passive: the scanner's
+  // committed ack is covered by its own occupancy hold.
   ack_listen_ = dev_.radio().start_listen(
-      &dev_, contact_ch_, [this](const Packet& q, RfChannel, SimTime e) {
-        on_ack(q, e);
-      });
+      &dev_, contact_ch_,
+      [this](const Packet& q, RfChannel, SimTime e) { on_ack(q, e); },
+      ListenKind::kPassive);
   ack_timeout_proc_.call_after(kExchangeTimeout);
 }
 
@@ -292,6 +464,11 @@ void PageScanner::on_page_id(const Packet& p, RfChannel ch, SimTime end) {
   contact_ch_ = ch;
   const SimTime id_start = end - p.duration();
   respond_proc_.call_at(id_start + kSlot);
+  // The window listen just closed, but the committed 68 us ID response is
+  // still in flight: hold the occupancy so a parked pager keeps drumming
+  // exactly until it lands.
+  dev_.radio().occupancy_hold(ch, dev_.position(),
+                              id_start + kSlot + Duration::micros(68));
 }
 
 void PageScanner::send_response() {
@@ -320,6 +497,9 @@ void PageScanner::on_fhs(const Packet& p, RfChannel ch, SimTime end) {
   pending_master_clock_ = p.clock;
   const SimTime fhs_start = end - p.duration();
   ack_proc_.call_at(fhs_start + kSlot);
+  // Same as on_page_id: cover the committed ack's flight time.
+  dev_.radio().occupancy_hold(ch, dev_.position(),
+                              fhs_start + kSlot + Duration::micros(68));
 }
 
 void PageScanner::send_ack() {

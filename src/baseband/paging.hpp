@@ -17,15 +17,23 @@
 // after which both sides report the connection. There is no response
 // backoff in paging: the ID is addressed, so only one device ever answers
 // (page responses cannot collide the way inquiry responses do).
+// Virtual slots: like the Inquirer, a pager whose target's page namespace
+// shows no triggering listener within ff_radius() parks its sweep on a
+// VirtualClock and fast-forwards closed-form when the target's scan window
+// (the only thing that can answer an addressed ID) appears; the scanner
+// side covers its committed response/ack flights with occupancy holds. See
+// DESIGN.md section 5c.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
 #include "src/baseband/hopping.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/virtual_clock.hpp"
 
 namespace bips::baseband {
 
@@ -59,7 +67,12 @@ class Pager {
     std::uint64_t pages_failed = 0;
     std::uint64_t ids_sent = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Mode-invariant: while parked, the IDs the exact path would have sent
+  /// by now are credited lazily (see Inquirer::stats).
+  const Stats& stats() const {
+    sync_park_stats();
+    return stats_;
+  }
 
  private:
   /// Estimated CLKN of the target at time t, extrapolated from the sample.
@@ -74,6 +87,18 @@ class Pager {
   void on_ack(const Packet& p, SimTime end);
   void fail();
   void cleanup();
+  void park(SimTime t0);
+  void wake();
+  /// Ends a park with no resume (cancel/timeout/shutdown), crediting the
+  /// sweep the exact path would have drummed before `now`.
+  void absorb_park(SimTime now);
+  /// (first index, second index) of the two IDs the k-th slot after the
+  /// park point would sweep, without mutating the live phase.
+  std::pair<std::uint32_t, std::uint32_t> indices_at(std::uint64_t k) const;
+  void advance_phase_by(std::uint64_t n);
+  /// Folds the IDs elided by the current park (so far) into stats_ without
+  /// ending it; wake()/absorb_park() subtract what was already credited.
+  void sync_park_stats() const;
 
   Device& dev_;
   PageConfig cfg_;
@@ -107,7 +132,17 @@ class Pager {
   sim::Process page_timeout_proc_;
   ListenId ack_listen_ = kNoListen;
 
-  Stats stats_;
+  // Fast-forward state (see Inquirer).
+  bool exact_ = true;
+  std::uint32_t page_ns_ = 0;  // the target's hop-set namespace
+  sim::VirtualClock vclock_;
+  sim::Process wake_proc_;
+  OccupancySubId occ_sub_ = kNoOccupancySub;
+
+  // Mutable for sync_park_stats() (const reads mid-park credit lazily);
+  // park_ids_credited_ is what the current park has already folded in.
+  mutable Stats stats_;
+  mutable std::uint64_t park_ids_credited_ = 0;
 };
 
 /// Slave side: periodically listens for pages addressed to it.

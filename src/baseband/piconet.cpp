@@ -84,6 +84,7 @@ bool SlaveLink::send_to_master(AclPayload payload) {
   auto frags = fragment(next_msg_id_++, payload,
                         master_->config().max_fragment_payload);
   for (auto& f : frags) tx_queue_.push_back(std::move(f));
+  master_->wake_polls();
   return true;
 }
 
@@ -93,7 +94,11 @@ SlaveLink::~SlaveLink() {
   // (poll loop, or its own destructor severing back-pointers).
   if (master_ == nullptr) return;
   master_->slaves_.erase(dev_.addr());
-  if (master_->slaves_.empty()) master_->poll_timer_.stop();
+  if (master_->slaves_.empty()) {
+    master_->sync_poll_stat();  // exact path polled until this instant
+    master_->quiesced_ = false;
+    master_->poll_timer_.stop();
+  }
 }
 
 PiconetMaster::PiconetMaster(Device& dev, Config cfg)
@@ -125,7 +130,9 @@ bool PiconetMaster::attach(SlaveLink& slave) {
   st.last_reachable = now;
   st.last_activity = now;
   slaves_.emplace(a, std::move(st));
-  if (!poll_timer_.running() && !paused_) poll_timer_.start();
+  // While quiesced the loop is logically running (a fresh slave has no
+  // pending traffic, so the no-op rounds stay elided on the same lattice).
+  if (!poll_timer_.running() && !paused_ && !quiesced_) poll_timer_.start();
   return true;
 }
 
@@ -189,7 +196,11 @@ void PiconetMaster::detach(BdAddr addr) {
   link->master_ = nullptr;
   link->tx_queue_.clear();
   if (link->on_disconnected_) link->on_disconnected_();
-  if (slaves_.empty()) poll_timer_.stop();
+  if (slaves_.empty()) {
+    sync_poll_stat();
+    quiesced_ = false;
+    poll_timer_.stop();
+  }
 }
 
 std::vector<BdAddr> PiconetMaster::slave_addrs() const {
@@ -205,12 +216,35 @@ bool PiconetMaster::send(BdAddr to, AclPayload payload) {
   auto frags = fragment(it->second.next_msg_id++, payload,
                         cfg_.max_fragment_payload);
   for (auto& f : frags) it->second.tx_queue.push_back(std::move(f));
+  wake_polls();
   return true;
 }
 
 void PiconetMaster::pause() {
+  // The exact path keeps polling right up to the pause: settle any
+  // quiescent credit before freezing.
+  sync_poll_stat();
+  quiesced_ = false;
   paused_ = true;
   poll_timer_.stop();
+}
+
+void PiconetMaster::wake_polls() {
+  if (!quiesced_) return;
+  sync_poll_stat();  // advances quiesce_round_ to the last elided round
+  quiesced_ = false;
+  // First fire = the next round of the exact path's lattice. (Never in the
+  // past: sync_poll_stat leaves quiesce_round_ <= now < round + interval.)
+  poll_timer_.start_after(quiesce_round_ + cfg_.poll_interval -
+                          dev_.sim().now());
+}
+
+void PiconetMaster::sync_poll_stat() const {
+  if (!quiesced_) return;
+  const auto k = static_cast<std::int64_t>(
+      (dev_.sim().now() - quiesce_round_).ns() / cfg_.poll_interval.ns());
+  stats_.polls += static_cast<std::uint64_t>(k);
+  quiesce_round_ = quiesce_round_ + k * cfg_.poll_interval;
 }
 
 void PiconetMaster::resume() {
@@ -243,7 +277,8 @@ void PiconetMaster::poll_round() {
     if (slave_in_range(s)) {
       s.last_reachable = now;
     } else {
-      if (now - s.last_reachable >= cfg_.supervision_timeout) {
+      if (cfg_.supervision_timeout > Duration(0) &&
+          now - s.last_reachable >= cfg_.supervision_timeout) {
         lost.push_back(addr);
       }
       continue;  // unreachable: traffic waits
@@ -304,7 +339,24 @@ void PiconetMaster::poll_round() {
     if (link->on_disconnected_) link->on_disconnected_();
     if (on_link_loss_) on_link_loss_(addr);
   }
-  if (slaves_.empty()) poll_timer_.stop();
+  if (slaves_.empty()) {
+    poll_timer_.stop();
+    return;
+  }
+
+  // Quiescent fast-forward: with supervision disabled the only duty of a
+  // round is moving traffic, so a fully drained piconet stops the timer and
+  // credits the elided no-op rounds closed-form (sync_poll_stat) when
+  // traffic or an observer arrives.
+  if (cfg_.supervision_timeout == Duration(0) &&
+      !dev_.radio().config().exact_slots && poll_timer_.running()) {
+    for (const auto& [a, s] : slaves_) {
+      if (!s.tx_queue.empty() || !s.link->tx_queue_.empty()) return;
+    }
+    quiesced_ = true;
+    quiesce_round_ = now;
+    poll_timer_.stop();
+  }
 }
 
 }  // namespace bips::baseband

@@ -87,7 +87,13 @@ class PiconetMaster {
     /// One full poll round trip per slave per interval.
     Duration poll_interval = Duration::millis(25);
     /// A slave unreachable (out of range) this long is declared lost
-    /// (applies to parked slaves too, via the beacon).
+    /// (applies to parked slaves too, via the beacon). Duration(0) disables
+    /// supervision entirely; with supervision off the poll loop's only duty
+    /// is moving queued traffic, so (unless ChannelConfig::exact_slots) a
+    /// fully drained piconet quiesces: the timer stops and the elided no-op
+    /// rounds are credited closed-form when traffic resumes or stats are
+    /// read. An enabled supervision timeout pins the poll cadence (range
+    /// checks are genuine work) and therefore forbids the fast-forward.
     Duration supervision_timeout = Duration::from_seconds(2.0);
     /// ACL payloads ride DM5-sized fragments (spec payload: 224 bytes)...
     std::size_t max_fragment_payload = 224;
@@ -158,7 +164,10 @@ class PiconetMaster {
     std::uint64_t parks = 0;
     std::uint64_t unparks = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const {
+    sync_poll_stat();  // fold in rounds elided by a quiescent fast-forward
+    return stats_;
+  }
 
  private:
   /// Reassembles a fragment stream back into messages. Fragments arrive
@@ -193,6 +202,13 @@ class PiconetMaster {
 
   void poll_round();
   bool slave_in_range(const SlaveState& s) const;
+  /// Restarts a quiesced poll loop on the exact-path round lattice (first
+  /// fire = the round the exact path would run next).
+  void wake_polls();
+  /// Credits poll rounds the quiescent fast-forward has elided so far and
+  /// advances the lattice anchor; no-op when not quiesced. Const (and the
+  /// touched members mutable) so stats() reads are always exact-equivalent.
+  void sync_poll_stat() const;
 
   Device& dev_;
   Config cfg_;
@@ -201,7 +217,11 @@ class PiconetMaster {
   std::unordered_map<BdAddr, SlaveState> slaves_;
   sim::PeriodicTimer poll_timer_;
   bool paused_ = false;
-  Stats stats_;
+  // Quiescent fast-forward state: quiesce_round_ anchors the round lattice
+  // at the last (real or credited) round time.
+  bool quiesced_ = false;
+  mutable SimTime quiesce_round_;
+  mutable Stats stats_;
   // Scratch membership snapshot reused across poll rounds (message
   // callbacks may attach/detach slaves mid-round).
   std::vector<BdAddr> poll_snapshot_;

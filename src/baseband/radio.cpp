@@ -30,6 +30,17 @@ std::uint32_t listen_generation_of(ListenId id) {
   return static_cast<std::uint32_t>(id);
 }
 
+// Hash combiner (boost-style accumulate + splitmix64 finaliser) for the
+// per-reception draw seeds. Quality matters only insofar as nearby inputs
+// (consecutive slot times, consecutive addresses) must give uncorrelated
+// streams, which the splitmix finaliser guarantees.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 RadioChannel::ChannelState& RadioChannel::channel_state(RfChannel ch) {
@@ -56,6 +67,7 @@ std::uint64_t RadioChannel::grid_cell(Vec2 pos) const {
 void RadioChannel::transmit(RadioDevice* sender, RfChannel ch, Packet p) {
   BIPS_ASSERT(sender != nullptr);
   BIPS_ASSERT(p.duration() <= kMaxPacketAir);
+  note_range(sender);
   const SimTime start = sim_.now();
   const SimTime end = start + p.duration();
   ChannelState& cs = channel_state(ch);
@@ -73,8 +85,17 @@ void RadioChannel::transmit(RadioDevice* sender, RfChannel ch, Packet p) {
 }
 
 ListenId RadioChannel::start_listen(RadioDevice* d, RfChannel ch,
-                                    PacketHandler handler) {
+                                    PacketHandler handler, ListenKind kind) {
+  return start_listen_backdated(d, ch, sim_.now(), std::move(handler), kind);
+}
+
+ListenId RadioChannel::start_listen_backdated(RadioDevice* d, RfChannel ch,
+                                              SimTime since,
+                                              PacketHandler handler,
+                                              ListenKind kind) {
   BIPS_ASSERT(d != nullptr);
+  BIPS_ASSERT(since <= sim_.now());
+  note_range(d);
   std::uint32_t slot;
   if (!lfree_.empty()) {
     slot = lfree_.back();
@@ -90,8 +111,10 @@ ListenId RadioChannel::start_listen(RadioDevice* d, RfChannel ch,
   const ListenId id = make_listen_id(slot, l.generation);
   l.device = d;
   l.chan = &cs;
-  l.since = sim_.now();
+  l.since = since;
   l.handler = std::move(handler);
+  l.ns = ch.ns;
+  l.kind = kind;
 
   const CellEntry entry{id, next_listen_seq_++, d, l.since};
   if (cs.grid) {
@@ -108,6 +131,12 @@ ListenId RadioChannel::start_listen(RadioDevice* d, RfChannel ch,
     migrate_to_grid(cs);
   }
   d->active_listens_.push_back(id);
+  // Last, after the listen is fully registered: a fired subscription's
+  // callback schedules a wake process at `now`, and by the time it runs the
+  // scanner state it is waking for must be visible.
+  if (kind == ListenKind::kTriggering) {
+    add_trigger(ch.ns, d->position(), SimTime::max(), id);
+  }
   return id;
 }
 
@@ -134,6 +163,7 @@ void RadioChannel::stop_listen(ListenId id) {
   if (l.device == nullptr || l.generation != listen_generation_of(id)) return;
 
   l.device->account_listen(sim_.now() - l.since);
+  if (l.kind == ListenKind::kTriggering) remove_trigger(l.ns, id);
 
   ChannelState& cs = *l.chan;
   std::vector<CellEntry>* entries = cs.grid ? cs.cells.find(l.cell) : &cs.flat;
@@ -172,9 +202,149 @@ void RadioChannel::stop_all_listens(RadioDevice* d) {
   while (!d->active_listens_.empty()) stop_listen(d->active_listens_.back());
 }
 
+RadioChannel::Occupancy& RadioChannel::occupancy(std::uint32_t ns) {
+  if (ns == 0) return inquiry_occ_;
+  std::unique_ptr<Occupancy>& block = page_occ_[ns];
+  if (!block) block = std::make_unique<Occupancy>();
+  return *block;
+}
+
+void RadioChannel::add_trigger(std::uint32_t ns, Vec2 pos, SimTime until,
+                               ListenId id) {
+  Occupancy& o = occupancy(ns);
+  o.points.push_back(TriggerPoint{pos, until, id});
+  if (o.subs.empty()) return;
+  // Fire every subscription the new point satisfies, in subscription order.
+  // Stable compaction first, callbacks after: a callback may subscribe
+  // again (not these callers, but nothing here should care).
+  fired_cbs_.clear();
+  const double r = ff_radius();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < o.subs.size(); ++i) {
+    if (distance_sq(o.subs[i].pos, pos) <= r * r) {
+      fired_cbs_.push_back(std::move(o.subs[i].cb));
+    } else {
+      if (keep != i) o.subs[keep] = std::move(o.subs[i]);
+      ++keep;
+    }
+  }
+  o.subs.resize(keep);
+  c_occ_wakeups_->inc(fired_cbs_.size());
+  const SimTime now = sim_.now();
+  for (OccupancyCallback& cb : fired_cbs_) cb(now);
+  fired_cbs_.clear();
+}
+
+void RadioChannel::remove_trigger(std::uint32_t ns, ListenId id) {
+  Occupancy& o = occupancy(ns);
+  for (std::size_t i = 0; i < o.points.size(); ++i) {
+    if (o.points[i].listen == id) {
+      o.points[i] = o.points.back();
+      o.points.pop_back();
+      return;
+    }
+  }
+  BIPS_ASSERT_MSG(false, "triggering listen without a trigger point");
+}
+
+void RadioChannel::occupancy_hold(RfChannel ch, Vec2 pos, SimTime until) {
+  add_trigger(ch.ns, pos, until, kNoListen);
+}
+
+bool RadioChannel::occupied(std::uint32_t ns, Vec2 pos) {
+  Occupancy& o = occupancy(ns);
+  const SimTime now = sim_.now();
+  const double r = ff_radius();
+  bool hit = false;
+  for (std::size_t i = 0; i < o.points.size();) {
+    // Holds expire lazily; `until` is exclusive (a transmission starting
+    // exactly when the held response flight ends cannot overlap it).
+    if (o.points[i].until <= now) {
+      o.points[i] = o.points.back();
+      o.points.pop_back();
+      continue;
+    }
+    if (distance_sq(o.points[i].pos, pos) <= r * r) hit = true;
+    ++i;
+  }
+  return hit;
+}
+
+OccupancySubId RadioChannel::subscribe_occupancy(std::uint32_t ns, Vec2 pos,
+                                                 OccupancyCallback cb) {
+  const OccupancySubId id = next_sub_id_++;
+  occupancy(ns).subs.push_back(OccSubscriber{id, pos, std::move(cb)});
+  sub_order_.emplace_back(ns, id);
+  // sub_order_ keeps stale entries (fired / cancelled subscriptions) until
+  // this occasional compaction; liveness is re-checked on use either way.
+  if (sub_order_.size() > 64 && sub_order_.size() > 4 * live_subs()) {
+    std::size_t keep = 0;
+    for (const auto& [sns, sid] : sub_order_) {
+      const auto& subs = occupancy(sns).subs;
+      for (const OccSubscriber& s : subs) {
+        if (s.id == sid) {
+          sub_order_[keep++] = {sns, sid};
+          break;
+        }
+      }
+    }
+    sub_order_.resize(keep);
+  }
+  return id;
+}
+
+void RadioChannel::unsubscribe_occupancy(std::uint32_t ns, OccupancySubId id) {
+  std::vector<OccSubscriber>& subs = occupancy(ns).subs;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (subs[i].id == id) {
+      subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t RadioChannel::live_subs() const {
+  std::size_t n = inquiry_occ_.subs.size();
+  page_occ_.for_each(
+      [&n](std::uint64_t, const std::unique_ptr<Occupancy>& o) {
+        if (o) n += o->subs.size();
+      });
+  return n;
+}
+
+void RadioChannel::note_range(const RadioDevice* d) {
+  const double r = tx_range(d);
+  if (r <= max_range_hw_) return;
+  // The park predicate just widened under every parked master: fire every
+  // pending subscription (in global subscription order) and let each owner
+  // re-evaluate against the new radius. This is a cold path -- it can only
+  // happen as many times as there are distinct device ranges.
+  max_range_hw_ = r;
+  fired_cbs_.clear();
+  for (const auto& [sns, sid] : sub_order_) {
+    std::vector<OccSubscriber>& subs = occupancy(sns).subs;
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (subs[i].id == sid) {
+        fired_cbs_.push_back(std::move(subs[i].cb));
+        subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  sub_order_.clear();
+  c_occ_wakeups_->inc(fired_cbs_.size());
+  const SimTime now = sim_.now();
+  for (OccupancyCallback& cb : fired_cbs_) cb(now);
+  fired_cbs_.clear();
+}
+
 double RadioChannel::rssi_dbm(double distance_m) {
+  return rssi_dbm(distance_m, rng_);
+}
+
+double RadioChannel::rssi_dbm(double distance_m, Rng& rng) const {
   const double d = std::max(distance_m, 0.1);
-  return -40.0 - 25.0 * std::log10(d) + rng_.normal(0.0, cfg_.rssi_sigma_db);
+  return -40.0 - 25.0 * std::log10(d) + rng.normal(0.0, cfg_.rssi_sigma_db);
 }
 
 double RadioChannel::tx_range(const RadioDevice* tx) const {
@@ -205,7 +375,8 @@ void RadioChannel::gather_candidates(const ChannelState& cs,
   const auto consider = [&](const CellEntry& e) {
     if (e.device == tx.sender) return;
     if (e.since > tx.start) return;  // tuned in mid-packet: missed it
-    candidate_seqs_.emplace_back(e.seq, listen_slot_of(e.id));
+    candidate_seqs_.push_back(
+        OrderKey{e.since, e.device->addr().raw(), e.seq, listen_slot_of(e.id)});
   };
 
   if (cs.grid) {
@@ -228,13 +399,16 @@ void RadioChannel::gather_candidates(const ChannelState& cs,
     for (const CellEntry& e : cs.flat) consider(e);
   }
 
-  // Registration order: deterministic, identical between the flat and grid
-  // paths, and independent of both hash iteration order and arena slot
-  // reuse.
+  // (since, addr, seq) order: deterministic, identical between the flat and
+  // grid paths, independent of hash iteration order, arena slot reuse, and
+  // -- via the address tie-break -- of how same-instant registrations by
+  // different devices interleaved; the `since` component slots backdated
+  // reconstructed listens exactly where their exact-mode twins would have
+  // sorted (see OrderKey in radio.hpp).
   std::sort(candidate_seqs_.begin(), candidate_seqs_.end());
   candidates_.reserve(candidate_seqs_.size());
-  for (const auto& [seq, slot] : candidate_seqs_) {
-    candidates_.push_back(Candidate{lslots_[slot].device, slot});
+  for (const OrderKey& k : candidate_seqs_) {
+    candidates_.push_back(Candidate{lslots_[k.slot].device, k.slot});
   }
 }
 
@@ -264,6 +438,19 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
       c_out_of_range_->inc();
       continue;
     }
+    // All randomness below (cross-set clash, packet error, RSSI shadowing)
+    // comes from hash-derived streams keyed by the identity of the
+    // (transmission, receiver) pair rather than from the shared generator:
+    // whether some *other* reception happened -- in particular a junk ID
+    // landing in a response listen a fast-forwarding master never opened --
+    // must not shift anyone else's draws. That keying is what makes the
+    // exact and virtual slot modes byte-identical (DESIGN.md section 5c).
+    const std::uint64_t rxseed = mix64(
+        mix64(mix64(mix64(draw_seed_, static_cast<std::uint64_t>(tx.start.ns())),
+                    tx.sender->addr().raw()),
+              c.device->addr().raw()),
+        static_cast<std::uint64_t>(tx.ch.ns) << 32 | tx.ch.index);
+    Rng rxr(rxseed);
     // Interference check: any other overlapping in-range transmission on
     // the same channel destroys the packet (BlueHoc collision rule).
     bool destroyed = false;
@@ -281,8 +468,12 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
       if (!in_range(c.device, other.sender)) continue;
       if (!same_channel) {
         // Different hop sets: they only clash if both hops landed on the
-        // same physical ISM frequency this time.
-        if (!rng_.chance(cfg_.cross_set_interference)) continue;
+        // same physical ISM frequency this time. Keyed additionally by the
+        // interferer so each overlapping pair rolls independently.
+        Rng ir(mix64(mix64(rxseed,
+                           static_cast<std::uint64_t>(other.start.ns())),
+                     other.sender->addr().raw()));
+        if (!ir.chance(cfg_.cross_set_interference)) continue;
       }
       if (cfg_.capture) {
         const double d_interf =
@@ -302,13 +493,13 @@ void RadioChannel::deliver(ChannelState& cs, const Transmission& tx) {
       const double frac = range > 0 ? d_signal / range : 1.0;
       per += cfg_.per_at_edge * std::pow(frac, cfg_.per_exponent);
     }
-    if (per > 0 && rng_.chance(per)) {
+    if (per > 0 && rxr.chance(per)) {
       c_dropped_per_->inc();
       continue;
     }
     c_deliveries_->inc();
     Packet delivered = tx.packet;
-    delivered.rssi_dbm = rssi_dbm(d_signal);
+    delivered.rssi_dbm = rssi_dbm(d_signal, rxr);
     // Copied, not referenced: the handler body may start listens, and arena
     // growth would move a std::function we are standing inside. Deliveries
     // are rare (most candidates fail the range check first), so this copy

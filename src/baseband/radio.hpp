@@ -28,8 +28,19 @@
 // sit per channel in start-time order, so the collision-overlap check scans
 // a bounded window instead of every recent transmission in the building.
 // Candidate listeners are visited in registration order, which makes
-// delivery (and thus RNG consumption) deterministic and independent of both
-// hash-map iteration order and the flat/grid mode split.
+// delivery deterministic and independent of both hash-map iteration order
+// and the flat/grid mode split; per-reception randomness is drawn from
+// hash-derived streams keyed by (transmission, receiver), never from the
+// shared generator, so one reception can never shift another's draws.
+//
+// The channel also maintains the occupancy index behind the virtual-slot
+// fast-forward (DESIGN.md section 5c): per hop-set namespace it tracks the
+// positions of *triggering* listeners (scan windows, armed backoff windows,
+// response-exchange listens) plus transient holds covering committed
+// response flights, and offers one-shot subscribe_occupancy() wakeups. A
+// master whose channel set shows no trigger point within ff_radius() of it
+// may park its slot drumming and advance closed-form; the index wakes it
+// the instant that stops being safe.
 #pragma once
 
 #include <cstdint>
@@ -89,17 +100,50 @@ class RadioDevice {
 using PacketHandler =
     std::function<void(const Packet& p, RfChannel ch, SimTime end)>;
 
+/// How a listen participates in the occupancy index that drives idle
+/// fast-forward (DESIGN.md section 5c).
+///
+///   kTriggering -- the listener is *initiating* state: an open scan window,
+///     an armed backoff listen, a response-exchange listen. Its presence
+///     means a parked master's drumming could become observable, so it
+///     registers an occupancy trigger point and fires pending occupancy
+///     subscriptions within ff_radius().
+///   kPassive -- the listener is *reactive* state that only matters if a
+///     triggering listener already brought the interaction about: a master's
+///     own response-window listens. Passive listens never hold a master
+///     awake (that would make every master's wakefulness depend on every
+///     other master's, a fixpoint the closed-form skip cannot evaluate);
+///     instead the scanner side covers the response flight with an
+///     occupancy_hold().
+enum class ListenKind : std::uint8_t { kTriggering, kPassive };
+
+/// Handle for one occupancy subscription; 0 is never issued.
+using OccupancySubId = std::uint64_t;
+inline constexpr OccupancySubId kNoOccupancySub = 0;
+
+/// Fired (once) when a triggering listener or hold appears within
+/// ff_radius() of the subscription point, with the current simulated time.
+/// Runs at the end of the registration that satisfied it; the callback must
+/// only schedule (arm a process at `now`), never transmit or listen
+/// directly, so registration order stays the only order that matters.
+using OccupancyCallback = std::function<void(SimTime)>;
+
 class RadioChannel {
  public:
   RadioChannel(sim::Simulator& sim, Rng& rng, ChannelConfig cfg = {})
       : sim_(sim),
         rng_(rng),
         cfg_(cfg),
+        // One up-front draw decorrelates the per-reception hash streams (see
+        // deliver()) from everything else derived from the master seed.
+        draw_seed_(rng.next_u64()),
+        max_range_hw_(cfg.default_range_m),
         c_transmissions_(&sim.obs().metrics.counter("radio.transmissions")),
         c_deliveries_(&sim.obs().metrics.counter("radio.deliveries")),
         c_collisions_(&sim.obs().metrics.counter("radio.collisions")),
         c_out_of_range_(&sim.obs().metrics.counter("radio.out_of_range")),
-        c_dropped_per_(&sim.obs().metrics.counter("radio.dropped_per")) {}
+        c_dropped_per_(&sim.obs().metrics.counter("radio.dropped_per")),
+        c_occ_wakeups_(&sim.obs().metrics.counter("radio.occ_wakeups")) {}
   RadioChannel(const RadioChannel&) = delete;
   RadioChannel& operator=(const RadioChannel&) = delete;
 
@@ -115,12 +159,53 @@ class RadioChannel {
   /// slot). If `handler` is given it receives the packets; otherwise the
   /// device's on_packet does. On a grid-mode channel the listener is
   /// spatially indexed under its position at this instant (see
-  /// ChannelConfig::grid_slack_m).
+  /// ChannelConfig::grid_slack_m). A kTriggering listen (the default; every
+  /// scanner-side listen is one) also registers an occupancy trigger point
+  /// and fires matching occupancy subscriptions before returning.
   ListenId start_listen(RadioDevice* d, RfChannel ch,
-                        PacketHandler handler = nullptr);
+                        PacketHandler handler = nullptr,
+                        ListenKind kind = ListenKind::kTriggering);
+  /// start_listen with an explicit registration time in the past: how a
+  /// woken master reconstructs the response-window listens its skipped
+  /// slots would have opened. Delivery/overlap semantics are exactly those
+  /// of a listen opened at `since` (a packet that started after `since` and
+  /// is still in flight will be delivered); the stop-side energy credit
+  /// spans from `since` too. Requires since <= now.
+  ListenId start_listen_backdated(RadioDevice* d, RfChannel ch, SimTime since,
+                                  PacketHandler handler = nullptr,
+                                  ListenKind kind = ListenKind::kPassive);
   void stop_listen(ListenId id);
   /// Drops every listen a device holds; O(listens of that device).
   void stop_all_listens(RadioDevice* d);
+
+  // --- Occupancy index: who could possibly hear a drumming master --------
+  //
+  // Keyed per hop-set namespace (ns 0 = the shared inquiry set, one ns per
+  // paged address). Trigger points are the kTriggering listens plus
+  // explicit holds; a master parks only while no trigger point in its
+  // namespace lies within ff_radius() of it, and is woken by a one-shot
+  // subscription the instant one appears.
+
+  /// Registers a transient trigger point with no listen attached: a scanner
+  /// that has committed to transmitting a response keeps nearby masters in
+  /// exact mode until the response's flight ends at `until`. Expires lazily.
+  void occupancy_hold(RfChannel ch, Vec2 pos, SimTime until);
+  /// True if any live trigger point in `ns` is within ff_radius() of `pos`.
+  bool occupied(std::uint32_t ns, Vec2 pos);
+  /// One-shot wakeup: `cb` fires when a trigger point appears within
+  /// ff_radius() of `pos` in `ns` (or when ff_radius() itself grows, which
+  /// invalidates every park decision). The caller checks occupied() first;
+  /// an already-satisfied subscription does not fire retroactively.
+  OccupancySubId subscribe_occupancy(std::uint32_t ns, Vec2 pos,
+                                     OccupancyCallback cb);
+  /// Cancels a pending subscription (no-op if it already fired).
+  void unsubscribe_occupancy(std::uint32_t ns, OccupancySubId id);
+  /// Radius of the park predicate: 2 * (largest transmit range any device
+  /// has shown) + ChannelConfig::ff_slack_m. The factor 2 closes the
+  /// interference chain -- a skipped transmission can only matter through a
+  /// victim listener within one range of both the parked master and the
+  /// interfering/receiving party (DESIGN.md section 5c).
+  double ff_radius() const { return 2.0 * max_range_hw_ + cfg_.ff_slack_m; }
 
   /// Number of listens currently registered for a device (test hook).
   std::size_t listen_count(const RadioDevice* d) const {
@@ -130,24 +215,15 @@ class RadioChannel {
   /// Received signal strength at distance d: a log-distance path-loss model
   /// (class-2 TX power 0 dBm, exponent 2.5) plus Gaussian shadowing. The
   /// absolute calibration is immaterial; only the monotone distance
-  /// relation matters (presence arbitration compares values).
+  /// relation matters (presence arbitration compares values). This overload
+  /// draws its shadowing noise from the shared stream (model probing /
+  /// tests); delivered packets use the per-reception hash stream instead.
   double rssi_dbm(double distance_m);
 
-  /// Deprecated accessor shape kept for existing call sites; the counters
-  /// live in the simulator's MetricsRegistry under "radio.*" and this
-  /// struct is materialised from them on demand.
-  struct Stats {
-    std::uint64_t transmissions = 0;
-    std::uint64_t deliveries = 0;
-    std::uint64_t collisions = 0;     // (listener, packet) pairs destroyed
-    std::uint64_t out_of_range = 0;   // reached the exact range check, failed
-    std::uint64_t dropped_per = 0;    // random packet-error losses
-  };
-  Stats stats() const {
-    return Stats{c_transmissions_->value(), c_deliveries_->value(),
-                 c_collisions_->value(), c_out_of_range_->value(),
-                 c_dropped_per_->value()};
-  }
+  // Traffic counters live in the simulator's MetricsRegistry under
+  // "radio.*" (transmissions, deliveries, collisions, out_of_range,
+  // dropped_per, occ_wakeups); read them via
+  // sim.obs().metrics.counter_value("radio.<name>").
 
  private:
   struct Transmission {
@@ -204,6 +280,29 @@ class RadioChannel {
     PacketHandler handler;   // may be empty -> device->on_packet
     std::uint64_t cell = 0;  // grid cell it is indexed under (grid mode)
     std::uint32_t generation = 0;
+    std::uint32_t ns = 0;    // hop-set namespace (occupancy bookkeeping)
+    ListenKind kind = ListenKind::kTriggering;
+  };
+
+  // --- Occupancy bookkeeping (one block per hop-set namespace) -----------
+  // A trigger point is either a live kTriggering listen (until ==
+  // SimTime::max(), removed by stop_listen) or a hold (expires lazily at
+  // `until`). Subscribers are kept in subscription order, which is the
+  // order callbacks fire in -- deterministic and independent of hash-map
+  // layout.
+  struct TriggerPoint {
+    Vec2 pos;
+    SimTime until;
+    ListenId listen = kNoListen;  // kNoListen for holds
+  };
+  struct OccSubscriber {
+    OccupancySubId id;
+    Vec2 pos;
+    OccupancyCallback cb;
+  };
+  struct Occupancy {
+    std::vector<TriggerPoint> points;
+    std::vector<OccSubscriber> subs;
   };
 
   // A gathered listener, by arena slot: no handler copy during the gather
@@ -233,15 +332,31 @@ class RadioChannel {
   double tx_range(const RadioDevice* tx) const;
   std::uint64_t grid_cell(Vec2 pos) const;
 
+  double rssi_dbm(double distance_m, Rng& rng) const;
+  Occupancy& occupancy(std::uint32_t ns);
+  /// Registers a trigger point and fires satisfied subscriptions in `ns`.
+  void add_trigger(std::uint32_t ns, Vec2 pos, SimTime until, ListenId id);
+  void remove_trigger(std::uint32_t ns, ListenId id);
+  std::size_t live_subs() const;
+  /// Tracks the largest transmit range seen; an increase re-fires every
+  /// pending subscription (their park decisions used a smaller radius).
+  void note_range(const RadioDevice* d);
+
   sim::Simulator& sim_;
   Rng& rng_;
   ChannelConfig cfg_;
-  // Cached registry cells ("radio.*"); see stats().
+  // Seed of the per-reception hash-derived draw streams (see deliver()).
+  std::uint64_t draw_seed_;
+  // High-water mark of tx_range() over every device that has transmitted or
+  // listened; the ff_radius() base.
+  double max_range_hw_;
+  // Cached registry cells ("radio.*").
   obs::Counter* c_transmissions_;
   obs::Counter* c_deliveries_;
   obs::Counter* c_collisions_;
   obs::Counter* c_out_of_range_;
   obs::Counter* c_dropped_per_;
+  obs::Counter* c_occ_wakeups_;
   // Listen arena + free list (same slot/generation scheme as the event
   // kernel; footprint is the high-water mark of concurrent listens).
   std::vector<ListenSlot> lslots_;
@@ -258,9 +373,40 @@ class RadioChannel {
   // check sees other hop sets *and* draws its random numbers in the same
   // order as the pre-bucketing implementation.
   TxQueue global_recent_;
+  // Occupancy blocks: inquiry namespace direct, page namespaces interned
+  // (mirrors the channel table's two-level layout).
+  Occupancy inquiry_occ_;
+  FlatHashMap<std::unique_ptr<Occupancy>> page_occ_;
+  std::uint64_t next_sub_id_ = 1;
+  // Global subscription order, used only by the rare wake-everything path
+  // (max-range increase) so even that fires deterministically; entries
+  // whose subscription already fired or was cancelled are skipped lazily.
+  std::vector<std::pair<std::uint32_t, OccupancySubId>> sub_order_;
+  // Scratch for subscription firing (callbacks may re-subscribe).
+  std::vector<OccupancyCallback> fired_cbs_;
   // Scratch buffers reused across deliveries (deliver never nests: handlers
   // run from the event loop and can only schedule, not deliver, packets).
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> candidate_seqs_;
+  // Candidates order by (registration time, listener address, registration
+  // seq). `since` first: a backdated reconstructed listen sorts exactly
+  // where its exact-mode counterpart would have. The address tie-break
+  // makes same-instant registrations by *different* devices order
+  // identically in both modes even though their registering events may
+  // interleave differently within the instant (a woken master's slot event
+  // re-enters the FIFO at a different position than the exact path's
+  // re-arm); one device's own same-instant listens keep their per-device
+  // registration order via seq.
+  struct OrderKey {
+    SimTime since;
+    std::uint64_t addr;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator<(const OrderKey& o) const {
+      if (since != o.since) return since < o.since;
+      if (addr != o.addr) return addr < o.addr;
+      return seq < o.seq;
+    }
+  };
+  std::vector<OrderKey> candidate_seqs_;
   std::vector<Candidate> candidates_;
   // Listen slots stopped while a delivery is running: their free-list push
   // (and handler teardown) waits until the delivery finishes, so snapshot

@@ -11,13 +11,14 @@ MasterScheduler::MasterScheduler(Device& dev, SchedulerConfig cfg)
                 [this](const InquiryResponse& r) { handle_discovery(r); }),
       pager_(dev, cfg.page),
       piconet_(dev, cfg.piconet),
+      c_cycles_(&dev.sim().obs().metrics.counter("sched.cycles")),
       cycle_proc_(dev.sim(),
                   [this] {
                     if (first_cycle_pending_) {
                       first_cycle_pending_ = false;
                     } else {
                       ++cycles_;
-                      dev_.sim().obs().metrics.counter("sched.cycles").inc();
+                      c_cycles_->inc();
                     }
                     begin_cycle();
                   }),

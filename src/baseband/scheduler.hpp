@@ -24,6 +24,7 @@
 #include "src/baseband/inquiry.hpp"
 #include "src/baseband/paging.hpp"
 #include "src/baseband/piconet.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace bips::baseband {
 
@@ -100,6 +101,7 @@ class MasterScheduler {
   bool first_cycle_pending_ = false;  // start_after arms cycle_proc_ for the
                                       // initial cycle, which does not count
   std::uint64_t cycles_ = 0;
+  obs::Counter* c_cycles_;  // "sched.cycles", resolved once at construction
   std::deque<InquiryResponse> page_queue_;
   std::unordered_set<BdAddr> queued_;  // dedup across cycles
   sim::Process cycle_proc_;

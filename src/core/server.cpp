@@ -84,6 +84,7 @@ void BipsServer::crash() {
   last_heard_.clear();
   subs_.clear();
   resync_pending_.clear();
+  synced_.clear();
   BIPS_WARN(sim_.now(), "server: crashed (epoch %u dies)", epoch_);
 }
 
@@ -188,6 +189,7 @@ void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
   station_lan_[m.workstation] = from;
   last_heard_[m.workstation] = sim_.now();
   resync_pending_.erase(m.workstation);
+  synced_.insert(m.workstation);
   const SimTime now = sim_.now();
   // Session hints first, so the presence notifications below can already
   // resolve userids. A hint is only accepted when it names a registered
@@ -216,6 +218,14 @@ void BipsServer::request_resync(net::Address station_addr) {
 void BipsServer::note_station_alive(StationId station, net::Address from) {
   station_lan_[station] = from;
   last_heard_[station] = sim_.now();
+  // A restarted incarnation (epoch > 1) came up empty: until this station
+  // has delivered a snapshot, its deltas describe transitions on top of
+  // state we do not have. The restart broadcast and the station's own
+  // epoch-advance push are each a single unacked datagram, so arm the
+  // retry loop below and keep asking until handle(SyncSnapshot) fires.
+  if (epoch_ > 1 && synced_.count(station) == 0) {
+    resync_pending_.try_emplace(station, SimTime::zero());
+  }
   const auto pending = resync_pending_.find(station);
   if (pending != resync_pending_.end()) {
     // We expired this station's records but it was merely unreachable (or

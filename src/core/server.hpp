@@ -236,6 +236,12 @@ class BipsServer {
   /// re-requests (throttled to the sweep period) until a snapshot actually
   /// arrives -- the request or the reply may itself be lost.
   std::unordered_map<StationId, SimTime> resync_pending_;
+  /// Stations that have delivered a SyncSnapshot to *this* incarnation. A
+  /// post-restart server (epoch > 1) keeps soliciting a snapshot from every
+  /// station it hears until the station shows up here: the restart broadcast
+  /// and the station's unprompted epoch-advance push are each one datagram,
+  /// and losing both must not orphan the station's state forever.
+  std::unordered_set<StationId> synced_;
 
   bool crashed_ = false;
   std::uint32_t epoch_ = 1;

@@ -90,6 +90,9 @@ class BipsWorkstation {
   std::size_t tracked_count() const { return tracked_.size(); }
   bool tracks(baseband::BdAddr a) const { return tracked_.count(a) != 0; }
 
+  // Authoritative per-instance counters (unlike the radio/LAN counters,
+  // which live in the MetricsRegistry: a building has many workstations and
+  // per-instance breakdown is what the experiments read).
   struct Stats {
     std::uint64_t presences_reported = 0;
     std::uint64_t absences_reported = 0;

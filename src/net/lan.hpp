@@ -96,19 +96,9 @@ class Lan {
   /// True if an active partition currently separates `x` from `y`.
   bool partitioned(Address x, Address y) const;
 
-  /// Deprecated accessor shape kept for existing call sites; the cells now
-  /// live in the simulator's MetricsRegistry under "lan.*" and this struct
-  /// is materialised from them on demand.
-  struct Stats {
-    std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t dropped = 0;            // all causes
-    std::uint64_t partition_dropped = 0;  // of which: partition cuts
-  };
-  Stats stats() const {
-    return Stats{c_sent_->value(), c_delivered_->value(), c_dropped_->value(),
-                 c_partition_dropped_->value()};
-  }
+  // Traffic counters live in the simulator's MetricsRegistry: "lan.sent",
+  // "lan.delivered", "lan.dropped" (all causes) and "lan.partition_dropped"
+  // (of which: partition cuts). Read them via obs().metrics.counter_value.
 
   /// Live (from, to) FIFO-tracking entries (bounded by pruning; test hook).
   std::size_t fifo_state_size() const { return last_delivery_.size(); }

@@ -23,6 +23,7 @@ const char* to_string(TraceKind k) {
     case TraceKind::kWsRestart: return "ws.restart";
     case TraceKind::kFault: return "fault";
     case TraceKind::kKernelSample: return "kernel.sample";
+    case TraceKind::kRadioFf: return "radio.ff";
   }
   return "?";
 }

@@ -41,6 +41,7 @@ enum class TraceKind : std::uint8_t {
   kWsRestart,       // fault: workstation came back
   kFault,           // a FaultPlan event fired
   kKernelSample,    // periodic event-churn sample from the simulator core
+  kRadioFf,         // a parked protocol process fast-forwarded over idle slots
 };
 
 /// Stable wire name of a kind ("lan.send", "kernel.sample", ...).

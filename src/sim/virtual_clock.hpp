@@ -1,0 +1,116 @@
+// Closed-form fast-forward for fixed-cadence processes.
+//
+// A protocol process that drums at a fixed cadence (the Bluetooth TX-slot
+// pattern: one activation every two slots) spends almost all of its
+// activations doing work nobody can observe -- an inquiring master sweeping
+// ID packets across channels with no listener in range. VirtualClock lets
+// such a process *park*: instead of re-arming per slot, it records the time
+// of the first skipped activation and goes quiet. When an external
+// subscription (see RadioChannel::subscribe_occupancy) reports that the
+// activity would become observable, the process wakes, and wake() answers
+// the two questions closed-form re-entry needs:
+//
+//   * `resume`  -- the first on-cadence activation at or after the wake
+//     instant, so the drumming re-enters the exact slot grid it left; and
+//   * `skipped` -- how many whole activations the park elided, so the
+//     process can advance its train/repetition counters (and credit energy
+//     and packet statistics) as if every slot had run.
+//
+// Skipped activations are accounted to the simulator-wide
+// "kernel.skipped_slots" counter: executed + skipped is the mode-invariant
+// work measure the benches report as events-retired-equivalent.
+//
+// The arithmetic contract mirrors the exact path's event ordering: an
+// activation scheduled for time T is "skipped" by a park that began at or
+// before T and ended after it; a park retired at exactly time T does not
+// count an activation at T (in the exact path, a stop event scheduled
+// earlier in FIFO order cancels the same-instant activation before it
+// fires).
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/simulator.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::sim {
+
+class VirtualClock {
+ public:
+  /// `cadence` is the period of the skippable activation (> 0).
+  VirtualClock(Simulator& sim, Duration cadence)
+      : cadence_(cadence),
+        c_skipped_(&sim.obs().metrics.counter("kernel.skipped_slots")) {
+    BIPS_ASSERT(cadence > Duration(0));
+  }
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  bool parked() const { return parked_; }
+  /// Time of the first activation the current park skipped.
+  SimTime parked_at() const { return parked_at_; }
+
+  /// Starts a park. `first_skipped` is the activation the caller is
+  /// declining to run (normally the current instant, from inside the
+  /// activation body itself).
+  void park(SimTime first_skipped) {
+    BIPS_ASSERT(!parked_);
+    parked_ = true;
+    parked_at_ = first_skipped;
+  }
+
+  struct Wake {
+    SimTime resume;         // first on-cadence activation >= the wake time
+    std::uint64_t skipped;  // activations elided in [parked_at, resume)
+  };
+
+  /// Ends the park at `now` (>= parked_at). The caller reschedules itself
+  /// at .resume and advances its phase counters by .skipped.
+  Wake wake(SimTime now) {
+    BIPS_ASSERT(parked_);
+    parked_ = false;
+    const std::uint64_t n = elided_before(now);
+    const SimTime resume = parked_at_ + n * cadence_;
+    c_skipped_->inc(n);
+    skipped_total_ += n;
+    return Wake{resume, n};
+  }
+
+  /// Ends the park because the process is stopping at `now`: no resume
+  /// time, but the activations elided strictly before `now` still count
+  /// (the exact path would have run them before the stop).
+  std::uint64_t retire(SimTime now) {
+    BIPS_ASSERT(parked_);
+    parked_ = false;
+    const std::uint64_t n = elided_before(now);
+    c_skipped_->inc(n);
+    skipped_total_ += n;
+    return n;
+  }
+
+  Duration cadence() const { return cadence_; }
+  std::uint64_t skipped_total() const { return skipped_total_; }
+
+  /// Whole activations at parked_at + k*cadence that fall strictly before
+  /// `at`, plus the one at `at` itself only when `at` lies off-grid (ceil
+  /// division): exactly the set wake()'s resume slot does not re-run.
+  /// Public so a parked process can answer stats queries lazily -- "how
+  /// many activations would the exact path have run by now?" -- without
+  /// ending the park.
+  std::uint64_t elided_before(SimTime at) const {
+    BIPS_ASSERT(at >= parked_at_);
+    const auto span = static_cast<std::uint64_t>((at - parked_at_).ns());
+    const auto step = static_cast<std::uint64_t>(cadence_.ns());
+    return (span + step - 1) / step;
+  }
+
+ private:
+  Duration cadence_;
+  obs::Counter* c_skipped_;
+  bool parked_ = false;
+  SimTime parked_at_;
+  std::uint64_t skipped_total_ = 0;
+};
+
+}  // namespace bips::sim

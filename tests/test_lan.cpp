@@ -95,9 +95,9 @@ TEST_F(LanRig, LossDropsDeterministicallyAtOne) {
   for (int i = 0; i < 20; ++i) a.send(b.address(), {1});
   sim.run();
   EXPECT_EQ(got, 0);
-  EXPECT_EQ(lan.stats().dropped, 20u);
-  EXPECT_EQ(lan.stats().sent, 20u);
-  EXPECT_EQ(lan.stats().delivered, 0u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.dropped"), 20u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.sent"), 20u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.delivered"), 0u);
 }
 
 TEST_F(LanRig, PartialLossRateApproximatelyRespected) {
@@ -173,7 +173,7 @@ TEST_F(LanRig, PartitionDropsOnlyDuringWindow) {
   sim.schedule(Duration::millis(2500), [&] { a.send(b.address(), {2}); });
   sim.run();
   EXPECT_EQ(got, 2);
-  EXPECT_EQ(lan.stats().partition_dropped, 1u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.partition_dropped"), 1u);
 }
 
 TEST_F(LanRig, PartitionIsSymmetricAndSparesOutsiders) {
@@ -260,7 +260,7 @@ TEST_F(LanRig, FifoStateStaysBoundedUnderLongTraffic) {
     });
   }
   sim.run();
-  EXPECT_EQ(lan.stats().delivered, 64u * 40u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.delivered"), 64u * 40u);
   // All deliveries are in the past by the end of the run; the next prune
   // leaves at most the entries touched since it.
   EXPECT_LE(lan.fifo_state_size(), 2u * 64u + 1u);

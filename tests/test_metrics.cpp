@@ -123,7 +123,7 @@ TEST(Metrics, CounterValueIsZeroForAbsentOrNonCounterNames) {
 
 // ---- migration equivalence: legacy Stats accessors == registry cells ----
 
-TEST(MetricsMigration, LanStatsMatchRegistryCells) {
+TEST(MetricsMigration, LanCountsTrafficInRegistryCells) {
   sim::Simulator sim;
   Rng rng{3};
   net::Lan lan(sim, rng, net::Lan::Config{});
@@ -133,12 +133,9 @@ TEST(MetricsMigration, LanStatsMatchRegistryCells) {
   for (int i = 0; i < 5; ++i) a.send(b.address(), {1});
   sim.run();
 
-  const auto s = lan.stats();  // deprecated accessor, served from the cells
-  EXPECT_EQ(s.sent, 5u);
-  EXPECT_EQ(s.delivered, 5u);
-  EXPECT_EQ(sim.obs().metrics.counter_value("lan.sent"), s.sent);
-  EXPECT_EQ(sim.obs().metrics.counter_value("lan.delivered"), s.delivered);
-  EXPECT_EQ(sim.obs().metrics.counter_value("lan.dropped"), s.dropped);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.sent"), 5u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.delivered"), 5u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("lan.dropped"), 0u);
 }
 
 TEST(MetricsMigration, StandaloneLocationDbFallsBackToOwnRegistry) {

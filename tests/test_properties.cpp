@@ -125,9 +125,9 @@ TEST_P(PopulationSweep, DedicatedMasterFindsEveryone) {
   EXPECT_EQ(found.size(), static_cast<std::size_t>(n));
 
   // Channel accounting sanity: every loss is attributed.
-  const auto& st = rig.radio.stats();
-  EXPECT_GT(st.transmissions, 0u);
-  EXPECT_EQ(st.dropped_per, 0u);
+  const auto& m = rig.sim.obs().metrics;
+  EXPECT_GT(m.counter_value("radio.transmissions"), 0u);
+  EXPECT_EQ(m.counter_value("radio.dropped_per"), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Populations, PopulationSweep,

@@ -51,7 +51,7 @@ TEST_F(RadioTest, DeliversToListenerOnSameChannel) {
   sim.run();
   ASSERT_EQ(rx.received.size(), 1u);
   EXPECT_EQ(rx.received[0].sender.raw(), 1u);
-  EXPECT_EQ(ch.stats().deliveries, 1u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.deliveries"), 1u);
 }
 
 TEST_F(RadioTest, NoDeliveryOnDifferentChannel) {
@@ -119,7 +119,7 @@ TEST_F(RadioTest, OutOfRangeIsNotDelivered) {
   ch.transmit(&tx, kCh, id_packet(1));
   sim.run();
   EXPECT_TRUE(rx.received.empty());
-  EXPECT_EQ(ch.stats().out_of_range, 1u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.out_of_range"), 1u);
 }
 
 TEST_F(RadioTest, GridSkipsFarListenerWithoutDelivery) {
@@ -135,8 +135,8 @@ TEST_F(RadioTest, GridSkipsFarListenerWithoutDelivery) {
   ch.transmit(&tx, kCh, id_packet(1));
   sim.run();
   EXPECT_TRUE(rx.received.empty());
-  EXPECT_EQ(ch.stats().out_of_range, 0u);
-  EXPECT_EQ(ch.stats().deliveries, 0u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.out_of_range"), 0u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.deliveries"), 0u);
 }
 
 TEST_F(RadioTest, RangeBoundaryIsInclusive) {
@@ -167,7 +167,7 @@ TEST_F(RadioTest, OverlappingSameChannelTransmissionsCollide) {
   ch.transmit(&tx2, kCh, id_packet(2));  // same instant, same channel
   sim.run();
   EXPECT_TRUE(rx.received.empty());
-  EXPECT_EQ(ch.stats().collisions, 2u);  // both (listener, packet) pairs died
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.collisions"), 2u);  // both (listener, packet) pairs died
 }
 
 TEST_F(RadioTest, PartialOverlapAlsoCollides) {
@@ -242,7 +242,7 @@ TEST_F(RadioTest, PacketErrorRateDropsEverythingAtOne) {
   }
   sim.run();
   EXPECT_TRUE(rx.received.empty());
-  EXPECT_EQ(ch.stats().dropped_per, 10u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.dropped_per"), 10u);
 }
 
 TEST_F(RadioTest, PerListenHandlerOverridesDeviceCallback) {
@@ -278,7 +278,7 @@ TEST_F(RadioTest, MultipleListenersAllReceive) {
   EXPECT_EQ(rx1.received.size(), 1u);
   EXPECT_EQ(rx2.received.size(), 1u);
   EXPECT_EQ(rx3.received.size(), 1u);
-  EXPECT_EQ(ch.stats().deliveries, 3u);
+  EXPECT_EQ(sim.obs().metrics.counter_value("radio.deliveries"), 3u);
 }
 
 TEST_F(RadioTest, GridAndFlatDeliverIdentically) {

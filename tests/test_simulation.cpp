@@ -134,7 +134,8 @@ TEST(Simulation, RadioAndServerAccessorsShareState) {
   BipsSimulation sim(mobility::Building::corridor(1), still_config());
   sim.add_user("Alice", "alice", "pw", 0);
   sim.run_for(Duration::seconds(30));
-  EXPECT_GT(sim.radio().stats().transmissions, 0u);
+  EXPECT_GT(sim.simulator().obs().metrics.counter_value("radio.transmissions"),
+            0u);
   EXPECT_GT(sim.server().stats().presence_received, 0u);
 }
 
