@@ -14,7 +14,8 @@
 //   bench_scale_building [--smoke] [-o out.json] [--no-metrics]
 //                        [--trace trace.jsonl] [--ab] [--max-overhead PCT]
 //                        [--exact-slots] [--history FILE] [--ff-ab]
-//                        [--min-speedup X] [--reps N] [--point RxCxUxS]
+//                        [--energy-check] [--min-speedup X] [--reps N]
+//                        [--point RxCxUxS]
 //
 // --smoke runs the smallest configuration only (CI). --no-metrics runs with
 // the registry gated off (the "disabled path" whose cost must stay ~zero).
@@ -36,7 +37,11 @@
 // --reps N takes the best of N interleaved passes per mode (throughput
 // only -- histories are deterministic, so they are captured once).
 // --point RxCxUxS replaces the sweep with a single rows x cols x users x
-// sim-seconds configuration, e.g. --point 8x8x512x10.
+// sim-seconds configuration, e.g. --point 8x8x512x10. --energy-check (with
+// --ff-ab) additionally sums every master's energy ledger (TX + listen
+// time, probed just past the end of the run so both modes see the same set
+// of completed intervals) and fails the process if the exact and
+// fast-forward totals differ by a nanosecond.
 #include <ctime>
 
 #include <algorithm>
@@ -69,6 +74,7 @@ struct Result {
   bool exact_slots = false;
   std::uint64_t events = 0;
   std::uint64_t skipped = 0;  // kernel.skipped_slots (0 under --exact-slots)
+  std::uint64_t elided_polls = 0;  // piconet.elided_polls (supervised quiesce)
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t discoveries = 0;
@@ -87,9 +93,20 @@ double process_cpu_seconds() {
   return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
+// Summed master-side energy ledgers, for the --energy-check equivalence
+// gate (exact vs fast-forward totals must agree to the nanosecond).
+struct EnergyTotals {
+  std::int64_t tx_ns = 0;
+  std::int64_t listen_ns = 0;
+  bool operator==(const EnergyTotals& o) const {
+    return tx_ns == o.tx_ns && listen_ns == o.listen_ns;
+  }
+};
+
 Result run_point(const SweepPoint& p, bool metrics_on,
                  const std::string& trace_path, bool exact_slots,
-                 std::string* history_out = nullptr) {
+                 std::string* history_out = nullptr,
+                 EnergyTotals* energy_out = nullptr) {
   core::SimulationConfig cfg;
   cfg.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
   cfg.stagger_inquiry = true;
@@ -128,6 +145,24 @@ Result run_point(const SweepPoint& p, bool metrics_on,
     trace_sink->flush();
   }
 
+  if (energy_out != nullptr) {
+    // Probe off the 312.5 us slot lattice: integer-second instants land on
+    // every device's slot grid, where exact mode has events due exactly
+    // "now" that the in-event FIFO convention counts as not-yet-fired.
+    // Nudging past the end keeps the two modes' completed-interval sets
+    // identical. A stats() read settles each master's lazily-credited park
+    // energy into its device meter before we sum.
+    sim.run_for(Duration::nanos(100));
+    for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
+      auto& ws = sim.workstation(static_cast<core::StationId>(s));
+      ws.scheduler().inquirer().stats();
+      ws.scheduler().pager().stats();
+      ws.scheduler().piconet().stats();
+      energy_out->tx_ns += ws.device().energy().tx_time.ns();
+      energy_out->listen_ns += ws.device().energy().listen_time.ns();
+    }
+  }
+
   Result r;
   r.p = p;
   r.metrics_on = metrics_on;
@@ -138,6 +173,7 @@ Result run_point(const SweepPoint& p, bool metrics_on,
   // the A/B mode measures.
   const auto& m = sim.simulator().obs().metrics;
   r.skipped = m.counter_value("kernel.skipped_slots");
+  r.elided_polls = m.counter_value("piconet.elided_polls");
   r.transmissions = m.counter_value("radio.transmissions");
   r.deliveries = m.counter_value("radio.deliveries");
   r.discoveries = m.counter_value("ws.discoveries");
@@ -170,7 +206,8 @@ void write_json(const std::vector<Result>& results, const std::string& path,
         buf, sizeof buf,
         "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
         "\"metrics\": %s, \"exact_slots\": %s, \"events\": %llu, "
-        "\"skipped_slots\": %llu, \"transmissions\": %llu, "
+        "\"skipped_slots\": %llu, \"elided_polls\": %llu, "
+        "\"transmissions\": %llu, "
         "\"deliveries\": %llu, \"discoveries\": %llu, \"cpu_s\": %.3f, "
         "\"wall_s\": %.3f, \"events_per_sec\": %.0f, "
         "\"retired_per_sec\": %.0f, \"sim_ratio\": %.1f, "
@@ -179,6 +216,7 @@ void write_json(const std::vector<Result>& results, const std::string& path,
         r.metrics_on ? "true" : "false", r.exact_slots ? "true" : "false",
         static_cast<unsigned long long>(r.events),
         static_cast<unsigned long long>(r.skipped),
+        static_cast<unsigned long long>(r.elided_polls),
         static_cast<unsigned long long>(r.transmissions),
         static_cast<unsigned long long>(r.deliveries),
         static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
@@ -195,6 +233,7 @@ struct Options {
   bool ab = false;
   bool exact_slots = false;
   bool ffab = false;
+  bool energy_check = false;  // --ff-ab: also byte-diff the energy ledgers
   int reps = 1;              // --ff-ab: best-of-N passes per mode
   double max_overhead = -1;  // <0: no gate
   double min_speedup = -1;   // <0: no gate
@@ -237,6 +276,7 @@ int run(const Options& opt) {
   double worst_overhead = 0;
   double worst_speedup = 1e300;
   bool history_mismatch = false;
+  bool energy_mismatch = false;
   std::string first_history;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
@@ -249,8 +289,11 @@ int run(const Options& opt) {
       // ever slows a run down, so the per-mode max converges on the true
       // figure.
       std::string hist_exact, hist_ff;
-      Result ex = run_point(p, true, "", true, &hist_exact);
-      Result ff = run_point(p, true, trace, false, &hist_ff);
+      EnergyTotals energy_exact, energy_ff;
+      EnergyTotals* e_ex = opt.energy_check ? &energy_exact : nullptr;
+      EnergyTotals* e_ff = opt.energy_check ? &energy_ff : nullptr;
+      Result ex = run_point(p, true, "", true, &hist_exact, e_ex);
+      Result ff = run_point(p, true, trace, false, &hist_ff, e_ff);
       for (int rep = 1; rep < opt.reps; ++rep) {
         const Result ex2 = run_point(p, true, "", true);
         if (ex2.retired_per_sec > ex.retired_per_sec) ex = ex2;
@@ -259,6 +302,16 @@ int run(const Options& opt) {
       }
       const bool identical = hist_exact == hist_ff;
       if (!identical) history_mismatch = true;
+      if (opt.energy_check && !(energy_exact == energy_ff)) {
+        energy_mismatch = true;
+        std::printf("energy DIFFERS at %d rooms / %d users: exact tx %lld ns "
+                    "listen %lld ns vs ff tx %lld ns listen %lld ns\n",
+                    p.rows * p.cols, p.users,
+                    static_cast<long long>(energy_exact.tx_ns),
+                    static_cast<long long>(energy_exact.listen_ns),
+                    static_cast<long long>(energy_ff.tx_ns),
+                    static_cast<long long>(energy_ff.listen_ns));
+      }
       // Byte-identical histories: both modes retired the same semantic
       // slot stream, so equivalent throughput is exact-events over each
       // mode's CPU time and the speedup is the CPU-time ratio.
@@ -340,6 +393,15 @@ int run(const Options& opt) {
     }
     std::printf("OK: exact-slot and fast-forward discovery histories are "
                 "byte-identical at every point\n");
+    if (opt.energy_check) {
+      if (energy_mismatch) {
+        std::printf("FAIL: master energy ledgers differ across modes -- the "
+                    "lazily-credited park energy must be exact\n");
+        return 1;
+      }
+      std::printf("OK: master energy ledgers (TX + listen time) are "
+                  "identical across modes at every point\n");
+    }
     if (opt.min_speedup >= 0) {
       if (worst_speedup < opt.min_speedup) {
         std::printf("FAIL: fast-forward speedup %.2fx is below the %.2fx "
@@ -381,6 +443,8 @@ int main(int argc, char** argv) {
       opt.ab = true;
     } else if (std::strcmp(argv[i], "--ff-ab") == 0) {
       opt.ffab = true;
+    } else if (std::strcmp(argv[i], "--energy-check") == 0) {
+      opt.energy_check = true;
     } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
       opt.exact_slots = true;
     } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
@@ -411,7 +475,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--smoke] [-o out.json] [--no-metrics] "
                    "[--trace trace.jsonl] [--ab] [--max-overhead PCT] "
                    "[--exact-slots] [--history FILE] [--ff-ab] "
-                   "[--min-speedup X] [--reps N] [--point RxCxUxS]\n",
+                   "[--energy-check] [--min-speedup X] [--reps N] "
+                   "[--point RxCxUxS]\n",
                    argv[0]);
       return 2;
     }

@@ -120,10 +120,13 @@ struct ChannelConfig {
   double cross_set_interference = 0.0;
   /// Exact-slot drumming: when true, inquiry/page masters re-arm their
   /// tx-slot process every 1250 us even when no listener could possibly
-  /// hear them -- the original, fully-literal schedule. When false (the
-  /// default), a master whose channel set has no triggering listener within
-  /// ff_radius() parks on a VirtualClock and fast-forwards closed-form to
-  /// the instant one appears (see DESIGN.md section 5c). The two modes
+  /// hear them -- the original, fully-literal schedule -- and piconet
+  /// masters drum every poll round, including the provable no-ops. When
+  /// false (the default), a master whose channel set has no triggering
+  /// listener within ff_radius() parks on a VirtualClock and fast-forwards
+  /// closed-form to the instant one appears, and a drained piconet parks
+  /// its poll loop until the earliest round whose outcome the supervision
+  /// speed horizon cannot pin (see DESIGN.md section 5c). The two modes
   /// produce byte-identical discovery histories and presence streams for a
   /// fixed seed; only idle-slot bookkeeping differs.
   bool exact_slots = false;

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "src/baseband/clock.hpp"
 #include "src/baseband/radio.hpp"
@@ -68,13 +70,44 @@ class Device : public RadioDevice {
   RadioChannel& radio() { return radio_; }
   Rng& rng() { return rng_; }
 
-  void set_position(Vec2 p) { pos_ = p; }
+  void set_position(Vec2 p) {
+    pos_ = p;
+    notify_position_changed();
+  }
   /// Lets a mobility model drive the position (queried on every delivery).
   void set_position_provider(std::function<Vec2()> f) {
     position_provider_ = std::move(f);
+    notify_position_changed();
+  }
+
+  /// Registers a callback fired after every discrete position write
+  /// (set_position / provider install) -- the teleport-style moves a
+  /// fast-forwarded process cannot bound with a speed horizon. Continuous
+  /// provider-driven motion does NOT fire it. Returns a token for
+  /// remove_position_listener().
+  int add_position_listener(std::function<void()> f) {
+    position_listeners_.emplace_back(next_position_listener_, std::move(f));
+    return next_position_listener_++;
+  }
+  void remove_position_listener(int token) {
+    for (std::size_t i = 0; i < position_listeners_.size(); ++i) {
+      if (position_listeners_[i].first == token) {
+        position_listeners_.erase(position_listeners_.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
   }
 
  private:
+  void notify_position_changed() {
+    // Iterate by index: a listener body may register/unregister listeners
+    // (e.g. a woken piconet master detaching a slave).
+    for (std::size_t i = 0; i < position_listeners_.size(); ++i) {
+      position_listeners_[i].second();
+    }
+  }
+
   sim::Simulator& sim_;
   RadioChannel& radio_;
   BdAddr addr_;
@@ -84,6 +117,8 @@ class Device : public RadioDevice {
   double range_m_;
   EnergyMeter energy_;
   std::function<Vec2()> position_provider_;
+  std::vector<std::pair<int, std::function<void()>>> position_listeners_;
+  int next_position_listener_ = 0;
 };
 
 }  // namespace bips::baseband

@@ -81,8 +81,9 @@ class Inquirer {
   /// Advances train_/reps_/tx_slot_ (and the train-switch statistic) by n
   /// slots in O(1) -- the closed form of n advance_phase() calls.
   void advance_phase_by(std::uint64_t n);
-  /// Folds the IDs elided by the current park (so far) into stats_ without
-  /// ending it; wake()/retire_park() subtract what was already credited.
+  /// Folds the IDs -- and the energy of the elided TX/listen activity --
+  /// of the current park (so far) into the ledgers without ending it;
+  /// wake()/retire_park() subtract what was already credited.
   void sync_park_stats() const;
 
   Device& dev_;
@@ -118,9 +119,13 @@ class Inquirer {
   OccupancySubId occ_sub_ = kNoOccupancySub;
   // Mutable for sync_park_stats(): a const stats() read mid-park credits
   // the elided IDs lazily. park_ids_credited_ is what the current park has
-  // already folded in (reset to 0 when the park ends).
+  // already folded in (reset to 0 when the park ends); the two Durations
+  // are the TX / listen energy the same lazy reads already pushed into the
+  // device's EnergyMeter, subtracted from the bulk credit at wake/retire.
   mutable Stats stats_;
   mutable std::uint64_t park_ids_credited_ = 0;
+  mutable Duration park_tx_credited_;
+  mutable Duration park_listen_credited_;
 };
 
 }  // namespace bips::baseband

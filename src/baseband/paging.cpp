@@ -168,7 +168,9 @@ void Pager::wake() {
     const std::uint64_t ids = 2 * n - (replay_second ? 1 : 0);
     stats_.ids_sent += ids - park_ids_credited_;  // minus lazy mid-park reads
     park_ids_credited_ = 0;
-    dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids));
+    dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids) -
+                    park_tx_credited_);
+    park_tx_credited_ = Duration(0);
 
     // Reconstruct the (at most two) response-listen pairs still open as
     // backdated listens; fully-elapsed windows are credited closed-form.
@@ -195,8 +197,12 @@ void Pager::wake() {
       if (p2 + kResponseListenSpan > now) reconstruct(n - 2, p2);
     }
     reconstruct(n - 1, p1);  // now <= resume = p1 + 1250 < p1 + span: open
+    // Reconstructed windows have t + span > now, so the lazy mid-park
+    // crediting (strictly-closed windows only) never counted them.
     dev_.account_listen(2 * kResponseListenSpan *
-                        static_cast<std::int64_t>(n - reconstructed));
+                            static_cast<std::int64_t>(n - reconstructed) -
+                        park_listen_credited_);
+    park_listen_credited_ = Duration(0);
 
     if (replay_second) {
       second_index_ = indices_at(n - 1).second;
@@ -227,7 +233,9 @@ void Pager::absorb_park(SimTime now) {
   const std::uint64_t ids = 2 * n - (last_second ? 0 : 1);
   stats_.ids_sent += ids - park_ids_credited_;  // minus lazy mid-park reads
   park_ids_credited_ = 0;
-  dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids));
+  dev_.account_tx(Duration::micros(68) * static_cast<std::int64_t>(ids) -
+                  park_tx_credited_);
+  park_tx_credited_ = Duration(0);
   Duration listen_credit{0};
   const std::uint64_t full = n > 2 ? n - 2 : 0;
   listen_credit += 2 * kResponseListenSpan * static_cast<std::int64_t>(full);
@@ -237,7 +245,10 @@ void Pager::absorb_park(SimTime now) {
     listen_credit += 2 * (open < kResponseListenSpan ? open
                                                      : kResponseListenSpan);
   }
-  dev_.account_listen(listen_credit);
+  // Lazy mid-park reads only credited fully-closed windows at full span,
+  // which the bulk figure includes too: subtraction cannot go negative.
+  dev_.account_listen(listen_credit - park_listen_credited_);
+  park_listen_credited_ = Duration(0);
   advance_phase_by(n);
   dev_.sim().obs().tracer.emit(now, obs::TraceKind::kRadioFf,
                                static_cast<std::uint32_t>(dev_.addr().raw()),
@@ -256,6 +267,24 @@ void Pager::sync_park_stats() const {
   const std::uint64_t ids = 2 * n - (last + kHalfSlot < now ? 0 : 1);
   stats_.ids_sent += ids - park_ids_credited_;
   park_ids_credited_ = ids;
+  // Energy rides the same lazy scheme (see Inquirer::sync_park_stats for
+  // the window-counting derivation): IDs at their transmit instants,
+  // response windows only once strictly closed.
+  const Duration tx = Duration::micros(68) * static_cast<std::int64_t>(ids);
+  dev_.account_tx(tx - park_tx_credited_);
+  park_tx_credited_ = tx;
+  const std::int64_t fully_closed_span =
+      (now - vclock_.parked_at() - kResponseListenSpan).ns();
+  const std::int64_t step = (2 * kSlot).ns();
+  std::uint64_t closed =
+      fully_closed_span > 0
+          ? static_cast<std::uint64_t>((fully_closed_span + step - 1) / step)
+          : 0;
+  if (closed > n) closed = n;
+  const Duration listen =
+      2 * kResponseListenSpan * static_cast<std::int64_t>(closed);
+  dev_.account_listen(listen - park_listen_credited_);
+  park_listen_credited_ = listen;
 }
 
 std::pair<std::uint32_t, std::uint32_t> Pager::indices_at(

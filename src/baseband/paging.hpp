@@ -96,8 +96,9 @@ class Pager {
   /// park point would sweep, without mutating the live phase.
   std::pair<std::uint32_t, std::uint32_t> indices_at(std::uint64_t k) const;
   void advance_phase_by(std::uint64_t n);
-  /// Folds the IDs elided by the current park (so far) into stats_ without
-  /// ending it; wake()/absorb_park() subtract what was already credited.
+  /// Folds the IDs -- and the energy of the elided TX/listen activity --
+  /// of the current park (so far) into the ledgers without ending it;
+  /// wake()/absorb_park() subtract what was already credited.
   void sync_park_stats() const;
 
   Device& dev_;
@@ -140,9 +141,13 @@ class Pager {
   OccupancySubId occ_sub_ = kNoOccupancySub;
 
   // Mutable for sync_park_stats() (const reads mid-park credit lazily);
-  // park_ids_credited_ is what the current park has already folded in.
+  // park_ids_credited_ is what the current park has already folded in, and
+  // the two Durations the TX / listen energy those reads already pushed
+  // into the device's EnergyMeter (subtracted from the bulk wake credit).
   mutable Stats stats_;
   mutable std::uint64_t park_ids_credited_ = 0;
+  mutable Duration park_tx_credited_;
+  mutable Duration park_listen_credited_;
 };
 
 /// Slave side: periodically listens for pages addressed to it.

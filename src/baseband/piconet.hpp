@@ -19,6 +19,20 @@
 // Radio range still applies -- a slave that walks out of range trips the
 // supervision timeout and both sides observe a link loss, which is how a
 // BIPS workstation detects departures between inquiry rounds.
+//
+// Supervised quiesce (DESIGN.md section 5c): unless ChannelConfig::
+// exact_slots is set, a master whose poll rounds are provable no-ops (all
+// queues drained, and every slave's range-check outcome pinned by a speed
+// bound over the park horizon) stops the poll timer and advances the
+// supervision clock arithmetically -- it parks until the earliest instant
+// at which a round could do observable work (a supervision deadline firing
+// or a slave crossing the range boundary), and wakes early for traffic,
+// membership changes, discrete position writes, or a pause. On wake the
+// elided rounds are credited closed-form (stats_.polls, piconet.elided_polls,
+// kernel.skipped_slots) and per-slave last_reachable is reconstructed to
+// the last elided round, so every observable -- including the simulated
+// instant of a supervision disconnect -- is byte-identical to the exact
+// slot-by-slot path.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +44,7 @@
 
 #include "src/baseband/config.hpp"
 #include "src/baseband/device.hpp"
+#include "src/sim/virtual_clock.hpp"
 
 namespace bips::baseband {
 
@@ -90,11 +105,20 @@ class PiconetMaster {
     /// (applies to parked slaves too, via the beacon). Duration(0) disables
     /// supervision entirely; with supervision off the poll loop's only duty
     /// is moving queued traffic, so (unless ChannelConfig::exact_slots) a
-    /// fully drained piconet quiesces: the timer stops and the elided no-op
-    /// rounds are credited closed-form when traffic resumes or stats are
-    /// read. An enabled supervision timeout pins the poll cadence (range
-    /// checks are genuine work) and therefore forbids the fast-forward.
+    /// fully drained piconet quiesces indefinitely: the timer stops and the
+    /// elided no-op rounds are credited closed-form when traffic resumes or
+    /// stats are read. An enabled supervision timeout makes range checks
+    /// genuine work, so the quiesce is bounded instead: the master parks
+    /// only until the earliest round whose outcome the ff_max_speed_mps
+    /// horizon cannot pin (see the header comment).
     Duration supervision_timeout = Duration::from_seconds(2.0);
+    /// Upper bound on how fast any endpoint of this piconet can move
+    /// (m/s); the supervised quiesce uses twice this value as the closing
+    /// speed when proving future range-check outcomes. Must dominate the
+    /// mobility model (RandomWaypointAgent caps at 1.5 m/s). Discrete
+    /// set_position() writes are exempt -- they fire a wake instead. <= 0
+    /// disables the supervised quiesce (the T == 0 quiesce is unaffected).
+    double ff_max_speed_mps = 2.0;
     /// ACL payloads ride DM5-sized fragments (spec payload: 224 bytes)...
     std::size_t max_fragment_payload = 224;
     /// ...and each poll round moves at most this many fragments per slave
@@ -196,19 +220,48 @@ class PiconetMaster {
     Reassembler from_slave;  // slave -> master reassembly
     Reassembler to_slave;    // master -> slave reassembly (lives here so a
                              // detach drops both directions atomically)
+    // Supervised-quiesce state: whether the park's speed horizon proved
+    // this slave in range for every elided round (drives last_reachable
+    // reconstruction at settle), and the token of the position listener
+    // registered on the slave's device.
+    bool ff_in_range = false;
+    int position_listener = -1;
   };
 
   friend class SlaveLink;  // ~SlaveLink erases itself from slaves_
 
+  // Why a supervised quiesce ended (indices into deadlines_).
+  enum WakeReason : std::size_t {
+    kWakeSupervision = 0,  // scheduled: a supervision deadline is due
+    kWakeRange = 1,        // scheduled: a range transition is possible
+    kWakeTraffic = 2,      // send()/send_to_master() queued a fragment
+    kWakeAttach = 3,       // a new slave joined (fresh supervision clock)
+    kWakeDetach = 4,       // the roster emptied under the park
+    kWakePosition = 5,     // a discrete position write (teleport)
+    kWakePause = 6,        // pause() froze the loop
+  };
+
   void poll_round();
   bool slave_in_range(const SlaveState& s) const;
+  double range_m() const;
   /// Restarts a quiesced poll loop on the exact-path round lattice (first
   /// fire = the round the exact path would run next).
-  void wake_polls();
+  void wake_polls(WakeReason reason = kWakeTraffic);
   /// Credits poll rounds the quiescent fast-forward has elided so far and
   /// advances the lattice anchor; no-op when not quiesced. Const (and the
   /// touched members mutable) so stats() reads are always exact-equivalent.
   void sync_poll_stat() const;
+  /// Ends a quiesce without restarting the timer: folds in the elided
+  /// rounds, reconstructs last_reachable for slaves the park proved in
+  /// range, cancels the pending deadline wake and records the reason.
+  void settle_quiesce(WakeReason reason);
+  /// Parks the poll loop if every round until some future instant is a
+  /// provable no-op; called at the end of a real round.
+  void maybe_quiesce(SimTime now);
+  /// Body of wake_proc_: the scheduled end of a supervised park.
+  void deadline_wake();
+  /// Position-listener body (master or any slave teleported).
+  void on_position_write();
 
   Device& dev_;
   Config cfg_;
@@ -221,7 +274,18 @@ class PiconetMaster {
   // at the last (real or credited) round time.
   bool quiesced_ = false;
   mutable SimTime quiesce_round_;
+  SimTime park_started_;  // first elided round of the current quiesce
   mutable Stats stats_;
+  // Supervised-quiesce state: the scheduled deadline wake, the competing
+  // end-of-park candidates with per-reason wake counters, the master's own
+  // position-listener token, and the elision counters
+  // (piconet.elided_polls + the simulator-wide kernel.skipped_slots).
+  sim::Process wake_proc_;
+  sim::DeadlineSet deadlines_;
+  int position_listener_ = -1;
+  obs::Counter* c_elided_polls_;
+  obs::Counter* c_skipped_slots_;
+  obs::Counter* c_quiesce_parks_;
   // Scratch membership snapshot reused across poll rounds (message
   // callbacks may attach/detach slaves mid-round).
   std::vector<BdAddr> poll_snapshot_;

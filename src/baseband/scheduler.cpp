@@ -62,6 +62,9 @@ void MasterScheduler::stop() {
   inquiry_end_proc_.cancel();
   inquirer_.stop();
   pager_.cancel();
+  // Stopping outside an inquiry phase can reach a *quiesced* piconet;
+  // resume() keeps the poll timer off in that case (the park stays live
+  // and its lazy credit intact) instead of drumming against it.
   piconet_.resume();
   in_inquiry_ = false;
 }
@@ -73,7 +76,10 @@ void MasterScheduler::begin_cycle() {
                                obs::TraceKind::kInquiryStart,
                                static_cast<std::uint32_t>(dev_.addr().raw()),
                                cycles_);
-  // The radio is single: dedicate it to discovery, suspend serving.
+  // The radio is single: dedicate it to discovery, suspend serving. The
+  // pause also settles any supervised quiesce -- elided rounds credited,
+  // last_reachable reconstructed, the pending deadline wake cancelled --
+  // so the inquiry/serve alternation and the poll fast-forward compose.
   pager_.cancel();
   piconet_.pause();
   inquirer_.start();

@@ -74,6 +74,7 @@ class MasterScheduler {
 
   PiconetMaster& piconet() { return piconet_; }
   const Inquirer& inquirer() const { return inquirer_; }
+  const Pager& pager() const { return pager_; }
   Device& device() { return dev_; }
 
   /// Number of completed operational cycles.

@@ -1,5 +1,6 @@
 #include "src/obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -66,6 +67,36 @@ JsonlSink::~JsonlSink() { flush(); }
 void JsonlSink::write(const TraceRecord& r) {
   buf_.push_back(r);
   if (buf_.size() >= buffer_records_) flush();
+}
+
+void Tracer::write(const TraceRecord& r) {
+  // Any record with a later timestamp closes the pending same-instant
+  // presence batch (simulated time is monotone, so the batch can never
+  // grow again once time moves).
+  if (!pending_presence_.empty() && r.at != pending_presence_.front().at) {
+    drain_presence();
+  }
+  if (r.kind == TraceKind::kPresence) {
+    pending_presence_.push_back(r);
+    return;
+  }
+  sink_->write(r);
+}
+
+void Tracer::drain_presence() {
+  if (pending_presence_.empty()) return;
+  if (pending_presence_.size() > 1) {
+    // Field `a` is the subject device's BD_ADDR (see DESIGN.md section 7).
+    // stable_sort keeps one device's same-instant deltas in causal order.
+    std::stable_sort(pending_presence_.begin(), pending_presence_.end(),
+                     [](const TraceRecord& l, const TraceRecord& r) {
+                       return l.a < r.a;
+                     });
+  }
+  if (sink_ != nullptr) {
+    for (const TraceRecord& r : pending_presence_) sink_->write(r);
+  }
+  pending_presence_.clear();
 }
 
 void JsonlSink::flush() {

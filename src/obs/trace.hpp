@@ -117,11 +117,22 @@ class JsonlSink : public TraceSink {
 
 /// The emission front-end components cache a pointer to. No sink installed
 /// (the default) means emit() is one compare-and-skip.
+///
+/// Presence canonicalisation: same-instant kPresence records of *different*
+/// devices reach the sink ordered by (time, device BD_ADDR), not by kernel
+/// interleaving -- the same tie-break core::write_history_csv applies to
+/// the discovery-history report -- so the live JSONL stream is byte-stable
+/// across exact and fast-forward modes. Records of one device at one
+/// instant keep their causal emission order (the sort is stable), and
+/// non-presence kinds pass through untouched.
 class Tracer {
  public:
   /// Installs a sink (caller keeps ownership); nullptr disables tracing.
   /// Returns the previous sink so scoped instrumentation can restore it.
+  /// Presence records buffered for canonicalisation drain to the *old*
+  /// sink first -- they were emitted on its watch.
   TraceSink* set_sink(TraceSink* s) {
+    drain_presence();
     TraceSink* prev = sink_;
     sink_ = s;
     return prev;
@@ -131,14 +142,22 @@ class Tracer {
 
   void emit(SimTime at, TraceKind kind, std::uint32_t id = 0,
             std::uint64_t a = 0, std::uint64_t b = 0, double x = 0.0) {
-    if (sink_ != nullptr) sink_->write(TraceRecord{at, kind, id, a, b, x});
+    if (sink_ == nullptr) return;
+    write(TraceRecord{at, kind, id, a, b, x});
   }
   void flush() {
+    drain_presence();
     if (sink_ != nullptr) sink_->flush();
   }
 
  private:
+  void write(const TraceRecord& r);
+  /// Sorts the buffered same-instant presence batch by device and hands it
+  /// to the sink.
+  void drain_presence();
+
   TraceSink* sink_ = nullptr;
+  std::vector<TraceRecord> pending_presence_;
 };
 
 }  // namespace bips::obs

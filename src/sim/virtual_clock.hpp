@@ -29,6 +29,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
 
 #include "src/sim/simulator.hpp"
 #include "src/util/assert.hpp"
@@ -111,6 +114,72 @@ class VirtualClock {
   bool parked_ = false;
   SimTime parked_at_;
   std::uint64_t skipped_total_ = 0;
+};
+
+/// Multi-deadline park accounting. A park that can end for one of several
+/// competing reasons (a supervision deadline, a possible range transition,
+/// traffic arrival, a membership change, ...) proposes each candidate with
+/// a reason index; earliest() is the instant the parked process schedules
+/// its wake for, and record() attributes how the park *actually* ended to a
+/// "<prefix>.wake.<reason>" counter, so benches can see why parks end
+/// without a trace pass. Proposal and recording are pure bookkeeping --
+/// nothing here schedules, so the set never perturbs event order.
+class DeadlineSet {
+ public:
+  DeadlineSet(Simulator& sim, const std::string& prefix,
+              std::initializer_list<const char*> reasons) {
+    counters_.reserve(reasons.size());
+    for (const char* r : reasons) {
+      counters_.push_back(
+          &sim.obs().metrics.counter(prefix + ".wake." + r));
+    }
+  }
+  DeadlineSet(const DeadlineSet&) = delete;
+  DeadlineSet& operator=(const DeadlineSet&) = delete;
+
+  /// Forgets all proposed deadlines (call when starting a new park).
+  void reset() { pending_ = false; }
+
+  /// Offers `at` as a candidate end-of-park instant for `reason`. Keeps
+  /// the earliest candidate and the reason that proposed it.
+  void propose(std::size_t reason, SimTime at) {
+    BIPS_ASSERT(reason < counters_.size());
+    if (!pending_ || at < earliest_) {
+      earliest_ = at;
+      earliest_reason_ = reason;
+      pending_ = true;
+    }
+  }
+
+  bool pending() const { return pending_; }
+  SimTime earliest() const {
+    BIPS_ASSERT(pending_);
+    return earliest_;
+  }
+  /// The reason that proposed the earliest candidate (what to record when
+  /// the scheduled deadline itself is what fires).
+  std::size_t earliest_reason() const {
+    BIPS_ASSERT(pending_);
+    return earliest_reason_;
+  }
+
+  /// Ends the park: counts one wake under `reason` and clears the set.
+  void record(std::size_t reason) {
+    BIPS_ASSERT(reason < counters_.size());
+    counters_[reason]->inc();
+    pending_ = false;
+  }
+
+  std::uint64_t wakes(std::size_t reason) const {
+    BIPS_ASSERT(reason < counters_.size());
+    return counters_[reason]->value();
+  }
+
+ private:
+  std::vector<obs::Counter*> counters_;
+  SimTime earliest_;
+  std::size_t earliest_reason_ = 0;
+  bool pending_ = false;
 };
 
 }  // namespace bips::sim

@@ -14,8 +14,10 @@
 #include "src/baseband/device.hpp"
 #include "src/baseband/inquiry.hpp"
 #include "src/baseband/inquiry_scan.hpp"
+#include "src/baseband/piconet.hpp"
 #include "src/baseband/radio.hpp"
 #include "src/core/simulation.hpp"
+#include "src/fault/plan.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/virtual_clock.hpp"
@@ -86,6 +88,8 @@ struct TrialResult {
   std::uint64_t fhs_received = 0;
   std::uint64_t skipped = 0;
   std::uint64_t wakeups = 0;
+  std::int64_t tx_ns = 0;      // master's energy ledger (TX airtime)
+  std::int64_t listen_ns = 0;  // master's energy ledger (receiver-on time)
 };
 
 // One master inquiring forever; one scanner that starts far out of range,
@@ -139,6 +143,11 @@ TrialResult range_transition_trial(std::uint64_t seed, bool exact,
   r.ids_sent = inq.stats().ids_sent;
   r.fhs_received = inq.stats().fhs_received;
   r.ids_heard = scan.stats().ids_heard;
+  // The stats() read above also settled the lazy energy credit of any
+  // in-progress park (probe is off-lattice, so both modes agree on which
+  // TX/listen intervals have completed by now).
+  r.tx_ns = master.energy().tx_time.ns();
+  r.listen_ns = master.energy().listen_time.ns();
   // stop() retires the final park, settling its elisions into the counter
   // (while parked, only the lazy stats() view is current).
   inq.stop();
@@ -171,6 +180,14 @@ TEST(FastForward, RangeTransitionsWakeAndReidleOnTheExactSlotBoundary) {
       EXPECT_EQ(ex.ids_sent, ff.ids_sent) << label;
       EXPECT_EQ(ex.ids_heard, ff.ids_heard) << label;
       EXPECT_EQ(ex.fhs_received, ff.fhs_received) << label;
+
+      // The energy ledger is mode-invariant too: a mid-park read credits
+      // the elided TX/listen time lazily, pinned to the same completed
+      // intervals the exact path accounted.
+      EXPECT_GT(ex.tx_ns, 0) << label;
+      EXPECT_EQ(ex.tx_ns, ff.tx_ns) << label;
+      EXPECT_GT(ex.listen_ns, 0) << label;
+      EXPECT_EQ(ex.listen_ns, ff.listen_ns) << label;
 
       // Mode bookkeeping: exact mode never parks. Fast-forward parked
       // before the scanner arrived, in every scan gap while it was near
@@ -210,6 +227,86 @@ TEST(FastForward, ParkedInquirerCreditsStatsLazily) {
   EXPECT_GT(sim.obs().metrics.counter_value("kernel.skipped_slots"), 0u);
 }
 
+// ---- supervised piconet equivalence -------------------------------------
+
+struct SupervisedResult {
+  std::int64_t lost_at_ns = -1;  // instant of the supervision disconnect
+  std::uint64_t lost_addr = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t link_losses = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t elided = 0;
+};
+
+// A supervised piconet under fast-forward must reproduce the exact path's
+// supervision behaviour byte-for-byte: one slave sits parked (park mode) in
+// coverage for the whole run, the other walks straight out at 1.2 m/s on a
+// continuous position provider and is dropped by the 2 s supervision
+// timeout *mid-park* -- the master is quiescent when the deadline
+// approaches, so the disconnect instant is reconstructed from the deadline
+// wake, not observed by drumming. Any error in the speed-bound horizons or
+// the last_reachable reconstruction moves the disconnect by at least one
+// 25 ms round and fails the exact-instant comparison.
+SupervisedResult supervised_walkout_trial(std::uint64_t seed, bool exact) {
+  sim::Simulator sim;
+  Rng rng(seed);
+  baseband::ChannelConfig ch;
+  ch.exact_slots = exact;
+  baseband::RadioChannel radio(sim, rng, ch);
+  Device mdev(sim, radio, BdAddr(0xA1), rng.fork());
+  baseband::PiconetMaster master(mdev, baseband::PiconetMaster::Config{});
+  Device parked_dev(sim, radio, BdAddr(0xB1), rng.fork(), {5, 0});
+  Device walker_dev(sim, radio, BdAddr(0xB2), rng.fork(), {8, 0});
+  baseband::SlaveLink parked(parked_dev);
+  baseband::SlaveLink walker(walker_dev);
+
+  SupervisedResult r;
+  master.set_on_link_loss([&](BdAddr a) {
+    r.lost_at_ns = sim.now().ns();
+    r.lost_addr = a.raw();
+  });
+  master.attach(parked);
+  master.attach(walker);
+  master.park(BdAddr(0xB1));  // parked members are supervised too
+  // Continuous walkout, well under the 2.0 m/s ff speed bound: leaves the
+  // 10 m range at t = 5/3 s, supervision fires ~2 s later.
+  walker_dev.set_position_provider(
+      [&sim] { return Vec2{8.0 + 1.2 * sim.now().ns() * 1e-9, 0.0}; });
+
+  // Probe off the 25 ms round lattice (see range_transition_trial).
+  sim.run_until(SimTime(Duration::micros(10'000'100).ns()));
+  r.polls = master.stats().polls;
+  r.link_losses = master.stats().link_losses;
+  r.parks = sim.obs().metrics.counter_value("piconet.quiesce_parks");
+  r.elided = sim.obs().metrics.counter_value("piconet.elided_polls");
+  return r;
+}
+
+TEST(FastForward, SupervisedWalkoutDisconnectsAtTheIdenticalInstant) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const SupervisedResult ex = supervised_walkout_trial(seed, true);
+    const SupervisedResult ff = supervised_walkout_trial(seed, false);
+    const std::string label = "seed " + std::to_string(seed);
+
+    // The walker is dropped in both modes, at the same simulated instant,
+    // and the parked slave survives (it never leaves coverage).
+    EXPECT_EQ(ex.lost_addr, 0xB2u) << label;
+    EXPECT_EQ(ff.lost_addr, ex.lost_addr) << label;
+    ASSERT_GE(ex.lost_at_ns, 0) << label;
+    EXPECT_EQ(ff.lost_at_ns, ex.lost_at_ns) << label;
+    EXPECT_EQ(ex.link_losses, 1u) << label;
+    EXPECT_EQ(ff.link_losses, ex.link_losses) << label;
+    EXPECT_EQ(ff.polls, ex.polls) << label;
+
+    // Fast-forward did elide: the post-disconnect stretch alone (walker
+    // gone, parked slave pinned at d = 5) holds multi-second parks.
+    EXPECT_EQ(ex.parks, 0u) << label;
+    EXPECT_EQ(ex.elided, 0u) << label;
+    EXPECT_GE(ff.parks, 2u) << label;
+    EXPECT_GT(ff.elided, 100u) << label;
+  }
+}
+
 // ---- whole-stack equivalence harness ------------------------------------
 
 struct ModeCapture {
@@ -217,9 +314,10 @@ struct ModeCapture {
   std::string presence;       // the trace's presence-delta stream (JSONL)
   std::uint64_t executed = 0; // kernel events actually run
   std::uint64_t skipped = 0;  // slots elided by fast-forward
+  std::uint64_t elided_polls = 0;  // piconet rounds elided by quiesce
 };
 
-ModeCapture building_run(std::uint64_t seed, bool exact) {
+ModeCapture building_run(std::uint64_t seed, bool exact, bool chaos = false) {
   core::SimulationConfig cfg;
   cfg.seed = seed;
   cfg.stagger_inquiry = true;
@@ -230,6 +328,15 @@ ModeCapture building_run(std::uint64_t seed, bool exact) {
   for (int i = 0; i < 6; ++i) {
     sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
                  static_cast<mobility::RoomId>(i % 4));
+  }
+  if (chaos) {
+    // Pull the chaos window into the 45 s run (defaults start at 60 s).
+    fault::ChaosParams cp;
+    cp.start = Duration::seconds(10);
+    cp.window = Duration::seconds(20);
+    cp.min_outage = Duration::seconds(3);
+    cp.max_outage = Duration::seconds(8);
+    fault::FaultPlan::chaos(seed, sim.workstation_count(), cp).apply(sim);
   }
   std::ostringstream trace_os;
   obs::JsonlSink sink(trace_os);
@@ -254,11 +361,13 @@ ModeCapture building_run(std::uint64_t seed, bool exact) {
   cap.executed = sim.simulator().events_executed();
   cap.skipped =
       sim.simulator().obs().metrics.counter_value("kernel.skipped_slots");
+  cap.elided_polls =
+      sim.simulator().obs().metrics.counter_value("piconet.elided_polls");
   return cap;
 }
 
 TEST(FastForward, ExactAndVirtualModesAreByteEquivalent) {
-  for (const std::uint64_t seed : {3u, 11u, 42u}) {
+  for (const std::uint64_t seed : {3u, 7u, 11u, 19u, 42u}) {
     const ModeCapture ex = building_run(seed, /*exact=*/true);
     const ModeCapture ff = building_run(seed, /*exact=*/false);
 
@@ -269,10 +378,29 @@ TEST(FastForward, ExactAndVirtualModesAreByteEquivalent) {
 
     // Fast-forward earns its keep: it retires the same observable run with
     // far fewer executed kernel events, the difference living in the
-    // skipped-slot ledger.
+    // skipped-slot ledger -- and the supervised piconets contribute (their
+    // drained poll rounds quiesce instead of drumming).
     EXPECT_EQ(ex.skipped, 0u) << "seed " << seed;
     EXPECT_GT(ff.skipped, 0u) << "seed " << seed;
+    EXPECT_EQ(ex.elided_polls, 0u) << "seed " << seed;
+    EXPECT_GT(ff.elided_polls, 0u) << "seed " << seed;
     EXPECT_LT(ff.executed, ex.executed) << "seed " << seed;
+  }
+}
+
+TEST(FastForward, ChaosSeedsStayByteEquivalentAcrossModes) {
+  // Crash/restart/partition faults hit mid-run -- station crashes tear
+  // piconets down while quiesced, restarts rebuild them, the server resync
+  // replays presence -- and the two modes must still agree byte-for-byte.
+  for (const std::uint64_t seed : {7u, 21u}) {
+    const ModeCapture ex = building_run(seed, /*exact=*/true, /*chaos=*/true);
+    const ModeCapture ff = building_run(seed, /*exact=*/false, /*chaos=*/true);
+
+    EXPECT_FALSE(ex.history.empty()) << "seed " << seed;
+    EXPECT_EQ(ex.history, ff.history) << "seed " << seed;
+    EXPECT_FALSE(ex.presence.empty()) << "seed " << seed;
+    EXPECT_EQ(ex.presence, ff.presence) << "seed " << seed;
+    EXPECT_GT(ff.skipped, 0u) << "seed " << seed;
   }
 }
 

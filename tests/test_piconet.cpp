@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "src/baseband/device.hpp"
 #include "src/baseband/piconet.hpp"
@@ -348,6 +350,127 @@ TEST_F(PiconetRig, ManyParkedMembers) {
   for (auto& d : devs) master.send(d->addr(), AclPayload{1});
   run_ms(500);
   EXPECT_EQ(got, 20);
+}
+
+}  // namespace
+}  // namespace bips::baseband
+
+// ---- quiescent fast-forward -------------------------------------------------
+
+namespace bips::baseband {
+namespace {
+
+struct QuiesceTrial {
+  std::uint64_t polls = 0;
+  std::int64_t delivered_ns = -1;
+  std::uint64_t parks = 0;
+  std::uint64_t elided = 0;
+};
+
+// Master + one in-range slave; the poll loop quiesces after the first round
+// (at 25 ms) and a send placed *exactly* on the elided round lattice wakes
+// it. The wake must credit the round due at the wake instant exactly once
+// (floor credit: run_until has executed events <= t, so the exact path's
+// round at t has already drummed when the send lands) and re-arm the timer
+// one interval later -- the round the exact path runs next.
+QuiesceTrial boundary_trial(bool exact, Duration supervision,
+                            std::int64_t send_at_ms) {
+  sim::Simulator sim;
+  Rng rng(7);
+  ChannelConfig ch;
+  ch.exact_slots = exact;
+  RadioChannel radio(sim, rng, ch);
+  Device mdev(sim, radio, BdAddr(0xA1), rng.fork());
+  PiconetMaster::Config cfg;
+  cfg.supervision_timeout = supervision;
+  PiconetMaster master(mdev, cfg);
+  Device sdev(sim, radio, BdAddr(0xB1), rng.fork());
+  SlaveLink link(sdev);
+  QuiesceTrial r;
+  link.set_on_message(
+      [&](const AclPayload&) { r.delivered_ns = sim.now().ns(); });
+  master.attach(link);
+  sim.run_until(SimTime(Duration::millis(send_at_ms).ns()));
+  master.send(BdAddr(0xB1), AclPayload{42});
+  sim.run_until(SimTime(Duration::millis(400).ns()));
+  r.polls = master.stats().polls;
+  r.parks = sim.obs().metrics.counter_value("piconet.quiesce_parks");
+  r.elided = sim.obs().metrics.counter_value("piconet.elided_polls");
+  return r;
+}
+
+TEST(PiconetQuiesce, WakeOnTheRoundLatticeCreditsTheBoundaryRoundOnce) {
+  // Supervision off (indefinite park) and on (deadline-bounded park) share
+  // the sync_poll_stat arithmetic; both must agree with exact drumming.
+  for (const Duration sup : {Duration(0), Duration::seconds(2)}) {
+    const QuiesceTrial ex = boundary_trial(true, sup, /*send_at_ms=*/125);
+    const QuiesceTrial ff = boundary_trial(false, sup, /*send_at_ms=*/125);
+    const std::string label =
+        "supervision " + std::to_string(sup.ns()) + " ns";
+    // Rounds by 400 ms: 25, 50, ..., 400 = 16 in both modes. An off-by-one
+    // at the wake boundary (crediting the 125 ms round zero or two times)
+    // shows up here.
+    EXPECT_EQ(ex.polls, 16u) << label;
+    EXPECT_EQ(ff.polls, ex.polls) << label;
+    // The message rides the round after the wake instant in both modes.
+    EXPECT_EQ(ex.delivered_ns, Duration::millis(150).ns()) << label;
+    EXPECT_EQ(ff.delivered_ns, ex.delivered_ns) << label;
+    // Mode bookkeeping: exact never parks; ff parked before the send and
+    // again after the delivery round drained (4 + 10 rounds elided by the
+    // 400 ms probe).
+    EXPECT_EQ(ex.parks, 0u) << label;
+    EXPECT_EQ(ex.elided, 0u) << label;
+    EXPECT_GE(ff.parks, 2u) << label;
+    EXPECT_EQ(ff.elided, 14u) << label;
+  }
+}
+
+TEST(PiconetQuiesce, WakeAtTheParkInstantCreditsNothing) {
+  // The degenerate boundary: the send lands at the very instant the park
+  // began (= the last real round). k = 0 rounds elided; the next fire is
+  // one full interval later, exactly as in exact mode.
+  const QuiesceTrial ex =
+      boundary_trial(true, Duration::seconds(2), /*send_at_ms=*/25);
+  const QuiesceTrial ff =
+      boundary_trial(false, Duration::seconds(2), /*send_at_ms=*/25);
+  EXPECT_EQ(ex.delivered_ns, Duration::millis(50).ns());
+  EXPECT_EQ(ff.delivered_ns, ex.delivered_ns);
+  EXPECT_EQ(ff.polls, ex.polls);
+}
+
+TEST(PiconetQuiesce, SupervisedIdleMasterParksAndCreditsPollsLazily) {
+  // No traffic at all: a supervised master re-parks after every speed-bound
+  // horizon expires (deadline wake -> one real round -> park again), and a
+  // mid-park stats() read off the round lattice sees the exact-path count.
+  auto run = [](bool exact) {
+    sim::Simulator sim;
+    Rng rng(9);
+    ChannelConfig ch;
+    ch.exact_slots = exact;
+    RadioChannel radio(sim, rng, ch);
+    Device mdev(sim, radio, BdAddr(0xA1), rng.fork());
+    PiconetMaster master(mdev, PiconetMaster::Config{});
+    Device sdev(sim, radio, BdAddr(0xB1), rng.fork());
+    SlaveLink link(sdev);
+    master.attach(link);
+    // Probe off the 25 ms lattice: in-event FIFO bookkeeping (a round due
+    // exactly "now" has not fired) stays comparable across modes.
+    sim.run_until(SimTime(Duration::micros(10'000'100).ns()));
+    const std::uint64_t polls = master.stats().polls;
+    const std::uint64_t parks =
+        sim.obs().metrics.counter_value("piconet.quiesce_parks");
+    const std::uint64_t elided =
+        sim.obs().metrics.counter_value("piconet.elided_polls");
+    return std::tuple(polls, parks, elided);
+  };
+  const auto [ex_polls, ex_parks, ex_elided] = run(true);
+  const auto [ff_polls, ff_parks, ff_elided] = run(false);
+  EXPECT_EQ(ex_polls, 400u);  // rounds at 25 ms .. 10 s
+  EXPECT_EQ(ff_polls, ex_polls);
+  EXPECT_EQ(ex_parks, 0u);
+  EXPECT_EQ(ex_elided, 0u);
+  EXPECT_GE(ff_parks, 2u);   // d = 0 horizon is ~2.5 s: several park cycles
+  EXPECT_GT(ff_elided, 300u);
 }
 
 }  // namespace

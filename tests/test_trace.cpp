@@ -102,11 +102,40 @@ TEST(Trace, TracerGatesOnSinkAndReturnsThePreviousOne) {
   RingSink first(8), second(8);
   EXPECT_EQ(tracer.set_sink(&first), nullptr);
   tracer.emit(SimTime(), TraceKind::kPresence, 1);
+  // Presence records buffer for same-instant canonicalisation until the
+  // batch closes; swapping sinks drains the batch to the *old* sink.
   EXPECT_EQ(tracer.set_sink(&second), &first);
   tracer.emit(SimTime(), TraceKind::kPresence, 2);
   EXPECT_EQ(first.total_written(), 1u);
+  EXPECT_EQ(second.total_written(), 0u);  // still pending
+  tracer.flush();
   EXPECT_EQ(second.total_written(), 1u);
   EXPECT_EQ(tracer.set_sink(nullptr), &second);
+}
+
+TEST(Trace, SameInstantPresenceRecordsAreCanonicalisedByDevice) {
+  Tracer tracer;
+  RingSink sink(16);
+  tracer.set_sink(&sink);
+  // Three same-instant deltas, devices out of order; one later record.
+  tracer.emit(SimTime(1000), TraceKind::kPresence, 7, /*a=*/30);
+  tracer.emit(SimTime(1000), TraceKind::kPresence, 7, /*a=*/10, /*b=*/1);
+  tracer.emit(SimTime(1000), TraceKind::kPresence, 7, /*a=*/10, /*b=*/0);
+  tracer.emit(SimTime(1000), TraceKind::kLanSend, 7);  // passes through
+  tracer.emit(SimTime(2000), TraceKind::kPresence, 7, /*a=*/20);
+  tracer.set_sink(nullptr);
+
+  ASSERT_EQ(sink.records().size(), 5u);
+  // The non-presence record reached the sink first (it is not reordered
+  // relative to simulated time, only presence ties are canonicalised).
+  EXPECT_EQ(sink.records()[0].kind, TraceKind::kLanSend);
+  // The batch at t=1000 is sorted by device, stably (10/b=1 before 10/b=0).
+  EXPECT_EQ(sink.records()[1].a, 10u);
+  EXPECT_EQ(sink.records()[1].b, 1u);
+  EXPECT_EQ(sink.records()[2].a, 10u);
+  EXPECT_EQ(sink.records()[2].b, 0u);
+  EXPECT_EQ(sink.records()[3].a, 30u);
+  EXPECT_EQ(sink.records()[4].a, 20u);
 }
 
 TEST(LogCapture, ReturnsThePreviousSinkForNestedCaptures) {
