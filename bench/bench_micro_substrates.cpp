@@ -191,7 +191,7 @@ BENCHMARK(BM_RadioBroadcast)->Arg(1)->Arg(7)->Arg(20);
 // ---- additional micro benches: piconet data plane and scenario parsing ----
 
 #include "src/baseband/piconet.hpp"
-#include "src/core/scenario.hpp"
+#include "src/scenario/scenario.hpp"
 
 namespace bips {
 namespace {

@@ -1,26 +1,42 @@
-// CLI: run a BIPS deployment described by a text scenario file.
+// CLI: run (and grade) a BIPS deployment described by a text scenario file.
 //
 //   $ ./scenario_runner examples/scenarios/department.bips [history.csv]
 //   $ ./scenario_runner --demo
 //   $ ./scenario_runner --trace trace.jsonl examples/scenarios/department.bips
+//   $ ./scenario_runner --synth 42 > generated.bips
 //
-// Prints a deployment report (enrollment, tracking scorecard, and the full
-// metrics-registry snapshot) and optionally dumps the location-database
-// transition history as CSV. --trace FILE streams the structured simulation
-// trace (JSONL, one record per line) for offline analysis.
+// Prints a deployment report (enrollment, tracking scorecard, assertion
+// outcomes, and the full metrics-registry snapshot) and optionally dumps the
+// location-database transition history as CSV. --trace FILE streams the
+// structured simulation trace (JSONL, one record per line) for offline
+// analysis. --synth SEED emits a generated self-checking scenario to stdout
+// instead of running anything.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
-#include "src/core/scenario.hpp"
 #include "src/obs/obs.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/scenario/synth.hpp"
 
 using namespace bips;
 
 namespace {
+
+// Distinct exit codes so CI and shell scripts can tell failure classes
+// apart (documented in --help).
+enum ExitCode {
+  kOk = 0,
+  kUsage = 2,       // bad command line
+  kParseError = 3,  // scenario rejected (syntax / validation)
+  kSinkError = 4,   // an output file could not be created or written
+  kAssertFailed = 5,   // some in-scenario assertion failed
+  kInvariantBroken = 6,  // assert-final no-invariant-violations failed
+};
 
 constexpr const char* kDemoScenario = R"(# three-room demo deployment
 seed 7
@@ -40,6 +56,32 @@ user Carol carol pw-c office
 run 300
 sample 1
 )";
+
+void usage(std::FILE* to, const char* argv0) {
+  std::fprintf(to,
+               "usage: %s [options] <scenario-file> [history.csv]\n"
+               "       %s [options] --demo\n"
+               "       %s --synth SEED [--chaos]\n"
+               "\n"
+               "options:\n"
+               "  --trace FILE    stream the structured trace as JSONL\n"
+               "  --exact-slots   disable virtual-slot fast-forward\n"
+               "  --demo          run a built-in three-room scenario\n"
+               "  --synth SEED    print a generated self-checking scenario\n"
+               "                  to stdout and exit (no simulation)\n"
+               "  --chaos         with --synth: use a seeded chaos block\n"
+               "                  instead of scripted station faults\n"
+               "  --help          this text\n"
+               "\n"
+               "exit codes:\n"
+               "  0  run completed; every assertion passed\n"
+               "  2  bad command line\n"
+               "  3  scenario rejected (syntax or validation error)\n"
+               "  4  an output file could not be created or written\n"
+               "  5  an in-scenario assertion failed\n"
+               "  6  the invariant checker recorded violations\n",
+               argv0, argv0, argv0);
+}
 
 void report(core::BipsSimulation& sim, const core::ScenarioSpec& spec) {
   std::printf("ran %.0f simulated seconds: %zu rooms, %zu users\n\n",
@@ -73,10 +115,22 @@ void report(core::BipsSimulation& sim, const core::ScenarioSpec& spec) {
               sim.simulator().obs().metrics.to_table().c_str());
 }
 
+void report_checks(const core::ScenarioReport& rep) {
+  if (rep.checks.empty()) return;
+  std::printf("\n--- assertions ---\n");
+  for (const core::ScenarioCheck& c : rep.checks) {
+    std::printf("  line %-3d %s  %s%s%s\n", c.line,
+                c.passed ? "PASS" : "FAIL", c.what.c_str(),
+                c.detail.empty() ? "" : ": ", c.detail.c_str());
+  }
+  std::printf("  %zu/%zu passed\n", rep.checks.size() - rep.failed(),
+              rep.checks.size());
+}
+
 /// Opens `path` for writing, creating missing parent directories first.
 /// Any failure (uncreatable directory, unwritable file) is reported on
-/// stderr and returns false -- the runner exits with an error status
-/// instead of aborting or writing a partial sink.
+/// stderr and returns false -- the runner exits with kSinkError instead of
+/// aborting or writing a partial sink.
 bool open_sink(std::ofstream& os, const std::string& path) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
@@ -96,28 +150,59 @@ bool open_sink(std::ofstream& os, const std::string& path) {
   return true;
 }
 
+/// Flushes and verifies the stream after the payload was written: a full
+/// disk or revoked permission surfaces here, not as a silent exit 0.
+bool close_sink(std::ofstream& os, const std::string& path) {
+  os.flush();
+  if (!os.good()) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   bool exact_slots = false;
+  bool synth_chaos = false;
+  long long synth_seed = -1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      usage(stdout, argv[0]);
+      return kOk;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
       exact_slots = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      synth_chaos = true;
+    } else if (std::strcmp(argv[i], "--synth") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      synth_seed = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || synth_seed < 0) {
+        std::fprintf(stderr, "--synth: SEED must be a non-negative integer\n");
+        return kUsage;
+      }
     } else {
       positional.push_back(argv[i]);
     }
   }
+
+  if (synth_seed >= 0) {
+    core::SynthParams params;
+    params.chaos_block = synth_chaos;
+    std::fputs(core::synth_scenario(
+                   static_cast<std::uint64_t>(synth_seed), params)
+                   .c_str(),
+               stdout);
+    return kOk;
+  }
   if (positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s [--trace trace.jsonl] [--exact-slots] "
-                 "<scenario-file> [history.csv]\n"
-                 "       %s [--trace trace.jsonl] [--exact-slots] --demo\n",
-                 argv[0], argv[0]);
-    return 1;
+    usage(stderr, argv[0]);
+    return kUsage;
   }
 
   core::ScenarioError err;
@@ -129,14 +214,14 @@ int main(int argc, char** argv) {
     std::ifstream in(positional[0]);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", positional[0]);
-      return 1;
+      return kParseError;
     }
     spec = core::parse_scenario(in, &err);
   }
   if (!spec) {
     std::fprintf(stderr, "scenario error (line %d): %s\n", err.line,
                  err.message.c_str());
-    return 1;
+    return kParseError;
   }
 
   // The trace sink must be live before the first event fires, so it rides
@@ -144,26 +229,35 @@ int main(int argc, char** argv) {
   std::ofstream trace_os;
   std::unique_ptr<obs::JsonlSink> trace_sink;
   if (!trace_path.empty()) {
-    if (!open_sink(trace_os, trace_path)) return 1;
+    if (!open_sink(trace_os, trace_path)) return kSinkError;
     trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
   }
   if (exact_slots) spec->config.channel.exact_slots = true;
-  auto sim = core::run_scenario(*spec, [&](core::BipsSimulation& s) {
-    if (trace_sink) s.simulator().obs().tracer.set_sink(trace_sink.get());
-  });
+  core::ScenarioReport checks;
+  auto sim = core::run_scenario(
+      *spec,
+      [&](core::BipsSimulation& s) {
+        if (trace_sink) s.simulator().obs().tracer.set_sink(trace_sink.get());
+      },
+      &checks);
   report(*sim, *spec);
+  report_checks(checks);
   if (trace_sink) {
     sim->simulator().obs().tracer.set_sink(nullptr);
     trace_sink->flush();
+    if (!close_sink(trace_os, trace_path)) return kSinkError;
     std::printf("\ntrace written to %s (%zu records)\n", trace_path.c_str(),
                 trace_sink->records_written());
   }
 
   if (positional.size() >= 2 && std::strcmp(positional[0], "--demo") != 0) {
     std::ofstream csv;
-    if (!open_sink(csv, positional[1])) return 1;
+    if (!open_sink(csv, positional[1])) return kSinkError;
     sim->write_history_csv(csv);
+    if (!close_sink(csv, positional[1])) return kSinkError;
     std::printf("\nhistory written to %s\n", positional[1]);
   }
-  return 0;
+  if (checks.invariants_violated()) return kInvariantBroken;
+  if (!checks.passed()) return kAssertFailed;
+  return kOk;
 }

@@ -131,6 +131,43 @@ bool BipsClient::logout() {
   return ctrl_.link().send_to_master(proto::encode(req));
 }
 
+void BipsClient::power_off() {
+  logged_in_ = false;
+  login_pending_ = false;
+  login_retry_.cancel();
+  whereis_pending_.clear();
+  path_pending_.clear();
+  whoisin_pending_.clear();
+  history_pending_.clear();
+  subscribe_pending_.clear();
+  watches_.clear();
+  ctrl_.stop();
+}
+
+void BipsClient::power_on() {
+  if (!ctrl_.connected()) {
+    ctrl_.start();
+  } else if (!logged_in_) {
+    // The link outlived the flick; there will be no reconnect callback, so
+    // re-arm the login loop by hand.
+    login_retry_.call_after(Duration::millis(50));
+  }
+}
+
+int BipsClient::flood_logins(int n) {
+  if (!ctrl_.connected()) return 0;
+  int sent = 0;
+  for (; sent < n; ++sent) {
+    proto::LoginRequest req;
+    req.bd_addr = addr().raw();
+    req.userid = cfg_.userid;
+    req.password = cfg_.password;
+    if (!ctrl_.link().send_to_master(proto::encode(req))) break;
+  }
+  stats_.logins_sent += static_cast<std::uint64_t>(sent);
+  return sent;
+}
+
 void BipsClient::on_message(const baseband::AclPayload& p) {
   auto msg = proto::decode(p);
   if (!msg) return;

@@ -79,6 +79,23 @@ class BipsClient {
   /// Explicit logout (also sent on stop() when logged in and connected).
   bool logout();
 
+  /// Fault injection: the handheld powers off. Scanning stops and all
+  /// session RAM -- login state, pending query callbacks, live watches --
+  /// is lost without any goodbye on the air. An attached master only
+  /// notices through its supervision timeout, so the owning simulation
+  /// shadows the device's radio position alongside this call.
+  void power_off();
+  /// Powers back on: resumes scanning when disconnected, or re-logs-in
+  /// over a link that survived an outage shorter than the supervision
+  /// timeout (no reconnect event would fire to trigger the auto-login).
+  void power_on();
+
+  /// Stress act: queues `n` back-to-back LoginRequests on the live link
+  /// (duplicates included -- the server's session handling must stay
+  /// idempotent under the burst). Returns how many were queued; 0 when
+  /// not connected.
+  int flood_logins(int n);
+
   struct Stats {
     std::uint64_t connections = 0;
     std::uint64_t logins_sent = 0;

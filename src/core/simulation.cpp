@@ -128,6 +128,33 @@ void BipsSimulation::set_position_provider(std::string_view userid,
   u->client->device().set_position_provider([cu] { return cu->position(); });
 }
 
+void BipsSimulation::set_radio_shadowed(std::string_view userid,
+                                        bool shadowed) {
+  User* u = find_user(userid);
+  BIPS_ASSERT(u != nullptr);
+  if (u->shadowed == shadowed) return;
+  u->shadowed = shadowed;
+  // Re-installing the provider is what fires the device's position
+  // listeners: the "teleport" both into and out of the shadow must wake a
+  // quiesced master whose park proved this slave's range with a speed
+  // bound.
+  const User* cu = u;
+  if (shadowed) {
+    // 1 km off the floor plan: outside every coverage circle and any radio
+    // range a scenario can configure, while keeping grid-cell keys tame.
+    u->client->device().set_position_provider(
+        [cu] { return cu->position() + Vec2{1000.0, 1000.0}; });
+  } else {
+    u->client->device().set_position_provider([cu] { return cu->position(); });
+  }
+}
+
+bool BipsSimulation::radio_shadowed(std::string_view userid) const {
+  const User* u = find_user(userid);
+  BIPS_ASSERT(u != nullptr);
+  return u->shadowed;
+}
+
 std::vector<std::string> BipsSimulation::userids() const {
   std::vector<std::string> ids;
   ids.reserve(users_.size());

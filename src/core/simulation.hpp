@@ -101,6 +101,16 @@ class BipsSimulation {
   void set_position_provider(std::string_view userid,
                              std::function<Vec2()> provider);
 
+  /// Fault injection: puts the user's handheld radio in (or out of) an RF
+  /// shadow. The owner keeps walking -- ground truth and the tracking
+  /// sampler still follow the agent -- but the *device* teleports out of
+  /// every coverage circle, so it stops answering inquiries and an attached
+  /// master drops it via the supervision timeout. The discrete position
+  /// write fires the device's position listeners, which is what wakes any
+  /// fast-forwarded (quiesced) piconet that was counting on a speed bound.
+  void set_radio_shadowed(std::string_view userid, bool shadowed);
+  bool radio_shadowed(std::string_view userid) const;
+
   /// Ground truth: the piconet physically covering the user right now.
   mobility::RoomId true_room(std::string_view userid) const;
   /// What the location database believes.
@@ -123,6 +133,9 @@ class BipsSimulation {
     std::unique_ptr<mobility::RandomWaypointAgent> agent;
     /// When set, overrides the agent as the source of truth and motion.
     std::function<Vec2()> provider;
+    /// Radio shadow (see set_radio_shadowed): the device is parked far
+    /// outside the building while the owner keeps moving normally.
+    bool shadowed = false;
 
     Vec2 position() const { return provider ? provider() : agent->position(); }
   };

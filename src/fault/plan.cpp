@@ -139,6 +139,11 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, std::size_t station_count,
   return plan;
 }
 
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
 Duration FaultPlan::heal_time() const {
   Duration heal(0);
   for (const FaultEvent& e : events_) {

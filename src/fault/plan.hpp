@@ -79,6 +79,11 @@ class FaultPlan {
   static FaultPlan chaos(std::uint64_t seed, std::size_t station_count,
                          const ChaosParams& params = {});
 
+  /// Appends every event of `other` (times stay relative to apply()); the
+  /// scenario compiler uses this to fold seeded chaos blocks into the
+  /// scripted schedule, keeping one plan per run.
+  FaultPlan& merge(const FaultPlan& other);
+
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
 

@@ -54,6 +54,30 @@ void RandomWaypointAgent::pick_next_trip() {
   });
 }
 
+void RandomWaypointAgent::walk_to(RoomId target) {
+  BIPS_ASSERT(target < building_.room_count());
+  pause_event_.cancel();
+  // Route from wherever the agent is; the nearest room node anchors the
+  // path (the agent may be interrupted mid-corridor).
+  const RoomId from = building_.nearest_room(walker_.position());
+  const double speed =
+      rng_.uniform_double(cfg_.speed_min_mps, cfg_.speed_max_mps);
+  destination_ = target;
+  if (from == target) {
+    walker_.walk({building_.room(target).center}, speed,
+                 [this] { pick_next_trip(); });
+    return;
+  }
+  const auto node_path = paths_.path(from, target);
+  BIPS_ASSERT_MSG(!node_path.empty(), "building graph must be connected");
+  std::vector<Vec2> waypoints;
+  waypoints.reserve(node_path.size());
+  for (const auto node : node_path) {
+    waypoints.push_back(building_.room(static_cast<RoomId>(node)).center);
+  }
+  walker_.walk(std::move(waypoints), speed, [this] { pick_next_trip(); });
+}
+
 void RandomWaypointAgent::depart(RoomId target) {
   const auto node_path = paths_.path(destination_, target);
   BIPS_ASSERT_MSG(!node_path.empty(), "building graph must be connected");

@@ -42,6 +42,14 @@ class RandomWaypointAgent {
   void start();
   void stop();
 
+  /// Scripted interrupt (scenario `act ... walk-to`): abandons the current
+  /// dwell or trip and walks to `target` along the corridor graph, anchored
+  /// at the nearest room node. On arrival the normal dwell/wander cadence
+  /// resumes (a stopped agent simply stays at `target`). The speed draw
+  /// comes from the agent's own stream, so the act perturbs the run
+  /// deterministically.
+  void walk_to(RoomId target);
+
   Vec2 position() const { return walker_.position(); }
   /// Ground truth: the room whose coverage circle contains the agent.
   RoomId covering_room(double radius_m) const {

@@ -1,0 +1,208 @@
+#include "src/scenario/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/graph/dijkstra.hpp"
+#include "src/mobility/building.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::core {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+struct Line {
+  double at;
+  std::string text;
+};
+
+}  // namespace
+
+std::string synth_scenario(std::uint64_t seed, const SynthParams& p) {
+  BIPS_ASSERT(p.min_rooms >= 2 && p.min_rooms <= p.max_rooms);
+  BIPS_ASSERT(p.min_users >= 1 && p.min_users <= p.max_users);
+  BIPS_ASSERT(p.run_seconds >= 400.0);  // the schedule below needs the room
+  Rng rng(seed);
+  const double run = p.run_seconds;
+
+  // ---- topology: rooms on a grid, a connecting chain + random shortcuts.
+  const int n_rooms =
+      static_cast<int>(rng.uniform_int(p.min_rooms, p.max_rooms));
+  const int cols =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n_rooms))));
+  const double spacing = 12.0;
+  mobility::Building building;
+  std::string out;
+  out += "# generated scenario: seed " + std::to_string(seed) + "\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "radius 10\nstagger on\ninterlaced on\n";
+  out += "inquiry 2.56\ncycle 5.12\n";
+  out += "station-timeout 10\n";
+  out += "speed 1 1.5\n";
+  // Dwell longer than the run: every walk in the scenario is scripted, so
+  // the derived assert-at instants are exact worst-case bounds.
+  out += "pause " + num(run) + " " + num(2 * run) + "\n";
+  out += "sample 1\n";
+  out += "run " + num(run) + "\n\n";
+  for (int k = 0; k < n_rooms; ++k) {
+    const double x = spacing * (k % cols);
+    const double y = spacing * (k / cols);
+    const std::string name = "r" + std::to_string(k);
+    building.add_room(name, Vec2{x, y});
+    out += "room " + name + " " + num(x) + " " + num(y) + "\n";
+  }
+  for (int k = 1; k < n_rooms; ++k) {
+    building.connect(static_cast<mobility::RoomId>(k - 1),
+                     static_cast<mobility::RoomId>(k));
+    out += "edge r" + std::to_string(k - 1) + " r" + std::to_string(k) + "\n";
+  }
+  for (int a = 0; a + 2 < n_rooms; ++a) {
+    for (int b = a + 2; b < n_rooms; ++b) {
+      if (rng.chance(0.15)) {
+        building.connect(static_cast<mobility::RoomId>(a),
+                         static_cast<mobility::RoomId>(b));
+        out += "edge r" + std::to_string(a) + " r" + std::to_string(b) + "\n";
+      }
+    }
+  }
+  out += "\n";
+
+  // ---- population: the first half are witnesses (scripted walk + derived
+  // whereis assertion), the rest misbehave (power cycles, RF shadows,
+  // login floods).
+  const int n_users =
+      static_cast<int>(rng.uniform_int(p.min_users, p.max_users));
+  const int n_witness = (n_users + 1) / 2;
+  std::vector<int> start(n_users);
+  for (int i = 0; i < n_users; ++i) {
+    start[i] = static_cast<int>(rng.uniform(n_rooms));
+    out += "user U" + std::to_string(i) + " u" + std::to_string(i) + " pw" +
+           std::to_string(i) + " r" + std::to_string(start[i]) + "\n";
+  }
+  out += "\n";
+
+  const graph::Graph g = building.to_graph();
+  std::vector<Line> schedule;
+  // Rooms a witness depends on after its walk: scripted faults avoid
+  // crashing these stations so the derived assertions stay sound.
+  std::vector<bool> witness_room(n_rooms, false);
+  // The fault schedule (below) heals by this instant; witness assertions
+  // and the staleness bound leave recovery room past it.
+  const double fault_heal = p.chaos_block ? 60.0 + 120.0 + 15.0 : 260.0;
+
+  double max_outage = 0.0;
+  for (int i = 0; i < n_witness; ++i) {
+    int target = static_cast<int>(rng.uniform(n_rooms));
+    if (target == start[i]) target = (target + 1) % n_rooms;
+    witness_room[target] = true;
+    const double depart = 60.0 + 15.0 * i + rng.uniform_double(0.0, 60.0);
+    const auto tree =
+        graph::dijkstra(g, static_cast<graph::NodeId>(start[i]));
+    BIPS_ASSERT(tree.reachable(static_cast<graph::NodeId>(target)));
+    const double dist = tree.distance[static_cast<std::size_t>(target)];
+    // Worst-case arrival: slowest speed (1 m/s) over the full shortest
+    // path, plus one extra leg for the walk out of the start room's center.
+    const double arrive = depart + (dist + spacing) / 1.0;
+    const double check =
+        std::max(arrive, fault_heal + 40.0) + 90.0;  // discovery margin
+    BIPS_ASSERT(check <= run - 60.0);
+    schedule.push_back({depart, "act U" + std::to_string(i) + " walk-to r" +
+                                    std::to_string(target) + " " +
+                                    num(depart)});
+    schedule.push_back({check, "assert-at " + num(check) + " whereis U" +
+                                   std::to_string(i) + " r" +
+                                   std::to_string(target)});
+  }
+
+  for (int i = n_witness; i < n_users; ++i) {
+    const double at = 100.0 + rng.uniform_double(0.0, run / 2.0 - 100.0);
+    const std::string user = "U" + std::to_string(i);
+    switch (rng.uniform(3)) {
+      case 0: {
+        const double dur = rng.uniform_double(10.0, 30.0);
+        max_outage = std::max(max_outage, dur);
+        schedule.push_back(
+            {at, "act " + user + " power-cycle " + num(at) + " " + num(dur)});
+        break;
+      }
+      case 1: {
+        const double dur = rng.uniform_double(10.0, 30.0);
+        max_outage = std::max(max_outage, dur);
+        schedule.push_back(
+            {at, "act " + user + " unreachable " + num(at) + " " + num(dur)});
+        break;
+      }
+      default: {
+        const int burst = static_cast<int>(rng.uniform_int(20, 100));
+        schedule.push_back({at, "act " + user + " login-flood " + num(at) +
+                                    " " + std::to_string(burst)});
+        break;
+      }
+    }
+  }
+
+  // ---- faults: either one seeded chaos block or scripted crash/restart
+  // pairs on stations no witness assertion depends on.
+  if (p.chaos_block) {
+    // server-faults 0: a witness mid-walk during a server outage has no
+    // attesting station, so the resync snapshots cannot restore its
+    // session and the client never learns it must log in again -- the
+    // derived whereis assertion would test that protocol gap, not the
+    // simulator. Hand-written scenarios can still script server faults.
+    schedule.push_back(
+        {60.0, "chaos " + std::to_string(seed ^ 0xC0FFEEull) +
+                   " start 60 window 120 min-outage 5 max-outage 15"
+                   " server-faults 0"});
+    max_outage = std::max(max_outage, 15.0);
+  } else {
+    std::vector<int> candidates;
+    for (int r = 0; r < n_rooms; ++r) {
+      if (!witness_room[r]) candidates.push_back(r);
+    }
+    const int n_faults = std::min<int>(
+        p.station_faults, static_cast<int>(candidates.size()));
+    double t = 80.0;
+    for (int i = 0; i < n_faults; ++i) {
+      const std::size_t pick = rng.uniform(candidates.size());
+      const int room = candidates[pick];
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+      const double crash = t + rng.uniform_double(0.0, 40.0);
+      const double dur = rng.uniform_double(15.0, 40.0);
+      max_outage = std::max(max_outage, dur);
+      schedule.push_back(
+          {crash, "crash r" + std::to_string(room) + " " + num(crash)});
+      schedule.push_back({crash + dur, "restart r" + std::to_string(room) +
+                                           " " + num(crash + dur)});
+      t = crash + dur + 10.0;
+      BIPS_ASSERT(t < fault_heal);
+    }
+  }
+
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Line& a, const Line& b) { return a.at < b.at; });
+  for (const Line& l : schedule) out += l.text + "\n";
+  out += "\n";
+
+  // ---- blanket assertions. The staleness bound must exceed the longest
+  // single outage (crash window, RF shadow, power-off) plus the failure
+  // detector (station-timeout 10 + sweep) on one side and rediscovery
+  // (inquiry cycle + login retry) on the other.
+  if (p.staleness_window) {
+    const double bound = std::max(120.0, max_outage + 90.0);
+    out += "assert-window 60 " + num(run - 30.0) + " max-staleness " +
+           num(bound) + "\n";
+  }
+  out += "assert-final no-invariant-violations\n";
+  return out;
+}
+
+}  // namespace bips::core

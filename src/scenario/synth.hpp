@@ -1,0 +1,40 @@
+// Generative scenarios: a seeded random-but-valid .bips file emitter.
+//
+// synth_scenario(seed) produces the *text* of a self-checking scenario --
+// topology, population, act/fault schedule and auto-derived assertions --
+// that parse_scenario accepts and that a correct simulator passes. The
+// derivation is conservative: every assert-at instant leaves the walker's
+// worst-case (slowest-speed, longest-path) arrival plus a discovery margin,
+// every fault heals well before the end of the run, and the staleness bound
+// exceeds the longest outage the schedule can inflict. Same seed + params
+// -> byte-identical text, so generated scenarios can be frozen into a CI
+// corpus (examples/scenarios/corpus/) and replayed forever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bips::core {
+
+/// Knobs for the scenario generator. Ranges are inclusive.
+struct SynthParams {
+  int min_rooms = 4;
+  int max_rooms = 8;
+  int min_users = 3;
+  int max_users = 6;
+  /// Simulated length of the generated run (seconds).
+  double run_seconds = 600.0;
+  /// Scripted workstation crash/restart pairs (capped at room count - 1).
+  int station_faults = 1;
+  /// Emit one seeded `chaos` block instead of scripted station faults.
+  bool chaos_block = false;
+  /// Emit an `assert-window ... max-staleness` directive (bound derived
+  /// from the fault schedule).
+  bool staleness_window = true;
+};
+
+/// Emits the text of a random valid self-checking scenario. Deterministic:
+/// the text is a pure function of (seed, params).
+std::string synth_scenario(std::uint64_t seed, const SynthParams& params = {});
+
+}  // namespace bips::core
