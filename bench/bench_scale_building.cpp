@@ -42,6 +42,21 @@
 // time, probed just past the end of the run so both modes see the same set
 // of completed intervals) and fails the process if the exact and
 // fast-forward totals differ by a nanosecond.
+//
+// Sharded-kernel modes (DESIGN.md section 9):
+//   --threads N   run every point on the sharded harness with N worker
+//                 threads (N >= 1; without this flag the monolithic
+//                 single-simulator harness runs, as before);
+//   --shards N    zone count for the sharded harness (default 4);
+//   --par-ab      run every point on the sharded harness twice -- 1 thread
+//                 then --threads N -- byte-diff the discovery histories,
+//                 the presence trace streams and the energy ledgers (any
+//                 difference fails the process: thread count must not
+//                 change one byte), and report the wall-clock speedup;
+//                 --min-speedup gates it.
+//   --append      append this run's rows to an existing report instead of
+//                 overwriting it; refuses if the file's schema version
+//                 differs (rows carry "threads" and "commit" since v2).
 #include <ctime>
 
 #include <algorithm>
@@ -56,6 +71,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "src/core/parallel.hpp"
 #include "src/core/simulation.hpp"
 #include "src/obs/obs.hpp"
 #include "src/util/table.hpp"
@@ -72,6 +88,8 @@ struct Result {
   SweepPoint p;
   bool metrics_on = true;
   bool exact_slots = false;
+  bool sharded = false;
+  int threads = 1;  // worker threads (always 1 on the monolithic harness)
   std::uint64_t events = 0;
   std::uint64_t skipped = 0;  // kernel.skipped_slots (0 under --exact-slots)
   std::uint64_t elided_polls = 0;  // piconet.elided_polls (supervised quiesce)
@@ -194,37 +212,212 @@ Result run_point(const SweepPoint& p, bool metrics_on,
   return r;
 }
 
-void write_json(const std::vector<Result>& results, const std::string& path,
-                bool smoke, bool ab) {
+/// One sweep point on the sharded harness (DESIGN.md section 9): the same
+/// deployment cut into `shards` zones and run on `threads` workers. The
+/// captured history, presence stream and energy totals are the --par-ab
+/// equivalence subjects: every one of them must be byte-identical across
+/// thread counts.
+Result run_point_sharded(const SweepPoint& p, int threads,
+                         std::size_t shards, bool exact_slots,
+                         std::string* history_out = nullptr,
+                         std::string* presence_out = nullptr,
+                         EnergyTotals* energy_out = nullptr) {
+  core::ShardedConfig scfg;
+  scfg.base.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
+  scfg.base.stagger_inquiry = true;
+  scfg.base.channel.exact_slots = exact_slots;
+  scfg.base.workstation.scheduler.inquiry_length = Duration::from_seconds(1.28);
+  scfg.base.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
+  scfg.shards = shards;
+
+  core::ShardedBipsSimulation sim(mobility::Building::grid(p.rows, p.cols),
+                                  scfg);
+
+  // Presence capture: one sink per shard (each written only by its own
+  // worker), concatenated in shard order after the run -- a deterministic
+  // canonical stream for the byte-diff.
+  std::vector<std::ostringstream> pstreams;
+  std::vector<std::unique_ptr<obs::JsonlSink>> psinks;
+  if (presence_out != nullptr) {
+    pstreams.resize(sim.shard_count());
+    for (std::size_t k = 0; k < sim.shard_count(); ++k) {
+      psinks.push_back(std::make_unique<obs::JsonlSink>(pstreams[k]));
+      sim.shard_simulator(k).obs().tracer.set_sink(psinks[k].get());
+    }
+  }
+
+  const int rooms = p.rows * p.cols;
+  for (int i = 0; i < p.users; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i % rooms));
+  }
+  sim.start();
+
+  const double c0 = process_cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(Duration::from_seconds(p.sim_seconds),
+              static_cast<unsigned>(threads));
+  const auto t1 = std::chrono::steady_clock::now();
+  const double c1 = process_cpu_seconds();
+
+  if (energy_out != nullptr) {
+    // Same probe convention as the monolithic path: nudge past the slot
+    // lattice, settle the lazily-credited park energy, sum in station-id
+    // order.
+    sim.run_for(Duration::nanos(100), static_cast<unsigned>(threads));
+    for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
+      auto& ws = sim.workstation(static_cast<core::StationId>(s));
+      ws.scheduler().inquirer().stats();
+      ws.scheduler().pager().stats();
+      ws.scheduler().piconet().stats();
+      energy_out->tx_ns += ws.device().energy().tx_time.ns();
+      energy_out->listen_ns += ws.device().energy().listen_time.ns();
+    }
+  }
+
+  if (presence_out != nullptr) {
+    std::string stream;
+    for (std::size_t k = 0; k < sim.shard_count(); ++k) {
+      sim.shard_simulator(k).obs().tracer.set_sink(nullptr);
+      psinks[k]->flush();
+      // Keep only the presence records: the canonical stream of what each
+      // zone reported, free of kernel-sample noise.
+      std::istringstream lines(pstreams[k].str());
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.find("\"kind\":\"presence\"") != std::string::npos) {
+          stream += line;
+          stream += '\n';
+        }
+      }
+    }
+    *presence_out = std::move(stream);
+  }
+
+  Result r;
+  r.p = p;
+  r.metrics_on = true;
+  r.exact_slots = exact_slots;
+  r.sharded = true;
+  r.threads = threads;
+  r.events = sim.group().events_executed();
+  r.skipped = sim.metric_sum("kernel.skipped_slots");
+  r.elided_polls = sim.metric_sum("piconet.elided_polls");
+  r.transmissions = sim.metric_sum("radio.transmissions");
+  r.deliveries = sim.metric_sum("radio.deliveries");
+  r.discoveries = sim.metric_sum("ws.discoveries");
+  r.cpu_s = c1 - c0;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
+  r.retired_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.events + r.skipped) / r.wall_s : 0;
+  r.sim_ratio = r.wall_s > 0 ? p.sim_seconds / r.wall_s : 0;
+  if (history_out != nullptr) {
+    std::ostringstream hist;
+    sim.write_history_csv(hist);
+    *history_out = hist.str();
+  }
+  return r;
+}
+
+// Report schema version. v2 added per-row "threads" and "commit" (the
+// sharded-kernel sweep needs both to make rows comparable across runs);
+// --append refuses to mix rows across schema versions.
+constexpr int kSchemaVersion = 2;
+
+std::string git_commit() {
+  FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {0};
+  const bool got = std::fgets(buf, sizeof buf, p) != nullptr;
+  ::pclose(p);
+  if (!got) return "unknown";
+  std::string s(buf);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s.empty() ? "unknown" : s;
+}
+
+std::string render_row(const Result& r, const std::string& commit,
+                       bool last) {
+  char buf[896];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
+      "\"metrics\": %s, \"exact_slots\": %s, \"threads\": %d, "
+      "\"commit\": \"%s\", \"events\": %llu, "
+      "\"skipped_slots\": %llu, \"elided_polls\": %llu, "
+      "\"transmissions\": %llu, "
+      "\"deliveries\": %llu, \"discoveries\": %llu, \"cpu_s\": %.3f, "
+      "\"wall_s\": %.3f, \"events_per_sec\": %.0f, "
+      "\"retired_per_sec\": %.0f, \"sim_ratio\": %.1f, "
+      "\"overhead_pct\": %.2f, \"speedup\": %.2f}%s\n",
+      r.p.rows * r.p.cols, r.p.users, r.p.sim_seconds,
+      r.metrics_on ? "true" : "false", r.exact_slots ? "true" : "false",
+      r.sharded ? r.threads : 1, commit.c_str(),
+      static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.skipped),
+      static_cast<unsigned long long>(r.elided_polls),
+      static_cast<unsigned long long>(r.transmissions),
+      static_cast<unsigned long long>(r.deliveries),
+      static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
+      r.events_per_sec, r.retired_per_sec, r.sim_ratio, r.overhead_pct,
+      r.speedup, last ? "" : ",");
+  return buf;
+}
+
+/// Writes (or, with `append`, extends) the JSON report. Appending validates
+/// the existing file's schema marker first: rows from different schema
+/// versions must never mix in one report. Returns false on refusal.
+bool write_json(const std::vector<Result>& results, const std::string& path,
+                bool smoke, bool ab, bool append) {
+  const std::string commit = git_commit();
+  if (append) {
+    std::ifstream is(path);
+    if (is) {
+      std::ostringstream all;
+      all << is.rdbuf();
+      std::string text = all.str();
+      char want[32];
+      std::snprintf(want, sizeof want, "\"schema\": %d", kSchemaVersion);
+      if (text.find(want) == std::string::npos) {
+        std::fprintf(stderr,
+                     "error: %s is not schema v%d; refusing to append "
+                     "mismatched-schema rows (rewrite without --append)\n",
+                     path.c_str(), kSchemaVersion);
+        return false;
+      }
+      const std::string tail = "  ]\n}\n";
+      const std::size_t pos = text.rfind(tail);
+      if (pos == std::string::npos) {
+        std::fprintf(stderr, "error: %s is malformed; cannot append\n",
+                     path.c_str());
+        return false;
+      }
+      std::string rows;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        rows += render_row(results[i], commit, i + 1 == results.size());
+      }
+      // The previous last row needs a trailing comma before the new block.
+      std::string body = text.substr(0, pos);
+      const std::size_t brace = body.rfind('}');
+      if (brace != std::string::npos && body.find('{', 1) != std::string::npos) {
+        body.insert(brace + 1, ",");
+      }
+      std::ofstream os(path);
+      os << body << rows << tail;
+      return true;
+    }
+    // No existing file: fall through to a fresh write.
+  }
   std::ofstream os(path);
-  os << "{\n  \"bench\": \"scale_building\",\n  \"mode\": \""
-     << (smoke ? "smoke" : "full") << (ab ? "-ab" : "") << "\",\n  \"rows\": [\n";
+  os << "{\n  \"bench\": \"scale_building\",\n  \"schema\": "
+     << kSchemaVersion << ",\n  \"mode\": \"" << (smoke ? "smoke" : "full")
+     << (ab ? "-ab" : "") << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    char buf[768];
-    std::snprintf(
-        buf, sizeof buf,
-        "    {\"rooms\": %d, \"users\": %d, \"sim_s\": %.1f, "
-        "\"metrics\": %s, \"exact_slots\": %s, \"events\": %llu, "
-        "\"skipped_slots\": %llu, \"elided_polls\": %llu, "
-        "\"transmissions\": %llu, "
-        "\"deliveries\": %llu, \"discoveries\": %llu, \"cpu_s\": %.3f, "
-        "\"wall_s\": %.3f, \"events_per_sec\": %.0f, "
-        "\"retired_per_sec\": %.0f, \"sim_ratio\": %.1f, "
-        "\"overhead_pct\": %.2f, \"speedup\": %.2f}%s\n",
-        r.p.rows * r.p.cols, r.p.users, r.p.sim_seconds,
-        r.metrics_on ? "true" : "false", r.exact_slots ? "true" : "false",
-        static_cast<unsigned long long>(r.events),
-        static_cast<unsigned long long>(r.skipped),
-        static_cast<unsigned long long>(r.elided_polls),
-        static_cast<unsigned long long>(r.transmissions),
-        static_cast<unsigned long long>(r.deliveries),
-        static_cast<unsigned long long>(r.discoveries), r.cpu_s, r.wall_s,
-        r.events_per_sec, r.retired_per_sec, r.sim_ratio, r.overhead_pct,
-        r.speedup, i + 1 < results.size() ? "," : "");
-    os << buf;
+    os << render_row(results[i], commit, i + 1 == results.size());
   }
   os << "  ]\n}\n";
+  return true;
 }
 
 struct Options {
@@ -233,8 +426,12 @@ struct Options {
   bool ab = false;
   bool exact_slots = false;
   bool ffab = false;
+  bool parab = false;         // sharded 1-thread vs N-thread byte equivalence
+  bool append = false;        // extend the report instead of overwriting
   bool energy_check = false;  // --ff-ab: also byte-diff the energy ledgers
-  int reps = 1;              // --ff-ab: best-of-N passes per mode
+  int threads = 0;           // >0: run the sharded harness with N workers
+  int shards = 4;            // sharded harness zone count
+  int reps = 1;              // --ff-ab / --par-ab: best-of-N passes per mode
   double max_overhead = -1;  // <0: no gate
   double min_speedup = -1;   // <0: no gate
   std::string out = "BENCH_scale.json";
@@ -264,25 +461,83 @@ int run(const Options& opt) {
   TableWriter table({"rooms", "users", "sim s", "mode", "obs", "events",
                      "skipped", "cpu s", "retired/s", "sim x realtime"});
   auto add_row = [&table](const Result& r) {
+    const std::string mode = r.sharded
+                                 ? "par" + std::to_string(r.threads)
+                                 : (r.exact_slots ? "exact" : "ff");
     table.add_row({std::to_string(r.p.rows * r.p.cols),
-                   std::to_string(r.p.users), fmt(r.p.sim_seconds, 0),
-                   r.exact_slots ? "exact" : "ff", r.metrics_on ? "on" : "off",
-                   std::to_string(r.events), std::to_string(r.skipped),
-                   fmt(r.cpu_s, 2), fmt(r.retired_per_sec, 0),
-                   fmt(r.sim_ratio, 1)});
+                   std::to_string(r.p.users), fmt(r.p.sim_seconds, 0), mode,
+                   r.metrics_on ? "on" : "off", std::to_string(r.events),
+                   std::to_string(r.skipped), fmt(r.cpu_s, 2),
+                   fmt(r.retired_per_sec, 0), fmt(r.sim_ratio, 1)});
   };
 
   std::vector<Result> results;
   double worst_overhead = 0;
   double worst_speedup = 1e300;
   bool history_mismatch = false;
+  bool presence_mismatch = false;
   bool energy_mismatch = false;
   std::string first_history;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
     // The trace (if requested) rides the first point's enabled run.
     const std::string trace = i == 0 ? opt.trace_path : std::string();
-    if (opt.ffab) {
+    if (opt.parab) {
+      // Sharded-kernel thread-count equivalence: the 1-thread sequential
+      // reference vs N workers, identical shard layout. Histories, presence
+      // streams and energy ledgers must match byte for byte; wall-clock
+      // (not CPU time: workers burn CPU in parallel) gives the speedup.
+      const int nthreads = opt.threads > 0 ? opt.threads : 4;
+      const std::size_t shards = static_cast<std::size_t>(opt.shards);
+      std::string hist1, histn, pres1, presn;
+      EnergyTotals energy1, energyn;
+      Result r1 = run_point_sharded(p, 1, shards, opt.exact_slots, &hist1,
+                                    &pres1, &energy1);
+      Result rn = run_point_sharded(p, nthreads, shards, opt.exact_slots,
+                                    &histn, &presn, &energyn);
+      for (int rep = 1; rep < opt.reps; ++rep) {
+        const Result a = run_point_sharded(p, 1, shards, opt.exact_slots);
+        if (a.wall_s < r1.wall_s) r1 = a;
+        const Result b =
+            run_point_sharded(p, nthreads, shards, opt.exact_slots);
+        if (b.wall_s < rn.wall_s) rn = b;
+      }
+      const bool hist_ok = hist1 == histn;
+      const bool pres_ok = pres1 == presn;
+      const bool energy_ok = energy1 == energyn;
+      if (!hist_ok) history_mismatch = true;
+      if (!pres_ok) presence_mismatch = true;
+      if (!energy_ok) energy_mismatch = true;
+      rn.speedup = rn.wall_s > 0 ? r1.wall_s / rn.wall_s : 0.0;
+      worst_speedup = std::min(worst_speedup, rn.speedup);
+      if (i == 0) first_history = hist1;
+      results.push_back(r1);
+      results.push_back(rn);
+      add_row(r1);
+      add_row(rn);
+      std::printf("done: %d rooms / %d users -> 1 thread %.2f s wall, "
+                  "%d threads %.2f s wall (%.2fx; history %s, presence %s, "
+                  "energy %s)\n",
+                  p.rows * p.cols, p.users, r1.wall_s, nthreads, rn.wall_s,
+                  rn.speedup, hist_ok ? "identical" : "DIFFERS",
+                  pres_ok ? "identical" : "DIFFERS",
+                  energy_ok ? "identical" : "DIFFERS");
+    } else if (opt.threads > 0) {
+      // Plain sharded run at a fixed worker count (the BENCH_scale sweep
+      // rows; the equivalence gate lives in --par-ab).
+      std::string* hist =
+          i == 0 && !opt.history_path.empty() ? &first_history : nullptr;
+      const Result r =
+          run_point_sharded(p, opt.threads,
+                            static_cast<std::size_t>(opt.shards),
+                            opt.exact_slots, hist);
+      results.push_back(r);
+      add_row(r);
+      std::printf("done: %d rooms / %d users -> %.0f events/s wall "
+                  "(%d threads, %.2f s wall, %.2f s cpu)\n",
+                  p.rows * p.cols, p.users, r.events_per_sec, r.threads,
+                  r.wall_s, r.cpu_s);
+    } else if (opt.ffab) {
       // Exact-vs-virtual equivalence and speedup: one history-capturing
       // pass per mode (the sim is deterministic, so one capture suffices),
       // then best-of-reps interleaved passes for throughput. Noise only
@@ -369,7 +624,10 @@ int run(const Options& opt) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  write_json(results, opt.out, opt.smoke, opt.ab || opt.ffab);
+  if (!write_json(results, opt.out, opt.smoke, opt.ab || opt.ffab || opt.parab,
+                  opt.append)) {
+    return 1;
+  }
   std::printf("report written to %s\n", opt.out.c_str());
   if (!opt.trace_path.empty()) {
     std::printf("trace written to %s\n", opt.trace_path.c_str());
@@ -383,6 +641,31 @@ int run(const Options& opt) {
     }
     hist_os << first_history;
     std::printf("discovery history written to %s\n", opt.history_path.c_str());
+  }
+
+  if (opt.parab) {
+    if (history_mismatch || presence_mismatch || energy_mismatch) {
+      std::printf("FAIL: sharded outputs differ across thread counts "
+                  "(history %s, presence %s, energy %s) -- thread count "
+                  "must not change one byte\n",
+                  history_mismatch ? "DIFFERS" : "ok",
+                  presence_mismatch ? "DIFFERS" : "ok",
+                  energy_mismatch ? "DIFFERS" : "ok");
+      return 1;
+    }
+    std::printf("OK: sharded history, presence stream and energy ledgers "
+                "are byte-identical across thread counts at every point\n");
+    if (opt.min_speedup >= 0) {
+      if (worst_speedup < opt.min_speedup) {
+        std::printf("FAIL: parallel wall-clock speedup %.2fx is below the "
+                    "%.2fx floor\n",
+                    worst_speedup, opt.min_speedup);
+        return 1;
+      }
+      std::printf("OK: worst parallel wall-clock speedup %.2fx clears the "
+                  "%.2fx floor\n",
+                  worst_speedup, opt.min_speedup);
+    }
   }
 
   if (opt.ffab) {
@@ -443,6 +726,16 @@ int main(int argc, char** argv) {
       opt.ab = true;
     } else if (std::strcmp(argv[i], "--ff-ab") == 0) {
       opt.ffab = true;
+    } else if (std::strcmp(argv[i], "--par-ab") == 0) {
+      opt.parab = true;
+    } else if (std::strcmp(argv[i], "--append") == 0) {
+      opt.append = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = std::atoi(argv[++i]);
+      if (opt.threads < 1) opt.threads = 1;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      opt.shards = std::atoi(argv[++i]);
+      if (opt.shards < 1) opt.shards = 1;
     } else if (std::strcmp(argv[i], "--energy-check") == 0) {
       opt.energy_check = true;
     } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
@@ -474,7 +767,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [-o out.json] [--no-metrics] "
                    "[--trace trace.jsonl] [--ab] [--max-overhead PCT] "
-                   "[--exact-slots] [--history FILE] [--ff-ab] "
+                   "[--exact-slots] [--history FILE] [--ff-ab] [--par-ab] "
+                   "[--threads N] [--shards N] [--append] "
                    "[--energy-check] [--min-speedup X] [--reps N] "
                    "[--point RxCxUxS]\n",
                    argv[0]);

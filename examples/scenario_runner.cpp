@@ -66,6 +66,11 @@ void usage(std::FILE* to, const char* argv0) {
                "options:\n"
                "  --trace FILE    stream the structured trace as JSONL\n"
                "  --exact-slots   disable virtual-slot fast-forward\n"
+               "  --threads N     replay on the sharded parallel harness\n"
+               "                  with N workers (identical output for every\n"
+               "                  N; faults/power-cycle/window assertions\n"
+               "                  are not replayable there yet)\n"
+               "  --shards N      with --threads: zone count (default 4)\n"
                "  --demo          run a built-in three-room scenario\n"
                "  --synth SEED    print a generated self-checking scenario\n"
                "                  to stdout and exit (no simulation)\n"
@@ -113,6 +118,45 @@ void report(core::BipsSimulation& sim, const core::ScenarioSpec& spec) {
   // location database, LAN, radio, workstations and kernel in one table.
   std::printf("\n--- metrics registry ---\n%s",
               sim.simulator().obs().metrics.to_table().c_str());
+}
+
+void report_sharded(core::ShardedBipsSimulation& sim,
+                    const core::ScenarioSpec& spec, unsigned threads) {
+  std::printf("ran %.0f simulated seconds: %zu rooms, %zu users "
+              "(%zu shards, %u threads, %.1f ms window)\n\n",
+              spec.run_time.to_seconds(), sim.workstation_count(),
+              sim.user_count(), sim.shard_count(), threads,
+              sim.window() == sim::kUnboundedLookahead
+                  ? 0.0
+                  : sim.window().to_millis());
+
+  std::printf("--- users ---\n");
+  for (const auto& u : spec.users) {
+    const auto room = sim.db_room(u.userid);
+    std::printf("  %-10s logged_in=%d room=%s owner-shard=%zu\n",
+                u.name.c_str(),
+                sim.active_client(u.userid).logged_in() ? 1 : 0,
+                room ? sim.building().room(*room).name.c_str() : "(unknown)",
+                sim.owner_shard(u.userid));
+  }
+
+  const core::TrackingMetrics& m = sim.tracking();
+  std::printf("\n--- tracking scorecard ---\n");
+  std::printf("  samples %llu, accuracy %.1f%% (correct %llu, absent-agree "
+              "%llu, wrong %llu, false-absent %llu, false-present %llu)\n",
+              static_cast<unsigned long long>(m.samples),
+              100.0 * m.accuracy(),
+              static_cast<unsigned long long>(m.correct_room),
+              static_cast<unsigned long long>(m.agree_absent),
+              static_cast<unsigned long long>(m.wrong_room),
+              static_cast<unsigned long long>(m.false_absent),
+              static_cast<unsigned long long>(m.false_present));
+
+  std::printf("\n--- sharded kernel ---\n");
+  std::printf("  events %llu, windows %llu, cross-shard mail %llu\n",
+              static_cast<unsigned long long>(sim.group().events_executed()),
+              static_cast<unsigned long long>(sim.group().windows_run()),
+              static_cast<unsigned long long>(sim.group().mail_delivered()));
 }
 
 void report_checks(const core::ScenarioReport& rep) {
@@ -168,6 +212,8 @@ int main(int argc, char** argv) {
   bool exact_slots = false;
   bool synth_chaos = false;
   long long synth_seed = -1;
+  long threads = 0;  // 0 = monolithic; >0 = sharded harness with N workers
+  long shards = 4;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -177,6 +223,18 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
       exact_slots = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtol(argv[++i], nullptr, 10);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads: N must be a positive integer\n");
+        return kUsage;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtol(argv[++i], nullptr, 10);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards: N must be a positive integer\n");
+        return kUsage;
+      }
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       synth_chaos = true;
     } else if (std::strcmp(argv[i], "--synth") == 0 && i + 1 < argc) {
@@ -224,6 +282,37 @@ int main(int argc, char** argv) {
     return kParseError;
   }
 
+  if (exact_slots) spec->config.channel.exact_slots = true;
+
+  if (threads > 0) {
+    // Sharded parallel replay: identical output for every worker count
+    // (CI byte-diffs --threads 4 histories against --threads 1).
+    if (!trace_path.empty()) {
+      std::fprintf(stderr, "--trace is not supported with --threads yet "
+                           "(per-shard trace streams)\n");
+      return kUsage;
+    }
+    std::string err_sharded;
+    core::ScenarioReport checks;
+    auto sim = core::run_scenario_sharded(
+        *spec, static_cast<unsigned>(threads),
+        static_cast<std::size_t>(shards), &checks, &err_sharded);
+    if (!sim) {
+      std::fprintf(stderr, "%s\n", err_sharded.c_str());
+      return kParseError;
+    }
+    report_sharded(*sim, *spec, static_cast<unsigned>(threads));
+    report_checks(checks);
+    if (positional.size() >= 2 && std::strcmp(positional[0], "--demo") != 0) {
+      std::ofstream csv;
+      if (!open_sink(csv, positional[1])) return kSinkError;
+      sim->write_history_csv(csv);
+      if (!close_sink(csv, positional[1])) return kSinkError;
+      std::printf("\nhistory written to %s\n", positional[1]);
+    }
+    return checks.passed() ? kOk : kAssertFailed;
+  }
+
   // The trace sink must be live before the first event fires, so it rides
   // the pre-run hook. Deterministic: same scenario + seed => same bytes.
   std::ofstream trace_os;
@@ -232,7 +321,6 @@ int main(int argc, char** argv) {
     if (!open_sink(trace_os, trace_path)) return kSinkError;
     trace_sink = std::make_unique<obs::JsonlSink>(trace_os);
   }
-  if (exact_slots) spec->config.channel.exact_slots = true;
   core::ScenarioReport checks;
   auto sim = core::run_scenario(
       *spec,

@@ -205,7 +205,16 @@ class RadioChannel {
   /// interference chain -- a skipped transmission can only matter through a
   /// victim listener within one range of both the parked master and the
   /// interfering/receiving party (DESIGN.md section 5c).
-  double ff_radius() const { return 2.0 * max_range_hw_ + cfg_.ff_slack_m; }
+  double ff_radius() const {
+    return ff_radius_for(max_range_hw_, cfg_.ff_slack_m);
+  }
+  /// The ff_radius convention as a pure function, shared with the sharded
+  /// kernel: a shard's seam margin uses the same 2 * range + slack rule, so
+  /// "far enough from the seam to ignore the other side" and "far enough
+  /// from every trigger point to park" are one invariant.
+  static double ff_radius_for(double range_highwater_m, double slack_m) {
+    return 2.0 * range_highwater_m + slack_m;
+  }
 
   /// Number of listens currently registered for a device (test hook).
   std::size_t listen_count(const RadioDevice* d) const {

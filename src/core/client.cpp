@@ -154,6 +154,28 @@ void BipsClient::power_on() {
   }
 }
 
+BipsClient::HandoffState BipsClient::suspend_handoff() {
+  HandoffState st;
+  st.logged_in = logged_in_;
+  logged_in_ = false;
+  login_pending_ = false;
+  login_retry_.cancel();
+  whereis_pending_.clear();
+  path_pending_.clear();
+  whoisin_pending_.clear();
+  history_pending_.clear();
+  subscribe_pending_.clear();
+  watches_.clear();
+  ctrl_.stop();
+  return st;
+}
+
+void BipsClient::resume_handoff(const HandoffState& st) {
+  logged_in_ = st.logged_in;
+  login_pending_ = false;
+  ctrl_.start();
+}
+
 int BipsClient::flood_logins(int n) {
   if (!ctrl_.connected()) return 0;
   int sent = 0;

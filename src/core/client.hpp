@@ -90,6 +90,23 @@ class BipsClient {
   /// timeout (no reconnect event would fire to trigger the auto-login).
   void power_on();
 
+  /// Shard-handoff capsule: the session state that walks across a zone seam
+  /// with the user. The radio link does not cross -- it dies in the old zone
+  /// by supervision timeout, exactly like any other walkout.
+  struct HandoffState {
+    bool logged_in = false;
+  };
+
+  /// Suspends this replica for a shard handoff: stops scanning and the
+  /// login-retry loop *without* sending a logout (unlike stop()) and without
+  /// dropping the session (unlike power_off()). Pending query callbacks and
+  /// watches are cleared -- their replies cannot follow the user across the
+  /// seam. Returns the capsule for the replica on the far side.
+  HandoffState suspend_handoff();
+  /// Resumes a dormant replica on the new owner shard: adopts the session
+  /// state and starts scanning so the new zone's masters can discover it.
+  void resume_handoff(const HandoffState& st);
+
   /// Stress act: queues `n` back-to-back LoginRequests on the live link
   /// (duplicates included -- the server's session handling must stay
   /// idempotent under the burst). Returns how many were queued; 0 when

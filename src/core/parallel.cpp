@@ -1,0 +1,409 @@
+#include "src/core/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/baseband/radio.hpp"
+#include "src/util/assert.hpp"
+
+namespace bips::core {
+
+namespace {
+/// Same address plan as the monolithic harness (simulation.cpp): the
+/// replicas of one handheld share one BD_ADDR across every shard's radio --
+/// it is the same physical device.
+baseband::BdAddr station_addr(StationId s) {
+  return baseband::BdAddr(0xAA00'0000'0000ull + s + 1);
+}
+baseband::BdAddr handheld_addr(std::size_t i) {
+  return baseband::BdAddr(0xC0FF'EE00'0000ull + i + 1);
+}
+
+/// Zone-LAN address plan: shard k hands out addresses from k << 20, so the
+/// owning shard of any LAN address is just its high bits. 2^20 addresses
+/// per zone comfortably exceeds any building.
+constexpr unsigned kShardAddressShift = 20;
+
+/// Effectively-infinite domain edge for the outermost zones.
+constexpr double kOpenEnd = 1e18;
+
+/// The distinct room-centre x coordinates, ascending: the "columns" the
+/// zone partition slices between.
+std::vector<double> distinct_columns(const mobility::Building& b) {
+  std::vector<double> xs;
+  xs.reserve(b.room_count());
+  for (const auto& room : b.rooms()) xs.push_back(room.center.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+/// Seams between contiguous column bands: `shards` is clamped to the
+/// column count, bands get as-equal-as-possible column shares, and each
+/// seam sits exactly on the midpoint between its bands' border columns.
+std::vector<double> compute_seams(const mobility::Building& b,
+                                  std::size_t shards) {
+  BIPS_ASSERT(shards >= 1);
+  const std::vector<double> xs = distinct_columns(b);
+  const std::size_t s = std::min(shards, xs.size());
+  std::vector<double> seams;
+  seams.reserve(s - 1);
+  for (std::size_t k = 1; k < s; ++k) {
+    const std::size_t first_of_k = k * xs.size() / s;
+    seams.push_back((xs[first_of_k - 1] + xs[first_of_k]) / 2.0);
+  }
+  return seams;
+}
+
+sim::LookaheadInputs lookahead_inputs(const ShardedConfig& cfg,
+                                      std::size_t shard_count) {
+  sim::LookaheadInputs in;
+  in.shard_count = shard_count;
+  // The LAN leg: cross-zone datagrams pay base + uplink before jitter and
+  // FIFO clamping, which only ever add.
+  in.lan_latency = cfg.base.lan.base_latency + cfg.uplink_extra;
+  // The RF leg: the same occupancy-radius convention the radio's
+  // fast-forward wakeups use, fed by the deployment's coverage radius.
+  in.seam_margin_m = baseband::RadioChannel::ff_radius_for(
+      cfg.base.coverage_radius_m, cfg.base.channel.ff_slack_m);
+  in.max_speed_mps = cfg.base.workstation.scheduler.piconet.ff_max_speed_mps;
+  return in;
+}
+}  // namespace
+
+std::optional<Duration> ShardedBipsSimulation::derive_window(
+    const ShardedConfig& cfg, std::string* error) {
+  return sim::conservative_lookahead(lookahead_inputs(cfg, cfg.shards),
+                                     error);
+}
+
+ShardedBipsSimulation::ShardedBipsSimulation(mobility::Building building,
+                                             ShardedConfig cfg)
+    : cfg_(std::move(cfg)),
+      building_(std::move(building)),
+      seams_(compute_seams(building_, cfg_.shards)),
+      group_(seams_.size() + 1),
+      rng_(cfg_.base.seed) {
+  const std::size_t s = shard_count();
+  std::string err;
+  const auto window = sim::conservative_lookahead(lookahead_inputs(cfg_, s),
+                                                  &err);
+  BIPS_ASSERT_MSG(window.has_value(), "no conservative window");
+  window_ = cfg_.window > Duration(0) ? cfg_.window : *window;
+
+  // Shard construction order fixes the master-RNG fork order; everything
+  // below runs single-threaded, so the whole build is a deterministic
+  // function of the seed regardless of how many threads later run it.
+  shards_.reserve(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    baseband::ChannelConfig ccfg = cfg_.base.channel;
+    ccfg.default_range_m = cfg_.base.coverage_radius_m;
+    net::Lan::Config lcfg = cfg_.base.lan;
+    lcfg.address_base = static_cast<net::Address>(k) << kShardAddressShift;
+    lcfg.uplink_extra = cfg_.uplink_extra;
+    shards_.push_back(std::make_unique<Shard>(group_.shard(k), rng_.fork(),
+                                              ccfg, lcfg));
+  }
+  if (s > 1) {
+    for (std::size_t k = 0; k < s; ++k) {
+      shards_[k]->lan.set_uplink([this, k](net::Address from, net::Address to,
+                                           SimTime due, net::Payload data) {
+        const std::size_t dst = to >> kShardAddressShift;
+        if (dst >= shard_count() || dst == k) return false;
+        group_.post(k, dst, due,
+                    [this, dst, from, to, d = std::move(data)] {
+                      shards_[dst]->lan.deliver_remote(from, to, d);
+                    });
+        return true;
+      });
+    }
+  }
+  group_.set_window_hook([this](SimTime edge) { on_barrier(edge); });
+
+  // The server's endpoint is the first created on shard 0's LAN, so its
+  // address is exactly shard 0's address base -- reachable from every zone
+  // through the uplink.
+  server_ = std::make_unique<BipsServer>(group_.shard(0), shards_[0]->lan,
+                                         building_, cfg_.base.server);
+
+  stations_.reserve(building_.room_count());
+  station_shard_.reserve(building_.room_count());
+  for (const mobility::Room& room : building_.rooms()) {
+    const std::size_t k = shard_of_room(room.id);
+    Shard& shard = *shards_[k];
+    auto ws = std::make_unique<BipsWorkstation>(
+        group_.shard(k), shard.radio, shard.lan, server_->address(), room.id,
+        station_addr(room.id), shard.rng.fork(), room.center,
+        cfg_.base.workstation);
+    ws->set_link_resolver(
+        [m = &shard.clients_by_addr](baseband::BdAddr a)
+            -> baseband::SlaveLink* {
+          const auto it = m->find(a.raw());
+          return it == m->end() ? nullptr : &it->second->link();
+        });
+    stations_.push_back(std::move(ws));
+    station_shard_.push_back(k);
+  }
+}
+
+std::size_t ShardedBipsSimulation::shard_of_room(
+    mobility::RoomId room) const {
+  const double x = building_.room(room).center.x;
+  return static_cast<std::size_t>(
+      std::upper_bound(seams_.begin(), seams_.end(), x) - seams_.begin());
+}
+
+double ShardedBipsSimulation::dom_lo(std::size_t k) const {
+  return k == 0 ? -kOpenEnd : seams_[k - 1];
+}
+
+double ShardedBipsSimulation::dom_hi(std::size_t k) const {
+  return k + 1 == shard_count() ? kOpenEnd : seams_[k];
+}
+
+std::size_t ShardedBipsSimulation::user_index(std::string_view userid) const {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    if (users_[i].userid == userid) return i;
+  }
+  BIPS_ASSERT_MSG(false, "unknown userid");
+  return 0;
+}
+
+void ShardedBipsSimulation::add_user(const std::string& name,
+                                     const std::string& userid,
+                                     const std::string& password,
+                                     mobility::RoomId start_room) {
+  BIPS_ASSERT_MSG(!started_, "add users before starting the simulation");
+  BIPS_ASSERT(start_room < building_.room_count());
+  const bool registered =
+      server_->registry().register_user(userid, name, password,
+                                        rng_.next_u64());
+  BIPS_ASSERT_MSG(registered, "duplicate userid or name");
+
+  const std::size_t i = users_.size();
+  const std::size_t owner = shard_of_room(start_room);
+  User u;
+  u.userid = userid;
+  u.name = name;
+  u.replicas.reserve(shard_count());
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    Shard& shard = *shards_[k];
+    ClientConfig ccfg;
+    ccfg.userid = userid;
+    ccfg.password = password;
+    ccfg.slave = cfg_.base.slave;
+    auto rep = std::make_unique<Replica>();
+    rep->client = std::make_unique<BipsClient>(group_.shard(k), shard.radio,
+                                               handheld_addr(i),
+                                               shard.rng.fork(),
+                                               std::move(ccfg));
+    rep->agent = std::make_unique<mobility::RandomWaypointAgent>(
+        group_.shard(k), building_, server_->paths(), shard.rng.fork(),
+        start_room, cfg_.base.mobility);
+    if (shard_count() > 1) {
+      rep->agent->set_domain(dom_lo(k), dom_hi(k),
+                             [this, i, k](mobility::TransitState st) {
+                               handle_exit(i, k, std::move(st));
+                             });
+    }
+    rep->active = (k == owner);
+    shard.clients_by_addr.emplace(rep->client->addr().raw(),
+                                  rep->client.get());
+    u.replicas.push_back(std::move(rep));
+  }
+  users_.push_back(std::move(u));
+  owner_.push_back(static_cast<std::uint32_t>(owner));
+  for (std::size_t k = 0; k < shard_count(); ++k) install_provider(i, k);
+}
+
+void ShardedBipsSimulation::install_provider(std::size_t i, std::size_t k) {
+  Replica* rep = users_[i].replicas[k].get();
+  // A dormant (or scripted-shadowed) replica's device parks 1 km off the
+  // floor plan, exactly like the monolithic radio-shadow fault: outside
+  // every coverage circle, so it neither answers inquiries nor holds any
+  // occupancy bookkeeping near the seam. The re-install itself fires the
+  // device's position listeners (the discrete teleport that wakes quiesced
+  // masters).
+  rep->client->device().set_position_provider([rep] {
+    const Vec2 p = rep->agent->position();
+    return rep->active && !rep->shadowed ? p : p + Vec2{1000.0, 1000.0};
+  });
+}
+
+void ShardedBipsSimulation::start() {
+  if (started_) return;
+  started_ = true;
+  const Duration cycle = cfg_.base.workstation.scheduler.cycle_length;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (cfg_.base.stagger_inquiry && stations_.size() > 1) {
+      const Duration offset = Duration::nanos(
+          cycle.ns() * static_cast<std::int64_t>(i) /
+          static_cast<std::int64_t>(stations_.size()));
+      stations_[i]->start_after(offset);
+    } else {
+      stations_[i]->start();
+    }
+  }
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    Replica& rep = *users_[i].replicas[owner_[i]];
+    rep.client->start();
+    rep.agent->start();
+  }
+}
+
+void ShardedBipsSimulation::run_for(Duration d, unsigned threads) {
+  start();
+  group_.run_until(group_.now() + d, window_, threads);
+}
+
+void ShardedBipsSimulation::handle_exit(std::size_t i, std::size_t k,
+                                        mobility::TransitState st) {
+  Replica& rep = *users_[i].replicas[k];
+  const std::size_t dst = st.position.x >= dom_hi(k) ? k + 1 : k - 1;
+  BIPS_ASSERT(dst < shard_count());
+  rep.active = false;
+  BipsClient::HandoffState session = rep.client->suspend_handoff();
+  const bool shadowed = rep.shadowed;
+  install_provider(i, k);  // teleport out: wakes this zone's masters
+  // One full window of delay guarantees the mail lands strictly after the
+  // current window's edge (the lookahead contract). Physically: the user
+  // is RF-dark for window-length * ff_max_speed_mps of walk -- millimetres.
+  const SimTime due = group_.shard(k).now() + window_;
+  group_.post(k, dst, due,
+              [this, i, dst, session, shadowed,
+               s = std::move(st)]() mutable {
+                resume_replica(i, dst, std::move(s), session, shadowed);
+              });
+}
+
+void ShardedBipsSimulation::resume_replica(std::size_t i, std::size_t dst,
+                                           mobility::TransitState st,
+                                           BipsClient::HandoffState session,
+                                           bool shadowed) {
+  Replica& rep = *users_[i].replicas[dst];
+  owner_[i] = static_cast<std::uint32_t>(dst);
+  rep.active = true;
+  rep.shadowed = shadowed;
+  rep.agent->resume_transit(std::move(st));
+  install_provider(i, dst);  // teleport in: the new zone can see it
+  rep.client->resume_handoff(session);
+}
+
+void ShardedBipsSimulation::schedule_user_act(SimTime at,
+                                              std::string_view userid,
+                                              UserAct act) {
+  const std::size_t i = user_index(userid);
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    group_.shard(k).schedule_at(at, [this, i, k, act] {
+      Replica& rep = *users_[i].replicas[k];
+      if (rep.active) act(*rep.client, *rep.agent);
+    });
+  }
+}
+
+void ShardedBipsSimulation::schedule_radio_shadow(SimTime at,
+                                                  std::string_view userid,
+                                                  bool shadowed) {
+  const std::size_t i = user_index(userid);
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    group_.shard(k).schedule_at(at, [this, i, k, shadowed] {
+      Replica& rep = *users_[i].replicas[k];
+      if (!rep.active || rep.shadowed == shadowed) return;
+      rep.shadowed = shadowed;
+      install_provider(i, k);
+    });
+  }
+}
+
+void ShardedBipsSimulation::set_metrics_enabled(bool on) {
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    group_.shard(k).obs().metrics.set_enabled(on);
+  }
+}
+
+std::uint64_t ShardedBipsSimulation::metric_sum(std::string_view name) const {
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    sum += group_.shard(k).obs().metrics.counter_value(name);
+  }
+  return sum;
+}
+
+mobility::RoomId ShardedBipsSimulation::true_room(
+    std::string_view userid) const {
+  const std::size_t i = user_index(userid);
+  const Replica& rep = *users_[i].replicas[owner_[i]];
+  return building_.nearest_room_within(rep.agent->position(),
+                                       cfg_.base.coverage_radius_m);
+}
+
+std::optional<StationId> ShardedBipsSimulation::db_room(
+    std::string_view userid) const {
+  const std::size_t i = user_index(userid);
+  const Replica& rep = *users_[i].replicas[owner_[i]];
+  return server_->db().piconet_of(rep.client->addr().raw());
+}
+
+BipsClient& ShardedBipsSimulation::active_client(std::string_view userid) {
+  const std::size_t i = user_index(userid);
+  return *users_[i].replicas[owner_[i]]->client;
+}
+
+mobility::RandomWaypointAgent& ShardedBipsSimulation::active_agent(
+    std::string_view userid) {
+  const std::size_t i = user_index(userid);
+  return *users_[i].replicas[owner_[i]]->agent;
+}
+
+void ShardedBipsSimulation::enable_tracking_metrics(Duration period) {
+  BIPS_ASSERT(period > Duration(0));
+  sample_period_ = period;
+  next_sample_ = group_.now() + period;
+  if (shard_count() == 1) {
+    // No barriers to ride in a single-shard world: keep the monolithic
+    // in-simulation sampler.
+    sampler_ = std::make_unique<sim::PeriodicTimer>(
+        group_.shard(0), period, [this] { sample_tracking(); });
+    sampler_->start();
+  }
+}
+
+void ShardedBipsSimulation::on_barrier(SimTime edge) {
+  if (sample_period_ > Duration(0) && !sampler_) {
+    // One sample per elapsed period tick, taken at the first barrier at or
+    // after it: a deterministic quantisation bounded by the window.
+    while (next_sample_ <= edge) {
+      sample_tracking();
+      next_sample_ = next_sample_ + sample_period_;
+    }
+  }
+  if (barrier_hook_) barrier_hook_(edge);
+}
+
+void ShardedBipsSimulation::sample_tracking() {
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    const Replica& rep = *users_[i].replicas[owner_[i]];
+    // BIPS only tracks logged-in users. A user mid-handoff reads as logged
+    // out for the one-window blackout, identically at every thread count.
+    if (!rep.client->logged_in()) continue;
+    const mobility::RoomId truth = building_.nearest_room_within(
+        rep.agent->position(), cfg_.base.coverage_radius_m);
+    const auto believed = server_->db().piconet_of(rep.client->addr().raw());
+    ++tracking_.samples;
+    if (truth == mobility::kNoRoom) {
+      believed ? ++tracking_.false_present : ++tracking_.agree_absent;
+    } else if (!believed) {
+      ++tracking_.false_absent;
+    } else if (*believed == truth) {
+      ++tracking_.correct_room;
+    } else {
+      ++tracking_.wrong_room;
+    }
+  }
+}
+
+void ShardedBipsSimulation::write_history_csv(std::ostream& os) const {
+  core::write_history_csv(os, *server_, building_);
+}
+
+}  // namespace bips::core

@@ -192,7 +192,8 @@ void BipsSimulation::enable_tracking_metrics(Duration period) {
   sampler_->start();
 }
 
-void BipsSimulation::write_history_csv(std::ostream& os) const {
+void write_history_csv(std::ostream& os, const BipsServer& server,
+                       const mobility::Building& building) {
   os << "time_s,user,device,room,event\n";
   // Same-instant transitions of *different* devices have no causal order:
   // independent piconets can retire discoveries on the same slot boundary,
@@ -201,20 +202,24 @@ void BipsSimulation::write_history_csv(std::ostream& os) const {
   // delivery chain carries later sequence numbers than a drumming one).
   // Canonicalise the report on (time, device); the stable sort preserves
   // the causal leave->enter order of a same-device handover.
-  const auto& hist = server_->db().history();
+  const auto& hist = server.db().history();
   std::vector<LocationDatabase::Transition> rows(hist.begin(), hist.end());
   std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return a.at != b.at ? a.at < b.at : a.bd_addr < b.bd_addr;
   });
   for (const auto& t : rows) {
-    const auto userid = server_->db().userid_of(t.bd_addr);
+    const auto userid = server.db().userid_of(t.bd_addr);
     char dev[16];
     std::snprintf(dev, sizeof dev, "%012llx",
                   static_cast<unsigned long long>(t.bd_addr));
     os << t.at.to_seconds() << ',' << (userid ? *userid : "") << ',' << dev
-       << ',' << building_.room(t.station).name << ','
+       << ',' << building.room(t.station).name << ','
        << (t.present ? "enter" : "leave") << '\n';
   }
+}
+
+void BipsSimulation::write_history_csv(std::ostream& os) const {
+  core::write_history_csv(os, *server_, building_);
 }
 
 void BipsSimulation::sample_tracking() {

@@ -63,6 +63,16 @@ struct TrackingMetrics {
   }
 };
 
+/// Dumps a server's location-transition history as the canonical CSV
+/// (time_s,user,device,room,event): rows sorted on (time, device) so that
+/// kernel interleavings of same-instant independent retirements -- which
+/// both the virtual-slot fast-forward and the sharded parallel kernel
+/// legitimately perturb -- never show in the bytes. Shared by the
+/// monolithic and the sharded harness so their outputs are directly
+/// diffable.
+void write_history_csv(std::ostream& os, const BipsServer& server,
+                       const mobility::Building& building);
+
 class BipsSimulation {
  public:
   BipsSimulation(mobility::Building building, SimulationConfig cfg);

@@ -1,8 +1,52 @@
 #include "src/mobility/agents.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "src/util/assert.hpp"
 
 namespace bips::mobility {
+
+namespace {
+/// First strict exit of the piecewise trajectory (start -> route...) from
+/// the band [lo, hi]: time from departure and the crossing point, with its
+/// x snapped exactly onto the seam so the resumed replica starts on its own
+/// (closed) side of the boundary.
+struct ExitHit {
+  Duration after;
+  Vec2 at;
+};
+std::optional<ExitHit> first_exit(Vec2 a, const std::vector<Vec2>& route,
+                                  double speed, double lo, double hi) {
+  double dist = 0.0;
+  for (const Vec2& b : route) {
+    const double len = distance(a, b);
+    if (len > 0.0) {
+      double s_hit = 2.0;  // > 1: no crossing inside this segment
+      double x_hit = 0.0;
+      if (b.x > hi && a.x <= hi) {
+        s_hit = (hi - a.x) / (b.x - a.x);
+        x_hit = hi;
+      }
+      if (b.x < lo && a.x >= lo) {
+        const double s = (lo - a.x) / (b.x - a.x);
+        if (s < s_hit) {
+          s_hit = s;
+          x_hit = lo;
+        }
+      }
+      if (s_hit <= 1.0) {
+        const Vec2 at{x_hit, a.y + (b.y - a.y) * s_hit};
+        return ExitHit{Duration::from_seconds((dist + s_hit * len) / speed),
+                       at};
+      }
+      dist += len;
+    }
+    a = b;
+  }
+  return std::nullopt;
+}
+}  // namespace
 
 RandomWaypointAgent::RandomWaypointAgent(sim::Simulator& sim,
                                          const Building& building,
@@ -31,7 +75,60 @@ void RandomWaypointAgent::start() {
 void RandomWaypointAgent::stop() {
   running_ = false;
   pause_event_.cancel();
+  domain_event_.cancel();
   walker_.stop();
+}
+
+void RandomWaypointAgent::set_domain(double x_lo, double x_hi,
+                                     ExitCallback on_exit) {
+  BIPS_ASSERT(x_lo < x_hi);
+  BIPS_ASSERT_MSG(!walker_.moving(),
+                  "install the domain before the agent walks");
+  dom_lo_ = x_lo;
+  dom_hi_ = x_hi;
+  on_exit_ = std::move(on_exit);
+}
+
+void RandomWaypointAgent::resume_transit(TransitState st) {
+  BIPS_ASSERT_MSG(!running_, "resume_transit on an active agent");
+  rng_ = st.rng;
+  destination_ = st.destination;
+  walker_.set_position(st.position);
+  running_ = true;
+  if (st.route.empty()) {
+    pick_next_trip();
+    return;
+  }
+  begin_walk(std::move(st.route), st.speed_mps);
+}
+
+void RandomWaypointAgent::begin_walk(std::vector<Vec2> waypoints,
+                                     double speed) {
+  domain_event_.cancel();
+  std::optional<ExitHit> hit;
+  if (on_exit_) {
+    hit = first_exit(walker_.position(), waypoints, speed, dom_lo_, dom_hi_);
+  }
+  walker_.walk(std::move(waypoints), speed, [this] { pick_next_trip(); });
+  if (hit) {
+    domain_event_ = sim_.schedule(
+        hit->after, [this, at = hit->at] { exit_domain(at); });
+  }
+}
+
+void RandomWaypointAgent::exit_domain(Vec2 at) {
+  TransitState st;
+  st.route = walker_.remaining_route();
+  st.speed_mps = walker_.speed_mps();
+  st.destination = destination_;
+  st.rng = rng_;  // this replica goes dormant; the stream moves on
+  walker_.stop();
+  walker_.set_position(at);
+  st.position = at;
+  pause_event_.cancel();
+  running_ = false;
+  // on_exit_ stays installed: this replica may be resumed (and exit) again.
+  on_exit_(std::move(st));
 }
 
 void RandomWaypointAgent::pick_next_trip() {
@@ -64,8 +161,7 @@ void RandomWaypointAgent::walk_to(RoomId target) {
       rng_.uniform_double(cfg_.speed_min_mps, cfg_.speed_max_mps);
   destination_ = target;
   if (from == target) {
-    walker_.walk({building_.room(target).center}, speed,
-                 [this] { pick_next_trip(); });
+    begin_walk({building_.room(target).center}, speed);
     return;
   }
   const auto node_path = paths_.path(from, target);
@@ -75,7 +171,7 @@ void RandomWaypointAgent::walk_to(RoomId target) {
   for (const auto node : node_path) {
     waypoints.push_back(building_.room(static_cast<RoomId>(node)).center);
   }
-  walker_.walk(std::move(waypoints), speed, [this] { pick_next_trip(); });
+  begin_walk(std::move(waypoints), speed);
 }
 
 void RandomWaypointAgent::depart(RoomId target) {
@@ -89,7 +185,7 @@ void RandomWaypointAgent::depart(RoomId target) {
   const double speed =
       rng_.uniform_double(cfg_.speed_min_mps, cfg_.speed_max_mps);
   destination_ = target;
-  walker_.walk(std::move(waypoints), speed, [this] { pick_next_trip(); });
+  begin_walk(std::move(waypoints), speed);
 }
 
 AgendaAgent::AgendaAgent(sim::Simulator& sim, const Building& building,

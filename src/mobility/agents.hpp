@@ -21,6 +21,18 @@
 
 namespace bips::mobility {
 
+/// Marshals a walking agent across a shard seam: everything the replica on
+/// the far side needs to continue the trip deterministically. The Rng
+/// travels with the agent, so the random-waypoint stream is one sequence no
+/// matter how many times ownership changes hands.
+struct TransitState {
+  Vec2 position;            // exact seam-crossing point
+  std::vector<Vec2> route;  // waypoints still ahead (empty: dwell on arrival)
+  double speed_mps = 0.0;
+  RoomId destination = kNoRoom;
+  Rng rng;
+};
+
 class RandomWaypointAgent {
  public:
   struct Config {
@@ -50,6 +62,22 @@ class RandomWaypointAgent {
   /// deterministically.
   void walk_to(RoomId target);
 
+  using ExitCallback = std::function<void(TransitState)>;
+
+  /// Confines the agent to the x-band [x_lo, x_hi] (a shard's zone). The
+  /// instant a walk crosses the band edge, the agent suspends itself at the
+  /// exact crossing point (snapped onto the seam so floating point cannot
+  /// strand it on the wrong side) and hands its TransitState to `on_exit` --
+  /// the sharded wiring mails it to the neighbouring shard's replica. Exit
+  /// instants are computed analytically per trip, so confinement adds no
+  /// polling events. Call while the agent is at rest.
+  void set_domain(double x_lo, double x_hi, ExitCallback on_exit);
+
+  /// Resumes this (dormant) replica from a TransitState handed off by a
+  /// neighbour shard: adopts the position, Rng, and remaining route, then
+  /// continues the trip -- or the dwell cadence if the route is empty.
+  void resume_transit(TransitState st);
+
   Vec2 position() const { return walker_.position(); }
   /// Ground truth: the room whose coverage circle contains the agent.
   RoomId covering_room(double radius_m) const {
@@ -62,6 +90,8 @@ class RandomWaypointAgent {
  private:
   void pick_next_trip();
   void depart(RoomId target);
+  void begin_walk(std::vector<Vec2> waypoints, double speed);
+  void exit_domain(Vec2 at);
 
   sim::Simulator& sim_;
   const Building& building_;
@@ -72,6 +102,9 @@ class RandomWaypointAgent {
   RoomId destination_;
   bool running_ = false;
   sim::EventHandle pause_event_;
+  double dom_lo_ = 0.0, dom_hi_ = 0.0;  // active only with on_exit_
+  ExitCallback on_exit_;
+  sim::EventHandle domain_event_;
 };
 
 /// Agenda-driven pedestrian: keeps appointments ("seminar room at 10:00 for

@@ -45,6 +45,17 @@ void Walker::stop() {
   on_arrival_ = nullptr;
 }
 
+void Walker::set_position(Vec2 p) {
+  BIPS_ASSERT_MSG(!moving_, "cannot teleport a walker mid-segment");
+  pos_ = p;
+}
+
+std::vector<Vec2> Walker::remaining_route() const {
+  if (!moving_) return {};
+  return std::vector<Vec2>(route_.begin() + static_cast<std::ptrdiff_t>(next_waypoint_),
+                           route_.end());
+}
+
 void Walker::begin_segment() {
   segment_from_ = pos_;
   segment_to_ = route_[next_waypoint_];

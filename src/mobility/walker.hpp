@@ -36,6 +36,14 @@ class Walker {
   /// Halts at the current interpolated position.
   void stop();
 
+  /// Repositions a resting walker (shard handoff / scripted teleport).
+  /// Asserts !moving(): a mid-segment walker must be stop()ped first.
+  void set_position(Vec2 p);
+
+  /// Waypoints not yet reached by the walk in progress, in order (empty
+  /// when resting). The current interpolated position is the implicit start.
+  std::vector<Vec2> remaining_route() const;
+
   /// Total distance walked so far (metres, including partial segments).
   double odometer() const;
 

@@ -30,9 +30,20 @@ Lan::Lan(sim::Simulator& sim, Rng& rng, Config cfg)
 }
 
 Endpoint& Lan::create_endpoint() {
-  const auto addr = static_cast<Address>(endpoints_.size());
+  const auto addr =
+      static_cast<Address>(cfg_.address_base + endpoints_.size());
   endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, addr)));
   return *endpoints_.back();
+}
+
+void Lan::deliver_remote(Address from, Address to, const Payload& data) {
+  if (!local(to)) {
+    c_dropped_->inc();
+    return;
+  }
+  c_delivered_->inc();
+  Endpoint& dst = *endpoints_[to - cfg_.address_base];
+  if (dst.handler_) dst.handler_(from, data);
 }
 
 void Lan::set_loss(double loss) {
@@ -89,7 +100,8 @@ void Lan::prune_fifo_state() {
 }
 
 bool Lan::send(Address from, Address to, Payload data) {
-  if (to >= endpoints_.size()) return false;
+  const bool is_local = local(to);
+  if (!is_local && !uplink_) return false;
   c_sent_->inc();
   tracer_->emit(sim_.now(), obs::TraceKind::kLanSend, from, to, data.size());
   if (++sends_since_prune_ >= kPrunePeriod) {
@@ -118,20 +130,25 @@ bool Lan::send(Address from, Address to, Payload data) {
     }
   }
   Duration delay = cfg_.base_latency;
+  if (!is_local) delay += cfg_.uplink_extra;
   if (cfg_.jitter > Duration(0)) {
     delay += Duration::nanos(static_cast<std::int64_t>(
         rng_.uniform(static_cast<std::uint64_t>(cfg_.jitter.ns()))));
   }
   SimTime when = sim_.now() + delay;
   // FIFO per (from, to): never deliver before an earlier send's delivery.
+  // Remote sends clamp sender-side too -- all traffic from this segment to a
+  // given remote address is ordered here before it ever crosses the uplink.
   const std::uint64_t key = pair_key(from, to);
   const auto it = last_delivery_.find(key);
   if (it != last_delivery_.end()) when = std::max(when, it->second);
   last_delivery_[key] = when;
 
+  if (!is_local) return uplink_(from, to, when, std::move(data));
+
   sim_.schedule_at(when, [this, from, to, d = std::move(data)] {
     c_delivered_->inc();
-    Endpoint& dst = *endpoints_[to];
+    Endpoint& dst = *endpoints_[to - cfg_.address_base];
     if (dst.handler_) dst.handler_(from, d);
   });
   return true;

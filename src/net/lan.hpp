@@ -63,7 +63,26 @@ class Lan {
     Duration jitter = Duration::micros(100);
     /// Independent drop probability (failure injection only; default 0).
     double loss = 0.0;
+    /// First address handed out by create_endpoint. Sharded worlds give each
+    /// zone LAN a disjoint base (shard k << 20) so addresses are globally
+    /// unique and routable; a destination outside this LAN's local range
+    /// goes through the uplink router.
+    Address address_base = 0;
+    /// Extra one-way latency of the inter-zone uplink (the switch hop
+    /// between building-zone LAN segments). Only remote sends pay it; it is
+    /// the latency floor the conservative-lookahead window relies on, so a
+    /// sharded world wants it well above the intra-zone base latency.
+    Duration uplink_extra = Duration(0);
   };
+
+  /// Routes a datagram whose destination lies outside this LAN segment.
+  /// `due` is the fully-computed delivery instant (base + uplink extra +
+  /// jitter + FIFO clamp, all drawn sender-side so the destination shard
+  /// consumes no randomness). The router must arrange for
+  /// dst_lan.deliver_remote(from, to, data) to run at `due` on the
+  /// destination shard; returns false if `to` is unroutable.
+  using UplinkRouter =
+      std::function<bool(Address from, Address to, SimTime due, Payload data)>;
 
   // Nested-class default member initializers are only complete at the end
   // of the enclosing class, so no `cfg = Config{}` default argument here.
@@ -71,9 +90,26 @@ class Lan {
   Lan(const Lan&) = delete;
   Lan& operator=(const Lan&) = delete;
 
-  /// Creates a new endpoint; the Lan owns it.
+  /// Creates a new endpoint; the Lan owns it. Addresses are assigned
+  /// sequentially from Config::address_base.
   Endpoint& create_endpoint();
   std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  /// True if `a` belongs to this LAN segment's local address range.
+  bool local(Address a) const {
+    return a >= cfg_.address_base &&
+           a - cfg_.address_base < endpoints_.size();
+  }
+
+  /// Installs the inter-zone uplink. Without one, sends to non-local
+  /// addresses fail (single-LAN worlds never notice).
+  void set_uplink(UplinkRouter router) { uplink_ = std::move(router); }
+
+  /// Delivers a datagram routed in from another LAN segment; invoked by the
+  /// uplink machinery on this LAN's shard at the precomputed delivery
+  /// instant. Unknown destinations are counted as drops (the sender cannot
+  /// re-check liveness across the uplink).
+  void deliver_remote(Address from, Address to, const Payload& data);
 
   // ---- fault injection --------------------------------------------------
 
@@ -125,6 +161,7 @@ class Lan {
   sim::Simulator& sim_;
   Rng& rng_;
   Config cfg_;
+  UplinkRouter uplink_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   /// Last scheduled delivery per (from, to), to keep FIFO under jitter.
   /// Entries whose delivery time has passed are pruned periodically.

@@ -897,4 +897,144 @@ std::unique_ptr<BipsSimulation> run_scenario(
   return sim;
 }
 
+namespace {
+
+/// Human-readable name of the first directive a sharded replay cannot
+/// honour, or empty when the whole scenario is replayable. The check runs
+/// before anything is built so a rejected scenario costs nothing.
+std::string first_unsupported_sharded(const ScenarioSpec& spec) {
+  if (!spec.fault_plan.empty()) {
+    return "fault schedule (crash/restart/partition/loss/chaos)";
+  }
+  for (const ScenarioAct& a : spec.acts) {
+    if (a.kind == ScenarioAct::Kind::kPowerCycle) {
+      return "act power-cycle (line " + std::to_string(a.line) + ")";
+    }
+  }
+  for (const ScenarioAssertion& a : spec.assertions) {
+    if (a.kind != ScenarioAssertion::Kind::kWhereIsAt) {
+      return "assertion (line " + std::to_string(a.line) +
+             "): only assert-at whereis replays on the sharded harness";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
+    const ScenarioSpec& spec, unsigned threads, std::size_t shards,
+    ScenarioReport* report, std::string* error) {
+  const std::string unsupported = first_unsupported_sharded(spec);
+  if (!unsupported.empty()) {
+    if (error != nullptr) {
+      *error = "scenario not replayable with --threads: uses " + unsupported;
+    }
+    return nullptr;
+  }
+
+  ShardedConfig cfg;
+  cfg.base = spec.config;
+  cfg.shards = shards;
+  auto sim = std::make_unique<ShardedBipsSimulation>(spec.building, cfg);
+  for (const auto& u : spec.users) {
+    sim->add_user(u.name, u.userid, u.password, u.room);
+  }
+  sim->enable_tracking_metrics(spec.sample_period);
+  ShardedBipsSimulation* raw = sim.get();
+
+  for (const ScenarioAct& a : spec.acts) {
+    const std::string& uid = spec.users[a.user].userid;
+    switch (a.kind) {
+      case ScenarioAct::Kind::kWalkTo:
+        raw->schedule_user_act(
+            a.at, uid,
+            [room = a.room](BipsClient&, mobility::RandomWaypointAgent& ag) {
+              ag.walk_to(room);
+            });
+        break;
+      case ScenarioAct::Kind::kUnreachable:
+        raw->schedule_radio_shadow(a.at, uid, true);
+        raw->schedule_radio_shadow(a.at + a.duration, uid, false);
+        break;
+      case ScenarioAct::Kind::kLoginFlood:
+        raw->schedule_user_act(
+            a.at, uid,
+            [n = a.count](BipsClient& c, mobility::RandomWaypointAgent&) {
+              c.flood_logins(n);
+            });
+        break;
+      case ScenarioAct::Kind::kPowerCycle:
+        break;  // rejected above
+    }
+  }
+
+  // whereis graders. A multi-shard world grades each one at the first
+  // window barrier at or after its instant (every shard is quiescent
+  // there, so the cross-shard server read is safe; the quantisation is
+  // bounded by one window and identical at every thread count). A
+  // single-shard world has no barriers and simply schedules the grade as
+  // an event, like the monolithic runner.
+  struct WhereIsProbe {
+    const ScenarioAssertion* a = nullptr;
+    ScenarioCheck* out = nullptr;
+  };
+  std::vector<WhereIsProbe> pending;
+  const auto grade = [raw, &spec](const ScenarioAssertion& a,
+                                  ScenarioCheck* out) {
+    const ScenarioUser& u = spec.users[a.user];
+    const auto r = raw->server().query(BipsServer::Query::where_is("", u.name));
+    if (a.room == mobility::kNoRoom) {
+      out->passed = !r.ok();
+      out->detail = out->passed ? "" : "expected absent, db says " + r.room;
+    } else {
+      const std::string& want = spec.building.room(a.room).name;
+      out->passed = r.ok() && r.room == want;
+      if (out->passed) {
+        out->detail.clear();
+      } else {
+        out->detail =
+            "expected " + want + ", db says " +
+            (r.ok() ? r.room : std::string(proto::to_string(r.status)));
+      }
+    }
+  };
+  if (report != nullptr) {
+    report->checks.clear();
+    report->checks.reserve(spec.assertions.size());
+    for (const ScenarioAssertion& a : spec.assertions) {
+      ScenarioCheck c;
+      c.line = a.line;
+      c.what = a.text;
+      c.passed = false;
+      c.detail = "never evaluated";
+      report->checks.push_back(std::move(c));
+    }
+    for (std::size_t i = 0; i < spec.assertions.size(); ++i) {
+      const ScenarioAssertion& a = spec.assertions[i];
+      ScenarioCheck* out = &report->checks[i];
+      if (sim->shard_count() == 1) {
+        sim->shard_simulator(0).schedule_at(
+            a.at, [&grade, aa = &a, out] { grade(*aa, out); });
+      } else {
+        pending.push_back(WhereIsProbe{&a, out});
+      }
+    }
+    if (!pending.empty()) {
+      sim->set_barrier_hook([&grade, &pending](SimTime edge) {
+        for (WhereIsProbe& p : pending) {
+          if (p.out != nullptr && p.a->at <= edge) {
+            grade(*p.a, p.out);
+            p.out = nullptr;  // graded; never re-evaluated
+          }
+        }
+      });
+    }
+  }
+
+  sim->run_for(spec.run_time, threads);
+  sim->set_barrier_hook({});  // the probes above die with this frame
+  return sim;
+}
+
 }  // namespace bips::core

@@ -67,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/parallel.hpp"
 #include "src/core/simulation.hpp"
 #include "src/fault/plan.hpp"
 
@@ -190,5 +191,22 @@ std::unique_ptr<BipsSimulation> run_scenario(
     const ScenarioSpec& spec,
     const std::function<void(BipsSimulation&)>& pre_run,
     ScenarioReport* report);
+
+/// Replays the scenario on the sharded parallel harness (DESIGN.md
+/// section 9) with `threads` workers. The harness guarantees the run --
+/// history CSV, presence stream, tracking scorecard, assertion outcomes --
+/// is byte-identical for every thread count, so CI replays a scenario at
+/// `--threads 1` and `--threads 4` and diffs the histories.
+///
+/// Supported scenario subset: the full deployment grammar, walk-to /
+/// unreachable / login-flood acts, and `assert-at ... whereis` assertions
+/// (graded at the first synchronisation barrier at or after the directive's
+/// instant -- a deterministic, window-bounded quantisation). Fault
+/// schedules, power-cycle acts and window/invariant assertions are not yet
+/// replayable on the sharded harness: those scenarios return nullptr with
+/// `error` naming the offending directive.
+std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
+    const ScenarioSpec& spec, unsigned threads, std::size_t shards,
+    ScenarioReport* report, std::string* error);
 
 }  // namespace bips::core

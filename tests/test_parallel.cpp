@@ -1,0 +1,321 @@
+// Sharded parallel kernel (DESIGN.md section 9): the conservative-lookahead
+// horizon, ShardGroup mailbox determinism, and the end-to-end contract of
+// the sharded full-stack harness -- thread count must not change one byte
+// of the discovery history, the tracking grades, or the energy ledgers.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/baseband/radio.hpp"
+#include "src/core/parallel.hpp"
+#include "src/core/simulation.hpp"
+#include "src/mobility/building.hpp"
+#include "src/sim/shard.hpp"
+
+namespace bips {
+namespace {
+
+using core::ShardedBipsSimulation;
+using core::ShardedConfig;
+using sim::LookaheadInputs;
+using sim::ShardGroup;
+using sim::conservative_lookahead;
+using sim::kUnboundedLookahead;
+
+// ---- conservative-lookahead horizon -------------------------------------
+
+TEST(Lookahead, SingleShardDegeneratesToUnbounded) {
+  LookaheadInputs in;
+  in.shard_count = 1;
+  // Even hostile inputs are fine: with nothing to synchronise against there
+  // is no constraint to violate.
+  in.lan_latency = Duration(0);
+  in.max_speed_mps = 0.0;
+  in.seam_margin_m = 0.0;
+  const auto w = conservative_lookahead(in, nullptr);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, kUnboundedLookahead);
+}
+
+TEST(Lookahead, ZeroLatencyLanIsRejectedWithAClearError) {
+  LookaheadInputs in;
+  in.shard_count = 2;
+  in.lan_latency = Duration(0);
+  in.seam_margin_m = 20.0;
+  in.max_speed_mps = 2.0;
+  std::string err;
+  const auto w = conservative_lookahead(in, &err);
+  EXPECT_FALSE(w.has_value());
+  // The error must say what is wrong and why it is fatal, not just "bad
+  // config": a zero-latency LAN admits no conservative window at all.
+  EXPECT_NE(err.find("zero-latency"), std::string::npos) << err;
+}
+
+TEST(Lookahead, ZeroShardsAndNonPositiveBoundsAreRejected) {
+  LookaheadInputs in;
+  in.shard_count = 0;
+  std::string err;
+  EXPECT_FALSE(conservative_lookahead(in, &err).has_value());
+
+  in.shard_count = 2;
+  in.lan_latency = Duration::millis(5);
+  in.seam_margin_m = 20.0;
+  in.max_speed_mps = 0.0;
+  EXPECT_FALSE(conservative_lookahead(in, &err).has_value());
+
+  in.max_speed_mps = 2.0;
+  in.seam_margin_m = 0.0;
+  EXPECT_FALSE(conservative_lookahead(in, &err).has_value());
+}
+
+TEST(Lookahead, HorizonShrinksAsTheSpeedBoundGrows) {
+  LookaheadInputs in;
+  in.shard_count = 4;
+  in.lan_latency = Duration::seconds(1000);  // LAN leg never binds here
+  in.seam_margin_m = 21.0;
+  Duration prev = Duration(INT64_MAX);
+  for (const double v : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    in.max_speed_mps = v;
+    const auto w = conservative_lookahead(in, nullptr);
+    ASSERT_TRUE(w.has_value());
+    // Faster walkers close the seam margin sooner: strictly less lookahead.
+    EXPECT_LT(*w, prev) << "speed " << v;
+    EXPECT_EQ(*w, Duration::from_seconds(in.seam_margin_m / v));
+    prev = *w;
+  }
+}
+
+TEST(Lookahead, MinOfLanAndWalkLegsBinds) {
+  LookaheadInputs in;
+  in.shard_count = 2;
+  in.lan_latency = Duration::millis(5);
+  in.seam_margin_m = 20.0;
+  in.max_speed_mps = 2.0;  // walk leg: 10 s >> LAN leg: 5 ms
+  auto w = conservative_lookahead(in, nullptr);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, Duration::millis(5));
+
+  in.lan_latency = Duration::seconds(60);  // now the walk leg binds
+  w = conservative_lookahead(in, nullptr);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, Duration::from_seconds(10.0));
+}
+
+TEST(Lookahead, SeamMarginFollowsTheRadioOccupancyConvention) {
+  // One invariant, two call sites: the seam margin a shard trusts must be
+  // the same 2 * range + slack radius the radio's fast-forward occupancy
+  // wakeups use. ff_radius_for is the shared definition.
+  EXPECT_DOUBLE_EQ(baseband::RadioChannel::ff_radius_for(10.0, 1.0), 21.0);
+  ShardedConfig cfg;
+  cfg.base.coverage_radius_m = 10.0;
+  cfg.base.channel.ff_slack_m = 1.0;
+  cfg.base.lan.base_latency = Duration::seconds(60);  // LAN leg never binds
+  cfg.uplink_extra = Duration(0);
+  cfg.shards = 2;
+  const double v = cfg.base.workstation.scheduler.piconet.ff_max_speed_mps;
+  const auto w = ShardedBipsSimulation::derive_window(cfg, nullptr);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, Duration::from_seconds(
+                    baseband::RadioChannel::ff_radius_for(10.0, 1.0) / v));
+}
+
+TEST(Lookahead, DeriveWindowSurfacesTheZeroLatencyLanError) {
+  ShardedConfig cfg;
+  cfg.base.lan.base_latency = Duration(0);
+  cfg.base.lan.jitter = Duration(0);
+  cfg.uplink_extra = Duration(0);
+  std::string err;
+  EXPECT_FALSE(ShardedBipsSimulation::derive_window(cfg, &err).has_value());
+  EXPECT_NE(err.find("zero-latency"), std::string::npos) << err;
+}
+
+// ---- ShardGroup mailbox determinism -------------------------------------
+
+// A synthetic cross-shard workload: every shard runs a periodic event that
+// appends to its own log and mails an append to the next shard one window
+// ahead. The final logs must not depend on the worker count.
+std::vector<std::string> run_ring(unsigned threads) {
+  constexpr std::size_t kShards = 4;
+  const Duration window = Duration::millis(10);
+  ShardGroup group(kShards);
+  std::vector<std::string> log(kShards);
+  for (std::size_t k = 0; k < kShards; ++k) {
+    for (int i = 0; i < 50; ++i) {
+      group.shard(k).schedule_at(
+          SimTime::zero() + Duration::millis(3 * i + 1),
+          [&group, &log, window, k, i] {
+            log[k] += "tick:" + std::to_string(i) + ";";
+            const std::size_t dst = (k + 1) % kShards;
+            group.post(k, dst, group.shard(k).now() + window,
+                       [&log, dst, k, i] {
+                         log[dst] += "mail-from:" + std::to_string(k) + ":" +
+                                     std::to_string(i) + ";";
+                       });
+          });
+    }
+  }
+  group.run_until(SimTime::zero() + Duration::millis(500), window, threads);
+  EXPECT_GT(group.mail_delivered(), 0u);
+  EXPECT_GT(group.windows_run(), 0u);
+  return log;
+}
+
+TEST(ShardGroupDeterminism, MailboxDrainOrderIsThreadCountInvariant) {
+  const auto one = run_ring(1);
+  const auto two = run_ring(2);
+  const auto four = run_ring(4);
+  const auto eight = run_ring(8);  // more workers than shards: clamped
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+}
+
+// ---- sharded full-stack equivalence -------------------------------------
+
+struct ShardedRun {
+  std::string history;
+  core::TrackingMetrics tracking;
+  std::int64_t energy_tx_ns = 0;
+  std::int64_t energy_listen_ns = 0;
+  std::uint64_t mail = 0;
+  std::size_t handoffs_seen = 0;
+  std::size_t shard_count = 0;
+};
+
+ShardedRun run_sharded(unsigned threads, std::size_t shards,
+                       double sim_seconds,
+                       Duration pause_min = Duration::seconds(1),
+                       Duration pause_max = Duration::seconds(4)) {
+  ShardedConfig cfg;
+  cfg.base.seed = 0xB1B5'0001ull;
+  cfg.base.stagger_inquiry = true;
+  // Default: a restless population, so walks (and seam crossings) happen
+  // within a short simulated horizon.
+  cfg.base.mobility.pause_min = pause_min;
+  cfg.base.mobility.pause_max = pause_max;
+  cfg.shards = shards;
+  ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
+  for (int i = 0; i < 12; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i % 8));
+  }
+  sim.enable_tracking_metrics(Duration::seconds(2));
+  sim.run_for(Duration::from_seconds(sim_seconds), threads);
+
+  ShardedRun out;
+  out.shard_count = sim.shard_count();
+  std::ostringstream hist;
+  sim.write_history_csv(hist);
+  out.history = hist.str();
+  out.tracking = sim.tracking();
+  for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
+    auto& ws = sim.workstation(static_cast<core::StationId>(s));
+    ws.scheduler().inquirer().stats();
+    ws.scheduler().pager().stats();
+    ws.scheduler().piconet().stats();
+    out.energy_tx_ns += ws.device().energy().tx_time.ns();
+    out.energy_listen_ns += ws.device().energy().listen_time.ns();
+  }
+  out.mail = sim.group().mail_delivered();
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t start = sim.shard_of_station(
+        static_cast<core::StationId>(i % 8));
+    if (sim.owner_shard("u" + std::to_string(i)) != start) {
+      ++out.handoffs_seen;
+    }
+  }
+  return out;
+}
+
+TEST(ShardedSimulation, ByteIdenticalAcrossThreadCounts) {
+  const ShardedRun one = run_sharded(1, 4, 120.0);
+  const ShardedRun four = run_sharded(4, 4, 120.0);
+
+  // The workload must actually exercise the parallel machinery, or the
+  // equivalence below is vacuous: cross-shard LAN mail flows and at least
+  // one user ends the run owned by a different zone than it started in.
+  EXPECT_GT(one.shard_count, 1u);
+  EXPECT_GT(one.mail, 0u);
+  EXPECT_GT(one.handoffs_seen, 0u);
+  EXPECT_FALSE(one.history.empty());
+  EXPECT_NE(one.history.find("enter"), std::string::npos);
+
+  EXPECT_EQ(one.history, four.history);
+  EXPECT_EQ(one.tracking.samples, four.tracking.samples);
+  EXPECT_EQ(one.tracking.correct_room, four.tracking.correct_room);
+  EXPECT_EQ(one.tracking.wrong_room, four.tracking.wrong_room);
+  EXPECT_EQ(one.tracking.false_absent, four.tracking.false_absent);
+  EXPECT_EQ(one.tracking.false_present, four.tracking.false_present);
+  EXPECT_EQ(one.energy_tx_ns, four.energy_tx_ns);
+  EXPECT_EQ(one.energy_listen_ns, four.energy_listen_ns);
+  EXPECT_EQ(one.mail, four.mail);
+  EXPECT_EQ(one.handoffs_seen, four.handoffs_seen);
+}
+
+TEST(ShardedSimulation, TracksUsersAcrossSeams) {
+  // Handoffs must not break the service: after three minutes of office-pace
+  // walking across four zones, the location database still grades well.
+  // (The byte-identity test above uses near-constant walkers, where the
+  // discovery lag rightly dominates; here the dwells are long enough for
+  // the inquiry cycle to keep up, as in the monolithic accuracy tests.)
+  // The exact numbers are deterministic; the floor just leaves room for
+  // the usual discovery/absence hysteresis lag.
+  const ShardedRun r = run_sharded(1, 4, 180.0, Duration::seconds(20),
+                                   Duration::seconds(60));
+  ASSERT_GT(r.tracking.samples, 0u);
+  EXPECT_GT(r.tracking.accuracy(), 0.5)
+      << "accuracy " << r.tracking.accuracy();
+}
+
+TEST(ShardedSimulation, SingleColumnBuildingClampsToOneShard) {
+  // A 4x1 grid has one distinct room-centre x: nothing to slice. The
+  // requested 4 shards clamp to 1 and the window degenerates to unbounded
+  // (one run_until per run_for; no barriers, no mail).
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  ShardedBipsSimulation sim(mobility::Building::grid(4, 1), cfg);
+  EXPECT_EQ(sim.shard_count(), 1u);
+  EXPECT_EQ(sim.window(), kUnboundedLookahead);
+  sim.add_user("Ada", "ada", "pw", 0);
+  sim.run_for(Duration::seconds(30), 4);
+  EXPECT_EQ(sim.group().mail_delivered(), 0u);
+  EXPECT_GT(sim.group().events_executed(), 0u);
+}
+
+TEST(ShardedSimulation, ScriptedActsAndShadowFollowTheOwner) {
+  ShardedConfig cfg;
+  cfg.base.seed = 7;
+  // Pin everyone in place: only the scripted walk below moves anyone, so
+  // the final ownership and database assertions are exact.
+  cfg.base.mobility.pause_min = Duration::seconds(100000);
+  cfg.base.mobility.pause_max = Duration::seconds(100000);
+  ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
+  sim.add_user("Ada", "ada", "pw", 0);      // zone 0
+  sim.add_user("Grace", "grace", "pw", 7);  // zone 3 (2x4 grid, 4 shards)
+  ASSERT_EQ(sim.shard_count(), 4u);
+
+  // Walk Ada to the far corner: the act fires on her owning replica, and
+  // the trip hands her across every seam on the way.
+  sim.schedule_user_act(
+      SimTime::zero() + Duration::seconds(5), "ada",
+      [](core::BipsClient&, mobility::RandomWaypointAgent& agent) {
+        agent.walk_to(7);
+      });
+  sim.schedule_radio_shadow(SimTime::zero() + Duration::seconds(10), "grace",
+                            true);
+  // Worst case the walk covers ~50 m at the 0.5 m/s floor: 180 s is ample.
+  sim.run_for(Duration::seconds(180), 2);
+
+  EXPECT_EQ(sim.owner_shard("ada"), 3u);
+  EXPECT_EQ(sim.true_room("ada"), 7u);
+  // Grace's handheld has been in an RF shadow since t=10: the serving
+  // master dropped it via supervision timeout and the database shows no
+  // current fix for it.
+  EXPECT_FALSE(sim.db_room("grace").has_value());
+}
+
+}  // namespace
+}  // namespace bips
