@@ -63,7 +63,7 @@ Outcome run_mode(bool staggered) {
     for (const auto& id : ids) {
       const std::uint64_t addr = sim.client(id)->addr().raw();
       double first = -1;
-      for (const auto& t : sim.server().db().history()) {
+      for (const auto& t : sim.server().locations().history()) {
         if (t.bd_addr == addr && t.present) {
           first = t.at.to_seconds();
           break;

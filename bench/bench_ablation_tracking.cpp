@@ -43,8 +43,8 @@ Outcome run_once(double inquiry_s, double cycle_s) {
 
   Outcome o;
   o.tracking = sim.tracking();
-  o.presence_updates = sim.server().db().stats().presence_updates;
-  o.logins = sim.server().stats().logins_ok;
+  o.presence_updates = sim.server().locations().stats().presence_updates;
+  o.logins = sim.simulator().obs().metrics.counter_value("server.logins_ok");
   o.duty = inquiry_s / cycle_s;
   return o;
 }

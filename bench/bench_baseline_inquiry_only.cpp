@@ -50,7 +50,7 @@ Outcome run_once(bool connect) {
 
   Outcome o;
   o.tracking = sim.tracking();
-  o.presence_updates = sim.server().db().stats().presence_updates;
+  o.presence_updates = sim.server().locations().stats().presence_updates;
   int sessions = 0;
   double duty = 0;
   for (int i = 0; i < kUsers; ++i) {

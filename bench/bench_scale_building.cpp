@@ -50,10 +50,13 @@
 //   --shards N    zone count for the sharded harness (default 4);
 //   --par-ab      run every point on the sharded harness twice -- 1 thread
 //                 then --threads N -- byte-diff the discovery histories,
-//                 the presence trace streams and the energy ledgers (any
-//                 difference fails the process: thread count must not
-//                 change one byte), and report the wall-clock speedup;
-//                 --min-speedup gates it.
+//                 the presence trace streams, the energy ledgers and the
+//                 Query-API answers (any difference fails the process:
+//                 thread count must not change one byte), plus a third pass
+//                 with the location service pinned to a single database
+//                 (service_zones=1) whose query answers must also match --
+//                 partitioning the service must be invisible to queries;
+//                 reports the wall-clock speedup; --min-speedup gates it.
 //   --append      append this run's rows to an existing report instead of
 //                 overwriting it; refuses if the file's schema version
 //                 differs (rows carry "threads" and "commit" since v2).
@@ -212,16 +215,54 @@ Result run_point(const SweepPoint& p, bool metrics_on,
   return r;
 }
 
+/// Canonical dump of the unified Query API's answers after a run: where-is
+/// and history-since for every user, who-is-in for every room, where-was at
+/// a spread of instants. A --par-ab subject alongside the history CSV: the
+/// answers must be byte-identical across thread counts AND across location-
+/// service shard counts (the partitioning must be invisible to queries).
+std::string dump_queries(core::ShardedBipsSimulation& sim, int users,
+                         double sim_seconds) {
+  using Query = core::BipsServer::Query;
+  core::BipsServer& server = sim.server();
+  std::ostringstream os;
+  auto put = [&os](const proto::QueryResult& r) {
+    os << static_cast<int>(r.status) << '|' << r.room << '|';
+    for (const auto& u : r.users) os << u << ',';
+    os << '|' << r.distance << '|' << r.was_present << '|' << r.since.ns()
+       << '|';
+    for (const auto& v : r.visits) {
+      os << v.room << (v.entered ? '+' : '-') << v.at.ns() << ',';
+    }
+    os << '\n';
+  };
+  for (int i = 0; i < users; ++i) {
+    const std::string name = "User " + std::to_string(i);
+    put(server.query(Query::where_is("", name)));
+    put(server.query(Query::history_since("", name, SimTime::zero())));
+    for (double frac : {0.5, 1.0}) {
+      put(server.query(Query::where_was(
+          "", name, SimTime(Duration::from_seconds(sim_seconds * frac).ns()))));
+    }
+  }
+  for (const mobility::Room& room : sim.building().rooms()) {
+    put(server.query(Query::who_is_in("", room.name)));
+  }
+  return os.str();
+}
+
 /// One sweep point on the sharded harness (DESIGN.md section 9): the same
 /// deployment cut into `shards` zones and run on `threads` workers. The
-/// captured history, presence stream and energy totals are the --par-ab
-/// equivalence subjects: every one of them must be byte-identical across
-/// thread counts.
+/// captured history, presence stream, energy totals and query answers are
+/// the --par-ab equivalence subjects: every one of them must be
+/// byte-identical across thread counts. `service_zones` overrides the
+/// location-service shard count (0 = aligned with the simulator zones).
 Result run_point_sharded(const SweepPoint& p, int threads,
                          std::size_t shards, bool exact_slots,
                          std::string* history_out = nullptr,
                          std::string* presence_out = nullptr,
-                         EnergyTotals* energy_out = nullptr) {
+                         EnergyTotals* energy_out = nullptr,
+                         std::string* queries_out = nullptr,
+                         std::size_t service_zones = 0) {
   core::ShardedConfig scfg;
   scfg.base.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
   scfg.base.stagger_inquiry = true;
@@ -229,6 +270,7 @@ Result run_point_sharded(const SweepPoint& p, int threads,
   scfg.base.workstation.scheduler.inquiry_length = Duration::from_seconds(1.28);
   scfg.base.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
   scfg.shards = shards;
+  scfg.service_zones = service_zones;
 
   core::ShardedBipsSimulation sim(mobility::Building::grid(p.rows, p.cols),
                                   scfg);
@@ -259,6 +301,12 @@ Result run_point_sharded(const SweepPoint& p, int threads,
               static_cast<unsigned>(threads));
   const auto t1 = std::chrono::steady_clock::now();
   const double c1 = process_cpu_seconds();
+
+  if (queries_out != nullptr) {
+    // Probe the Query API before the energy nudge so the answers are taken
+    // at the same instant whether or not energy capture is on.
+    *queries_out = dump_queries(sim, p.users, p.sim_seconds);
+  }
 
   if (energy_out != nullptr) {
     // Same probe convention as the monolithic path: nudge past the slot
@@ -477,6 +525,7 @@ int run(const Options& opt) {
   bool history_mismatch = false;
   bool presence_mismatch = false;
   bool energy_mismatch = false;
+  bool query_mismatch = false;
   std::string first_history;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
@@ -485,16 +534,22 @@ int run(const Options& opt) {
     if (opt.parab) {
       // Sharded-kernel thread-count equivalence: the 1-thread sequential
       // reference vs N workers, identical shard layout. Histories, presence
-      // streams and energy ledgers must match byte for byte; wall-clock
-      // (not CPU time: workers burn CPU in parallel) gives the speedup.
+      // streams, energy ledgers and Query-API answers must match byte for
+      // byte; wall-clock (not CPU time: workers burn CPU in parallel) gives
+      // the speedup. A third pass pins the location service to ONE shard
+      // (service_zones=1, the single-database reference) and byte-diffs its
+      // query answers too: partitioning the service must not change an
+      // answer any more than the thread count does.
       const int nthreads = opt.threads > 0 ? opt.threads : 4;
       const std::size_t shards = static_cast<std::size_t>(opt.shards);
-      std::string hist1, histn, pres1, presn;
+      std::string hist1, histn, pres1, presn, q1, qn, qsingle;
       EnergyTotals energy1, energyn;
       Result r1 = run_point_sharded(p, 1, shards, opt.exact_slots, &hist1,
-                                    &pres1, &energy1);
+                                    &pres1, &energy1, &q1);
       Result rn = run_point_sharded(p, nthreads, shards, opt.exact_slots,
-                                    &histn, &presn, &energyn);
+                                    &histn, &presn, &energyn, &qn);
+      run_point_sharded(p, nthreads, shards, opt.exact_slots, nullptr,
+                        nullptr, nullptr, &qsingle, /*service_zones=*/1);
       for (int rep = 1; rep < opt.reps; ++rep) {
         const Result a = run_point_sharded(p, 1, shards, opt.exact_slots);
         if (a.wall_s < r1.wall_s) r1 = a;
@@ -505,9 +560,11 @@ int run(const Options& opt) {
       const bool hist_ok = hist1 == histn;
       const bool pres_ok = pres1 == presn;
       const bool energy_ok = energy1 == energyn;
+      const bool query_ok = q1 == qn && q1 == qsingle;
       if (!hist_ok) history_mismatch = true;
       if (!pres_ok) presence_mismatch = true;
       if (!energy_ok) energy_mismatch = true;
+      if (!query_ok) query_mismatch = true;
       rn.speedup = rn.wall_s > 0 ? r1.wall_s / rn.wall_s : 0.0;
       worst_speedup = std::min(worst_speedup, rn.speedup);
       if (i == 0) first_history = hist1;
@@ -517,11 +574,12 @@ int run(const Options& opt) {
       add_row(rn);
       std::printf("done: %d rooms / %d users -> 1 thread %.2f s wall, "
                   "%d threads %.2f s wall (%.2fx; history %s, presence %s, "
-                  "energy %s)\n",
+                  "energy %s, queries %s)\n",
                   p.rows * p.cols, p.users, r1.wall_s, nthreads, rn.wall_s,
                   rn.speedup, hist_ok ? "identical" : "DIFFERS",
                   pres_ok ? "identical" : "DIFFERS",
-                  energy_ok ? "identical" : "DIFFERS");
+                  energy_ok ? "identical" : "DIFFERS",
+                  query_ok ? "identical" : "DIFFERS");
     } else if (opt.threads > 0) {
       // Plain sharded run at a fixed worker count (the BENCH_scale sweep
       // rows; the equivalence gate lives in --par-ab).
@@ -644,17 +702,21 @@ int run(const Options& opt) {
   }
 
   if (opt.parab) {
-    if (history_mismatch || presence_mismatch || energy_mismatch) {
-      std::printf("FAIL: sharded outputs differ across thread counts "
-                  "(history %s, presence %s, energy %s) -- thread count "
-                  "must not change one byte\n",
+    if (history_mismatch || presence_mismatch || energy_mismatch ||
+        query_mismatch) {
+      std::printf("FAIL: sharded outputs differ across thread or shard "
+                  "counts (history %s, presence %s, energy %s, queries %s) "
+                  "-- neither thread count nor service partitioning may "
+                  "change one byte\n",
                   history_mismatch ? "DIFFERS" : "ok",
                   presence_mismatch ? "DIFFERS" : "ok",
-                  energy_mismatch ? "DIFFERS" : "ok");
+                  energy_mismatch ? "DIFFERS" : "ok",
+                  query_mismatch ? "DIFFERS" : "ok");
       return 1;
     }
-    std::printf("OK: sharded history, presence stream and energy ledgers "
-                "are byte-identical across thread counts at every point\n");
+    std::printf("OK: sharded history, presence stream, energy ledgers and "
+                "query answers are byte-identical across thread counts (and "
+                "vs the single-database service) at every point\n");
     if (opt.min_speedup >= 0) {
       if (worst_speedup < opt.min_speedup) {
         std::printf("FAIL: parallel wall-clock speedup %.2fx is below the "

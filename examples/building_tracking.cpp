@@ -2,9 +2,15 @@
 // Figure 1 on the 10-room academic-department floor plan, with six users
 // walking between rooms for ten simulated minutes.
 //
-// Prints the presence transitions the central location database records
-// (the workstations' delta updates) and a final tracking scorecard against
-// mobility ground truth.
+// Streams the presence transitions the central location database records
+// through the server's subscription hub -- one in-process room
+// subscription per piconet, so every delta is pushed to us the instant
+// the server applies it. The hub's cost model makes this the cheap way
+// to watch a building: the server does one fan-out per presence *delta*
+// (people move a few times a minute), where the old pattern -- re-polling
+// the history after every run_for slice -- paid per poll regardless of
+// whether anything moved. Ends with a tracking scorecard against mobility
+// ground truth.
 //
 //   $ ./building_tracking
 #include <cstdio>
@@ -39,22 +45,23 @@ int main() {
   }
   sim.enable_tracking_metrics(Duration::seconds(1));
 
+  // One in-process room subscription per piconet: the server pushes every
+  // presence delta to us as it lands. Registration cost is paid once;
+  // after that the hub does a single fan-out per delta -- nothing scales
+  // with how often (or whether) we would have polled.
+  for (core::StationId s = 0;
+       s < static_cast<core::StationId>(sim.workstation_count()); ++s) {
+    sim.server().subscriptions().subscribe_room(
+        s, [](const core::SubscriptionHub::Event& ev) {
+          std::printf("[%7.2f s] %-6s %s %s\n", ev.at.to_seconds(),
+                      ev.user.c_str(), ev.entered ? "entered" : "left   ",
+                      ev.room.c_str());
+        });
+  }
+
   std::printf("running 600 simulated seconds across %zu piconets...\n\n",
               sim.workstation_count());
-  std::size_t printed = 0;
-  for (int minute = 1; minute <= 10; ++minute) {
-    sim.run_for(Duration::seconds(60));
-    // Stream the new location-database transitions.
-    const auto& hist = sim.server().db().history();
-    for (; printed < hist.size(); ++printed) {
-      const auto& t = hist[printed];
-      const auto userid = sim.server().db().userid_of(t.bd_addr);
-      std::printf("[%7.2f s] %-6s %s %s\n", t.at.to_seconds(),
-                  userid ? userid->c_str() : "(pre-login)",
-                  t.present ? "entered" : "left   ",
-                  sim.building().room(t.station).name.c_str());
-    }
-  }
+  sim.run_for(Duration::seconds(600));
 
   // A snapshot of the floor: workstations '#', users a..f.
   std::vector<mobility::Marker> markers;
@@ -69,7 +76,8 @@ int main() {
 
   std::printf("\n--- where is everyone (location database) ---\n");
   for (const auto& u : users) {
-    const auto reply = sim.server().where_is("", u.name);
+    const auto reply =
+        sim.server().query(core::BipsServer::Query::where_is("", u.name));
     const auto truth = sim.true_room(u.userid);
     std::printf("  %-6s db=%-14s truth=%s\n", u.name,
                 reply.status == proto::QueryStatus::kOk ? reply.room.c_str()
@@ -98,8 +106,8 @@ int main() {
   std::printf("\n--- LAN cost of the delta-update policy ---\n");
   std::printf("  presence updates applied: %llu, redundant: %llu\n",
               static_cast<unsigned long long>(
-                  sim.server().db().stats().presence_updates),
+                  sim.server().locations().stats().presence_updates),
               static_cast<unsigned long long>(
-                  sim.server().db().stats().redundant_updates));
+                  sim.server().locations().stats().redundant_updates));
   return 0;
 }

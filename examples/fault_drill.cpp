@@ -31,7 +31,8 @@ void report(core::BipsSimulation& sim, const char* label) {
               "stations_expired=%llu\n",
               label, logged, connected, located,
               static_cast<unsigned long long>(
-                  sim.server().stats().stations_expired));
+                  sim.simulator().obs().metrics.counter_value(
+                      "server.stations_expired")));
 }
 
 }  // namespace
@@ -74,11 +75,12 @@ int main() {
       "\nepoch=%u  snapshots_received=%llu  presences_restored=%llu  "
       "sessions_restored=%llu\n",
       sim.server().epoch(),
-      static_cast<unsigned long long>(sim.server().stats().syncs_received),
       static_cast<unsigned long long>(
-          sim.server().stats().presences_restored),
-      static_cast<unsigned long long>(
-          sim.server().stats().sessions_restored));
+          sim.simulator().obs().metrics.counter_value("server.syncs_received")),
+      static_cast<unsigned long long>(sim.simulator().obs().metrics.counter_value(
+          "server.presences_restored")),
+      static_cast<unsigned long long>(sim.simulator().obs().metrics.counter_value(
+          "server.sessions_restored")));
   std::printf(
       "\nnote: the server forgot the sessions, but the workstations'\n"
       "snapshots carried their witnessed userid<->device bindings, so the\n"

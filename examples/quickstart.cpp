@@ -45,13 +45,15 @@ int main() {
                 room ? sim.building().room(*room).name.c_str() : "(unknown)");
   }
 
-  // 5. The paper's spatio-temporal query, served by the central server.
-  const auto reply = sim.server().where_is("alice", "Bob");
+  // 5. The paper's spatio-temporal query, served by the central server's
+  //    unified Query API (one entry point for every lookup kind).
+  using Query = core::BipsServer::Query;
+  const auto reply = sim.server().query(Query::where_is("alice", "Bob"));
   std::printf("\nalice asks: where is Bob?  ->  status=%s room=%s\n",
               proto::to_string(reply.status), reply.room.c_str());
 
   // 6. And the headline feature: the shortest path to reach him.
-  const auto path = sim.server().path_to("alice", "Bob", office);
+  const auto path = sim.server().query(Query::path_to("alice", "Bob", office));
   std::printf("shortest path: ");
   for (std::size_t i = 0; i < path.rooms.size(); ++i) {
     std::printf("%s%s", i ? " -> " : "", path.rooms[i].c_str());

@@ -20,7 +20,8 @@ using namespace bips;
 namespace {
 
 void print_roll_call(core::BipsSimulation& sim, const char* when) {
-  const auto rep = sim.server().who_is_in("", "seminar-room");
+  const auto rep = sim.server().query(
+      core::BipsServer::Query::who_is_in("", "seminar-room"));
   std::printf("%-22s seminar-room holds %zu:", when, rep.users.size());
   for (const auto& u : rep.users) std::printf(" %s", u.c_str());
   std::printf("\n");

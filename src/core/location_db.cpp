@@ -26,8 +26,13 @@ void LocationDatabase::clear() {
 }
 
 void LocationDatabase::retire_station_claims(StationId station) {
+  retire_claims_if([station](StationId s) { return s == station; });
+}
+
+void LocationDatabase::retire_claims_if(
+    const std::function<bool(StationId)>& pred) {
   for (auto& [addr, rec] : presence_) {
-    if (rec.runner_up && rec.runner_up->station == station) {
+    if (rec.runner_up && pred(rec.runner_up->station)) {
       rec.runner_up.reset();
     }
   }
@@ -74,7 +79,8 @@ std::optional<std::string> LocationDatabase::userid_of(
 
 void LocationDatabase::record(std::uint64_t bd_addr, StationId station,
                               bool present, SimTime at) {
-  history_.push_back(Transition{bd_addr, station, present, at});
+  history_.push_back(Transition{bd_addr, station, present, at,
+                                (*seq_source_)++});
   while (history_.size() > history_limit_) history_.pop_front();
 }
 
@@ -181,14 +187,46 @@ std::vector<std::uint64_t> LocationDatabase::devices_at(
 
 std::optional<LocationDatabase::HistoricalFix> LocationDatabase::where_was(
     std::uint64_t bd_addr, SimTime at) const {
+  const Transition* t = last_transition_at(bd_addr, at);
+  if (t == nullptr || !t->present) return std::nullopt;
+  return HistoricalFix{t->station, t->at};
+}
+
+const LocationDatabase::Transition* LocationDatabase::last_transition_at(
+    std::uint64_t bd_addr, SimTime at) const {
   // Walk backwards: the first transition of this device at or before `at`
-  // determines its state then.
+  // determines its state then (deque order is seq order).
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     if (it->bd_addr != bd_addr || it->at > at) continue;
-    if (!it->present) return std::nullopt;
-    return HistoricalFix{it->station, it->at};
+    return &*it;
   }
-  return std::nullopt;  // before first record, or evicted
+  return nullptr;  // before first record, or evicted
+}
+
+LocationDatabase::DeviceState LocationDatabase::extract_device(
+    std::uint64_t bd_addr) {
+  DeviceState st;
+  const auto addr_it = by_addr_.find(bd_addr);
+  if (addr_it != by_addr_.end()) {
+    const auto sess_it = by_userid_.find(addr_it->second);
+    st.session = sess_it->second;
+    by_userid_.erase(sess_it);
+    by_addr_.erase(addr_it);
+  }
+  const auto pres_it = presence_.find(bd_addr);
+  if (pres_it != presence_.end()) {
+    st.presence = pres_it->second;
+    presence_.erase(pres_it);
+  }
+  return st;
+}
+
+void LocationDatabase::adopt_device(std::uint64_t bd_addr, DeviceState st) {
+  if (st.session) {
+    by_addr_.emplace(bd_addr, st.session->userid);
+    by_userid_.emplace(st.session->userid, std::move(*st.session));
+  }
+  if (st.presence) presence_.emplace(bd_addr, std::move(*st.presence));
 }
 
 }  // namespace bips::core

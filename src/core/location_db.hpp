@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,27 @@ class LocationDatabase {
     StationId station = kNoStation;
     bool present = false;
     SimTime at;
+    /// Global ingest sequence number (monotonic per sequence source). In a
+    /// partitioned service every shard stamps from one shared source, so a
+    /// k-way merge of the shard histories by `seq` reproduces the exact
+    /// insertion order a single database would have had.
+    std::uint64_t seq = 0;
+  };
+
+  /// A presence claim from one workstation.
+  struct Claim {
+    StationId station = kNoStation;
+    SimTime since;
+    double rssi_dbm = 0.0;
+  };
+
+  struct PresenceRecord {
+    StationId station = kNoStation;
+    SimTime since;
+    double rssi_dbm = 0.0;
+    /// The losing claim of an overlap arbitration (its workstation went
+    /// silent after its delta); promoted if the winner reports absence.
+    std::optional<Claim> runner_up;
   };
 
   /// Deprecated accessor shape kept for existing call sites; the counters
@@ -68,6 +90,11 @@ class LocationDatabase {
   /// detector declared it dead; its fallback claims must not be promoted
   /// later and resurrect an attribution to a dead station).
   void retire_station_claims(StationId station);
+
+  /// Generalisation: drops every runner-up claim whose station satisfies
+  /// `pred`. The partitioned service retires a whole crashed zone's claims
+  /// with this so no promotion can resurrect state into a dead shard.
+  void retire_claims_if(const std::function<bool(StationId)>& pred);
 
   // ---- sessions --------------------------------------------------------
 
@@ -124,6 +151,40 @@ class LocationDatabase {
   std::optional<HistoricalFix> where_was(std::uint64_t bd_addr,
                                          SimTime at) const;
 
+  /// The newest (max-seq) recorded transition of `bd_addr` with
+  /// t.at <= `at`; nullptr if none survives in the bounded history. This is
+  /// the primitive behind where_was; a partitioned service compares the
+  /// per-shard candidates by seq to reproduce the single-database answer.
+  const Transition* last_transition_at(std::uint64_t bd_addr,
+                                       SimTime at) const;
+
+  // ---- partitioned-service hooks ----------------------------------------
+
+  /// Makes this database stamp Transition::seq from a shared counter (the
+  /// service passes the same pointer to every shard). Must outlive the
+  /// database; nullptr restores the private per-instance counter.
+  void set_sequence_source(std::uint64_t* source) {
+    seq_source_ = source != nullptr ? source : &own_seq_;
+  }
+
+  /// Everything the database holds about one device, detachable as a value:
+  /// the shard handoff moves a walker's state wholesale when its winning
+  /// attribution crosses a zone seam. Extraction/adoption is a re-homing,
+  /// not a state change: no counters move and no history row is written.
+  struct DeviceState {
+    std::optional<Session> session;
+    std::optional<PresenceRecord> presence;
+  };
+  DeviceState extract_device(std::uint64_t bd_addr);
+  void adopt_device(std::uint64_t bd_addr, DeviceState st);
+
+  std::size_t history_size() const { return history_.size(); }
+  /// seq of the oldest surviving history row (history must be non-empty).
+  std::uint64_t oldest_history_seq() const { return history_.front().seq; }
+  /// Drops the oldest history row (global FIFO eviction is enforced by the
+  /// service across shards; per-shard limits stay for standalone use).
+  void pop_oldest_history() { history_.pop_front(); }
+
   // ---- history & stats --------------------------------------------------
 
   const std::deque<Transition>& history() const { return history_; }
@@ -134,26 +195,12 @@ class LocationDatabase {
   }
 
  private:
-  /// A presence claim from one workstation.
-  struct Claim {
-    StationId station = kNoStation;
-    SimTime since;
-    double rssi_dbm = 0.0;
-  };
-
-  struct PresenceRecord {
-    StationId station = kNoStation;
-    SimTime since;
-    double rssi_dbm = 0.0;
-    /// The losing claim of an overlap arbitration (its workstation went
-    /// silent after its delta); promoted if the winner reports absence.
-    std::optional<Claim> runner_up;
-  };
-
   void record(std::uint64_t bd_addr, StationId station, bool present,
               SimTime at);
 
   std::size_t history_limit_;
+  std::uint64_t own_seq_ = 0;
+  std::uint64_t* seq_source_ = &own_seq_;
   Duration conflict_window_ = Duration::seconds(5);
   std::unordered_map<std::string, Session> by_userid_;
   std::unordered_map<std::uint64_t, std::string> by_addr_;

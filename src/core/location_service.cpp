@@ -1,0 +1,284 @@
+#include "src/core/location_service.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace bips::core {
+
+PartitionedLocationService::Shard::Shard(obs::MetricsRegistry* registry)
+    // Per-shard histories are unbounded; the *global* FIFO bound is
+    // enforced by the service (trim_history) so eviction order matches a
+    // single database exactly.
+    : db(std::numeric_limits<std::size_t>::max(), registry) {}
+
+PartitionedLocationService::PartitionedLocationService(
+    std::size_t history_limit, obs::MetricsRegistry* registry,
+    ZonePartition zones)
+    : zones_(std::move(zones)), history_limit_(history_limit) {
+  if (registry == nullptr) {
+    // All shards must intern the same "db.*" cells or the aggregate
+    // counters stop matching the single-database ones.
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  c_handoffs_ = &registry->counter("svc.shard_handoffs");
+  c_dropped_deltas_ = &registry->counter("svc.deltas_dropped");
+  shards_.reserve(zones_.zone_count());
+  for (std::size_t k = 0; k < zones_.zone_count(); ++k) {
+    shards_.push_back(std::make_unique<Shard>(registry));
+    shards_.back()->db.set_sequence_source(&next_seq_);
+  }
+}
+
+// ---- shard lifecycle ------------------------------------------------------
+
+void PartitionedLocationService::crash_shard(std::size_t k) {
+  BIPS_ASSERT(k < shards_.size());
+  Shard& s = *shards_[k];
+  if (s.crashed) return;
+  s.crashed = true;
+  s.db.clear();
+  for (auto it = owner_.begin(); it != owner_.end();) {
+    it = it->second == k ? owner_.erase(it) : std::next(it);
+  }
+  // No promotion may resurrect an attribution into the dead zone.
+  for (auto& other : shards_) {
+    other->db.retire_claims_if(
+        [this, k](StationId st) { return zones_.zone_of(st) == k; });
+  }
+}
+
+void PartitionedLocationService::restart_shard(std::size_t k) {
+  BIPS_ASSERT(k < shards_.size());
+  Shard& s = *shards_[k];
+  if (!s.crashed) return;
+  s.crashed = false;
+  ++s.epoch;
+}
+
+void PartitionedLocationService::clear() {
+  for (auto& s : shards_) {
+    s->db.clear();
+    s->crashed = false;
+    ++s->epoch;
+  }
+  owner_.clear();
+}
+
+// ---- sessions ---------------------------------------------------------------
+
+bool PartitionedLocationService::login(std::string userid,
+                                       std::uint64_t bd_addr, SimTime at) {
+  if (userid.empty() || bd_addr == 0) return false;
+  // The one-to-one binding is global: a userid bound on *any* shard blocks
+  // the login, exactly as the single database's by_userid check would.
+  if (addr_of(userid)) return false;
+  const std::size_t j = owner_or(bd_addr, 0);
+  if (!shards_[j]->db.login(std::move(userid), bd_addr, at)) return false;
+  owner_[bd_addr] = j;
+  return true;
+}
+
+bool PartitionedLocationService::logout(std::uint64_t bd_addr) {
+  const auto it = owner_.find(bd_addr);
+  if (it == owner_.end()) return false;
+  LocationDatabase& db = shards_[it->second]->db;
+  if (!db.logout(bd_addr)) return false;  // presence without session
+  owner_.erase(it);                       // logout also erased presence
+  return true;
+}
+
+bool PartitionedLocationService::logged_in(std::string_view userid) const {
+  for (const auto& s : shards_) {
+    if (s->db.logged_in(userid)) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> PartitionedLocationService::addr_of(
+    std::string_view userid) const {
+  for (const auto& s : shards_) {
+    if (auto a = s->db.addr_of(userid)) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PartitionedLocationService::userid_of(
+    std::uint64_t bd_addr) const {
+  const auto it = owner_.find(bd_addr);
+  if (it == owner_.end()) return std::nullopt;
+  return shards_[it->second]->db.userid_of(bd_addr);
+}
+
+std::size_t PartitionedLocationService::session_count() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->db.session_count();
+  return n;
+}
+
+// ---- presence ingest --------------------------------------------------------
+
+std::optional<bool> PartitionedLocationService::apply_present(
+    std::uint64_t bd_addr, StationId station, SimTime at, double rssi_dbm) {
+  const std::size_t z = zones_.zone_of(station);
+  if (shards_[z]->crashed) {
+    c_dropped_deltas_->inc();
+    return std::nullopt;
+  }
+  const std::size_t j = owner_or(bd_addr, z);
+  const bool changed = shards_[j]->db.set_present(bd_addr, station, at,
+                                                  rssi_dbm);
+  rehome(bd_addr, j);
+  trim_history();
+  return changed;
+}
+
+std::optional<bool> PartitionedLocationService::apply_absent(
+    std::uint64_t bd_addr, StationId station, SimTime at) {
+  const std::size_t z = zones_.zone_of(station);
+  if (shards_[z]->crashed) {
+    c_dropped_deltas_->inc();
+    return std::nullopt;
+  }
+  const std::size_t j = owner_or(bd_addr, z);
+  const bool changed = shards_[j]->db.set_absent(bd_addr, station, at);
+  rehome(bd_addr, j);
+  trim_history();
+  return changed;
+}
+
+void PartitionedLocationService::set_conflict_window(Duration w) {
+  for (auto& s : shards_) s->db.set_conflict_window(w);
+}
+
+void PartitionedLocationService::retire_station_claims(StationId station) {
+  for (auto& s : shards_) s->db.retire_station_claims(station);
+}
+
+// ---- lookups ----------------------------------------------------------------
+
+std::optional<StationId> PartitionedLocationService::piconet_of(
+    std::uint64_t bd_addr) const {
+  const auto it = owner_.find(bd_addr);
+  if (it == owner_.end()) return std::nullopt;
+  return shards_[it->second]->db.piconet_of(bd_addr);
+}
+
+std::optional<SimTime> PartitionedLocationService::present_since(
+    std::uint64_t bd_addr) const {
+  const auto it = owner_.find(bd_addr);
+  if (it == owner_.end()) return std::nullopt;
+  return shards_[it->second]->db.present_since(bd_addr);
+}
+
+std::size_t PartitionedLocationService::population_of(
+    StationId station) const {
+  return shards_[zones_.zone_of(station)]->db.population_of(station);
+}
+
+std::vector<std::uint64_t> PartitionedLocationService::devices_at(
+    StationId station) const {
+  return shards_[zones_.zone_of(station)]->db.devices_at(station);
+}
+
+std::optional<LocationDatabase::HistoricalFix>
+PartitionedLocationService::where_was(std::uint64_t bd_addr,
+                                      SimTime at) const {
+  // Per-shard candidates are each that shard's newest matching transition;
+  // the shared seq totally orders them, so the global max is exactly the
+  // row a single database's backwards walk would have stopped at.
+  const Transition* best = nullptr;
+  for (const auto& s : shards_) {
+    const Transition* t = s->db.last_transition_at(bd_addr, at);
+    if (t != nullptr && (best == nullptr || t->seq > best->seq)) best = t;
+  }
+  if (best == nullptr || !best->present) return std::nullopt;
+  return HistoricalFix{best->station, best->at};
+}
+
+std::vector<LocationDatabase::Transition>
+PartitionedLocationService::history() const {
+  std::vector<Transition> out;
+  out.reserve(history_size());
+  std::vector<std::size_t> idx(shards_.size(), 0);
+  for (;;) {
+    std::size_t pick = shards_.size();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const auto& h = shards_[k]->db.history();
+      if (idx[k] >= h.size()) continue;
+      if (pick == shards_.size() ||
+          h[idx[k]].seq < shards_[pick]->db.history()[idx[pick]].seq) {
+        pick = k;
+      }
+    }
+    if (pick == shards_.size()) break;
+    out.push_back(shards_[pick]->db.history()[idx[pick]++]);
+  }
+  return out;
+}
+
+std::size_t PartitionedLocationService::history_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->db.history_size();
+  return n;
+}
+
+// ---- internals --------------------------------------------------------------
+
+std::size_t PartitionedLocationService::owner_or(std::uint64_t bd_addr,
+                                                 std::size_t fallback) const {
+  const auto it = owner_.find(bd_addr);
+  return it != owner_.end() ? it->second : fallback;
+}
+
+void PartitionedLocationService::rehome(std::uint64_t bd_addr,
+                                        std::size_t j) {
+  LocationDatabase& db = shards_[j]->db;
+  const auto attributed = db.piconet_of(bd_addr);
+  if (attributed) {
+    const std::size_t want = zones_.zone_of(*attributed);
+    if (want != j) {
+      auto st = db.extract_device(bd_addr);
+      if (shards_[want]->crashed) {
+        // Backstop: a runner-up promotion targeting a crashed zone (its
+        // claims are retired at crash time, but a delta may race the
+        // crash). The zone's state is down, so the fix is dropped; the
+        // session stays homed where it was.
+        st.presence.reset();
+        db.adopt_device(bd_addr, std::move(st));
+      } else {
+        shards_[want]->db.adopt_device(bd_addr, std::move(st));
+        owner_[bd_addr] = want;
+        c_handoffs_->inc();
+        return;
+      }
+    }
+  }
+  // No move: record the owner if the device still has state here, drop the
+  // entry if nothing remains (absence erased the record, no session).
+  if (db.piconet_of(bd_addr) || db.userid_of(bd_addr)) {
+    owner_[bd_addr] = j;
+  } else {
+    owner_.erase(bd_addr);
+  }
+}
+
+void PartitionedLocationService::trim_history() {
+  // Global FIFO: evict the row with the globally smallest seq until the
+  // merged history fits. Identical eviction order to the single database.
+  while (history_size() > history_limit_) {
+    Shard* victim = nullptr;
+    for (auto& s : shards_) {
+      if (s->db.history_size() == 0) continue;
+      if (victim == nullptr ||
+          s->db.oldest_history_seq() < victim->db.oldest_history_seq()) {
+        victim = s.get();
+      }
+    }
+    victim->db.pop_oldest_history();
+  }
+}
+
+}  // namespace bips::core

@@ -1,0 +1,165 @@
+// The partitioned location service (ROADMAP item 2).
+//
+// The single LocationDatabase becomes N LocationShards, one per building
+// zone, with the zone seams computed by the same ZonePartition the sharded
+// simulator uses -- so service shards align with simulator shards and a
+// presence delta never crosses shards on ingest in the aligned
+// configuration.
+//
+// Routing invariant: a device's record lives on the shard of its *winning
+// attribution* (the station the database currently places it at). Mutations
+// are applied on the record's current owner shard -- so the arbitration
+// code in LocationDatabase runs unchanged against the full record, giving
+// bit-identical counters and history rows to the single-database path --
+// and the record is re-homed afterwards only if the attribution's zone
+// actually changed (a seam handoff).
+//
+// Byte-equivalence with a single database is engineered, not hoped for:
+//  * every shard stamps Transition::seq from one shared counter, so a k-way
+//    merge of the shard histories by seq reproduces the exact single-DB
+//    insertion order;
+//  * the global history bound is enforced by evicting from whichever shard
+//    holds the globally oldest row (min front seq), which is FIFO in seq
+//    order == single-DB FIFO;
+//  * all shards intern the same "db.*" counter cells in one registry, so
+//    the aggregate counters are the single-DB counters.
+//
+// Fault semantics: crash_shard(k) wipes zone k's slice (sessions, presence,
+// history rows homed there) and bumps its epoch; while crashed, presence
+// deltas *reported by* zone-k stations are refused (the caller must not ack
+// them -- the workstation's retransmit queue plus the post-restart
+// SyncRequest snapshot is what repairs the slice) and queries that must be
+// answered by zone k report zone-unavailable. Healthy zones are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/location_db.hpp"
+#include "src/core/zone_map.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::core {
+
+class PartitionedLocationService {
+ public:
+  using Transition = LocationDatabase::Transition;
+  using HistoricalFix = LocationDatabase::HistoricalFix;
+  using Stats = LocationDatabase::Stats;
+
+  /// `history_limit` bounds the *merged* history across all shards (the
+  /// single-database semantics). `registry` is where the shared "db.*" and
+  /// "svc.*" cells are interned; nullptr makes the service own one.
+  explicit PartitionedLocationService(std::size_t history_limit = 1024,
+                                      obs::MetricsRegistry* registry = nullptr,
+                                      ZonePartition zones = ZonePartition());
+
+  const ZonePartition& zones() const { return zones_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t zone_of(StationId station) const {
+    return zones_.zone_of(station);
+  }
+
+  // ---- shard lifecycle ---------------------------------------------------
+
+  /// Crash-stops zone k: its slice (sessions, presence and history rows
+  /// homed there) is lost, its epoch is bumped, and runner-up claims naming
+  /// zone-k stations are retired everywhere (a promotion must never move
+  /// state into a dead shard). Idempotent.
+  void crash_shard(std::size_t k);
+  /// Brings zone k back empty; the caller drives resync (SyncRequest).
+  void restart_shard(std::size_t k);
+  bool shard_crashed(std::size_t k) const { return shards_[k]->crashed; }
+  std::uint32_t shard_epoch(std::size_t k) const { return shards_[k]->epoch; }
+  /// True when the shard owning `station`'s zone is up.
+  bool zone_available(StationId station) const {
+    return !shards_[zones_.zone_of(station)]->crashed;
+  }
+
+  /// Full wipe (whole-server crash): every shard's slice is lost, every
+  /// epoch bumps. Counters survive, as with LocationDatabase::clear().
+  void clear();
+
+  // ---- sessions ----------------------------------------------------------
+
+  bool login(std::string userid, std::uint64_t bd_addr, SimTime at);
+  bool logout(std::uint64_t bd_addr);
+  bool logged_in(std::string_view userid) const;
+  std::optional<std::uint64_t> addr_of(std::string_view userid) const;
+  std::optional<std::string> userid_of(std::uint64_t bd_addr) const;
+  std::size_t session_count() const;
+
+  // ---- presence ingest ---------------------------------------------------
+
+  /// Applies a presence delta reported by `station`. Returns nullopt if the
+  /// reporting station's zone is crashed (delta refused: do NOT ack it),
+  /// otherwise whether the service state changed.
+  std::optional<bool> apply_present(std::uint64_t bd_addr, StationId station,
+                                    SimTime at, double rssi_dbm = 0.0);
+  std::optional<bool> apply_absent(std::uint64_t bd_addr, StationId station,
+                                   SimTime at);
+
+  void set_conflict_window(Duration w);
+  /// Fans out to every shard (a dead station's fallback claims may be held
+  /// by a record homed anywhere).
+  void retire_station_claims(StationId station);
+
+  // ---- lookups -----------------------------------------------------------
+
+  std::optional<StationId> piconet_of(std::uint64_t bd_addr) const;
+  std::optional<SimTime> present_since(std::uint64_t bd_addr) const;
+  /// Routed to `station`'s zone shard; empty while that zone is crashed
+  /// (callers gate on zone_available() to distinguish).
+  std::size_t population_of(StationId station) const;
+  std::vector<std::uint64_t> devices_at(StationId station) const;
+  /// Global max-seq transition at-or-before `at` across shards: exactly the
+  /// single-database answer, because seq is a shared total order.
+  std::optional<HistoricalFix> where_was(std::uint64_t bd_addr,
+                                         SimTime at) const;
+
+  /// The merged transition history, ascending by seq (== the order a single
+  /// database would have recorded). O(total * shards) merge; diagnostics
+  /// and harness use only.
+  std::vector<Transition> history() const;
+  std::size_t history_size() const;
+
+  Stats stats() const { return shards_[0]->db.stats(); }
+
+  /// Direct shard access for tests and per-shard grading.
+  const LocationDatabase& shard_db(std::size_t k) const {
+    return shards_[k]->db;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(obs::MetricsRegistry* registry);
+    LocationDatabase db;
+    bool crashed = false;
+    std::uint32_t epoch = 1;
+  };
+
+  /// Shard currently owning `bd_addr`'s record (session and/or presence);
+  /// falls back to `fallback` for unknown devices.
+  std::size_t owner_or(std::uint64_t bd_addr, std::size_t fallback) const;
+  /// After a mutation on shard `j`: moves the record to its attribution's
+  /// zone if that changed (seam handoff) and keeps owner_ consistent.
+  void rehome(std::uint64_t bd_addr, std::size_t j);
+  void trim_history();
+
+  ZonePartition zones_;
+  std::size_t history_limit_;
+  std::uint64_t next_seq_ = 0;  // shared Transition::seq source
+  // unique_ptr: LocationDatabase captures its own address in seq_source_
+  // (and the service hands out &next_seq_), so shards must never relocate.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::uint64_t, std::size_t> owner_;
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* c_handoffs_;        // svc.shard_handoffs
+  obs::Counter* c_dropped_deltas_;  // svc.deltas_dropped (crashed zone)
+};
+
+}  // namespace bips::core

@@ -27,34 +27,6 @@ constexpr unsigned kShardAddressShift = 20;
 /// Effectively-infinite domain edge for the outermost zones.
 constexpr double kOpenEnd = 1e18;
 
-/// The distinct room-centre x coordinates, ascending: the "columns" the
-/// zone partition slices between.
-std::vector<double> distinct_columns(const mobility::Building& b) {
-  std::vector<double> xs;
-  xs.reserve(b.room_count());
-  for (const auto& room : b.rooms()) xs.push_back(room.center.x);
-  std::sort(xs.begin(), xs.end());
-  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
-  return xs;
-}
-
-/// Seams between contiguous column bands: `shards` is clamped to the
-/// column count, bands get as-equal-as-possible column shares, and each
-/// seam sits exactly on the midpoint between its bands' border columns.
-std::vector<double> compute_seams(const mobility::Building& b,
-                                  std::size_t shards) {
-  BIPS_ASSERT(shards >= 1);
-  const std::vector<double> xs = distinct_columns(b);
-  const std::size_t s = std::min(shards, xs.size());
-  std::vector<double> seams;
-  seams.reserve(s - 1);
-  for (std::size_t k = 1; k < s; ++k) {
-    const std::size_t first_of_k = k * xs.size() / s;
-    seams.push_back((xs[first_of_k - 1] + xs[first_of_k]) / 2.0);
-  }
-  return seams;
-}
-
 sim::LookaheadInputs lookahead_inputs(const ShardedConfig& cfg,
                                       std::size_t shard_count) {
   sim::LookaheadInputs in;
@@ -81,8 +53,8 @@ ShardedBipsSimulation::ShardedBipsSimulation(mobility::Building building,
                                              ShardedConfig cfg)
     : cfg_(std::move(cfg)),
       building_(std::move(building)),
-      seams_(compute_seams(building_, cfg_.shards)),
-      group_(seams_.size() + 1),
+      zones_(ZonePartition::columns(building_, cfg_.shards)),
+      group_(zones_.zone_count()),
       rng_(cfg_.base.seed) {
   const std::size_t s = shard_count();
   std::string err;
@@ -122,7 +94,11 @@ ShardedBipsSimulation::ShardedBipsSimulation(mobility::Building building,
 
   // The server's endpoint is the first created on shard 0's LAN, so its
   // address is exactly shard 0's address base -- reachable from every zone
-  // through the uplink.
+  // through the uplink. Its location shards align with the simulator zones
+  // by default (service_zones == 0): the same ZonePartition::columns cut,
+  // so a delta ingested by simulator shard k is owned by location shard k.
+  cfg_.base.server.zones = cfg_.service_zones == 0 ? shard_count()
+                                                   : cfg_.service_zones;
   server_ = std::make_unique<BipsServer>(group_.shard(0), shards_[0]->lan,
                                          building_, cfg_.base.server);
 
@@ -148,17 +124,15 @@ ShardedBipsSimulation::ShardedBipsSimulation(mobility::Building building,
 
 std::size_t ShardedBipsSimulation::shard_of_room(
     mobility::RoomId room) const {
-  const double x = building_.room(room).center.x;
-  return static_cast<std::size_t>(
-      std::upper_bound(seams_.begin(), seams_.end(), x) - seams_.begin());
+  return zones_.zone_of(static_cast<StationId>(room));
 }
 
 double ShardedBipsSimulation::dom_lo(std::size_t k) const {
-  return k == 0 ? -kOpenEnd : seams_[k - 1];
+  return k == 0 ? -kOpenEnd : zones_.seams()[k - 1];
 }
 
 double ShardedBipsSimulation::dom_hi(std::size_t k) const {
-  return k + 1 == shard_count() ? kOpenEnd : seams_[k];
+  return k + 1 == shard_count() ? kOpenEnd : zones_.seams()[k];
 }
 
 std::size_t ShardedBipsSimulation::user_index(std::string_view userid) const {
@@ -341,7 +315,7 @@ std::optional<StationId> ShardedBipsSimulation::db_room(
     std::string_view userid) const {
   const std::size_t i = user_index(userid);
   const Replica& rep = *users_[i].replicas[owner_[i]];
-  return server_->db().piconet_of(rep.client->addr().raw());
+  return server_->locations().piconet_of(rep.client->addr().raw());
 }
 
 BipsClient& ShardedBipsSimulation::active_client(std::string_view userid) {
@@ -388,7 +362,8 @@ void ShardedBipsSimulation::sample_tracking() {
     if (!rep.client->logged_in()) continue;
     const mobility::RoomId truth = building_.nearest_room_within(
         rep.agent->position(), cfg_.base.coverage_radius_m);
-    const auto believed = server_->db().piconet_of(rep.client->addr().raw());
+    const auto believed =
+        server_->locations().piconet_of(rep.client->addr().raw());
     ++tracking_.samples;
     if (truth == mobility::kNoRoom) {
       believed ? ++tracking_.false_present : ++tracking_.agree_absent;

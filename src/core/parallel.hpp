@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/core/simulation.hpp"
+#include "src/core/zone_map.hpp"
 #include "src/sim/shard.hpp"
 
 namespace bips::core {
@@ -43,6 +44,12 @@ struct ShardedConfig {
   /// Requested zone count; clamped to the number of distinct room-centre
   /// x coordinates (a single-column building cannot be split).
   std::size_t shards = 4;
+  /// Location-service shard count. 0 (default) aligns the service with the
+  /// simulator zones -- same ZonePartition, so a presence delta ingested
+  /// by simulator shard k is owned by location shard k. Any other value
+  /// decouples the two (e.g. 1 = the classic single-database server under
+  /// a sharded simulator).
+  std::size_t service_zones = 0;
   /// Extra one-way latency of the inter-zone uplink switch hop. Only
   /// cross-zone datagrams pay it, and it -- not the intra-zone base
   /// latency -- is the LAN leg of the lookahead window, so it trades
@@ -198,8 +205,10 @@ class ShardedBipsSimulation {
 
   ShardedConfig cfg_;
   mobility::Building building_;
-  /// Seam x coordinates between adjacent zones (size shard_count - 1).
-  std::vector<double> seams_;
+  /// The zone partition (seams between adjacent zones and the
+  /// station -> zone table); shared shape with the server's location
+  /// shards when service_zones aligns.
+  ZonePartition zones_;
   sim::ShardGroup group_;
   Duration window_ = Duration(0);
   Rng rng_;  // master stream: construction-time forks only

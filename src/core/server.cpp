@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/zone_map.hpp"
 #include "src/util/log.hpp"
 
 namespace bips::core {
@@ -15,7 +16,9 @@ BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
       building_(building),
       topology_(building.to_graph()),
       paths_(topology_),  // the offline all-pairs precomputation
-      db_(cfg.history_limit, &sim.obs().metrics),
+      svc_(cfg.history_limit, &sim.obs().metrics,
+           ZonePartition::columns(building,
+                                  std::max<std::size_t>(cfg.zones, 1))),
       endpoint_(lan.create_endpoint()),
       tracer_(&sim.obs().tracer) {
   obs::MetricsRegistry& reg = sim.obs().metrics;
@@ -24,6 +27,7 @@ BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
   c_.logouts = &reg.counter("server.logouts");
   c_.presence_received = &reg.counter("server.presence_received");
   c_.presence_duplicates = &reg.counter("server.presence_duplicates");
+  c_.batches_received = &reg.counter("server.batches_received");
   c_.whereis_served = &reg.counter("server.whereis_served");
   c_.paths_served = &reg.counter("server.paths_served");
   c_.whoisin_served = &reg.counter("server.whoisin_served");
@@ -36,13 +40,16 @@ BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
   c_.malformed = &reg.counter("server.malformed");
   c_.crashes = &reg.counter("server.crashes");
   c_.restarts = &reg.counter("server.restarts");
+  c_.shard_crashes = &reg.counter("server.shard_crashes");
+  c_.shard_restarts = &reg.counter("server.shard_restarts");
   c_.syncs_received = &reg.counter("server.syncs_received");
   c_.sessions_restored = &reg.counter("server.sessions_restored");
   c_.presences_restored = &reg.counter("server.presences_restored");
   c_.resyncs_requested = &reg.counter("server.resyncs_requested");
   c_.queries = &reg.counter("server.queries");
+  c_.path_cache_hits = &reg.counter("server.path_cache_hits");
   reg.gauge("server.sessions").set_callback([this] {
-    return static_cast<double>(db_.session_count());
+    return static_cast<double>(svc_.session_count());
   });
   reg.gauge("server.subscriptions").set_callback([this] {
     return static_cast<double>(subscription_count());
@@ -77,12 +84,14 @@ void BipsServer::crash() {
   tracer_->flush();
   if (sweep_timer_) sweep_timer_->stop();
   // Everything in memory dies with the process. The registry survives:
-  // accounts live on disk in a real deployment.
-  db_.clear();
+  // accounts live on disk in a real deployment. The path cache is derived
+  // from the static building graph, not from state, so whether it survives
+  // is unobservable; it is kept.
+  svc_.clear();
   station_lan_.clear();
   last_presence_seq_.clear();
   last_heard_.clear();
-  subs_.clear();
+  hub_.drop_remote();
   resync_pending_.clear();
   synced_.clear();
   BIPS_WARN(sim_.now(), "server: crashed (epoch %u dies)", epoch_);
@@ -106,6 +115,32 @@ void BipsServer::restart() {
             epoch_);
 }
 
+void BipsServer::crash_shard(std::size_t k) {
+  if (crashed_ || k >= svc_.shard_count() || svc_.shard_crashed(k)) return;
+  svc_.crash_shard(k);
+  c_.shard_crashes->inc();
+  BIPS_WARN(sim_.now(), "server: location shard %zu crashed, zone slice lost",
+            k);
+}
+
+void BipsServer::restart_shard(std::size_t k) {
+  if (crashed_ || k >= svc_.shard_count() || !svc_.shard_crashed(k)) return;
+  svc_.restart_shard(k);
+  c_.shard_restarts->inc();
+  // Zone-scoped resync: only zone-k workstations hold the lost slice, so
+  // only they are asked for snapshots (contrast restart(), which must
+  // broadcast because the whole routing table died too). The pending map
+  // keeps re-asking on every sign of life until each snapshot lands.
+  const SimTime now = sim_.now();
+  for (const auto& [station, addr] : station_lan_) {
+    if (svc_.zone_of(station) != k) continue;
+    resync_pending_[station] = now;
+    request_resync(addr);
+  }
+  BIPS_WARN(now, "server: location shard %zu restarted (epoch %u), "
+            "zone resync requested", k, svc_.shard_epoch(k));
+}
+
 void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
   if (crashed_) return;  // a dead machine hears nothing
   auto msg = proto::decode(data);
@@ -120,6 +155,8 @@ void BipsServer::on_datagram(net::Address from, const net::Payload& data) {
         if constexpr (std::is_same_v<T, proto::LoginRequest> ||
                       std::is_same_v<T, proto::LogoutRequest> ||
                       std::is_same_v<T, proto::PresenceUpdate> ||
+                      std::is_same_v<T, proto::PresenceBatch> ||
+                      std::is_same_v<T, proto::Query> ||
                       std::is_same_v<T, proto::WhereIsRequest> ||
                       std::is_same_v<T, proto::PathRequest> ||
                       std::is_same_v<T, proto::WhoIsInRequest> ||
@@ -140,17 +177,25 @@ void BipsServer::handle(net::Address from, const proto::LoginRequest& m) {
   rep.bd_addr = m.bd_addr;
   // Idempotent re-login of the same binding succeeds (the handheld may
   // retry if the reply was slow to come back through the piconet).
-  const auto existing = db_.addr_of(m.userid);
+  const auto existing = svc_.addr_of(m.userid);
   if (existing && *existing == m.bd_addr) {
     rep.ok = true;
   } else if (!registry_.authenticate(m.userid, m.password)) {
     rep.ok = false;
     rep.reason = "bad credentials";
-  } else if (!db_.login(m.userid, m.bd_addr, sim_.now())) {
+  } else if (!svc_.login(m.userid, m.bd_addr, sim_.now())) {
     rep.ok = false;
     rep.reason = "userid or device already bound";
   } else {
     rep.ok = true;
+    // The device was typically discovered (and its presence recorded)
+    // before the user authenticated; that pre-login delta had no watchable
+    // identity. Now that it does, tell subscribers the user is here --
+    // otherwise a user who logs in and never moves is invisible to the
+    // subscription API that replaced polling.
+    if (const auto station = svc_.piconet_of(m.bd_addr)) {
+      notify_subscribers(m.bd_addr, /*entered=*/true, *station, sim_.now());
+    }
   }
   (rep.ok ? c_.logins_ok : c_.logins_failed)->inc();
   BIPS_DEBUG(sim_.now(), "server: login %s for %s -> %s",
@@ -162,17 +207,17 @@ void BipsServer::handle(net::Address from, const proto::LoginRequest& m) {
 void BipsServer::handle(net::Address from, const proto::LogoutRequest& m) {
   proto::LogoutReply rep;
   rep.bd_addr = m.bd_addr;
-  const auto bound = db_.userid_of(m.bd_addr);
+  const auto bound = svc_.userid_of(m.bd_addr);
   rep.ok = bound.has_value() && *bound == m.userid;
   if (rep.ok) {
     // Tell subscribers the user vanished before the record disappears.
-    const auto station = db_.piconet_of(m.bd_addr);
+    const auto station = svc_.piconet_of(m.bd_addr);
     if (station) {
       notify_subscribers(m.bd_addr, /*entered=*/false, *station, sim_.now());
     }
-    rep.ok = db_.logout(m.bd_addr);
+    rep.ok = svc_.logout(m.bd_addr);
     // A departing user's own subscriptions die with the session.
-    for (auto& [target, sub_set] : subs_) sub_set.erase(m.bd_addr);
+    hub_.drop_subscriber(m.bd_addr);
     c_.logouts->inc();
   }
   reply(from, rep);
@@ -197,11 +242,12 @@ void BipsServer::handle(net::Address from, const proto::SyncSnapshot& m) {
   // attests the binding existed, nothing more.
   for (const auto& s : m.sessions) {
     if (registry_.by_userid(s.userid) == nullptr) continue;
-    if (db_.userid_of(s.bd_addr) || db_.addr_of(s.userid)) continue;
-    if (db_.login(s.userid, s.bd_addr, now)) c_.sessions_restored->inc();
+    if (svc_.userid_of(s.bd_addr) || svc_.addr_of(s.userid)) continue;
+    if (svc_.login(s.userid, s.bd_addr, now)) c_.sessions_restored->inc();
   }
   for (const auto& p : m.present) {
-    if (db_.set_present(p.bd_addr, m.workstation, now, p.rssi_dbm)) {
+    if (svc_.apply_present(p.bd_addr, m.workstation, now, p.rssi_dbm)
+            .value_or(false)) {
       c_.presences_restored->inc();
       notify_subscribers(p.bd_addr, /*entered=*/true, m.workstation, now);
     }
@@ -229,9 +275,9 @@ void BipsServer::note_station_alive(StationId station, net::Address from) {
   const auto pending = resync_pending_.find(station);
   if (pending != resync_pending_.end()) {
     // We expired this station's records but it was merely unreachable (or
-    // restarted): its deltas all predate the expiry, so only a snapshot can
-    // repopulate the database. Keep asking (throttled) until one arrives;
-    // handle(SyncSnapshot) clears the flag.
+    // restarted, or its shard did): its deltas all predate the loss, so
+    // only a snapshot can repopulate the database. Keep asking (throttled)
+    // until one arrives; handle(SyncSnapshot) clears the flag.
     if (sim_.now() - pending->second >= cfg_.sweep_period) {
       pending->second = sim_.now();
       request_resync(from);
@@ -249,14 +295,15 @@ void BipsServer::sweep_dead_stations() {
     last_heard_.erase(station);
     last_presence_seq_.erase(station);  // a restarted station starts fresh
     resync_pending_.try_emplace(station, SimTime::zero());
-    db_.retire_station_claims(station);
+    svc_.retire_station_claims(station);
     c_.stations_expired->inc();
-    for (const std::uint64_t addr : db_.devices_at(station)) {
-      // set_absent promotes a runner-up claim if an overlapping station
-      // still sees the device; otherwise the record is cleared.
-      if (db_.set_absent(addr, station, now)) {
+    for (const std::uint64_t addr : svc_.devices_at(station)) {
+      // apply_absent promotes a runner-up claim if an overlapping station
+      // still sees the device; otherwise the record is cleared. (A refusal
+      // cannot happen here: devices_at answered, so the zone is up.)
+      if (svc_.apply_absent(addr, station, now).value_or(false)) {
         c_.presences_expired->inc();
-        const auto new_station = db_.piconet_of(addr);
+        const auto new_station = svc_.piconet_of(addr);
         notify_subscribers(addr, new_station.has_value(),
                            new_station.value_or(station), now);
       }
@@ -266,41 +313,66 @@ void BipsServer::sweep_dead_stations() {
   }
 }
 
+bool BipsServer::ingest_presence(net::Address from,
+                                 const proto::PresenceUpdate& m) {
+  (void)from;
+  // Reliability: deduplicate retransmissions. Duplicates are ackable (the
+  // cumulative ack re-tells the sender where the stream stands).
+  if (m.seq != 0) {
+    const auto it = last_presence_seq_.find(m.workstation);
+    if (it != last_presence_seq_.end() && m.seq <= it->second) {
+      c_.presence_duplicates->inc();
+      return true;
+    }
+  }
+  const SimTime at(m.timestamp_ns);
+  const std::optional<bool> changed =
+      m.present ? svc_.apply_present(m.bd_addr, m.workstation, at, m.rssi_dbm)
+                : svc_.apply_absent(m.bd_addr, m.workstation, at);
+  if (!changed) {
+    // The zone's shard is down. The delta is refused and must NOT be
+    // acked and must not advance the stream: the workstation's retransmit
+    // queue holds it until the restarted shard's SyncSnapshot (which
+    // clears the queue) or until the shard accepts the retransmission.
+    return false;
+  }
+  if (m.seq != 0) last_presence_seq_[m.workstation] = m.seq;
+  if (*changed) notify_subscribers(m.bd_addr, m.present, m.workstation, at);
+  return true;
+}
+
 void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {
   c_.presence_received->inc();
   // Learn which LAN address serves this station (used for pushes); any
   // traffic proves liveness and may trigger a pending resync.
   note_station_alive(m.workstation, from);
+  if (ingest_presence(from, m) && m.seq != 0) {
+    reply(from, proto::PresenceAck{m.workstation, ackable_seq(m.workstation),
+                                   epoch_});
+  }
+}
 
-  // Reliability: deduplicate retransmissions, acknowledge cumulatively.
-  if (m.seq != 0) {
-    auto& last = last_presence_seq_[m.workstation];
-    if (m.seq <= last) {
-      c_.presence_duplicates->inc();
-      reply(from, proto::PresenceAck{m.workstation, last, epoch_});
-      return;
-    }
-    last = m.seq;
+void BipsServer::handle(net::Address from, const proto::PresenceBatch& m) {
+  c_.batches_received->inc();
+  note_station_alive(m.workstation, from);
+  bool ackable = false;
+  bool sequenced = false;
+  for (const auto& u : m.updates) {
+    c_.presence_received->inc();
+    sequenced = sequenced || u.seq != 0;
+    if (ingest_presence(from, u)) ackable = true;
   }
-
-  const SimTime at(m.timestamp_ns);
-  bool changed;
-  if (m.present) {
-    changed = db_.set_present(m.bd_addr, m.workstation, at, m.rssi_dbm);
-  } else {
-    changed = db_.set_absent(m.bd_addr, m.workstation, at);
-  }
-  if (changed) {
-    notify_subscribers(m.bd_addr, m.present, m.workstation, at);
-  }
-  if (m.seq != 0) {
-    reply(from, proto::PresenceAck{m.workstation, m.seq, epoch_});
+  // One cumulative ack for the whole batch; refused entries sit above the
+  // acked seq and stay queued on the workstation.
+  if (ackable && sequenced) {
+    reply(from, proto::PresenceAck{m.workstation, ackable_seq(m.workstation),
+                                   epoch_});
   }
 }
 
 bool BipsServer::push_to_device(std::uint64_t bd_addr,
                                 const proto::Message& m) {
-  const auto station = db_.piconet_of(bd_addr);
+  const auto station = svc_.piconet_of(bd_addr);
   if (!station) return false;
   const auto it = station_lan_.find(*station);
   if (it == station_lan_.end()) return false;
@@ -310,21 +382,27 @@ bool BipsServer::push_to_device(std::uint64_t bd_addr,
 
 void BipsServer::notify_subscribers(std::uint64_t bd_addr, bool entered,
                                     StationId station, SimTime at) {
-  const auto userid = db_.userid_of(bd_addr);
+  const auto userid = svc_.userid_of(bd_addr);
   if (!userid) return;  // pre-login devices have no watchable identity
   const UserRecord* rec = registry_.by_userid(*userid);
   if (rec == nullptr) return;
-  const auto it = subs_.find(*userid);
-  if (it == subs_.end()) return;
-  for (const std::uint64_t subscriber : it->second) {
-    proto::MovementEvent ev;
-    ev.subscriber_bd_addr = subscriber;
-    ev.target_user = rec->name;
-    ev.entered = entered;
-    ev.room = building_.room(station).name;
-    ev.timestamp_ns = at.ns();
-    if (push_to_device(subscriber, ev)) c_.events_pushed->inc();
-  }
+  SubscriptionHub::Event ev;
+  ev.user = rec->name;
+  ev.entered = entered;
+  ev.station = station;
+  ev.room = building_.room(station).name;
+  ev.at = at;
+  hub_.publish(*userid, ev,
+               [this](std::uint64_t subscriber,
+                      const SubscriptionHub::Event& e) {
+                 proto::MovementEvent mev;
+                 mev.subscriber_bd_addr = subscriber;
+                 mev.target_user = e.user;
+                 mev.entered = e.entered;
+                 mev.room = e.room;
+                 mev.timestamp_ns = e.at.ns();
+                 if (push_to_device(subscriber, mev)) c_.events_pushed->inc();
+               });
 }
 
 QueryStatus BipsServer::resolve_target(std::string_view requester_userid,
@@ -342,67 +420,16 @@ QueryStatus BipsServer::resolve_target(std::string_view requester_userid,
   }
 
   // "BIPS verifies that the target mobile user is logged in."
-  const auto addr = db_.addr_of(target->userid);
+  const auto addr = svc_.addr_of(target->userid);
   if (!addr) return QueryStatus::kNotLoggedIn;
 
-  const auto station = db_.piconet_of(*addr);
+  const auto station = svc_.piconet_of(*addr);
   if (!station) return QueryStatus::kLocationUnknown;
   *target_station = *station;
   return QueryStatus::kOk;
 }
 
 // ----------------------------------------------- unified query API ---
-
-BipsServer::Query BipsServer::Query::where_is(std::string_view requester,
-                                              std::string_view target) {
-  Query q;
-  q.kind = Kind::kWhereIs;
-  q.requester = std::string(requester);
-  q.target = std::string(target);
-  return q;
-}
-
-BipsServer::Query BipsServer::Query::path_to(std::string_view requester,
-                                             std::string_view target,
-                                             StationId from_station) {
-  Query q;
-  q.kind = Kind::kPathTo;
-  q.requester = std::string(requester);
-  q.target = std::string(target);
-  q.from_station = from_station;
-  return q;
-}
-
-BipsServer::Query BipsServer::Query::who_is_in(std::string_view requester,
-                                               std::string_view room) {
-  Query q;
-  q.kind = Kind::kWhoIsIn;
-  q.requester = std::string(requester);
-  q.target = std::string(room);
-  return q;
-}
-
-BipsServer::Query BipsServer::Query::where_was(std::string_view requester,
-                                               std::string_view target,
-                                               SimTime at) {
-  Query q;
-  q.kind = Kind::kWhereWas;
-  q.requester = std::string(requester);
-  q.target = std::string(target);
-  q.at = at;
-  return q;
-}
-
-BipsServer::Query BipsServer::Query::history_since(std::string_view requester,
-                                                   std::string_view target,
-                                                   SimTime since) {
-  Query q;
-  q.kind = Kind::kHistorySince;
-  q.requester = std::string(requester);
-  q.target = std::string(target);
-  q.at = since;
-  return q;
-}
 
 BipsServer::QueryResult BipsServer::query(const Query& q) const {
   QueryResult res;
@@ -424,17 +451,31 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
       StationId target_station = kNoStation;
       res.status = resolve_target(q.requester, q.target, &target_station);
       if (res.status != QueryStatus::kOk) break;
-      const auto path = paths_.path(q.from_station, target_station);
-      if (path.empty() && q.from_station != target_station) {
-        res.status = QueryStatus::kUnreachable;
-        break;
+      // The graph never changes at runtime, so a materialised answer is
+      // valid forever; "everyone asks the way to the same meeting room"
+      // stops re-walking the hop list and re-allocating its names.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(q.from_station) << 32) | target_station;
+      auto it = path_cache_.find(key);
+      if (it != path_cache_.end()) {
+        c_.path_cache_hits->inc();
+      } else {
+        const auto path = paths_.path(q.from_station, target_station);
+        if (path.empty() && q.from_station != target_station) {
+          res.status = QueryStatus::kUnreachable;
+          break;
+        }
+        CachedPath entry;
+        entry.rooms.reserve(path.size());
+        for (const auto node : path) {
+          entry.rooms.push_back(
+              building_.room(static_cast<mobility::RoomId>(node)).name);
+        }
+        entry.distance = paths_.distance(q.from_station, target_station);
+        it = path_cache_.emplace(key, std::move(entry)).first;
       }
-      res.rooms.reserve(path.size());
-      for (const auto node : path) {
-        res.rooms.push_back(
-            building_.room(static_cast<mobility::RoomId>(node)).name);
-      }
-      res.distance = paths_.distance(q.from_station, target_station);
+      res.rooms = it->second.rooms;
+      res.distance = it->second.distance;
       break;
     }
 
@@ -442,6 +483,12 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
       const auto room = building_.find(q.target);
       if (!room) {
         res.status = QueryStatus::kUnknownUser;  // unknown *room*, same family
+        break;
+      }
+      if (!svc_.zone_available(*room)) {
+        // The shard owning this room's zone is down; a healthy zone's
+        // answer stays correct, this one is honestly unavailable.
+        res.status = QueryStatus::kZoneUnavailable;
         break;
       }
       const UserRecord* requester = nullptr;
@@ -452,8 +499,8 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
           break;
         }
       }
-      for (const std::uint64_t addr : db_.devices_at(*room)) {
-        const auto userid = db_.userid_of(addr);
+      for (const std::uint64_t addr : svc_.devices_at(*room)) {
+        const auto userid = svc_.userid_of(addr);
         if (!userid) continue;
         const UserRecord* target = registry_.by_userid(*userid);
         if (target == nullptr) continue;
@@ -483,13 +530,14 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
           break;
         }
       }
-      const auto addr = db_.addr_of(target->userid);
+      const auto addr = svc_.addr_of(target->userid);
       if (!addr) {
         res.status = QueryStatus::kNotLoggedIn;
         break;
       }
+      const SimTime at(q.at_ns);
       if (q.kind == Query::Kind::kWhereWas) {
-        const auto fix = db_.where_was(*addr, q.at);
+        const auto fix = svc_.where_was(*addr, at);
         res.was_present = fix.has_value();
         if (fix) {
           res.room = building_.room(fix->station).name;
@@ -497,9 +545,10 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
         }
       } else {
         // Every recorded transition of the device at or after `at`, oldest
-        // first (the bounded history may have evicted older entries).
-        for (const auto& t : db_.history()) {
-          if (t.bd_addr != *addr || t.at < q.at) continue;
+        // first: the shard histories merged back into global seq order
+        // (the bounded history may have evicted older entries).
+        for (const auto& t : svc_.history()) {
+          if (t.bd_addr != *addr || t.at < at) continue;
           res.visits.push_back(QueryResult::Visit{
               building_.room(t.station).name, t.present, t.at});
         }
@@ -515,92 +564,33 @@ BipsServer::QueryResult BipsServer::query(const Query& q) const {
   return res;
 }
 
-// ------------------------------ deprecated wrappers over query() ------
-
-proto::WhereIsReply BipsServer::where_is(std::string_view requester_userid,
-                                         std::string_view target_name) const {
-  const QueryResult r = query(Query::where_is(requester_userid, target_name));
-  proto::WhereIsReply rep;
-  rep.status = r.status;
-  rep.room = r.room;
-  return rep;
-}
-
-proto::PathReply BipsServer::path_to(std::string_view requester_userid,
-                                     std::string_view target_name,
-                                     StationId from_station) const {
-  const QueryResult r =
-      query(Query::path_to(requester_userid, target_name, from_station));
-  proto::PathReply rep;
-  rep.status = r.status;
-  rep.rooms = r.rooms;
-  rep.distance = r.distance;
-  return rep;
-}
-
-proto::WhoIsInReply BipsServer::who_is_in(std::string_view requester_userid,
-                                          std::string_view room_name) const {
-  const QueryResult r =
-      query(Query::who_is_in(requester_userid, room_name));
-  proto::WhoIsInReply rep;
-  rep.status = r.status;
-  rep.users = r.users;
-  return rep;
-}
-
-proto::HistoryReply BipsServer::where_was(std::string_view requester_userid,
-                                          std::string_view target_name,
-                                          SimTime at) const {
-  const QueryResult r =
-      query(Query::where_was(requester_userid, target_name, at));
-  proto::HistoryReply rep;
-  rep.status = r.status;
-  rep.was_present = r.was_present;
-  if (r.was_present) {
-    rep.room = r.room;
-    rep.since_ns = r.since.ns();
-  }
-  return rep;
-}
-
-BipsServer::Stats BipsServer::stats() const {
-  Stats s;
-  s.logins_ok = c_.logins_ok->value();
-  s.logins_failed = c_.logins_failed->value();
-  s.logouts = c_.logouts->value();
-  s.presence_received = c_.presence_received->value();
-  s.presence_duplicates = c_.presence_duplicates->value();
-  s.whereis_served = c_.whereis_served->value();
-  s.paths_served = c_.paths_served->value();
-  s.whoisin_served = c_.whoisin_served->value();
-  s.history_served = c_.history_served->value();
-  s.subscriptions_served = c_.subscriptions_served->value();
-  s.events_pushed = c_.events_pushed->value();
-  s.heartbeats = c_.heartbeats->value();
-  s.stations_expired = c_.stations_expired->value();
-  s.presences_expired = c_.presences_expired->value();
-  s.malformed = c_.malformed->value();
-  s.crashes = c_.crashes->value();
-  s.restarts = c_.restarts->value();
-  s.syncs_received = c_.syncs_received->value();
-  s.sessions_restored = c_.sessions_restored->value();
-  s.presences_restored = c_.presences_restored->value();
-  s.resyncs_requested = c_.resyncs_requested->value();
-  return s;
-}
-
 std::size_t BipsServer::subscription_count() const {
-  std::size_t n = 0;
-  for (const auto& [target, sub_set] : subs_) n += sub_set.size();
-  return n;
+  return hub_.remote_watch_count() + hub_.local_count();
+}
+
+// ------------------------------------------------- wire handlers ------
+
+void BipsServer::handle(net::Address from, const proto::Query& m) {
+  // The routable form of query(): the requester names itself by userid and
+  // must hold a live session (an empty requester is the system operator --
+  // LAN-attached tooling, all rights).
+  QueryResult res;
+  if (!m.requester.empty() && !svc_.logged_in(m.requester)) {
+    res.status = QueryStatus::kAccessDenied;
+  } else {
+    res = query(m);
+  }
+  reply(from, res);
 }
 
 void BipsServer::handle(net::Address from, const proto::WhoIsInRequest& m) {
   c_.whoisin_served->inc();
-  const auto requester = db_.userid_of(m.requester_bd_addr);
+  const auto requester = svc_.userid_of(m.requester_bd_addr);
   proto::WhoIsInReply rep;
   if (requester) {
-    rep = who_is_in(*requester, m.room);
+    const QueryResult r = query(Query::who_is_in(*requester, m.room));
+    rep.status = r.status;
+    rep.users = r.users;
   } else {
     rep.status = QueryStatus::kAccessDenied;
   }
@@ -610,10 +600,17 @@ void BipsServer::handle(net::Address from, const proto::WhoIsInRequest& m) {
 
 void BipsServer::handle(net::Address from, const proto::HistoryRequest& m) {
   c_.history_served->inc();
-  const auto requester = db_.userid_of(m.requester_bd_addr);
+  const auto requester = svc_.userid_of(m.requester_bd_addr);
   proto::HistoryReply rep;
   if (requester) {
-    rep = where_was(*requester, m.target_user, SimTime(m.at_time_ns));
+    const QueryResult r = query(
+        Query::where_was(*requester, m.target_user, SimTime(m.at_time_ns)));
+    rep.status = r.status;
+    rep.was_present = r.was_present;
+    if (r.was_present) {
+      rep.room = r.room;
+      rep.since_ns = r.since.ns();
+    }
   } else {
     rep.status = QueryStatus::kAccessDenied;
   }
@@ -626,7 +623,7 @@ void BipsServer::handle(net::Address from, const proto::SubscribeRequest& m) {
   proto::SubscribeReply rep;
   rep.query_id = m.query_id;
 
-  const auto requester_id = db_.userid_of(m.requester_bd_addr);
+  const auto requester_id = svc_.userid_of(m.requester_bd_addr);
   const UserRecord* requester =
       requester_id ? registry_.by_userid(*requester_id) : nullptr;
   const UserRecord* target = registry_.by_name(m.target_user);
@@ -636,29 +633,38 @@ void BipsServer::handle(net::Address from, const proto::SubscribeRequest& m) {
              !registry_.can_locate(*requester, *target)) {
     rep.status = QueryStatus::kAccessDenied;
   } else if (m.unsubscribe) {
-    subs_[target->userid].erase(m.requester_bd_addr);
+    hub_.unwatch(target->userid, m.requester_bd_addr);
   } else {
-    subs_[target->userid].insert(m.requester_bd_addr);
+    hub_.watch(target->userid, m.requester_bd_addr);
   }
   reply(from, rep);
 }
 
 void BipsServer::handle(net::Address from, const proto::WhereIsRequest& m) {
   c_.whereis_served->inc();
-  const auto requester = db_.userid_of(m.requester_bd_addr);
-  proto::WhereIsReply rep =
-      requester ? where_is(*requester, m.target_user)
-                : proto::WhereIsReply{0, QueryStatus::kAccessDenied, ""};
+  const auto requester = svc_.userid_of(m.requester_bd_addr);
+  proto::WhereIsReply rep;
+  if (requester) {
+    const QueryResult r = query(Query::where_is(*requester, m.target_user));
+    rep.status = r.status;
+    rep.room = r.room;
+  } else {
+    rep.status = QueryStatus::kAccessDenied;
+  }
   rep.query_id = m.query_id;
   reply(from, rep);
 }
 
 void BipsServer::handle(net::Address from, const proto::PathRequest& m) {
   c_.paths_served->inc();
-  const auto requester = db_.userid_of(m.requester_bd_addr);
+  const auto requester = svc_.userid_of(m.requester_bd_addr);
   proto::PathReply rep;
   if (requester) {
-    rep = path_to(*requester, m.target_user, m.from_room);
+    const QueryResult r =
+        query(Query::path_to(*requester, m.target_user, m.from_room));
+    rep.status = r.status;
+    rep.rooms = r.rooms;
+    rep.distance = r.distance;
   } else {
     rep.status = QueryStatus::kAccessDenied;
   }

@@ -1,9 +1,11 @@
 // The BIPS central server.
 //
-// Owns the location database, the user registry, and the building topology
-// with its offline all-pairs shortest paths ("the computation of the
-// shortest path has no impact on BIPS online activities"). Serves the LAN:
-// login/logout relays, presence deltas, and the spatio-temporal queries.
+// Owns the partitioned location service (one LocationShard per building
+// zone), the user registry, and the building topology with its offline
+// all-pairs shortest paths ("the computation of the shortest path has no
+// impact on BIPS online activities"). Serves the LAN: login/logout relays,
+// presence deltas (single or batched), the unified spatio-temporal Query
+// API, and streaming movement subscriptions.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +13,11 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
-#include "src/core/location_db.hpp"
+#include "src/core/location_service.hpp"
 #include "src/core/registry.hpp"
+#include "src/core/subscriptions.hpp"
 #include "src/graph/all_pairs.hpp"
 #include "src/mobility/building.hpp"
 #include "src/net/lan.hpp"
@@ -26,6 +30,12 @@ class BipsServer {
  public:
   struct Config {
     std::size_t history_limit = 4096;
+    /// Location shards: the building is cut into this many column-band
+    /// zones (clamped to the distinct-column count) and each zone's slice
+    /// of the location database lives on its own shard. 1 = the classic
+    /// single-database server. Sharded simulations align this with the
+    /// simulator's zone count so deltas never cross shards on ingest.
+    std::size_t zones = 1;
     /// Failure detector: a workstation silent (no heartbeat, no presence
     /// traffic) for this long is presumed crashed and every presence record
     /// attributed to it is expired -- a dead station can never send its own
@@ -42,9 +52,9 @@ class BipsServer {
   net::Address address() const { return endpoint_.address(); }
 
   /// Fault injection: the server dies -- every in-memory structure
-  /// (sessions, presence, history, routing, subscriptions) is lost and all
-  /// LAN traffic is ignored until restart(). The user registry survives
-  /// (accounts live on disk in a real deployment).
+  /// (sessions, presence, history, routing, remote subscriptions) is lost
+  /// and all LAN traffic is ignored until restart(). The user registry
+  /// survives (accounts live on disk in a real deployment).
   void crash();
   /// Comes back with the next epoch and broadcasts a SyncRequest so the
   /// workstations resynchronise the location database in one round trip
@@ -56,128 +66,55 @@ class BipsServer {
   /// workstations can detect restarts even under LAN loss.
   std::uint32_t epoch() const { return epoch_; }
 
+  /// Partial fault injection: one location shard dies. Only zone k's slice
+  /// is lost; presence deltas reported by zone-k stations are refused
+  /// (unacked -- the workstations' retransmit queues hold them) and
+  /// who-is-in queries on zone-k rooms answer zone-unavailable. Every
+  /// other zone keeps answering correctly.
+  void crash_shard(std::size_t k);
+  /// Brings shard k back empty and solicits SyncSnapshots from exactly the
+  /// zone-k workstations (zone-scoped unicast SyncRequests, retried via
+  /// the pending-resync loop until each snapshot lands).
+  void restart_shard(std::size_t k);
+  bool shard_crashed(std::size_t k) const { return svc_.shard_crashed(k); }
+
   UserRegistry& registry() { return registry_; }
   const UserRegistry& registry() const { return registry_; }
-  LocationDatabase& db() { return db_; }
-  const LocationDatabase& db() const { return db_; }
+  /// The partitioned location service (sessions, presence, history).
+  PartitionedLocationService& locations() { return svc_; }
+  const PartitionedLocationService& locations() const { return svc_; }
+  /// Streaming movement subscriptions; in-process observers attach here.
+  SubscriptionHub& subscriptions() { return hub_; }
   const graph::Graph& topology() const { return topology_; }
   const graph::AllPairsPaths& paths() const { return paths_; }
   const mobility::Building& building() const { return building_; }
 
   // ---- unified spatio-temporal query API -------------------------------
   //
-  // One entry point for every lookup the paper's service offers. A Query
-  // names the requester (empty = system operator, all rights), a kind and
-  // that kind's operands; the QueryResult carries the union of the reply
-  // fields, with `status` deciding which are meaningful. The wire handlers
-  // and the deprecated per-kind accessors below all route through query().
-  struct Query {
-    enum class Kind : std::uint8_t {
-      kWhereIs,       // current room of user `target`
-      kPathTo,        // shortest path from `from_station` to `target`
-      kWhoIsIn,       // users currently in room `target`
-      kWhereWas,      // room of `target` at instant `at`
-      kHistorySince,  // transitions of `target` at or after `at`
-    };
+  // The one and only lookup surface. A Query names the requester (empty =
+  // system operator, all rights), a kind and that kind's operands; the
+  // QueryResult carries the union of the reply fields, with `status`
+  // deciding which are meaningful. The wire handlers (legacy request
+  // types and the routable proto::Query datagram) all route through
+  // query().
+  using Query = proto::Query;
+  using QueryResult = proto::QueryResult;
 
-    Kind kind = Kind::kWhereIs;
-    std::string requester;  // userid; empty = system operator
-    std::string target;     // user display name, or room name for kWhoIsIn
-    StationId from_station = kNoStation;  // kPathTo
-    SimTime at;                           // kWhereWas / kHistorySince
-
-    static Query where_is(std::string_view requester,
-                          std::string_view target);
-    static Query path_to(std::string_view requester, std::string_view target,
-                         StationId from_station);
-    static Query who_is_in(std::string_view requester,
-                           std::string_view room);
-    static Query where_was(std::string_view requester,
-                           std::string_view target, SimTime at);
-    static Query history_since(std::string_view requester,
-                               std::string_view target, SimTime since);
-  };
-
-  struct QueryResult {
-    proto::QueryStatus status = proto::QueryStatus::kOk;
-    bool ok() const { return status == proto::QueryStatus::kOk; }
-
-    std::string room;                // kWhereIs / kWhereWas
-    std::vector<std::string> users;  // kWhoIsIn (sorted)
-    std::vector<std::string> rooms;  // kPathTo (route, in walking order)
-    double distance = 0.0;           // kPathTo (metres)
-    bool was_present = false;        // kWhereWas: the fix existed
-    SimTime since;                   // kWhereWas: attribution start
-
-    struct Visit {
-      std::string room;
-      bool entered = false;  // false: the transition was a departure
-      SimTime at;
-    };
-    std::vector<Visit> visits;  // kHistorySince, chronological
-  };
-
-  /// Executes `q` against the live database. Counts under "server.queries"
+  /// Executes `q` against the live service. Counts under "server.queries"
   /// and emits one server.query trace record carrying kind and status.
   QueryResult query(const Query& q) const;
 
-  // ---- deprecated per-kind accessors (thin wrappers over query()) ------
-
-  /// Answers "where is <target_name>?" on behalf of `requester_userid`.
-  /// An empty requester is the system operator (all rights).
-  proto::WhereIsReply where_is(std::string_view requester_userid,
-                               std::string_view target_name) const;
-
-  /// Shortest path from `from_station` to the target's current room.
-  proto::PathReply path_to(std::string_view requester_userid,
-                           std::string_view target_name,
-                           StationId from_station) const;
-
-  /// Everyone currently in `room_name` whom the requester may locate.
-  proto::WhoIsInReply who_is_in(std::string_view requester_userid,
-                                std::string_view room_name) const;
-
-  /// Where was the target at `at` (temporal query over the history)?
-  proto::HistoryReply where_was(std::string_view requester_userid,
-                                std::string_view target_name,
-                                SimTime at) const;
-
-  /// Number of live movement subscriptions (test/metrics hook).
+  /// Number of live movement subscriptions, remote and in-process
+  /// (test/metrics hook).
   std::size_t subscription_count() const;
-
-  /// Deprecated accessor shape kept for existing call sites; the counters
-  /// live in the simulator's MetricsRegistry under "server.*" and stats()
-  /// materialises this struct from them on demand.
-  struct Stats {
-    std::uint64_t logins_ok = 0;
-    std::uint64_t logins_failed = 0;
-    std::uint64_t logouts = 0;
-    std::uint64_t presence_received = 0;
-    std::uint64_t presence_duplicates = 0;  // retransmissions deduplicated
-    std::uint64_t whereis_served = 0;
-    std::uint64_t paths_served = 0;
-    std::uint64_t whoisin_served = 0;
-    std::uint64_t history_served = 0;
-    std::uint64_t subscriptions_served = 0;
-    std::uint64_t events_pushed = 0;
-    std::uint64_t heartbeats = 0;
-    std::uint64_t stations_expired = 0;
-    std::uint64_t presences_expired = 0;
-    std::uint64_t malformed = 0;
-    std::uint64_t crashes = 0;
-    std::uint64_t restarts = 0;
-    std::uint64_t syncs_received = 0;      // SyncSnapshots applied
-    std::uint64_t sessions_restored = 0;   // from snapshot session hints
-    std::uint64_t presences_restored = 0;  // from snapshot presence entries
-    std::uint64_t resyncs_requested = 0;   // unicast SyncRequests sent
-  };
-  Stats stats() const;
 
  private:
   void on_datagram(net::Address from, const net::Payload& data);
   void handle(net::Address from, const proto::LoginRequest& m);
   void handle(net::Address from, const proto::LogoutRequest& m);
   void handle(net::Address from, const proto::PresenceUpdate& m);
+  void handle(net::Address from, const proto::PresenceBatch& m);
+  void handle(net::Address from, const proto::Query& m);
   void handle(net::Address from, const proto::WhereIsRequest& m);
   void handle(net::Address from, const proto::PathRequest& m);
   void handle(net::Address from, const proto::WhoIsInRequest& m);
@@ -186,6 +123,19 @@ class BipsServer {
   void handle(net::Address from, const proto::Heartbeat& m);
   void handle(net::Address from, const proto::SyncSnapshot& m);
   void reply(net::Address to, const proto::Message& m);
+
+  /// Applies one presence delta (shared by the single and batch handlers).
+  /// Handles dedup and seq advance; returns true if an ack should carry
+  /// the stream forward (false only when the delta was refused because its
+  /// zone's shard is down -- refusals must NOT be acked, the workstation's
+  /// retransmit queue is what repairs the slice after restart).
+  bool ingest_presence(net::Address from, const proto::PresenceUpdate& m);
+  /// Highest contiguously-accepted presence seq of `station` (the value a
+  /// cumulative ack carries); 0 if nothing was ever accepted.
+  std::uint64_t ackable_seq(StationId station) const {
+    const auto it = last_presence_seq_.find(station);
+    return it != last_presence_seq_.end() ? it->second : 0;
+  }
 
   /// A station the failure detector expired turned out to be alive: ask it
   /// for a full snapshot (its tracked set never changed from its side, so
@@ -198,7 +148,8 @@ class BipsServer {
   /// Failure-detector sweep: expires every record of silent stations.
   void sweep_dead_stations();
 
-  /// Fans a presence transition of `bd_addr` out to its subscribers.
+  /// Fans a presence transition of `bd_addr` out through the hub to its
+  /// remote watchers and in-process observers.
   void notify_subscribers(std::uint64_t bd_addr, bool entered,
                           StationId station, SimTime at);
   /// Routes a server-originated message to the workstation currently
@@ -218,7 +169,8 @@ class BipsServer {
   graph::Graph topology_;
   graph::AllPairsPaths paths_;
   UserRegistry registry_;
-  LocationDatabase db_;
+  PartitionedLocationService svc_;
+  SubscriptionHub hub_;
   net::Endpoint& endpoint_;
 
   /// Learned routing table: which LAN address serves each station (from the
@@ -229,12 +181,11 @@ class BipsServer {
   /// Failure detector: last time each station was heard from.
   std::unordered_map<StationId, SimTime> last_heard_;
   std::unique_ptr<sim::PeriodicTimer> sweep_timer_;
-  /// Movement subscriptions: target userid -> subscriber device addresses.
-  std::unordered_map<std::string, std::unordered_set<std::uint64_t>> subs_;
-  /// Stations the failure detector expired, with the time of the last
-  /// unicast SyncRequest sent to them (zero = none yet). Every sign of life
-  /// re-requests (throttled to the sweep period) until a snapshot actually
-  /// arrives -- the request or the reply may itself be lost.
+  /// Stations the failure detector expired (or whose shard restarted
+  /// empty), with the time of the last unicast SyncRequest sent to them
+  /// (zero = none yet). Every sign of life re-requests (throttled to the
+  /// sweep period) until a snapshot actually arrives -- the request or the
+  /// reply may itself be lost.
   std::unordered_map<StationId, SimTime> resync_pending_;
   /// Stations that have delivered a SyncSnapshot to *this* incarnation. A
   /// post-restart server (epoch > 1) keeps soliciting a snapshot from every
@@ -243,16 +194,29 @@ class BipsServer {
   /// and losing both must not orphan the station's state forever.
   std::unordered_set<StationId> synced_;
 
+  /// Heavy-read path: materialised path-to answers. The all-pairs tables
+  /// are precomputed offline, but every path-to still reconstructs the hop
+  /// list and allocates its room-name strings; with whole floors asking
+  /// "path to the printer room" those answers repeat endlessly. Keyed on
+  /// (from_station, target_station); the underlying graph never changes at
+  /// runtime, so entries are valid forever.
+  struct CachedPath {
+    std::vector<std::string> rooms;
+    double distance = 0.0;
+  };
+  mutable std::unordered_map<std::uint64_t, CachedPath> path_cache_;
+
   bool crashed_ = false;
   std::uint32_t epoch_ = 1;
 
-  /// Cached "server.*" registry cells (see stats()) and the tracer.
+  /// Cached "server.*" registry cells and the tracer.
   struct Cells {
     obs::Counter* logins_ok;
     obs::Counter* logins_failed;
     obs::Counter* logouts;
     obs::Counter* presence_received;
     obs::Counter* presence_duplicates;
+    obs::Counter* batches_received;
     obs::Counter* whereis_served;
     obs::Counter* paths_served;
     obs::Counter* whoisin_served;
@@ -265,11 +229,14 @@ class BipsServer {
     obs::Counter* malformed;
     obs::Counter* crashes;
     obs::Counter* restarts;
+    obs::Counter* shard_crashes;
+    obs::Counter* shard_restarts;
     obs::Counter* syncs_received;
     obs::Counter* sessions_restored;
     obs::Counter* presences_restored;
     obs::Counter* resyncs_requested;
     obs::Counter* queries;
+    obs::Counter* path_cache_hits;
   };
   Cells c_;
   obs::Tracer* tracer_;

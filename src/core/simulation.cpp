@@ -182,7 +182,7 @@ std::optional<StationId> BipsSimulation::db_room(
     std::string_view userid) const {
   const User* u = find_user(userid);
   BIPS_ASSERT(u != nullptr);
-  return server_->db().piconet_of(u->client->addr().raw());
+  return server_->locations().piconet_of(u->client->addr().raw());
 }
 
 void BipsSimulation::enable_tracking_metrics(Duration period) {
@@ -202,13 +202,16 @@ void write_history_csv(std::ostream& os, const BipsServer& server,
   // delivery chain carries later sequence numbers than a drumming one).
   // Canonicalise the report on (time, device); the stable sort preserves
   // the causal leave->enter order of a same-device handover.
-  const auto& hist = server.db().history();
-  std::vector<LocationDatabase::Transition> rows(hist.begin(), hist.end());
+  // The merged shard history comes back in global seq order -- the exact
+  // order a single database would have recorded -- so the CSV is identical
+  // at any shard count.
+  std::vector<LocationDatabase::Transition> rows =
+      server.locations().history();
   std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return a.at != b.at ? a.at < b.at : a.bd_addr < b.bd_addr;
   });
   for (const auto& t : rows) {
-    const auto userid = server.db().userid_of(t.bd_addr);
+    const auto userid = server.locations().userid_of(t.bd_addr);
     char dev[16];
     std::snprintf(dev, sizeof dev, "%012llx",
                   static_cast<unsigned long long>(t.bd_addr));
@@ -227,7 +230,8 @@ void BipsSimulation::sample_tracking() {
     if (!u.client->logged_in()) continue;  // BIPS only tracks logged-in users
     const mobility::RoomId truth =
         building_.nearest_room_within(u.position(), cfg_.coverage_radius_m);
-    const auto believed = server_->db().piconet_of(u.client->addr().raw());
+    const auto believed =
+        server_->locations().piconet_of(u.client->addr().raw());
     ++tracking_.samples;
     if (truth == mobility::kNoRoom) {
       believed ? ++tracking_.false_present : ++tracking_.agree_absent;

@@ -1,0 +1,79 @@
+#include "src/core/subscriptions.hpp"
+
+#include <algorithm>
+
+namespace bips::core {
+
+void SubscriptionHub::unwatch(std::string_view userid,
+                              std::uint64_t subscriber) {
+  const auto it = watchers_.find(std::string(userid));
+  if (it == watchers_.end()) return;
+  it->second.erase(subscriber);
+  if (it->second.empty()) watchers_.erase(it);
+}
+
+void SubscriptionHub::drop_subscriber(std::uint64_t subscriber) {
+  for (auto it = watchers_.begin(); it != watchers_.end();) {
+    it->second.erase(subscriber);
+    it = it->second.empty() ? watchers_.erase(it) : std::next(it);
+  }
+}
+
+std::uint64_t SubscriptionHub::subscribe_user(std::string userid,
+                                              Callback cb) {
+  const std::uint64_t id = next_id_++;
+  user_subs_[std::move(userid)].push_back(LocalSub{id, std::move(cb)});
+  return id;
+}
+
+std::uint64_t SubscriptionHub::subscribe_room(StationId station,
+                                              Callback cb) {
+  const std::uint64_t id = next_id_++;
+  room_subs_[station].push_back(LocalSub{id, std::move(cb)});
+  return id;
+}
+
+void SubscriptionHub::unsubscribe(std::uint64_t id) {
+  const auto scrub = [id](auto& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      auto& subs = it->second;
+      subs.erase(std::remove_if(subs.begin(), subs.end(),
+                                [id](const LocalSub& s) { return s.id == id; }),
+                 subs.end());
+      it = subs.empty() ? map.erase(it) : std::next(it);
+    }
+  };
+  scrub(user_subs_);
+  scrub(room_subs_);
+}
+
+void SubscriptionHub::publish(const std::string& userid, const Event& ev,
+                              const DevicePush& push) const {
+  const auto w = watchers_.find(userid);
+  if (w != watchers_.end()) {
+    for (const std::uint64_t subscriber : w->second) push(subscriber, ev);
+  }
+  const auto u = user_subs_.find(userid);
+  if (u != user_subs_.end()) {
+    for (const LocalSub& s : u->second) s.cb(ev);
+  }
+  const auto r = room_subs_.find(ev.station);
+  if (r != room_subs_.end()) {
+    for (const LocalSub& s : r->second) s.cb(ev);
+  }
+}
+
+std::size_t SubscriptionHub::remote_watch_count() const {
+  std::size_t n = 0;
+  for (const auto& [userid, subs] : watchers_) n += subs.size();
+  return n;
+}
+
+std::size_t SubscriptionHub::local_count() const {
+  std::size_t n = 0;
+  for (const auto& [userid, subs] : user_subs_) n += subs.size();
+  for (const auto& [station, subs] : room_subs_) n += subs.size();
+  return n;
+}
+
+}  // namespace bips::core

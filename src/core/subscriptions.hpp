@@ -1,0 +1,90 @@
+// Streaming movement subscriptions.
+//
+// Cost model: the hub is write-fanout, read-free. Every presence *delta*
+// publishes exactly one Event, delivered to (a) the remote device watchers
+// of that user and (b) the in-process observers of that user or of the
+// station the delta names -- O(interested watchers) work per delta, zero
+// per watcher per sweep. A watcher that polls where-is instead pays one
+// full query per poll whether or not anything moved; 10k watchers polling
+// once a second is 10k queries/s of dead weight, 10k subscribers cost
+// nothing until someone actually moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/location_db.hpp"
+#include "src/util/time.hpp"
+
+namespace bips::core {
+
+class SubscriptionHub {
+ public:
+  /// One presence delta, resolved for human consumption. `entered` false
+  /// means the delta was a departure from `station`; a move between rooms
+  /// publishes a single entered-event at the new station (deltas, not
+  /// diffs -- exactly what the workstations report).
+  struct Event {
+    std::string user;  // display name
+    bool entered = false;
+    StationId station = kNoStation;
+    std::string room;
+    SimTime at;
+  };
+  using Callback = std::function<void(const Event&)>;
+  /// Delivery of one event to one remote watcher device; supplied by the
+  /// server so the hub stays transport-agnostic.
+  using DevicePush =
+      std::function<void(std::uint64_t subscriber, const Event&)>;
+
+  // ---- remote watchers (handheld devices, via SubscribeRequest) ---------
+
+  void watch(std::string userid, std::uint64_t subscriber) {
+    watchers_[std::move(userid)].insert(subscriber);
+  }
+  void unwatch(std::string_view userid, std::uint64_t subscriber);
+  /// The subscriber's session ended; all its watches die with it.
+  void drop_subscriber(std::uint64_t subscriber);
+  /// Server crash: remote watch state lives in server memory and is lost.
+  /// In-process observers survive, like the user registry -- they model an
+  /// operator console attached to the service process, not LAN state.
+  void drop_remote() { watchers_.clear(); }
+
+  // ---- in-process observers (examples, harnesses) ------------------------
+
+  /// Observes every delta of one user (by userid). Returns a handle for
+  /// unsubscribe().
+  std::uint64_t subscribe_user(std::string userid, Callback cb);
+  /// Observes every delta naming one station (arrivals and departures).
+  std::uint64_t subscribe_room(StationId station, Callback cb);
+  void unsubscribe(std::uint64_t id);
+
+  // ---- fan-out ------------------------------------------------------------
+
+  /// Fans one delta of `userid` out: remote watchers first (through
+  /// `push`), then user observers, then the room observers of ev.station.
+  void publish(const std::string& userid, const Event& ev,
+               const DevicePush& push) const;
+
+  std::size_t remote_watch_count() const;
+  std::size_t local_count() const;
+
+ private:
+  struct LocalSub {
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>>
+      watchers_;
+  std::unordered_map<std::string, std::vector<LocalSub>> user_subs_;
+  std::unordered_map<StationId, std::vector<LocalSub>> room_subs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace bips::core

@@ -146,11 +146,24 @@ void BipsWorkstation::handle_ack(std::uint64_t acked_seq) {
 }
 
 void BipsWorkstation::retransmit_unacked() {
-  for (const auto& u : unacked_) {
-    endpoint_.send(server_, proto::encode(u));
+  if (unacked_.empty()) return;
+  // The happy path sends singles (one delta, one datagram); only the
+  // retransmit path batches. During an outage the queue holds one delta
+  // per in-flux device, and re-sending them as N datagrams per beat is
+  // pure uplink burn -- one PresenceBatch carries the lot and earns one
+  // cumulative ack. Per-delta retransmission counters stay per delta.
+  if (unacked_.size() == 1) {
+    endpoint_.send(server_, proto::encode(unacked_.front()));
     ++stats_.retransmissions;
     c_retransmissions_->inc();
+    return;
   }
+  proto::PresenceBatch batch;
+  batch.workstation = station_;
+  batch.updates.assign(unacked_.begin(), unacked_.end());
+  stats_.retransmissions += unacked_.size();
+  c_retransmissions_->inc(unacked_.size());
+  endpoint_.send(server_, proto::encode(batch));
 }
 
 void BipsWorkstation::note_server_epoch(std::uint32_t epoch) {

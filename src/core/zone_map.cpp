@@ -1,0 +1,39 @@
+#include "src/core/zone_map.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bips::core {
+
+ZonePartition ZonePartition::columns(const mobility::Building& building,
+                                     std::size_t zones) {
+  BIPS_ASSERT(zones >= 1);
+  // The distinct room-centre x coordinates, ascending: the "columns" the
+  // partition slices between.
+  std::vector<double> xs;
+  xs.reserve(building.room_count());
+  for (const auto& room : building.rooms()) xs.push_back(room.center.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  ZonePartition p;
+  const std::size_t s = std::min(zones, xs.size());
+  p.seams_.reserve(s - 1);
+  for (std::size_t k = 1; k < s; ++k) {
+    const std::size_t first_of_k = k * xs.size() / s;
+    p.seams_.push_back((xs[first_of_k - 1] + xs[first_of_k]) / 2.0);
+  }
+  p.station_zone_.reserve(building.room_count());
+  for (const auto& room : building.rooms()) {
+    p.station_zone_.push_back(p.zone_of_x(room.center.x));
+  }
+  return p;
+}
+
+std::size_t ZonePartition::zone_of_x(double x) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(seams_.begin(), seams_.end(), x) - seams_.begin());
+}
+
+}  // namespace bips::core

@@ -1,0 +1,55 @@
+// Building-zone partition shared by the sharded simulator and the
+// partitioned location service.
+//
+// Both layers cut the building into the same contiguous column bands
+// (vertical zones of room-centre x coordinates): the simulator runs one
+// sim::Simulator per zone (src/core/parallel.*), the server runs one
+// LocationShard per zone (src/core/location_service.*). Computing the seams
+// in exactly one place is what makes the workstation -> shard assignment
+// *consistent*: a presence delta ingested by simulator shard k is owned by
+// location shard k, so the service's shards align with the simulator's and
+// cross-layer routing is a single integer comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/location_db.hpp"
+#include "src/mobility/building.hpp"
+
+namespace bips::core {
+
+class ZonePartition {
+ public:
+  /// Degenerate single-zone partition (everything maps to zone 0).
+  ZonePartition() = default;
+
+  /// Cuts `building` into at most `zones` contiguous column bands: the
+  /// distinct room-centre x coordinates are split into as-equal-as-possible
+  /// shares and each seam sits on the midpoint between its bands' border
+  /// columns. `zones` is clamped to the distinct-column count (a
+  /// single-column building cannot be split).
+  static ZonePartition columns(const mobility::Building& building,
+                               std::size_t zones);
+
+  std::size_t zone_count() const { return seams_.size() + 1; }
+
+  /// Zone owning x coordinate `x` (seams belong to the right band,
+  /// matching std::upper_bound semantics).
+  std::size_t zone_of_x(double x) const;
+
+  /// Zone owning station / room `s` (precomputed; O(1)).
+  std::size_t zone_of(StationId s) const {
+    return s < station_zone_.size() ? station_zone_[s] : 0;
+  }
+
+  /// Seam x coordinates between adjacent zones, ascending
+  /// (size zone_count() - 1).
+  const std::vector<double>& seams() const { return seams_; }
+
+ private:
+  std::vector<double> seams_;
+  std::vector<std::size_t> station_zone_;  // room id -> zone
+};
+
+}  // namespace bips::core

@@ -5,7 +5,11 @@
 namespace bips::fault {
 
 InvariantChecker::InvariantChecker(core::BipsSimulation& sim, Config cfg)
-    : sim_(sim), cfg_(cfg), stations_(sim.workstation_count()) {}
+    : sim_(sim), cfg_(std::move(cfg)), stations_(sim.workstation_count()) {}
+
+bool InvariantChecker::graded(core::StationId s) const {
+  return !cfg_.station_filter || cfg_.station_filter(s);
+}
 
 void InvariantChecker::start() {
   if (!timer_) {
@@ -36,6 +40,18 @@ void InvariantChecker::sample() {
   for (core::StationId s = 0; s < sim_.workstation_count(); ++s) {
     core::BipsWorkstation& ws = sim_.workstation(s);
     StationState& st = stations_[s];
+    if (!graded(s)) {  // keep the bookkeeping, skip the grading
+      st.last_seq = ws.presence_seq();
+      st.last_epoch = ws.known_server_epoch();
+      st.crashes = ws.stats().crashes;
+      if (ws.crashed()) {
+        if (!st.was_crashed) st.crashed_since = now;
+        st.was_crashed = true;
+      } else {
+        st.was_crashed = false;
+      }
+      continue;
+    }
 
     // Sequence numbers and the observed server epoch may only move forward
     // within one workstation incarnation; crash() legitimately resets both.
@@ -76,7 +92,7 @@ void InvariantChecker::sample() {
   if (!sim_.server().crashed()) {
     for (const std::string& userid : sim_.userids()) {
       const auto room = sim_.db_room(userid);
-      if (!room) continue;
+      if (!room || !graded(*room)) continue;
       const StationState& st = stations_[*room];
       if (st.was_crashed && now - st.crashed_since > cfg_.dead_station_grace) {
         std::snprintf(msg, sizeof msg,
@@ -99,14 +115,15 @@ void InvariantChecker::check_converged() {
     if (c == nullptr || !c->logged_in()) continue;
     const auto room = sim_.db_room(userid);
     const mobility::RoomId truth = sim_.true_room(userid);
-    if (truth != mobility::kNoRoom && !room) {
+    if (truth != mobility::kNoRoom && !room &&
+        graded(static_cast<core::StationId>(truth))) {
       std::snprintf(msg, sizeof msg,
                     "t=%.1fs converged check: logged-in user %s stands in "
                     "room %u but the location DB has no record",
                     now.to_seconds(), userid.c_str(), truth);
       violate(msg);
     }
-    if (room && sim_.workstation(*room).crashed()) {
+    if (room && graded(*room) && sim_.workstation(*room).crashed()) {
       std::snprintf(msg, sizeof msg,
                     "t=%.1fs converged check: user %s located at crashed "
                     "station %u",

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,13 @@ class InvariantChecker {
     /// server's station_timeout + sweep_period (plus slack for a server
     /// outage that delays the sweep).
     Duration dead_station_grace = Duration::seconds(30);
+    /// When set, only stations (and users whose records point at stations)
+    /// accepted by the filter are graded. The per-shard chaos tests run one
+    /// checker per location-service zone with
+    /// `filter = [&](StationId s) { return svc.zone_of(s) == k; }` so a
+    /// deliberately crashed shard's own degradation does not drown out a
+    /// genuine violation in a zone that was supposed to stay healthy.
+    std::function<bool(core::StationId)> station_filter;
   };
 
   // No `cfg = Config{}` default argument: the nested class' member
@@ -69,6 +77,7 @@ class InvariantChecker {
 
   void sample();
   void violate(std::string msg);
+  bool graded(core::StationId s) const;
 
   core::BipsSimulation& sim_;
   Config cfg_;

@@ -10,8 +10,57 @@ const char* to_string(QueryStatus s) {
     case QueryStatus::kAccessDenied: return "access-denied";
     case QueryStatus::kUnreachable: return "unreachable";
     case QueryStatus::kLocationUnknown: return "location-unknown";
+    case QueryStatus::kZoneUnavailable: return "zone-unavailable";
   }
   return "?";
+}
+
+// ---- Query / QueryResult construction ---------------------------------
+
+Query Query::where_is(std::string_view requester, std::string_view target) {
+  Query q;
+  q.kind = Kind::kWhereIs;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  return q;
+}
+
+Query Query::path_to(std::string_view requester, std::string_view target,
+                     std::uint32_t from_station) {
+  Query q;
+  q.kind = Kind::kPathTo;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.from_station = from_station;
+  return q;
+}
+
+Query Query::who_is_in(std::string_view requester, std::string_view room) {
+  Query q;
+  q.kind = Kind::kWhoIsIn;
+  q.requester = std::string(requester);
+  q.target = std::string(room);
+  return q;
+}
+
+Query Query::where_was(std::string_view requester, std::string_view target,
+                       SimTime at) {
+  Query q;
+  q.kind = Kind::kWhereWas;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.at_ns = at.ns();
+  return q;
+}
+
+Query Query::history_since(std::string_view requester,
+                           std::string_view target, SimTime since) {
+  Query q;
+  q.kind = Kind::kHistorySince;
+  q.requester = std::string(requester);
+  q.target = std::string(target);
+  q.at_ns = since.ns();
+  return q;
 }
 
 namespace {
@@ -38,8 +87,11 @@ enum class Tag : std::uint8_t {
   kHeartbeatAck = 19,
   kSyncRequest = 20,
   kSyncSnapshot = 21,
+  kPresenceBatch = 22,
+  kQuery = 23,
+  kQueryResult = 24,
 };
-constexpr std::uint8_t kMaxTag = 21;
+constexpr std::uint8_t kMaxTag = 24;
 
 void body(Writer& w, const LoginRequest& m) {
   w.u64(m.bd_addr);
@@ -161,6 +213,41 @@ void body(Writer& w, const PathReply& m) {
   w.f64(m.distance);
 }
 
+void body(Writer& w, const PresenceBatch& m) {
+  w.u32(m.workstation);
+  w.u16(static_cast<std::uint16_t>(m.updates.size()));
+  for (const auto& u : m.updates) body(w, u);
+}
+// Versioned bodies: Query/QueryResult lead with kQueryWireVersion so the
+// layout can evolve while old traces stay replayable (decode rejects
+// unknown versions instead of misparsing).
+void body(Writer& w, const Query& m) {
+  w.u8(kQueryWireVersion);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.str(m.requester);
+  w.str(m.target);
+  w.u32(m.from_station);
+  w.i64(m.at_ns);
+}
+void body(Writer& w, const QueryResult& m) {
+  w.u8(kQueryWireVersion);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.str(m.room);
+  w.u16(static_cast<std::uint16_t>(m.users.size()));
+  for (const auto& u : m.users) w.str(u);
+  w.u16(static_cast<std::uint16_t>(m.rooms.size()));
+  for (const auto& r : m.rooms) w.str(r);
+  w.f64(m.distance);
+  w.boolean(m.was_present);
+  w.i64(m.since.ns());
+  w.u16(static_cast<std::uint16_t>(m.visits.size()));
+  for (const auto& v : m.visits) {
+    w.str(v.room);
+    w.boolean(v.entered);
+    w.i64(v.at.ns());
+  }
+}
+
 Tag tag_of(const Message& m) {
   return std::visit(
       [](const auto& v) -> Tag {
@@ -186,12 +273,15 @@ Tag tag_of(const Message& m) {
         if constexpr (std::is_same_v<T, HeartbeatAck>) return Tag::kHeartbeatAck;
         if constexpr (std::is_same_v<T, SyncRequest>) return Tag::kSyncRequest;
         if constexpr (std::is_same_v<T, SyncSnapshot>) return Tag::kSyncSnapshot;
+        if constexpr (std::is_same_v<T, PresenceBatch>) return Tag::kPresenceBatch;
+        if constexpr (std::is_same_v<T, Query>) return Tag::kQuery;
+        if constexpr (std::is_same_v<T, QueryResult>) return Tag::kQueryResult;
       },
       m);
 }
 
 bool valid_status(std::uint8_t s) {
-  return s <= static_cast<std::uint8_t>(QueryStatus::kLocationUnknown);
+  return s <= static_cast<std::uint8_t>(QueryStatus::kZoneUnavailable);
 }
 
 std::optional<Message> decode_body(Tag tag, Reader& r) {
@@ -375,6 +465,64 @@ std::optional<Message> decode_body(Tag tag, Reader& r) {
       m.rooms.reserve(n);
       for (std::uint16_t i = 0; i < n && r.ok(); ++i) m.rooms.push_back(r.str());
       m.distance = r.f64();
+      return m;
+    }
+    case Tag::kPresenceBatch: {
+      PresenceBatch m;
+      m.workstation = r.u32();
+      const std::uint16_t n = r.u16();
+      m.updates.reserve(n);
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        PresenceUpdate u;
+        u.workstation = r.u32();
+        u.bd_addr = r.u64();
+        u.present = r.boolean();
+        u.timestamp_ns = r.i64();
+        u.seq = r.u64();
+        u.rssi_dbm = r.f64();
+        m.updates.push_back(std::move(u));
+      }
+      return m;
+    }
+    case Tag::kQuery: {
+      if (r.u8() != kQueryWireVersion) return std::nullopt;
+      Query m;
+      const std::uint8_t k = r.u8();
+      if (k > static_cast<std::uint8_t>(Query::Kind::kHistorySince)) {
+        return std::nullopt;
+      }
+      m.kind = static_cast<Query::Kind>(k);
+      m.requester = r.str();
+      m.target = r.str();
+      m.from_station = r.u32();
+      m.at_ns = r.i64();
+      return m;
+    }
+    case Tag::kQueryResult: {
+      if (r.u8() != kQueryWireVersion) return std::nullopt;
+      QueryResult m;
+      const std::uint8_t s = r.u8();
+      if (!valid_status(s)) return std::nullopt;
+      m.status = static_cast<QueryStatus>(s);
+      m.room = r.str();
+      const std::uint16_t nu = r.u16();
+      m.users.reserve(nu);
+      for (std::uint16_t i = 0; i < nu && r.ok(); ++i) m.users.push_back(r.str());
+      const std::uint16_t nr = r.u16();
+      m.rooms.reserve(nr);
+      for (std::uint16_t i = 0; i < nr && r.ok(); ++i) m.rooms.push_back(r.str());
+      m.distance = r.f64();
+      m.was_present = r.boolean();
+      m.since = SimTime(r.i64());
+      const std::uint16_t nv = r.u16();
+      m.visits.reserve(nv);
+      for (std::uint16_t i = 0; i < nv && r.ok(); ++i) {
+        QueryResult::Visit v;
+        v.room = r.str();
+        v.entered = r.boolean();
+        v.at = SimTime(r.i64());
+        m.visits.push_back(std::move(v));
+      }
       return m;
     }
   }

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 #include "src/proto/wire.hpp"
+#include "src/util/time.hpp"
 
 namespace bips::proto {
 
@@ -29,9 +31,67 @@ enum class QueryStatus : std::uint8_t {
                        // the building graph is connected)
   kLocationUnknown = 5,  // logged in, but not currently attributed to any
                          // piconet (between rooms, or not yet discovered)
+  kZoneUnavailable = 6,  // the location shard owning the queried zone is
+                         // crashed; other zones keep answering
 };
 
 const char* to_string(QueryStatus s);
+
+/// A routable spatio-temporal query: one value names the requester (empty =
+/// system operator, all rights), a kind and that kind's operands. This is
+/// the *only* lookup surface of BipsServer (the per-kind convenience
+/// methods are gone), and it has a versioned wire encoding so the
+/// partitioned service can fan a query out across location shards and a
+/// trace replay can reconstruct the exact request stream.
+struct Query {
+  enum class Kind : std::uint8_t {
+    kWhereIs = 0,       // current room of user `target`
+    kPathTo = 1,        // shortest path from `from_station` to `target`
+    kWhoIsIn = 2,       // users currently in room `target`
+    kWhereWas = 3,      // room of `target` at instant `at_ns`
+    kHistorySince = 4,  // transitions of `target` at or after `at_ns`
+  };
+
+  Kind kind = Kind::kWhereIs;
+  std::string requester;  // userid; empty = system operator
+  std::string target;     // user display name, or room name for kWhoIsIn
+  std::uint32_t from_station = UINT32_MAX;  // kPathTo
+  std::int64_t at_ns = 0;                   // kWhereWas / kHistorySince
+
+  static Query where_is(std::string_view requester, std::string_view target);
+  static Query path_to(std::string_view requester, std::string_view target,
+                       std::uint32_t from_station);
+  static Query who_is_in(std::string_view requester, std::string_view room);
+  static Query where_was(std::string_view requester, std::string_view target,
+                         SimTime at);
+  static Query history_since(std::string_view requester,
+                             std::string_view target, SimTime since);
+};
+
+/// The union of every query kind's answer; `status` decides which fields
+/// are meaningful.
+struct QueryResult {
+  QueryStatus status = QueryStatus::kOk;
+  bool ok() const { return status == QueryStatus::kOk; }
+
+  std::string room;                // kWhereIs / kWhereWas
+  std::vector<std::string> users;  // kWhoIsIn (sorted)
+  std::vector<std::string> rooms;  // kPathTo (route, in walking order)
+  double distance = 0.0;           // kPathTo (metres)
+  bool was_present = false;        // kWhereWas: the fix existed
+  SimTime since;                   // kWhereWas: attribution start
+
+  struct Visit {
+    std::string room;
+    bool entered = false;  // false: the transition was a departure
+    SimTime at;
+  };
+  std::vector<Visit> visits;  // kHistorySince, chronological
+};
+
+/// Wire-format version byte leading every encoded Query/QueryResult body.
+/// Bump on layout changes; decode rejects versions it does not know.
+inline constexpr std::uint8_t kQueryWireVersion = 1;
 
 struct LoginRequest {
   std::uint64_t bd_addr = 0;
@@ -73,6 +133,18 @@ struct PresenceUpdate {
   /// arbitrate near-simultaneous claims from overlapping piconets: the
   /// louder workstation is the closer one.
   double rssi_dbm = 0.0;
+};
+
+/// Batched presence deltas: one datagram carrying every update a
+/// workstation currently has in flight. The retransmit path coalesces its
+/// whole unacked queue into one of these instead of one datagram per delta,
+/// so a long server (or shard) outage costs one uplink datagram per
+/// retransmit period rather than one per in-flux device. The server applies
+/// the entries in order through the exact same dedup/arbitration path as
+/// individual PresenceUpdates and acknowledges once, cumulatively.
+struct PresenceBatch {
+  std::uint32_t workstation = 0;
+  std::vector<PresenceUpdate> updates;
 };
 
 /// Cumulative acknowledgement of a workstation's presence stream: every
@@ -227,7 +299,8 @@ using Message =
                  PathReply, PresenceAck, WhoIsInRequest, WhoIsInReply,
                  HistoryRequest, HistoryReply, SubscribeRequest,
                  SubscribeReply, MovementEvent, Heartbeat, HeartbeatAck,
-                 SyncRequest, SyncSnapshot>;
+                 SyncRequest, SyncSnapshot, PresenceBatch, Query,
+                 QueryResult>;
 
 /// Serialises a message (1-byte tag + body).
 Bytes encode(const Message& m);

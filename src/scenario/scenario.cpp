@@ -1,6 +1,7 @@
 #include "src/scenario/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <istream>
@@ -321,6 +322,13 @@ std::optional<ScenarioSpec> parse_scenario(std::istream& in,
         break;
       }
       spec.config.server.station_timeout = Duration::from_seconds(v);
+    } else if (cmd == "zones") {
+      if (!(ok = want(1, 1))) break;
+      if (!(ok = parse_positive(toks[1], &v) && v == std::floor(v))) {
+        fail(err, lineno, "zones: not a positive integer");
+        break;
+      }
+      spec.config.server.zones = static_cast<std::size_t>(v);
     } else if (cmd == "crash" || cmd == "restart") {
       if (!(ok = want(2, 2))) break;
       const auto room = find_room(toks[1]);

@@ -26,6 +26,10 @@
 //   edge lobby lab 18       # ... or given explicitly (walking metres)
 //   user Alice alice pw lobby
 //   station-timeout 10      # server failure detector (0 = off)
+//   zones 3                 # location-service shards (1 = single database;
+//                           # answers are identical at every count -- the
+//                           # sharded --threads replay always aligns its
+//                           # service shards with the simulator zones)
 //   run 300                 # simulated seconds
 //   sample 1                # tracking-metric sample period (s)
 //

@@ -35,7 +35,8 @@ TEST(Integration, SingleUserEnrollsLogsInAndIsLocated) {
   EXPECT_TRUE(alice->logged_in());
   EXPECT_EQ(sim.db_room("alice"), 0u);
   EXPECT_TRUE(sim.workstation(0).tracks(alice->addr()));
-  EXPECT_GE(sim.server().stats().logins_ok, 1u);
+  EXPECT_GE(sim.simulator().obs().metrics.counter_value("server.logins_ok"),
+            1u);
   EXPECT_GE(sim.workstation(0).stats().presences_reported, 1u);
 }
 
@@ -167,7 +168,7 @@ TEST(Integration, PresenceTrafficIsDeltaOnly) {
   // connection-upgrade re-report (deduplicated at the server) and no other
   // churn -- nothing proportional to the 24 cycles that elapsed.
   EXPECT_LE(sim.workstation(0).stats().presences_reported, 3u);
-  EXPECT_LE(sim.server().db().stats().redundant_updates, 2u);
+  EXPECT_LE(sim.server().locations().stats().redundant_updates, 2u);
 }
 
 TEST(Integration, DeterministicUnderSameSeed) {
@@ -182,7 +183,7 @@ TEST(Integration, DeterministicUnderSameSeed) {
     sim.enable_tracking_metrics(Duration::seconds(1));
     sim.run_for(Duration::seconds(120));
     return std::tuple{sim.tracking().samples, sim.tracking().correct_room,
-                      sim.server().db().stats().presence_updates,
+                      sim.server().locations().stats().presence_updates,
                       sim.simulator().events_executed()};
   };
   EXPECT_EQ(run_one(1234), run_one(1234));
@@ -371,7 +372,7 @@ TEST(IntegrationExt, HistoryCsvExport) {
   // One line per history entry + header.
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(csv.begin(), csv.end(), '\n')),
-            sim.server().db().history().size() + 1);
+            sim.server().locations().history().size() + 1);
 }
 
 }  // namespace
@@ -479,7 +480,9 @@ TEST(IntegrationExt, CrashedWorkstationExpiresAndRecoversOnRestart) {
   // failure detector expired the stale presence record.
   EXPECT_FALSE(sim.client("alice")->connected());
   EXPECT_FALSE(sim.db_room("alice").has_value());
-  EXPECT_GE(sim.server().stats().stations_expired, 1u);
+  EXPECT_GE(
+      sim.simulator().obs().metrics.counter_value("server.stations_expired"),
+      1u);
 
   // Power restored: the device is re-discovered, re-enrolled, re-tracked.
   sim.workstation(0).restart();

@@ -1,0 +1,232 @@
+// Unit tests for the partitioned location service: byte-equivalence of the
+// sharded service against a single LocationDatabase fed the same op stream,
+// seam re-homing, global FIFO history eviction and per-zone crash
+// isolation.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/location_service.hpp"
+#include "src/mobility/building.hpp"
+#include "src/util/rng.hpp"
+
+namespace bips::core {
+namespace {
+
+// corridor(6): room centres at x = 0..50, so columns(building, 3) yields
+// zone 0 = {0,1}, zone 1 = {2,3}, zone 2 = {4,5}.
+mobility::Building six_rooms() { return mobility::Building::corridor(6); }
+
+std::uint64_t dev(int i) { return 0xC0FF'EE00'0000ull + i; }
+
+TEST(ZonePartitionMap, ColumnsSplitTheCorridorEvenly) {
+  const auto b = six_rooms();
+  const ZonePartition zones = ZonePartition::columns(b, 3);
+  ASSERT_EQ(zones.zone_count(), 3u);
+  EXPECT_EQ(zones.zone_of(0), 0u);
+  EXPECT_EQ(zones.zone_of(1), 0u);
+  EXPECT_EQ(zones.zone_of(2), 1u);
+  EXPECT_EQ(zones.zone_of(3), 1u);
+  EXPECT_EQ(zones.zone_of(4), 2u);
+  EXPECT_EQ(zones.zone_of(5), 2u);
+}
+
+// The tentpole invariant in miniature: an arbitrary interleaved op stream
+// (logins, logouts, presence/absence deltas with conflicting RSSI claims,
+// duplicates) produces bit-identical observable state on one database and
+// on three shards -- merged history rows (including seq), every counter,
+// every lookup, and the FIFO eviction order under a tight history bound.
+TEST(PartitionedLocationService, OpStreamMatchesSingleDatabaseExactly) {
+  const auto building = six_rooms();
+  constexpr std::size_t kHistoryLimit = 16;  // tight: forces evictions
+
+  LocationDatabase single(kHistoryLimit);
+  PartitionedLocationService svc(kHistoryLimit, nullptr,
+                                 ZonePartition::columns(building, 3));
+  ASSERT_EQ(svc.shard_count(), 3u);
+
+  constexpr int kDevices = 5;
+  // Half the devices get sessions; logins must agree too.
+  for (int i = 0; i < kDevices; i += 2) {
+    const std::string uid = "u" + std::to_string(i);
+    EXPECT_EQ(single.login(uid, dev(i), SimTime(i)),
+              svc.login(uid, dev(i), SimTime(i)));
+  }
+
+  Rng rng(2003);
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t addr = dev(static_cast<int>(rng.next_u64() % kDevices));
+    const StationId station = static_cast<StationId>(rng.next_u64() % 6);
+    const SimTime at(static_cast<std::int64_t>(op) * 1'000'000'000 +
+                     static_cast<std::int64_t>(rng.next_u64() % 1'000));
+    const double rssi = -40.0 - static_cast<double>(rng.next_u64() % 40);
+    const std::uint64_t coin = rng.next_u64() % 10;
+    if (coin < 7) {
+      const bool a = single.set_present(addr, station, at, rssi);
+      const auto b = svc.apply_present(addr, station, at, rssi);
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(a, *b) << "op " << op;
+    } else {
+      const bool a = single.set_absent(addr, station, at);
+      const auto b = svc.apply_absent(addr, station, at);
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(a, *b) << "op " << op;
+    }
+
+    // Lookups agree after every op.
+    EXPECT_EQ(single.piconet_of(addr), svc.piconet_of(addr));
+    EXPECT_EQ(single.present_since(addr), svc.present_since(addr));
+  }
+
+  // Whole-history equivalence: the k-way seq merge reproduces the single
+  // database's surviving rows bit for bit.
+  const auto merged = svc.history();
+  ASSERT_EQ(merged.size(), single.history().size());
+  EXPECT_LE(merged.size(), kHistoryLimit);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].seq, single.history()[i].seq);
+    EXPECT_EQ(merged[i].bd_addr, single.history()[i].bd_addr);
+    EXPECT_EQ(merged[i].station, single.history()[i].station);
+    EXPECT_EQ(merged[i].present, single.history()[i].present);
+    EXPECT_EQ(merged[i].at, single.history()[i].at);
+  }
+
+  // Aggregate counters are the single-DB counters.
+  const auto a = single.stats();
+  const auto b = svc.stats();
+  EXPECT_EQ(a.presence_updates, b.presence_updates);
+  EXPECT_EQ(a.redundant_updates, b.redundant_updates);
+  EXPECT_EQ(a.conflicts_suppressed, b.conflicts_suppressed);
+  EXPECT_EQ(a.logins, b.logins);
+
+  // Temporal lookups agree at instants across the whole run (including
+  // ones whose answers were evicted -- both sides must say "don't know").
+  for (int s = 0; s < 400; s += 17) {
+    const SimTime at(static_cast<std::int64_t>(s) * 1'000'000'000);
+    for (int i = 0; i < kDevices; ++i) {
+      const auto fa = single.where_was(dev(i), at);
+      const auto fb = svc.where_was(dev(i), at);
+      ASSERT_EQ(fa.has_value(), fb.has_value());
+      if (fa) {
+        EXPECT_EQ(fa->station, fb->station);
+        EXPECT_EQ(fa->since, fb->since);
+      }
+    }
+  }
+}
+
+TEST(PartitionedLocationService, SeamCrossingRehomesSessionAndPresence) {
+  const auto building = six_rooms();
+  obs::MetricsRegistry reg;
+  PartitionedLocationService svc(64, &reg,
+                                 ZonePartition::columns(building, 3));
+
+  ASSERT_TRUE(svc.login("alice", dev(1), SimTime(0)));
+  ASSERT_TRUE(svc.apply_present(dev(1), 0, SimTime(1)).value());
+  // Record (session + presence) homed on zone 0.
+  EXPECT_EQ(svc.shard_db(0).session_count(), 1u);
+  EXPECT_EQ(svc.shard_db(0).piconet_of(dev(1)), 0u);
+  EXPECT_FALSE(svc.shard_db(2).piconet_of(dev(1)).has_value());
+
+  // The walker reappears across the far seam: the whole record moves.
+  ASSERT_TRUE(
+      svc.apply_present(dev(1), 5, SimTime(10'000'000'000)).value());
+  EXPECT_EQ(svc.shard_db(0).session_count(), 0u);
+  EXPECT_FALSE(svc.shard_db(0).piconet_of(dev(1)).has_value());
+  EXPECT_EQ(svc.shard_db(2).session_count(), 1u);
+  EXPECT_EQ(svc.shard_db(2).piconet_of(dev(1)), 5u);
+  EXPECT_GE(reg.counter_value("svc.shard_handoffs"), 1u);
+
+  // The service-level view never noticed the move.
+  EXPECT_TRUE(svc.logged_in("alice"));
+  EXPECT_EQ(svc.piconet_of(dev(1)), 5u);
+  // Re-homing writes no history row beyond the two genuine transitions.
+  EXPECT_EQ(svc.history_size(), 2u);
+}
+
+TEST(PartitionedLocationService, CrashDegradesOnlyItsOwnZone) {
+  const auto building = six_rooms();
+  PartitionedLocationService svc(64, nullptr,
+                                 ZonePartition::columns(building, 3));
+
+  ASSERT_TRUE(svc.login("a", dev(0), SimTime(0)));
+  ASSERT_TRUE(svc.login("b", dev(1), SimTime(0)));
+  ASSERT_TRUE(svc.login("c", dev(2), SimTime(0)));
+  ASSERT_TRUE(svc.apply_present(dev(0), 0, SimTime(1)).value());  // zone 0
+  ASSERT_TRUE(svc.apply_present(dev(1), 2, SimTime(1)).value());  // zone 1
+  ASSERT_TRUE(svc.apply_present(dev(2), 4, SimTime(1)).value());  // zone 2
+
+  svc.crash_shard(1);
+  EXPECT_TRUE(svc.shard_crashed(1));
+  EXPECT_FALSE(svc.zone_available(2));
+  EXPECT_TRUE(svc.zone_available(0));
+
+  // Zone 1's slice is gone; the neighbours are untouched.
+  EXPECT_EQ(svc.piconet_of(dev(0)), 0u);
+  EXPECT_FALSE(svc.piconet_of(dev(1)).has_value());
+  EXPECT_FALSE(svc.logged_in("b"));
+  EXPECT_EQ(svc.piconet_of(dev(2)), 4u);
+  EXPECT_TRUE(svc.logged_in("a"));
+  EXPECT_TRUE(svc.logged_in("c"));
+
+  // Deltas *reported by* the dead zone's stations are refused (nullopt: the
+  // caller must not ack), while healthy-zone ingest keeps flowing.
+  EXPECT_FALSE(svc.apply_present(dev(1), 3, SimTime(2)).has_value());
+  EXPECT_TRUE(svc.apply_present(dev(0), 1, SimTime(2)).has_value());
+
+  // Restart brings the zone back empty with a bumped epoch.
+  svc.restart_shard(1);
+  EXPECT_FALSE(svc.shard_crashed(1));
+  EXPECT_EQ(svc.shard_epoch(1), 2u);
+  EXPECT_TRUE(svc.apply_present(dev(1), 2, SimTime(3)).value());
+  EXPECT_EQ(svc.piconet_of(dev(1)), 2u);
+}
+
+// A runner-up claim naming a crashed zone's station must never be promoted
+// -- that would resurrect presence into a dead shard.
+TEST(PartitionedLocationService, CrashRetiresRunnerUpClaimsEverywhere) {
+  const auto building = six_rooms();
+  PartitionedLocationService svc(64, nullptr,
+                                 ZonePartition::columns(building, 3));
+
+  // Station 1 (zone 0) wins the overlap arbitration against station 2
+  // (zone 1): the losing claim is remembered as the runner-up on a record
+  // homed in zone 0.
+  ASSERT_TRUE(svc.apply_present(dev(7), 1, SimTime(0), -40.0).value());
+  EXPECT_FALSE(svc.apply_present(dev(7), 2, SimTime(1), -60.0).value());
+  EXPECT_EQ(svc.piconet_of(dev(7)), 1u);
+
+  svc.crash_shard(1);
+
+  // The winner reports absence. Without cross-shard claim retirement the
+  // runner-up (station 2, zone 1) would be promoted into the dead shard;
+  // instead the device simply goes absent.
+  svc.apply_absent(dev(7), 1, SimTime(2));
+  EXPECT_FALSE(svc.piconet_of(dev(7)).has_value());
+  EXPECT_FALSE(svc.shard_db(1).piconet_of(dev(7)).has_value());
+}
+
+// clear() is the whole-server crash: every zone's slice dies at once, every
+// epoch bumps, and the service keeps working afterwards.
+TEST(PartitionedLocationService, ClearWipesEveryShard) {
+  const auto building = six_rooms();
+  PartitionedLocationService svc(64, nullptr,
+                                 ZonePartition::columns(building, 3));
+  ASSERT_TRUE(svc.login("a", dev(0), SimTime(0)));
+  ASSERT_TRUE(svc.apply_present(dev(0), 4, SimTime(1)).value());
+
+  svc.clear();
+  EXPECT_EQ(svc.session_count(), 0u);
+  EXPECT_FALSE(svc.piconet_of(dev(0)).has_value());
+  EXPECT_EQ(svc.history_size(), 0u);
+  for (std::size_t k = 0; k < svc.shard_count(); ++k) {
+    EXPECT_FALSE(svc.shard_crashed(k));
+    EXPECT_EQ(svc.shard_epoch(k), 2u);
+  }
+  EXPECT_TRUE(svc.login("a", dev(0), SimTime(2)));
+}
+
+}  // namespace
+}  // namespace bips::core

@@ -267,6 +267,117 @@ TEST(MessagesExt, MovementEventRoundTrip) {
   EXPECT_EQ(out.timestamp_ns, 5'000'000'000);
 }
 
+// ---- versioned unified Query/QueryResult wire format -----------------------
+
+TEST(QueryWire, QueryRoundTripsEveryKind) {
+  const Query queries[] = {
+      Query::where_is("alice", "Bob"),
+      Query::path_to("alice", "Bob", 7),
+      Query::who_is_in("alice", "library"),
+      Query::where_was("alice", "Bob", SimTime(123'456'789)),
+      Query::history_since("", "Bob", SimTime(42)),
+  };
+  for (const Query& q : queries) {
+    const Query out = round_trip(q);
+    EXPECT_EQ(out.kind, q.kind);
+    EXPECT_EQ(out.requester, q.requester);
+    EXPECT_EQ(out.target, q.target);
+    EXPECT_EQ(out.from_station, q.from_station);
+    EXPECT_EQ(out.at_ns, q.at_ns);
+  }
+}
+
+TEST(QueryWire, QueryResultRoundTripsEveryStatus) {
+  for (auto s : {QueryStatus::kOk, QueryStatus::kUnknownUser,
+                 QueryStatus::kNotLoggedIn, QueryStatus::kAccessDenied,
+                 QueryStatus::kUnreachable, QueryStatus::kLocationUnknown,
+                 QueryStatus::kZoneUnavailable}) {
+    QueryResult res;
+    res.status = s;
+    EXPECT_EQ(round_trip(res).status, s);
+  }
+  EXPECT_STREQ(to_string(QueryStatus::kZoneUnavailable), "zone-unavailable");
+}
+
+TEST(QueryWire, QueryResultRoundTripsAllFields) {
+  QueryResult res;
+  res.status = QueryStatus::kOk;
+  res.room = "lab-networks";
+  res.users = {"Alice", "Bob"};
+  res.rooms = {"lobby", "corridor", "lab-networks"};
+  res.distance = 23.5;
+  res.was_present = true;
+  res.since = SimTime(7'000'000'001);
+  res.visits = {{"lobby", true, SimTime(1)}, {"lobby", false, SimTime(2)}};
+  const QueryResult out = round_trip(res);
+  EXPECT_EQ(out.room, res.room);
+  EXPECT_EQ(out.users, res.users);
+  EXPECT_EQ(out.rooms, res.rooms);
+  EXPECT_DOUBLE_EQ(out.distance, res.distance);
+  EXPECT_TRUE(out.was_present);
+  EXPECT_EQ(out.since, res.since);
+  ASSERT_EQ(out.visits.size(), 2u);
+  EXPECT_EQ(out.visits[0].room, "lobby");
+  EXPECT_TRUE(out.visits[0].entered);
+  EXPECT_FALSE(out.visits[1].entered);
+  EXPECT_EQ(out.visits[1].at, SimTime(2));
+}
+
+TEST(QueryWire, PresenceBatchRoundTrip) {
+  PresenceBatch batch;
+  batch.workstation = 5;
+  batch.updates.push_back(PresenceUpdate{5, 0xB1, true, 100, 3, -52.0});
+  batch.updates.push_back(PresenceUpdate{5, 0xB2, false, 200, 4, 0.0});
+  const PresenceBatch out = round_trip(batch);
+  EXPECT_EQ(out.workstation, 5u);
+  ASSERT_EQ(out.updates.size(), 2u);
+  EXPECT_EQ(out.updates[0].bd_addr, 0xB1u);
+  EXPECT_TRUE(out.updates[0].present);
+  EXPECT_EQ(out.updates[0].seq, 3u);
+  EXPECT_EQ(out.updates[1].bd_addr, 0xB2u);
+  EXPECT_FALSE(out.updates[1].present);
+  EXPECT_EQ(out.updates[1].timestamp_ns, 200);
+}
+
+// The version byte leads both bodies (right after the tag byte): an
+// encoder from the future is rejected instead of misparsed.
+TEST(QueryWire, RejectsUnknownWireVersion) {
+  Bytes q = encode(Message(Query::where_is("a", "B")));
+  q[1] = kQueryWireVersion + 1;
+  EXPECT_FALSE(decode(q).has_value());
+
+  Bytes res = encode(Message(QueryResult{}));
+  res[1] = 0;  // version 0 never existed
+  EXPECT_FALSE(decode(res).has_value());
+}
+
+TEST(QueryWire, RejectsUnknownKindAndStatusBytes) {
+  Bytes q = encode(Message(Query::where_is("a", "B")));
+  q[2] = 250;  // kind byte follows the version byte
+  EXPECT_FALSE(decode(q).has_value());
+
+  Bytes res = encode(Message(QueryResult{}));
+  res[2] = static_cast<std::uint8_t>(QueryStatus::kZoneUnavailable) + 1;
+  EXPECT_FALSE(decode(res).has_value());
+}
+
+TEST(QueryWire, RejectsTruncationAtEveryByte) {
+  QueryResult res;
+  res.status = QueryStatus::kOk;
+  res.room = "lab";
+  res.users = {"Alice"};
+  res.visits = {{"lab", true, SimTime(9)}};
+  for (const Message m :
+       {Message(Query::history_since("alice", "Bob", SimTime(5))),
+        Message(res)}) {
+    const Bytes b = encode(m);
+    for (std::size_t cut = 1; cut < b.size(); ++cut) {
+      EXPECT_FALSE(decode(Bytes(b.begin(), b.begin() + cut)).has_value())
+          << "cut at " << cut;
+    }
+  }
+}
+
 TEST(MessagesExt, NewTagsRejectTruncation) {
   for (const Message m : {Message(PresenceAck{1, 2}),
                           Message(WhoIsInRequest{1, 2, "x"}),

@@ -177,6 +177,7 @@ TEST(ShardGroupDeterminism, MailboxDrainOrderIsThreadCountInvariant) {
 
 struct ShardedRun {
   std::string history;
+  std::string queries;  // canonical dump of every query kind's answers
   core::TrackingMetrics tracking;
   std::int64_t energy_tx_ns = 0;
   std::int64_t energy_listen_ns = 0;
@@ -185,10 +186,50 @@ struct ShardedRun {
   std::size_t shard_count = 0;
 };
 
+/// Serialises a QueryResult canonically so answers can be diffed across
+/// thread counts and service shard counts.
+void dump_result(std::ostringstream& os, const proto::QueryResult& r) {
+  os << static_cast<int>(r.status) << '|' << r.room << '|';
+  for (const auto& u : r.users) os << u << ',';
+  os << '|';
+  for (const auto& room : r.rooms) os << room << ',';
+  os << '|' << r.distance << '|' << r.was_present << '|' << r.since.ns()
+     << '|';
+  for (const auto& v : r.visits) {
+    os << v.room << (v.entered ? '+' : '-') << v.at.ns() << ',';
+  }
+  os << '\n';
+}
+
+/// The end-of-run query battery: where-is and history-since for every
+/// user, who-is-in for every room, where-was at a spread of instants.
+std::string dump_queries(ShardedBipsSimulation& sim, double sim_seconds) {
+  using Query = core::BipsServer::Query;
+  core::BipsServer& server = sim.server();
+  std::ostringstream os;
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "User " + std::to_string(i);
+    dump_result(os, server.query(Query::where_is("", name)));
+    dump_result(os, server.query(Query::history_since("", name,
+                                                      SimTime::zero())));
+    for (double frac : {0.25, 0.5, 0.75}) {
+      dump_result(os, server.query(Query::where_was(
+                          "", name,
+                          SimTime(Duration::from_seconds(sim_seconds * frac)
+                                      .ns()))));
+    }
+  }
+  for (const mobility::Room& room : sim.building().rooms()) {
+    dump_result(os, server.query(Query::who_is_in("", room.name)));
+  }
+  return os.str();
+}
+
 ShardedRun run_sharded(unsigned threads, std::size_t shards,
                        double sim_seconds,
                        Duration pause_min = Duration::seconds(1),
-                       Duration pause_max = Duration::seconds(4)) {
+                       Duration pause_max = Duration::seconds(4),
+                       std::size_t service_zones = 0) {
   ShardedConfig cfg;
   cfg.base.seed = 0xB1B5'0001ull;
   cfg.base.stagger_inquiry = true;
@@ -197,6 +238,7 @@ ShardedRun run_sharded(unsigned threads, std::size_t shards,
   cfg.base.mobility.pause_min = pause_min;
   cfg.base.mobility.pause_max = pause_max;
   cfg.shards = shards;
+  cfg.service_zones = service_zones;
   ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
   for (int i = 0; i < 12; ++i) {
     sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
@@ -210,6 +252,7 @@ ShardedRun run_sharded(unsigned threads, std::size_t shards,
   std::ostringstream hist;
   sim.write_history_csv(hist);
   out.history = hist.str();
+  out.queries = dump_queries(sim, sim_seconds);
   out.tracking = sim.tracking();
   for (std::size_t s = 0; s < sim.workstation_count(); ++s) {
     auto& ws = sim.workstation(static_cast<core::StationId>(s));
@@ -244,6 +287,17 @@ TEST(ShardedSimulation, ByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(one.history.find("enter"), std::string::npos);
 
   EXPECT_EQ(one.history, four.history);
+  // The unified Query API answers byte-identically at every thread count
+  // (same partitioned service, same ingest order)...
+  EXPECT_FALSE(one.queries.empty());
+  EXPECT_EQ(one.queries, four.queries);
+  // ... and with the location service collapsed to a single database under
+  // the same sharded simulator: the partitioning is invisible to queries.
+  const ShardedRun single_db =
+      run_sharded(4, 4, 120.0, Duration::seconds(1), Duration::seconds(4),
+                  /*service_zones=*/1);
+  EXPECT_EQ(one.queries, single_db.queries);
+  EXPECT_EQ(one.history, single_db.history);
   EXPECT_EQ(one.tracking.samples, four.tracking.samples);
   EXPECT_EQ(one.tracking.correct_room, four.tracking.correct_room);
   EXPECT_EQ(one.tracking.wrong_room, four.tracking.wrong_room);

@@ -295,7 +295,7 @@ TEST_P(SystemSoak, InvariantsHoldOnRandomDeployments) {
   }
   // Every DB presence points at a real station and a logged-in or at least
   // known device; every session is unique per user and device.
-  const auto& db = sim.server().db();
+  const auto& db = sim.server().locations();
   std::size_t present = 0;
   for (int i = 0; i < users; ++i) {
     const std::string id = "u" + std::to_string(i);

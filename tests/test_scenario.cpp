@@ -54,6 +54,19 @@ TEST(ScenarioParser, DefaultsApplyWhenOmitted) {
   EXPECT_EQ(spec->config.seed, SimulationConfig{}.seed);
   EXPECT_TRUE(spec->users.empty());
   EXPECT_EQ(spec->run_time, Duration::seconds(300));
+  EXPECT_EQ(spec->config.server.zones, 1u);  // classic single database
+}
+
+TEST(ScenarioParser, ZonesDirectiveSetsServiceShards) {
+  ScenarioError err;
+  const auto spec =
+      parse_scenario(std::string("zones 3\nroom only 0 0\n"), &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  EXPECT_EQ(spec->config.server.zones, 3u);
+
+  EXPECT_FALSE(parse_scenario(std::string("zones 0\n"), &err).has_value());
+  EXPECT_FALSE(parse_scenario(std::string("zones 2.5\n"), &err).has_value());
+  EXPECT_FALSE(parse_scenario(std::string("zones x\n"), &err).has_value());
 }
 
 struct BadCase {
@@ -590,7 +603,9 @@ sample 1
   auto sim = run_scenario(*spec);
   // The crash happened (station expired) and recovery completed (Alice is
   // tracked again by the end).
-  EXPECT_GE(sim->server().stats().stations_expired, 1u);
+  EXPECT_GE(
+      sim->simulator().obs().metrics.counter_value("server.stations_expired"),
+      1u);
   EXPECT_EQ(sim->db_room("alice"), 0u);
   EXPECT_TRUE(sim->client("alice")->logged_in());
   EXPECT_FALSE(sim->workstation(0).crashed());

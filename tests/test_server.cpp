@@ -46,6 +46,10 @@ struct ServerRig : ::testing::Test {
     send(proto::LoginRequest{addr, userid, pw});
     ASSERT_TRUE(last_reply<proto::LoginReply>().ok);
   }
+
+  std::uint64_t ctr(std::string_view name) const {
+    return sim.obs().metrics.counter_value(name);
+  }
 };
 
 TEST_F(ServerRig, LoginHappyPath) {
@@ -53,8 +57,8 @@ TEST_F(ServerRig, LoginHappyPath) {
   const auto rep = last_reply<proto::LoginReply>();
   EXPECT_TRUE(rep.ok);
   EXPECT_EQ(rep.bd_addr, 0xB1u);
-  EXPECT_TRUE(server.db().logged_in("alice"));
-  EXPECT_EQ(server.stats().logins_ok, 1u);
+  EXPECT_TRUE(server.locations().logged_in("alice"));
+  EXPECT_EQ(ctr("server.logins_ok"), 1u);
 }
 
 TEST_F(ServerRig, LoginBadPassword) {
@@ -62,7 +66,7 @@ TEST_F(ServerRig, LoginBadPassword) {
   const auto rep = last_reply<proto::LoginReply>();
   EXPECT_FALSE(rep.ok);
   EXPECT_EQ(rep.reason, "bad credentials");
-  EXPECT_FALSE(server.db().logged_in("alice"));
+  EXPECT_FALSE(server.locations().logged_in("alice"));
 }
 
 TEST_F(ServerRig, LoginUnknownUser) {
@@ -74,7 +78,7 @@ TEST_F(ServerRig, LoginIsIdempotentForSameBinding) {
   login("alice", 0xB1, "pw-a");
   send(proto::LoginRequest{0xB1, "alice", "pw-a"});
   EXPECT_TRUE(last_reply<proto::LoginReply>().ok);
-  EXPECT_EQ(server.db().session_count(), 1u);
+  EXPECT_EQ(server.locations().session_count(), 1u);
 }
 
 TEST_F(ServerRig, SecondDeviceForSameUserRejected) {
@@ -91,15 +95,15 @@ TEST_F(ServerRig, LogoutRequiresMatchingBinding) {
   EXPECT_FALSE(last_reply<proto::LogoutReply>().ok);
   send(proto::LogoutRequest{0xB1, "alice"});
   EXPECT_TRUE(last_reply<proto::LogoutReply>().ok);
-  EXPECT_FALSE(server.db().logged_in("alice"));
+  EXPECT_FALSE(server.locations().logged_in("alice"));
 }
 
 TEST_F(ServerRig, PresenceUpdatesFeedTheDb) {
   send(proto::PresenceUpdate{3, 0xB1, true, 1000});
-  EXPECT_EQ(server.db().piconet_of(0xB1), 3u);
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 3u);
   send(proto::PresenceUpdate{3, 0xB1, false, 2000});
-  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
-  EXPECT_EQ(server.stats().presence_received, 2u);
+  EXPECT_FALSE(server.locations().piconet_of(0xB1).has_value());
+  EXPECT_EQ(ctr("server.presence_received"), 2u);
 }
 
 TEST_F(ServerRig, WhereIsFullHappyPath) {
@@ -112,7 +116,7 @@ TEST_F(ServerRig, WhereIsFullHappyPath) {
   EXPECT_EQ(rep.query_id, 77u);
   EXPECT_EQ(rep.status, QueryStatus::kOk);
   EXPECT_EQ(rep.room, "lab-networks");
-  EXPECT_EQ(server.stats().whereis_served, 1u);
+  EXPECT_EQ(ctr("server.whereis_served"), 1u);
 }
 
 TEST_F(ServerRig, WhereIsUnknownTarget) {
@@ -206,13 +210,13 @@ TEST_F(ServerRig, PathFromInvalidRoomUnreachable) {
 TEST_F(ServerRig, MalformedDatagramCounted) {
   ws.send(server.address(), {0xFF, 0x00, 0x01});
   sim.run();
-  EXPECT_EQ(server.stats().malformed, 1u);
+  EXPECT_EQ(ctr("server.malformed"), 1u);
   EXPECT_TRUE(replies.empty());
 }
 
 TEST_F(ServerRig, ReplyTypeSentToServerIsMalformed) {
   send(proto::LoginReply{1, true, ""});
-  EXPECT_EQ(server.stats().malformed, 1u);
+  EXPECT_EQ(ctr("server.malformed"), 1u);
 }
 
 TEST_F(ServerRig, LocalQueryApiOperatorBypassesRights) {
@@ -221,7 +225,7 @@ TEST_F(ServerRig, LocalQueryApiOperatorBypassesRights) {
   const StationId lib = *building.find("library");
   send(proto::PresenceUpdate{lib, 0xB2, true, 1000});
   // Empty requester = operator console.
-  const auto rep = server.where_is("", "Bob");
+  const auto rep = server.query(BipsServer::Query::where_is("", "Bob"));
   EXPECT_EQ(rep.status, QueryStatus::kOk);
   EXPECT_EQ(rep.room, "library");
 }
@@ -246,21 +250,21 @@ TEST_F(ServerRig, PresenceAckAndDedup) {
   const auto ack = last_reply<proto::PresenceAck>();
   EXPECT_EQ(ack.workstation, 2u);
   EXPECT_EQ(ack.seq, 1u);
-  EXPECT_EQ(server.db().piconet_of(0xB1), 2u);
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 2u);
 
   // A retransmission is deduplicated but still acked.
   send(u);
   EXPECT_EQ(last_reply<proto::PresenceAck>().seq, 1u);
-  EXPECT_EQ(server.stats().presence_duplicates, 1u);
-  EXPECT_EQ(server.db().stats().redundant_updates, 0u);  // never re-applied
+  EXPECT_EQ(ctr("server.presence_duplicates"), 1u);
+  EXPECT_EQ(server.locations().stats().redundant_updates, 0u);  // never re-applied
 }
 
 TEST_F(ServerRig, PresenceSeqIsPerWorkstation) {
   send(proto::PresenceUpdate{1, 0xB1, true, 1000, 5});
   send(proto::PresenceUpdate{2, 0xB2, true, 1000, 5});  // same seq, other ws
-  EXPECT_EQ(server.stats().presence_duplicates, 0u);
-  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
-  EXPECT_EQ(server.db().piconet_of(0xB2), 2u);
+  EXPECT_EQ(ctr("server.presence_duplicates"), 0u);
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 1u);
+  EXPECT_EQ(server.locations().piconet_of(0xB2), 2u);
 }
 
 TEST_F(ServerRig, WhoIsInListsOnlyLocatableUsers) {
@@ -390,7 +394,7 @@ TEST_F(ServerRig, LocalWhoIsInOperatorView) {
   const StationId lib = *building.find("library");
   send(proto::PresenceUpdate{lib, 0xB2, true, 1000, 0});
   // The operator (empty requester) sees through privacy settings.
-  const auto rep = server.who_is_in("", "library");
+  const auto rep = server.query(BipsServer::Query::who_is_in("", "library"));
   EXPECT_EQ(rep.users, (std::vector<std::string>{"Bob"}));
 }
 
@@ -424,19 +428,22 @@ struct FailureDetectorRig : ::testing::Test {
   void heartbeat(StationId s) {
     send(proto::Heartbeat{s, sim.now().ns()});
   }
+  std::uint64_t ctr(std::string_view name) const {
+    return sim.obs().metrics.counter_value(name);
+  }
 };
 
 TEST_F(FailureDetectorRig, SilentStationsRecordsExpire) {
   send(proto::PresenceUpdate{1, 0xB1, true, 1000, 0});
   send(proto::PresenceUpdate{1, 0xB2, true, 1000, 0});
   run_s(1);
-  ASSERT_EQ(server.db().piconet_of(0xB1), 1u);
+  ASSERT_EQ(server.locations().piconet_of(0xB1), 1u);
 
   run_s(8);  // no heartbeats: past the 6 s timeout
-  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
-  EXPECT_FALSE(server.db().piconet_of(0xB2).has_value());
-  EXPECT_EQ(server.stats().stations_expired, 1u);
-  EXPECT_EQ(server.stats().presences_expired, 2u);
+  EXPECT_FALSE(server.locations().piconet_of(0xB1).has_value());
+  EXPECT_FALSE(server.locations().piconet_of(0xB2).has_value());
+  EXPECT_EQ(ctr("server.stations_expired"), 1u);
+  EXPECT_EQ(ctr("server.presences_expired"), 2u);
 }
 
 TEST_F(FailureDetectorRig, HeartbeatsKeepRecordsAlive) {
@@ -445,9 +452,9 @@ TEST_F(FailureDetectorRig, HeartbeatsKeepRecordsAlive) {
     run_s(2);
     heartbeat(1);
   }
-  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
-  EXPECT_EQ(server.stats().stations_expired, 0u);
-  EXPECT_GE(server.stats().heartbeats, 9u);
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 1u);
+  EXPECT_EQ(ctr("server.stations_expired"), 0u);
+  EXPECT_GE(ctr("server.heartbeats"), 9u);
 }
 
 TEST_F(FailureDetectorRig, OnlyTheSilentStationExpires) {
@@ -457,9 +464,9 @@ TEST_F(FailureDetectorRig, OnlyTheSilentStationExpires) {
     run_s(2);
     heartbeat(2);  // station 1 goes silent
   }
-  EXPECT_FALSE(server.db().piconet_of(0xB1).has_value());
-  EXPECT_EQ(server.db().piconet_of(0xB2), 2u);
-  EXPECT_EQ(server.stats().stations_expired, 1u);
+  EXPECT_FALSE(server.locations().piconet_of(0xB1).has_value());
+  EXPECT_EQ(server.locations().piconet_of(0xB2), 2u);
+  EXPECT_EQ(ctr("server.stations_expired"), 1u);
 }
 
 TEST_F(FailureDetectorRig, ExpiryPromotesOverlapRunnerUp) {
@@ -471,25 +478,25 @@ TEST_F(FailureDetectorRig, ExpiryPromotesOverlapRunnerUp) {
   weaker.rssi_dbm = -70.0;
   send(weaker);  // suppressed (0 dBm beats -70)
   run_s(1);
-  ASSERT_EQ(server.db().piconet_of(0xB1), 1u);
+  ASSERT_EQ(server.locations().piconet_of(0xB1), 1u);
 
   for (int i = 0; i < 6; ++i) {
     run_s(2);
     heartbeat(2);  // only station 2 stays alive
   }
-  EXPECT_EQ(server.db().piconet_of(0xB1), 2u);  // promoted
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 2u);  // promoted
 }
 
 TEST_F(FailureDetectorRig, RestartedStationStartsAFreshSeqStream) {
   send(proto::PresenceUpdate{1, 0xB1, true, 1000, 7});
   run_s(8);  // station 1 expires (seq state dropped)
-  ASSERT_EQ(server.stats().stations_expired, 1u);
+  ASSERT_EQ(ctr("server.stations_expired"), 1u);
   // After a restart the station's sequence numbers begin at 1 again and
   // must not be treated as duplicates.
   send(proto::PresenceUpdate{1, 0xB1, true, sim.now().ns(), 1});
   run_s(1);
-  EXPECT_EQ(server.db().piconet_of(0xB1), 1u);
-  EXPECT_EQ(server.stats().presence_duplicates, 0u);
+  EXPECT_EQ(server.locations().piconet_of(0xB1), 1u);
+  EXPECT_EQ(ctr("server.presence_duplicates"), 0u);
 }
 
 }  // namespace

@@ -136,7 +136,9 @@ TEST(Simulation, RadioAndServerAccessorsShareState) {
   sim.run_for(Duration::seconds(30));
   EXPECT_GT(sim.simulator().obs().metrics.counter_value("radio.transmissions"),
             0u);
-  EXPECT_GT(sim.server().stats().presence_received, 0u);
+  EXPECT_GT(sim.simulator().obs().metrics.counter_value(
+                "server.presence_received"),
+            0u);
 }
 
 }  // namespace
