@@ -57,6 +57,12 @@
 //                 (service_zones=1) whose query answers must also match --
 //                 partitioning the service must be invisible to queries;
 //                 reports the wall-clock speedup; --min-speedup gates it.
+//   --faults      inject a seeded chaos fault schedule (station crashes,
+//                 a partition, a loss burst, one server crash/restart)
+//                 scaled to the point's sim length into every sharded run.
+//                 With --par-ab this makes the byte-diff subjects -- the
+//                 history, presence stream and Query answers -- cover the
+//                 fault taxonomy's shard-local and barrier classes too.
 //   --append      append this run's rows to an existing report instead of
 //                 overwriting it; refuses if the file's schema version
 //                 differs (rows carry "threads" and "commit" since v2).
@@ -76,6 +82,7 @@
 #include "bench/harness.hpp"
 #include "src/core/parallel.hpp"
 #include "src/core/simulation.hpp"
+#include "src/fault/plan.hpp"
 #include "src/obs/obs.hpp"
 #include "src/util/table.hpp"
 
@@ -262,13 +269,17 @@ Result run_point_sharded(const SweepPoint& p, int threads,
                          std::string* presence_out = nullptr,
                          EnergyTotals* energy_out = nullptr,
                          std::string* queries_out = nullptr,
-                         std::size_t service_zones = 0) {
+                         std::size_t service_zones = 0,
+                         bool faults = false) {
   core::ShardedConfig scfg;
   scfg.base.seed = 0x5CA1E'0000ull + static_cast<std::uint64_t>(p.rows * p.cols);
   scfg.base.stagger_inquiry = true;
   scfg.base.channel.exact_slots = exact_slots;
   scfg.base.workstation.scheduler.inquiry_length = Duration::from_seconds(1.28);
   scfg.base.workstation.scheduler.cycle_length = Duration::from_seconds(5.12);
+  // The fault drill needs the failure detector armed: expirations and the
+  // zone agents' dedup resets are part of what the byte-diff must cover.
+  if (faults) scfg.base.server.station_timeout = Duration::seconds(10);
   scfg.shards = shards;
   scfg.service_zones = service_zones;
 
@@ -292,6 +303,20 @@ Result run_point_sharded(const SweepPoint& p, int threads,
   for (int i = 0; i < p.users; ++i) {
     sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
                  static_cast<mobility::RoomId>(i % rooms));
+  }
+
+  if (faults) {
+    // Seeded chaos scaled to the point's horizon: boot for the first fifth,
+    // inject across the middle three fifths, heal before the end. Short
+    // outages keep the drill dense even on 10 s smoke points.
+    fault::ChaosParams cp;
+    cp.start = Duration::from_seconds(p.sim_seconds * 0.2);
+    cp.window = Duration::from_seconds(p.sim_seconds * 0.6);
+    cp.min_outage = Duration::seconds(1);
+    cp.max_outage = Duration::seconds(3);
+    const fault::FaultPlan plan = fault::FaultPlan::chaos(
+        scfg.base.seed ^ 0xFA17ull, static_cast<std::size_t>(rooms), cp);
+    plan.apply_sharded(sim);
   }
   sim.start();
 
@@ -477,6 +502,7 @@ struct Options {
   bool parab = false;         // sharded 1-thread vs N-thread byte equivalence
   bool append = false;        // extend the report instead of overwriting
   bool energy_check = false;  // --ff-ab: also byte-diff the energy ledgers
+  bool faults = false;        // sharded runs: inject a seeded chaos plan
   int threads = 0;           // >0: run the sharded harness with N workers
   int shards = 4;            // sharded harness zone count
   int reps = 1;              // --ff-ab / --par-ab: best-of-N passes per mode
@@ -545,16 +571,24 @@ int run(const Options& opt) {
       std::string hist1, histn, pres1, presn, q1, qn, qsingle;
       EnergyTotals energy1, energyn;
       Result r1 = run_point_sharded(p, 1, shards, opt.exact_slots, &hist1,
-                                    &pres1, &energy1, &q1);
+                                    &pres1, &energy1, &q1,
+                                    /*service_zones=*/0, opt.faults);
       Result rn = run_point_sharded(p, nthreads, shards, opt.exact_slots,
-                                    &histn, &presn, &energyn, &qn);
+                                    &histn, &presn, &energyn, &qn,
+                                    /*service_zones=*/0, opt.faults);
       run_point_sharded(p, nthreads, shards, opt.exact_slots, nullptr,
-                        nullptr, nullptr, &qsingle, /*service_zones=*/1);
+                        nullptr, nullptr, &qsingle, /*service_zones=*/1,
+                        opt.faults);
       for (int rep = 1; rep < opt.reps; ++rep) {
-        const Result a = run_point_sharded(p, 1, shards, opt.exact_slots);
+        const Result a =
+            run_point_sharded(p, 1, shards, opt.exact_slots, nullptr, nullptr,
+                              nullptr, nullptr, /*service_zones=*/0,
+                              opt.faults);
         if (a.wall_s < r1.wall_s) r1 = a;
         const Result b =
-            run_point_sharded(p, nthreads, shards, opt.exact_slots);
+            run_point_sharded(p, nthreads, shards, opt.exact_slots, nullptr,
+                              nullptr, nullptr, nullptr, /*service_zones=*/0,
+                              opt.faults);
         if (b.wall_s < rn.wall_s) rn = b;
       }
       const bool hist_ok = hist1 == histn;
@@ -588,7 +622,8 @@ int run(const Options& opt) {
       const Result r =
           run_point_sharded(p, opt.threads,
                             static_cast<std::size_t>(opt.shards),
-                            opt.exact_slots, hist);
+                            opt.exact_slots, hist, nullptr, nullptr, nullptr,
+                            /*service_zones=*/0, opt.faults);
       results.push_back(r);
       add_row(r);
       std::printf("done: %d rooms / %d users -> %.0f events/s wall "
@@ -800,6 +835,8 @@ int main(int argc, char** argv) {
       if (opt.shards < 1) opt.shards = 1;
     } else if (std::strcmp(argv[i], "--energy-check") == 0) {
       opt.energy_check = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      opt.faults = true;
     } else if (std::strcmp(argv[i], "--exact-slots") == 0) {
       opt.exact_slots = true;
     } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
@@ -830,7 +867,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--smoke] [-o out.json] [--no-metrics] "
                    "[--trace trace.jsonl] [--ab] [--max-overhead PCT] "
                    "[--exact-slots] [--history FILE] [--ff-ab] [--par-ab] "
-                   "[--threads N] [--shards N] [--append] "
+                   "[--threads N] [--shards N] [--append] [--faults] "
                    "[--energy-check] [--min-speedup X] [--reps N] "
                    "[--point RxCxUxS]\n",
                    argv[0]);

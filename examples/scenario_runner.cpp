@@ -68,8 +68,8 @@ void usage(std::FILE* to, const char* argv0) {
                "  --exact-slots   disable virtual-slot fast-forward\n"
                "  --threads N     replay on the sharded parallel harness\n"
                "                  with N workers (identical output for every\n"
-               "                  N; faults/power-cycle/window assertions\n"
-               "                  are not replayable there yet)\n"
+               "                  N; the full scenario language replays,\n"
+               "                  faults and all assertion kinds included)\n"
                "  --shards N      with --threads: zone count (default 4)\n"
                "  --demo          run a built-in three-room scenario\n"
                "  --synth SEED    print a generated self-checking scenario\n"
@@ -310,7 +310,8 @@ int main(int argc, char** argv) {
       if (!close_sink(csv, positional[1])) return kSinkError;
       std::printf("\nhistory written to %s\n", positional[1]);
     }
-    return checks.passed() ? kOk : kAssertFailed;
+    if (checks.passed()) return kOk;
+    return checks.invariants_violated() ? kInvariantBroken : kAssertFailed;
   }
 
   // The trace sink must be live before the first event fires, so it rides

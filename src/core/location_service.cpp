@@ -131,7 +131,7 @@ std::optional<bool> PartitionedLocationService::apply_present(
   const bool changed = shards_[j]->db.set_present(bd_addr, station, at,
                                                   rssi_dbm);
   rehome(bd_addr, j);
-  trim_history();
+  if (!batching_) trim_history();
   return changed;
 }
 
@@ -145,7 +145,7 @@ std::optional<bool> PartitionedLocationService::apply_absent(
   const std::size_t j = owner_or(bd_addr, z);
   const bool changed = shards_[j]->db.set_absent(bd_addr, station, at);
   rehome(bd_addr, j);
-  trim_history();
+  if (!batching_) trim_history();
   return changed;
 }
 

@@ -103,6 +103,18 @@ class PartitionedLocationService {
   std::optional<bool> apply_absent(std::uint64_t bd_addr, StationId station,
                                    SimTime at);
 
+  /// Barrier-merge batching: between begin and end, the per-delta global
+  /// history trim is deferred and run once at end_merge_batch(). The trim
+  /// is FIFO by the shared seq either way, so the post-batch state is
+  /// byte-identical to trimming per delta -- callers just must not read
+  /// history mid-batch. Used by the sharded harness, whose barrier merge
+  /// applies a whole window of deltas back to back.
+  void begin_merge_batch() { batching_ = true; }
+  void end_merge_batch() {
+    batching_ = false;
+    trim_history();
+  }
+
   void set_conflict_window(Duration w);
   /// Fans out to every shard (a dead station's fallback claims may be held
   /// by a record homed anywhere).
@@ -152,6 +164,7 @@ class PartitionedLocationService {
 
   ZonePartition zones_;
   std::size_t history_limit_;
+  bool batching_ = false;  // defer trim_history until end_merge_batch()
   std::uint64_t next_seq_ = 0;  // shared Transition::seq source
   // unique_ptr: LocationDatabase captures its own address in seq_source_
   // (and the service hands out &next_seq_), so shards must never relocate.

@@ -120,6 +120,29 @@ ShardedBipsSimulation::ShardedBipsSimulation(mobility::Building building,
     stations_.push_back(std::move(ws));
     station_shard_.push_back(k);
   }
+
+  if (s > 1) {
+    // Presence ingest moves off the server thread: each zone gets a local
+    // front-end agent; its window log replays into the server at barriers
+    // (merge_zone_ingest). Single-shard worlds skip all of this and keep
+    // the monolithic direct-to-server presence path.
+    ingests_.reserve(s);
+    for (std::size_t k = 0; k < s; ++k) {
+      ingests_.push_back(std::make_unique<ZoneIngest>(
+          group_.shard(k), shards_[k]->lan, building_.room_count()));
+    }
+    std::vector<net::Address> sync_targets;
+    sync_targets.reserve(stations_.size());
+    for (std::size_t sid = 0; sid < stations_.size(); ++sid) {
+      stations_[sid]->set_presence_sink(
+          ingests_[station_shard_[sid]]->address());
+      sync_targets.push_back(stations_[sid]->lan_address());
+    }
+    server_->set_sync_targets(std::move(sync_targets));
+    server_->set_presence_reset_hook([this](StationId sid) {
+      pending_presence_resets_.push_back(sid);
+    });
+  }
 }
 
 std::size_t ShardedBipsSimulation::shard_of_room(
@@ -238,29 +261,35 @@ void ShardedBipsSimulation::handle_exit(std::size_t i, std::size_t k,
   rep.active = false;
   BipsClient::HandoffState session = rep.client->suspend_handoff();
   const bool shadowed = rep.shadowed;
+  const bool powered_off = rep.powered_off;
   install_provider(i, k);  // teleport out: wakes this zone's masters
   // One full window of delay guarantees the mail lands strictly after the
   // current window's edge (the lookahead contract). Physically: the user
   // is RF-dark for window-length * ff_max_speed_mps of walk -- millimetres.
   const SimTime due = group_.shard(k).now() + window_;
   group_.post(k, dst, due,
-              [this, i, dst, session, shadowed,
+              [this, i, dst, session, shadowed, powered_off,
                s = std::move(st)]() mutable {
-                resume_replica(i, dst, std::move(s), session, shadowed);
+                resume_replica(i, dst, std::move(s), session, shadowed,
+                               powered_off);
               });
 }
 
 void ShardedBipsSimulation::resume_replica(std::size_t i, std::size_t dst,
                                            mobility::TransitState st,
                                            BipsClient::HandoffState session,
-                                           bool shadowed) {
+                                           bool shadowed, bool powered_off) {
   Replica& rep = *users_[i].replicas[dst];
   owner_[i] = static_cast<std::uint32_t>(dst);
   rep.active = true;
   rep.shadowed = shadowed;
+  rep.powered_off = powered_off;
   rep.agent->resume_transit(std::move(st));
   install_provider(i, dst);  // teleport in: the new zone can see it
   rep.client->resume_handoff(session);
+  // A device carried across a seam while powered off stays off: the resume
+  // restarted the scan loop, so switch it straight back off.
+  if (powered_off) rep.client->power_off();
 }
 
 void ShardedBipsSimulation::schedule_user_act(SimTime at,
@@ -285,6 +314,39 @@ void ShardedBipsSimulation::schedule_radio_shadow(SimTime at,
       if (!rep.active || rep.shadowed == shadowed) return;
       rep.shadowed = shadowed;
       install_provider(i, k);
+    });
+  }
+}
+
+void ShardedBipsSimulation::schedule_power_cycle(SimTime at,
+                                                 std::string_view userid,
+                                                 Duration off_for) {
+  BIPS_ASSERT(off_for > Duration(0));
+  const std::size_t i = user_index(userid);
+  for (std::size_t k = 0; k < shard_count(); ++k) {
+    // Exactly the monolithic power-cycle pair: shadow + power_off, then
+    // unshadow + power_on, fired on whichever replica is live (the owner
+    // guard makes exactly one fire; mid-blackout acts drop, identically at
+    // every thread count).
+    group_.shard(k).schedule_at(at, [this, i, k] {
+      Replica& rep = *users_[i].replicas[k];
+      if (!rep.active || rep.powered_off) return;
+      rep.powered_off = true;
+      if (!rep.shadowed) {
+        rep.shadowed = true;
+        install_provider(i, k);
+      }
+      rep.client->power_off();
+    });
+    group_.shard(k).schedule_at(at + off_for, [this, i, k] {
+      Replica& rep = *users_[i].replicas[k];
+      if (!rep.active || !rep.powered_off) return;
+      rep.powered_off = false;
+      if (rep.shadowed) {
+        rep.shadowed = false;
+        install_provider(i, k);
+      }
+      rep.client->power_on();
     });
   }
 }
@@ -342,7 +404,78 @@ void ShardedBipsSimulation::enable_tracking_metrics(Duration period) {
   }
 }
 
+std::vector<std::string> ShardedBipsSimulation::userids() const {
+  std::vector<std::string> ids;
+  ids.reserve(users_.size());
+  for (const User& u : users_) ids.push_back(u.userid);
+  return ids;
+}
+
+std::vector<net::Address> ShardedBipsSimulation::ingest_addresses() const {
+  std::vector<net::Address> out;
+  out.reserve(ingests_.size());
+  for (const auto& a : ingests_) out.push_back(a->address());
+  return out;
+}
+
+void ShardedBipsSimulation::merge_zone_ingest(SimTime edge) {
+  (void)edge;
+  if (ingests_.empty()) return;
+
+  // Collect every zone's window log and replay it through the server in
+  // one deterministic total order: (arrival instant, zone index, arrival
+  // order within the zone). Each zone's log is already in its shard's
+  // event order, which the lookahead contract makes thread-invariant, so
+  // the merged order -- and with it every Transition::seq the service
+  // stamps -- is byte-identical at every thread count.
+  struct Keyed {
+    ZoneIngest::Entry e;
+    std::size_t zone;
+  };
+  std::vector<Keyed> merged;
+  for (std::size_t k = 0; k < ingests_.size(); ++k) {
+    std::vector<ZoneIngest::Entry> log = ingests_[k]->drain();
+    merged.reserve(merged.size() + log.size());
+    for (ZoneIngest::Entry& e : log) merged.push_back(Keyed{std::move(e), k});
+  }
+  if (!merged.empty()) {
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Keyed& a, const Keyed& b) {
+                       if (a.e.recv_at != b.e.recv_at) {
+                         return a.e.recv_at < b.e.recv_at;
+                       }
+                       return a.zone < b.zone;
+                     });
+    // One window of deltas back to back: defer the global history trim to
+    // the end of the batch (identical final state, one pass).
+    server_->locations().begin_merge_batch();
+    for (const Keyed& x : merged) server_->ingest_merged(x.e.from, x.e.u);
+    server_->locations().end_merge_batch();
+  }
+
+  // Mirror server-side control state back out to the agents. Watermark
+  // resets (failure-detector expiry) accumulate mid-window on shard 0's
+  // worker; fault state (crash/restart/shard crash) is refreshed only when
+  // the server's fault generation moved since the last barrier.
+  for (const StationId sid : pending_presence_resets_) {
+    ingests_[station_shard_[sid]]->reset_station(sid);
+  }
+  pending_presence_resets_.clear();
+  if (server_->fault_generation() != seen_fault_generation_) {
+    seen_fault_generation_ = server_->fault_generation();
+    const bool crashed = server_->crashed();
+    const std::uint32_t epoch = server_->epoch();
+    for (auto& a : ingests_) a->set_server_state(crashed, epoch);
+    const PartitionedLocationService& svc = server_->locations();
+    for (StationId sid = 0; sid < stations_.size(); ++sid) {
+      ingests_[station_shard_[sid]]->set_station_refused(
+          sid, !svc.zone_available(sid));
+    }
+  }
+}
+
 void ShardedBipsSimulation::on_barrier(SimTime edge) {
+  merge_zone_ingest(edge);
   if (sample_period_ > Duration(0) && !sampler_) {
     // One sample per elapsed period tick, taken at the first barrier at or
     // after it: a deterministic quantisation bounded by the window.

@@ -34,6 +34,7 @@
 
 #include "src/core/simulation.hpp"
 #include "src/core/zone_map.hpp"
+#include "src/core/zone_ingest.hpp"
 #include "src/sim/shard.hpp"
 
 namespace bips::core {
@@ -104,6 +105,22 @@ class ShardedBipsSimulation {
   std::size_t workstation_count() const { return stations_.size(); }
   BipsWorkstation& workstation(StationId s) { return *stations_.at(s); }
   std::size_t user_count() const { return users_.size(); }
+  /// Registered userids, in add_user order (invariant grading needs the
+  /// roster without reaching into the registry).
+  std::vector<std::string> userids() const;
+
+  /// Zone `k`'s LAN segment (fault injection targets it directly: link
+  /// loss, loss bursts and partitions are per-zone state).
+  net::Lan& shard_lan(std::size_t k) { return shards_[k]->lan; }
+  /// Zone `k`'s presence ingest front-end; nullptr in single-shard worlds
+  /// (stations talk straight to the server there).
+  const ZoneIngest* zone_ingest(std::size_t k) const {
+    return ingests_.empty() ? nullptr : ingests_[k].get();
+  }
+  /// Global LAN addresses of every zone agent (empty in single-shard
+  /// worlds). Partition faults must keep these with the server's side so
+  /// isolated stations lose their presence path too.
+  std::vector<net::Address> ingest_addresses() const;
 
   /// Gates every shard's metrics registry at once.
   void set_metrics_enabled(bool on);
@@ -122,6 +139,12 @@ class ShardedBipsSimulation {
   /// harness): the flag rides handoffs with the user.
   void schedule_radio_shadow(SimTime at, std::string_view userid,
                              bool shadowed);
+  /// Scripted handheld power cycle (the monolithic shadow + power_off /
+  /// unshadow + power_on pair as one act): radio dark and session RAM dead
+  /// at `at`, back on at `at + off_for`. The powered-off state rides
+  /// handoffs with the user like the shadow flag does.
+  void schedule_power_cycle(SimTime at, std::string_view userid,
+                            Duration off_for);
 
   // ---- barrier-time observation (safe between run_for calls and inside
   // ---- the barrier hook: every shard is quiescent there) ---------------
@@ -178,6 +201,7 @@ class ShardedBipsSimulation {
     std::unique_ptr<mobility::RandomWaypointAgent> agent;
     bool active = false;    // this shard owns the user right now
     bool shadowed = false;  // scripted RF shadow (travels on handoff)
+    bool powered_off = false;  // scripted power cycle (travels on handoff)
   };
 
   struct User {
@@ -199,8 +223,13 @@ class ShardedBipsSimulation {
   void handle_exit(std::size_t i, std::size_t k, mobility::TransitState st);
   void resume_replica(std::size_t i, std::size_t dst,
                       mobility::TransitState st,
-                      BipsClient::HandoffState session, bool shadowed);
+                      BipsClient::HandoffState session, bool shadowed,
+                      bool powered_off);
   void on_barrier(SimTime edge);
+  /// Barrier step 1: drains every zone agent's window log, replays it
+  /// through the shard-0 server in one deterministic merge order, then
+  /// mirrors the server's fault/epoch state back out to the agents.
+  void merge_zone_ingest(SimTime edge);
   void sample_tracking();
 
   ShardedConfig cfg_;
@@ -216,6 +245,16 @@ class ShardedBipsSimulation {
   std::unique_ptr<BipsServer> server_;  // lives on shard 0
   std::vector<std::unique_ptr<BipsWorkstation>> stations_;
   std::vector<std::size_t> station_shard_;
+  /// Per-zone presence ingest front-ends (multi-shard worlds only): each
+  /// zone's stations report presence to their local agent, the agents'
+  /// window logs merge into the server at every barrier.
+  std::vector<std::unique_ptr<ZoneIngest>> ingests_;
+  /// Stations whose presence-stream watermark the server's failure
+  /// detector dropped mid-window (written only by shard 0's worker via
+  /// the server hook, drained single-threaded at the barrier).
+  std::vector<StationId> pending_presence_resets_;
+  /// Last server fault_generation() mirrored out to the agents.
+  std::uint64_t seen_fault_generation_ = 0;
   std::deque<User> users_;
   /// Owning shard per user. Written by the owning shard's resume event,
   /// read single-threaded at barriers.

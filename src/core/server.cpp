@@ -77,6 +77,7 @@ void BipsServer::reply(net::Address to, const proto::Message& m) {
 void BipsServer::crash() {
   if (crashed_) return;
   crashed_ = true;
+  ++fault_generation_;
   c_.crashes->inc();
   // Record the death, then flush: a buffered trace sink must neither lose
   // the records leading up to the crash nor replay them after restart.
@@ -101,15 +102,22 @@ void BipsServer::restart() {
   if (!crashed_) return;
   crashed_ = false;
   ++epoch_;
+  ++fault_generation_;
   c_.restarts->inc();
   tracer_->emit(sim_.now(), obs::TraceKind::kServerRestart, 0, epoch_);
   if (sweep_timer_) sweep_timer_->start();
   // Ask the whole LAN for state. Workstations answer with SyncSnapshots;
   // anything else ignores the request. Loss of individual requests is
-  // repaired by the epoch riding on every HeartbeatAck/PresenceAck.
+  // repaired by the epoch riding on every HeartbeatAck/PresenceAck. A
+  // sharded world's stations sit on remote segments this LAN cannot
+  // enumerate, so the harness supplies their global addresses up front.
   const proto::SyncRequest req{epoch_, sim_.now().ns()};
-  for (net::Address a = 0; a < lan_.endpoint_count(); ++a) {
-    if (a != endpoint_.address()) reply(a, req);
+  if (!sync_targets_.empty()) {
+    for (const net::Address a : sync_targets_) reply(a, req);
+  } else {
+    for (net::Address a = 0; a < lan_.endpoint_count(); ++a) {
+      if (a != endpoint_.address()) reply(a, req);
+    }
   }
   BIPS_WARN(sim_.now(), "server: restarted as epoch %u, resync requested",
             epoch_);
@@ -118,6 +126,7 @@ void BipsServer::restart() {
 void BipsServer::crash_shard(std::size_t k) {
   if (crashed_ || k >= svc_.shard_count() || svc_.shard_crashed(k)) return;
   svc_.crash_shard(k);
+  ++fault_generation_;
   c_.shard_crashes->inc();
   BIPS_WARN(sim_.now(), "server: location shard %zu crashed, zone slice lost",
             k);
@@ -126,6 +135,7 @@ void BipsServer::crash_shard(std::size_t k) {
 void BipsServer::restart_shard(std::size_t k) {
   if (crashed_ || k >= svc_.shard_count() || !svc_.shard_crashed(k)) return;
   svc_.restart_shard(k);
+  ++fault_generation_;
   c_.shard_restarts->inc();
   // Zone-scoped resync: only zone-k workstations hold the lost slice, so
   // only they are asked for snapshots (contrast restart(), which must
@@ -294,6 +304,9 @@ void BipsServer::sweep_dead_stations() {
   for (const StationId station : dead) {
     last_heard_.erase(station);
     last_presence_seq_.erase(station);  // a restarted station starts fresh
+    // A zone-ingest front-end holding this station's dedup watermark must
+    // forget it too (applied at the next window barrier).
+    if (presence_reset_hook_) presence_reset_hook_(station);
     resync_pending_.try_emplace(station, SimTime::zero());
     svc_.retire_station_claims(station);
     c_.stations_expired->inc();
@@ -339,6 +352,24 @@ bool BipsServer::ingest_presence(net::Address from,
   if (m.seq != 0) last_presence_seq_[m.workstation] = m.seq;
   if (*changed) notify_subscribers(m.bd_addr, m.present, m.workstation, at);
   return true;
+}
+
+void BipsServer::ingest_merged(net::Address from,
+                               const proto::PresenceUpdate& m) {
+  if (crashed_) return;  // the window's log raced a crash: deltas die too
+  // Liveness + routing exactly as if the datagram had arrived here: the
+  // station's address feeds pushes and resync requests, and a station in
+  // resync-pending keeps being asked for its snapshot.
+  note_station_alive(m.workstation, from);
+  const SimTime at(m.timestamp_ns);
+  const std::optional<bool> changed =
+      m.present ? svc_.apply_present(m.bd_addr, m.workstation, at, m.rssi_dbm)
+                : svc_.apply_absent(m.bd_addr, m.workstation, at);
+  // A nullopt refusal (zone shard died inside the window) drops the delta;
+  // the zone-scoped resync after restart_shard restores the slice.
+  if (changed.value_or(false)) {
+    notify_subscribers(m.bd_addr, m.present, m.workstation, at);
+  }
 }
 
 void BipsServer::handle(net::Address from, const proto::PresenceUpdate& m) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -77,6 +78,40 @@ class BipsServer {
   /// the pending-resync loop until each snapshot lands).
   void restart_shard(std::size_t k);
   bool shard_crashed(std::size_t k) const { return svc_.shard_crashed(k); }
+
+  // ---- sharded-harness control plane (DESIGN.md section 9) --------------
+
+  /// Applies one zone-agent presence delta at a window barrier. The zone's
+  /// ZoneIngest already deduplicated and acked the stream on its own shard,
+  /// so this path skips the wire dedup/ack machinery and goes straight to
+  /// the shared location service, plus liveness/routing bookkeeping and
+  /// subscriber fan-out. No-op while crashed: the agents mirror the crash
+  /// at the next barrier, and the one-window sliver of deltas acked in
+  /// between is repaired by the restart snapshot resync, exactly like a
+  /// delta acked moments before a monolithic server dies.
+  void ingest_merged(net::Address from, const proto::PresenceUpdate& m);
+
+  /// Explicit restart()-broadcast targets. A sharded world's stations live
+  /// on remote LAN segments the server's own endpoint enumeration cannot
+  /// see; the harness hands their global addresses over so the post-restart
+  /// SyncRequest reaches every zone. Empty (the default) keeps the
+  /// monolithic local-segment broadcast.
+  void set_sync_targets(std::vector<net::Address> targets) {
+    sync_targets_ = std::move(targets);
+  }
+
+  /// Invoked whenever the failure detector forgets a station's presence-
+  /// stream watermark (the station must start a fresh stream); the sharded
+  /// harness propagates the reset to the station's zone agent at the next
+  /// barrier.
+  void set_presence_reset_hook(std::function<void(StationId)> hook) {
+    presence_reset_hook_ = std::move(hook);
+  }
+
+  /// Bumps on every crash / restart / crash_shard / restart_shard; the
+  /// sharded harness refreshes the zone agents' mirrored fault state only
+  /// when this changed since the last barrier.
+  std::uint64_t fault_generation() const { return fault_generation_; }
 
   UserRegistry& registry() { return registry_; }
   const UserRegistry& registry() const { return registry_; }
@@ -208,6 +243,9 @@ class BipsServer {
 
   bool crashed_ = false;
   std::uint32_t epoch_ = 1;
+  std::uint64_t fault_generation_ = 0;
+  std::vector<net::Address> sync_targets_;
+  std::function<void(StationId)> presence_reset_hook_;
 
   /// Cached "server.*" registry cells and the tracer.
   struct Cells {

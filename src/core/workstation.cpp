@@ -11,6 +11,7 @@ BipsWorkstation::BipsWorkstation(sim::Simulator& sim,
                                  WorkstationConfig cfg)
     : sim_(sim),
       server_(server),
+      presence_sink_(server),
       station_(station),
       device_(sim, radio, addr, std::move(rng), pos),
       scheduler_(device_, cfg.scheduler),
@@ -127,7 +128,7 @@ void BipsWorkstation::report(std::uint64_t bd_addr, bool present,
     unacked_.pop_front();
     ++stats_.updates_dropped;
   }
-  endpoint_.send(server_, proto::encode(u));
+  endpoint_.send(presence_sink_, proto::encode(u));
   if (!retransmit_timer_.running()) retransmit_timer_.start();
   present ? ++stats_.presences_reported : ++stats_.absences_reported;
   (present ? c_presences_ : c_absences_)->inc();
@@ -153,7 +154,7 @@ void BipsWorkstation::retransmit_unacked() {
   // pure uplink burn -- one PresenceBatch carries the lot and earns one
   // cumulative ack. Per-delta retransmission counters stay per delta.
   if (unacked_.size() == 1) {
-    endpoint_.send(server_, proto::encode(unacked_.front()));
+    endpoint_.send(presence_sink_, proto::encode(unacked_.front()));
     ++stats_.retransmissions;
     c_retransmissions_->inc();
     return;
@@ -163,7 +164,7 @@ void BipsWorkstation::retransmit_unacked() {
   batch.updates.assign(unacked_.begin(), unacked_.end());
   stats_.retransmissions += unacked_.size();
   c_retransmissions_->inc(unacked_.size());
-  endpoint_.send(server_, proto::encode(batch));
+  endpoint_.send(presence_sink_, proto::encode(batch));
 }
 
 void BipsWorkstation::note_server_epoch(std::uint32_t epoch) {

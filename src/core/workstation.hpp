@@ -83,6 +83,12 @@ class BipsWorkstation {
 
   StationId station() const { return station_; }
   net::Address lan_address() const { return endpoint_.address(); }
+  /// Redirects the presence stream (reports, retransmit singles and
+  /// batches) to a different LAN endpoint. The sharded harness points this
+  /// at the zone's local ingest front-end (core::ZoneIngest) so presence
+  /// stays on the zone's own shard; heartbeats, snapshots and protocol
+  /// relays keep travelling to the server. Defaults to the server address.
+  void set_presence_sink(net::Address sink) { presence_sink_ = sink; }
   baseband::Device& device() { return device_; }
   baseband::MasterScheduler& scheduler() { return scheduler_; }
 
@@ -147,6 +153,7 @@ class BipsWorkstation {
 
   sim::Simulator& sim_;
   net::Address server_;
+  net::Address presence_sink_;  // where the presence stream goes (see above)
   StationId station_;
   baseband::Device device_;
   baseband::MasterScheduler scheduler_;

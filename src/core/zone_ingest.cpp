@@ -1,0 +1,70 @@
+#include "src/core/zone_ingest.hpp"
+
+#include <variant>
+
+namespace bips::core {
+
+ZoneIngest::ZoneIngest(sim::Simulator& sim, net::Lan& lan,
+                       std::size_t station_count)
+    : sim_(sim), endpoint_(lan.create_endpoint()) {
+  station_refused_.assign(station_count, 0);
+  obs::MetricsRegistry& reg = sim.obs().metrics;
+  c_ops_ = &reg.counter("svc.ingest_ops");
+  c_dupes_ = &reg.counter("svc.ingest_dupes");
+  endpoint_.set_handler([this](net::Address from, const net::Payload& data) {
+    on_datagram(from, data);
+  });
+}
+
+void ZoneIngest::on_datagram(net::Address from, const net::Payload& data) {
+  // A dead server's front-ends are dead with it: while the (barrier-
+  // mirrored) server state says crashed, presence goes unacked and unqueued
+  // so the stations hold it for the restart resync.
+  if (server_crashed_) return;
+  const auto msg = proto::decode(data);
+  if (!msg) return;  // stations only ever send well-formed presence here
+  if (const auto* u = std::get_if<proto::PresenceUpdate>(&*msg)) {
+    if (accept(from, *u) && u->seq != 0) {
+      endpoint_.send(from, proto::encode(proto::PresenceAck{
+                               u->workstation, last_seq_[u->workstation],
+                               epoch_}));
+    }
+  } else if (const auto* b = std::get_if<proto::PresenceBatch>(&*msg)) {
+    bool ackable = false;
+    bool sequenced = false;
+    for (const auto& u : b->updates) {
+      sequenced = sequenced || u.seq != 0;
+      if (accept(from, u)) ackable = true;
+    }
+    // One cumulative ack for the whole batch, exactly like the server's
+    // batch path: refused entries sit above the acked seq and stay queued.
+    if (ackable && sequenced) {
+      endpoint_.send(from, proto::encode(proto::PresenceAck{
+                               b->workstation, last_seq_[b->workstation],
+                               epoch_}));
+    }
+  }
+}
+
+bool ZoneIngest::accept(net::Address from, const proto::PresenceUpdate& u) {
+  if (u.workstation < station_refused_.size() &&
+      station_refused_[u.workstation] != 0) {
+    // The owning location shard is crashed: refuse un-acked, exactly like
+    // PartitionedLocationService refusing the delta at the server.
+    return false;
+  }
+  if (u.seq != 0) {
+    const auto it = last_seq_.find(u.workstation);
+    if (it != last_seq_.end() && u.seq <= it->second) {
+      c_dupes_->inc();
+      return true;  // duplicate: ackable, re-tells the stream position
+    }
+    last_seq_[u.workstation] = u.seq;
+  }
+  log_.push_back(Entry{sim_.now(), from, u});
+  ++ops_;
+  c_ops_->inc();
+  return true;
+}
+
+}  // namespace bips::core

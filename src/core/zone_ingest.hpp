@@ -1,0 +1,105 @@
+// Zone-local presence ingest front-end for the sharded simulation.
+//
+// In a sharded world (DESIGN.md section 9) every zone's workstations used to
+// uplink their presence streams to the shard-0 server, so decode, dedup and
+// acking for the whole building serialized on one worker. A ZoneIngest is a
+// LAN endpoint owned by the zone's own shard: the zone's stations report
+// presence to it at intra-zone latency, it deduplicates and acks the streams
+// locally on the zone's worker thread, and it appends every accepted-fresh
+// delta to a per-window log. The shard-0 server never sees the datagrams;
+// at each window barrier the harness drains all zone logs single-threaded,
+// sorts them on (receive instant, zone, arrival order) and replays them
+// through the shared PartitionedLocationService (BipsServer::ingest_merged)
+// -- the cross-zone merge that keeps Transition::seq assignment, FIFO
+// eviction and the db.* counters identical at every thread count.
+//
+// Server-side control state (crash epoch, crashed location shards, the
+// failure detector's dedup resets) is pushed *to* the agent at barriers, so
+// the worker-thread fast path reads only zone-local memory. The agent may
+// therefore lag the server by at most one window (~ms) after a crash: a
+// delta acked in that sliver and refused at the merge is repaired by the
+// same snapshot resync that heals every other crash, exactly like a delta
+// acked just before a monolithic server dies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/location_db.hpp"
+#include "src/net/lan.hpp"
+#include "src/obs/obs.hpp"
+#include "src/proto/messages.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace bips::core {
+
+class ZoneIngest {
+ public:
+  /// One accepted-fresh presence delta, logged in zone-local arrival order.
+  struct Entry {
+    SimTime recv_at;        // the agent's receive instant (merge sort key)
+    net::Address from;      // the reporting station's global LAN address
+    proto::PresenceUpdate u;
+  };
+
+  /// Creates the zone's ingest endpoint on `lan` (the zone's own segment).
+  ZoneIngest(sim::Simulator& sim, net::Lan& lan, std::size_t station_count);
+
+  net::Address address() const { return endpoint_.address(); }
+
+  /// Moves out the window's accepted-delta log. Call single-threaded at a
+  /// window barrier only.
+  std::vector<Entry> drain() {
+    std::vector<Entry> out;
+    out.swap(log_);
+    return out;
+  }
+
+  // ---- barrier-time control plane (single-threaded writers only) --------
+
+  /// Mirrors the server's crash state and incarnation into the agent. While
+  /// the server is down the agent goes deaf with it: no acks, no logging,
+  /// no dedup advance -- the stations queue and retransmit exactly as they
+  /// would against a dead monolithic server.
+  void set_server_state(bool crashed, std::uint32_t epoch) {
+    server_crashed_ = crashed;
+    epoch_ = epoch;
+  }
+  /// Mirrors a location-shard crash for one of this zone's stations: its
+  /// deltas are refused un-acked until the shard restarts (the workstation
+  /// retransmit queue plus the zone-scoped resync repair the gap).
+  void set_station_refused(StationId station, bool refused) {
+    if (station < station_refused_.size()) {
+      station_refused_[station] = refused ? 1 : 0;
+    }
+  }
+  /// The failure detector expired this station: its next incarnation starts
+  /// a fresh stream, so forget the dedup watermark (the barrier-propagated
+  /// twin of the server erasing last_presence_seq_).
+  void reset_station(StationId station) { last_seq_.erase(station); }
+
+  /// Accepted-fresh deltas logged over the agent's lifetime (svc.ingest_ops
+  /// mirrors this in the zone's registry).
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  void on_datagram(net::Address from, const net::Payload& data);
+  /// Dedups + logs one update; returns true if ackable (fresh or duplicate,
+  /// i.e. anything but a refusal).
+  bool accept(net::Address from, const proto::PresenceUpdate& u);
+
+  sim::Simulator& sim_;
+  net::Endpoint& endpoint_;
+  /// Cumulative per-station watermark: highest logged seq (the ack value).
+  std::unordered_map<StationId, std::uint64_t> last_seq_;
+  std::vector<Entry> log_;
+  std::vector<char> station_refused_;
+  bool server_crashed_ = false;
+  std::uint32_t epoch_ = 1;
+  std::uint64_t ops_ = 0;
+  obs::Counter* c_ops_;
+  obs::Counter* c_dupes_;
+};
+
+}  // namespace bips::core

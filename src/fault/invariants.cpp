@@ -2,19 +2,47 @@
 
 #include <cstdio>
 
+#include "src/util/assert.hpp"
+
 namespace bips::fault {
 
 InvariantChecker::InvariantChecker(core::BipsSimulation& sim, Config cfg)
-    : sim_(sim), cfg_(std::move(cfg)), stations_(sim.workstation_count()) {}
+    : InvariantChecker(
+          WorldView{
+              [&sim] { return sim.simulator().now(); },
+              [&sim] { return sim.workstation_count(); },
+              [&sim](core::StationId s) -> core::BipsWorkstation& {
+                return sim.workstation(s);
+              },
+              [&sim] { return sim.server().crashed(); },
+              [&sim] { return sim.userids(); },
+              [&sim](std::string_view uid) {
+                const core::BipsClient* c = sim.client(uid);
+                return c != nullptr && c->logged_in();
+              },
+              [&sim](std::string_view uid) { return sim.db_room(uid); },
+              [&sim](std::string_view uid) { return sim.true_room(uid); },
+          },
+          std::move(cfg)) {
+  timer_sim_ = &sim.simulator();
+}
+
+InvariantChecker::InvariantChecker(WorldView view, Config cfg)
+    : view_(std::move(view)),
+      cfg_(std::move(cfg)),
+      stations_(view_.workstation_count()) {}
 
 bool InvariantChecker::graded(core::StationId s) const {
   return !cfg_.station_filter || cfg_.station_filter(s);
 }
 
 void InvariantChecker::start() {
+  BIPS_ASSERT_MSG(timer_sim_ != nullptr,
+                  "start() needs the BipsSimulation form; view-based "
+                  "checkers are sampled by their owner");
   if (!timer_) {
     timer_ = std::make_unique<sim::PeriodicTimer>(
-        sim_.simulator(), cfg_.sample_period, [this] { sample(); });
+        *timer_sim_, cfg_.sample_period, [this] { sample(); });
   }
   timer_->start();
 }
@@ -34,11 +62,12 @@ void InvariantChecker::violate(std::string msg) {
 
 void InvariantChecker::sample() {
   ++samples_;
-  const SimTime now = sim_.simulator().now();
+  const SimTime now = view_.now();
   char msg[192];
 
-  for (core::StationId s = 0; s < sim_.workstation_count(); ++s) {
-    core::BipsWorkstation& ws = sim_.workstation(s);
+  const std::size_t nstations = view_.workstation_count();
+  for (core::StationId s = 0; s < nstations; ++s) {
+    core::BipsWorkstation& ws = view_.workstation(s);
     StationState& st = stations_[s];
     if (!graded(s)) {  // keep the bookkeeping, skip the grading
       st.last_seq = ws.presence_seq();
@@ -89,9 +118,9 @@ void InvariantChecker::sample() {
   // Nobody may stay located at a long-dead station. The server's failure
   // detector is the only component that can clean these records up (the
   // dead station cannot report absences), so give it its bound plus slack.
-  if (!sim_.server().crashed()) {
-    for (const std::string& userid : sim_.userids()) {
-      const auto room = sim_.db_room(userid);
+  if (!view_.server_crashed()) {
+    for (const std::string& userid : view_.userids()) {
+      const auto room = view_.db_room(userid);
       if (!room || !graded(*room)) continue;
       const StationState& st = stations_[*room];
       if (st.was_crashed && now - st.crashed_since > cfg_.dead_station_grace) {
@@ -108,13 +137,12 @@ void InvariantChecker::sample() {
 }
 
 void InvariantChecker::check_converged() {
-  const SimTime now = sim_.simulator().now();
+  const SimTime now = view_.now();
   char msg[192];
-  for (const std::string& userid : sim_.userids()) {
-    const core::BipsClient* c = sim_.client(userid);
-    if (c == nullptr || !c->logged_in()) continue;
-    const auto room = sim_.db_room(userid);
-    const mobility::RoomId truth = sim_.true_room(userid);
+  for (const std::string& userid : view_.userids()) {
+    if (!view_.logged_in(userid)) continue;
+    const auto room = view_.db_room(userid);
+    const mobility::RoomId truth = view_.true_room(userid);
     if (truth != mobility::kNoRoom && !room &&
         graded(static_cast<core::StationId>(truth))) {
       std::snprintf(msg, sizeof msg,
@@ -123,7 +151,7 @@ void InvariantChecker::check_converged() {
                     now.to_seconds(), userid.c_str(), truth);
       violate(msg);
     }
-    if (room && graded(*room) && sim_.workstation(*room).crashed()) {
+    if (room && graded(*room) && view_.workstation(*room).crashed()) {
       std::snprintf(msg, sizeof msg,
                     "t=%.1fs converged check: user %s located at crashed "
                     "station %u",

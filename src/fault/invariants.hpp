@@ -22,7 +22,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/simulation.hpp"
@@ -31,6 +33,22 @@ namespace bips::fault {
 
 class InvariantChecker {
  public:
+  /// Everything the checker needs to observe a world, as callables -- so
+  /// the same grading runs against a monolithic BipsSimulation (sampled by
+  /// an in-simulation timer) or a ShardedBipsSimulation (sampled at window
+  /// barriers, where every shard is quiescent and cross-shard reads are
+  /// safe). All callables must stay valid for the checker's lifetime.
+  struct WorldView {
+    std::function<SimTime()> now;
+    std::function<std::size_t()> workstation_count;
+    std::function<core::BipsWorkstation&(core::StationId)> workstation;
+    std::function<bool()> server_crashed;
+    std::function<std::vector<std::string>()> userids;
+    std::function<bool(std::string_view)> logged_in;
+    std::function<std::optional<core::StationId>(std::string_view)> db_room;
+    std::function<mobility::RoomId(std::string_view)> true_room;
+  };
+
   struct Config {
     /// How often the running invariants are sampled.
     Duration sample_period = Duration::seconds(1);
@@ -53,10 +71,20 @@ class InvariantChecker {
   explicit InvariantChecker(core::BipsSimulation& sim)
       : InvariantChecker(sim, Config{}) {}
   InvariantChecker(core::BipsSimulation& sim, Config cfg);
+  /// View-based construction: the caller owns the sampling cadence and
+  /// drives sample() itself (the sharded harness calls it from its barrier
+  /// hook). start()/stop() are unavailable on this form.
+  InvariantChecker(WorldView view, Config cfg);
 
   /// Starts periodic sampling (call before running the faulted window).
+  /// Only on the BipsSimulation form, which owns an in-simulation timer.
   void start();
   void stop();
+
+  /// Takes one sample of the running invariants now. The timer path calls
+  /// this every sample_period; view-based callers invoke it directly at
+  /// deterministic instants of their choosing.
+  void sample();
 
   /// End-of-run convergence check; call only after the fault plan has
   /// healed and the recovery bound has elapsed.
@@ -75,11 +103,12 @@ class InvariantChecker {
     SimTime crashed_since = SimTime::zero();
   };
 
-  void sample();
   void violate(std::string msg);
   bool graded(core::StationId s) const;
 
-  core::BipsSimulation& sim_;
+  WorldView view_;
+  /// Set only by the BipsSimulation form (hosts the sampling timer).
+  sim::Simulator* timer_sim_ = nullptr;
   Config cfg_;
   std::vector<StationState> stations_;
   std::uint64_t samples_ = 0;

@@ -10,6 +10,15 @@
 // Every generated plan heals: each crash has a matching restart and each
 // window ends, so heal_time() gives the instant after which the recovery
 // invariants (see invariants.hpp) must reconverge.
+//
+// Plans apply to the monolithic simulation (apply) or the sharded one
+// (apply_sharded). The sharded application splits the schedule by owner:
+// shard-local directives (station crash/restart, link loss, loss bursts,
+// partitions, per-station chaos) become exact-time events inside the
+// owning shard's windows, while barrier-class directives touching only
+// shard-0 state (server crash/restart, location-shard crash/restart) are
+// exact-time events on shard 0 -- which the kernel always executes
+// single-threaded with respect to that shard's state.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,10 @@
 #include <vector>
 
 #include "src/core/simulation.hpp"
+
+namespace bips::core {
+class ShardedBipsSimulation;
+}
 
 namespace bips::fault {
 
@@ -31,6 +44,8 @@ struct FaultEvent {
     kPartition,       // `group` stations cut from the rest + server for `span`
     kLossBurst,       // uniform LAN loss raised to `loss` for `span`
     kLinkLoss,        // `station` <-> server link loss set to `loss` for `span`
+    kShardCrash,      // location shard `zone` dies at `at`
+    kShardRestart,    // ... and resyncs its zone at `at`
   };
 
   Kind kind;
@@ -39,6 +54,7 @@ struct FaultEvent {
   std::vector<core::StationId> group;          // kPartition
   Duration span = Duration(0);                 // windowed faults
   double loss = 0.0;                           // kLossBurst / kLinkLoss
+  std::size_t zone = 0;                        // kShardCrash / kShardRestart
 };
 
 /// Knobs for the seeded chaos generator.
@@ -73,6 +89,10 @@ class FaultPlan {
   /// Degrades only the `station` <-> server link during [at, at + span).
   FaultPlan& flaky_link(Duration at, Duration span, core::StationId station,
                         double loss);
+  /// Crash-stops location shard `zone` (partial server fault) at `at`.
+  FaultPlan& crash_shard(Duration at, std::size_t zone);
+  /// Brings location shard `zone` back empty at `at` (zone-scoped resync).
+  FaultPlan& restart_shard(Duration at, std::size_t zone);
 
   /// Seeded random plan over `station_count` stations. Same seed + params
   /// -> same plan; every fault heals by heal_time().
@@ -93,6 +113,14 @@ class FaultPlan {
   /// Schedules every event on `sim`'s event queue. The simulation must
   /// outlive its scheduled events. May be called before start().
   void apply(core::BipsSimulation& sim) const;
+
+  /// Schedules every event against a sharded simulation, split by owner
+  /// (see the header comment): station faults fire on the owning zone's
+  /// shard, server / location-shard faults on shard 0, and the windowed
+  /// LAN faults (partition, loss burst, link loss) are mirrored onto every
+  /// zone segment they affect. Call before start(), while the group is
+  /// idle. Identical schedules at every thread count.
+  void apply_sharded(core::ShardedBipsSimulation& sim) const;
 
   /// Human-readable schedule, one line per event (fault-drill narration).
   std::string describe() const;

@@ -907,39 +907,93 @@ std::unique_ptr<BipsSimulation> run_scenario(
 
 namespace {
 
-/// Human-readable name of the first directive a sharded replay cannot
-/// honour, or empty when the whole scenario is replayable. The check runs
-/// before anything is built so a rejected scenario costs nothing.
-std::string first_unsupported_sharded(const ScenarioSpec& spec) {
-  if (!spec.fault_plan.empty()) {
-    return "fault schedule (crash/restart/partition/loss/chaos)";
-  }
-  for (const ScenarioAct& a : spec.acts) {
-    if (a.kind == ScenarioAct::Kind::kPowerCycle) {
-      return "act power-cycle (line " + std::to_string(a.line) + ")";
+/// Sharded counterpart of WindowProbe: grades one `assert-window t0 t1
+/// max-staleness s` directive from the window barriers. The probe keeps
+/// the monolithic tick grid -- t0, t0 + p, t0 + 2p, ..., plus t1 itself --
+/// and evaluates every tick that has elapsed at the first barrier at or
+/// after it (state as of the barrier, tick time for the streak
+/// arithmetic). The quantisation is bounded by one lookahead window
+/// (milliseconds against multi-second staleness bounds) and is identical
+/// at every thread count. Single-shard worlds have no barriers; the runner
+/// drives advance_to from per-tick events instead, making the grid exact.
+struct ShardedWindowProbe {
+  const ScenarioSpec* spec = nullptr;
+  ShardedBipsSimulation* sim = nullptr;
+  const ScenarioAssertion* a = nullptr;
+  ScenarioCheck* out = nullptr;
+  std::vector<SimTime> since;  // per user; SimTime::max() = in agreement
+  SimTime next_tick;
+  bool done = false;
+
+  void advance_to(SimTime edge) {
+    while (!done && next_tick <= edge && next_tick <= a->until) {
+      sample(next_tick);
+      next_tick = next_tick + spec->sample_period;
+    }
+    if (!done && edge >= a->until) {
+      sample(a->until);  // the window includes its last instant
+      finish();
     }
   }
-  for (const ScenarioAssertion& a : spec.assertions) {
-    if (a.kind != ScenarioAssertion::Kind::kWhereIsAt) {
-      return "assertion (line " + std::to_string(a.line) +
-             "): only assert-at whereis replays on the sharded harness";
+
+  void sample(SimTime tick) {
+    if (done) return;
+    for (std::size_t i = 0; i < spec->users.size(); ++i) {
+      const ScenarioUser& u = spec->users[i];
+      bool mismatch = false;
+      mobility::RoomId truth = mobility::kNoRoom;
+      std::optional<StationId> believed;
+      // BIPS only tracks logged-in users (a user mid-handoff reads as
+      // logged out for the one-window blackout, at every thread count).
+      if (sim->active_client(u.userid).logged_in()) {
+        truth = sim->true_room(u.userid);
+        believed = sim->db_room(u.userid);
+        mismatch = truth == mobility::kNoRoom
+                       ? believed.has_value()
+                       : (!believed || *believed != truth);
+      }
+      if (!mismatch) {
+        since[i] = SimTime::max();
+        continue;
+      }
+      if (since[i] == SimTime::max()) since[i] = tick;
+      if (tick - since[i] > a->staleness) {
+        char buf[224];
+        std::snprintf(
+            buf, sizeof buf,
+            "t=%.1fs: %s stale for %.1fs (bound %.1fs): truth=%s, db=%s",
+            tick.to_seconds(), u.name.c_str(), (tick - since[i]).to_seconds(),
+            a->staleness.to_seconds(),
+            truth == mobility::kNoRoom
+                ? "absent"
+                : spec->building.room(truth).name.c_str(),
+            believed ? spec->building.room(*believed).name.c_str() : "absent");
+        out->passed = false;
+        out->detail = buf;
+        done = true;
+        return;
+      }
     }
   }
-  return {};
-}
+
+  void finish() {
+    if (done) return;
+    done = true;
+    out->passed = true;
+    out->detail.clear();
+  }
+};
 
 }  // namespace
 
 std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
     const ScenarioSpec& spec, unsigned threads, std::size_t shards,
     ScenarioReport* report, std::string* error) {
-  const std::string unsupported = first_unsupported_sharded(spec);
-  if (!unsupported.empty()) {
-    if (error != nullptr) {
-      *error = "scenario not replayable with --threads: uses " + unsupported;
-    }
-    return nullptr;
-  }
+  // Every scenario directive replays sharded now -- faults split into
+  // shard-local and barrier classes (FaultPlan::apply_sharded), power
+  // cycles ride the replica machinery, and window/invariant assertions
+  // grade at barriers -- so nothing is rejected any more.
+  if (error != nullptr) error->clear();
 
   ShardedConfig cfg;
   cfg.base = spec.config;
@@ -950,6 +1004,11 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
   }
   sim->enable_tracking_metrics(spec.sample_period);
   ShardedBipsSimulation* raw = sim.get();
+
+  // The unified fault schedule, split by owner: station faults and the
+  // windowed LAN faults fire inside the owning shards' windows, server and
+  // location-shard faults fire on shard 0.
+  spec.fault_plan.apply_sharded(*sim);
 
   for (const ScenarioAct& a : spec.acts) {
     const std::string& uid = spec.users[a.user].userid;
@@ -973,7 +1032,8 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
             });
         break;
       case ScenarioAct::Kind::kPowerCycle:
-        break;  // rejected above
+        raw->schedule_power_cycle(a.at, uid, a.duration);
+        break;
     }
   }
 
@@ -1007,6 +1067,12 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
       }
     }
   };
+  std::vector<std::unique_ptr<ShardedWindowProbe>> probes;
+  std::unique_ptr<fault::InvariantChecker> inv;
+  std::vector<ScenarioCheck*> inv_checks;
+  std::unique_ptr<sim::PeriodicTimer> inv_timer;  // single-shard cadence
+  SimTime inv_next;                               // multi-shard tick grid
+  const bool single = sim->shard_count() == 1;
   if (report != nullptr) {
     report->checks.clear();
     report->checks.reserve(spec.assertions.size());
@@ -1016,24 +1082,110 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
       c.what = a.text;
       c.passed = false;
       c.detail = "never evaluated";
+      c.invariant = a.kind == ScenarioAssertion::Kind::kNoInvariantViolations;
       report->checks.push_back(std::move(c));
     }
     for (std::size_t i = 0; i < spec.assertions.size(); ++i) {
       const ScenarioAssertion& a = spec.assertions[i];
       ScenarioCheck* out = &report->checks[i];
-      if (sim->shard_count() == 1) {
-        sim->shard_simulator(0).schedule_at(
-            a.at, [&grade, aa = &a, out] { grade(*aa, out); });
-      } else {
-        pending.push_back(WhereIsProbe{&a, out});
+      switch (a.kind) {
+        case ScenarioAssertion::Kind::kWhereIsAt:
+          if (single) {
+            sim->shard_simulator(0).schedule_at(
+                a.at, [&grade, aa = &a, out] { grade(*aa, out); });
+          } else {
+            pending.push_back(WhereIsProbe{&a, out});
+          }
+          break;
+        case ScenarioAssertion::Kind::kMaxStalenessWindow: {
+          auto probe = std::make_unique<ShardedWindowProbe>();
+          probe->spec = &spec;
+          probe->sim = raw;
+          probe->a = &a;
+          probe->out = out;
+          probe->since.assign(spec.users.size(), SimTime::max());
+          probe->next_tick = a.at;
+          if (single) {
+            // Exact tick grid as in-simulation events, like the monolithic
+            // runner: every sample_period from a.at, plus a.until itself.
+            ShardedWindowProbe* p = probe.get();
+            for (SimTime t = a.at; t < a.until;
+                 t = t + spec.sample_period) {
+              sim->shard_simulator(0).schedule_at(t,
+                                                  [p, t] { p->advance_to(t); });
+            }
+            sim->shard_simulator(0).schedule_at(
+                a.until, [p, t = a.until] { p->advance_to(t); });
+          }
+          probes.push_back(std::move(probe));
+          break;
+        }
+        case ScenarioAssertion::Kind::kNoInvariantViolations:
+          if (!inv) {
+            fault::InvariantChecker::Config icfg;
+            icfg.sample_period = spec.sample_period;
+            icfg.dead_station_grace =
+                std::max(Duration::seconds(30),
+                         spec.config.server.station_timeout +
+                             spec.config.server.sweep_period +
+                             Duration::seconds(20));
+            // The same grading as the monolithic runner, over a view of
+            // the sharded world. Barrier-time reads only.
+            fault::InvariantChecker::WorldView view;
+            view.now = [raw, single] {
+              return single ? raw->shard_simulator(0).now()
+                            : raw->group().now();
+            };
+            view.workstation_count = [raw] {
+              return raw->workstation_count();
+            };
+            view.workstation = [raw](StationId s) -> BipsWorkstation& {
+              return raw->workstation(s);
+            };
+            view.server_crashed = [raw] { return raw->server().crashed(); };
+            view.userids = [raw] { return raw->userids(); };
+            view.logged_in = [raw](std::string_view uid) {
+              return raw->active_client(uid).logged_in();
+            };
+            view.db_room = [raw](std::string_view uid) {
+              return raw->db_room(uid);
+            };
+            view.true_room = [raw](std::string_view uid) {
+              return raw->true_room(uid);
+            };
+            inv = std::make_unique<fault::InvariantChecker>(std::move(view),
+                                                            icfg);
+            if (single) {
+              inv_timer = std::make_unique<sim::PeriodicTimer>(
+                  sim->shard_simulator(0), spec.sample_period,
+                  [p = inv.get()] { p->sample(); });
+              inv_timer->start();
+            } else {
+              inv_next = SimTime::zero() + spec.sample_period;
+            }
+          }
+          inv_checks.push_back(out);
+          break;
       }
     }
-    if (!pending.empty()) {
-      sim->set_barrier_hook([&grade, &pending](SimTime edge) {
+    const bool need_hook =
+        !single && (!pending.empty() || !probes.empty() || inv != nullptr);
+    if (need_hook) {
+      sim->set_barrier_hook([&grade, &pending, &probes, &inv, &inv_next,
+                             &spec](SimTime edge) {
         for (WhereIsProbe& p : pending) {
           if (p.out != nullptr && p.a->at <= edge) {
             grade(*p.a, p.out);
             p.out = nullptr;  // graded; never re-evaluated
+          }
+        }
+        for (auto& p : probes) {
+          if (p->a->at <= edge) p->advance_to(edge);
+        }
+        if (inv) {
+          while (inv_next <= edge) {
+            inv->sample();
+            inv_next = inv_next + spec.sample_period;
           }
         }
       });
@@ -1042,6 +1194,26 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
 
   sim->run_for(spec.run_time, threads);
   sim->set_barrier_hook({});  // the probes above die with this frame
+
+  if (inv) {
+    if (inv_timer) inv_timer->stop();
+    // The convergence contract only binds once the plan has healed and the
+    // recovery bound has elapsed (the same bound the monolithic runner and
+    // the chaos tests use).
+    if (spec.fault_plan.heal_time() + Duration::seconds(40) <=
+        spec.run_time) {
+      inv->check_converged();
+    }
+    std::string detail;
+    for (const std::string& v : inv->violations()) {
+      if (!detail.empty()) detail += "; ";
+      detail += v;
+    }
+    for (ScenarioCheck* out : inv_checks) {
+      out->passed = inv->ok();
+      out->detail = detail;
+    }
+  }
   return sim;
 }
 

@@ -202,13 +202,18 @@ std::unique_ptr<BipsSimulation> run_scenario(
 /// is byte-identical for every thread count, so CI replays a scenario at
 /// `--threads 1` and `--threads 4` and diffs the histories.
 ///
-/// Supported scenario subset: the full deployment grammar, walk-to /
-/// unreachable / login-flood acts, and `assert-at ... whereis` assertions
-/// (graded at the first synchronisation barrier at or after the directive's
-/// instant -- a deterministic, window-bounded quantisation). Fault
-/// schedules, power-cycle acts and window/invariant assertions are not yet
-/// replayable on the sharded harness: those scenarios return nullptr with
-/// `error` naming the offending directive.
+/// The full scenario language replays sharded: every act (walk-to,
+/// power-cycle, unreachable, login-flood), the whole fault schedule
+/// (station/server crash-restarts, location-shard faults, partitions,
+/// loss bursts, link loss, seeded chaos -- split into shard-local and
+/// shard-0 barrier classes by FaultPlan::apply_sharded) and every
+/// assertion kind. `assert-at whereis` and `assert-window max-staleness`
+/// grade at the first synchronisation barrier at or after each directive
+/// instant (a deterministic, window-bounded quantisation);
+/// `assert-final no-invariant-violations` runs the same InvariantChecker
+/// grading as the monolithic runner over a barrier-sampled view of the
+/// sharded world. Never returns nullptr; `error` is cleared when non-null
+/// (kept for callers of the old rejecting interface).
 std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
     const ScenarioSpec& spec, unsigned threads, std::size_t shards,
     ScenarioReport* report, std::string* error);

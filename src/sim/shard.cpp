@@ -129,7 +129,16 @@ void ShardGroup::run_until(SimTime until, Duration window, unsigned threads) {
     now_ = w_end;
     ++windows_;
     drain_mailboxes();
-    if (hook_) hook_(w_end);
+    if (hook_) {
+      hook_(w_end);
+      // The hook runs single-threaded at the barrier and may itself post
+      // cross-shard mail (the sharded harness's barrier merge fans
+      // subscriber pushes and resync requests out through the uplinks).
+      // That mail is due inside the *next* window, so it must be moved
+      // into the destination heaps before the window runs -- a drain at
+      // the following barrier would be one window too late.
+      drain_mailboxes();
+    }
   };
 
   if (nworkers == 1) {

@@ -106,7 +106,10 @@ class ShardGroup {
   /// Single-threaded hook invoked at every window barrier (after the mail
   /// drain), with the window's right edge. Samplers and assertion graders
   /// hang here: every shard is quiescent at the barrier, so cross-shard
-  /// reads are safe and deterministic.
+  /// reads are safe and deterministic. The hook may itself post() (src
+  /// naming any shard) or schedule directly onto a shard -- barrier-time
+  /// mail is drained again right after the hook returns, so it lands
+  /// before the next window runs.
   void set_window_hook(std::function<void(SimTime)> hook) {
     hook_ = std::move(hook);
   }

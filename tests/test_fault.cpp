@@ -67,6 +67,24 @@ TEST(FaultPlan, ChaosIsDeterministicAndHeals) {
   EXPECT_EQ(crashes, restarts);
 }
 
+TEST(FaultPlan, ShardFaultsAreFirstClassEvents) {
+  // crash_shard / restart_shard ride the same plan machinery as the other
+  // kinds: ordered by time, described for humans, and replayable on the
+  // monolithic harness (the sharded split is exercised in test_parallel).
+  FaultPlan plan;
+  plan.crash_shard(Duration::seconds(40), 2)
+      .restart_shard(Duration::seconds(55), 2);
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultEvent::Kind::kShardCrash);
+  EXPECT_EQ(plan.events()[0].zone, 2u);
+  EXPECT_EQ(plan.events()[1].kind, FaultEvent::Kind::kShardRestart);
+  EXPECT_EQ(plan.heal_time(), Duration::seconds(55));
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("location shard 2 crashes"), std::string::npos) << text;
+  EXPECT_NE(text.find("location shard 2 restarts"), std::string::npos)
+      << text;
+}
+
 // The ISSUE acceptance drill: crash the server mid-run under 5% LAN loss,
 // leave it down for 30 s, restart -- the located-user count must reconverge
 // within 10 simulated seconds via the SyncSnapshot round, not via hours of

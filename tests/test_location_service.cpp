@@ -33,6 +33,45 @@ TEST(ZonePartitionMap, ColumnsSplitTheCorridorEvenly) {
   EXPECT_EQ(zones.zone_of(5), 2u);
 }
 
+TEST(ZonePartitionMap, ZoneCountClampsToDistinctColumns) {
+  // Asking for more zones than there are distinct room-centre columns
+  // degenerates to one zone per column, never an empty band.
+  const auto b = six_rooms();
+  const ZonePartition zones = ZonePartition::columns(b, 10);
+  ASSERT_EQ(zones.zone_count(), 6u);
+  ASSERT_EQ(zones.seams().size(), 5u);
+  for (StationId s = 0; s < 6; ++s) {
+    EXPECT_EQ(zones.zone_of(s), static_cast<std::size_t>(s));
+  }
+}
+
+TEST(ZonePartitionMap, SingleColumnBuildingCannotBeSplit) {
+  // grid(4, 1): four rooms stacked in one column -- one distinct x, so any
+  // requested zone count collapses to the degenerate single-zone map.
+  const auto b = mobility::Building::grid(4, 1);
+  const ZonePartition zones = ZonePartition::columns(b, 4);
+  EXPECT_EQ(zones.zone_count(), 1u);
+  EXPECT_TRUE(zones.seams().empty());
+  for (StationId s = 0; s < 4; ++s) EXPECT_EQ(zones.zone_of(s), 0u);
+  EXPECT_EQ(zones.zone_of_x(-1e9), 0u);
+  EXPECT_EQ(zones.zone_of_x(1e9), 0u);
+}
+
+TEST(ZonePartitionMap, ZoneZeroOwnsTheServerAndOutOfMapIds) {
+  // The central server is not a room: its station id is outside the map
+  // and its LAN endpoint sits at the origin. Both conventions resolve to
+  // zone 0 -- the zone whose worker hosts the server in the sharded
+  // harness -- and everything left of the first seam does too.
+  const ZonePartition zones = ZonePartition::columns(six_rooms(), 3);
+  EXPECT_EQ(zones.zone_of(static_cast<StationId>(99)), 0u);
+  EXPECT_EQ(zones.zone_of_x(-100.0), 0u);
+  EXPECT_EQ(zones.zone_of_x(0.0), 0u);
+  // A seam belongs to the band on its right (upper_bound semantics).
+  ASSERT_EQ(zones.seams().size(), 2u);
+  EXPECT_EQ(zones.zone_of_x(zones.seams()[0]), 1u);
+  EXPECT_EQ(zones.zone_of_x(zones.seams()[1]), 2u);
+}
+
 // The tentpole invariant in miniature: an arbitrary interleaved op stream
 // (logins, logouts, presence/absence deltas with conflicting RSSI claims,
 // duplicates) produces bit-identical observable state on one database and
@@ -144,6 +183,38 @@ TEST(PartitionedLocationService, SeamCrossingRehomesSessionAndPresence) {
   EXPECT_EQ(svc.piconet_of(dev(1)), 5u);
   // Re-homing writes no history row beyond the two genuine transitions.
   EXPECT_EQ(svc.history_size(), 2u);
+}
+
+TEST(PartitionedLocationService, SeamStraddlingPingPongRehomesEachTime) {
+  // A device camped right on a seam flaps between the border stations of
+  // zones 0 and 1. Every flap must move the whole record (session included)
+  // to the new owner -- no stale copy left behind, no double-count -- and
+  // each genuine transition still lands exactly one history row.
+  const auto building = six_rooms();
+  obs::MetricsRegistry reg;
+  PartitionedLocationService svc(64, &reg,
+                                 ZonePartition::columns(building, 3));
+  ASSERT_TRUE(svc.login("flapper", dev(3), SimTime(0)));
+
+  std::int64_t t = 1;
+  for (int flip = 0; flip < 6; ++flip) {
+    const StationId s = (flip % 2 == 0) ? 1 : 2;  // zone 0 <-> zone 1
+    ASSERT_TRUE(
+        svc.apply_present(dev(3), s, SimTime(t++ * 1'000'000'000)).value())
+        << "flip " << flip;
+    const std::size_t owner = (flip % 2 == 0) ? 0u : 1u;
+    const std::size_t other = 1u - owner;
+    EXPECT_EQ(svc.shard_db(owner).session_count(), 1u) << "flip " << flip;
+    EXPECT_EQ(svc.shard_db(other).session_count(), 0u) << "flip " << flip;
+    EXPECT_EQ(svc.shard_db(owner).piconet_of(dev(3)), s) << "flip " << flip;
+    EXPECT_FALSE(svc.shard_db(other).piconet_of(dev(3)).has_value());
+    EXPECT_TRUE(svc.logged_in("flapper"));
+    EXPECT_EQ(svc.piconet_of(dev(3)), s);
+  }
+  // Five of the six flips crossed the seam (the first one homed the
+  // record); every flip was a genuine station change, so six rows.
+  EXPECT_EQ(reg.counter_value("svc.shard_handoffs"), 5u);
+  EXPECT_EQ(svc.history_size(), 6u);
 }
 
 TEST(PartitionedLocationService, CrashDegradesOnlyItsOwnZone) {

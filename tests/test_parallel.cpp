@@ -12,6 +12,7 @@
 #include "src/baseband/radio.hpp"
 #include "src/core/parallel.hpp"
 #include "src/core/simulation.hpp"
+#include "src/fault/plan.hpp"
 #include "src/mobility/building.hpp"
 #include "src/sim/shard.hpp"
 
@@ -337,6 +338,160 @@ TEST(ShardedSimulation, SingleColumnBuildingClampsToOneShard) {
   sim.run_for(Duration::seconds(30), 4);
   EXPECT_EQ(sim.group().mail_delivered(), 0u);
   EXPECT_GT(sim.group().events_executed(), 0u);
+}
+
+// ---- thread-owned presence ingest ---------------------------------------
+
+TEST(ShardedSimulation, PresenceIngestIsThreadOwned) {
+  // The PR 9 contract: in a multi-shard world every presence datagram is
+  // decoded, deduplicated and acked by the owning zone's ZoneIngest agent
+  // on that zone's worker thread; the shard-0 server only replays the
+  // merged window logs. The server-side presence counters therefore stay
+  // at zero while the per-shard ingest counters carry the whole stream.
+  ShardedConfig cfg;
+  cfg.base.seed = 0xB1B5'0002ull;
+  cfg.base.stagger_inquiry = true;
+  cfg.base.mobility.pause_min = Duration::seconds(1);
+  cfg.base.mobility.pause_max = Duration::seconds(4);
+  cfg.shards = 4;
+  ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
+  for (int i = 0; i < 8; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i));
+  }
+  ASSERT_EQ(sim.shard_count(), 4u);
+  sim.run_for(Duration::seconds(120), 2);
+
+  // Not one presence datagram reached the server's LAN handler...
+  EXPECT_EQ(sim.metric_sum("server.presence_received"), 0u);
+  EXPECT_EQ(sim.metric_sum("server.batches_received"), 0u);
+  // ... the zone agents ingested the lot, and more than one zone did work
+  // (the split is real, not one agent doing everything).
+  EXPECT_GT(sim.metric_sum("svc.ingest_ops"), 0u);
+  std::size_t zones_with_ops = 0;
+  std::uint64_t agent_ops = 0;
+  for (std::size_t k = 0; k < sim.shard_count(); ++k) {
+    ASSERT_NE(sim.zone_ingest(k), nullptr);
+    const std::uint64_t ops =
+        sim.group().shard(k).obs().metrics.counter_value("svc.ingest_ops");
+    EXPECT_EQ(ops, sim.zone_ingest(k)->ops());
+    agent_ops += ops;
+    zones_with_ops += ops > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(agent_ops, sim.metric_sum("svc.ingest_ops"));
+  EXPECT_GE(zones_with_ops, 2u);
+  // The merged deltas did land in the database.
+  EXPECT_GT(sim.metric_sum("db.presence_updates"), 0u);
+}
+
+// ---- fault schedules on the sharded harness -----------------------------
+
+ShardedRun run_sharded_faulted(unsigned threads) {
+  ShardedConfig cfg;
+  cfg.base.seed = 0xB1B5'0003ull;
+  cfg.base.stagger_inquiry = true;
+  cfg.base.mobility.pause_min = Duration::seconds(2);
+  cfg.base.mobility.pause_max = Duration::seconds(8);
+  cfg.base.server.station_timeout = Duration::seconds(10);
+  cfg.shards = 4;
+  ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
+  for (int i = 0; i < 8; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i));
+  }
+  sim.enable_tracking_metrics(Duration::seconds(2));
+
+  // One of everything the taxonomy splits: a station fault (shard-local on
+  // the owning worker), LAN-wide faults (mirrored per zone), a link fault
+  // (owning zone + server zone), and the shard-0 barrier-class faults
+  // (server crash/restart, location-shard crash/restart).
+  fault::FaultPlan plan;
+  plan.crash_station(Duration::seconds(20), 2)
+      .restart_station(Duration::seconds(35), 2)
+      .crash_server(Duration::seconds(45))
+      .restart_server(Duration::seconds(55))
+      .partition_stations(Duration::seconds(65), Duration::seconds(10),
+                          {0, 4})
+      .loss_burst(Duration::seconds(80), Duration::seconds(8), 0.4)
+      .flaky_link(Duration::seconds(92), Duration::seconds(8), 6, 0.5)
+      .crash_shard(Duration::seconds(100), 1)
+      .restart_shard(Duration::seconds(108), 1);
+  plan.apply_sharded(sim);
+  sim.run_for(Duration::from_seconds(130.0), threads);
+
+  ShardedRun out;
+  out.shard_count = sim.shard_count();
+  std::ostringstream hist;
+  sim.write_history_csv(hist);
+  out.history = hist.str();
+  out.queries = dump_queries(sim, 130.0);
+  out.tracking = sim.tracking();
+  out.mail = sim.group().mail_delivered();
+  return out;
+}
+
+TEST(ShardedSimulation, FaultScheduleReplaysByteIdentically) {
+  const ShardedRun one = run_sharded_faulted(1);
+  const ShardedRun two = run_sharded_faulted(2);
+  const ShardedRun four = run_sharded_faulted(4);
+
+  // The faults must have left visible scars, or the equivalence is vacuous.
+  EXPECT_FALSE(one.history.empty());
+  EXPECT_GT(one.mail, 0u);
+
+  EXPECT_EQ(one.history, two.history);
+  EXPECT_EQ(one.history, four.history);
+  EXPECT_EQ(one.queries, two.queries);
+  EXPECT_EQ(one.queries, four.queries);
+  EXPECT_EQ(one.tracking.samples, four.tracking.samples);
+  EXPECT_EQ(one.tracking.correct_room, four.tracking.correct_room);
+  EXPECT_EQ(one.tracking.wrong_room, four.tracking.wrong_room);
+  EXPECT_EQ(one.tracking.false_absent, four.tracking.false_absent);
+  EXPECT_EQ(one.mail, four.mail);
+}
+
+ShardedRun run_sharded_powercycle(unsigned threads) {
+  ShardedConfig cfg;
+  cfg.base.seed = 0xB1B5'0004ull;
+  cfg.base.stagger_inquiry = true;
+  cfg.base.mobility.pause_min = Duration::seconds(2);
+  cfg.base.mobility.pause_max = Duration::seconds(8);
+  cfg.shards = 4;
+  ShardedBipsSimulation sim(mobility::Building::grid(2, 4), cfg);
+  for (int i = 0; i < 8; ++i) {
+    sim.add_user("User " + std::to_string(i), "u" + std::to_string(i), "pw",
+                 static_cast<mobility::RoomId>(i));
+  }
+  sim.enable_tracking_metrics(Duration::seconds(2));
+  // Two cycles, one of them long enough to straddle several conservative
+  // windows; u3 may be mid-walk when its handheld dies, so the powered_off
+  // flag must survive a seam handoff.
+  sim.schedule_power_cycle(SimTime::zero() + Duration::seconds(30), "u3",
+                           Duration::seconds(25));
+  sim.schedule_power_cycle(SimTime::zero() + Duration::seconds(70), "u6",
+                           Duration::seconds(12));
+  sim.run_for(Duration::from_seconds(120.0), threads);
+
+  ShardedRun out;
+  out.shard_count = sim.shard_count();
+  std::ostringstream hist;
+  sim.write_history_csv(hist);
+  out.history = hist.str();
+  out.queries = dump_queries(sim, 120.0);
+  out.tracking = sim.tracking();
+  out.mail = sim.group().mail_delivered();
+  return out;
+}
+
+TEST(ShardedSimulation, PowerCycleReplaysByteIdentically) {
+  const ShardedRun one = run_sharded_powercycle(1);
+  const ShardedRun four = run_sharded_powercycle(4);
+  EXPECT_FALSE(one.history.empty());
+  EXPECT_EQ(one.history, four.history);
+  EXPECT_EQ(one.queries, four.queries);
+  EXPECT_EQ(one.tracking.samples, four.tracking.samples);
+  EXPECT_EQ(one.tracking.correct_room, four.tracking.correct_room);
+  EXPECT_EQ(one.mail, four.mail);
 }
 
 TEST(ShardedSimulation, ScriptedActsAndShadowFollowTheOwner) {
