@@ -152,6 +152,14 @@ void report_sharded(core::ShardedBipsSimulation& sim,
               static_cast<unsigned long long>(m.false_absent),
               static_cast<unsigned long long>(m.false_present));
 
+  // Cross-shard sums of the session-recovery cells, so a sharded replay of
+  // an amnesia scenario shows *how* sessions came back (epoch-triggered
+  // re-login) without dumping every shard's registry.
+  std::printf("\n--- session recovery ---\n");
+  std::printf("  client.relogin %llu, svc.relogin %llu\n",
+              static_cast<unsigned long long>(sim.metric_sum("client.relogin")),
+              static_cast<unsigned long long>(sim.metric_sum("svc.relogin")));
+
   std::printf("\n--- sharded kernel ---\n");
   std::printf("  events %llu, windows %llu, cross-shard mail %llu\n",
               static_cast<unsigned long long>(sim.group().events_executed()),

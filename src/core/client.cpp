@@ -8,7 +8,8 @@ BipsClient::BipsClient(sim::Simulator& sim, baseband::RadioChannel& radio,
                        baseband::BdAddr addr, Rng rng, ClientConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
-      ctrl_(sim, radio, addr, std::move(rng), cfg_.slave) {
+      ctrl_(sim, radio, addr, std::move(rng), cfg_.slave),
+      c_relogins_(&sim.obs().metrics.counter("client.relogin")) {
   ctrl_.set_on_connected(
       [this](baseband::BdAddr master, std::uint32_t clock, SimTime when) {
         on_connected(master, clock, when);
@@ -34,6 +35,7 @@ void BipsClient::try_login() {
   req.bd_addr = addr().raw();
   req.userid = cfg_.userid;
   req.password = cfg_.password;
+  req.prior_epoch = login_epoch_;
   if (ctrl_.link().send_to_master(proto::encode(req))) {
     login_pending_ = true;
     ++stats_.logins_sent;
@@ -134,6 +136,8 @@ bool BipsClient::logout() {
 void BipsClient::power_off() {
   logged_in_ = false;
   login_pending_ = false;
+  known_epoch_ = 0;
+  login_epoch_ = 0;
   login_retry_.cancel();
   whereis_pending_.clear();
   path_pending_.clear();
@@ -157,7 +161,11 @@ void BipsClient::power_on() {
 BipsClient::HandoffState BipsClient::suspend_handoff() {
   HandoffState st;
   st.logged_in = logged_in_;
+  st.known_epoch = known_epoch_;
+  st.login_epoch = login_epoch_;
   logged_in_ = false;
+  known_epoch_ = 0;
+  login_epoch_ = 0;
   login_pending_ = false;
   login_retry_.cancel();
   whereis_pending_.clear();
@@ -172,6 +180,8 @@ BipsClient::HandoffState BipsClient::suspend_handoff() {
 
 void BipsClient::resume_handoff(const HandoffState& st) {
   logged_in_ = st.logged_in;
+  known_epoch_ = st.known_epoch;
+  login_epoch_ = st.login_epoch;
   login_pending_ = false;
   ctrl_.start();
 }
@@ -184,6 +194,7 @@ int BipsClient::flood_logins(int n) {
     req.bd_addr = addr().raw();
     req.userid = cfg_.userid;
     req.password = cfg_.password;
+    req.prior_epoch = login_epoch_;
     if (!ctrl_.link().send_to_master(proto::encode(req))) break;
   }
   stats_.logins_sent += static_cast<std::uint64_t>(sent);
@@ -198,11 +209,43 @@ void BipsClient::on_message(const baseband::AclPayload& p) {
       [this](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, proto::LoginReply>) {
+          // A reply stamped with an epoch older than the latest notice is
+          // an in-flight straggler from a dead incarnation: accepting it
+          // would mark a session the restarted server does not hold.
+          if (m.ok && m.server_epoch != 0 &&
+              m.server_epoch < known_epoch_) {
+            BIPS_DEBUG(sim_.now(), "client %s: stale login ack (epoch %u < %u)",
+                       cfg_.userid.c_str(), m.server_epoch, known_epoch_);
+            return;
+          }
           login_pending_ = false;
           logged_in_ = m.ok;
+          if (m.ok) {
+            login_epoch_ = m.server_epoch;
+            if (m.server_epoch > known_epoch_) known_epoch_ = m.server_epoch;
+          }
           BIPS_DEBUG(sim_.now(), "client %s: login %s",
                      cfg_.userid.c_str(), m.ok ? "ok" : m.reason.c_str());
           if (on_login_) on_login_(m);
+        } else if constexpr (std::is_same_v<T, proto::EpochNotice>) {
+          // The epoch relay's last hop. A notice at or below what we
+          // already know is stale (reordered or redundant) and ignored. An
+          // advance past our login epoch means the server restarted since
+          // it granted our session: the session hint may have been lost
+          // with it (no workstation can attest a walker), so drop the
+          // session and log in again. login_epoch_ survives as the
+          // prior_epoch stamp of the re-login.
+          if (m.server_epoch <= known_epoch_) return;
+          known_epoch_ = m.server_epoch;
+          if (logged_in_ && m.server_epoch > login_epoch_) {
+            logged_in_ = false;
+            login_pending_ = false;
+            ++stats_.relogins;
+            c_relogins_->inc();
+            BIPS_DEBUG(sim_.now(), "client %s: server epoch %u > login epoch %u, re-login",
+                       cfg_.userid.c_str(), m.server_epoch, login_epoch_);
+            login_retry_.call_after(Duration::millis(50));
+          }
         } else if constexpr (std::is_same_v<T, proto::LogoutReply>) {
           if (m.ok) logged_in_ = false;
         } else if constexpr (std::is_same_v<T, proto::WhereIsReply>) {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "src/baseband/slave.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/proto/messages.hpp"
 
 namespace bips::core {
@@ -49,6 +50,13 @@ class BipsClient {
 
   bool connected() const { return ctrl_.connected(); }
   bool logged_in() const { return logged_in_; }
+
+  /// Latest server incarnation this client has heard of (EpochNotice or a
+  /// successful LoginReply); 0 until the first notice.
+  std::uint32_t known_epoch() const { return known_epoch_; }
+  /// The incarnation that granted the current (or, if logged out, the last)
+  /// session; 0 before the first login.
+  std::uint32_t login_epoch() const { return login_epoch_; }
 
   void set_on_login(LoginCallback cb) { on_login_ = std::move(cb); }
 
@@ -95,6 +103,8 @@ class BipsClient {
   /// by supervision timeout, exactly like any other walkout.
   struct HandoffState {
     bool logged_in = false;
+    std::uint32_t known_epoch = 0;
+    std::uint32_t login_epoch = 0;
   };
 
   /// Suspends this replica for a shard handoff: stops scanning and the
@@ -118,6 +128,9 @@ class BipsClient {
     std::uint64_t logins_sent = 0;
     std::uint64_t queries_sent = 0;
     std::uint64_t replies_received = 0;
+    /// Sessions dropped and re-established because an EpochNotice showed
+    /// the server restarted since this client's login.
+    std::uint64_t relogins = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -132,6 +145,8 @@ class BipsClient {
   baseband::SlaveController ctrl_;
   bool logged_in_ = false;
   bool login_pending_ = false;
+  std::uint32_t known_epoch_ = 0;
+  std::uint32_t login_epoch_ = 0;
   sim::Process login_retry_{sim_, [this] { try_login(); }};
   LoginCallback on_login_;
   std::uint32_t next_query_ = 1;
@@ -143,6 +158,7 @@ class BipsClient {
   /// Live movement subscriptions, keyed by the watched user's name.
   std::unordered_map<std::string, MovementCallback> watches_;
   Stats stats_;
+  obs::Counter* c_relogins_;
 };
 
 }  // namespace bips::core

@@ -24,6 +24,7 @@ BipsServer::BipsServer(sim::Simulator& sim, net::Lan& lan,
   obs::MetricsRegistry& reg = sim.obs().metrics;
   c_.logins_ok = &reg.counter("server.logins_ok");
   c_.logins_failed = &reg.counter("server.logins_failed");
+  c_.relogins = &reg.counter("svc.relogin");
   c_.logouts = &reg.counter("server.logouts");
   c_.presence_received = &reg.counter("server.presence_received");
   c_.presence_duplicates = &reg.counter("server.presence_duplicates");
@@ -207,7 +208,16 @@ void BipsServer::handle(net::Address from, const proto::LoginRequest& m) {
       notify_subscribers(m.bd_addr, /*entered=*/true, *station, sim_.now());
     }
   }
+  rep.server_epoch = epoch_;
   (rep.ok ? c_.logins_ok : c_.logins_failed)->inc();
+  // A successful login stamped with an older prior epoch is a session the
+  // client re-established after server amnesia: the recovery path the
+  // corpus assertions gate on ("recovery via re-login, not lucky
+  // snapshot"). A retry within one incarnation carries prior == epoch_ and
+  // does not count.
+  if (rep.ok && m.prior_epoch != 0 && m.prior_epoch < epoch_) {
+    c_.relogins->inc();
+  }
   BIPS_DEBUG(sim_.now(), "server: login %s for %s -> %s",
              m.userid.c_str(), std::to_string(m.bd_addr).c_str(),
              rep.ok ? "ok" : rep.reason.c_str());

@@ -251,6 +251,7 @@ class BipsServer {
   struct Cells {
     obs::Counter* logins_ok;
     obs::Counter* logins_failed;
+    obs::Counter* relogins;  // successful logins refreshing a pre-restart session
     obs::Counter* logouts;
     obs::Counter* presence_received;
     obs::Counter* presence_duplicates;

@@ -28,6 +28,7 @@ BipsWorkstation::BipsWorkstation(sim::Simulator& sim,
       c_retransmissions_(&sim.obs().metrics.counter("ws.retransmissions")),
       c_snapshots_(&sim.obs().metrics.counter("ws.snapshots_sent")),
       c_crashes_(&sim.obs().metrics.counter("ws.crashes")),
+      c_epoch_notices_(&sim.obs().metrics.counter("ws.epoch_notices")),
       tracer_(&sim.obs().tracer) {
   BIPS_ASSERT(cfg_.missed_rounds_for_absence >= 1);
   BIPS_ASSERT(cfg_.heartbeat_period > Duration(0));
@@ -168,13 +169,43 @@ void BipsWorkstation::retransmit_unacked() {
 }
 
 void BipsWorkstation::note_server_epoch(std::uint32_t epoch) {
-  if (epoch <= server_epoch_) return;
-  const bool server_restarted = server_epoch_ != 0;
-  server_epoch_ = epoch;
-  if (server_restarted) {
+  if (adopt_epoch(epoch)) {
     // The server we knew died and came back empty; its SyncRequest
     // broadcast may have been lost, so push the snapshot unprompted.
     send_snapshot();
+  }
+}
+
+bool BipsWorkstation::adopt_epoch(std::uint32_t epoch) {
+  if (epoch <= server_epoch_) return false;
+  const bool server_restarted = server_epoch_ != 0;
+  server_epoch_ = epoch;
+  // Every adoption is relayed down the piconet: the snapshot above can only
+  // restore sessions this station can attest, but a slave that logged in
+  // elsewhere (a walker) has no attester anywhere and must hear about the
+  // restart itself to re-login.
+  relay_epoch();
+  return server_restarted;
+}
+
+void BipsWorkstation::relay_epoch(baseband::BdAddr only) {
+  if (server_epoch_ == 0) return;
+  proto::EpochNotice notice;
+  notice.server_epoch = server_epoch_;
+  const auto payload = proto::encode(notice);
+  auto& pico = scheduler_.piconet();
+  if (!only.is_null()) {
+    if (pico.send(only, payload)) {
+      ++stats_.epoch_notices;
+      c_epoch_notices_->inc();
+    }
+    return;
+  }
+  for (const baseband::BdAddr a : pico.slave_addrs()) {
+    if (pico.send(a, payload)) {
+      ++stats_.epoch_notices;
+      c_epoch_notices_->inc();
+    }
   }
 }
 
@@ -226,6 +257,11 @@ void BipsWorkstation::on_connected(baseband::BdAddr addr, SimTime when) {
       }
     }
   }
+  // A newly attached slave may have walked in from a room that never heard
+  // about a server restart (or it spent the outage between piconets, where
+  // nobody could tell it anything): greet it with the current epoch so a
+  // stale session re-logs-in here.
+  relay_epoch(addr);
   auto [it, inserted] = tracked_.try_emplace(addr);
   it->second.last_seen_round = round_;
   const bool was_connected = it->second.connected;
@@ -340,8 +376,10 @@ void BipsWorkstation::on_lan_message(net::Address, const net::Payload& data) {
           note_server_epoch(m.server_epoch);
         } else if constexpr (std::is_same_v<T, proto::SyncRequest>) {
           // The server explicitly states it holds nothing for us (restart
-          // broadcast, or it expired our records): always answer.
-          if (m.server_epoch > server_epoch_) server_epoch_ = m.server_epoch;
+          // broadcast, or it expired our records): always answer. The
+          // restart broadcast is usually the first thing a station hears
+          // from the new incarnation, so it must feed the epoch relay too.
+          adopt_epoch(m.server_epoch);
           send_snapshot();
         } else if constexpr (std::is_same_v<T, proto::LoginReply>) {
           const auto pending = pending_logins_.find(m.bd_addr);

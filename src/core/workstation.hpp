@@ -111,6 +111,7 @@ class BipsWorkstation {
     std::uint64_t updates_dropped = 0;    // queue-cap evictions
     std::uint64_t snapshots_sent = 0;     // SyncSnapshots pushed
     std::uint64_t crashes = 0;            // fault injections survived
+    std::uint64_t epoch_notices = 0;      // EpochNotices pushed to slaves
   };
   const Stats& stats() const { return stats_; }
 
@@ -143,6 +144,15 @@ class BipsWorkstation {
   /// advance past an already-known epoch means the server restarted empty,
   /// so a snapshot is pushed without waiting for its SyncRequest.
   void note_server_epoch(std::uint32_t epoch);
+  /// Adopts `epoch` if it advances past the known one and relays it to
+  /// every attached slave (the epoch relay's workstation hop). Returns
+  /// true when the advance revealed a restart of an already-known server
+  /// (i.e. a snapshot push is warranted).
+  bool adopt_epoch(std::uint32_t epoch);
+  /// Pushes an EpochNotice with the current epoch to one slave (`only`) or,
+  /// when `only` is null, to every attached slave -- parked ones included:
+  /// send() queues and the poll loop auto-unparks them.
+  void relay_epoch(baseband::BdAddr only = {});
   /// Full-state push: everything tracked plus witnessed session bindings.
   /// Supersedes (and clears) all pending deltas.
   void send_snapshot();
@@ -199,6 +209,7 @@ class BipsWorkstation {
   obs::Counter* c_retransmissions_;
   obs::Counter* c_snapshots_;
   obs::Counter* c_crashes_;
+  obs::Counter* c_epoch_notices_;
   obs::Tracer* tracer_;
 };
 

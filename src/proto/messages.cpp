@@ -90,18 +90,26 @@ enum class Tag : std::uint8_t {
   kPresenceBatch = 22,
   kQuery = 23,
   kQueryResult = 24,
+  kEpochNotice = 25,
 };
-constexpr std::uint8_t kMaxTag = 24;
+constexpr std::uint8_t kMaxTag = 25;
 
+// The session messages lead with kSessionWireVersion (see messages.hpp):
+// their layout gained the epoch fields, and decode must reject the old
+// unversioned layout instead of misparsing it.
 void body(Writer& w, const LoginRequest& m) {
+  w.u8(kSessionWireVersion);
   w.u64(m.bd_addr);
   w.str(m.userid);
   w.str(m.password);
+  w.u32(m.prior_epoch);
 }
 void body(Writer& w, const LoginReply& m) {
+  w.u8(kSessionWireVersion);
   w.u64(m.bd_addr);
   w.boolean(m.ok);
   w.str(m.reason);
+  w.u32(m.server_epoch);
 }
 void body(Writer& w, const LogoutRequest& m) {
   w.u64(m.bd_addr);
@@ -163,6 +171,7 @@ void body(Writer& w, const Heartbeat& m) {
   w.i64(m.timestamp_ns);
 }
 void body(Writer& w, const HeartbeatAck& m) { w.u32(m.server_epoch); }
+void body(Writer& w, const EpochNotice& m) { w.u32(m.server_epoch); }
 void body(Writer& w, const SyncRequest& m) {
   w.u32(m.server_epoch);
   w.i64(m.timestamp_ns);
@@ -276,6 +285,7 @@ Tag tag_of(const Message& m) {
         if constexpr (std::is_same_v<T, PresenceBatch>) return Tag::kPresenceBatch;
         if constexpr (std::is_same_v<T, Query>) return Tag::kQuery;
         if constexpr (std::is_same_v<T, QueryResult>) return Tag::kQueryResult;
+        if constexpr (std::is_same_v<T, EpochNotice>) return Tag::kEpochNotice;
       },
       m);
 }
@@ -287,17 +297,21 @@ bool valid_status(std::uint8_t s) {
 std::optional<Message> decode_body(Tag tag, Reader& r) {
   switch (tag) {
     case Tag::kLoginRequest: {
+      if (r.u8() != kSessionWireVersion) return std::nullopt;
       LoginRequest m;
       m.bd_addr = r.u64();
       m.userid = r.str();
       m.password = r.str();
+      m.prior_epoch = r.u32();
       return m;
     }
     case Tag::kLoginReply: {
+      if (r.u8() != kSessionWireVersion) return std::nullopt;
       LoginReply m;
       m.bd_addr = r.u64();
       m.ok = r.boolean();
       m.reason = r.str();
+      m.server_epoch = r.u32();
       return m;
     }
     case Tag::kLogoutRequest: {
@@ -390,6 +404,11 @@ std::optional<Message> decode_body(Tag tag, Reader& r) {
     }
     case Tag::kHeartbeatAck: {
       HeartbeatAck m;
+      m.server_epoch = r.u32();
+      return m;
+    }
+    case Tag::kEpochNotice: {
+      EpochNotice m;
       m.server_epoch = r.u32();
       return m;
     }

@@ -93,16 +93,31 @@ struct QueryResult {
 /// Bump on layout changes; decode rejects versions it does not know.
 inline constexpr std::uint8_t kQueryWireVersion = 1;
 
+/// Wire-format version byte leading the session messages (LoginRequest /
+/// LoginReply): their layout changed when the server epoch started riding
+/// the login exchange, so they are versioned the same way Query is. Bump on
+/// layout changes; decode rejects versions it does not know.
+inline constexpr std::uint8_t kSessionWireVersion = 2;
+
 struct LoginRequest {
   std::uint64_t bd_addr = 0;
   std::string userid;
   std::string password;
+  /// The server epoch this client's previous session was granted under
+  /// (LoginReply::server_epoch of that login); 0 = first login since boot.
+  /// Nonzero lets the server distinguish an amnesia re-login from a fresh
+  /// login and count it under svc.relogin.
+  std::uint32_t prior_epoch = 0;
 };
 
 struct LoginReply {
   std::uint64_t bd_addr = 0;
   bool ok = false;
   std::string reason;
+  /// The incarnation that granted this session. The client records it as
+  /// its login epoch; an EpochNotice advancing past it means the session
+  /// died with the old incarnation and must be re-established.
+  std::uint32_t server_epoch = 0;
 };
 
 struct LogoutRequest {
@@ -284,6 +299,19 @@ struct SubscribeReply {
   QueryStatus status = QueryStatus::kOk;
 };
 
+/// Workstation -> handheld: "the server is now at incarnation
+/// `server_epoch`". The last hop of the epoch relay (server -> workstation
+/// via HeartbeatAck/PresenceAck/SyncRequest, workstation -> slave via this
+/// message): a client whose session was granted under an older epoch knows
+/// the restarted server has forgotten it and re-sends LoginRequest, even if
+/// no workstation can attest its session in a resync snapshot. Broadcast to
+/// every attached slave (parked included -- queued traffic auto-unparks
+/// them) when the workstation adopts a new epoch, and unicast to each newly
+/// attached slave so a walker arriving mid-outage still hears about it.
+struct EpochNotice {
+  std::uint32_t server_epoch = 0;
+};
+
 /// Server -> subscriber push (relayed by the subscriber's workstation).
 struct MovementEvent {
   std::uint64_t subscriber_bd_addr = 0;
@@ -300,7 +328,7 @@ using Message =
                  HistoryRequest, HistoryReply, SubscribeRequest,
                  SubscribeReply, MovementEvent, Heartbeat, HeartbeatAck,
                  SyncRequest, SyncSnapshot, PresenceBatch, Query,
-                 QueryResult>;
+                 QueryResult, EpochNotice>;
 
 /// Serialises a message (1-byte tag + body).
 Bytes encode(const Message& m);

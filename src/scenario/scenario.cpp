@@ -579,15 +579,37 @@ std::optional<ScenarioSpec> parse_scenario(std::istream& in,
       a.text = join_tokens(toks);
       spec.assertions.push_back(std::move(a));
     } else if (cmd == "assert-final") {
-      if (!(ok = want(1, 1))) break;
-      if (toks[1] != "no-invariant-violations") {
+      if (!(ok = want(1, 3))) break;
+      ScenarioAssertion a;
+      if (toks[1] == "no-invariant-violations") {
+        if (!(ok = want(1, 1))) break;
+        a.kind = ScenarioAssertion::Kind::kNoInvariantViolations;
+      } else if (toks[1] == "min-counter") {
+        // assert-final min-counter <cell> <floor>: the named metrics cell
+        // (summed across shards when sharded) must have reached <floor> by
+        // the end of the run. Lets a fault scenario assert *how* it
+        // recovered (e.g. svc.relogin >= 1: via re-login, not snapshot).
+        if (!(ok = want(3, 3))) break;
+        double floor_v = 0;
+        if (!(ok = parse_double(toks[3], &floor_v) && floor_v >= 0 &&
+                   floor_v <= 1e15 &&
+                   floor_v == static_cast<double>(
+                                  static_cast<std::uint64_t>(floor_v)))) {
+          fail(err, lineno,
+               "assert-final min-counter: floor must be a non-negative "
+               "integer");
+          break;
+        }
+        a.kind = ScenarioAssertion::Kind::kMinCounter;
+        a.counter = toks[2];
+        a.min_count = static_cast<std::uint64_t>(floor_v);
+      } else {
         ok = fail(err, lineno,
                   "assert-final: unknown predicate '" + toks[1] +
-                      "' (expected 'no-invariant-violations')");
+                      "' (expected 'no-invariant-violations' or "
+                      "'min-counter')");
         break;
       }
-      ScenarioAssertion a;
-      a.kind = ScenarioAssertion::Kind::kNoInvariantViolations;
       a.line = lineno;
       a.text = join_tokens(toks);
       spec.assertions.push_back(std::move(a));
@@ -801,6 +823,7 @@ std::unique_ptr<BipsSimulation> run_scenario(
   std::vector<std::unique_ptr<WindowProbe>> probes;
   std::unique_ptr<fault::InvariantChecker> inv;
   std::vector<ScenarioCheck*> inv_checks;
+  std::vector<std::pair<const ScenarioAssertion*, ScenarioCheck*>> min_checks;
   if (report != nullptr) {
     report->checks.clear();
     report->checks.reserve(spec.assertions.size());
@@ -877,6 +900,9 @@ std::unique_ptr<BipsSimulation> run_scenario(
           }
           inv_checks.push_back(out);
           break;
+        case ScenarioAssertion::Kind::kMinCounter:
+          min_checks.emplace_back(&a, out);  // graded after the run
+          break;
       }
     }
   }
@@ -901,6 +927,15 @@ std::unique_ptr<BipsSimulation> run_scenario(
       out->passed = inv->ok();
       out->detail = detail;
     }
+  }
+  for (auto& [aa, out] : min_checks) {
+    const std::uint64_t got =
+        sim->simulator().obs().metrics.counter_value(aa->counter);
+    out->passed = got >= aa->min_count;
+    out->detail = out->passed
+                      ? ""
+                      : aa->counter + " = " + std::to_string(got) +
+                            ", need >= " + std::to_string(aa->min_count);
   }
   return sim;
 }
@@ -1070,6 +1105,7 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
   std::vector<std::unique_ptr<ShardedWindowProbe>> probes;
   std::unique_ptr<fault::InvariantChecker> inv;
   std::vector<ScenarioCheck*> inv_checks;
+  std::vector<std::pair<const ScenarioAssertion*, ScenarioCheck*>> min_checks;
   std::unique_ptr<sim::PeriodicTimer> inv_timer;  // single-shard cadence
   SimTime inv_next;                               // multi-shard tick grid
   const bool single = sim->shard_count() == 1;
@@ -1166,6 +1202,9 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
           }
           inv_checks.push_back(out);
           break;
+        case ScenarioAssertion::Kind::kMinCounter:
+          min_checks.emplace_back(&a, out);  // graded after the run
+          break;
       }
     }
     const bool need_hook =
@@ -1213,6 +1252,17 @@ std::unique_ptr<ShardedBipsSimulation> run_scenario_sharded(
       out->passed = inv->ok();
       out->detail = detail;
     }
+  }
+  // Counter floors grade against the cross-shard sum: the cell lives in
+  // every shard's registry and the increments land wherever the owning
+  // agent ran, identically at every thread count.
+  for (auto& [aa, out] : min_checks) {
+    const std::uint64_t got = raw->metric_sum(aa->counter);
+    out->passed = got >= aa->min_count;
+    out->detail = out->passed
+                      ? ""
+                      : aa->counter + " = " + std::to_string(got) +
+                            ", need >= " + std::to_string(aa->min_count);
   }
   return sim;
 }

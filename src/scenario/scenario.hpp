@@ -55,6 +55,8 @@
 //   assert-at 300 whereis Bob absent      # ... or have no fix at all
 //   assert-window 60 280 max-staleness 45 # DB never lags truth by > 45 s
 //   assert-final no-invariant-violations  # InvariantChecker stayed green
+//   assert-final min-counter svc.relogin 1 # registry counter floor (sharded
+//                                          # replays grade the cross-shard sum)
 //
 // parse_scenario validates everything it can statically -- unknown rooms or
 // users, duplicate users, disconnected buildings, restarts without a
@@ -112,6 +114,12 @@ struct ScenarioAssertion {
     kMaxStalenessWindow,    // in [at, until]: DB never disagrees with the
                             // ground truth for longer than `staleness`
     kNoInvariantViolations, // end of run: InvariantChecker.ok()
+    kMinCounter,            // end of run: registry counter >= min_count
+                            // (summed across shards on the sharded path) --
+                            // lets a fault scenario pin down *how* it
+                            // recovered, e.g. svc.relogin >= 1 proves the
+                            // session came back via an epoch-triggered
+                            // re-login rather than a lucky resync snapshot
   };
 
   Kind kind = Kind::kWhereIsAt;
@@ -120,6 +128,8 @@ struct ScenarioAssertion {
   std::size_t user = 0;                    // kWhereIsAt
   mobility::RoomId room = mobility::kNoRoom;  // kWhereIsAt; kNoRoom = absent
   Duration staleness;                      // kMaxStalenessWindow
+  std::string counter;                     // kMinCounter: registry cell name
+  std::uint64_t min_count = 0;             // kMinCounter: required floor
   int line = 0;                            // source line (reporting)
   std::string text;                        // directive text (reporting)
 };

@@ -96,8 +96,16 @@ std::string synth_scenario(std::uint64_t seed, const SynthParams& p) {
   // crashing these stations so the derived assertions stay sound.
   std::vector<bool> witness_room(n_rooms, false);
   // The fault schedule (below) heals by this instant; witness assertions
-  // and the staleness bound leave recovery room past it.
-  const double fault_heal = p.chaos_block ? 60.0 + 120.0 + 15.0 : 260.0;
+  // and the staleness bound leave recovery room past it. A chaos block may
+  // crash the *server* mid-walk, and a witness between piconets has no
+  // attesting station then: its session comes back via the epoch relay
+  // (EpochNotice -> client re-login), not via a resync snapshot. Budget
+  // that path explicitly: heartbeat/ack epoch propagation (<= 2 s), one
+  // poll round to an attached-or-parked slave (<= 5.12 s), and up to two
+  // beats of the client's 2 s login retry -- 15 s covers it with slack.
+  const double relogin_margin = 15.0;
+  const double fault_heal =
+      p.chaos_block ? 60.0 + 120.0 + 15.0 + relogin_margin : 260.0;
 
   double max_outage = 0.0;
   for (int i = 0; i < n_witness; ++i) {
@@ -153,15 +161,14 @@ std::string synth_scenario(std::uint64_t seed, const SynthParams& p) {
   // ---- faults: either one seeded chaos block or scripted crash/restart
   // pairs on stations no witness assertion depends on.
   if (p.chaos_block) {
-    // server-faults 0: a witness mid-walk during a server outage has no
-    // attesting station, so the resync snapshots cannot restore its
-    // session and the client never learns it must log in again -- the
-    // derived whereis assertion would test that protocol gap, not the
-    // simulator. Hand-written scenarios can still script server faults.
+    // Server faults ride the seeded chaos schedule at the fault layer's
+    // default rate: since the epoch relay closed the amnesia hole, a
+    // witness mid-walk across the server outage re-logs-in on its own
+    // (relogin_margin above budgets that path), so the derived whereis
+    // assertions hold with the server fault class enabled.
     schedule.push_back(
         {60.0, "chaos " + std::to_string(seed ^ 0xC0FFEEull) +
-                   " start 60 window 120 min-outage 5 max-outage 15"
-                   " server-faults 0"});
+                   " start 60 window 120 min-outage 5 max-outage 15"});
     max_outage = std::max(max_outage, 15.0);
   } else {
     std::vector<int> candidates;
@@ -200,6 +207,13 @@ std::string synth_scenario(std::uint64_t seed, const SynthParams& p) {
     const double bound = std::max(120.0, max_outage + 90.0);
     out += "assert-window 60 " + num(run - 30.0) + " max-staleness " +
            num(bound) + "\n";
+  }
+  // A chaos block always schedules exactly one server outage
+  // (ChaosParams::server_faults), and some client is logged in before the
+  // crash window opens at t=60 -- so the run must recover at least one
+  // session through the epoch-relay re-login path, not a lucky snapshot.
+  if (p.chaos_block) {
+    out += "assert-final min-counter svc.relogin 1\n";
   }
   out += "assert-final no-invariant-violations\n";
   return out;

@@ -193,5 +193,90 @@ TEST_F(ClientRig, LoginReplyUpdatesSessionState) {
   EXPECT_FALSE(client->logged_in());
 }
 
+// --- server-amnesia recovery: the epoch relay's client half ------------
+
+TEST_F(ClientRig, EpochAdvanceTriggersExactlyOneRelogin) {
+  proto::LoginReply granted{0xB1, true, ""};
+  granted.server_epoch = 1;
+  master_sends(granted);
+  run_ms(60);
+  ASSERT_TRUE(client->logged_in());
+  EXPECT_EQ(client->login_epoch(), 1u);
+
+  // The workstation relays the restarted server's epoch. The client must
+  // notice its session is from a dead incarnation and re-log-in once.
+  at_master.clear();
+  master_sends(proto::EpochNotice{2});
+  run_ms(1000);  // past the 50 ms re-login delay, inside the 2 s retry beat
+  EXPECT_FALSE(client->logged_in());
+  auto reqs = master_got<proto::LoginRequest>();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].prior_epoch, 1u);  // tells the server this is a re-login
+  EXPECT_EQ(client->stats().relogins, 1u);
+
+  proto::LoginReply regrant{0xB1, true, ""};
+  regrant.server_epoch = 2;
+  master_sends(regrant);
+  run_ms(60);
+  EXPECT_TRUE(client->logged_in());
+  EXPECT_EQ(client->login_epoch(), 2u);
+
+  // A duplicate notice for the already-adopted epoch is a no-op.
+  at_master.clear();
+  master_sends(proto::EpochNotice{2});
+  run_ms(3000);
+  EXPECT_TRUE(client->logged_in());
+  EXPECT_TRUE(master_got<proto::LoginRequest>().empty());
+  EXPECT_EQ(client->stats().relogins, 1u);
+}
+
+TEST_F(ClientRig, StaleEpochLoginAckIgnored) {
+  // The client has heard epoch 3; a successful-looking ack stamped by a
+  // dead incarnation (epoch 2, e.g. delayed in a retransmit queue across
+  // the restart) must not establish a session against the new server.
+  master_sends(proto::EpochNotice{3});
+  run_ms(60);
+  EXPECT_EQ(client->known_epoch(), 3u);
+
+  proto::LoginReply stale{0xB1, true, ""};
+  stale.server_epoch = 2;
+  master_sends(stale);
+  run_ms(60);
+  EXPECT_FALSE(client->logged_in());
+
+  proto::LoginReply fresh{0xB1, true, ""};
+  fresh.server_epoch = 3;
+  master_sends(fresh);
+  run_ms(60);
+  EXPECT_TRUE(client->logged_in());
+  EXPECT_EQ(client->login_epoch(), 3u);
+}
+
+TEST_F(ClientRig, ReloginRetriesUntilAcked) {
+  proto::LoginReply granted{0xB1, true, ""};
+  granted.server_epoch = 1;
+  master_sends(granted);
+  run_ms(60);
+  ASSERT_TRUE(client->logged_in());
+
+  // Epoch bump, but every re-login request goes unanswered: the 2 s login
+  // retry loop must keep trying, and the first ack from the new
+  // incarnation must close the loop.
+  at_master.clear();
+  master_sends(proto::EpochNotice{2});
+  run_ms(5000);
+  EXPECT_FALSE(client->logged_in());
+  const auto unanswered = master_got<proto::LoginRequest>();
+  EXPECT_GE(unanswered.size(), 2u);
+  for (const auto& r : unanswered) EXPECT_EQ(r.prior_epoch, 1u);
+
+  proto::LoginReply regrant{0xB1, true, ""};
+  regrant.server_epoch = 2;
+  master_sends(regrant);
+  run_ms(60);
+  EXPECT_TRUE(client->logged_in());
+  EXPECT_EQ(client->stats().relogins, 1u);  // one drop, however many sends
+}
+
 }  // namespace
 }  // namespace bips::core

@@ -390,5 +390,59 @@ TEST(MessagesExt, NewTagsRejectTruncation) {
   }
 }
 
+TEST(SessionWire, EpochNoticeRoundTrip) {
+  EpochNotice m;
+  m.server_epoch = 0xDEADBEEF;
+  const auto out = round_trip(m);
+  EXPECT_EQ(out.server_epoch, 0xDEADBEEFu);
+}
+
+TEST(SessionWire, EpochNoticeRejectsTruncation) {
+  const Bytes b = encode(Message(EpochNotice{7}));
+  for (std::size_t cut = 1; cut < b.size(); ++cut) {
+    EXPECT_FALSE(decode(Bytes(b.begin(), b.begin() + cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SessionWire, LoginMessagesCarryEpochFields) {
+  LoginRequest req{0xB1, "gm", "pw"};
+  req.prior_epoch = 3;
+  EXPECT_EQ(round_trip(req).prior_epoch, 3u);
+
+  LoginReply rep{0xB1, true, ""};
+  rep.server_epoch = 4;
+  EXPECT_EQ(round_trip(rep).server_epoch, 4u);
+}
+
+// Both session bodies lead with kSessionWireVersion; any other version
+// byte must be rejected outright, not misparsed against the new layout.
+TEST(SessionWire, LoginMessagesRejectWrongWireVersion) {
+  for (const Message m : {Message(LoginRequest{0xB1, "gm", "pw"}),
+                          Message(LoginReply{0xB1, true, ""})}) {
+    Bytes b = encode(m);
+    ASSERT_GT(b.size(), 2u);
+    ASSERT_EQ(b[1], kSessionWireVersion);  // tag byte, then version byte
+    b[1] = kSessionWireVersion + 1;
+    EXPECT_FALSE(decode(b).has_value());
+    b[1] = 1;  // the pre-epoch implicit-v1 layout is not decodable either
+    EXPECT_FALSE(decode(b).has_value());
+  }
+}
+
+TEST(SessionWire, LoginMessagesRejectTruncation) {
+  LoginRequest req{0xB1, "gm", "pw"};
+  req.prior_epoch = 9;
+  LoginReply rep{0xB1, true, ""};
+  rep.server_epoch = 9;
+  for (const Message m : {Message(req), Message(rep)}) {
+    const Bytes b = encode(m);
+    for (std::size_t cut = 1; cut < b.size(); ++cut) {
+      EXPECT_FALSE(decode(Bytes(b.begin(), b.begin() + cut)).has_value())
+          << "cut at " << cut;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bips::proto

@@ -142,6 +142,10 @@ INSTANTIATE_TEST_SUITE_P(
                 3, "beyond the end"},
         BadCase{"room a 0 0\nassert-final everything-is-fine\n", 2,
                 "no-invariant-violations"},
+        BadCase{"room a 0 0\nassert-final min-counter svc.relogin -1\n", 2,
+                "non-negative"},
+        BadCase{"room a 0 0\nassert-final min-counter svc.relogin 1.5\n", 2,
+                "integer"},
         // --- fault directives ---
         BadCase{"room a 0 0\nrestart a 60\n", 2, "no preceding crash"},
         BadCase{"room a 0 0\ncrash a 60\ncrash a 80\nrestart a 100\n", 3,
@@ -401,6 +405,46 @@ sample 1
   EXPECT_TRUE(report.passed());
   EXPECT_FALSE(report.invariants_violated());
   EXPECT_EQ(sim->db_room("alice"), *spec->building.find("b"));
+}
+
+TEST(ScenarioRunner, MinCounterAssertGradesAgainstTheRegistry) {
+  ScenarioError err;
+  const auto spec = parse_scenario(std::string(R"(
+seed 12
+inquiry 2.56
+cycle 5.12
+pause 100000 200000
+room a 0 0
+user Alice alice pw a
+assert-final min-counter server.logins_ok 1
+assert-final min-counter server.logins_ok 1000000
+run 60
+sample 1
+)"),
+                                   &err);
+  ASSERT_TRUE(spec.has_value()) << err.message;
+  ASSERT_EQ(spec->assertions.size(), 2u);
+  EXPECT_EQ(spec->assertions[0].kind, ScenarioAssertion::Kind::kMinCounter);
+  EXPECT_EQ(spec->assertions[0].counter, "server.logins_ok");
+  EXPECT_EQ(spec->assertions[0].min_count, 1u);
+
+  ScenarioReport report;
+  auto sim = run_scenario(*spec, {}, &report);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_TRUE(report.checks[0].passed) << report.checks[0].detail;
+  EXPECT_FALSE(report.checks[1].passed);  // an absurd floor must fail loudly
+  EXPECT_NE(report.checks[1].detail.find("need >= 1000000"),
+            std::string::npos);
+
+  // The same file grades identically on the sharded replay path (the
+  // counter floor sums the cell across shards).
+  ScenarioReport sharded;
+  std::string serr;
+  auto par = run_scenario_sharded(*spec, 2, 2, &sharded, &serr);
+  ASSERT_NE(par, nullptr) << serr;
+  ASSERT_EQ(sharded.checks.size(), 2u);
+  EXPECT_TRUE(sharded.checks[0].passed) << sharded.checks[0].detail;
+  EXPECT_FALSE(sharded.checks[1].passed);
 }
 
 TEST(ScenarioRunner, FailedWhereIsAssertReportsLineAndDetail) {
